@@ -1,0 +1,520 @@
+// Command lwm is the local-watermarking toolchain driver:
+//
+//	lwm gen -design <name> -o design.cdfg
+//	    write one of the built-in benchmark designs to a file
+//	lwm info -in design.cdfg
+//	    print design statistics (ops, critical path, laxity profile)
+//	lwm embed -in design.cdfg -sig <signature> [-n 2] [-tau 20] [-k 4]
+//	          [-epsilon 0.25] [-budget 0] -out marked.cdfg -record rec.json
+//	    embed scheduling watermarks; writes the constrained design and the
+//	    detection record
+//	lwm schedule -in marked.cdfg -out sched.txt [-budget 0]
+//	    produce a schedule honoring the embedded temporal constraints
+//	lwm detect -in suspect.cdfg -schedule sched.txt -record rec.json
+//	    scan a suspect scheduled design for the recorded watermarks
+//	lwm verify -in suspect.cdfg -schedule sched.txt -sig <signature> ...
+//	    adjudicate an ownership claim by re-deriving the constraints from
+//	    the claimed signature (no record trusted)
+//	lwm synth -in design.cdfg [-budget N]
+//	    run the plain behavioral-synthesis pipeline and print the
+//	    allocation report (schedule, covering, modules, registers)
+//	lwm dot -in design.cdfg [-o out.dot]
+//	    render the design for Graphviz
+//
+// The full experiment reproduction lives in the sibling command `tables`.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"localwm/internal/cdfg"
+	"localwm/internal/designs"
+	"localwm/internal/prng"
+	"localwm/internal/sched"
+	"localwm/internal/schedwm"
+	"localwm/internal/tmatch"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "gen":
+		err = cmdGen(os.Args[2:])
+	case "info":
+		err = cmdInfo(os.Args[2:])
+	case "embed":
+		err = cmdEmbed(os.Args[2:])
+	case "schedule":
+		err = cmdSchedule(os.Args[2:])
+	case "detect":
+		err = cmdDetect(os.Args[2:])
+	case "dot":
+		err = cmdDot(os.Args[2:])
+	case "verify":
+		err = cmdVerify(os.Args[2:])
+	case "synth":
+		err = cmdSynth(os.Args[2:])
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lwm: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: lwm {gen|info|embed|schedule|detect|verify|synth|dot} [flags]")
+}
+
+// cmdSynth runs the full behavioral-synthesis pipeline on a design and
+// prints an allocation report: schedule, template covering, module and
+// register allocation, and functional-unit binding — the substrate the
+// watermarking protocols ride on, usable on its own.
+func cmdSynth(args []string) error {
+	fs := flag.NewFlagSet("synth", flag.ExitOnError)
+	in := fs.String("in", "", "design file")
+	budget := fs.Int("budget", 0, "control-step budget (0: critical path)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	g, err := loadGraph(*in)
+	if err != nil {
+		return err
+	}
+	st, err := cdfg.ComputeStats(g)
+	if err != nil {
+		return err
+	}
+	fmt.Println(st)
+	if *budget == 0 {
+		*budget = st.CriticalPath
+	}
+
+	// Schedule (time-constrained, force-directed when tractable).
+	var s *sched.Schedule
+	if st.Computational <= 400 {
+		s, err = sched.FDSchedule(g, sched.FDSOpts{Budget: *budget, UseTemporal: true})
+	} else {
+		s, err = sched.ListSchedule(g, sched.ListOpts{UseTemporal: true})
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Printf("schedule: %d control steps (budget %d)\n", s.Makespan(), *budget)
+	use := sched.ResourceUsage(g, s)
+	fmt.Printf("peak functional units: %d ALU, %d MUL, %d MEM, %d BR\n",
+		use[sched.FUALU], use[sched.FUMul], use[sched.FUMem], use[sched.FUBr])
+
+	// Registers and binding.
+	regs, err := sched.MinRegisters(g, s, nil)
+	if err != nil {
+		return err
+	}
+	bind, err := sched.BindFUs(g, s, true)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("registers: %d (left-edge); interconnect switches: %d\n", regs, bind.Switches)
+
+	// Template covering and allocation at the budget.
+	lib := tmatch.StandardLibrary()
+	cover, err := tmatch.GreedyCover(g, lib, tmatch.Constraints{}, nil)
+	if err != nil {
+		return err
+	}
+	alloc, err := tmatch.Allocate(g, lib, cover, *budget, nil)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("template covering: %d module instantiations, %d registers, %d total modules\n",
+		len(cover.Matchings), alloc.Registers, alloc.Modules)
+	for name, count := range cover.Uses(lib) {
+		fmt.Printf("  %-8s x%d\n", name, count)
+	}
+	return nil
+}
+
+// cmdVerify adjudicates an ownership claim without trusting any record:
+// the marking derivation is re-run from the claimed signature and its
+// constraints checked against the suspect schedule. The embedding
+// parameters are public and must match the claimant's.
+func cmdVerify(args []string) error {
+	fs := flag.NewFlagSet("verify", flag.ExitOnError)
+	in := fs.String("in", "", "suspect design file")
+	schedPath := fs.String("schedule", "", "suspect schedule file")
+	sig := fs.String("sig", "", "claimed author signature")
+	n := fs.Int("n", 2, "number of local watermarks claimed")
+	tau := fs.Int("tau", 20, "subtree cardinality τ")
+	k := fs.Int("k", 4, "temporal edges per watermark K")
+	eps := fs.Float64("epsilon", 0.25, "laxity margin ε")
+	budget := fs.Int("budget", 0, "control-step budget (0: critical path + 10%)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	g, err := loadGraph(*in)
+	if err != nil {
+		return err
+	}
+	s, err := parseSchedule(g, *schedPath)
+	if err != nil {
+		return err
+	}
+	if *budget == 0 {
+		cp, err := g.CriticalPath()
+		if err != nil {
+			return err
+		}
+		*budget = cp + cp/10 + 1
+	}
+	cfg := schedwm.Config{Tau: *tau, K: *k, Epsilon: *eps, Budget: *budget}
+	det, err := schedwm.VerifyOwnership(g, s, prng.Signature(*sig), cfg, *n)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("claim by %q: %d/%d re-derived constraints satisfied, Pc %v\n",
+		*sig, det.Best.Satisfied, det.Best.Total, det.Best.Pc)
+	if !det.Found {
+		fmt.Println("verdict: claim NOT verified")
+		os.Exit(3)
+	}
+	fmt.Println("verdict: claim verified")
+	return nil
+}
+
+func cmdDot(args []string) error {
+	fs := flag.NewFlagSet("dot", flag.ExitOnError)
+	in := fs.String("in", "", "design file")
+	out := fs.String("o", "", "output file (default stdout)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	g, err := loadGraph(*in)
+	if err != nil {
+		return err
+	}
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	return cdfg.WriteDot(w, g, nil)
+}
+
+// builtinDesigns maps design names to constructors.
+var builtinDesigns = map[string]func() *cdfg.Graph{
+	"iir4":      designs.FourthOrderParallelIIR,
+	"cfiir8":    designs.EighthOrderCFIIR,
+	"gectrl":    designs.LinearGEController,
+	"wavelet":   designs.WaveletFilter,
+	"modem":     designs.ModemFilter,
+	"volterra2": designs.Volterra2,
+	"volterra3": designs.Volterra3,
+	"dac":       designs.DAConverter,
+	"echo":      designs.LongEchoCanceler,
+}
+
+func cmdGen(args []string) error {
+	fs := flag.NewFlagSet("gen", flag.ExitOnError)
+	name := fs.String("design", "", "design name (iir4, cfiir8, gectrl, wavelet, modem, volterra2, volterra3, dac, echo, or a MediaBench app like 'epic')")
+	out := fs.String("o", "", "output file (default stdout)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var g *cdfg.Graph
+	if build, ok := builtinDesigns[*name]; ok {
+		g = build()
+	} else {
+		for _, app := range designs.MediaBench() {
+			if app.Name == *name {
+				g = designs.Layered(app.Cfg)
+				break
+			}
+		}
+	}
+	if g == nil {
+		return fmt.Errorf("unknown design %q", *name)
+	}
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	return cdfg.Write(w, g)
+}
+
+func loadGraph(path string) (*cdfg.Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return cdfg.Parse(f)
+}
+
+func cmdInfo(args []string) error {
+	fs := flag.NewFlagSet("info", flag.ExitOnError)
+	in := fs.String("in", "", "design file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	g, err := loadGraph(*in)
+	if err != nil {
+		return err
+	}
+	st, err := cdfg.ComputeStats(g)
+	if err != nil {
+		return err
+	}
+	fmt.Println(st)
+	// Laxity histogram in tenths of the critical path — where the
+	// watermark protocols find their eligible nodes.
+	cp := st.CriticalPath
+	lax, err := g.Laxities()
+	if err != nil {
+		return err
+	}
+	hist := make([]int, 11)
+	for _, v := range g.Computational() {
+		b := 10
+		if cp > 0 {
+			b = lax[v] * 10 / cp
+			if b > 10 {
+				b = 10
+			}
+		}
+		hist[b]++
+	}
+	fmt.Println("laxity histogram (fraction of critical path):")
+	for b, c := range hist {
+		if c > 0 {
+			fmt.Printf("  %3d%%-%3d%%: %d ops\n", b*10, (b+1)*10, c)
+		}
+	}
+	return nil
+}
+
+// recordFile is the JSON envelope for detection records.
+type recordFile struct {
+	Signature []byte           `json:"signature"`
+	Records   []schedwm.Record `json:"records"`
+}
+
+func cmdEmbed(args []string) error {
+	fs := flag.NewFlagSet("embed", flag.ExitOnError)
+	in := fs.String("in", "", "design file")
+	sig := fs.String("sig", "", "author signature")
+	n := fs.Int("n", 2, "number of local watermarks")
+	tau := fs.Int("tau", 20, "subtree cardinality τ")
+	k := fs.Int("k", 4, "temporal edges per watermark K")
+	eps := fs.Float64("epsilon", 0.25, "laxity margin ε")
+	budget := fs.Int("budget", 0, "control-step budget (0: critical path + 10%)")
+	out := fs.String("out", "", "marked design output file")
+	recPath := fs.String("record", "", "detection record output file (JSON)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	g, err := loadGraph(*in)
+	if err != nil {
+		return err
+	}
+	if *budget == 0 {
+		cp, err := g.CriticalPath()
+		if err != nil {
+			return err
+		}
+		*budget = cp + cp/10 + 1
+	}
+	cfg := schedwm.Config{Tau: *tau, K: *k, Epsilon: *eps, Budget: *budget}
+	wms, err := schedwm.EmbedMany(g, prng.Signature(*sig), cfg, *n)
+	if err != nil {
+		return err
+	}
+	rf := recordFile{Signature: []byte(*sig)}
+	edges := 0
+	for _, wm := range wms {
+		rf.Records = append(rf.Records, wm.Record())
+		edges += len(wm.Edges)
+	}
+	fmt.Printf("embedded %d watermarks, %d temporal edges\n", len(wms), edges)
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := cdfg.Write(f, g); err != nil {
+			return err
+		}
+	}
+	if *recPath != "" {
+		data, err := json.MarshalIndent(rf, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*recPath, data, 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func cmdSchedule(args []string) error {
+	fs := flag.NewFlagSet("schedule", flag.ExitOnError)
+	in := fs.String("in", "", "design file (may contain temporal edges)")
+	out := fs.String("out", "", "schedule output file (default stdout)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	g, err := loadGraph(*in)
+	if err != nil {
+		return err
+	}
+	s, err := sched.ListSchedule(g, sched.ListOpts{UseTemporal: true})
+	if err != nil {
+		return err
+	}
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	fmt.Fprintf(w, "budget %d\n", s.Budget)
+	// Deterministic order: by step then name.
+	type row struct {
+		name string
+		step int
+	}
+	var rows []row
+	for _, node := range g.Nodes() {
+		if st := s.Steps[node.ID]; st > 0 {
+			rows = append(rows, row{node.Name, st})
+		}
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].step != rows[j].step {
+			return rows[i].step < rows[j].step
+		}
+		return rows[i].name < rows[j].name
+	})
+	for _, r := range rows {
+		fmt.Fprintf(w, "step %s %d\n", r.name, r.step)
+	}
+	return nil
+}
+
+func parseSchedule(g *cdfg.Graph, path string) (*sched.Schedule, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	s := &sched.Schedule{Steps: make([]int, g.Len())}
+	var budget int
+	lines := 0
+	for _, line := range splitLines(string(data)) {
+		lines++
+		var name string
+		var step int
+		if n, _ := fmt.Sscanf(line, "budget %d", &budget); n == 1 {
+			s.Budget = budget
+			continue
+		}
+		if n, _ := fmt.Sscanf(line, "step %s %d", &name, &step); n == 2 {
+			node, ok := g.NodeByName(name)
+			if !ok {
+				return nil, fmt.Errorf("schedule line %d: unknown node %q", lines, name)
+			}
+			s.Steps[node.ID] = step
+			continue
+		}
+		if line != "" {
+			return nil, fmt.Errorf("schedule line %d: unparseable %q", lines, line)
+		}
+	}
+	if s.Budget == 0 {
+		s.Budget = s.Makespan()
+	}
+	return s, nil
+}
+
+func splitLines(s string) []string {
+	var out []string
+	start := 0
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\n' {
+			out = append(out, s[start:i])
+			start = i + 1
+		}
+	}
+	if start < len(s) {
+		out = append(out, s[start:])
+	}
+	return out
+}
+
+func cmdDetect(args []string) error {
+	fs := flag.NewFlagSet("detect", flag.ExitOnError)
+	in := fs.String("in", "", "suspect design file")
+	schedPath := fs.String("schedule", "", "suspect schedule file")
+	recPath := fs.String("record", "", "detection record file (JSON)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	g, err := loadGraph(*in)
+	if err != nil {
+		return err
+	}
+	s, err := parseSchedule(g, *schedPath)
+	if err != nil {
+		return err
+	}
+	data, err := os.ReadFile(*recPath)
+	if err != nil {
+		return err
+	}
+	var rf recordFile
+	if err := json.Unmarshal(data, &rf); err != nil {
+		return err
+	}
+	found := 0
+	for i, rec := range rf.Records {
+		det, err := schedwm.Detect(g, s, rec)
+		if err != nil {
+			return err
+		}
+		if det.Found {
+			found++
+			fmt.Printf("watermark %d: FOUND at root %s (%d constraints, Pc %v)\n",
+				i, g.Node(det.Matches[0].Root).Name, det.Best.Total, det.Best.Pc)
+		} else {
+			fmt.Printf("watermark %d: not found (best %d/%d)\n",
+				i, det.Best.Satisfied, det.Best.Total)
+		}
+	}
+	fmt.Printf("%d of %d watermarks detected\n", found, len(rf.Records))
+	if found == 0 {
+		os.Exit(3)
+	}
+	return nil
+}

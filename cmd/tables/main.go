@@ -1,0 +1,78 @@
+// Command tables regenerates every table and figure of the local-
+// watermarking paper's evaluation on this repository's substrates:
+//
+//	tables -table 1        Table I  (operation scheduling: Pc, overhead)
+//	tables -table 2        Table II (template matching: module overhead)
+//	tables -fig 3          Fig. 3   (exact schedule enumeration, IIR)
+//	tables -fig 4          Fig. 4   (template coverings, IIR)
+//	tables -analysis tamper  in-text tamper-resistance analysis
+//	tables -all            everything above in order
+//
+// Absolute values depend on the synthetic substrates (see DESIGN.md §3);
+// the paper's numbers are printed alongside for shape comparison, and
+// EXPERIMENTS.md records both.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"localwm/internal/prng"
+)
+
+func main() {
+	table := flag.Int("table", 0, "regenerate Table N (1 or 2)")
+	fig := flag.Int("fig", 0, "regenerate Fig. N (3 or 4)")
+	analysis := flag.String("analysis", "", "run a named analysis (tamper)")
+	all := flag.Bool("all", false, "run everything")
+	sigStr := flag.String("sig", "localwm-evaluation-signature", "author signature to embed")
+	flag.Parse()
+
+	sig := prng.Signature(*sigStr)
+	w := os.Stdout
+	ran := false
+	fail := func(err error) {
+		fmt.Fprintf(os.Stderr, "tables: %v\n", err)
+		os.Exit(1)
+	}
+
+	if *all || *table == 1 {
+		ran = true
+		if _, err := runTable1(w, sig); err != nil {
+			fail(err)
+		}
+		fmt.Fprintln(w)
+	}
+	if *all || *table == 2 {
+		ran = true
+		if _, err := runTable2(w, sig); err != nil {
+			fail(err)
+		}
+		fmt.Fprintln(w)
+	}
+	if *all || *fig == 3 {
+		ran = true
+		if _, err := runFig3(w, sig); err != nil {
+			fail(err)
+		}
+		fmt.Fprintln(w)
+	}
+	if *all || *fig == 4 {
+		ran = true
+		if _, err := runFig4(w, sig); err != nil {
+			fail(err)
+		}
+		fmt.Fprintln(w)
+	}
+	if *all || *analysis == "tamper" {
+		ran = true
+		if err := runTamper(w, sig); err != nil {
+			fail(err)
+		}
+	}
+	if !ran {
+		flag.Usage()
+		os.Exit(2)
+	}
+}

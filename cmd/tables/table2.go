@@ -1,0 +1,117 @@
+package main
+
+import (
+	"fmt"
+	"io"
+
+	"localwm/internal/designs"
+	"localwm/internal/prng"
+	"localwm/internal/tmatch"
+	"localwm/internal/tmwm"
+)
+
+// Table2Result is one measured row of the template-matching evaluation.
+// Overheads are averaged over table2Runs independent signatures (the
+// protocol's cost is a random variable of the signature; the paper reports
+// a single number per cell, which on designs this small implies the
+// authors' flow averaged or the overhead was deterministic for them).
+type Table2Result struct {
+	Row      designs.Table2Row
+	Ops      int
+	CP       int
+	EnfPct   float64    // mean share of modules enforced by the watermark
+	Overhead [2]float64 // mean module-count overhead at the two budgets
+	Base     [2]float64 // mean baseline module count
+	Marked   [2]float64 // mean watermarked module count
+	PcExp10  float64    // mean log10 Pc
+}
+
+const table2Runs = 8
+
+// runTable2 reproduces Table II: for each design, cover the CDFG with the
+// standard template library with and without the watermark's enforced
+// matchings + PPO constraints, allocate module instances (functional units
+// plus registers) at two control-step budgets — the tight budget and twice
+// that — and report the module-count overhead.
+func runTable2(w io.Writer, sig prng.Signature) ([]Table2Result, error) {
+	lib := tmatch.StandardLibrary()
+	var out []Table2Result
+
+	fmt.Fprintln(w, "Table II — local watermarking of template matching")
+	fmt.Fprintf(w, "(paper values in parentheses; mean of %d signatures;\n", table2Runs)
+	fmt.Fprintln(w, " paper quotes Pc in the range 10^-5 .. 10^-27 across these designs)")
+	fmt.Fprintf(w, "%-22s %5s %6s %6s %8s | %22s | %22s\n",
+		"design", "ops", "steps", "%enf", "Pc", "overhead@B", "overhead@2B")
+
+	for _, row := range designs.Table2() {
+		g := row.Build()
+		cp, err := g.CriticalPath()
+		if err != nil {
+			return nil, err
+		}
+		tight := cp
+		if row.StepsPerOp > 0 {
+			tight = int(row.StepsPerOp * float64(len(g.Computational())))
+		}
+		res := Table2Result{Row: row, Ops: len(g.Computational()), CP: tight}
+
+		base, err := tmatch.GreedyCover(g, lib, tmatch.Constraints{}, nil)
+		if err != nil {
+			return nil, fmt.Errorf("%s: baseline cover: %v", row.Name, err)
+		}
+		// Z = paper's enforcement percentage of the baseline module count
+		// (column 5 quantifies "the percentage of templates enforced").
+		z := int(row.PaperEnfPct / 100 * float64(len(base.Matchings)))
+		if z < 1 {
+			z = 1
+		}
+
+		// The paper's two rows per design are two experiments, each run at
+		// its own available-steps setting: the watermark is embedded under
+		// that budget's laxity rule and the allocation measured there.
+		for run := 0; run < table2Runs; run++ {
+			runSig := append(append(prng.Signature{}, sig...),
+				[]byte(fmt.Sprintf("/t2/%d", run))...)
+			for bi, budget := range [2]int{tight, 2 * tight} {
+				wm, err := tmwm.Embed(g, runSig, tmwm.Config{
+					Z: z, Epsilon: 0.25, WholeGraph: true, Lib: lib, Budget: budget,
+				})
+				if err != nil {
+					return nil, fmt.Errorf("%s: embed @%d: %v", row.Name, budget, err)
+				}
+				enforced, cons := wm.Constraints()
+				marked, err := tmatch.GreedyCover(g, lib, cons, enforced)
+				if err != nil {
+					return nil, fmt.Errorf("%s: marked cover: %v", row.Name, err)
+				}
+				if bi == 0 {
+					res.EnfPct += float64(len(enforced)) / float64(len(marked.Matchings)) * 100 / table2Runs
+					pc, err := tmwm.ApproxPc(g, lib, wm)
+					if err != nil {
+						return nil, err
+					}
+					res.PcExp10 += pc.Exponent10() / table2Runs
+				}
+				ba, err := tmatch.Allocate(g, lib, base, budget, nil)
+				if err != nil {
+					return nil, fmt.Errorf("%s: baseline alloc @%d: %v", row.Name, budget, err)
+				}
+				ma, err := tmatch.Allocate(g, lib, marked, budget, wm.PPO)
+				if err != nil {
+					return nil, fmt.Errorf("%s: marked alloc @%d: %v", row.Name, budget, err)
+				}
+				res.Base[bi] += float64(ba.Modules) / table2Runs
+				res.Marked[bi] += float64(ma.Modules) / table2Runs
+				if ba.Modules > 0 {
+					res.Overhead[bi] += float64(ma.Modules-ba.Modules) / float64(ba.Modules) / table2Runs
+				}
+			}
+		}
+		fmt.Fprintf(w, "%-22s %5d %6d %5.1f%% 10^%-5.1f | %5.1f->%-6.1f %5.1f%% (%4.1f%%) | %5.1f->%-6.1f %5.1f%% (%4.1f%%)\n",
+			row.Name, res.Ops, tight, res.EnfPct, res.PcExp10,
+			res.Base[0], res.Marked[0], res.Overhead[0]*100, row.PaperOverhead[0],
+			res.Base[1], res.Marked[1], res.Overhead[1]*100, row.PaperOverhead[1])
+		out = append(out, res)
+	}
+	return out, nil
+}

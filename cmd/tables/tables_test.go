@@ -1,0 +1,126 @@
+package main
+
+import (
+	"io"
+	"strings"
+	"testing"
+
+	"localwm/internal/prng"
+)
+
+var testSig = prng.Signature("tables-test-signature")
+
+func TestRunFig3(t *testing.T) {
+	res, err := runFig3(io.Discard, testSig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.WithWM == 0 || res.WithWM >= res.Total {
+		t.Fatalf("enumeration degenerate: %d of %d", res.WithWM, res.Total)
+	}
+	if res.Edges < 1 {
+		t.Fatal("no edges embedded")
+	}
+	if res.PairTotal == 0 || res.PairOrdered >= res.PairTotal {
+		t.Fatalf("pair counts degenerate: %d of %d", res.PairOrdered, res.PairTotal)
+	}
+	if res.Pc.Exponent10() >= 0 {
+		t.Fatalf("Pc = %v", res.Pc)
+	}
+}
+
+func TestRunFig4(t *testing.T) {
+	var sb strings.Builder
+	res, err := runFig4(&sb, testSig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Enforced != 3 {
+		t.Fatalf("enforced %d, want 3", res.Enforced)
+	}
+	for _, n := range res.Coverings {
+		if n < 1 {
+			t.Fatal("zero coverings for an enforced matching")
+		}
+	}
+	if res.Pc.Exponent10() >= 0 {
+		t.Fatalf("Pc = %v", res.Pc)
+	}
+	if !strings.Contains(sb.String(), "alternative coverings") {
+		t.Fatal("output missing coverings lines")
+	}
+}
+
+func TestRunTable2ShapeClaims(t *testing.T) {
+	if testing.Short() {
+		t.Skip("table 2 sweep is slow")
+	}
+	rows, err := runTable2(io.Discard, testSig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 8 {
+		t.Fatalf("%d rows, want 8", len(rows))
+	}
+	tightNotWorse := 0
+	for _, r := range rows {
+		// Overheads must stay in the low-percent regime.
+		for bi := 0; bi < 2; bi++ {
+			if r.Overhead[bi] > 0.15 {
+				t.Errorf("%s: overhead[%d] = %.1f%% out of regime", r.Row.Name, bi, r.Overhead[bi]*100)
+			}
+			if r.Base[bi] <= 0 {
+				t.Errorf("%s: empty baseline allocation", r.Row.Name)
+			}
+		}
+		if r.Overhead[0] >= r.Overhead[1] {
+			tightNotWorse++
+		}
+	}
+	// The tight budget should dominate on a clear majority of designs.
+	if tightNotWorse < 5 {
+		t.Errorf("tight budget cheaper than relaxed on %d of 8 designs", 8-tightNotWorse)
+	}
+}
+
+func TestRunTamper(t *testing.T) {
+	if testing.Short() {
+		t.Skip("tamper sweep is slow")
+	}
+	var sb strings.Builder
+	if err := runTamper(&sb, testSig); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "81") {
+		t.Fatalf("analytic example missing from output:\n%s", out)
+	}
+}
+
+func TestRunTable1ShapeClaims(t *testing.T) {
+	if testing.Short() {
+		t.Skip("table 1 sweep is slow")
+	}
+	rows, err := runTable1(io.Discard, testSig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 8 {
+		t.Fatalf("%d rows, want 8", len(rows))
+	}
+	for _, r := range rows {
+		if r.PcExp10[1] >= r.PcExp10[0] {
+			t.Errorf("%s: 5%% Pc (%g) not deeper than 2%% (%g)",
+				r.Row.App.Name, r.PcExp10[1], r.PcExp10[0])
+		}
+		for fi := 0; fi < 2; fi++ {
+			if r.Overhead[fi] < 0 || r.Overhead[fi] > 0.08 {
+				t.Errorf("%s: overhead[%d] = %.1f%% out of regime",
+					r.Row.App.Name, fi, r.Overhead[fi]*100)
+			}
+			if r.EdgeCount[fi] == 0 {
+				t.Errorf("%s: no edges embedded at fraction %d", r.Row.App.Name, fi)
+			}
+		}
+	}
+}

@@ -1,0 +1,67 @@
+package main
+
+import (
+	"fmt"
+	"io"
+
+	"localwm/internal/attack"
+	"localwm/internal/cdfg"
+	"localwm/internal/designs"
+	"localwm/internal/prng"
+	"localwm/internal/sched"
+	"localwm/internal/schedwm"
+	"localwm/internal/stats"
+)
+
+// runTamper reproduces the paper's in-text tamper-resistance analysis two
+// ways: the analytic arithmetic of the worked example (100 000 operations,
+// 100 watermark pairs, E[ψW/ψN] = ½, target Pc = 10⁻⁶ ⇒ a majority of the
+// solution must be altered), and a Monte-Carlo attack on a real marked
+// design measuring how much of the schedule random legal tampering must
+// disturb before the residual evidence weakens to the same target.
+func runTamper(w io.Writer, sig prng.Signature) error {
+	fmt.Fprintln(w, "Tamper resistance — analytic worked example (paper §IV-A)")
+	ta := stats.TamperAnalysis{PairsWatermarked: 100, PairsTotal: 50000, Ratio: 0.5}
+	flips, fraction, err := ta.FlipsNeeded(1e-6)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "  watermarked pairs to destroy: %d of 100; expected fraction of the\n", flips)
+	fmt.Fprintf(w, "  solution a blind attacker must alter: %.0f%%   (paper: 31729 pairs = 63%%)\n",
+		fraction*100)
+
+	fmt.Fprintln(w, "Tamper resistance — Monte-Carlo attack on a marked design")
+	g := designs.Layered(designs.MediaBench()[1].Cfg)
+	cp, err := g.CriticalPath()
+	if err != nil {
+		return err
+	}
+	cfg := schedwm.Config{Tau: 24, K: 6, TauPrime: 7, Epsilon: 0.25, Budget: cp + 8}
+	wms, err := schedwm.EmbedMany(g, sig, cfg, 6)
+	if err != nil {
+		return err
+	}
+	var edges []cdfg.Edge
+	for _, wm := range wms {
+		edges = append(edges, wm.Edges...)
+	}
+	s, err := sched.ListSchedule(g, sched.ListOpts{UseTemporal: true})
+	if err != nil {
+		return err
+	}
+	s.Budget += 6 // attacker headroom
+	shipped := g.Clone()
+	shipped.ClearTemporalEdges()
+	bs := prng.MustBitstream([]byte("attacker"))
+	pts, err := attack.TamperSweep(shipped, s, edges,
+		[]int{0, 100, 500, 2000, 8000, 32000}, bs)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "  %8s %12s %14s %12s\n", "moves", "constraints", "residual Pc", "ops altered")
+	for _, p := range pts {
+		fmt.Fprintf(w, "  %8d %8d/%-3d %14v %11.0f%%\n",
+			p.Moves, p.Satisfied, p.Total, p.ResidualPc, p.AlteredPct*100)
+	}
+	return nil
+}

@@ -1,0 +1,3 @@
+module localwm
+
+go 1.22

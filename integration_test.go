@@ -1,0 +1,403 @@
+package localwm
+
+// Integration tests: whole-pipeline flows spanning several packages, the
+// scenarios a downstream adopter of the library actually runs.
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"localwm/internal/attack"
+	"localwm/internal/cdfg"
+	"localwm/internal/designs"
+	"localwm/internal/gcolor"
+	"localwm/internal/prng"
+	"localwm/internal/sched"
+	"localwm/internal/schedwm"
+	"localwm/internal/tmatch"
+	"localwm/internal/tmwm"
+	"localwm/internal/vliw"
+)
+
+// TestDualWatermarkPipeline marks one design with BOTH protocols —
+// scheduling constraints and enforced template matchings — synthesizes
+// it, and detects both marks independently.
+func TestDualWatermarkPipeline(t *testing.T) {
+	g := designs.DAConverter()
+	lib := tmatch.StandardLibrary()
+	cp, err := g.CriticalPath()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sig := prng.Signature("dual-owner")
+
+	// Scheduling watermark.
+	swm, err := schedwm.Embed(g, sig, schedwm.Config{
+		Tau: 16, K: 3, TauPrime: 2, Epsilon: 0.4, Budget: cp + 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	schedule, err := sched.ListSchedule(g, sched.ListOpts{UseTemporal: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Template watermark on the same design.
+	twm, err := tmwm.Embed(g, sig, tmwm.Config{
+		Z: 3, Epsilon: 0.25, WholeGraph: true, Lib: lib, Budget: cp + 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	enforced, cons := twm.Constraints()
+	cover, err := tmatch.GreedyCover(g, lib, cons, enforced)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Ship without constraints.
+	shipped := g.Clone()
+	shipped.ClearTemporalEdges()
+
+	sdet, err := schedwm.Detect(shipped, schedule, swm.Record())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sdet.Found {
+		t.Fatalf("scheduling watermark lost (best %d/%d)", sdet.Best.Satisfied, sdet.Best.Total)
+	}
+	tdet, err := tmwm.Detect(shipped, lib, cover, twm.Record())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tdet.Found {
+		t.Fatalf("template watermark lost (%d/%d)", tdet.Matched, tdet.Total)
+	}
+}
+
+// TestFingerprintingIdentifiesLeaker gives each of three licensees a copy
+// marked with their own signature and identifies which copy leaked.
+func TestFingerprintingIdentifiesLeaker(t *testing.T) {
+	users := []string{"licensee-a", "licensee-b", "licensee-c"}
+	type copyOf struct {
+		recs  []schedwm.Record
+		sched *sched.Schedule
+		graph *cdfg.Graph
+	}
+	copies := map[string]copyOf{}
+	for _, u := range users {
+		g := designs.Layered(designs.MediaBench()[1].Cfg)
+		cp, err := g.CriticalPath()
+		if err != nil {
+			t.Fatal(err)
+		}
+		wms, err := schedwm.EmbedMany(g, prng.Signature(u), schedwm.Config{
+			Tau: 32, K: 8, TauPrime: 6, Epsilon: 0.25, Budget: cp + 8,
+			MaxOrderProb: 0.35}, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := sched.ListSchedule(g, sched.ListOpts{UseTemporal: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		shipped := g.Clone()
+		shipped.ClearTemporalEdges()
+		c := copyOf{sched: s, graph: shipped}
+		for _, wm := range wms {
+			c.recs = append(c.recs, wm.Record())
+		}
+		copies[u] = c
+	}
+	// Accusation standard: aggregate the evidence of all of a user's
+	// records — the sum of each found record's discounted log-coincidence
+	// (log10 of Pc times the roots scanned). A user is blamed only when a
+	// majority of their records is found AND the joint chance of that
+	// happening coincidentally is below 10^-3.
+	leaked := copies["licensee-b"]
+	guilty := ""
+	for _, u := range users {
+		found := 0
+		jointLog := 0.0
+		for _, rec := range copies[u].recs {
+			det, err := schedwm.Detect(leaked.graph, leaked.sched, rec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if det.Found {
+				found++
+				roots := det.RootsTried
+				if roots < 1 {
+					roots = 1
+				}
+				discounted := det.Best.Pc.Prob() * float64(roots)
+				if discounted > 1 {
+					discounted = 1
+				}
+				jointLog += log10(discounted)
+			}
+		}
+		if found*2 > len(copies[u].recs) && jointLog < -3 {
+			if guilty != "" {
+				t.Fatalf("both %s and %s matched the leak", guilty, u)
+			}
+			guilty = u
+		}
+		t.Logf("%s: %d/%d records found, joint log10 evidence %.1f", u, found, len(copies[u].recs), jointLog)
+	}
+	if guilty != "licensee-b" {
+		t.Fatalf("fingerprinting blamed %q, want licensee-b", guilty)
+	}
+}
+
+func log10(x float64) float64 {
+	if x <= 0 {
+		return -300
+	}
+	return math.Log10(x)
+}
+
+// TestSerializationPreservesWatermark writes a marked design through the
+// text format and detects the watermark on the parsed copy.
+func TestSerializationPreservesWatermark(t *testing.T) {
+	g := designs.Layered(designs.MediaBench()[0].Cfg)
+	cp, err := g.CriticalPath()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wm, err := schedwm.Embed(g, prng.Signature("serial"), schedwm.Config{
+		Tau: 20, K: 4, Epsilon: 0.25, Budget: cp + 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := cdfg.Write(&sb, g); err != nil {
+		t.Fatal(err)
+	}
+	back, err := cdfg.Parse(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := sched.ListSchedule(back, sched.ListOpts{UseTemporal: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	back.ClearTemporalEdges()
+	det, err := schedwm.Detect(back, s, wm.Record())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !det.Found {
+		t.Fatal("watermark lost through serialization")
+	}
+}
+
+// TestColoringMatchesLeftEdgeOnIntervals cross-checks two substrates:
+// register binding by the left-edge algorithm and by coloring the
+// lifetime interference graph. On interval conflicts the left-edge count
+// is optimal, so DSATUR can never beat it and normally ties it.
+func TestColoringMatchesLeftEdgeOnIntervals(t *testing.T) {
+	g := designs.EighthOrderCFIIR()
+	s, err := sched.ListSchedule(g, sched.ListOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ls, err := sched.Lifetimes(g, s, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bind := sched.LeftEdgeBind(ls)
+
+	// Interference graph over the stored lifetimes.
+	var stored []sched.Lifetime
+	for _, l := range ls {
+		if l.End > l.Start {
+			stored = append(stored, l)
+		}
+	}
+	ig := gcolor.NewGraph(len(stored))
+	for i := 0; i < len(stored); i++ {
+		for j := i + 1; j < len(stored); j++ {
+			a, b := stored[i], stored[j]
+			if a.Start < b.End && b.Start < a.End {
+				if err := ig.AddEdge(i, j); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	col := gcolor.DSATUR(ig)
+	if err := col.Valid(ig); err != nil {
+		t.Fatal(err)
+	}
+	if col.Colors() < bind.Count {
+		t.Fatalf("coloring used %d registers, below the interval optimum %d",
+			col.Colors(), bind.Count)
+	}
+	if col.Colors() > bind.Count+1 {
+		t.Fatalf("DSATUR register count %d far above left-edge %d", col.Colors(), bind.Count)
+	}
+}
+
+// TestVLIWRoundTripWithRegisterPressure runs the full Table I pipeline on
+// one app and additionally checks the marked schedule's register pressure
+// stays close to the baseline's — watermarking shouldn't silently explode
+// storage either.
+func TestVLIWRoundTripWithRegisterPressure(t *testing.T) {
+	m := vliw.Default()
+	base := designs.Layered(designs.MediaBench()[3].Cfg)
+	g := designs.Layered(designs.MediaBench()[3].Cfg)
+	cp, err := g.CriticalPath()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wms, err := schedwm.EmbedMany(g, prng.Signature("pressure"), schedwm.Config{
+		Tau: 24, K: 6, TauPrime: 7, Epsilon: 0.25, Budget: cp + 8,
+		OpWeight: m.OpWeight()}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, wm := range wms {
+		if _, err := schedwm.Materialize(g, wm); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g.ClearTemporalEdges()
+	oh, _, _, err := m.Overhead(base, g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if oh > 0.05 {
+		t.Fatalf("cycle overhead %.1f%% out of regime", oh*100)
+	}
+
+	sb, err := sched.ListSchedule(base, sched.ListOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sm, err := sched.ListSchedule(g, sched.ListOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := sched.MinRegisters(base, sb, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rm, err := sched.MinRegisters(g, sm, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if float64(rm) > 1.25*float64(rb)+4 {
+		t.Fatalf("register pressure exploded: %d -> %d", rb, rm)
+	}
+	t.Logf("registers: baseline %d, marked %d; cycle overhead %.2f%%", rb, rm, oh*100)
+}
+
+// TestCrossProtocolInterference ensures the two watermark types coexist:
+// the template watermark's PPO set doesn't invalidate the scheduling
+// watermark's constraints and vice versa (they operate on orthogonal
+// solution dimensions).
+func TestCrossProtocolInterference(t *testing.T) {
+	g := designs.DAConverter()
+	lib := tmatch.StandardLibrary()
+	cp, err := g.CriticalPath()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sig := prng.Signature("coexist")
+	swm, err := schedwm.Embed(g, sig, schedwm.Config{
+		Tau: 16, K: 3, TauPrime: 2, Epsilon: 0.4, Budget: cp + 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	twm, err := tmwm.Embed(g, sig, tmwm.Config{
+		Z: 2, Epsilon: 0.25, WholeGraph: true, Lib: lib, Budget: cp + 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Schedule with the temporal constraints, cover with the PPO
+	// constraints: both succeed on the same graph.
+	s, err := sched.ListSchedule(g, sched.ListOpts{UseTemporal: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	enforced, cons := twm.Constraints()
+	if _, err := tmatch.GreedyCover(g, lib, cons, enforced); err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range swm.Edges {
+		if s.Steps[e.From] >= s.Steps[e.To] {
+			t.Fatal("scheduling constraint violated in combined flow")
+		}
+	}
+}
+
+// TestHostEmbeddingEndToEnd is the full ipreuse story as a test: mark,
+// schedule, integrate into a host, detect inside; crop back out, detect
+// again.
+func TestHostEmbeddingEndToEnd(t *testing.T) {
+	core := designs.Layered(designs.MediaBench()[0].Cfg)
+	cp, err := core.CriticalPath()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wms, err := schedwm.EmbedMany(core, prng.Signature("e2e"), schedwm.Config{
+		Tau: 20, K: 4, Epsilon: 0.25, Budget: cp + 6}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coreSched, err := sched.ListSchedule(core, sched.ListOpts{UseTemporal: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	shipped := core.Clone()
+	shipped.ClearTemporalEdges()
+
+	host := designs.Layered(designs.MediaBench()[5].Cfg)
+	hostSched, err := sched.ListSchedule(host, sched.ListOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	merged, err := attack.EmbedIntoHost(host, hostSched, shipped, coreSched,
+		prng.MustBitstream([]byte("integrator")), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	foundInHost := 0
+	for _, wm := range wms {
+		det, err := schedwm.Detect(merged.Graph, merged.Schedule, wm.Record())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if det.Found {
+			foundInHost++
+		}
+	}
+	if foundInHost == 0 {
+		t.Fatal("no watermark detected inside the host")
+	}
+
+	keep := make([]cdfg.NodeID, 0, len(merged.CoreMap))
+	for _, v := range merged.CoreMap {
+		keep = append(keep, v)
+	}
+	crop, err := attack.Crop(merged.Graph, merged.Schedule, keep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	foundInCrop := 0
+	for _, wm := range wms {
+		det, err := schedwm.Detect(crop.Graph, crop.Schedule, wm.Record())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if det.Found {
+			foundInCrop++
+		}
+	}
+	if foundInCrop == 0 {
+		t.Fatal("no watermark detected in the cropped partition")
+	}
+	t.Logf("detected %d/%d in host, %d/%d in cropped partition",
+		foundInHost, len(wms), foundInCrop, len(wms))
+}

@@ -1,0 +1,286 @@
+// Package attack simulates the adversarial scenarios of the paper's
+// threat model, so the evaluation can measure what the protocol only
+// argues analytically:
+//
+//   - local tampering — an attacker perturbs the published schedule in
+//     small legal steps, hoping the watermark evidence decays before the
+//     design quality does;
+//   - cropping — a valuable partition is cut out of the design and reused
+//     on its own;
+//   - embedding — the stolen core is integrated into a larger system and
+//     shipped as part of it.
+//
+// Local watermarks are designed to survive the last two (each watermark is
+// detectable within its own locality) and to make the first expensive (the
+// attacker must alter a majority of the solution to erase the proof).
+package attack
+
+import (
+	"fmt"
+
+	"localwm/internal/cdfg"
+	"localwm/internal/prng"
+	"localwm/internal/sched"
+)
+
+// MoveRandomOp makes one legal local modification to the schedule: a
+// pseudo-randomly chosen operation is moved to a different step inside its
+// precedence-feasible window (data and control edges only — the attacker
+// does not know, or honor, watermark constraints). It reports whether a
+// move happened (an op whose window is a single step cannot move).
+func MoveRandomOp(g *cdfg.Graph, s *sched.Schedule, bs *prng.Bitstream) bool {
+	comp := g.Computational()
+	if len(comp) == 0 {
+		return false
+	}
+	v := comp[bs.Intn(len(comp))]
+	lo, hi := legalWindow(g, s, v)
+	if lo >= hi {
+		return false
+	}
+	// Choose a different step uniformly from the window.
+	step := lo + bs.Intn(hi-lo+1)
+	if step == s.Steps[v] {
+		return false
+	}
+	s.Steps[v] = step
+	return true
+}
+
+// legalWindow returns the steps op v may occupy given the current
+// placement of its structural neighbors.
+func legalWindow(g *cdfg.Graph, s *sched.Schedule, v cdfg.NodeID) (lo, hi int) {
+	lo, hi = 1, s.Budget
+	for _, u := range g.DataIn(v) {
+		if s.Steps[u] >= lo {
+			lo = s.Steps[u] + 1
+		}
+	}
+	for _, u := range g.ControlIn(v) {
+		if s.Steps[u] >= lo {
+			lo = s.Steps[u] + 1
+		}
+	}
+	for _, w := range g.DataOut(v) {
+		if s.Steps[w] != 0 && s.Steps[w]-1 < hi {
+			hi = s.Steps[w] - 1
+		}
+	}
+	for _, w := range g.ControlOut(v) {
+		if s.Steps[w] != 0 && s.Steps[w]-1 < hi {
+			hi = s.Steps[w] - 1
+		}
+	}
+	return lo, hi
+}
+
+// Perturb applies up to n random legal schedule modifications and returns
+// how many actually moved an operation. The schedule remains verifiable
+// against the structural edges throughout.
+func Perturb(g *cdfg.Graph, s *sched.Schedule, n int, bs *prng.Bitstream) int {
+	moved := 0
+	for i := 0; i < n; i++ {
+		if MoveRandomOp(g, s, bs) {
+			moved++
+		}
+	}
+	return moved
+}
+
+// RenumberResult is a design whose node identities were shuffled.
+type RenumberResult struct {
+	Graph    *cdfg.Graph
+	Schedule *sched.Schedule
+	// ToNew maps original node IDs to the renumbered design's IDs.
+	ToNew map[cdfg.NodeID]cdfg.NodeID
+}
+
+// Renumber rebuilds the design with its nodes in a pseudo-random order —
+// the cheapest identity-scrubbing attack: the netlist is untouched, only
+// the arbitrary labels change. Structural watermark identification
+// (criteria C1–C3, fingerprints) is supposed to shrug this off wherever
+// the canonical ordering needed no identity tie-breaks; the attack test
+// measures exactly that. Node names are replaced with positional ones so
+// no identity leaks through labels either.
+func Renumber(g *cdfg.Graph, s *sched.Schedule, bs *prng.Bitstream) (*RenumberResult, error) {
+	n := g.Len()
+	perm := bs.Perm(n) // perm[newID] = oldID
+	res := &RenumberResult{
+		Graph: cdfg.New(n),
+		ToNew: make(map[cdfg.NodeID]cdfg.NodeID, n),
+	}
+	for newID, oldIdx := range perm {
+		old := g.Node(cdfg.NodeID(oldIdx))
+		id := res.Graph.AddNode(fmt.Sprintf("v%d", newID), old.Op)
+		res.ToNew[old.ID] = id
+	}
+	for _, old := range g.Nodes() {
+		for _, u := range g.DataIn(old.ID) {
+			if err := res.Graph.AddEdge(res.ToNew[u], res.ToNew[old.ID], cdfg.DataEdge); err != nil {
+				return nil, err
+			}
+		}
+		for _, u := range g.ControlIn(old.ID) {
+			if err := res.Graph.AddEdge(res.ToNew[u], res.ToNew[old.ID], cdfg.ControlEdge); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if s != nil {
+		res.Schedule = &sched.Schedule{Steps: make([]int, n), Budget: s.Budget}
+		for old, new := range res.ToNew {
+			res.Schedule.Steps[new] = s.Steps[old]
+		}
+		if err := sched.Verify(res.Graph, res.Schedule, sched.Unlimited, false); err != nil {
+			return nil, fmt.Errorf("attack: renumbered schedule invalid: %v", err)
+		}
+	}
+	return res, nil
+}
+
+// Reschedule simulates the one attack the paper concedes: the thief
+// re-runs synthesis from scratch on the stolen specification, discarding
+// the marked schedule entirely. The watermark in the schedule order is
+// gone — but the attacker has paid the full design cost the theft was
+// meant to avoid ("forcing him/her to repeat the design process"), and
+// any marks carried by other solution dimensions (template matchings,
+// colorings) survive. Returns the fresh schedule.
+func Reschedule(g *cdfg.Graph) (*sched.Schedule, error) {
+	fresh := g.Clone()
+	fresh.ClearTemporalEdges()
+	s, err := sched.ListSchedule(fresh, sched.ListOpts{})
+	if err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// CropResult is a cut-out partition of a scheduled design.
+type CropResult struct {
+	Graph    *cdfg.Graph
+	Schedule *sched.Schedule
+	// ToSub maps original node IDs to IDs in the cropped design.
+	ToSub map[cdfg.NodeID]cdfg.NodeID
+}
+
+// Crop extracts the induced subdesign over keep, carrying the schedule
+// along (steps are renumbered so the earliest kept operation lands on step
+// 1 — the thief ships a self-contained component). Temporal edges are NOT
+// carried: the shipped artifact has no watermark constraints in it.
+func Crop(g *cdfg.Graph, s *sched.Schedule, keep []cdfg.NodeID) (*CropResult, error) {
+	res, err := g.InducedSubgraph(keep)
+	if err != nil {
+		return nil, err
+	}
+	res.Graph.ClearTemporalEdges()
+	min := 0
+	for _, orig := range res.ToOrig {
+		if st := s.Steps[orig]; st > 0 && (min == 0 || st < min) {
+			min = st
+		}
+	}
+	sub := &sched.Schedule{Steps: make([]int, res.Graph.Len())}
+	for subID, orig := range res.ToOrig {
+		if st := s.Steps[orig]; st > 0 {
+			sub.Steps[subID] = st - min + 1
+			if sub.Steps[subID] > sub.Budget {
+				sub.Budget = sub.Steps[subID]
+			}
+		}
+	}
+	if err := sched.Verify(res.Graph, sub, sched.Unlimited, false); err != nil {
+		return nil, fmt.Errorf("attack: cropped schedule invalid: %v", err)
+	}
+	return &CropResult{Graph: res.Graph, Schedule: sub, ToSub: res.ToSub}, nil
+}
+
+// EmbedResult is a stolen core integrated into a host system.
+type EmbedResult struct {
+	Graph    *cdfg.Graph
+	Schedule *sched.Schedule
+	// CoreMap maps core node IDs to IDs in the merged design.
+	CoreMap map[cdfg.NodeID]cdfg.NodeID
+}
+
+// EmbedIntoHost integrates the scheduled core into the scheduled host
+// system, the scenario the paper highlights: "commonly, a misappropriated
+// design is augmented into a larger system". Core node names are prefixed
+// to avoid clashes. When driveInputs is true, every primary input of the
+// core is driven by a pseudo-randomly chosen host operation (the realistic
+// integration); otherwise the core keeps its own inputs (a loosely coupled
+// co-processor). The merged schedule reuses both parties' schedules — the
+// thief does not re-run synthesis, that being the whole point of stealing
+// — with the core shifted past its host drivers.
+func EmbedIntoHost(host *cdfg.Graph, hostSched *sched.Schedule,
+	core *cdfg.Graph, coreSched *sched.Schedule,
+	bs *prng.Bitstream, driveInputs bool) (*EmbedResult, error) {
+
+	merged := host.Clone()
+	merged.ClearTemporalEdges()
+	coreMap := make(map[cdfg.NodeID]cdfg.NodeID, core.Len())
+	for _, n := range core.Nodes() {
+		coreMap[n.ID] = merged.AddNode("core_"+n.Name, n.Op)
+	}
+	for _, n := range core.Nodes() {
+		for _, u := range core.DataIn(n.ID) {
+			if err := merged.AddEdge(coreMap[u], coreMap[n.ID], cdfg.DataEdge); err != nil {
+				return nil, err
+			}
+		}
+		for _, u := range core.ControlIn(n.ID) {
+			if err := merged.AddEdge(coreMap[u], coreMap[n.ID], cdfg.ControlEdge); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	offset := 0
+	if driveInputs {
+		hostComp := host.Computational()
+		if len(hostComp) == 0 {
+			return nil, fmt.Errorf("attack: host has no computational nodes")
+		}
+		for _, in := range core.Inputs() {
+			driver := hostComp[bs.Intn(len(hostComp))]
+			// The core input node becomes a unit op forwarding the host
+			// value, preserving the core's internal structure while wiring
+			// it into the system dataflow.
+			mergedIn := coreMap[in]
+			merged.SetOp(mergedIn, cdfg.OpUnit)
+			if err := merged.AddEdge(driver, mergedIn, cdfg.DataEdge); err != nil {
+				return nil, err
+			}
+			if st := hostSched.Steps[driver]; st+1 > offset {
+				offset = st + 1
+			}
+		}
+	}
+
+	s := &sched.Schedule{Steps: make([]int, merged.Len())}
+	for v := 0; v < host.Len(); v++ {
+		s.Steps[v] = hostSched.Steps[v]
+	}
+	for coreID, mergedID := range coreMap {
+		orig := coreSched.Steps[coreID]
+		switch {
+		case orig > 0:
+			s.Steps[mergedID] = orig + offset
+		case driveInputs && core.Node(coreID).Op == cdfg.OpInput:
+			// Re-typed forwarding op: schedule it right at the offset step.
+			s.Steps[mergedID] = offset
+		}
+	}
+	s.Budget = 0
+	for _, st := range s.Steps {
+		if st > s.Budget {
+			s.Budget = st
+		}
+	}
+	if s.Budget < hostSched.Budget {
+		s.Budget = hostSched.Budget
+	}
+	if err := sched.Verify(merged, s, sched.Unlimited, false); err != nil {
+		return nil, fmt.Errorf("attack: merged schedule invalid: %v", err)
+	}
+	return &EmbedResult{Graph: merged, Schedule: s, CoreMap: coreMap}, nil
+}

@@ -1,0 +1,337 @@
+package attack
+
+import (
+	"testing"
+
+	"localwm/internal/cdfg"
+	"localwm/internal/designs"
+	"localwm/internal/prng"
+	"localwm/internal/sched"
+	"localwm/internal/schedwm"
+)
+
+// markedDesign builds a scheduled, watermarked MediaBench-style design and
+// returns (graph without temporal edges, schedule honoring them, records,
+// edges).
+func markedDesign(t *testing.T, appIdx, nWM int) (*cdfg.Graph, *sched.Schedule, []schedwm.Record, []cdfg.Edge) {
+	t.Helper()
+	g := designs.Layered(designs.MediaBench()[appIdx].Cfg)
+	cp, err := g.CriticalPath()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := schedwm.Config{Tau: 28, K: 4, TauPrime: 5, Epsilon: 0.25, Budget: cp + 6}
+	wms, err := schedwm.EmbedMany(g, prng.Signature("alice"), cfg, nWM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := sched.ListSchedule(g, sched.ListOpts{UseTemporal: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pad the budget so the attacker has room to move ops around.
+	s.Budget += 4
+	var recs []schedwm.Record
+	var edges []cdfg.Edge
+	for _, wm := range wms {
+		recs = append(recs, wm.Record())
+		edges = append(edges, wm.Edges...)
+	}
+	shipped := g.Clone()
+	shipped.ClearTemporalEdges()
+	return shipped, s, recs, edges
+}
+
+func TestMoveRandomOpPreservesLegality(t *testing.T) {
+	g, s, _, _ := markedDesign(t, 0, 1)
+	bs := prng.MustBitstream([]byte("attacker"))
+	moved := Perturb(g, s, 500, bs)
+	if moved == 0 {
+		t.Fatal("no op could be moved")
+	}
+	if err := sched.Verify(g, s, sched.Unlimited, false); err != nil {
+		t.Fatalf("perturbed schedule illegal: %v", err)
+	}
+}
+
+func TestTamperSweepMonotoneDecay(t *testing.T) {
+	g, s, _, edges := markedDesign(t, 1, 3)
+	bs := prng.MustBitstream([]byte("attacker"))
+	pts, err := TamperSweep(g, s, edges, []int{0, 50, 200, 1000, 5000}, bs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pts[0].Satisfied != pts[0].Total {
+		t.Fatalf("before tampering %d/%d constraints hold", pts[0].Satisfied, pts[0].Total)
+	}
+	if pts[0].AlteredPct != 0 {
+		t.Fatal("zero moves altered the schedule")
+	}
+	last := pts[len(pts)-1]
+	if last.AlteredPct <= 0 {
+		t.Fatal("5000 moves altered nothing")
+	}
+	// Decay: the last sample cannot satisfy more than the first.
+	if last.Satisfied > pts[0].Satisfied {
+		t.Fatal("evidence grew under tampering")
+	}
+	t.Logf("tamper sweep: %d/%d constraints after %d moves, %.0f%% of ops moved, residual Pc %v",
+		last.Satisfied, last.Total, last.Moves, last.AlteredPct*100, last.ResidualPc)
+}
+
+func TestTamperSweepValidation(t *testing.T) {
+	g, s, _, edges := markedDesign(t, 0, 1)
+	bs := prng.MustBitstream([]byte("x"))
+	if _, err := TamperSweep(g, s, nil, []int{1}, bs); err == nil {
+		t.Fatal("no-edge sweep accepted")
+	}
+	if _, err := TamperSweep(g, s, edges, []int{5, 1}, bs); err == nil {
+		t.Fatal("decreasing checkpoints accepted")
+	}
+}
+
+func TestMovesToEraseIsExpensive(t *testing.T) {
+	g, s, _, edges := markedDesign(t, 1, 8)
+	if len(edges) < 6 {
+		t.Skipf("only %d edges embedded", len(edges))
+	}
+	bs := prng.MustBitstream([]byte("eraser"))
+	moves, erased, err := MovesToErase(g, s, edges, 1e-2, 20000, bs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	comp := len(g.Computational())
+	t.Logf("erasing to Pc>=1e-2 took %d moves (design has %d ops, erased=%v)",
+		moves, comp, erased)
+	if erased && moves < comp/10 {
+		t.Fatalf("watermark erased after only %d moves on a %d-op design", moves, comp)
+	}
+}
+
+func TestMovesToEraseValidation(t *testing.T) {
+	g, s, _, edges := markedDesign(t, 0, 1)
+	bs := prng.MustBitstream([]byte("x"))
+	if _, _, err := MovesToErase(g, s, edges, 0, 10, bs); err == nil {
+		t.Fatal("target 0 accepted")
+	}
+}
+
+// TestCropPreservesDetection exercises the paper's partition-protection
+// claim: a marked core is integrated into a larger system, then a second
+// party cuts the core partition back out; the cropped partition still
+// carries its local watermarks.
+func TestCropPreservesDetection(t *testing.T) {
+	core, coreSched, recs, _ := markedDesign(t, 0, 2)
+	host := designs.Layered(designs.MediaBench()[3].Cfg)
+	hostSched, err := sched.ListSchedule(host, sched.ListOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bs := prng.MustBitstream([]byte("thief"))
+	merged, err := EmbedIntoHost(host, hostSched, core, coreSched, bs, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cut the core partition back out of the big design.
+	var keep []cdfg.NodeID
+	for _, mergedID := range merged.CoreMap {
+		keep = append(keep, mergedID)
+	}
+	crop, err := Crop(merged.Graph, merged.Schedule, keep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if crop.Graph.Len() != core.Len() {
+		t.Fatalf("cropped partition has %d nodes, core had %d", crop.Graph.Len(), core.Len())
+	}
+	found := 0
+	for _, rec := range recs {
+		det, err := schedwm.Detect(crop.Graph, crop.Schedule, rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if det.Found {
+			found++
+		}
+	}
+	if found == 0 {
+		t.Fatalf("no watermark (of %d) detected in the cropped partition", len(recs))
+	}
+	t.Logf("partition of %d nodes cut from a %d-node system; %d/%d watermarks detected",
+		crop.Graph.Len(), merged.Graph.Len(), found, len(recs))
+}
+
+// TestCropConeKeepsWatermark crops a window around one watermark's own
+// fan-in cone (using embedding-side knowledge of the root) and checks the
+// locality remains detectable: the sharpest form of "protection for parts
+// of the design".
+func TestCropConeKeepsWatermark(t *testing.T) {
+	g := designs.Layered(designs.MediaBench()[2].Cfg)
+	cp, err := g.CriticalPath()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := schedwm.Config{Tau: 20, K: 4, Epsilon: 0.25, Budget: cp + 6}
+	wms, err := schedwm.EmbedMany(g, prng.Signature("alice"), cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wm := wms[0]
+	s, err := sched.ListSchedule(g, sched.ListOpts{UseTemporal: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	shipped := g.Clone()
+	shipped.ClearTemporalEdges()
+
+	// Keep the root's fan-in cone out to the candidate-tree distance plus
+	// the ordering-refinement horizon, so the domain derivation sees the
+	// identical neighborhood.
+	tree, err := shipped.FaninTree(wm.Root, cfg.Tau+14)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var keep []cdfg.NodeID
+	for v := range tree {
+		keep = append(keep, v)
+	}
+	crop, err := Crop(shipped, s, keep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	det, err := schedwm.Detect(crop.Graph, crop.Schedule, wm.Record())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !det.Found {
+		t.Fatalf("watermark lost in cone crop (%d of %d nodes kept; best %d/%d)",
+			crop.Graph.Len(), shipped.Len(), det.Best.Satisfied, det.Best.Total)
+	}
+	t.Logf("cone crop kept %d/%d nodes; watermark detected at %s",
+		crop.Graph.Len(), shipped.Len(), crop.Graph.Node(det.Best.Root).Name)
+}
+
+func TestEmbedIntoHostPreservesDetection(t *testing.T) {
+	core, coreSched, recs, _ := markedDesign(t, 0, 2)
+	host := designs.Layered(designs.MediaBench()[3].Cfg)
+	hostSched, err := sched.ListSchedule(host, sched.ListOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, drive := range []bool{false, true} {
+		bs := prng.MustBitstream([]byte("thief"))
+		res, err := EmbedIntoHost(host, hostSched, core, coreSched, bs, drive)
+		if err != nil {
+			t.Fatalf("drive=%v: %v", drive, err)
+		}
+		if res.Graph.Len() != host.Len()+core.Len() {
+			t.Fatal("merged design has wrong size")
+		}
+		found := 0
+		for _, rec := range recs {
+			det, err := schedwm.Detect(res.Graph, res.Schedule, rec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if det.Found {
+				found++
+			}
+		}
+		if found == 0 {
+			t.Fatalf("drive=%v: no watermark detected inside the host system", drive)
+		}
+		t.Logf("drive=%v: %d/%d watermarks detected inside a %d-op system",
+			drive, found, len(recs), res.Graph.Len())
+	}
+}
+
+// TestRescheduleErasesScheduleMarkOnly documents the protocol boundary
+// the paper concedes: a thief who re-runs synthesis from scratch destroys
+// the schedule-order watermark (at the price of redoing the design work),
+// while marks in other solution dimensions survive untouched.
+func TestRescheduleErasesScheduleMarkOnly(t *testing.T) {
+	g, _, recs, _ := markedDesign(t, 1, 2)
+	fresh, err := Reschedule(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sched.Verify(g, fresh, sched.Unlimited, false); err != nil {
+		t.Fatal(err)
+	}
+	convinced := 0
+	for _, rec := range recs {
+		det, err := schedwm.Detect(g, fresh, rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if det.Convincing(1e-3) {
+			convinced++
+		}
+	}
+	if convinced != 0 {
+		t.Fatalf("%d watermarks convincingly detected in a from-scratch schedule", convinced)
+	}
+}
+
+// TestRenumberAttack shuffles every node identity and label. Detection
+// relies on structural identification only wherever the canonical
+// ordering needed no identity tie-breaks, so the watermarks of a design
+// with rich structure survive.
+func TestRenumberAttack(t *testing.T) {
+	g, s, recs, _ := markedDesign(t, 2, 3)
+	bs := prng.MustBitstream([]byte("scrubber"))
+	res, err := Renumber(g, s, bs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Graph.String() == g.String() {
+		t.Fatal("renumbering changed nothing")
+	}
+	found := 0
+	for _, rec := range recs {
+		det, err := schedwm.Detect(res.Graph, res.Schedule, rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if det.Found {
+			found++
+		}
+	}
+	if found == 0 {
+		t.Fatalf("no watermark (of %d) survived identity scrubbing", len(recs))
+	}
+	t.Logf("identity scrubbing: %d/%d watermarks still detected", found, len(recs))
+}
+
+func TestRenumberPreservesStructure(t *testing.T) {
+	g, s, _, _ := markedDesign(t, 0, 1)
+	bs := prng.MustBitstream([]byte("x"))
+	res, err := Renumber(g, s, bs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cpA, err := g.CriticalPath()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cpB, err := res.Graph.CriticalPath()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cpA != cpB {
+		t.Fatalf("renumbering changed the critical path: %d -> %d", cpA, cpB)
+	}
+	dataA, _, _ := g.EdgeCount()
+	dataB, _, _ := res.Graph.EdgeCount()
+	if dataA != dataB || g.Len() != res.Graph.Len() {
+		t.Fatal("renumbering changed the structure")
+	}
+}
+
+func TestCropInvalidKeepSet(t *testing.T) {
+	g, s, _, _ := markedDesign(t, 0, 1)
+	a := g.Computational()[0]
+	if _, err := Crop(g, s, []cdfg.NodeID{a, a}); err == nil {
+		t.Fatal("duplicate keep set accepted")
+	}
+}

@@ -1,0 +1,127 @@
+package attack
+
+import (
+	"fmt"
+
+	"localwm/internal/cdfg"
+	"localwm/internal/prng"
+	"localwm/internal/sched"
+	"localwm/internal/stats"
+)
+
+// TamperPoint is one sample of a tamper-resistance sweep.
+type TamperPoint struct {
+	Moves      int           // cumulative successful schedule modifications
+	Satisfied  int           // watermark constraints the schedule still satisfies
+	Total      int           // constraints embedded
+	ResidualPc stats.LogProb // chance probability of the surviving evidence
+	AlteredPct float64       // fraction of operations whose step changed
+}
+
+// TamperSweep measures how watermark evidence decays as an attacker makes
+// random legal schedule modifications — the Monte-Carlo counterpart of the
+// paper's analytic claim that erasing the proof of authorship requires
+// altering a majority of the final solution. edges are the embedded
+// temporal constraints (in the graph's node IDs); checkpoints lists the
+// cumulative move counts at which to sample.
+func TamperSweep(g *cdfg.Graph, s *sched.Schedule, edges []cdfg.Edge,
+	checkpoints []int, bs *prng.Bitstream) ([]TamperPoint, error) {
+	if len(edges) == 0 {
+		return nil, fmt.Errorf("attack: no watermark constraints to track")
+	}
+	budget := s.Budget
+	if budget < s.Makespan() {
+		budget = s.Makespan()
+	}
+	w, err := sched.ComputeWindows(g, budget, false)
+	if err != nil {
+		return nil, err
+	}
+	orig := append([]int(nil), s.Steps...)
+	work := s.Clone()
+
+	sample := func(moves int) (TamperPoint, error) {
+		pt := TamperPoint{Moves: moves, Total: len(edges)}
+		for _, e := range edges {
+			if work.Steps[e.From] < work.Steps[e.To] {
+				pt.Satisfied++
+				p, err := stats.OrderProb(w.ASAP[e.From], w.ALAP[e.From], w.ASAP[e.To], w.ALAP[e.To])
+				if err != nil {
+					return pt, err
+				}
+				pt.ResidualPc = pt.ResidualPc.Mul(stats.FromProb(p))
+			}
+		}
+		altered := 0
+		comp := 0
+		for v, st := range work.Steps {
+			if !g.Node(cdfg.NodeID(v)).Op.IsComputational() {
+				continue
+			}
+			comp++
+			if st != orig[v] {
+				altered++
+			}
+		}
+		if comp > 0 {
+			pt.AlteredPct = float64(altered) / float64(comp)
+		}
+		return pt, nil
+	}
+
+	var out []TamperPoint
+	done := 0
+	for _, cp := range checkpoints {
+		if cp < done {
+			return nil, fmt.Errorf("attack: checkpoints must be non-decreasing")
+		}
+		for done < cp {
+			MoveRandomOp(g, work, bs)
+			done++
+		}
+		pt, err := sample(done)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pt)
+	}
+	return out, nil
+}
+
+// MovesToErase runs random tampering until the residual coincidence
+// probability rises above target (i.e. the evidence is considered erased)
+// or maxMoves is reached, returning the number of moves used and whether
+// erasure succeeded. A high move count relative to the design size is the
+// experimentally observed cost the paper's analysis predicts.
+func MovesToErase(g *cdfg.Graph, s *sched.Schedule, edges []cdfg.Edge,
+	target float64, maxMoves int, bs *prng.Bitstream) (int, bool, error) {
+	if target <= 0 || target >= 1 {
+		return 0, false, fmt.Errorf("attack: target %v outside (0,1)", target)
+	}
+	budget := s.Budget
+	if budget < s.Makespan() {
+		budget = s.Makespan()
+	}
+	w, err := sched.ComputeWindows(g, budget, false)
+	if err != nil {
+		return 0, false, err
+	}
+	work := s.Clone()
+	residual := func() stats.LogProb {
+		pc := stats.LogProb(0)
+		for _, e := range edges {
+			if work.Steps[e.From] < work.Steps[e.To] {
+				p, _ := stats.OrderProb(w.ASAP[e.From], w.ALAP[e.From], w.ASAP[e.To], w.ALAP[e.To])
+				pc = pc.Mul(stats.FromProb(p))
+			}
+		}
+		return pc
+	}
+	for moves := 1; moves <= maxMoves; moves++ {
+		MoveRandomOp(g, work, bs)
+		if residual().Prob() >= target {
+			return moves, true, nil
+		}
+	}
+	return maxMoves, false, nil
+}

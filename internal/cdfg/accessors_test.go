@@ -1,0 +1,52 @@
+package cdfg
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAccessors(t *testing.T) {
+	g := diamond(t)
+	a, b := g.MustNode("a"), g.MustNode("b")
+	if !contains(g.DataOut(a), b) {
+		t.Fatal("DataOut misses consumer")
+	}
+	c := g.MustNode("c")
+	g.MustAddEdge(b, c, ControlEdge)
+	if !contains(g.ControlOut(b), c) {
+		t.Fatal("ControlOut misses sink")
+	}
+	if got := EdgeKind(DataEdge).String(); got != "data" {
+		t.Fatalf("kind string %q", got)
+	}
+	if got := EdgeKind(99).String(); !strings.Contains(got, "99") {
+		t.Fatalf("unknown kind string %q", got)
+	}
+	g.SetOp(a, OpSub)
+	if g.Node(a).Op != OpSub {
+		t.Fatal("SetOp did not stick")
+	}
+}
+
+func TestMustAddEdgePanics(t *testing.T) {
+	g := diamond(t)
+	a := g.MustNode("a")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustAddEdge on self-loop did not panic")
+		}
+	}()
+	g.MustAddEdge(a, a, DataEdge)
+}
+
+func TestOpArityTable(t *testing.T) {
+	for _, op := range AllOps() {
+		min, max := opArity(op)
+		if min < 0 {
+			t.Fatalf("%v: negative min arity", op)
+		}
+		if max >= 0 && max < min {
+			t.Fatalf("%v: max %d below min %d", op, max, min)
+		}
+	}
+}

@@ -1,0 +1,51 @@
+package cdfg
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWriteDot(t *testing.T) {
+	g := diamond(t)
+	g.MustAddEdge(g.MustNode("b"), g.MustNode("c"), TemporalEdge)
+	var sb strings.Builder
+	hl := map[NodeID]bool{g.MustNode("a"): true}
+	if err := WriteDot(&sb, g, hl); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"digraph cdfg",
+		"shape=box",            // input/output nodes
+		"style=dashed",         // no control edges here... (see below)
+		"style=bold color=red", // the temporal edge
+		"fillcolor=gold",       // the highlight
+	} {
+		if want == "style=dashed" {
+			continue // diamond has no control edges; checked separately
+		}
+		if !strings.Contains(out, want) {
+			t.Fatalf("DOT output missing %q:\n%s", want, out)
+		}
+	}
+	// Node and edge counts.
+	if got := strings.Count(out, " -> "); got != 9+1 { // 9 data + 1 temporal
+		t.Fatalf("DOT has %d edges, want 10", got)
+	}
+
+	// Control edges render dashed.
+	g2 := New(3)
+	a := g2.AddNode("a", OpInput)
+	b := g2.AddNode("b", OpUnit)
+	g2.MustAddEdge(a, b, DataEdge)
+	c := g2.AddNode("c", OpUnit)
+	g2.MustAddEdge(a, c, DataEdge)
+	g2.MustAddEdge(b, c, ControlEdge)
+	var sb2 strings.Builder
+	if err := WriteDot(&sb2, g2, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb2.String(), "style=dashed") {
+		t.Fatal("control edge not dashed")
+	}
+}

@@ -1,0 +1,124 @@
+package cdfg
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Text format
+//
+// The serialization is a line-oriented format designed for hand-editing
+// benchmark designs and for the lwm command-line tool:
+//
+//	# comment
+//	node <name> <op>
+//	edge <from-name> <to-name> [data|ctrl|temp]
+//
+// Node lines must precede the edge lines that reference them. Data-edge
+// order in the file defines input-slot order.
+
+// Write serializes g to w in the text format.
+func Write(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	for _, n := range g.Nodes() {
+		fmt.Fprintf(bw, "node %s %s\n", n.Name, n.Op)
+	}
+	// Data and control edges in destination-slot order, temporal edges in
+	// insertion order, so Write∘Parse is the identity on structure.
+	for _, n := range g.Nodes() {
+		for _, u := range g.DataIn(n.ID) {
+			fmt.Fprintf(bw, "edge %s %s data\n", g.Node(u).Name, n.Name)
+		}
+	}
+	for _, n := range g.Nodes() {
+		for _, u := range g.ctrlIn[n.ID] {
+			fmt.Fprintf(bw, "edge %s %s ctrl\n", g.Node(u).Name, n.Name)
+		}
+	}
+	for _, e := range g.TemporalEdges() {
+		fmt.Fprintf(bw, "edge %s %s temp\n", g.Node(e.From).Name, g.Node(e.To).Name)
+	}
+	return bw.Flush()
+}
+
+// String renders the graph in the text format (for debugging and golden
+// tests).
+func (g *Graph) String() string {
+	var sb strings.Builder
+	if err := Write(&sb, g); err != nil {
+		return fmt.Sprintf("cdfg: %v", err)
+	}
+	return sb.String()
+}
+
+// Parse reads a graph in the text format. The parsed graph is validated
+// before being returned.
+func Parse(r io.Reader) (*Graph, error) {
+	g := New(0)
+	byName := map[string]NodeID{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	lineno := 0
+	for sc.Scan() {
+		lineno++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "node":
+			if len(fields) != 3 {
+				return nil, fmt.Errorf("cdfg: line %d: want 'node <name> <op>', got %q", lineno, line)
+			}
+			name := fields[1]
+			if _, dup := byName[name]; dup {
+				return nil, fmt.Errorf("cdfg: line %d: duplicate node %q", lineno, name)
+			}
+			op, err := ParseOp(fields[2])
+			if err != nil {
+				return nil, fmt.Errorf("cdfg: line %d: %v", lineno, err)
+			}
+			byName[name] = g.AddNode(name, op)
+		case "edge":
+			if len(fields) != 3 && len(fields) != 4 {
+				return nil, fmt.Errorf("cdfg: line %d: want 'edge <from> <to> [kind]', got %q", lineno, line)
+			}
+			from, ok := byName[fields[1]]
+			if !ok {
+				return nil, fmt.Errorf("cdfg: line %d: unknown node %q", lineno, fields[1])
+			}
+			to, ok := byName[fields[2]]
+			if !ok {
+				return nil, fmt.Errorf("cdfg: line %d: unknown node %q", lineno, fields[2])
+			}
+			kind := DataEdge
+			if len(fields) == 4 {
+				switch fields[3] {
+				case "data":
+					kind = DataEdge
+				case "ctrl":
+					kind = ControlEdge
+				case "temp":
+					kind = TemporalEdge
+				default:
+					return nil, fmt.Errorf("cdfg: line %d: unknown edge kind %q", lineno, fields[3])
+				}
+			}
+			if err := g.AddEdge(from, to, kind); err != nil {
+				return nil, fmt.Errorf("cdfg: line %d: %v", lineno, err)
+			}
+		default:
+			return nil, fmt.Errorf("cdfg: line %d: unknown directive %q", lineno, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("cdfg: read: %v", err)
+	}
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("cdfg: parsed graph invalid: %v", err)
+	}
+	return g, nil
+}

@@ -1,0 +1,320 @@
+package cdfg
+
+import "fmt"
+
+// Path-length convention: a path's length is the number of computational
+// nodes on it (unit-latency operations, i.e. the number of control steps a
+// chained execution needs). Inputs, outputs, constants, and delays
+// contribute zero. This matches the paper's usage, where the critical path
+// and laxities are quoted "in operations" and compared against control-step
+// budgets.
+
+// WeightFunc gives the path-length contribution of an operation. The
+// default (nil) charges 1 per computational node — the control-step
+// metric of behavioral synthesis. A machine model can supply its latency
+// table instead (e.g. vliw.Machine.OpWeight) so that laxity and critical
+// path reflect cycles rather than steps; the watermark embedders accept
+// such a function to keep constraints off machine-critical paths.
+type WeightFunc func(Op) int
+
+// nodeWeight is the contribution of a node to path length.
+func (g *Graph) nodeWeight(opts PathOpts, v NodeID) int {
+	op := g.nodes[v].Op
+	if !op.IsComputational() {
+		return 0
+	}
+	if opts.Weight != nil {
+		return opts.Weight(op)
+	}
+	return 1
+}
+
+// PathOpts selects which edge kinds participate in longest-path queries
+// and how nodes are weighted.
+type PathOpts struct {
+	// IncludeTemporal makes temporal (watermark) edges part of the
+	// precedence relation. Scheduling-related queries set this; the
+	// specification's own critical path does not.
+	IncludeTemporal bool
+	// Weight overrides the unit node weight (see WeightFunc). Only
+	// computational nodes are charged either way.
+	Weight WeightFunc
+}
+
+func (g *Graph) preds(opts PathOpts, dst []NodeID, v NodeID) []NodeID {
+	seen := map[NodeID]bool{}
+	lists := [][]NodeID{g.dataIn[v], g.ctrlIn[v]}
+	if opts.IncludeTemporal {
+		lists = append(lists, g.tempIn[v])
+	}
+	for _, l := range lists {
+		for _, u := range l {
+			if !seen[u] {
+				seen[u] = true
+				dst = append(dst, u)
+			}
+		}
+	}
+	return dst
+}
+
+func (g *Graph) succs(opts PathOpts, dst []NodeID, v NodeID) []NodeID {
+	seen := map[NodeID]bool{}
+	lists := [][]NodeID{g.dataOut[v], g.ctrlOut[v]}
+	if opts.IncludeTemporal {
+		lists = append(lists, g.tempOut[v])
+	}
+	for _, l := range lists {
+		for _, u := range l {
+			if !seen[u] {
+				seen[u] = true
+				dst = append(dst, u)
+			}
+		}
+	}
+	return dst
+}
+
+// LongestTo returns, for every node v, the length of the longest path
+// ending at v, including v's own weight. The graph must be acyclic over
+// the selected edge kinds.
+func (g *Graph) LongestTo(opts PathOpts) ([]int, error) {
+	order, err := g.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	to := make([]int, len(g.nodes))
+	var scratch []NodeID
+	for _, v := range order {
+		best := 0
+		scratch = g.preds(opts, scratch[:0], v)
+		for _, u := range scratch {
+			if to[u] > best {
+				best = to[u]
+			}
+		}
+		to[v] = best + g.nodeWeight(opts, v)
+	}
+	return to, nil
+}
+
+// LongestFrom returns, for every node v, the length of the longest path
+// starting at v, including v's own weight.
+func (g *Graph) LongestFrom(opts PathOpts) ([]int, error) {
+	order, err := g.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	from := make([]int, len(g.nodes))
+	var scratch []NodeID
+	for i := len(order) - 1; i >= 0; i-- {
+		v := order[i]
+		best := 0
+		scratch = g.succs(opts, scratch[:0], v)
+		for _, w := range scratch {
+			if from[w] > best {
+				best = from[w]
+			}
+		}
+		from[v] = best + g.nodeWeight(opts, v)
+	}
+	return from, nil
+}
+
+// CriticalPath returns the length of the longest path in the graph over
+// data+control edges (the specification's critical path C, in operations).
+func (g *Graph) CriticalPath() (int, error) { return g.CriticalPathW(nil) }
+
+// CriticalPathW is CriticalPath under a custom operation weighting (e.g.
+// machine latencies).
+func (g *Graph) CriticalPathW(weight WeightFunc) (int, error) {
+	to, err := g.LongestTo(PathOpts{Weight: weight})
+	if err != nil {
+		return 0, err
+	}
+	best := 0
+	for _, l := range to {
+		if l > best {
+			best = l
+		}
+	}
+	return best, nil
+}
+
+// Laxities returns, for every node v, the length of the longest path in
+// the graph that contains v (the paper's laxity: "a node n_i has a laxity
+// of x if the longest path that contains n_i traverses the CDFG and has a
+// length of x"). Computed as longest-to(v) + longest-from(v) - weight(v),
+// over data+control edges.
+//
+// Note the paper's convention: a node with HIGH laxity lies on a LONG path
+// (is timing-critical); the watermark protocols therefore keep nodes whose
+// laxity is at most C·(1-ε) away from critical, where C is the critical
+// path length.
+func (g *Graph) Laxities() ([]int, error) { return g.LaxitiesW(nil) }
+
+// LaxitiesW is Laxities under a custom operation weighting (e.g. machine
+// latencies), so a watermark embedder can judge criticality in cycles.
+func (g *Graph) LaxitiesW(weight WeightFunc) ([]int, error) {
+	opts := PathOpts{Weight: weight}
+	to, err := g.LongestTo(opts)
+	if err != nil {
+		return nil, err
+	}
+	from, err := g.LongestFrom(opts)
+	if err != nil {
+		return nil, err
+	}
+	lax := make([]int, len(g.nodes))
+	for v := range lax {
+		lax[v] = to[v] + from[v] - g.nodeWeight(opts, NodeID(v))
+	}
+	return lax, nil
+}
+
+// Levels returns the level L_i of every node with respect to root: the
+// length (in edges, over reversed data edges) of the longest path in the
+// fan-in cone from root to the node. Nodes outside root's transitive
+// fan-in get level -1. This is the quantity used by ordering criterion C1.
+func (g *Graph) Levels(root NodeID) ([]int, error) {
+	if err := g.checkID(root); err != nil {
+		return nil, err
+	}
+	level := make([]int, len(g.nodes))
+	for i := range level {
+		level[i] = -1
+	}
+	level[root] = 0
+	// Longest path over reversed data edges from root. Process nodes in
+	// reverse topological order so every data successor is finalized first.
+	order, err := g.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	for i := len(order) - 1; i >= 0; i-- {
+		v := order[i]
+		if v == root {
+			continue
+		}
+		best := -1
+		for _, w := range g.dataOut[v] {
+			if level[w] >= 0 && level[w]+1 > best {
+				best = level[w] + 1
+			}
+		}
+		level[v] = best
+	}
+	return level, nil
+}
+
+// FaninTree returns the set of nodes whose shortest backward data-edge
+// distance from root is at most maxDist (root itself included, at distance
+// zero), as a map from node to distance. This is the subtree T_o of the
+// domain-selection step.
+func (g *Graph) FaninTree(root NodeID, maxDist int) (map[NodeID]int, error) {
+	if err := g.checkID(root); err != nil {
+		return nil, err
+	}
+	if maxDist < 0 {
+		return nil, fmt.Errorf("cdfg: negative fan-in distance %d", maxDist)
+	}
+	dist := map[NodeID]int{root: 0}
+	frontier := []NodeID{root}
+	for d := 1; d <= maxDist && len(frontier) > 0; d++ {
+		var next []NodeID
+		for _, v := range frontier {
+			for _, u := range g.dataIn[v] {
+				if _, ok := dist[u]; !ok {
+					dist[u] = d
+					next = append(next, u)
+				}
+			}
+		}
+		frontier = next
+	}
+	return dist, nil
+}
+
+// FaninCount returns K_i(x): the number of nodes in the transitive fan-in
+// tree of v within maximal distance x (v excluded). Ordering criterion C2.
+func (g *Graph) FaninCount(v NodeID, x int) (int, error) {
+	tree, err := g.FaninTree(v, x)
+	if err != nil {
+		return 0, err
+	}
+	return len(tree) - 1, nil
+}
+
+// FaninFunctionalitySum returns φ(v, x): the sum of operation identifiers
+// f(n_a) over the fan-in tree of v within maximal distance x (v included,
+// matching the paper's T_i(x) which "consists of all nodes with maximal
+// distance D_x from n_i"). Ordering criterion C3.
+func (g *Graph) FaninFunctionalitySum(v NodeID, x int) (int, error) {
+	tree, err := g.FaninTree(v, x)
+	if err != nil {
+		return 0, err
+	}
+	sum := 0
+	for u := range tree {
+		sum += int(g.nodes[u].Op)
+	}
+	return sum, nil
+}
+
+// SubgraphResult is the outcome of InducedSubgraph: the new graph plus the
+// two-way node mapping.
+type SubgraphResult struct {
+	Graph  *Graph
+	ToSub  map[NodeID]NodeID // original ID -> subgraph ID
+	ToOrig []NodeID          // subgraph ID -> original ID
+}
+
+// InducedSubgraph builds the subgraph induced by keep (all edges of every
+// kind whose endpoints are both kept). Nodes are renumbered densely in
+// ascending original-ID order, preserving deterministic identity.
+func (g *Graph) InducedSubgraph(keep []NodeID) (*SubgraphResult, error) {
+	ids := SortedIDs(keep)
+	for i, v := range ids {
+		if err := g.checkID(v); err != nil {
+			return nil, err
+		}
+		if i > 0 && ids[i-1] == v {
+			return nil, fmt.Errorf("cdfg: duplicate node %d in subgraph set", v)
+		}
+	}
+	res := &SubgraphResult{
+		Graph:  New(len(ids)),
+		ToSub:  make(map[NodeID]NodeID, len(ids)),
+		ToOrig: make([]NodeID, 0, len(ids)),
+	}
+	for _, v := range ids {
+		n := g.nodes[v]
+		sid := res.Graph.AddNode(n.Name, n.Op)
+		res.ToSub[v] = sid
+		res.ToOrig = append(res.ToOrig, v)
+	}
+	addEdges := func(in [][]NodeID, kind EdgeKind) error {
+		for _, v := range ids {
+			for _, u := range in[v] {
+				su, ok := res.ToSub[u]
+				if !ok {
+					continue
+				}
+				if err := res.Graph.AddEdge(su, res.ToSub[v], kind); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+	if err := addEdges(g.dataIn, DataEdge); err != nil {
+		return nil, err
+	}
+	if err := addEdges(g.ctrlIn, ControlEdge); err != nil {
+		return nil, err
+	}
+	if err := addEdges(g.tempIn, TemporalEdge); err != nil {
+		return nil, err
+	}
+	return res, nil
+}

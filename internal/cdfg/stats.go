@@ -1,0 +1,93 @@
+package cdfg
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Stats summarizes a design's structure — the numbers a synthesis report
+// leads with and the knobs the watermarking protocols care about
+// (parallelism and laxity distribution determine how much room a
+// watermark has).
+type Stats struct {
+	Nodes         int
+	Computational int
+	DataEdges     int
+	ControlEdges  int
+	TemporalEdges int
+	CriticalPath  int
+	// OpCounts maps each operation kind to its population.
+	OpCounts map[Op]int
+	// WidthProfile[i] is the number of operations at ASAP depth i+1 — the
+	// design's intrinsic parallelism profile.
+	WidthProfile []int
+	// MaxWidth is the peak of WidthProfile.
+	MaxWidth int
+	// AvgSlackPct is the mean of (C - laxity)/C over computational nodes,
+	// in percent: how far the average operation sits from the critical
+	// path. High values mean easy watermarking.
+	AvgSlackPct float64
+}
+
+// ComputeStats analyzes g.
+func ComputeStats(g *Graph) (*Stats, error) {
+	st := &Stats{Nodes: g.Len(), OpCounts: map[Op]int{}}
+	st.DataEdges, st.ControlEdges, st.TemporalEdges = g.EdgeCount()
+	cp, err := g.CriticalPath()
+	if err != nil {
+		return nil, err
+	}
+	st.CriticalPath = cp
+	to, err := g.LongestTo(PathOpts{})
+	if err != nil {
+		return nil, err
+	}
+	lax, err := g.Laxities()
+	if err != nil {
+		return nil, err
+	}
+	st.WidthProfile = make([]int, cp)
+	slackSum := 0.0
+	for _, n := range g.Nodes() {
+		st.OpCounts[n.Op]++
+		if !n.Op.IsComputational() {
+			continue
+		}
+		st.Computational++
+		if d := to[n.ID]; d >= 1 && d <= cp {
+			st.WidthProfile[d-1]++
+		}
+		if cp > 0 {
+			slackSum += float64(cp-lax[n.ID]) / float64(cp)
+		}
+	}
+	for _, w := range st.WidthProfile {
+		if w > st.MaxWidth {
+			st.MaxWidth = w
+		}
+	}
+	if st.Computational > 0 {
+		st.AvgSlackPct = slackSum / float64(st.Computational) * 100
+	}
+	return st, nil
+}
+
+// String renders a compact synthesis-report-style summary.
+func (st *Stats) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "nodes %d (%d computational); edges %d data / %d ctrl / %d temporal\n",
+		st.Nodes, st.Computational, st.DataEdges, st.ControlEdges, st.TemporalEdges)
+	fmt.Fprintf(&sb, "critical path %d; peak width %d; avg slack %.1f%%\n",
+		st.CriticalPath, st.MaxWidth, st.AvgSlackPct)
+	ops := make([]Op, 0, len(st.OpCounts))
+	for op := range st.OpCounts {
+		ops = append(ops, op)
+	}
+	sort.Slice(ops, func(i, j int) bool { return ops[i] < ops[j] })
+	fmt.Fprintf(&sb, "ops:")
+	for _, op := range ops {
+		fmt.Fprintf(&sb, " %s=%d", op, st.OpCounts[op])
+	}
+	return sb.String()
+}

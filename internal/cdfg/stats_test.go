@@ -1,0 +1,64 @@
+package cdfg
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestComputeStatsDiamond(t *testing.T) {
+	g := diamond(t)
+	g.MustAddEdge(g.MustNode("b"), g.MustNode("c"), TemporalEdge)
+	st, err := ComputeStats(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Nodes != 6 || st.Computational != 4 {
+		t.Fatalf("nodes=%d comp=%d", st.Nodes, st.Computational)
+	}
+	if st.DataEdges != 9 || st.TemporalEdges != 1 {
+		t.Fatalf("edges=%d/%d", st.DataEdges, st.TemporalEdges)
+	}
+	if st.CriticalPath != 3 {
+		t.Fatalf("cp=%d", st.CriticalPath)
+	}
+	// Widths: depth 1 = {a}, depth 2 = {b, c}, depth 3 = {d}.
+	want := []int{1, 2, 1}
+	for i, w := range want {
+		if st.WidthProfile[i] != w {
+			t.Fatalf("width[%d]=%d, want %d", i, st.WidthProfile[i], w)
+		}
+	}
+	if st.MaxWidth != 2 {
+		t.Fatalf("max width %d", st.MaxWidth)
+	}
+	// Every node on a length-3 path: zero slack.
+	if st.AvgSlackPct != 0 {
+		t.Fatalf("slack %.1f, want 0", st.AvgSlackPct)
+	}
+	if st.OpCounts[OpAdd] != 2 || st.OpCounts[OpInput] != 1 {
+		t.Fatalf("op counts wrong: %v", st.OpCounts)
+	}
+	out := st.String()
+	for _, want := range []string{"critical path 3", "add=2", "temporal"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("summary missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestComputeStatsSlack(t *testing.T) {
+	// Chain of 3 plus one independent op: the independent op has laxity 1,
+	// slack (3-1)/3.
+	g := chain(t, 3)
+	in := g.MustNode("in")
+	side := g.AddNode("side", OpMulConst)
+	g.MustAddEdge(in, side, DataEdge)
+	st, err := ComputeStats(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantAvg := (0 + 0 + 0 + 2.0/3.0) / 4 * 100
+	if st.AvgSlackPct < wantAvg-0.1 || st.AvgSlackPct > wantAvg+0.1 {
+		t.Fatalf("avg slack %.2f, want %.2f", st.AvgSlackPct, wantAvg)
+	}
+}

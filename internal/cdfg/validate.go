@@ -1,0 +1,67 @@
+package cdfg
+
+import (
+	"errors"
+	"fmt"
+)
+
+// arity bounds per op kind: minimum and maximum number of data inputs.
+// -1 means unbounded.
+func opArity(op Op) (min, max int) {
+	switch op {
+	case OpInput, OpConst:
+		return 0, 0
+	case OpOutput:
+		return 1, 1
+	case OpNot, OpUnit, OpMulConst, OpShift, OpLoad, OpBranch:
+		return 1, 2 // shift/load/branch may take an address/amount operand
+	case OpDelay:
+		// A delay (z^-1 register) may appear as a pure state source (its
+		// value is the previous iteration's sample, so it has no intra-
+		// iteration producer) or with its producer edge present.
+		return 0, 1
+	case OpAdd, OpSub, OpMul, OpDiv, OpAnd, OpOr, OpXor, OpCmp, OpStore:
+		return 2, 2
+	case OpMux:
+		return 3, 3
+	}
+	return 0, -1
+}
+
+// Validate checks structural well-formedness:
+//
+//   - every node has a valid operation and a unique, non-empty name;
+//   - data-input arities match the operation kinds;
+//   - the precedence relation (data + control + temporal) is acyclic;
+//   - primary inputs/constants have no data inputs, outputs have no data
+//     consumers.
+//
+// It returns all problems found joined into one error, or nil.
+func (g *Graph) Validate() error {
+	var errs []error
+	names := make(map[string]NodeID, len(g.nodes))
+	for _, n := range g.nodes {
+		if !n.Op.Valid() {
+			errs = append(errs, fmt.Errorf("node %d (%q): invalid op", n.ID, n.Name))
+		}
+		if n.Name == "" {
+			errs = append(errs, fmt.Errorf("node %d: empty name", n.ID))
+		} else if prev, dup := names[n.Name]; dup {
+			errs = append(errs, fmt.Errorf("duplicate node name %q (nodes %d and %d)", n.Name, prev, n.ID))
+		} else {
+			names[n.Name] = n.ID
+		}
+		min, max := opArity(n.Op)
+		got := len(g.dataIn[n.ID])
+		if got < min || (max >= 0 && got > max) {
+			errs = append(errs, fmt.Errorf("node %d (%q, %v): %d data inputs, want [%d,%d]", n.ID, n.Name, n.Op, got, min, max))
+		}
+		if n.Op == OpOutput && len(g.dataOut[n.ID]) != 0 {
+			errs = append(errs, fmt.Errorf("node %d (%q): primary output feeds %d consumers", n.ID, n.Name, len(g.dataOut[n.ID])))
+		}
+	}
+	if _, err := g.TopoOrder(); err != nil {
+		errs = append(errs, err)
+	}
+	return errors.Join(errs...)
+}

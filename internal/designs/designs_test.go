@@ -1,0 +1,262 @@
+package designs
+
+import (
+	"testing"
+
+	"localwm/internal/cdfg"
+)
+
+func compOps(g *cdfg.Graph) int { return len(g.Computational()) }
+
+func TestFourthOrderParallelIIRShape(t *testing.T) {
+	g := FourthOrderParallelIIR()
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	muls, adds := 0, 0
+	for _, n := range g.Nodes() {
+		switch n.Op {
+		case cdfg.OpMulConst:
+			muls++
+		case cdfg.OpAdd:
+			adds++
+		}
+	}
+	if muls != 8 {
+		t.Fatalf("IIR has %d constant mults, want 8 (C1..C8)", muls)
+	}
+	if adds != 7 {
+		t.Fatalf("IIR has %d adds, want 7 (A1..A7)", adds)
+	}
+	cp, err := g.CriticalPath()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp != 6 { // ca1 -> aw1 -> aw2 -> cb0 -> ay -> A7
+		t.Fatalf("IIR critical path = %d, want 6", cp)
+	}
+}
+
+func TestIIRSubtree(t *testing.T) {
+	g := FourthOrderParallelIIR()
+	root, nodes := IIRSubtree(g)
+	if g.Node(root).Name != "A7" {
+		t.Fatalf("root = %s", g.Node(root).Name)
+	}
+	// The cone of A7 contains all 8 multipliers and all 7 adders.
+	if len(nodes) != 15 {
+		t.Fatalf("subtree size = %d, want 15", len(nodes))
+	}
+	for _, v := range nodes {
+		if !g.Node(v).Op.IsComputational() {
+			t.Fatalf("non-computational node %s in subtree", g.Node(v).Name)
+		}
+	}
+}
+
+// Table II generators: every design must validate, and its measured size
+// and critical path must be within a factor-two band of the paper's
+// numbers (the generators are structural analogues, not netlist copies;
+// EXPERIMENTS.md records exact measured values).
+func TestTable2DesignsTrackPaperNumbers(t *testing.T) {
+	for _, row := range Table2() {
+		row := row
+		t.Run(row.Name, func(t *testing.T) {
+			g := row.Build()
+			if err := g.Validate(); err != nil {
+				t.Fatal(err)
+			}
+			ops := compOps(g)
+			cp, err := g.CriticalPath()
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Logf("%s: ops=%d (paper vars %d), cp=%d (paper %d)",
+				row.Name, ops, row.PaperVars, cp, row.PaperCP)
+			if ops < row.PaperVars/2 || ops > row.PaperVars*2 {
+				t.Errorf("ops=%d outside half/double band of paper vars %d", ops, row.PaperVars)
+			}
+			// The echo canceler's paper CP (2566) exceeds its op count —
+			// multi-cycle ops in HYPER's library — so its structural CP
+			// cannot match under unit latency; all other rows must.
+			if row.Name != "Long Echo Canceler" {
+				if cp < row.PaperCP/2 || cp > row.PaperCP*2 {
+					t.Errorf("cp=%d outside half/double band of paper CP %d", cp, row.PaperCP)
+				}
+			} else if cp < 200 {
+				t.Errorf("echo canceler cp=%d, want a deep serial spine (>=200)", cp)
+			}
+		})
+	}
+}
+
+func TestMediaBenchSizesExact(t *testing.T) {
+	for _, app := range MediaBench() {
+		app := app
+		t.Run(app.Name, func(t *testing.T) {
+			g := Layered(app.Cfg)
+			if err := g.Validate(); err != nil {
+				t.Fatal(err)
+			}
+			if got := compOps(g); got != app.PaperOps {
+				t.Fatalf("ops = %d, want exactly %d", got, app.PaperOps)
+			}
+			cp, err := g.CriticalPath()
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Logf("%s: ops=%d cp=%d", app.Name, app.PaperOps, cp)
+			if cp < 5 {
+				t.Fatalf("cp = %d: generated code has no dependent chains", cp)
+			}
+		})
+	}
+}
+
+func TestLayeredDeterministic(t *testing.T) {
+	cfg := MediaBench()[0].Cfg
+	a, b := Layered(cfg), Layered(cfg)
+	if a.String() != b.String() {
+		t.Fatal("Layered is not deterministic for identical configs")
+	}
+}
+
+func TestLayeredDifferentNamesDiffer(t *testing.T) {
+	cfg := MediaBench()[0].Cfg
+	cfg2 := cfg
+	cfg2.Name = "other"
+	if Layered(cfg).String() == Layered(cfg2).String() {
+		t.Fatal("different workload names produced identical graphs")
+	}
+}
+
+func TestLayeredPanicsOnBadConfig(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("malformed config did not panic")
+		}
+	}()
+	Layered(LayeredConfig{})
+}
+
+func TestOpMixPick(t *testing.T) {
+	m := OpMix{Add: 1, Mul: 1}
+	if m.pick(0) != cdfg.OpAdd || m.pick(1) != cdfg.OpMul {
+		t.Fatal("pick boundaries wrong")
+	}
+	if m.total() != 2 {
+		t.Fatal("total wrong")
+	}
+	// Out-of-range roll falls back to add rather than panicking.
+	if m.pick(99) != cdfg.OpAdd {
+		t.Fatal("fallback wrong")
+	}
+}
+
+func TestFFTStageShape(t *testing.T) {
+	g := FFTStage(8)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cp, err := g.CriticalPath()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp != 2 { // twiddle mul -> butterfly add/sub
+		t.Fatalf("cp = %d, want 2", cp)
+	}
+	if got := len(g.Computational()); got != 12 { // 4 butterflies × (1 mul + 2 add/sub)
+		t.Fatalf("ops = %d, want 12", got)
+	}
+	if got := len(g.Outputs()); got != 8 {
+		t.Fatalf("outputs = %d, want 8", got)
+	}
+	for _, bad := range []int{0, 3, 6} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("FFTStage(%d) accepted", bad)
+				}
+			}()
+			FFTStage(bad)
+		}()
+	}
+}
+
+func TestDCT8Shape(t *testing.T) {
+	g := DCT8()
+	muls, adds := 0, 0
+	for _, n := range g.Nodes() {
+		switch n.Op {
+		case cdfg.OpMulConst:
+			muls++
+		case cdfg.OpAdd:
+			adds++
+		}
+	}
+	if muls != 64 || adds != 56 {
+		t.Fatalf("muls=%d adds=%d, want 64, 56", muls, adds)
+	}
+	cp, err := g.CriticalPath()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp != 4 { // mul + ⌈log2 8⌉ adds
+		t.Fatalf("cp = %d, want 4", cp)
+	}
+}
+
+func TestAddressMapDeterministicAndBounded(t *testing.T) {
+	g := Layered(MediaBench()[2].Cfg) // epic: memory-heavy
+	const ws = 32 << 10
+	a := AddressMap(g, ws)
+	b := AddressMap(g, ws)
+	memOps := 0
+	for _, n := range g.Nodes() {
+		if n.Op != cdfg.OpLoad && n.Op != cdfg.OpStore {
+			continue
+		}
+		memOps++
+		if a(n.ID) != b(n.ID) {
+			t.Fatal("address map not deterministic")
+		}
+		if a(n.ID) >= ws {
+			t.Fatalf("address %d outside working set", a(n.ID))
+		}
+	}
+	if memOps == 0 {
+		t.Fatal("design has no memory operations")
+	}
+	// Locality: the streaming majority should make at least some pairs of
+	// addresses land 4 bytes apart.
+	sequential := 0
+	seen := map[uint32]bool{}
+	for _, n := range g.Nodes() {
+		if n.Op == cdfg.OpLoad || n.Op == cdfg.OpStore {
+			seen[a(n.ID)] = true
+		}
+	}
+	for addr := range seen {
+		if seen[addr+4] {
+			sequential++
+		}
+	}
+	if sequential < memOps/10 {
+		t.Fatalf("only %d of %d addresses have a sequential neighbor", sequential, memOps)
+	}
+}
+
+func TestTable1RegistryAligned(t *testing.T) {
+	rows := Table1()
+	if len(rows) != 8 {
+		t.Fatalf("Table1 has %d rows, want 8", len(rows))
+	}
+	for _, r := range rows {
+		if r.App.PaperOps != r.App.Cfg.Ops {
+			t.Fatalf("%s: registry ops %d != config ops %d", r.App.Name, r.App.PaperOps, r.App.Cfg.Ops)
+		}
+		if r.PaperPcExp10[0] >= 0 || r.PaperPcExp10[1] >= r.PaperPcExp10[0] {
+			t.Fatalf("%s: Pc exponents not decreasing: %v", r.App.Name, r.PaperPcExp10)
+		}
+	}
+}

@@ -1,0 +1,115 @@
+package designs
+
+import (
+	"fmt"
+
+	"localwm/internal/cdfg"
+)
+
+// Reusable DSP structure builders. Each returns the node producing the
+// block's output value. Node names are prefixed to stay unique.
+
+// delayLine creates n delay sources d<prefix>0..d<prefix>n-1 modelling a
+// tapped delay line holding past samples.
+func delayLine(g *cdfg.Graph, prefix string, n int) []cdfg.NodeID {
+	taps := make([]cdfg.NodeID, n)
+	for i := range taps {
+		taps[i] = g.AddNode(fmt.Sprintf("%sd%d", prefix, i), cdfg.OpDelay)
+	}
+	return taps
+}
+
+// firSerial builds a direct-form FIR with serial accumulation: one
+// constant multiply per tap and a chain of adds. Critical path = taps + 1.
+func firSerial(g *cdfg.Graph, prefix string, taps []cdfg.NodeID) cdfg.NodeID {
+	var acc cdfg.NodeID = cdfg.None
+	for i, t := range taps {
+		m := g.AddNode(fmt.Sprintf("%sm%d", prefix, i), cdfg.OpMulConst)
+		g.MustAddEdge(t, m, cdfg.DataEdge)
+		if acc == cdfg.None {
+			acc = m
+			continue
+		}
+		a := g.AddNode(fmt.Sprintf("%sa%d", prefix, i), cdfg.OpAdd)
+		g.MustAddEdge(acc, a, cdfg.DataEdge)
+		g.MustAddEdge(m, a, cdfg.DataEdge)
+		acc = a
+	}
+	return acc
+}
+
+// adderTree sums the given values with a balanced tree of adds (critical
+// path ⌈log2 n⌉).
+func adderTree(g *cdfg.Graph, prefix string, vals []cdfg.NodeID) cdfg.NodeID {
+	level := append([]cdfg.NodeID(nil), vals...)
+	round := 0
+	for len(level) > 1 {
+		var next []cdfg.NodeID
+		for i := 0; i+1 < len(level); i += 2 {
+			a := g.AddNode(fmt.Sprintf("%st%d_%d", prefix, round, i/2), cdfg.OpAdd)
+			g.MustAddEdge(level[i], a, cdfg.DataEdge)
+			g.MustAddEdge(level[i+1], a, cdfg.DataEdge)
+			next = append(next, a)
+		}
+		if len(level)%2 == 1 {
+			next = append(next, level[len(level)-1])
+		}
+		level = next
+		round++
+	}
+	return level[0]
+}
+
+// firTree builds an FIR with tree accumulation (critical path
+// 1 + ⌈log2 taps⌉).
+func firTree(g *cdfg.Graph, prefix string, taps []cdfg.NodeID) cdfg.NodeID {
+	prods := make([]cdfg.NodeID, len(taps))
+	for i, t := range taps {
+		m := g.AddNode(fmt.Sprintf("%sm%d", prefix, i), cdfg.OpMulConst)
+		g.MustAddEdge(t, m, cdfg.DataEdge)
+		prods[i] = m
+	}
+	return adderTree(g, prefix, prods)
+}
+
+// biquad builds one second-order direct-form-II IIR section reading input
+// in and returns the section output. It contributes 4 constant mults,
+// 3 adds, 2 delay reads and 2 delay writes, with an input→output critical
+// path of 4 operations.
+func biquad(g *cdfg.Graph, prefix string, in cdfg.NodeID) cdfg.NodeID {
+	d1 := g.AddNode(prefix+"d1", cdfg.OpDelay)
+	d2 := g.AddNode(prefix+"d2", cdfg.OpDelay)
+	ca1 := g.AddNode(prefix+"ca1", cdfg.OpMulConst)
+	g.MustAddEdge(d1, ca1, cdfg.DataEdge)
+	ca2 := g.AddNode(prefix+"ca2", cdfg.OpMulConst)
+	g.MustAddEdge(d2, ca2, cdfg.DataEdge)
+	aw1 := g.AddNode(prefix+"aw1", cdfg.OpAdd)
+	g.MustAddEdge(in, aw1, cdfg.DataEdge)
+	g.MustAddEdge(ca1, aw1, cdfg.DataEdge)
+	aw2 := g.AddNode(prefix+"aw2", cdfg.OpAdd)
+	g.MustAddEdge(aw1, aw2, cdfg.DataEdge)
+	g.MustAddEdge(ca2, aw2, cdfg.DataEdge)
+	cb0 := g.AddNode(prefix+"cb0", cdfg.OpMulConst)
+	g.MustAddEdge(aw2, cb0, cdfg.DataEdge)
+	cb1 := g.AddNode(prefix+"cb1", cdfg.OpMulConst)
+	g.MustAddEdge(d1, cb1, cdfg.DataEdge)
+	ay := g.AddNode(prefix+"ay", cdfg.OpAdd)
+	g.MustAddEdge(cb0, ay, cdfg.DataEdge)
+	g.MustAddEdge(cb1, ay, cdfg.DataEdge)
+	w1 := g.AddNode(prefix+"d1w", cdfg.OpDelay)
+	g.MustAddEdge(aw2, w1, cdfg.DataEdge)
+	w2 := g.AddNode(prefix+"d2w", cdfg.OpDelay)
+	g.MustAddEdge(d1, w2, cdfg.DataEdge)
+	return ay
+}
+
+// finish attaches a primary output and validates; every design generator
+// ends with it.
+func finish(g *cdfg.Graph, name string, val cdfg.NodeID) *cdfg.Graph {
+	out := g.AddNode(name, cdfg.OpOutput)
+	g.MustAddEdge(val, out, cdfg.DataEdge)
+	if err := g.Validate(); err != nil {
+		panic(fmt.Sprintf("designs: %s invalid: %v", name, err))
+	}
+	return g
+}

@@ -1,0 +1,46 @@
+package designs
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"localwm/internal/cdfg"
+)
+
+// Golden files pin the text serialization of representative designs: a
+// change to either the generators or the format shows up as a diff here
+// instead of silently breaking interchange with files users wrote with an
+// earlier build.
+func TestGoldenDesignFiles(t *testing.T) {
+	golden := map[string]func() *cdfg.Graph{
+		"iir4":    FourthOrderParallelIIR,
+		"wavelet": WaveletFilter,
+		"modem":   ModemFilter,
+		"fft8":    func() *cdfg.Graph { return FFTStage(8) },
+	}
+	for name, build := range golden {
+		name, build := name, build
+		t.Run(name, func(t *testing.T) {
+			path := filepath.Join("testdata", name+".cdfg")
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := build().String()
+			if got != string(want) {
+				t.Fatalf("%s serialization drifted from golden file (len %d vs %d)",
+					name, len(got), len(want))
+			}
+			// And the golden file parses back into an equivalent graph.
+			back, err := cdfg.Parse(strings.NewReader(string(want)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if back.String() != string(want) {
+				t.Fatal("golden file does not round-trip")
+			}
+		})
+	}
+}

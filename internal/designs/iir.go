@@ -1,0 +1,101 @@
+// Package designs provides the benchmark CDFGs of the paper's evaluation:
+// the fourth-order parallel IIR filter of the motivational examples
+// (Figs. 3–4), HYPER-style DSP designs matching the Table II rows, and
+// MediaBench-scale layered DAGs matching the Table I operation counts.
+//
+// The originals (HYPER benchmark suite, MediaBench C programs compiled by
+// IMPACT) are not available; these generators are the documented
+// substitution (see DESIGN.md §3): deterministic synthetic designs whose
+// operation mixes, sizes, and critical paths track the numbers the paper
+// reports, which is what the watermarking claims depend on.
+package designs
+
+import (
+	"fmt"
+
+	"localwm/internal/cdfg"
+)
+
+// FourthOrderParallelIIR reconstructs the paper's running example: a
+// fourth-order IIR filter in parallel form — two second-order direct-form
+// sections summed at the output. Constant multiplications are named
+// C1..C8 and additions A1..A7 in the spirit of the paper's figures (the
+// original figure images are unavailable; this is a faithful parallel
+// realization with the same 8-multiplier structure).
+//
+// Per section k ∈ {1,2} (direct form II, states d1, d2):
+//
+//	w  = x + a1·d1 + a2·d2        (adds A(3k-2), A(3k-1); muls C(4k-3), C(4k-2))
+//	y  = b0·w + b1·d1             (mul C(4k-1), C(4k); add A(3k))
+//	d1' = w, d2' = d1             (delay writes)
+//
+// and the output stage sums the sections: A7 = y1 + y2.
+func FourthOrderParallelIIR() *cdfg.Graph {
+	g := cdfg.New(32)
+	x := g.AddNode("x", cdfg.OpInput)
+
+	var ys [2]cdfg.NodeID
+	for k := 0; k < 2; k++ {
+		d1 := g.AddNode(fmt.Sprintf("d1_%d", k+1), cdfg.OpDelay)
+		d2 := g.AddNode(fmt.Sprintf("d2_%d", k+1), cdfg.OpDelay)
+		c := 4 * k
+		a := 3 * k
+		ca1 := g.AddNode(fmt.Sprintf("C%d", c+1), cdfg.OpMulConst)
+		ca2 := g.AddNode(fmt.Sprintf("C%d", c+2), cdfg.OpMulConst)
+		g.MustAddEdge(d1, ca1, cdfg.DataEdge)
+		g.MustAddEdge(d2, ca2, cdfg.DataEdge)
+
+		aw1 := g.AddNode(fmt.Sprintf("A%d", a+1), cdfg.OpAdd)
+		g.MustAddEdge(x, aw1, cdfg.DataEdge)
+		g.MustAddEdge(ca1, aw1, cdfg.DataEdge)
+		aw2 := g.AddNode(fmt.Sprintf("A%d", a+2), cdfg.OpAdd)
+		g.MustAddEdge(aw1, aw2, cdfg.DataEdge)
+		g.MustAddEdge(ca2, aw2, cdfg.DataEdge)
+
+		cb0 := g.AddNode(fmt.Sprintf("C%d", c+3), cdfg.OpMulConst)
+		g.MustAddEdge(aw2, cb0, cdfg.DataEdge)
+		cb1 := g.AddNode(fmt.Sprintf("C%d", c+4), cdfg.OpMulConst)
+		g.MustAddEdge(d1, cb1, cdfg.DataEdge)
+
+		ay := g.AddNode(fmt.Sprintf("A%d", a+3), cdfg.OpAdd)
+		g.MustAddEdge(cb0, ay, cdfg.DataEdge)
+		g.MustAddEdge(cb1, ay, cdfg.DataEdge)
+		ys[k] = ay
+
+		// State writes (delay sinks, values leave the iteration).
+		w1 := g.AddNode(fmt.Sprintf("d1w_%d", k+1), cdfg.OpDelay)
+		g.MustAddEdge(aw2, w1, cdfg.DataEdge)
+		w2 := g.AddNode(fmt.Sprintf("d2w_%d", k+1), cdfg.OpDelay)
+		g.MustAddEdge(d1, w2, cdfg.DataEdge)
+	}
+
+	a7 := g.AddNode("A7", cdfg.OpAdd)
+	g.MustAddEdge(ys[0], a7, cdfg.DataEdge)
+	g.MustAddEdge(ys[1], a7, cdfg.DataEdge)
+	out := g.AddNode("y", cdfg.OpOutput)
+	g.MustAddEdge(a7, out, cdfg.DataEdge)
+
+	if err := g.Validate(); err != nil {
+		panic(fmt.Sprintf("designs: IIR invalid: %v", err))
+	}
+	return g
+}
+
+// IIRSubtree returns the node set of the paper's Fig. 3 example subtree T
+// rooted at the output adder: the whole fan-in cone of A7 restricted to
+// computational nodes. With the paper's figure lost, this is the natural
+// analogue of the subtree shaded in Fig. 3 (multiplier/adder cone feeding
+// the output).
+func IIRSubtree(g *cdfg.Graph) (root cdfg.NodeID, nodes []cdfg.NodeID) {
+	root = g.MustNode("A7")
+	tree, err := g.FaninTree(root, g.Len())
+	if err != nil {
+		panic(err)
+	}
+	for v := range tree {
+		if g.Node(v).Op.IsComputational() {
+			nodes = append(nodes, v)
+		}
+	}
+	return root, cdfg.SortedIDs(nodes)
+}

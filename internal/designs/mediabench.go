@@ -1,0 +1,185 @@
+package designs
+
+import (
+	"fmt"
+
+	"localwm/internal/cdfg"
+	"localwm/internal/prng"
+)
+
+// MediaBench-scale workloads. The paper's Table I compiles eight
+// MediaBench applications with IMPACT for a 4-issue VLIW; the C sources
+// and compiler are outside this repository's reach, so each application is
+// substituted by a deterministic layered dataflow DAG with the paper's
+// operation count and an operation mix characteristic of the application
+// class (documented per entry). The watermarking claims exercised on these
+// graphs — Pc scaling and cycle overhead of unit-op temporal edges —
+// depend on DAG statistics (window widths, laxity, parallelism), which the
+// generator controls, not on program semantics.
+
+// OpMix gives relative weights for the generated operation kinds.
+type OpMix struct {
+	Add, Mul, Logic, Shift, Cmp, Load, Store, Branch int
+}
+
+func (m OpMix) total() int {
+	return m.Add + m.Mul + m.Logic + m.Shift + m.Cmp + m.Load + m.Store + m.Branch
+}
+
+// pick converts a roll in [0, total) into an operation kind.
+func (m OpMix) pick(roll int) cdfg.Op {
+	for _, e := range []struct {
+		w  int
+		op cdfg.Op
+	}{
+		{m.Add, cdfg.OpAdd},
+		{m.Mul, cdfg.OpMul},
+		{m.Logic, cdfg.OpAnd},
+		{m.Shift, cdfg.OpShift},
+		{m.Cmp, cdfg.OpCmp},
+		{m.Load, cdfg.OpLoad},
+		{m.Store, cdfg.OpStore},
+		{m.Branch, cdfg.OpBranch},
+	} {
+		if roll < e.w {
+			return e.op
+		}
+		roll -= e.w
+	}
+	return cdfg.OpAdd
+}
+
+// LayeredConfig parameterizes the synthetic dataflow generator.
+type LayeredConfig struct {
+	Name   string
+	Ops    int   // computational operations to generate
+	Width  int   // average layer width (parallelism)
+	Inputs int   // primary inputs
+	Mix    OpMix // operation mix
+	// LocalityBias is the percent chance an operand comes from the
+	// immediately preceding layer rather than any earlier one; high values
+	// produce deep, pipeline-like code.
+	LocalityBias int
+}
+
+// Layered builds a deterministic layered DAG: operations are laid out in
+// layers of roughly Width ops; each operation draws its operands from
+// earlier layers (biased to the previous one), which yields the mix of
+// tight chains and independent work characteristic of compiled basic-block
+// schedules. All randomness comes from the repository's keyed bitstream,
+// so a given configuration always yields the same graph.
+func Layered(cfg LayeredConfig) *cdfg.Graph {
+	if cfg.Ops <= 0 || cfg.Width <= 0 || cfg.Inputs <= 0 || cfg.Mix.total() <= 0 {
+		panic(fmt.Sprintf("designs: malformed layered config %+v", cfg))
+	}
+	if cfg.LocalityBias <= 0 || cfg.LocalityBias > 100 {
+		cfg.LocalityBias = 70
+	}
+	bs := prng.MustBitstream([]byte("designs/layered/" + cfg.Name))
+	g := cdfg.New(cfg.Ops + cfg.Inputs + 8)
+
+	prevLayer := make([]cdfg.NodeID, 0, cfg.Inputs)
+	var all []cdfg.NodeID
+	for i := 0; i < cfg.Inputs; i++ {
+		v := g.AddNode(fmt.Sprintf("in%d", i), cdfg.OpInput)
+		prevLayer = append(prevLayer, v)
+		all = append(all, v)
+	}
+
+	operand := func() cdfg.NodeID {
+		if len(all) == len(prevLayer) || bs.Coin(cfg.LocalityBias, 100) {
+			return prevLayer[bs.Intn(len(prevLayer))]
+		}
+		return all[bs.Intn(len(all))]
+	}
+
+	made := 0
+	layerIdx := 0
+	for made < cfg.Ops {
+		layerIdx++
+		n := cfg.Width/2 + bs.Intn(cfg.Width) // width jitter
+		if n > cfg.Ops-made {
+			n = cfg.Ops - made
+		}
+		if n == 0 {
+			n = 1
+		}
+		var layer []cdfg.NodeID
+		for i := 0; i < n; i++ {
+			op := cfg.Mix.pick(bs.Intn(cfg.Mix.total()))
+			v := g.AddNode(fmt.Sprintf("n%d_%d", layerIdx, i), op)
+			// Arity per kind: most take two operands; branch/load/shift
+			// style ops take one or two.
+			nin := 2
+			switch op {
+			case cdfg.OpShift, cdfg.OpLoad, cdfg.OpBranch:
+				nin = 1 + bs.Intn(2)
+			}
+			for k := 0; k < nin; k++ {
+				g.MustAddEdge(operand(), v, cdfg.DataEdge)
+			}
+			layer = append(layer, v)
+			made++
+		}
+		prevLayer = layer
+		all = append(all, layer...)
+	}
+
+	// Terminate dangling values into outputs so the graph has sinks.
+	outIdx := 0
+	for _, v := range all {
+		if g.Node(v).Op.IsComputational() && len(g.DataOut(v)) == 0 {
+			o := g.AddNode(fmt.Sprintf("out%d", outIdx), cdfg.OpOutput)
+			outIdx++
+			g.MustAddEdge(v, o, cdfg.DataEdge)
+		}
+	}
+	if err := g.Validate(); err != nil {
+		panic(fmt.Sprintf("designs: layered %s invalid: %v", cfg.Name, err))
+	}
+	return g
+}
+
+// MediaBenchApp describes one Table I application.
+type MediaBenchApp struct {
+	Name string
+	// PaperOps is the operation count Table I quotes.
+	PaperOps int
+	Cfg      LayeredConfig
+}
+
+// MediaBench returns the eight Table I applications, configured with the
+// paper's operation counts and class-appropriate mixes:
+//
+//	D/A Cnv — sample-processing loop, arithmetic-dominated
+//	G721    — ADPCM codec: adds/shifts/compares
+//	epic    — image pyramid codec: multiply-heavy with memory traffic
+//	PEGWIT  — elliptic-curve crypto: logic/shift-heavy
+//	PGP     — crypto + bignum: mul and logic
+//	GSM     — speech codec: MAC-dominated
+//	JPEG.c  — DCT codec: multiply/add with loads
+//	MPEG2.d — motion compensation: adds/compares with heavy memory
+func MediaBench() []MediaBenchApp {
+	apps := []MediaBenchApp{
+		{Name: "D/A Cnv.", PaperOps: 528, Cfg: LayeredConfig{Ops: 528, Width: 10, Inputs: 8,
+			Mix: OpMix{Add: 40, Mul: 15, Logic: 10, Shift: 10, Cmp: 5, Load: 10, Store: 6, Branch: 4}}},
+		{Name: "G721", PaperOps: 758, Cfg: LayeredConfig{Ops: 758, Width: 8, Inputs: 8,
+			Mix: OpMix{Add: 35, Mul: 5, Logic: 15, Shift: 15, Cmp: 10, Load: 10, Store: 5, Branch: 5}}},
+		{Name: "epic", PaperOps: 872, Cfg: LayeredConfig{Ops: 872, Width: 14, Inputs: 12,
+			Mix: OpMix{Add: 30, Mul: 20, Logic: 8, Shift: 7, Cmp: 5, Load: 18, Store: 8, Branch: 4}}},
+		{Name: "PEGWIT", PaperOps: 658, Cfg: LayeredConfig{Ops: 658, Width: 9, Inputs: 8,
+			Mix: OpMix{Add: 20, Mul: 10, Logic: 30, Shift: 20, Cmp: 5, Load: 8, Store: 4, Branch: 3}}},
+		{Name: "PGP", PaperOps: 1755, Cfg: LayeredConfig{Ops: 1755, Width: 12, Inputs: 12,
+			Mix: OpMix{Add: 25, Mul: 18, Logic: 25, Shift: 15, Cmp: 5, Load: 7, Store: 3, Branch: 2}}},
+		{Name: "GSM", PaperOps: 802, Cfg: LayeredConfig{Ops: 802, Width: 10, Inputs: 10,
+			Mix: OpMix{Add: 35, Mul: 25, Logic: 5, Shift: 10, Cmp: 5, Load: 12, Store: 5, Branch: 3}}},
+		{Name: "JPEG.c", PaperOps: 1422, Cfg: LayeredConfig{Ops: 1422, Width: 16, Inputs: 16,
+			Mix: OpMix{Add: 30, Mul: 22, Logic: 6, Shift: 10, Cmp: 4, Load: 18, Store: 8, Branch: 2}}},
+		{Name: "MPEG2.d", PaperOps: 1372, Cfg: LayeredConfig{Ops: 1372, Width: 16, Inputs: 16,
+			Mix: OpMix{Add: 35, Mul: 8, Logic: 8, Shift: 8, Cmp: 10, Load: 20, Store: 8, Branch: 3}}},
+	}
+	for i := range apps {
+		apps[i].Cfg.Name = apps[i].Name
+	}
+	return apps
+}

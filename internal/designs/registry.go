@@ -1,0 +1,85 @@
+package designs
+
+import "localwm/internal/cdfg"
+
+// Registry of the evaluation designs together with the numbers the paper
+// reports, so the benchmark harness can print paper-vs-measured rows.
+
+// Table2Row is one design of the template-matching evaluation (paper
+// Table II). Each design is evaluated at two control-step budgets: the
+// critical path itself and twice the critical path.
+type Table2Row struct {
+	Name  string
+	Build func() *cdfg.Graph
+
+	PaperCP   int // paper's critical path column
+	PaperVars int // paper's variables column
+	// PaperEnfPct is column 5: the percentage of templates enforced (β),
+	// with Z = 0.07·τ and T = CDFG.
+	PaperEnfPct float64
+	// PaperOverhead is column 6 at budget CP and 2·CP respectively:
+	// relative increase of the module count (percent).
+	PaperOverhead [2]float64
+	// StepsPerOp optionally overrides the tight budget as a multiple of
+	// the operation count instead of the measured critical path. The long
+	// echo canceler needs it: the paper's 2566 available steps on 1082
+	// variables (≈2.4 steps per op, multi-cycle HYPER operators) are far
+	// looser than this repository's unit-latency critical path, and
+	// running it at the structural CP would squeeze all 256 LMS updates
+	// into the last few steps — a regime the paper never measured.
+	StepsPerOp float64
+}
+
+// Table2 returns the eight Table II designs. (The paper prints the
+// "available control steps"/"critical path" cells of some rows in swapped
+// order; all rows follow the same CP / 2·CP scheme, which is what the
+// harness reproduces.)
+func Table2() []Table2Row {
+	return []Table2Row{
+		{Name: "8th Order CF IIR", Build: EighthOrderCFIIR,
+			PaperCP: 18, PaperVars: 35, PaperEnfPct: 3, PaperOverhead: [2]float64{8.2, 3.3}},
+		{Name: "Linear GE Cntrlr", Build: LinearGEController,
+			PaperCP: 12, PaperVars: 48, PaperEnfPct: 5, PaperOverhead: [2]float64{11.1, 5}},
+		{Name: "Wavelet Filter", Build: WaveletFilter,
+			PaperCP: 16, PaperVars: 31, PaperEnfPct: 4, PaperOverhead: [2]float64{10, 3.3}},
+		{Name: "Modem Filter", Build: ModemFilter,
+			PaperCP: 10, PaperVars: 33, PaperEnfPct: 5, PaperOverhead: [2]float64{8.7, 2.5}},
+		{Name: "Volterra 2nd ord.", Build: Volterra2,
+			PaperCP: 12, PaperVars: 28, PaperEnfPct: 5, PaperOverhead: [2]float64{8.7, 6}},
+		{Name: "Volterra 3rd non-lin.", Build: Volterra3,
+			PaperCP: 20, PaperVars: 50, PaperEnfPct: 3, PaperOverhead: [2]float64{9, 5.2}},
+		{Name: "D/A Converter", Build: DAConverter,
+			PaperCP: 132, PaperVars: 354, PaperEnfPct: 4, PaperOverhead: [2]float64{3, 0.4}},
+		{Name: "Long Echo Canceler", Build: LongEchoCanceler,
+			PaperCP: 2566, PaperVars: 1082, PaperEnfPct: 2, PaperOverhead: [2]float64{1, 0.1},
+			StepsPerOp: 2566.0 / 1082.0},
+	}
+}
+
+// Table1Row is one application of the operation-scheduling evaluation
+// (paper Table I): the solution-coincidence exponent and the performance
+// overhead at 2% and 5% of nodes constrained.
+type Table1Row struct {
+	App MediaBenchApp
+	// PaperPcExp10 holds the order of magnitude of Pc (e.g. -26 means
+	// Pc ≈ 10^-26) at 2% and 5% nodes constrained.
+	PaperPcExp10 [2]float64
+	// PaperOverheadPct holds the execution-time increase (percent).
+	PaperOverheadPct [2]float64
+}
+
+// Table1 returns the eight Table I rows with the paper's numbers.
+func Table1() []Table1Row {
+	apps := MediaBench()
+	rows := []Table1Row{
+		{App: apps[0], PaperPcExp10: [2]float64{-26, -53}, PaperOverheadPct: [2]float64{0.5, 1.5}},
+		{App: apps[1], PaperPcExp10: [2]float64{-27, -67}, PaperOverheadPct: [2]float64{0.7, 1.7}},
+		{App: apps[2], PaperPcExp10: [2]float64{-39, -91}, PaperOverheadPct: [2]float64{0.6, 2.4}},
+		{App: apps[3], PaperPcExp10: [2]float64{-27, -73}, PaperOverheadPct: [2]float64{0.2, 1.1}},
+		{App: apps[4], PaperPcExp10: [2]float64{-89, -283}, PaperOverheadPct: [2]float64{0.1, 0.5}},
+		{App: apps[5], PaperPcExp10: [2]float64{-34, -87}, PaperOverheadPct: [2]float64{0.3, 1.4}},
+		{App: apps[6], PaperPcExp10: [2]float64{-65, -212}, PaperOverheadPct: [2]float64{0, 0.2}},
+		{App: apps[7], PaperPcExp10: [2]float64{-58, -185}, PaperOverheadPct: [2]float64{0.2, 0.4}},
+	}
+	return rows
+}

@@ -1,0 +1,74 @@
+package designs
+
+import (
+	"fmt"
+
+	"localwm/internal/cdfg"
+)
+
+// Additional transform kernels beyond the paper's benchmark list — used
+// by tests and examples to exercise the flows on structurally different
+// designs (butterfly networks and dense constant-multiplier banks rather
+// than serial filter spines).
+
+// FFTStage builds n/2 radix-2 decimation-in-time butterflies over n
+// inputs (n must be a power of two ≥ 4): each butterfly computes
+// a' = a + w·b and b' = a - w·b. Shallow (depth 3) and wide — the
+// opposite regime from the cascade filters.
+func FFTStage(n int) *cdfg.Graph {
+	if n < 4 || n&(n-1) != 0 {
+		panic(fmt.Sprintf("designs: FFTStage size %d not a power of two >= 4", n))
+	}
+	g := cdfg.New(4 * n)
+	ins := make([]cdfg.NodeID, n)
+	for i := range ins {
+		ins[i] = g.AddNode(fmt.Sprintf("x%d", i), cdfg.OpInput)
+	}
+	for k := 0; k < n/2; k++ {
+		a, b := ins[k], ins[k+n/2]
+		tw := g.AddNode(fmt.Sprintf("w%d", k), cdfg.OpMulConst) // w·b
+		g.MustAddEdge(b, tw, cdfg.DataEdge)
+		sum := g.AddNode(fmt.Sprintf("bs%d", k), cdfg.OpAdd)
+		g.MustAddEdge(a, sum, cdfg.DataEdge)
+		g.MustAddEdge(tw, sum, cdfg.DataEdge)
+		dif := g.AddNode(fmt.Sprintf("bd%d", k), cdfg.OpSub)
+		g.MustAddEdge(a, dif, cdfg.DataEdge)
+		g.MustAddEdge(tw, dif, cdfg.DataEdge)
+		so := g.AddNode(fmt.Sprintf("ys%d", k), cdfg.OpOutput)
+		g.MustAddEdge(sum, so, cdfg.DataEdge)
+		do := g.AddNode(fmt.Sprintf("yd%d", k), cdfg.OpOutput)
+		g.MustAddEdge(dif, do, cdfg.DataEdge)
+	}
+	if err := g.Validate(); err != nil {
+		panic(fmt.Sprintf("designs: FFT stage invalid: %v", err))
+	}
+	return g
+}
+
+// DCT8 builds an 8-point DCT-II as a dense constant-multiplier bank: each
+// of the 8 outputs is a cosine-weighted sum of all 8 inputs, accumulated
+// with a balanced adder tree. 64 multipliers, 56 adders, depth 4 — the
+// template matcher's favorite food.
+func DCT8() *cdfg.Graph {
+	const n = 8
+	g := cdfg.New(160)
+	ins := make([]cdfg.NodeID, n)
+	for i := range ins {
+		ins[i] = g.AddNode(fmt.Sprintf("x%d", i), cdfg.OpInput)
+	}
+	for k := 0; k < n; k++ {
+		prods := make([]cdfg.NodeID, n)
+		for i := 0; i < n; i++ {
+			m := g.AddNode(fmt.Sprintf("c%d_%d", k, i), cdfg.OpMulConst)
+			g.MustAddEdge(ins[i], m, cdfg.DataEdge)
+			prods[i] = m
+		}
+		sum := adderTree(g, fmt.Sprintf("k%d_", k), prods)
+		out := g.AddNode(fmt.Sprintf("X%d", k), cdfg.OpOutput)
+		g.MustAddEdge(sum, out, cdfg.DataEdge)
+	}
+	if err := g.Validate(); err != nil {
+		panic(fmt.Sprintf("designs: DCT8 invalid: %v", err))
+	}
+	return g
+}

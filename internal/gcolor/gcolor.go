@@ -1,0 +1,162 @@
+// Package gcolor instantiates the local-watermarking paradigm on graph
+// coloring, the generic illustration the paper itself uses ("while
+// uniquely marking a solution to graph coloring, a local watermark is
+// embedded in a random subgraph"). Graph coloring is behavioral
+// synthesis' workhorse for register and functional-unit binding, so the
+// substrate doubles as a binding engine.
+//
+// The protocol mirrors the CDFG ones: an author-keyed bitstream picks a
+// locality (a connected subgraph grown from a pseudo-random root), orders
+// it canonically by structural refinement, selects K non-adjacent node
+// pairs, and adds a constraint edge between each — forcing any correct
+// coloring of the augmented graph to give the pair different colors.
+// Detection re-derives the pairs and checks them against a suspect
+// coloring; the chance that an independent coloring separates all K pairs
+// quantifies the proof of authorship.
+package gcolor
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Graph is a simple undirected graph with dense vertex IDs.
+type Graph struct {
+	n   int
+	adj []map[int]bool
+}
+
+// NewGraph returns an empty graph on n vertices.
+func NewGraph(n int) *Graph {
+	g := &Graph{n: n, adj: make([]map[int]bool, n)}
+	for i := range g.adj {
+		g.adj[i] = map[int]bool{}
+	}
+	return g
+}
+
+// N returns the vertex count.
+func (g *Graph) N() int { return g.n }
+
+// AddEdge inserts an undirected edge; self-loops are rejected, duplicates
+// are idempotent.
+func (g *Graph) AddEdge(u, v int) error {
+	if u == v {
+		return fmt.Errorf("gcolor: self-loop on %d", u)
+	}
+	if u < 0 || u >= g.n || v < 0 || v >= g.n {
+		return fmt.Errorf("gcolor: edge (%d,%d) out of range [0,%d)", u, v, g.n)
+	}
+	g.adj[u][v] = true
+	g.adj[v][u] = true
+	return nil
+}
+
+// HasEdge reports adjacency.
+func (g *Graph) HasEdge(u, v int) bool {
+	if u < 0 || u >= g.n || v < 0 || v >= g.n {
+		return false
+	}
+	return g.adj[u][v]
+}
+
+// Neighbors returns v's neighbors in ascending order.
+func (g *Graph) Neighbors(v int) []int {
+	out := make([]int, 0, len(g.adj[v]))
+	for u := range g.adj[v] {
+		out = append(out, u)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Degree returns v's degree.
+func (g *Graph) Degree(v int) int { return len(g.adj[v]) }
+
+// Edges returns the edge count.
+func (g *Graph) Edges() int {
+	m := 0
+	for _, a := range g.adj {
+		m += len(a)
+	}
+	return m / 2
+}
+
+// Clone returns a deep copy.
+func (g *Graph) Clone() *Graph {
+	c := NewGraph(g.n)
+	for v, a := range g.adj {
+		for u := range a {
+			c.adj[v][u] = true
+		}
+	}
+	return c
+}
+
+// Coloring assigns a color (0-based) to every vertex.
+type Coloring []int
+
+// Colors returns the number of distinct colors used.
+func (c Coloring) Colors() int {
+	max := -1
+	for _, col := range c {
+		if col > max {
+			max = col
+		}
+	}
+	return max + 1
+}
+
+// Valid reports whether the coloring is proper for g.
+func (c Coloring) Valid(g *Graph) error {
+	if len(c) != g.n {
+		return fmt.Errorf("gcolor: coloring covers %d of %d vertices", len(c), g.n)
+	}
+	for v := 0; v < g.n; v++ {
+		if c[v] < 0 {
+			return fmt.Errorf("gcolor: vertex %d uncolored", v)
+		}
+		for u := range g.adj[v] {
+			if u > v && c[u] == c[v] {
+				return fmt.Errorf("gcolor: edge (%d,%d) monochromatic (color %d)", v, u, c[v])
+			}
+		}
+	}
+	return nil
+}
+
+// DSATUR colors g with the classic saturation-degree heuristic: always
+// color the vertex with the most distinctly-colored neighbors (ties:
+// higher degree, then lower ID), using the smallest feasible color.
+// Deterministic.
+func DSATUR(g *Graph) Coloring {
+	col := make(Coloring, g.n)
+	for i := range col {
+		col[i] = -1
+	}
+	satur := make([]map[int]bool, g.n)
+	for i := range satur {
+		satur[i] = map[int]bool{}
+	}
+	for done := 0; done < g.n; done++ {
+		best, bestSat, bestDeg := -1, -1, -1
+		for v := 0; v < g.n; v++ {
+			if col[v] >= 0 {
+				continue
+			}
+			s, d := len(satur[v]), g.Degree(v)
+			if s > bestSat || (s == bestSat && d > bestDeg) {
+				best, bestSat, bestDeg = v, s, d
+			}
+		}
+		c := 0
+		for satur[best][c] {
+			c++
+		}
+		col[best] = c
+		for u := range g.adj[best] {
+			satur[u][c] = true
+		}
+	}
+	return col
+}

@@ -1,0 +1,84 @@
+package order
+
+import (
+	"fmt"
+	"sort"
+
+	"localwm/internal/cdfg"
+)
+
+// Global ranks every computational node of g without reference to a
+// subtree root. It is the whole-design analogue of Order, used when a
+// protocol is applied with T = CDFG (the configuration of the paper's
+// template-matching experiments): criterion C1's level is taken from the
+// virtual sink side (the longest data path from the node to any output,
+// exactly what L_i degenerates to when the root is the whole design's
+// sink), and C2/C3 refine ties with growing-distance fan-in statistics as
+// in Order.
+func Global(g *cdfg.Graph, maxDepth int) (*Result, error) {
+	nodes := g.Computational()
+	if len(nodes) == 0 {
+		return nil, fmt.Errorf("order: graph has no computational nodes")
+	}
+	if maxDepth <= 0 {
+		// Refinement converges within a few hops on real designs; capping
+		// the depth keeps Global near-linear on MediaBench-scale graphs.
+		// Residual ties are reported via Result.Canonical.
+		maxDepth = 8
+		if len(nodes) < maxDepth {
+			maxDepth = len(nodes)
+		}
+	}
+	from, err := g.LongestFrom(cdfg.PathOpts{})
+	if err != nil {
+		return nil, err
+	}
+	keys := make(map[cdfg.NodeID][]int, len(nodes))
+	for _, v := range nodes {
+		keys[v] = []int{from[v]}
+	}
+	canonical := false
+	depthUsed := 0
+	for dx := 1; dx <= maxDepth; dx++ {
+		if allUnique(nodes, keys) {
+			canonical = true
+			break
+		}
+		depthUsed = dx
+		for _, v := range nodes {
+			k, err := g.FaninCount(v, dx)
+			if err != nil {
+				return nil, err
+			}
+			phi, err := g.FaninFunctionalitySum(v, dx)
+			if err != nil {
+				return nil, err
+			}
+			keys[v] = append(keys[v], k, phi)
+		}
+	}
+	if !canonical {
+		canonical = allUnique(nodes, keys)
+	}
+	ordered := append([]cdfg.NodeID(nil), nodes...)
+	sort.SliceStable(ordered, func(i, j int) bool {
+		a, b := ordered[i], ordered[j]
+		if c := compareKeys(keys[a], keys[b]); c != 0 {
+			return c > 0
+		}
+		if g.Node(a).Op != g.Node(b).Op {
+			return g.Node(a).Op > g.Node(b).Op
+		}
+		return a < b
+	})
+	res := &Result{
+		Ordered:   ordered,
+		Rank:      make(map[cdfg.NodeID]int, len(ordered)),
+		Canonical: canonical,
+		MaxDepth:  depthUsed,
+	}
+	for i, v := range ordered {
+		res.Rank[v] = i
+	}
+	return res, nil
+}

@@ -1,0 +1,167 @@
+// Package order implements the canonical node-ordering routine of the
+// domain-identification step (paper §IV-A). Watermark embedding and
+// detection must both be able to name "the i-th node of the subtree"
+// without exchanging any identifiers, so nodes are ranked purely from
+// graph structure:
+//
+//	C1  higher level L_i first, where L_i is the length of the longest
+//	    data path from the subtree root n_o back to n_i;
+//	C2  ties broken by K_i(x), the cardinality of n_i's transitive fan-in
+//	    tree within distance D_x, for increasing D_x;
+//	C3  remaining ties broken by φ(n_i, x), the sum of the functionality
+//	    identifiers over the same fan-in tree, for increasing D_x.
+//
+// The paper tries C2 and C3 "for increasing values of D_x until all nodes
+// in the subtree are uniquely identified". Structurally isomorphic nodes
+// (e.g. the two halves of a perfectly symmetric adder tree) can never be
+// separated by structural criteria; Order reports whether the ordering is
+// fully canonical, and falls back to operation kind and then node ID only
+// to keep the output total.
+package order
+
+import (
+	"fmt"
+	"sort"
+
+	"localwm/internal/cdfg"
+)
+
+// Result is the outcome of ordering a node set.
+type Result struct {
+	// Ordered lists the nodes from greatest to least under the paper's ">"
+	// relation. Identifier i names Ordered[i].
+	Ordered []cdfg.NodeID
+	// Rank maps each node to its identifier (index in Ordered).
+	Rank map[cdfg.NodeID]int
+	// Canonical reports whether C1–C3 alone separated every pair. When
+	// false, at least one tie was broken non-structurally, and a detector
+	// on a renumbered copy of the design may disagree on those positions.
+	Canonical bool
+	// MaxDepth is the largest D_x that was consulted.
+	MaxDepth int
+}
+
+// Order ranks the given subtree nodes of g with respect to root. The
+// subtree must contain root. maxDepth bounds the D_x search; a value of 0
+// means "up to the number of subtree nodes", which always suffices because
+// fan-in trees stop growing beyond that distance.
+func Order(g *cdfg.Graph, root cdfg.NodeID, subtree []cdfg.NodeID, maxDepth int) (*Result, error) {
+	if len(subtree) == 0 {
+		return nil, fmt.Errorf("order: empty subtree")
+	}
+	found := false
+	for _, v := range subtree {
+		if v == root {
+			found = true
+			break
+		}
+	}
+	if !found {
+		return nil, fmt.Errorf("order: subtree does not contain root %d", root)
+	}
+	if maxDepth <= 0 {
+		// Deep refinement rarely separates what 12 hops cannot; the cap
+		// bounds ordering cost on large subtrees. Residual ties are
+		// reported via Result.Canonical.
+		maxDepth = 12
+		if len(subtree) < maxDepth {
+			maxDepth = len(subtree)
+		}
+	}
+
+	levels, err := g.Levels(root)
+	if err != nil {
+		return nil, err
+	}
+	for _, v := range subtree {
+		if levels[v] < 0 {
+			return nil, fmt.Errorf("order: node %s is not in the fan-in cone of root %s",
+				g.Node(v).Name, g.Node(root).Name)
+		}
+	}
+
+	// keys[v] accumulates the comparison vector lazily; rounds of
+	// refinement append (K, φ) pairs for growing D_x only while ties
+	// remain, mirroring the paper's "for increasing values of D_x".
+	keys := make(map[cdfg.NodeID][]int, len(subtree))
+	for _, v := range subtree {
+		keys[v] = []int{levels[v]}
+	}
+
+	nodes := cdfg.SortedIDs(subtree)
+	canonical := false
+	depthUsed := 0
+	for dx := 1; dx <= maxDepth; dx++ {
+		if allUnique(nodes, keys) {
+			canonical = true
+			break
+		}
+		depthUsed = dx
+		for _, v := range nodes {
+			k, err := g.FaninCount(v, dx)
+			if err != nil {
+				return nil, err
+			}
+			phi, err := g.FaninFunctionalitySum(v, dx)
+			if err != nil {
+				return nil, err
+			}
+			keys[v] = append(keys[v], k, phi)
+		}
+	}
+	if !canonical {
+		canonical = allUnique(nodes, keys)
+	}
+
+	ordered := append([]cdfg.NodeID(nil), nodes...)
+	sort.SliceStable(ordered, func(i, j int) bool {
+		a, b := ordered[i], ordered[j]
+		if c := compareKeys(keys[a], keys[b]); c != 0 {
+			return c > 0 // greater key sorts first ("n_i > n_j")
+		}
+		// Non-structural fallbacks, reported via Canonical=false.
+		if g.Node(a).Op != g.Node(b).Op {
+			return g.Node(a).Op > g.Node(b).Op
+		}
+		return a < b
+	})
+
+	res := &Result{
+		Ordered:   ordered,
+		Rank:      make(map[cdfg.NodeID]int, len(ordered)),
+		Canonical: canonical,
+		MaxDepth:  depthUsed,
+	}
+	for i, v := range ordered {
+		res.Rank[v] = i
+	}
+	return res, nil
+}
+
+func compareKeys(a, b []int) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		switch {
+		case a[i] > b[i]:
+			return 1
+		case a[i] < b[i]:
+			return -1
+		}
+	}
+	return 0
+}
+
+func allUnique(nodes []cdfg.NodeID, keys map[cdfg.NodeID][]int) bool {
+	seen := make(map[string]bool, len(nodes))
+	for _, v := range nodes {
+		s := fmt.Sprint(keys[v])
+		if seen[s] {
+			return false
+		}
+		seen[s] = true
+	}
+	return true
+}

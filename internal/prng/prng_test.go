@@ -1,0 +1,255 @@
+package prng
+
+import (
+	"bytes"
+	"encoding/hex"
+	"testing"
+	"testing/quick"
+)
+
+// RC4 known-answer keystreams, cross-checked against an independent
+// reference implementation and anchored by the classic ciphertext vectors
+// below.
+func TestRC4KnownVectors(t *testing.T) {
+	cases := []struct {
+		key, stream string // hex
+	}{
+		{"0102030405", "b2396305f03dc027ccc3524a0a1118a8"},
+		{"01020304050607", "293f02d47f37c9b633f2af5285feb46b"},
+		{"0102030405060708", "97ab8a1bf0afb96132f2f67258da15a8"},
+		{"0102030405060708090a0b0c0d0e0f10", "9ac7cc9a609d1ef7b2932899cde41b97"},
+	}
+	for _, c := range cases {
+		key, err := hex.DecodeString(c.key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := hex.DecodeString(c.stream)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rc4, err := NewRC4(key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := make([]byte, len(want))
+		if _, err := rc4.Read(got); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("key %s: keystream %x, want %x", c.key, got, want)
+		}
+	}
+}
+
+// The classic published RC4 vectors: encrypting "Plaintext" under "Key"
+// and "pedia" under "Wiki".
+func TestRC4ClassicCiphertexts(t *testing.T) {
+	cases := []struct {
+		key, plain, cipher string
+	}{
+		{"Key", "Plaintext", "bbf316e8d940af0ad3"},
+		{"Wiki", "pedia", "1021bf0420"},
+	}
+	for _, c := range cases {
+		rc4, err := NewRC4([]byte(c.key))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := make([]byte, len(c.plain))
+		for i := range got {
+			got[i] = c.plain[i] ^ rc4.NextByte()
+		}
+		if hex.EncodeToString(got) != c.cipher {
+			t.Fatalf("RC4(%q, %q) = %x, want %s", c.key, c.plain, got, c.cipher)
+		}
+	}
+}
+
+func TestRC4KeyLengthBounds(t *testing.T) {
+	if _, err := NewRC4(nil); err == nil {
+		t.Fatal("empty key accepted")
+	}
+	if _, err := NewRC4(make([]byte, 257)); err == nil {
+		t.Fatal("257-byte key accepted")
+	}
+	if _, err := NewRC4(make([]byte, 256)); err != nil {
+		t.Fatalf("256-byte key rejected: %v", err)
+	}
+}
+
+func TestBitstreamDeterministic(t *testing.T) {
+	a := MustBitstream([]byte("alice"))
+	b := MustBitstream([]byte("alice"))
+	for i := 0; i < 1000; i++ {
+		if a.Bit() != b.Bit() {
+			t.Fatalf("same signature diverges at bit %d", i)
+		}
+	}
+}
+
+func TestBitstreamSignatureSeparation(t *testing.T) {
+	a := MustBitstream([]byte("alice"))
+	b := MustBitstream([]byte("alicf")) // one bit of key difference
+	same := 0
+	const n = 4096
+	for i := 0; i < n; i++ {
+		if a.Bit() == b.Bit() {
+			same++
+		}
+	}
+	// Independent fair streams agree on ~50%; 40–60% is a >6σ window.
+	if same < n*40/100 || same > n*60/100 {
+		t.Fatalf("adjacent signatures agree on %d/%d bits", same, n)
+	}
+}
+
+func TestEmptySignatureRejected(t *testing.T) {
+	if _, err := NewBitstream(nil); err == nil {
+		t.Fatal("empty signature accepted")
+	}
+}
+
+func TestLongSignatureFolded(t *testing.T) {
+	long := bytes.Repeat([]byte("x"), 1000)
+	bs, err := NewBitstream(long)
+	if err != nil {
+		t.Fatalf("long signature rejected: %v", err)
+	}
+	// Must differ from a truncated version (folding keeps all bytes live).
+	long2 := append(bytes.Repeat([]byte("x"), 999), 'y')
+	bs2, err := NewBitstream(long2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diff := false
+	for i := 0; i < 256; i++ {
+		if bs.Bit() != bs2.Bit() {
+			diff = true
+			break
+		}
+	}
+	if !diff {
+		t.Fatal("trailing signature bytes ignored")
+	}
+}
+
+func TestIntnUniform(t *testing.T) {
+	bs := MustBitstream([]byte("uniformity"))
+	const n, draws = 7, 14000
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		counts[bs.Intn(n)]++
+	}
+	want := draws / n
+	for v, c := range counts {
+		if c < want*8/10 || c > want*12/10 {
+			t.Fatalf("Intn(%d): value %d drawn %d times, want ≈%d", n, v, c, want)
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	bs := MustBitstream([]byte("x"))
+	for _, n := range []int{0, -3} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("Intn(%d) did not panic", n)
+				}
+			}()
+			bs.Intn(n)
+		}()
+	}
+}
+
+func TestIntnOneIsFree(t *testing.T) {
+	bs := MustBitstream([]byte("x"))
+	before := bs.Emitted()
+	if bs.Intn(1) != 0 {
+		t.Fatal("Intn(1) != 0")
+	}
+	if bs.Emitted() != before {
+		t.Fatal("Intn(1) consumed bits")
+	}
+}
+
+func TestCoinBias(t *testing.T) {
+	bs := MustBitstream([]byte("coin"))
+	heads := 0
+	const n = 9000
+	for i := 0; i < n; i++ {
+		if bs.Coin(1, 3) {
+			heads++
+		}
+	}
+	if heads < n/3-n/20 || heads > n/3+n/20 {
+		t.Fatalf("Coin(1/3): %d/%d heads", heads, n)
+	}
+}
+
+func TestCoinPanicsMalformed(t *testing.T) {
+	bs := MustBitstream([]byte("x"))
+	for _, c := range [][2]int{{-1, 2}, {3, 2}, {1, 0}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("Coin(%d/%d) did not panic", c[0], c[1])
+				}
+			}()
+			bs.Coin(c[0], c[1])
+		}()
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	f := func(seedByte byte, nRaw uint8) bool {
+		n := int(nRaw%20) + 1
+		bs := MustBitstream([]byte{seedByte + 1})
+		p := bs.Perm(n)
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return len(p) == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSelectOrderedSubset(t *testing.T) {
+	bs := MustBitstream([]byte("select"))
+	s := bs.Select(5, 12)
+	if len(s) != 5 {
+		t.Fatalf("Select returned %d items", len(s))
+	}
+	seen := map[int]bool{}
+	for _, v := range s {
+		if v < 0 || v >= 12 || seen[v] {
+			t.Fatalf("Select produced bad element %d in %v", v, s)
+		}
+		seen[v] = true
+	}
+}
+
+func TestSelectPanicsOutOfRange(t *testing.T) {
+	bs := MustBitstream([]byte("x"))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Select(5,3) did not panic")
+		}
+	}()
+	bs.Select(5, 3)
+}
+
+func TestUint64Changes(t *testing.T) {
+	bs := MustBitstream([]byte("u64"))
+	a, b := bs.Uint64(), bs.Uint64()
+	if a == b {
+		t.Fatal("consecutive Uint64 equal (vanishingly unlikely)")
+	}
+}

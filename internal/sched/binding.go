@@ -1,0 +1,144 @@
+package sched
+
+import (
+	"fmt"
+	"sort"
+
+	"localwm/internal/cdfg"
+)
+
+// Functional-unit binding: once a schedule fixes which operations execute
+// concurrently, each operation must be assigned a concrete unit instance
+// of its class — two same-step ops may not share one. The instance count
+// per class equals the schedule's peak concurrency (ResourceUsage); what
+// binding adds is the assignment itself and an interconnect-quality
+// objective: keeping producer/consumer chains on the same instance avoids
+// multiplexer hops.
+
+// FUBinding assigns an instance index (per class) to every computational
+// node.
+type FUBinding struct {
+	// Instance[v] is the unit index within v's class.
+	Instance map[cdfg.NodeID]int
+	// Count[class] is the number of instances the binding uses.
+	Count Resources
+	// Switches counts data edges whose endpoints run in the same class
+	// but on different instances — a proxy for interconnect cost.
+	Switches int
+}
+
+// Validate checks that no two operations scheduled in the same step share
+// an instance.
+func (b *FUBinding) Validate(g *cdfg.Graph, s *Schedule) error {
+	type slot struct {
+		step, inst int
+		class      FUClass
+	}
+	seen := map[slot]cdfg.NodeID{}
+	for _, n := range g.Nodes() {
+		if !n.Op.IsComputational() {
+			continue
+		}
+		inst, ok := b.Instance[n.ID]
+		if !ok {
+			return fmt.Errorf("sched: node %s unbound", n.Name)
+		}
+		cl := ClassOf(n.Op)
+		if inst < 0 || inst >= b.Count[cl] {
+			return fmt.Errorf("sched: node %s instance %d outside [0,%d)", n.Name, inst, b.Count[cl])
+		}
+		k := slot{s.Steps[n.ID], inst, cl}
+		if prev, dup := seen[k]; dup {
+			return fmt.Errorf("sched: nodes %s and %s share %v#%d in step %d",
+				g.Node(prev).Name, n.Name, cl, inst, k.step)
+		}
+		seen[k] = n.ID
+	}
+	return nil
+}
+
+// BindFUs assigns unit instances step by step. With affinity enabled, an
+// operation prefers the instance that produced one of its operands (when
+// that instance is free this step), shortening the op-to-op forwarding
+// paths; otherwise the lowest free index is taken. Either way the
+// instance count per class equals the schedule's peak concurrency.
+func BindFUs(g *cdfg.Graph, s *Schedule, affinity bool) (*FUBinding, error) {
+	if len(s.Steps) != g.Len() {
+		return nil, fmt.Errorf("sched: schedule covers %d nodes, graph has %d", len(s.Steps), g.Len())
+	}
+	peak := ResourceUsage(g, s)
+	b := &FUBinding{Instance: map[cdfg.NodeID]int{}, Count: peak}
+
+	// Group ops per step.
+	byStep := map[int][]cdfg.NodeID{}
+	maxStep := 0
+	for _, n := range g.Nodes() {
+		if !n.Op.IsComputational() {
+			continue
+		}
+		byStep[s.Steps[n.ID]] = append(byStep[s.Steps[n.ID]], n.ID)
+		if s.Steps[n.ID] > maxStep {
+			maxStep = s.Steps[n.ID]
+		}
+	}
+	for step := 1; step <= maxStep; step++ {
+		ops := byStep[step]
+		sort.Slice(ops, func(i, j int) bool { return ops[i] < ops[j] })
+		var used [NumFUClasses]map[int]bool
+		for c := range used {
+			used[c] = map[int]bool{}
+		}
+		// Affinity pass first so preferred instances aren't stolen by
+		// earlier-ID ops that don't care.
+		if affinity {
+			for _, v := range ops {
+				cl := ClassOf(g.Node(v).Op)
+				want := -1
+				for _, u := range g.DataIn(v) {
+					un := g.Node(u)
+					if !un.Op.IsComputational() || ClassOf(un.Op) != cl {
+						continue
+					}
+					if inst, ok := b.Instance[u]; ok && !used[cl][inst] && inst < peak[cl] {
+						want = inst
+						break
+					}
+				}
+				if want >= 0 {
+					b.Instance[v] = want
+					used[cl][want] = true
+				}
+			}
+		}
+		for _, v := range ops {
+			if _, done := b.Instance[v]; done {
+				continue
+			}
+			cl := ClassOf(g.Node(v).Op)
+			inst := 0
+			for used[cl][inst] {
+				inst++
+			}
+			if inst >= peak[cl] {
+				return nil, fmt.Errorf("sched: internal: step %d needs more %v units than peak %d",
+					step, cl, peak[cl])
+			}
+			b.Instance[v] = inst
+			used[cl][inst] = true
+		}
+	}
+	// Interconnect metric.
+	for _, n := range g.Nodes() {
+		if !n.Op.IsComputational() {
+			continue
+		}
+		cl := ClassOf(n.Op)
+		for _, u := range g.DataIn(n.ID) {
+			un := g.Node(u)
+			if un.Op.IsComputational() && ClassOf(un.Op) == cl && b.Instance[u] != b.Instance[n.ID] {
+				b.Switches++
+			}
+		}
+	}
+	return b, nil
+}

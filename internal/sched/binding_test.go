@@ -1,0 +1,126 @@
+package sched
+
+import (
+	"testing"
+
+	"localwm/internal/cdfg"
+	"localwm/internal/designs"
+)
+
+func TestBindFUsValid(t *testing.T) {
+	g := designs.EighthOrderCFIIR()
+	res := Resources{}
+	res[FUALU] = 2
+	res[FUMul] = 2
+	s, err := ListSchedule(g, ListOpts{Res: res})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, affinity := range []bool{false, true} {
+		b, err := BindFUs(g, s, affinity)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := b.Validate(g, s); err != nil {
+			t.Fatalf("affinity=%v: %v", affinity, err)
+		}
+		peak := ResourceUsage(g, s)
+		for c := 0; c < NumFUClasses; c++ {
+			if b.Count[c] != peak[c] {
+				t.Fatalf("class %d: bound %d units, peak is %d", c, b.Count[c], peak[c])
+			}
+		}
+	}
+}
+
+func TestBindFUsAffinityReducesSwitches(t *testing.T) {
+	// Two parallel add chains whose node IDs interleave in opposite
+	// orders per level, so the naive lowest-free-index rule ping-pongs
+	// each chain between the two ALUs while affinity keeps each chain on
+	// its own unit.
+	g := cdfg.New(32)
+	in := g.AddNode("in", cdfg.OpInput)
+	mkAdd := func(name string, a, b cdfg.NodeID) cdfg.NodeID {
+		v := g.AddNode(name, cdfg.OpAdd)
+		g.MustAddEdge(a, v, cdfg.DataEdge)
+		g.MustAddEdge(b, v, cdfg.DataEdge)
+		return v
+	}
+	a := mkAdd("a1", in, in)
+	b := mkAdd("b1", in, in)
+	const depth = 6
+	for i := 2; i <= depth; i++ {
+		if i%2 == 0 { // flip creation order each level
+			b = mkAdd("b"+string(rune('0'+i)), b, in)
+			a = mkAdd("a"+string(rune('0'+i)), a, in)
+		} else {
+			a = mkAdd("a"+string(rune('0'+i)), a, in)
+			b = mkAdd("b"+string(rune('0'+i)), b, in)
+		}
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	res := Resources{}
+	res[FUALU] = 2
+	s, err := ListSchedule(g, ListOpts{Res: res})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := BindFUs(g, s, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aff, err := BindFUs(g, s, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := aff.Validate(g, s); err != nil {
+		t.Fatal(err)
+	}
+	if aff.Switches != 0 {
+		t.Fatalf("affinity binding still switches %d times", aff.Switches)
+	}
+	if plain.Switches == 0 {
+		t.Fatal("test graph failed to provoke naive switches")
+	}
+	t.Logf("interconnect switches: naive %d, affinity %d", plain.Switches, aff.Switches)
+}
+
+func TestBindFUsValidateCatchesConflicts(t *testing.T) {
+	g := designs.ModemFilter()
+	s, err := ListSchedule(g, ListOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := BindFUs(g, s, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Force two same-step muls onto one instance.
+	var first, second = -1, -1
+	for _, v := range g.Computational() {
+		if ClassOf(g.Node(v).Op) == FUMul && s.Steps[v] == 1 {
+			if first == -1 {
+				first = int(v)
+			} else if second == -1 {
+				second = int(v)
+				break
+			}
+		}
+	}
+	if second == -1 {
+		t.Skip("no same-step mul pair")
+	}
+	b.Instance[g.Nodes()[second].ID] = b.Instance[g.Nodes()[first].ID]
+	if err := b.Validate(g, s); err == nil {
+		t.Fatal("conflicting binding accepted")
+	}
+}
+
+func TestBindFUsMismatchedSchedule(t *testing.T) {
+	g := designs.ModemFilter()
+	if _, err := BindFUs(g, &Schedule{Steps: []int{1}}, false); err == nil {
+		t.Fatal("mismatched schedule accepted")
+	}
+}

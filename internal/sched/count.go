@@ -1,0 +1,121 @@
+package sched
+
+import (
+	"fmt"
+
+	"localwm/internal/cdfg"
+)
+
+// Exact enumeration. The paper computes exact solution-coincidence
+// probabilities "using a trivial exhaustive enumeration technique ... only
+// for small examples" (runtimes are exponential in general). A schedule
+// here is an assignment of a control step in [1, budget] to every
+// computational node such that every precedence edge goes strictly forward
+// in time; operations may share a step (resources are unconstrained, the
+// regime in which the paper's 166-schedule IIR example is counted).
+
+// EnumLimit caps the estimated search-space size Count will attempt.
+// The product of ASAP–ALAP window widths upper-bounds the number of leaf
+// visits; beyond the limit Count returns an error instead of running for
+// hours. Exported so benchmarks can document the boundary.
+const EnumLimit = 5e9
+
+// Count returns the exact number of feasible schedules of g within the
+// given budget. Temporal edges constrain the count when useTemporal is
+// set: Count(g, S, true)/Count(g, S, false) is the exact coincidence
+// probability Pc of the temporal-edge watermark on g.
+func Count(g *cdfg.Graph, budget int, useTemporal bool) (uint64, error) {
+	total, _, err := CountWhere(g, budget, useTemporal, nil)
+	return total, err
+}
+
+// CountWhere enumerates feasible schedules, returning the total and the
+// number satisfying pred (pred receives the steps slice indexed by NodeID;
+// it must not retain it). A nil pred counts everything and reports
+// matching == total.
+func CountWhere(g *cdfg.Graph, budget int, useTemporal bool, pred func(steps []int) bool) (total, matching uint64, err error) {
+	w, err := ComputeWindows(g, budget, useTemporal)
+	if err != nil {
+		return 0, 0, err
+	}
+	order, err := g.TopoOrder()
+	if err != nil {
+		return 0, 0, err
+	}
+	var nodes []cdfg.NodeID
+	for _, v := range order {
+		if g.Node(v).Op.IsComputational() {
+			nodes = append(nodes, v)
+		}
+	}
+	// Search-space size guard.
+	space := 1.0
+	for _, v := range nodes {
+		space *= float64(w.Width(v))
+		if space > EnumLimit {
+			return 0, 0, fmt.Errorf("sched: enumeration space exceeds limit %g (%d nodes); use the approximate Pc model", float64(EnumLimit), len(nodes))
+		}
+	}
+
+	steps := make([]int, g.Len())
+	// preds[i] lists the computational precedence predecessors of nodes[i].
+	preds := make([][]cdfg.NodeID, len(nodes))
+	for i, v := range nodes {
+		for _, u := range predsFor(g, v, useTemporal) {
+			if g.Node(u).Op.IsComputational() {
+				preds[i] = append(preds[i], u)
+			}
+		}
+	}
+
+	var rec func(i int)
+	rec = func(i int) {
+		if i == len(nodes) {
+			total++
+			if pred == nil || pred(steps) {
+				matching++
+			}
+			return
+		}
+		v := nodes[i]
+		lo := w.ASAP[v]
+		for _, u := range preds[i] {
+			if steps[u]+1 > lo {
+				lo = steps[u] + 1
+			}
+		}
+		for t := lo; t <= w.ALAP[v]; t++ {
+			steps[v] = t
+			rec(i + 1)
+		}
+		steps[v] = 0
+	}
+	rec(0)
+	return total, matching, nil
+}
+
+// PairOrderCounts enumerates the joint placements of two computational
+// nodes a and b of g within budget steps (all other nodes free), returning
+// how many complete schedules place a strictly before b, b strictly before
+// a, or both in the same step. This is the ψ computation of the paper's
+// motivational example ("two operations O[i] and O[j] can be scheduled in
+// 77 different ways; there are only ten possible schedulings how O[j] can
+// be scheduled before O[i]").
+func PairOrderCounts(g *cdfg.Graph, budget int, a, b cdfg.NodeID) (aFirst, bFirst, same uint64, err error) {
+	if !g.Node(a).Op.IsComputational() || !g.Node(b).Op.IsComputational() {
+		return 0, 0, 0, fmt.Errorf("sched: pair nodes must be computational")
+	}
+	_, aF, err := CountWhere(g, budget, false, func(steps []int) bool { return steps[a] < steps[b] })
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	_, bF, err := CountWhere(g, budget, false, func(steps []int) bool { return steps[b] < steps[a] })
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	_, eq, err := CountWhere(g, budget, false, func(steps []int) bool { return steps[a] == steps[b] })
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	return aF, bF, eq, nil
+}

@@ -1,0 +1,229 @@
+package sched
+
+import (
+	"testing"
+	"testing/quick"
+
+	"localwm/internal/cdfg"
+)
+
+// tinyChain builds k chained cmuls; the number of schedules within budget
+// S is C(S, k) choose-with-order... precisely the number of strictly
+// increasing k-sequences in [1,S], i.e. binomial(S, k).
+func tinyChain(t *testing.T, k int) *cdfg.Graph {
+	t.Helper()
+	g := cdfg.New(k + 1)
+	prev := g.AddNode("in", cdfg.OpInput)
+	for i := 0; i < k; i++ {
+		v := g.AddNode("c"+string(rune('a'+i)), cdfg.OpMulConst)
+		g.MustAddEdge(prev, v, cdfg.DataEdge)
+		prev = v
+	}
+	return g
+}
+
+func binom(n, k int) uint64 {
+	if k < 0 || k > n {
+		return 0
+	}
+	r := uint64(1)
+	for i := 0; i < k; i++ {
+		r = r * uint64(n-i) / uint64(i+1)
+	}
+	return r
+}
+
+func TestCountChainIsBinomial(t *testing.T) {
+	for k := 1; k <= 4; k++ {
+		for s := k; s <= k+4; s++ {
+			g := tinyChain(t, k)
+			got, err := Count(g, s, false)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want := binom(s, k); got != want {
+				t.Fatalf("chain k=%d budget=%d: count %d, want %d", k, s, got, want)
+			}
+		}
+	}
+}
+
+func TestCountIndependentOpsIsPower(t *testing.T) {
+	// k independent ops in S steps: S^k schedules.
+	g := cdfg.New(6)
+	in := g.AddNode("in", cdfg.OpInput)
+	for i := 0; i < 3; i++ {
+		v := g.AddNode("p"+string(rune('0'+i)), cdfg.OpMulConst)
+		g.MustAddEdge(in, v, cdfg.DataEdge)
+	}
+	got, err := Count(g, 4, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 64 {
+		t.Fatalf("count = %d, want 4^3 = 64", got)
+	}
+}
+
+func TestCountWithTemporalEdgeShrinks(t *testing.T) {
+	g := cdfg.New(6)
+	in := g.AddNode("in", cdfg.OpInput)
+	a := g.AddNode("a", cdfg.OpMulConst)
+	b := g.AddNode("b", cdfg.OpMulConst)
+	g.MustAddEdge(in, a, cdfg.DataEdge)
+	g.MustAddEdge(in, b, cdfg.DataEdge)
+	g.MustAddEdge(a, b, cdfg.TemporalEdge)
+
+	total, err := Count(g, 3, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	withWM, err := Count(g, 3, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != 9 {
+		t.Fatalf("total = %d, want 9", total)
+	}
+	if withWM != 3 { // (1,2),(1,3),(2,3)
+		t.Fatalf("constrained = %d, want 3", withWM)
+	}
+}
+
+func TestCountWherePredicate(t *testing.T) {
+	g := cdfg.New(6)
+	in := g.AddNode("in", cdfg.OpInput)
+	a := g.AddNode("a", cdfg.OpMulConst)
+	b := g.AddNode("b", cdfg.OpMulConst)
+	g.MustAddEdge(in, a, cdfg.DataEdge)
+	g.MustAddEdge(in, b, cdfg.DataEdge)
+	total, matching, err := CountWhere(g, 2, false, func(steps []int) bool {
+		return steps[a] == steps[b]
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != 4 || matching != 2 {
+		t.Fatalf("total=%d matching=%d, want 4,2", total, matching)
+	}
+}
+
+func TestPairOrderCountsPartition(t *testing.T) {
+	g := cdfg.New(8)
+	in := g.AddNode("in", cdfg.OpInput)
+	a := g.AddNode("a", cdfg.OpMulConst)
+	b := g.AddNode("b", cdfg.OpMulConst)
+	c := g.AddNode("c", cdfg.OpMulConst)
+	g.MustAddEdge(in, a, cdfg.DataEdge)
+	g.MustAddEdge(in, b, cdfg.DataEdge)
+	g.MustAddEdge(b, c, cdfg.DataEdge)
+
+	aF, bF, same, err := PairOrderCounts(g, 3, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total, err := Count(g, 3, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if aF+bF+same != total {
+		t.Fatalf("order counts %d+%d+%d don't partition %d", aF, bF, same, total)
+	}
+	// b is constrained by its consumer c, so b tends to go earlier: b
+	// strictly before a should be the (weakly) larger count.
+	if bF < aF {
+		t.Fatalf("expected bias toward b first, got aFirst=%d bFirst=%d", aF, bF)
+	}
+}
+
+func TestPairOrderCountsRejectsNonComputational(t *testing.T) {
+	g := tinyChain(t, 2)
+	if _, _, _, err := PairOrderCounts(g, 3, cdfg.NodeID(0), cdfg.NodeID(1)); err == nil {
+		t.Fatal("input node accepted")
+	}
+}
+
+func TestCountSpaceLimit(t *testing.T) {
+	// 40 independent ops in 40 steps: 40^40 >> EnumLimit.
+	g := cdfg.New(48)
+	in := g.AddNode("in", cdfg.OpInput)
+	for i := 0; i < 40; i++ {
+		v := g.AddNode("p"+itoa(i), cdfg.OpMulConst)
+		g.MustAddEdge(in, v, cdfg.DataEdge)
+	}
+	if _, err := Count(g, 40, false); err == nil {
+		t.Fatal("oversized enumeration accepted")
+	}
+}
+
+// Property: constraining with temporal edges never increases the count,
+// and the constrained count is exactly the CountWhere of the predicate.
+func TestCountTemporalConsistencyProperty(t *testing.T) {
+	f := func(seed uint32) bool {
+		g, a, b := randomPairGraph(seed)
+		if g == nil {
+			return true
+		}
+		budget, err := MinBudget(g, false)
+		if err != nil {
+			return false
+		}
+		budget += 2
+		total, viaPred, err := CountWhere(g, budget, false, func(steps []int) bool {
+			return steps[a] < steps[b]
+		})
+		if err != nil {
+			return false
+		}
+		if err := g.AddEdge(a, b, cdfg.TemporalEdge); err != nil {
+			return false
+		}
+		withWM, err := Count(g, budget, true)
+		if err != nil {
+			return false
+		}
+		return withWM == viaPred && withWM <= total
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// randomPairGraph builds a small random DAG plus two independent
+// computational nodes a, b (no path either way), or nil if none exist.
+func randomPairGraph(seed uint32) (*cdfg.Graph, cdfg.NodeID, cdfg.NodeID) {
+	g := cdfg.New(10)
+	rng := seed
+	next := func(m int) int {
+		rng = rng*1664525 + 1013904223
+		return int(rng>>16) % m
+	}
+	in := g.AddNode("in", cdfg.OpInput)
+	ids := []cdfg.NodeID{in}
+	for i := 0; i < 7; i++ {
+		v := g.AddNode("n"+itoa(i), cdfg.OpMulConst)
+		g.MustAddEdge(ids[next(len(ids))], v, cdfg.DataEdge)
+		ids = append(ids, v)
+	}
+	comp := g.Computational()
+	for i := 0; i < len(comp); i++ {
+		for j := i + 1; j < len(comp); j++ {
+			if !g.HasPath(comp[i], comp[j]) && !g.HasPath(comp[j], comp[i]) {
+				return g, comp[i], comp[j]
+			}
+		}
+	}
+	return nil, cdfg.None, cdfg.None
+}
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var b []byte
+	for i > 0 {
+		b = append([]byte{byte('0' + i%10)}, b...)
+		i /= 10
+	}
+	return string(b)
+}

@@ -1,0 +1,177 @@
+package sched
+
+import (
+	"fmt"
+
+	"localwm/internal/cdfg"
+)
+
+// Exact resource-constrained scheduling. The paper names two basic
+// scheduling approaches — heuristics (list/force-directed, implemented in
+// list.go and fds.go) and integer linear programming. This file provides
+// the ILP-equivalent: a branch-and-bound search over control-step
+// assignments that provably minimizes the makespan under resource
+// constraints, usable on small/medium designs and as an optimality oracle
+// for the heuristics in tests and benchmarks.
+
+// ExactOpts configures the exact scheduler.
+type ExactOpts struct {
+	// Res bounds per-step usage (zero entries unlimited).
+	Res Resources
+	// UseTemporal honors watermark temporal edges.
+	UseTemporal bool
+	// MaxNodes aborts on designs larger than this (default 64): the
+	// search is exponential in the worst case.
+	MaxNodes int
+	// MaxVisits bounds the number of branch-and-bound tree nodes visited
+	// before giving up (default 2e6), so pathological instances fail fast
+	// instead of hanging.
+	MaxVisits int
+}
+
+// ExactSchedule finds a minimum-makespan schedule under the given
+// resource constraints. It returns the schedule and its (optimal)
+// makespan. The search branches on operations in topological order,
+// assigning each the earliest feasible steps first, bounding with the
+// resource-relaxed critical path and pruning against the incumbent (which
+// is seeded with the list scheduler's solution, so the result is never
+// worse than the heuristic's).
+func ExactSchedule(g *cdfg.Graph, opts ExactOpts) (*Schedule, error) {
+	if opts.MaxNodes == 0 {
+		opts.MaxNodes = 64
+	}
+	if opts.MaxVisits == 0 {
+		opts.MaxVisits = 2_000_000
+	}
+	comp := g.Computational()
+	if len(comp) > opts.MaxNodes {
+		return nil, fmt.Errorf("sched: exact scheduling limited to %d nodes, design has %d",
+			opts.MaxNodes, len(comp))
+	}
+
+	// Incumbent: the list scheduler's makespan.
+	incumbent, err := ListSchedule(g, ListOpts{Res: opts.Res, UseTemporal: opts.UseTemporal})
+	if err != nil {
+		return nil, err
+	}
+	best := incumbent.Clone()
+	bestSpan := incumbent.Makespan()
+
+	order, err := g.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	var nodes []cdfg.NodeID
+	for _, v := range order {
+		if g.Node(v).Op.IsComputational() {
+			nodes = append(nodes, v)
+		}
+	}
+	from, err := g.LongestFrom(cdfg.PathOpts{IncludeTemporal: opts.UseTemporal})
+	if err != nil {
+		return nil, err
+	}
+	preds := make([][]cdfg.NodeID, len(nodes))
+	for i, v := range nodes {
+		for _, u := range predsFor(g, v, opts.UseTemporal) {
+			if g.Node(u).Op.IsComputational() {
+				preds[i] = append(preds[i], u)
+			}
+		}
+	}
+
+	// Global lower bound: the (temporal-aware) critical path and, per
+	// class, the serialization forced by the resource limits. When the
+	// incumbent reaches it the search stops: optimality is proven.
+	globalLB, err := MinBudget(g, opts.UseTemporal)
+	if err != nil {
+		return nil, err
+	}
+	var classCount [NumFUClasses]int
+	for _, v := range comp {
+		classCount[ClassOf(g.Node(v).Op)]++
+	}
+	for c := 0; c < NumFUClasses; c++ {
+		if lim := opts.Res[c]; lim > 0 {
+			if need := (classCount[c] + lim - 1) / lim; need > globalLB {
+				globalLB = need
+			}
+		}
+	}
+	if bestSpan == globalLB {
+		return best, nil // the heuristic is already provably optimal
+	}
+
+	steps := make([]int, g.Len())
+	type key struct {
+		step  int
+		class FUClass
+	}
+	usage := map[key]int{}
+	visits := 0
+	aborted := false
+
+	var rec func(i, span int)
+	rec = func(i, span int) {
+		if aborted {
+			return
+		}
+		visits++
+		if visits > opts.MaxVisits {
+			aborted = true
+			return
+		}
+		if bestSpan == globalLB {
+			return // incumbent is provably optimal
+		}
+		if i == len(nodes) {
+			if span < bestSpan {
+				bestSpan = span
+				best = &Schedule{Steps: append([]int(nil), steps...), Budget: span}
+			}
+			return
+		}
+		v := nodes[i]
+		lo := 1
+		for _, u := range preds[i] {
+			if steps[u]+1 > lo {
+				lo = steps[u] + 1
+			}
+		}
+		cl := ClassOf(g.Node(v).Op)
+		limit := opts.Res[cl]
+		// Latest step worth trying: placing v at t makes the makespan at
+		// least t + from[v] - 1; prune against the incumbent.
+		for t := lo; t+from[v]-1 < bestSpan; t++ {
+			k := key{t, cl}
+			if limit > 0 && usage[k] >= limit {
+				continue
+			}
+			usage[k]++
+			steps[v] = t
+			newSpan := span
+			if t+from[v]-1 > newSpan {
+				// Lower bound on the eventual makespan via v's tail.
+				newSpan = t + from[v] - 1
+			}
+			if t > newSpan {
+				newSpan = t
+			}
+			rec(i+1, newSpan)
+			usage[k]--
+			steps[v] = 0
+			if aborted {
+				return
+			}
+		}
+	}
+	rec(0, 0)
+	if aborted {
+		return nil, fmt.Errorf("sched: exact search exceeded %d visits (use the list scheduler)", opts.MaxVisits)
+	}
+	best.Budget = bestSpan
+	if err := Verify(g, best, opts.Res, opts.UseTemporal); err != nil {
+		return nil, fmt.Errorf("sched: internal: exact schedule failed verification: %v", err)
+	}
+	return best, nil
+}

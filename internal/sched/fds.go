@@ -1,0 +1,194 @@
+package sched
+
+import (
+	"fmt"
+
+	"localwm/internal/cdfg"
+)
+
+// FDSOpts configures force-directed scheduling.
+type FDSOpts struct {
+	// Budget is the number of available control steps (must be at least
+	// the critical path).
+	Budget int
+	// UseTemporal makes temporal edges scheduling constraints.
+	UseTemporal bool
+}
+
+// FDSchedule implements Paulin–Knight force-directed scheduling: a
+// time-constrained heuristic that, given a control-step budget, balances
+// the expected per-step demand on every functional-unit class, thereby
+// minimizing the number of modules the datapath needs. This is the
+// scheduler the behavioral-synthesis flow runs after watermark constraints
+// have been added (the paper cites force-directed scheduling [14] as its
+// heuristic scheduling reference).
+//
+// The algorithm repeatedly fixes the (operation, step) pair with the
+// lowest total force — self force plus the implicit force exerted on
+// direct predecessors and successors — and recomputes windows after each
+// fix. Complexity is O(n · (E + Σ window widths)), fine for the designs in
+// the evaluation.
+func FDSchedule(g *cdfg.Graph, opts FDSOpts) (*Schedule, error) {
+	w, err := ComputeWindows(g, opts.Budget, opts.UseTemporal)
+	if err != nil {
+		return nil, err
+	}
+	n := g.Len()
+	fixed := make([]int, n) // 0 = unfixed, else control step
+	comp := g.Computational()
+
+	// pinned windows: recomputed after each fix by longest-path with fixed
+	// nodes clamped.
+	asap := append([]int(nil), w.ASAP...)
+	alap := append([]int(nil), w.ALAP...)
+
+	recompute := func() error {
+		order, err := g.TopoOrder()
+		if err != nil {
+			return err
+		}
+		// Forward pass (ASAP with fixed clamps).
+		for _, v := range order {
+			if !g.Node(v).Op.IsComputational() {
+				continue
+			}
+			lo := 1
+			for _, u := range predsFor(g, v, opts.UseTemporal) {
+				if !g.Node(u).Op.IsComputational() {
+					continue
+				}
+				if asap[u]+1 > lo {
+					lo = asap[u] + 1
+				}
+			}
+			if fixed[v] != 0 {
+				if fixed[v] < lo {
+					return fmt.Errorf("sched: FDS fix of %s at %d violates precedence (needs >= %d)",
+						g.Node(v).Name, fixed[v], lo)
+				}
+				asap[v] = fixed[v]
+			} else {
+				asap[v] = lo
+			}
+		}
+		// Backward pass (ALAP with fixed clamps).
+		for i := len(order) - 1; i >= 0; i-- {
+			v := order[i]
+			if !g.Node(v).Op.IsComputational() {
+				continue
+			}
+			hi := opts.Budget
+			for _, u := range succsFor(g, v, opts.UseTemporal) {
+				if !g.Node(u).Op.IsComputational() {
+					continue
+				}
+				if alap[u]-1 < hi {
+					hi = alap[u] - 1
+				}
+			}
+			if fixed[v] != 0 {
+				alap[v] = fixed[v]
+			} else {
+				alap[v] = hi
+			}
+			if asap[v] > alap[v] {
+				return fmt.Errorf("sched: FDS window of %s collapsed to [%d,%d]",
+					g.Node(v).Name, asap[v], alap[v])
+			}
+		}
+		return nil
+	}
+	if err := recompute(); err != nil {
+		return nil, err
+	}
+
+	// Distribution graphs per class.
+	dg := make([][]float64, NumFUClasses)
+	for c := range dg {
+		dg[c] = make([]float64, opts.Budget+1) // 1-based steps
+	}
+	rebuildDG := func() {
+		for c := range dg {
+			for t := range dg[c] {
+				dg[c][t] = 0
+			}
+		}
+		for _, v := range comp {
+			width := float64(alap[v] - asap[v] + 1)
+			c := ClassOf(g.Node(v).Op)
+			for t := asap[v]; t <= alap[v]; t++ {
+				dg[c][t] += 1 / width
+			}
+		}
+	}
+
+	meanDG := func(c FUClass, lo, hi int) float64 {
+		if lo > hi {
+			return 0
+		}
+		s := 0.0
+		for t := lo; t <= hi; t++ {
+			s += dg[c][t]
+		}
+		return s / float64(hi-lo+1)
+	}
+
+	unfixed := len(comp)
+	for unfixed > 0 {
+		rebuildDG()
+		bestForce := 0.0
+		bestV := cdfg.None
+		bestT := 0
+		first := true
+		for _, v := range comp {
+			if fixed[v] != 0 {
+				continue
+			}
+			c := ClassOf(g.Node(v).Op)
+			base := meanDG(c, asap[v], alap[v])
+			for t := asap[v]; t <= alap[v]; t++ {
+				force := dg[c][t] - base
+				// Implicit forces on direct neighbors whose windows the
+				// fix would shrink.
+				for _, u := range predsFor(g, v, opts.UseTemporal) {
+					if !g.Node(u).Op.IsComputational() || fixed[u] != 0 {
+						continue
+					}
+					if alap[u] >= t { // window would clip to t-1
+						cu := ClassOf(g.Node(u).Op)
+						force += meanDG(cu, asap[u], t-1) - meanDG(cu, asap[u], alap[u])
+					}
+				}
+				for _, u := range succsFor(g, v, opts.UseTemporal) {
+					if !g.Node(u).Op.IsComputational() || fixed[u] != 0 {
+						continue
+					}
+					if asap[u] <= t { // window would clip to t+1
+						cu := ClassOf(g.Node(u).Op)
+						force += meanDG(cu, t+1, alap[u]) - meanDG(cu, asap[u], alap[u])
+					}
+				}
+				if first || force < bestForce {
+					first = false
+					bestForce = force
+					bestV = v
+					bestT = t
+				}
+			}
+		}
+		if bestV == cdfg.None {
+			return nil, fmt.Errorf("sched: FDS found no candidate (internal error)")
+		}
+		fixed[bestV] = bestT
+		unfixed--
+		if err := recompute(); err != nil {
+			return nil, err
+		}
+	}
+
+	s := &Schedule{Steps: fixed, Budget: opts.Budget}
+	if err := Verify(g, s, Unlimited, opts.UseTemporal); err != nil {
+		return nil, fmt.Errorf("sched: internal: FDS schedule failed verification: %v", err)
+	}
+	return s, nil
+}

@@ -1,0 +1,192 @@
+package sched
+
+import (
+	"fmt"
+	"sort"
+
+	"localwm/internal/cdfg"
+)
+
+// ListOpts configures the resource-constrained list scheduler.
+type ListOpts struct {
+	// Res bounds per-step usage; zero entries are unlimited.
+	Res Resources
+	// UseTemporal makes temporal (watermark) edges scheduling constraints.
+	// This is how a marked schedule is produced: embed temporal edges,
+	// then run the scheduler with UseTemporal set.
+	UseTemporal bool
+	// MaxSteps aborts if the schedule would exceed this many steps
+	// (0: 4·(critical path + number of ops), a generous sanity bound).
+	MaxSteps int
+}
+
+// ListSchedule builds a resource-constrained schedule using classic list
+// scheduling: at every control step, ready operations are issued in
+// priority order (longest path to a sink first — the critical-path
+// heuristic) until each functional-unit class is saturated.
+//
+// The returned schedule is verified before being returned.
+func ListSchedule(g *cdfg.Graph, opts ListOpts) (*Schedule, error) {
+	order, err := g.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	pathOpts := cdfg.PathOpts{IncludeTemporal: opts.UseTemporal}
+	from, err := g.LongestFrom(pathOpts)
+	if err != nil {
+		return nil, err
+	}
+
+	// Remaining unscheduled computational predecessors per node.
+	remaining := make([]int, g.Len())
+	comp := 0
+	for _, n := range g.Nodes() {
+		if !n.Op.IsComputational() {
+			continue
+		}
+		comp++
+		cnt := 0
+		for _, u := range predsFor(g, n.ID, opts.UseTemporal) {
+			if g.Node(u).Op.IsComputational() {
+				cnt++
+			}
+		}
+		remaining[n.ID] = cnt
+	}
+
+	maxSteps := opts.MaxSteps
+	if maxSteps == 0 {
+		cp, err := MinBudget(g, opts.UseTemporal)
+		if err != nil {
+			return nil, err
+		}
+		maxSteps = 4 * (cp + comp)
+	}
+
+	s := &Schedule{Steps: make([]int, g.Len())}
+	var ready []cdfg.NodeID
+	for _, v := range order {
+		if g.Node(v).Op.IsComputational() && remaining[v] == 0 {
+			ready = append(ready, v)
+		}
+	}
+	scheduled := 0
+	for step := 1; scheduled < comp; step++ {
+		if step > maxSteps {
+			return nil, fmt.Errorf("sched: list scheduling exceeded %d steps (resources too tight?)", maxSteps)
+		}
+		// Priority: longest remaining path first; ties by NodeID for
+		// determinism.
+		sort.Slice(ready, func(i, j int) bool {
+			if from[ready[i]] != from[ready[j]] {
+				return from[ready[i]] > from[ready[j]]
+			}
+			return ready[i] < ready[j]
+		})
+		var used Resources
+		var next []cdfg.NodeID
+		issuedThisStep := []cdfg.NodeID{}
+		for _, v := range ready {
+			cl := ClassOf(g.Node(v).Op)
+			if limit := opts.Res[cl]; limit > 0 && used[cl] >= limit {
+				next = append(next, v)
+				continue
+			}
+			used[cl]++
+			s.Steps[v] = step
+			scheduled++
+			issuedThisStep = append(issuedThisStep, v)
+		}
+		// Successors become ready for the NEXT step at the earliest
+		// (unit latency), which the loop structure guarantees because we
+		// only add them after this step's issue pass.
+		for _, v := range issuedThisStep {
+			for _, w := range succsFor(g, v, opts.UseTemporal) {
+				if !g.Node(w).Op.IsComputational() {
+					continue
+				}
+				remaining[w]--
+				if remaining[w] == 0 {
+					next = append(next, w)
+				}
+			}
+		}
+		ready = next
+		s.Budget = step
+	}
+	if s.Budget == 0 {
+		s.Budget = 1
+	}
+	if err := Verify(g, s, opts.Res, opts.UseTemporal); err != nil {
+		return nil, fmt.Errorf("sched: internal: list schedule failed verification: %v", err)
+	}
+	return s, nil
+}
+
+// ASAPSchedule returns the all-ASAP schedule for the given budget: every
+// node at its earliest feasible step. It is the canonical unlimited-
+// resource schedule.
+func ASAPSchedule(g *cdfg.Graph, budget int, useTemporal bool) (*Schedule, error) {
+	w, err := ComputeWindows(g, budget, useTemporal)
+	if err != nil {
+		return nil, err
+	}
+	s := &Schedule{Steps: append([]int(nil), w.ASAP...), Budget: budget}
+	if err := Verify(g, s, Unlimited, useTemporal); err != nil {
+		return nil, fmt.Errorf("sched: internal: ASAP schedule failed verification: %v", err)
+	}
+	return s, nil
+}
+
+// ALAPSchedule returns the all-ALAP schedule for the given budget: every
+// node at its latest feasible step. Together with ASAPSchedule it spans
+// the mobility interval of every operation.
+func ALAPSchedule(g *cdfg.Graph, budget int, useTemporal bool) (*Schedule, error) {
+	w, err := ComputeWindows(g, budget, useTemporal)
+	if err != nil {
+		return nil, err
+	}
+	s := &Schedule{Steps: append([]int(nil), w.ALAP...), Budget: budget}
+	if err := Verify(g, s, Unlimited, useTemporal); err != nil {
+		return nil, fmt.Errorf("sched: internal: ALAP schedule failed verification: %v", err)
+	}
+	return s, nil
+}
+
+func predsFor(g *cdfg.Graph, v cdfg.NodeID, useTemporal bool) []cdfg.NodeID {
+	var out []cdfg.NodeID
+	seen := map[cdfg.NodeID]bool{}
+	add := func(l []cdfg.NodeID) {
+		for _, u := range l {
+			if !seen[u] {
+				seen[u] = true
+				out = append(out, u)
+			}
+		}
+	}
+	add(g.DataIn(v))
+	add(g.ControlIn(v))
+	if useTemporal {
+		add(g.TemporalIn(v))
+	}
+	return out
+}
+
+func succsFor(g *cdfg.Graph, v cdfg.NodeID, useTemporal bool) []cdfg.NodeID {
+	var out []cdfg.NodeID
+	seen := map[cdfg.NodeID]bool{}
+	add := func(l []cdfg.NodeID) {
+		for _, u := range l {
+			if !seen[u] {
+				seen[u] = true
+				out = append(out, u)
+			}
+		}
+	}
+	add(g.DataOut(v))
+	add(g.ControlOut(v))
+	if useTemporal {
+		add(g.TemporalOut(v))
+	}
+	return out
+}

@@ -1,0 +1,174 @@
+package sched
+
+import (
+	"testing"
+	"testing/quick"
+
+	"localwm/internal/cdfg"
+)
+
+// randomMixedDAG builds a deterministic random DAG with a varied op mix,
+// larger than the count-enumeration helper's graphs.
+func randomMixedDAG(seed uint32, n int) *cdfg.Graph {
+	g := cdfg.New(n + 4)
+	rng := seed | 1
+	next := func(m int) int {
+		rng = rng*1664525 + 1013904223
+		return int(rng>>16) % m
+	}
+	in1 := g.AddNode("in1", cdfg.OpInput)
+	in2 := g.AddNode("in2", cdfg.OpInput)
+	ids := []cdfg.NodeID{in1, in2}
+	twoIn := []cdfg.Op{cdfg.OpAdd, cdfg.OpSub, cdfg.OpMul, cdfg.OpAnd, cdfg.OpCmp}
+	oneIn := []cdfg.Op{cdfg.OpMulConst, cdfg.OpShift, cdfg.OpLoad}
+	for i := 0; i < n; i++ {
+		var v cdfg.NodeID
+		if next(3) == 0 {
+			v = g.AddNode("u"+itoa(i), oneIn[next(len(oneIn))])
+			g.MustAddEdge(ids[next(len(ids))], v, cdfg.DataEdge)
+		} else {
+			v = g.AddNode("b"+itoa(i), twoIn[next(len(twoIn))])
+			g.MustAddEdge(ids[next(len(ids))], v, cdfg.DataEdge)
+			g.MustAddEdge(ids[next(len(ids))], v, cdfg.DataEdge)
+		}
+		ids = append(ids, v)
+	}
+	return g
+}
+
+// Property: list scheduling under any resource vector verifies, respects
+// the resource bounds exactly (via Verify), and is never shorter than the
+// resource-free schedule.
+func TestListScheduleValidityProperty(t *testing.T) {
+	f := func(seed uint32, aluRaw, mulRaw uint8) bool {
+		g := randomMixedDAG(seed, 40)
+		res := Resources{}
+		res[FUALU] = int(aluRaw%3) + 1
+		res[FUMul] = int(mulRaw%3) + 1
+		res[FUMem] = 1
+		s, err := ListSchedule(g, ListOpts{Res: res})
+		if err != nil {
+			return false
+		}
+		if err := Verify(g, s, res, false); err != nil {
+			return false
+		}
+		free, err := ListSchedule(g, ListOpts{})
+		if err != nil {
+			return false
+		}
+		return s.Makespan() >= free.Makespan()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: ASAP/ALAP windows bracket every legal schedule the list
+// scheduler produces at the same budget.
+func TestWindowsBracketSchedulesProperty(t *testing.T) {
+	f := func(seed uint32, slackRaw uint8) bool {
+		g := randomMixedDAG(seed, 30)
+		cp, err := MinBudget(g, false)
+		if err != nil {
+			return false
+		}
+		budget := cp + int(slackRaw%5)
+		w, err := ComputeWindows(g, budget, false)
+		if err != nil {
+			return false
+		}
+		s, err := ASAPSchedule(g, budget, false)
+		if err != nil {
+			return false
+		}
+		for _, v := range g.Computational() {
+			if s.Steps[v] < w.ASAP[v] || s.Steps[v] > w.ALAP[v] {
+				return false
+			}
+		}
+		// FDS at the same budget also lands inside the windows.
+		fds, err := FDSchedule(g, FDSOpts{Budget: budget})
+		if err != nil {
+			return false
+		}
+		for _, v := range g.Computational() {
+			if fds.Steps[v] < w.ASAP[v] || fds.Steps[v] > w.ALAP[v] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: register demand never grows when the budget loosens under
+// ASAP scheduling... in fact it can (values wait longer for consumers is
+// not possible under ASAP — consumers also move earlier). The robust
+// invariant: MinRegisters is positive for any design with at least one
+// value crossing a boundary and LeftEdgeBind validates against its own
+// lifetimes.
+func TestRegisterBindingProperty(t *testing.T) {
+	f := func(seed uint32) bool {
+		g := randomMixedDAG(seed, 30)
+		s, err := ListSchedule(g, ListOpts{})
+		if err != nil {
+			return false
+		}
+		ls, err := Lifetimes(g, s, nil)
+		if err != nil {
+			return false
+		}
+		bind := LeftEdgeBind(ls)
+		// Recheck non-overlap per register.
+		byReg := map[int][]Lifetime{}
+		for _, l := range ls {
+			if r := bind.Register[l.Producer]; r >= 0 {
+				byReg[r] = append(byReg[r], l)
+			}
+		}
+		for _, group := range byReg {
+			for i := 0; i < len(group); i++ {
+				for j := i + 1; j < len(group); j++ {
+					a, b := group[i], group[j]
+					if a.Start < b.End && b.Start < a.End {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the exact scheduler (when it completes) never beats the
+// critical path and never loses to the list scheduler.
+func TestExactBetweenBoundsProperty(t *testing.T) {
+	res := Resources{}
+	res[FUALU] = 2
+	res[FUMul] = 1
+	f := func(seed uint32) bool {
+		g := randomMixedDAG(seed, 14)
+		exact, err := ExactSchedule(g, ExactOpts{Res: res, MaxVisits: 200000})
+		if err != nil {
+			return true // gave up within budget; allowed
+		}
+		cp, err := MinBudget(g, false)
+		if err != nil {
+			return false
+		}
+		list, err := ListSchedule(g, ListOpts{Res: res})
+		if err != nil {
+			return false
+		}
+		return exact.Makespan() >= cp && exact.Makespan() <= list.Makespan()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

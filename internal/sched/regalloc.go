@@ -1,0 +1,118 @@
+package sched
+
+import (
+	"fmt"
+	"sort"
+
+	"localwm/internal/cdfg"
+)
+
+// Register allocation. Scheduling "determines ... the lifetimes of
+// variables"; binding those lifetimes to a minimal register file is the
+// classic next step of behavioral synthesis and the datapath cost the
+// template-matching evaluation charges. This file derives variable
+// lifetimes from a schedule and bins them with the left-edge algorithm,
+// which is optimal for interval graphs.
+
+// Lifetime is the live interval of one produced value: (Start, End] in
+// control-step boundaries — the value is written at the end of step Start
+// and must persist until its last consumer reads it in step End.
+type Lifetime struct {
+	Producer   cdfg.NodeID
+	Start, End int
+}
+
+// Lifetimes derives the live interval of every computational node's
+// output value under schedule s. Values consumed in the same step they
+// are produced (chained) have zero-length intervals and need no register.
+// Values feeding primary outputs or delay writes persist to the schedule
+// end. pinned marks values that must additionally stay observable
+// (pseudo-primary outputs); they persist to the schedule end too.
+func Lifetimes(g *cdfg.Graph, s *Schedule, pinned map[cdfg.NodeID]bool) ([]Lifetime, error) {
+	if len(s.Steps) != g.Len() {
+		return nil, fmt.Errorf("sched: schedule covers %d nodes, graph has %d", len(s.Steps), g.Len())
+	}
+	makespan := s.Makespan()
+	var out []Lifetime
+	for _, n := range g.Nodes() {
+		if !n.Op.IsComputational() {
+			continue
+		}
+		start := s.Steps[n.ID]
+		end := start
+		for _, w := range g.DataOut(n.ID) {
+			wn := g.Node(w)
+			switch {
+			case wn.Op.IsComputational():
+				if s.Steps[w] > end {
+					end = s.Steps[w]
+				}
+			default:
+				// Output or state element: the value leaves the datapath
+				// at the end of the schedule.
+				end = makespan
+			}
+		}
+		if pinned != nil && pinned[n.ID] {
+			end = makespan
+		}
+		out = append(out, Lifetime{Producer: n.ID, Start: start, End: end})
+	}
+	return out, nil
+}
+
+// RegisterBinding maps producers to register indices.
+type RegisterBinding struct {
+	// Register[v] is the register index assigned to v's value, or -1 for
+	// values that never cross a step boundary.
+	Register map[cdfg.NodeID]int
+	// Count is the number of registers used (the maximum index + 1).
+	Count int
+}
+
+// LeftEdgeBind packs the lifetimes into a minimal number of registers
+// with the left-edge algorithm: sort by start, greedily reuse the first
+// register whose current occupant has expired. For interval conflicts
+// this is optimal (the count equals the maximum overlap).
+func LeftEdgeBind(lifetimes []Lifetime) *RegisterBinding {
+	b := &RegisterBinding{Register: map[cdfg.NodeID]int{}}
+	ls := append([]Lifetime(nil), lifetimes...)
+	sort.Slice(ls, func(i, j int) bool {
+		if ls[i].Start != ls[j].Start {
+			return ls[i].Start < ls[j].Start
+		}
+		return ls[i].Producer < ls[j].Producer
+	})
+	var regEnd []int // current occupant's End per register
+	for _, l := range ls {
+		if l.End <= l.Start {
+			b.Register[l.Producer] = -1 // chained; no storage
+			continue
+		}
+		assigned := -1
+		for r, end := range regEnd {
+			if end <= l.Start {
+				assigned = r
+				break
+			}
+		}
+		if assigned == -1 {
+			assigned = len(regEnd)
+			regEnd = append(regEnd, 0)
+		}
+		regEnd[assigned] = l.End
+		b.Register[l.Producer] = assigned
+	}
+	b.Count = len(regEnd)
+	return b
+}
+
+// MinRegisters returns the register count a schedule needs — the peak
+// number of simultaneously live values — which LeftEdgeBind achieves.
+func MinRegisters(g *cdfg.Graph, s *Schedule, pinned map[cdfg.NodeID]bool) (int, error) {
+	ls, err := Lifetimes(g, s, pinned)
+	if err != nil {
+		return 0, err
+	}
+	return LeftEdgeBind(ls).Count, nil
+}

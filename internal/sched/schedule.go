@@ -1,0 +1,194 @@
+package sched
+
+import (
+	"fmt"
+	"sort"
+
+	"localwm/internal/cdfg"
+)
+
+// FUClass groups operations by the functional-unit type that executes
+// them. The default mapping mirrors a typical datapath library: a shared
+// ALU class for additive/logic work, a multiplier class for the expensive
+// ops, plus memory and branch units (used by the VLIW machine model).
+type FUClass int
+
+const (
+	FUALU FUClass = iota // add/sub/cmp/logic/shift/mux/unit
+	FUMul                // mul/cmul/div
+	FUMem                // load/store
+	FUBr                 // branch
+	fuSentinel
+)
+
+func (c FUClass) String() string {
+	switch c {
+	case FUALU:
+		return "alu"
+	case FUMul:
+		return "mul"
+	case FUMem:
+		return "mem"
+	case FUBr:
+		return "br"
+	}
+	return fmt.Sprintf("fu(%d)", int(c))
+}
+
+// NumFUClasses is the number of functional-unit classes.
+const NumFUClasses = int(fuSentinel)
+
+// ClassOf maps an operation to its functional-unit class. It panics on
+// non-computational ops, which are never executed.
+func ClassOf(op cdfg.Op) FUClass {
+	switch op {
+	case cdfg.OpAdd, cdfg.OpSub, cdfg.OpCmp, cdfg.OpAnd, cdfg.OpOr, cdfg.OpXor,
+		cdfg.OpNot, cdfg.OpShift, cdfg.OpMux, cdfg.OpUnit:
+		return FUALU
+	case cdfg.OpMul, cdfg.OpMulConst, cdfg.OpDiv:
+		return FUMul
+	case cdfg.OpLoad, cdfg.OpStore:
+		return FUMem
+	case cdfg.OpBranch:
+		return FUBr
+	}
+	panic(fmt.Sprintf("sched: op %v has no functional-unit class", op))
+}
+
+// Resources bounds how many operations of each class may execute in one
+// control step. A zero entry means "unlimited" (time-constrained mode).
+type Resources [NumFUClasses]int
+
+// Unlimited is the resource vector with no constraints.
+var Unlimited = Resources{}
+
+// Schedule assigns a control step to every computational node.
+type Schedule struct {
+	// Steps[v] is the 1-based control step of node v, or 0 if v is not a
+	// scheduled kind (inputs, outputs, constants, delays).
+	Steps []int
+	// Budget is the number of control steps the schedule was built for.
+	Budget int
+}
+
+// Makespan returns the largest used control step.
+func (s *Schedule) Makespan() int {
+	m := 0
+	for _, c := range s.Steps {
+		if c > m {
+			m = c
+		}
+	}
+	return m
+}
+
+// Step returns the control step of v (0 if unscheduled).
+func (s *Schedule) Step(v cdfg.NodeID) int { return s.Steps[v] }
+
+// Clone returns a deep copy.
+func (s *Schedule) Clone() *Schedule {
+	return &Schedule{Steps: append([]int(nil), s.Steps...), Budget: s.Budget}
+}
+
+// Verify checks that s is a legal schedule of g:
+//
+//   - every computational node has a step in [1, Budget], no other node
+//     has one;
+//   - every data/control edge between computational nodes goes strictly
+//     forward in time; edges from non-computational producers impose no
+//     constraint (their values exist from step 0);
+//   - if useTemporal, every temporal edge goes strictly forward;
+//   - per-step usage respects res (entries with 0 are unlimited).
+func Verify(g *cdfg.Graph, s *Schedule, res Resources, useTemporal bool) error {
+	if len(s.Steps) != g.Len() {
+		return fmt.Errorf("sched: schedule covers %d nodes, graph has %d", len(s.Steps), g.Len())
+	}
+	for _, n := range g.Nodes() {
+		c := s.Steps[n.ID]
+		if n.Op.IsComputational() {
+			if c < 1 || c > s.Budget {
+				return fmt.Errorf("sched: node %s step %d outside [1,%d]", n.Name, c, s.Budget)
+			}
+		} else if c != 0 {
+			return fmt.Errorf("sched: non-computational node %s has step %d", n.Name, c)
+		}
+	}
+	checkEdge := func(u, v cdfg.NodeID, kind string) error {
+		if s.Steps[u] == 0 || s.Steps[v] == 0 {
+			return nil
+		}
+		if s.Steps[u] >= s.Steps[v] {
+			return fmt.Errorf("sched: %s edge %s->%s violated (steps %d >= %d)",
+				kind, g.Node(u).Name, g.Node(v).Name, s.Steps[u], s.Steps[v])
+		}
+		return nil
+	}
+	for _, n := range g.Nodes() {
+		for _, u := range g.DataIn(n.ID) {
+			if err := checkEdge(u, n.ID, "data"); err != nil {
+				return err
+			}
+		}
+		for _, u := range g.ControlIn(n.ID) {
+			if err := checkEdge(u, n.ID, "control"); err != nil {
+				return err
+			}
+		}
+	}
+	if useTemporal {
+		for _, e := range g.TemporalEdges() {
+			if err := checkEdge(e.From, e.To, "temporal"); err != nil {
+				return err
+			}
+		}
+	}
+	// Resource usage.
+	type key struct {
+		step  int
+		class FUClass
+	}
+	usage := map[key]int{}
+	for _, n := range g.Nodes() {
+		if !n.Op.IsComputational() {
+			continue
+		}
+		k := key{s.Steps[n.ID], ClassOf(n.Op)}
+		usage[k]++
+		if limit := res[k.class]; limit > 0 && usage[k] > limit {
+			return fmt.Errorf("sched: step %d exceeds %v limit %d", k.step, k.class, limit)
+		}
+	}
+	return nil
+}
+
+// ResourceUsage returns, per class, the maximum number of simultaneously
+// busy units the schedule needs — the module cost of the schedule.
+func ResourceUsage(g *cdfg.Graph, s *Schedule) Resources {
+	perStep := map[int]*Resources{}
+	for _, n := range g.Nodes() {
+		if !n.Op.IsComputational() {
+			continue
+		}
+		c := s.Steps[n.ID]
+		r := perStep[c]
+		if r == nil {
+			r = &Resources{}
+			perStep[c] = r
+		}
+		r[ClassOf(n.Op)]++
+	}
+	var max Resources
+	steps := make([]int, 0, len(perStep))
+	for c := range perStep {
+		steps = append(steps, c)
+	}
+	sort.Ints(steps)
+	for _, c := range steps {
+		for cl := 0; cl < NumFUClasses; cl++ {
+			if perStep[c][cl] > max[cl] {
+				max[cl] = perStep[c][cl]
+			}
+		}
+	}
+	return max
+}

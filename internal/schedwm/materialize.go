@@ -1,0 +1,44 @@
+package schedwm
+
+import (
+	"fmt"
+
+	"localwm/internal/cdfg"
+)
+
+// Materialize rewrites each temporal watermark edge s→d of wm into an
+// explicit unit operation u with data edges s→u→d, returning the number of
+// operations inserted. This is how the paper realizes temporal constraints
+// in compiled code, where a scheduler cannot be handed side-band
+// constraints: "temporal edges were induced using additional operations
+// with unit operators (e.g., additions with variables assigned to zero at
+// runtime)". The inserted unit op forces s to execute before d on any
+// correct machine, and its execution cost is the watermark's performance
+// overhead, which Table I measures.
+//
+// The original temporal edges are left in place (they are implied by the
+// new data edges, and keeping them lets Verify cross-check); callers that
+// want a "shipped" design should ClearTemporalEdges afterwards.
+func Materialize(g *cdfg.Graph, wm *Watermark) (int, error) {
+	inserted := 0
+	for i, e := range wm.Edges {
+		name := fmt.Sprintf("wm_u%d_%s_%s", i, g.Node(e.From).Name, g.Node(e.To).Name)
+		u := g.AddNode(name, cdfg.OpUnit)
+		// u consumes s's value (a real data dependence: "add s, zero"),
+		// and d is made to wait for u via a control edge — the compiled
+		// code reuses u's destination register as one of d's operands, a
+		// dependence the CDFG models as control so d's data arity stays
+		// that of its original operation.
+		if err := g.AddEdge(e.From, u, cdfg.DataEdge); err != nil {
+			return inserted, fmt.Errorf("schedwm: materialize: %v", err)
+		}
+		if err := g.AddEdge(u, e.To, cdfg.ControlEdge); err != nil {
+			return inserted, fmt.Errorf("schedwm: materialize: %v", err)
+		}
+		inserted++
+	}
+	if _, err := g.TopoOrder(); err != nil {
+		return inserted, fmt.Errorf("schedwm: materialize created a cycle: %v", err)
+	}
+	return inserted, nil
+}

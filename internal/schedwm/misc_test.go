@@ -1,0 +1,85 @@
+package schedwm
+
+import (
+	"testing"
+
+	"localwm/internal/designs"
+	"localwm/internal/prng"
+	"localwm/internal/sched"
+	"localwm/internal/stats"
+)
+
+func TestConvincingDiscount(t *testing.T) {
+	mk := func(pc stats.LogProb, roots int, found bool) *Detection {
+		return &Detection{Found: found, RootsTried: roots,
+			Best: Candidate{Pc: pc}}
+	}
+	if mk(-6, 100, true).Convincing(0.01) != true {
+		t.Fatal("strong evidence rejected")
+	}
+	if mk(-2, 1000, true).Convincing(0.01) != false {
+		t.Fatal("discounted-away evidence accepted")
+	}
+	if mk(-9, 100, false).Convincing(0.01) {
+		t.Fatal("not-found accepted")
+	}
+	if mk(-9, 100, true).Convincing(0) {
+		t.Fatal("alpha 0 accepted")
+	}
+	if !mk(-9, 0, true).Convincing(0.01) {
+		t.Fatal("zero roots should count as one")
+	}
+}
+
+func TestApproxPcDefaultBudgetAndErrors(t *testing.T) {
+	g := designs.Layered(designs.MediaBench()[0].Cfg)
+	cp := mustCP(t, g)
+	wm := embedOn(t, g, "approx", Config{Tau: 20, K: 3, Epsilon: 0.25, Budget: cp + 6})
+	// Zero budget: defaults to the (temporal-free) critical path.
+	pc, err := ApproxPc(g, wm, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pc.Exponent10() >= 0 {
+		t.Fatalf("Pc = %v", pc)
+	}
+	// Infeasible explicit budget errors.
+	if _, err := ApproxPc(g, wm, 1); err == nil {
+		t.Fatal("budget 1 accepted")
+	}
+}
+
+func TestExactPcErrorsOnHugeDesign(t *testing.T) {
+	g := designs.Layered(designs.MediaBench()[0].Cfg) // 528 ops: enumeration hopeless
+	cp := mustCP(t, g)
+	if _, _, err := ExactPc(g, cp+2); err == nil {
+		t.Fatal("oversized enumeration accepted")
+	}
+}
+
+func TestEmbedManyCountValidation(t *testing.T) {
+	g := designs.WaveletFilter()
+	if _, err := EmbedMany(g, prng.Signature("x"), testCfg, 0); err == nil {
+		t.Fatal("n=0 accepted")
+	}
+}
+
+func TestDetectIgnoresSuspectTemporalEdges(t *testing.T) {
+	// A thief may ship a design that still contains bogus temporal edges;
+	// detection must judge the schedule order alone.
+	g := designs.Layered(designs.MediaBench()[0].Cfg)
+	cp := mustCP(t, g)
+	wm := embedOn(t, g, "ignore-temp", Config{Tau: 20, K: 3, Epsilon: 0.25, Budget: cp + 6})
+	s, err := sched.ListSchedule(g, sched.ListOpts{UseTemporal: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Ship WITH the temporal edges still present.
+	det, err := Detect(g, s, wm.Record())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !det.Found {
+		t.Fatal("presence of temporal edges broke detection")
+	}
+}

@@ -1,0 +1,137 @@
+package schedwm
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"localwm/internal/cdfg"
+	"localwm/internal/designs"
+	"localwm/internal/prng"
+	"localwm/internal/sched"
+)
+
+// Property: on randomized layered workloads and signatures, the full
+// embed → schedule → strip → detect round-trip always succeeds, the
+// constraints never stretch the schedule past the budget, and the
+// detection lands on the embedding root.
+func TestRoundTripProperty(t *testing.T) {
+	f := func(seed uint32, sigByte uint8) bool {
+		cfg := designs.LayeredConfig{
+			Name: fmt.Sprintf("prop-%d", seed%7), Ops: 180, Width: 8, Inputs: 6,
+			Mix: designs.OpMix{Add: 40, Mul: 20, Logic: 15, Shift: 10, Cmp: 5, Load: 7, Store: 3},
+		}
+		g := designs.Layered(cfg)
+		cp, err := g.CriticalPath()
+		if err != nil {
+			return false
+		}
+		wcfg := Config{Tau: 16, K: 3, TauPrime: 3, Epsilon: 0.3, Budget: cp + 4}
+		sig := prng.Signature(fmt.Sprintf("prop-sig-%d", sigByte))
+		wm, err := Embed(g, sig, wcfg)
+		if err != nil {
+			// Some (workload, signature) pairs legitimately find no
+			// locality at this small τ'; not a failure of the invariant.
+			return true
+		}
+		// Constraints must be schedulable within the budget.
+		s, err := sched.ListSchedule(g, sched.ListOpts{UseTemporal: true})
+		if err != nil {
+			return false
+		}
+		if s.Makespan() > wcfg.Budget {
+			return false
+		}
+		for _, e := range wm.Edges {
+			if s.Steps[e.From] >= s.Steps[e.To] {
+				return false
+			}
+		}
+		shipped := g.Clone()
+		shipped.ClearTemporalEdges()
+		det, err := Detect(shipped, s, wm.Record())
+		if err != nil {
+			return false
+		}
+		if !det.Found {
+			return false
+		}
+		for _, m := range det.Matches {
+			if m.Root == wm.Root {
+				return true
+			}
+		}
+		return false
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 12}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: materialized watermarks preserve graph validity and the
+// number of inserted unit ops equals the edge count, for arbitrary
+// signatures.
+func TestMaterializeProperty(t *testing.T) {
+	f := func(sigByte uint8) bool {
+		g := designs.Layered(designs.MediaBench()[0].Cfg)
+		cp, err := g.CriticalPath()
+		if err != nil {
+			return false
+		}
+		wm, err := Embed(g, prng.Signature([]byte{sigByte + 1}),
+			Config{Tau: 20, K: 4, Epsilon: 0.25, Budget: cp + 6})
+		if err != nil {
+			return true
+		}
+		before := g.Len()
+		n, err := Materialize(g, wm)
+		if err != nil {
+			return false
+		}
+		if n != len(wm.Edges) || g.Len() != before+n {
+			return false
+		}
+		return g.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: records survive arbitrary graph-preserving node-ID shifts of
+// the schedule representation — i.e., detection depends only on (graph
+// structure, schedule order), never on Step slice aliasing.
+func TestDetectionPureFunctionProperty(t *testing.T) {
+	g := designs.Layered(designs.MediaBench()[1].Cfg)
+	cp, err := g.CriticalPath()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wm, err := Embed(g, prng.Signature("pure"), Config{Tau: 20, K: 4, Epsilon: 0.25, Budget: cp + 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := sched.ListSchedule(g, sched.ListOpts{UseTemporal: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	shipped := g.Clone()
+	shipped.ClearTemporalEdges()
+	rec := wm.Record()
+	var first *Detection
+	for i := 0; i < 3; i++ {
+		det, err := Detect(shipped, s.Clone(), rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if first == nil {
+			first = det
+			continue
+		}
+		if det.Found != first.Found || det.Best.Root != first.Best.Root ||
+			det.Best.Satisfied != first.Best.Satisfied {
+			t.Fatal("detection not a pure function of its inputs")
+		}
+	}
+	_ = cdfg.None
+}

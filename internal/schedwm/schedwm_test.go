@@ -1,0 +1,362 @@
+package schedwm
+
+import (
+	"testing"
+
+	"localwm/internal/cdfg"
+	"localwm/internal/designs"
+	"localwm/internal/prng"
+	"localwm/internal/sched"
+)
+
+var testCfg = Config{
+	Tau:     12,
+	K:       3,
+	Epsilon: 0.25,
+}
+
+func embedOn(t *testing.T, g *cdfg.Graph, sig string, cfg Config) *Watermark {
+	t.Helper()
+	wm, err := Embed(g, prng.Signature(sig), cfg)
+	if err != nil {
+		t.Fatalf("Embed: %v", err)
+	}
+	return wm
+}
+
+func TestEmbedAddsTemporalEdges(t *testing.T) {
+	g := designs.LongEchoCanceler()
+	cfg := testCfg
+	cfg.Budget = mustCP(t, g) + 4
+	wm := embedOn(t, g, "alice", cfg)
+	if len(wm.Edges) == 0 || len(wm.Edges) > cfg.K {
+		t.Fatalf("edges = %d, want 1..%d", len(wm.Edges), cfg.K)
+	}
+	if got := len(g.TemporalEdges()); got != len(wm.Edges) {
+		t.Fatalf("graph has %d temporal edges, watermark drew %d", got, len(wm.Edges))
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatalf("marked graph invalid: %v", err)
+	}
+	// The marked graph still schedules within the budget: the laxity
+	// filter keeps constraints off near-critical paths.
+	if _, err := sched.ComputeWindows(g, cfg.Budget, true); err != nil {
+		t.Fatalf("marked design infeasible at the original budget: %v", err)
+	}
+}
+
+func mustCP(t *testing.T, g *cdfg.Graph) int {
+	t.Helper()
+	cp, err := g.CriticalPath()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cp
+}
+
+func TestEmbedDeterministicPerSignature(t *testing.T) {
+	mk := func(sig string) []cdfg.Edge {
+		g := designs.Layered(designs.MediaBench()[0].Cfg)
+		cfg := testCfg
+		cfg.Budget = mustCP(t, g) + 4
+		return embedOn(t, g, sig, cfg).Edges
+	}
+	a1, a2 := mk("alice"), mk("alice")
+	if len(a1) != len(a2) {
+		t.Fatal("same signature, different edge counts")
+	}
+	for i := range a1 {
+		if a1[i] != a2[i] {
+			t.Fatalf("same signature, different edge %d", i)
+		}
+	}
+	b := mk("bob")
+	same := len(a1) == len(b)
+	if same {
+		for i := range a1 {
+			if a1[i] != b[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("different signatures produced identical watermarks")
+	}
+}
+
+func TestEmbedEdgesConnectEligibleNodes(t *testing.T) {
+	g := designs.DAConverter()
+	cfg := testCfg
+	cfg.Tau = 16
+	cfg.TauPrime = 2
+	cfg.Budget = mustCP(t, g) + 6
+	wm := embedOn(t, g, "carol", cfg)
+
+	lax, err := g.Laxities()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bound := float64(mustCP(t, g)) * (1 - cfg.Epsilon)
+	for _, e := range wm.Edges {
+		for _, v := range []cdfg.NodeID{e.From, e.To} {
+			if !wm.Domain.Contains(v) {
+				t.Fatalf("edge endpoint %s outside domain", g.Node(v).Name)
+			}
+			if float64(lax[v]) > bound {
+				t.Fatalf("edge endpoint %s violates laxity bound (%d > %.1f)",
+					g.Node(v).Name, lax[v], bound)
+			}
+		}
+	}
+}
+
+func TestEmbedRejectsBadConfig(t *testing.T) {
+	g := designs.WaveletFilter()
+	bad := []Config{
+		{Tau: 0, K: 2, Epsilon: 0.3},
+		{Tau: 8, K: 0, Epsilon: 0.3},
+		{Tau: 8, K: 2, Epsilon: 0},
+		{Tau: 8, K: 2, Epsilon: 1.5},
+		{Tau: 8, K: 5, TauPrime: 1, Epsilon: 0.3},
+	}
+	for _, cfg := range bad {
+		if _, err := Embed(g.Clone(), prng.Signature("x"), cfg); err == nil {
+			t.Fatalf("config %+v accepted", cfg)
+		}
+	}
+	if _, err := Embed(g.Clone(), nil, testCfg); err == nil {
+		t.Fatal("empty signature accepted")
+	}
+}
+
+func TestEmbedBudgetBelowCP(t *testing.T) {
+	g := designs.WaveletFilter()
+	cfg := testCfg
+	cfg.Budget = 2
+	if _, err := Embed(g, prng.Signature("x"), cfg); err == nil {
+		t.Fatal("budget below critical path accepted")
+	}
+}
+
+func TestDetectRoundTrip(t *testing.T) {
+	g := designs.LongEchoCanceler()
+	cfg := testCfg
+	cfg.Budget = mustCP(t, g) + 4
+	wm := embedOn(t, g, "alice", cfg)
+	rec := wm.Record()
+
+	// Synthesize the marked design: schedule honoring temporal edges.
+	s, err := sched.ListSchedule(g, sched.ListOpts{UseTemporal: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Ship it: constraints removed, only the schedule remains.
+	shipped := g.Clone()
+	shipped.ClearTemporalEdges()
+
+	det, err := Detect(shipped, s, rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !det.Found {
+		t.Fatalf("watermark not detected; best=%d/%d at root %v",
+			det.Best.Satisfied, det.Best.Total, det.Best.Root)
+	}
+	foundEmbedRoot := false
+	for _, m := range det.Matches {
+		if m.Root == wm.Root {
+			foundEmbedRoot = true
+		}
+	}
+	if !foundEmbedRoot {
+		t.Fatalf("embedding root %v not among matches", wm.Root)
+	}
+	if det.Best.Pc.Exponent10() >= 0 {
+		t.Fatalf("matched watermark has non-informative Pc %v", det.Best.Pc)
+	}
+}
+
+func TestDetectWrongSignatureFails(t *testing.T) {
+	g := designs.LongEchoCanceler()
+	cfg := testCfg
+	cfg.Budget = mustCP(t, g) + 4
+	wm := embedOn(t, g, "alice", cfg)
+	s, err := sched.ListSchedule(g, sched.ListOpts{UseTemporal: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	shipped := g.Clone()
+	shipped.ClearTemporalEdges()
+
+	rec := wm.Record()
+	rec.Signature = prng.Signature("mallory") // claims someone else's mark
+	det, err := Detect(shipped, s, rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if det.Found {
+		// A foreign-signature walk maps the rank constraints onto
+		// essentially random node pairs; with K small and hundreds of
+		// candidate roots, a coincidental full match can occur — that is
+		// exactly the multiple-testing discount Detect documents. What
+		// must never happen is a STRONG coincidental match: evidence that
+		// survives the discount by the number of roots scanned.
+		discounted := det.Best.Pc.Prob() * float64(det.RootsTried)
+		if discounted < 1e-3 {
+			t.Fatalf("foreign signature matched with strong evidence: %+v (discounted %g)",
+				det.Best, discounted)
+		}
+	}
+}
+
+func TestDetectUnmarkedDesign(t *testing.T) {
+	g := designs.LongEchoCanceler()
+	cfg := testCfg
+	cfg.Budget = mustCP(t, g) + 4
+	marked := g.Clone()
+	wm, err := Embed(marked, prng.Signature("alice"), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Schedule the ORIGINAL (never marked) design.
+	s, err := sched.ListSchedule(g, sched.ListOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	det, err := Detect(g, s, wm.Record())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The unmarked ASAP-flavored schedule may coincidentally satisfy some
+	// constraints, but the full-match set should normally be empty; if a
+	// coincidence happens its Pc quantifies exactly how weak it is.
+	if det.Found {
+		t.Logf("coincidental match with Pc=%v (allowed but must be weak)", det.Best.Pc)
+		if det.Best.Pc.Exponent10() < -6 {
+			t.Fatalf("coincidental match improbably strong: %v", det.Best.Pc)
+		}
+	}
+}
+
+func TestDetectRecordValidation(t *testing.T) {
+	g := designs.WaveletFilter()
+	s, err := sched.ListSchedule(g, sched.ListOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Detect(g, s, Record{Signature: prng.Signature("x")}); err == nil {
+		t.Fatal("record without constraints accepted")
+	}
+	if _, err := Detect(g, &sched.Schedule{Steps: []int{1}, Budget: 1},
+		Record{Signature: prng.Signature("x"), RankEdges: [][2]int{{0, 1}}}); err == nil {
+		t.Fatal("mismatched schedule accepted")
+	}
+}
+
+func TestExactPcOnIIRSubtree(t *testing.T) {
+	// The Fig. 3 experiment shape: the paper marks the IIR's output cone
+	// and exhaustively enumerates schedules of that subtree standalone
+	// (166 without the constraints, 15 with them). Reproduce the flow:
+	// induce the cone, embed with a pinned root, count both ways.
+	full := designs.FourthOrderParallelIIR()
+	root, cone := designs.IIRSubtree(full)
+	_ = root
+	sub, err := full.InducedSubgraph(cone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := sub.Graph
+	subRoot := g.MustNode("A7")
+	cfg := Config{
+		Tau: 16, K: 3, TauPrime: 2, Epsilon: 0.15,
+		Budget: mustCP(t, g) + 1,
+		Root:   &subRoot,
+	}
+	wm, err := Embed(g, prng.Signature("fig3"), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	withWM, total, err := ExactPc(g, cfg.Budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if withWM == 0 {
+		t.Fatal("no feasible marked schedule")
+	}
+	if withWM >= total {
+		t.Fatalf("constraints did not shrink the count: %d >= %d", withWM, total)
+	}
+	t.Logf("exact Pc = %d/%d = %.4f with %d temporal edges (paper's example: 15/166)",
+		withWM, total, float64(withWM)/float64(total), len(wm.Edges))
+}
+
+func TestApproxPcMatchesEdgeCount(t *testing.T) {
+	// Same signature and τ: the K=8 embedding extends the K=3 one edge
+	// for edge (the domain walk and T'' permutation are identical), so the
+	// larger K must yield a strictly stronger proof.
+	mk := func(k int) (*cdfg.Graph, *Watermark, int) {
+		g := designs.Layered(designs.MediaBench()[1].Cfg)
+		cfg := Config{Tau: 32, K: k, TauPrime: 9, Epsilon: 0.25}
+		cfg.Domain.IncludeNum, cfg.Domain.IncludeDen = 3, 4
+		cfg.Budget = mustCP(t, g) + 4
+		return g, embedOn(t, g, "alice", cfg), cfg.Budget
+	}
+	g, wm, budget := mk(3)
+	pc, err := ApproxPc(g, wm, budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pc.Exponent10() >= 0 {
+		t.Fatalf("Pc = %v, want < 1", pc)
+	}
+	g2, wm2, budget2 := mk(8)
+	if len(wm2.Edges) <= len(wm.Edges) {
+		t.Skip("locality cannot host more than K=3 edges")
+	}
+	for i, e := range wm.Edges {
+		if wm2.Edges[i] != e {
+			t.Fatalf("K=8 edge %d diverges from K=3 prefix", i)
+		}
+	}
+	pc2, err := ApproxPc(g2, wm2, budget2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pc2.Exponent10() >= pc.Exponent10() {
+		t.Fatalf("more edges should strengthen proof: %v vs %v", pc2, pc)
+	}
+}
+
+func TestMaterializeInsertsUnitOps(t *testing.T) {
+	g := designs.LongEchoCanceler()
+	cfg := testCfg
+	cfg.Budget = mustCP(t, g) + 4
+	wm := embedOn(t, g, "alice", cfg)
+	before := g.Len()
+	n, err := Materialize(g, wm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(wm.Edges) {
+		t.Fatalf("inserted %d units for %d edges", n, len(wm.Edges))
+	}
+	if g.Len() != before+n {
+		t.Fatalf("graph grew by %d, want %d", g.Len()-before, n)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatalf("materialized graph invalid: %v", err)
+	}
+	// The unit ops enforce the constraint orders through data/control
+	// precedence alone.
+	s, err := sched.ListSchedule(g, sched.ListOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range wm.Edges {
+		if s.Steps[e.From] >= s.Steps[e.To] {
+			t.Fatalf("materialized constraint %s->%s unenforced",
+				g.Node(e.From).Name, g.Node(e.To).Name)
+		}
+	}
+}

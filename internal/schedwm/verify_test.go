@@ -1,0 +1,74 @@
+package schedwm
+
+import (
+	"testing"
+
+	"localwm/internal/designs"
+	"localwm/internal/prng"
+	"localwm/internal/sched"
+)
+
+func TestVerifyOwnershipAdjudication(t *testing.T) {
+	g := designs.Layered(designs.MediaBench()[2].Cfg)
+	cfg := Config{Tau: 20, K: 4, Epsilon: 0.25}
+	cfg.Budget = mustCP(t, g) + 6
+	const nWM = 3
+
+	marked := g.Clone()
+	if _, err := EmbedMany(marked, prng.Signature("alice"), cfg, nWM); err != nil {
+		t.Fatal(err)
+	}
+	s, err := sched.ListSchedule(marked, sched.ListOpts{UseTemporal: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The shipped design: original structure (clone IDs match), schedule
+	// from the marked synthesis run.
+	det, err := VerifyOwnership(g, s, prng.Signature("alice"), cfg, nWM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !det.Found {
+		t.Fatalf("alice's claim rejected: %d/%d", det.Best.Satisfied, det.Best.Total)
+	}
+	if det.Best.Pc.Exponent10() >= 0 {
+		t.Fatalf("verified claim carries no proof: %v", det.Best.Pc)
+	}
+
+	// Mallory's claim re-derives different constraints, which an
+	// independent schedule will not all satisfy.
+	det, err = VerifyOwnership(g, s, prng.Signature("mallory"), cfg, nWM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if det.Found && det.Best.Total >= 6 {
+		t.Fatalf("mallory's claim verified against alice's schedule (%d/%d)",
+			det.Best.Satisfied, det.Best.Total)
+	}
+}
+
+func TestVerifyOwnershipUnmarkedSchedule(t *testing.T) {
+	g := designs.Layered(designs.MediaBench()[2].Cfg)
+	cfg := Config{Tau: 20, K: 4, Epsilon: 0.25}
+	cfg.Budget = mustCP(t, g) + 6
+	s, err := sched.ListSchedule(g, sched.ListOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	det, err := VerifyOwnership(g, s, prng.Signature("alice"), cfg, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if det.Found && det.Best.Total >= 6 {
+		t.Fatalf("claim verified on a never-marked schedule (%d constraints)",
+			det.Best.Total)
+	}
+}
+
+func TestVerifyOwnershipMismatchedSchedule(t *testing.T) {
+	g := designs.WaveletFilter()
+	if _, err := VerifyOwnership(g, &sched.Schedule{Steps: []int{1}, Budget: 1},
+		prng.Signature("x"), testCfg, 1); err == nil {
+		t.Fatal("mismatched schedule accepted")
+	}
+}

@@ -1,0 +1,174 @@
+// Package stats holds the small probabilistic toolbox the evaluation needs:
+// log-domain products of per-constraint coincidence probabilities (the
+// paper reports Pc values as small as 10^-283, far below float64 range),
+// the Poisson lifetime model the paper assumes for ASAP–ALAP windows, and
+// the tamper-resistance arithmetic behind the in-text attack analysis.
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// LogProb is a probability carried as log10(p). It composes by addition,
+// so products of hundreds of tiny factors stay representable. The zero
+// value is probability 1.
+type LogProb float64
+
+// FromProb converts a plain probability in (0, 1] to log domain.
+// p <= 0 is mapped to -Inf (impossible).
+func FromProb(p float64) LogProb {
+	if p <= 0 {
+		return LogProb(math.Inf(-1))
+	}
+	return LogProb(math.Log10(p))
+}
+
+// FromRatio converts the ratio num/den (num ≥ 0, den > 0) to log domain.
+func FromRatio(num, den float64) LogProb {
+	if den <= 0 {
+		return LogProb(math.Inf(-1))
+	}
+	return FromProb(num / den)
+}
+
+// Mul accumulates another independent factor.
+func (l LogProb) Mul(m LogProb) LogProb { return l + m }
+
+// Prob converts back to a plain probability (may underflow to 0).
+func (l LogProb) Prob() float64 { return math.Pow(10, float64(l)) }
+
+// Exponent10 returns the order of magnitude, i.e. x such that the
+// probability is ~10^x. This is the form the paper's Table I quotes
+// (Pc ≈ 10^-26 etc.).
+func (l LogProb) Exponent10() float64 { return float64(l) }
+
+// String renders in the paper's 10^x notation.
+func (l LogProb) String() string {
+	if math.IsInf(float64(l), -1) {
+		return "0"
+	}
+	return fmt.Sprintf("10^%.1f", float64(l))
+}
+
+// PoissonPMF returns P[X = k] for X ~ Poisson(lambda), computed in log
+// space for stability at large lambda.
+func PoissonPMF(lambda float64, k int) float64 {
+	if lambda <= 0 || k < 0 {
+		if k == 0 && lambda == 0 {
+			return 1
+		}
+		return 0
+	}
+	lg := float64(k)*math.Log(lambda) - lambda - lgamma(float64(k)+1)
+	return math.Exp(lg)
+}
+
+func lgamma(x float64) float64 {
+	v, _ := math.Lgamma(x)
+	return v
+}
+
+// OrderProb returns the probability that operation s is scheduled strictly
+// before operation d when s is placed uniformly in its ASAP–ALAP window
+// [sLo, sHi] and d uniformly and independently in [dLo, dHi] (inclusive
+// control steps), conditioned on them not sharing a forced order. This is
+// the first-order model the paper adopts ("we have assumed the Poisson
+// distribution of the operation's asap-alap times as well as that second
+// order effects have negligible influence on the actual scheduling
+// probabilities"): the per-edge coincidence factor ψ_W(e)/ψ_N(e) is
+// approximated by P[cstep(s) < cstep(d)].
+func OrderProb(sLo, sHi, dLo, dHi int) (float64, error) {
+	if sLo > sHi || dLo > dHi {
+		return 0, fmt.Errorf("stats: malformed windows [%d,%d] [%d,%d]", sLo, sHi, dLo, dHi)
+	}
+	total := 0
+	favorable := 0
+	for s := sLo; s <= sHi; s++ {
+		for d := dLo; d <= dHi; d++ {
+			total++
+			if s < d {
+				favorable++
+			}
+		}
+	}
+	if total == 0 {
+		return 0, fmt.Errorf("stats: empty window product")
+	}
+	return float64(favorable) / float64(total), nil
+}
+
+// TamperAnalysis reproduces the paper's in-text attack arithmetic.
+//
+// The design has `constrained` node pairs whose execution order witnesses
+// the watermark, with an average per-pair coincidence ratio `ratio` (the
+// paper's worked example uses E[ψ_W/ψ_N] = 1/2). An attacker perturbs
+// pairs one at a time; each perturbed pair stops contributing evidence.
+// The proof of authorship after flipping f pairs is 1 - ratio^(remaining).
+// FlipsNeeded returns the minimum number of pairs the attacker must alter
+// so the residual coincidence probability rises to at least `target`
+// (e.g. 10^-6 for "one in a million"), plus the fraction of the solution
+// this represents when the solution consists of `pairsTotal` ordered pairs.
+type TamperAnalysis struct {
+	PairsWatermarked int     // ordered pairs carrying watermark evidence
+	PairsTotal       int     // ordered pairs in the whole solution
+	Ratio            float64 // average per-pair coincidence ψ_W/ψ_N
+}
+
+// FlipsNeeded returns (pairs to perturb, fraction of total solution).
+// With the paper's numbers — 100 000 laxity-eligible operations
+// (≈ C(100000,2)/1e5… the paper works with 31 729 of 50 000 pair-slots
+// being 63% — we expose the raw arithmetic and let the caller frame it).
+func (t TamperAnalysis) FlipsNeeded(target float64) (int, float64, error) {
+	if t.Ratio <= 0 || t.Ratio >= 1 {
+		return 0, 0, fmt.Errorf("stats: ratio %v outside (0,1)", t.Ratio)
+	}
+	if target <= 0 || target >= 1 {
+		return 0, 0, fmt.Errorf("stats: target %v outside (0,1)", target)
+	}
+	if t.PairsWatermarked <= 0 || t.PairsTotal <= 0 {
+		return 0, 0, fmt.Errorf("stats: non-positive pair counts")
+	}
+	// Residual evidence after flipping f of the watermarked pairs:
+	// Pc_residual = ratio^(watermarked - f). Want Pc_residual >= target:
+	//   (watermarked - f)·log(ratio) >= log(target)
+	//   watermarked - f <= log(target)/log(ratio)
+	keep := math.Floor(math.Log(target) / math.Log(t.Ratio))
+	flips := t.PairsWatermarked - int(keep)
+	if flips < 0 {
+		flips = 0
+	}
+	// But the attacker does not know WHICH pairs carry evidence: flipping a
+	// random pair hits a watermarked one with probability
+	// watermarked/total, so the expected number of random perturbations is
+	// flips · total/watermarked. The fraction of the solution altered is
+	// that expectation over the total pair count.
+	expected := float64(flips) * float64(t.PairsTotal) / float64(t.PairsWatermarked)
+	fraction := expected / float64(t.PairsTotal)
+	return flips, fraction, nil
+}
+
+// Mean returns the arithmetic mean of xs (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// GeometricMeanLog returns the mean of log10 values — the right way to
+// average coincidence probabilities across designs.
+func GeometricMeanLog(ps []LogProb) LogProb {
+	if len(ps) == 0 {
+		return 0
+	}
+	var s float64
+	for _, p := range ps {
+		s += float64(p)
+	}
+	return LogProb(s / float64(len(ps)))
+}

@@ -1,0 +1,222 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestLogProbBasics(t *testing.T) {
+	p := FromProb(0.1)
+	if math.Abs(float64(p)-(-1)) > 1e-12 {
+		t.Fatalf("log10(0.1) = %v", p)
+	}
+	q := p.Mul(p).Mul(p)
+	if math.Abs(q.Exponent10()-(-3)) > 1e-12 {
+		t.Fatalf("0.1^3 exponent = %v", q.Exponent10())
+	}
+	if math.Abs(q.Prob()-0.001) > 1e-12 {
+		t.Fatalf("0.1^3 = %v", q.Prob())
+	}
+}
+
+func TestLogProbZeroValueIsOne(t *testing.T) {
+	var p LogProb
+	if p.Prob() != 1 {
+		t.Fatalf("zero LogProb = %v, want 1", p.Prob())
+	}
+}
+
+func TestFromProbNonPositive(t *testing.T) {
+	if !math.IsInf(float64(FromProb(0)), -1) {
+		t.Fatal("FromProb(0) not -Inf")
+	}
+	if FromProb(-1).Prob() != 0 {
+		t.Fatal("FromProb(-1) not impossible")
+	}
+	if FromProb(0).String() != "0" {
+		t.Fatalf("String of impossible = %q", FromProb(0).String())
+	}
+}
+
+func TestFromRatio(t *testing.T) {
+	p := FromRatio(15, 166) // the paper's Fig. 3 exact Pc
+	if math.Abs(p.Prob()-15.0/166) > 1e-12 {
+		t.Fatalf("FromRatio = %v", p.Prob())
+	}
+	if !math.IsInf(float64(FromRatio(1, 0)), -1) {
+		t.Fatal("FromRatio with zero denominator not impossible")
+	}
+}
+
+func TestDeepUnderflowSurvives(t *testing.T) {
+	// Pc = 10^-283 (the paper's PGP/5% cell) must stay representable.
+	p := LogProb(0)
+	for i := 0; i < 283; i++ {
+		p = p.Mul(FromProb(0.1))
+	}
+	if math.Abs(p.Exponent10()-(-283)) > 1e-9 {
+		t.Fatalf("exponent = %v, want -283", p.Exponent10())
+	}
+	if p.String() != "10^-283.0" {
+		t.Fatalf("String = %q", p.String())
+	}
+}
+
+func TestPoissonPMF(t *testing.T) {
+	// P[X=0] = e^-lambda.
+	if got := PoissonPMF(2, 0); math.Abs(got-math.Exp(-2)) > 1e-12 {
+		t.Fatalf("P[X=0] = %v", got)
+	}
+	// Sum over k ≈ 1.
+	sum := 0.0
+	for k := 0; k < 100; k++ {
+		sum += PoissonPMF(5, k)
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("Poisson mass sums to %v", sum)
+	}
+	if PoissonPMF(2, -1) != 0 {
+		t.Fatal("negative k has mass")
+	}
+	if PoissonPMF(0, 0) != 1 {
+		t.Fatal("lambda=0 should be a point mass at 0")
+	}
+}
+
+func TestOrderProbDisjointWindows(t *testing.T) {
+	// s in [1,2], d in [5,6]: always s < d.
+	p, err := OrderProb(1, 2, 5, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p != 1 {
+		t.Fatalf("p = %v, want 1", p)
+	}
+	// Reversed: never.
+	p, err = OrderProb(5, 6, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p != 0 {
+		t.Fatalf("p = %v, want 0", p)
+	}
+}
+
+func TestOrderProbIdenticalWindows(t *testing.T) {
+	// Both uniform on [1,n]: P(s<d) = (n-1)/(2n).
+	for n := 1; n <= 6; n++ {
+		p, err := OrderProb(1, n, 1, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := float64(n-1) / float64(2*n)
+		if math.Abs(p-want) > 1e-12 {
+			t.Fatalf("n=%d: p = %v, want %v", n, p, want)
+		}
+	}
+}
+
+func TestOrderProbMalformed(t *testing.T) {
+	if _, err := OrderProb(3, 2, 1, 1); err == nil {
+		t.Fatal("inverted window accepted")
+	}
+}
+
+// Property: OrderProb(a...) + OrderProb(swapped) + P(same) == 1.
+func TestOrderProbComplement(t *testing.T) {
+	f := func(aLo, aW, bLo, bW uint8) bool {
+		sLo, sHi := int(aLo%10)+1, int(aLo%10)+1+int(aW%6)
+		dLo, dHi := int(bLo%10)+1, int(bLo%10)+1+int(bW%6)
+		p1, err := OrderProb(sLo, sHi, dLo, dHi)
+		if err != nil {
+			return false
+		}
+		p2, err := OrderProb(dLo, dHi, sLo, sHi)
+		if err != nil {
+			return false
+		}
+		// P(same step).
+		same := 0
+		tot := 0
+		for s := sLo; s <= sHi; s++ {
+			for d := dLo; d <= dHi; d++ {
+				tot++
+				if s == d {
+					same++
+				}
+			}
+		}
+		return math.Abs(p1+p2+float64(same)/float64(tot)-1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTamperAnalysisPaperExample(t *testing.T) {
+	// The paper's worked example: 100 000 eligible operations, 100 added
+	// temporal edges, E[ψW/ψN] = 1/2, target Pc = 10^-6. With ratio 1/2 at
+	// most ~19 edges of evidence may survive, so the attacker must destroy
+	// 81 of the 100 — and not knowing which pairs carry evidence, must
+	// perturb the majority of the solution.
+	ta := TamperAnalysis{PairsWatermarked: 100, PairsTotal: 50000, Ratio: 0.5}
+	flips, fraction, err := ta.FlipsNeeded(1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if flips != 81 {
+		t.Fatalf("flips = %d, want 81", flips)
+	}
+	if fraction < 0.5 {
+		t.Fatalf("fraction = %v, want a majority of the solution", fraction)
+	}
+}
+
+func TestTamperAnalysisValidation(t *testing.T) {
+	bad := []TamperAnalysis{
+		{PairsWatermarked: 10, PairsTotal: 100, Ratio: 0},
+		{PairsWatermarked: 10, PairsTotal: 100, Ratio: 1},
+		{PairsWatermarked: 0, PairsTotal: 100, Ratio: 0.5},
+	}
+	for _, ta := range bad {
+		if _, _, err := ta.FlipsNeeded(1e-6); err == nil {
+			t.Fatalf("malformed %+v accepted", ta)
+		}
+	}
+	ok := TamperAnalysis{PairsWatermarked: 10, PairsTotal: 100, Ratio: 0.5}
+	if _, _, err := ok.FlipsNeeded(0); err == nil {
+		t.Fatal("target 0 accepted")
+	}
+	if _, _, err := ok.FlipsNeeded(1); err == nil {
+		t.Fatal("target 1 accepted")
+	}
+}
+
+func TestTamperAnalysisAlreadyWeak(t *testing.T) {
+	// If the watermark is already weaker than the target, no flips needed.
+	ta := TamperAnalysis{PairsWatermarked: 3, PairsTotal: 100, Ratio: 0.5}
+	flips, _, err := ta.FlipsNeeded(1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if flips != 0 {
+		t.Fatalf("flips = %d, want 0", flips)
+	}
+}
+
+func TestMeanAndGeometricMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Fatal("Mean(nil) != 0")
+	}
+	if Mean([]float64{1, 2, 3}) != 2 {
+		t.Fatal("Mean wrong")
+	}
+	if GeometricMeanLog(nil) != 0 {
+		t.Fatal("GeometricMeanLog(nil) != 0")
+	}
+	g := GeometricMeanLog([]LogProb{-2, -4})
+	if g != -3 {
+		t.Fatalf("GeometricMeanLog = %v, want -3", g)
+	}
+}

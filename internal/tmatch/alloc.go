@@ -1,0 +1,246 @@
+package tmatch
+
+import (
+	"fmt"
+
+	"localwm/internal/cdfg"
+)
+
+// Allocation is the hardware cost of a covering under a control-step
+// budget: each matching is a firing of one module instance, instances of
+// the same template are shared across control steps, and the number of
+// instances a template needs is the peak number of its matchings scheduled
+// in the same step. The paper's Table II reports exactly this quantity
+// ("count of used modules to cover the entire design") for two budgets —
+// the critical path itself and twice the critical path — which is why the
+// same covering costs fewer modules when more steps are available.
+type Allocation struct {
+	// PerTemplate maps template name to required instance count.
+	PerTemplate map[string]int
+	// FUs is the total functional-unit instance count.
+	FUs int
+	// Registers is the number of storage elements the schedule needs: the
+	// peak number of values simultaneously alive across a control-step
+	// boundary. Values produced for pseudo-primary outputs stay alive to
+	// the end of the schedule (they must remain visible), which is how a
+	// template watermark's PPO constraints become hardware cost.
+	Registers int
+	// Modules is the Table II metric: the number of module instantiations
+	// used to cover the design (one per matching — datapath-intensive
+	// flows like HYPER's instantiate per use) plus the registers the
+	// schedule needs. FUs is kept as a diagnostic for sharing-oriented
+	// flows.
+	Modules int
+	// Steps is the macro-level schedule: Steps[i] is the control step of
+	// cover.Matchings[i].
+	Steps []int
+	// Budget is the control-step budget the allocation was made for.
+	Budget int
+}
+
+// Allocate schedules the cover's matchings into the given number of
+// control steps, balancing per-template concurrency, and returns the
+// resulting module and register counts. ppo, which may be nil, marks
+// nodes whose values are pseudo-primary outputs and must stay registered
+// through the end of the schedule. The macro-operation graph (one node per
+// matching, unit latency, edges induced by inter-matching data/control
+// dependences) is provably acyclic because every matching is a connected
+// fan-in tree whose only outbound value leaves through its root.
+//
+// Scheduling is a balanced list pass: matchings are placed in topological
+// order, each at the feasible step where its template currently has the
+// lowest usage (ties: earliest). This directly minimizes per-template
+// peaks, the quantity that becomes hardware.
+func Allocate(g *cdfg.Graph, lib *Library, cover *Cover, budget int, ppo map[cdfg.NodeID]bool) (*Allocation, error) {
+	if budget <= 0 {
+		return nil, fmt.Errorf("tmatch: non-positive budget %d", budget)
+	}
+	n := len(cover.Matchings)
+	if n == 0 {
+		return &Allocation{PerTemplate: map[string]int{}, Budget: budget}, nil
+	}
+
+	// Build macro adjacency.
+	succ := make([][]int, n)
+	pred := make([][]int, n)
+	seen := map[[2]int]bool{}
+	addEdge := func(a, b int) {
+		if a == b || seen[[2]int{a, b}] {
+			return
+		}
+		seen[[2]int{a, b}] = true
+		succ[a] = append(succ[a], b)
+		pred[b] = append(pred[b], a)
+	}
+	for _, m := range cover.Matchings {
+		for _, v := range m.Nodes {
+			mi := cover.Owner[v]
+			for _, w := range g.DataOut(v) {
+				if mj, ok := cover.Owner[w]; ok && mj != mi {
+					addEdge(mi, mj)
+				}
+			}
+			for _, w := range g.ControlOut(v) {
+				if mj, ok := cover.Owner[w]; ok && mj != mi {
+					addEdge(mi, mj)
+				}
+			}
+		}
+	}
+
+	// Topological order (Kahn, smallest index first for determinism).
+	indeg := make([]int, n)
+	for i := range pred {
+		indeg[i] = len(pred[i])
+	}
+	var frontier []int
+	for i := 0; i < n; i++ {
+		if indeg[i] == 0 {
+			frontier = append(frontier, i)
+		}
+	}
+	var topo []int
+	for len(frontier) > 0 {
+		best := 0
+		for i := 1; i < len(frontier); i++ {
+			if frontier[i] < frontier[best] {
+				best = i
+			}
+		}
+		v := frontier[best]
+		frontier[best] = frontier[len(frontier)-1]
+		frontier = frontier[:len(frontier)-1]
+		topo = append(topo, v)
+		for _, w := range succ[v] {
+			indeg[w]--
+			if indeg[w] == 0 {
+				frontier = append(frontier, w)
+			}
+		}
+	}
+	if len(topo) != n {
+		return nil, fmt.Errorf("tmatch: internal: macro graph has a cycle")
+	}
+
+	// ALAP bounds (longest path to a sink).
+	lpFrom := make([]int, n)
+	for i := len(topo) - 1; i >= 0; i-- {
+		v := topo[i]
+		best := 0
+		for _, w := range succ[v] {
+			if lpFrom[w] > best {
+				best = lpFrom[w]
+			}
+		}
+		lpFrom[v] = best + 1
+	}
+	for _, v := range topo {
+		if lpFrom[v] > budget {
+			return nil, fmt.Errorf("tmatch: budget %d below macro critical path %d", budget, lpFrom[v])
+		}
+	}
+
+	steps := make([]int, n)
+	// usage[template][step] — counts per template per step.
+	usage := make([]map[int]int, len(lib.Templates))
+	for i := range usage {
+		usage[i] = map[int]int{}
+	}
+	for _, v := range topo {
+		lo := 1
+		for _, u := range pred[v] {
+			if steps[u]+1 > lo {
+				lo = steps[u] + 1
+			}
+		}
+		hi := budget - lpFrom[v] + 1
+		if lo > hi {
+			return nil, fmt.Errorf("tmatch: internal: window collapsed for matching %d", v)
+		}
+		t := cover.Matchings[v].Template
+		bestStep, bestUse := lo, usage[t][lo]
+		for s := lo + 1; s <= hi; s++ {
+			if u := usage[t][s]; u < bestUse {
+				bestStep, bestUse = s, u
+			}
+		}
+		steps[v] = bestStep
+		usage[t][bestStep]++
+	}
+
+	alloc := &Allocation{PerTemplate: map[string]int{}, Steps: steps, Budget: budget}
+	for ti, t := range lib.Templates {
+		peak := 0
+		for _, c := range usage[ti] {
+			if c > peak {
+				peak = c
+			}
+		}
+		if peak > 0 {
+			alloc.PerTemplate[t.Name] = peak
+			alloc.FUs += peak
+		}
+	}
+
+	// Register demand: for every value produced by one matching and
+	// consumed by another (or marked PPO, or feeding a design output /
+	// state element), it is alive from its producer's step until its last
+	// consumer's step (the schedule end for PPO/output values). The peak
+	// number of values crossing a step boundary is the register count.
+	makespan := 0
+	for _, st := range steps {
+		if st > makespan {
+			makespan = st
+		}
+	}
+	// liveDelta[b] accumulates interval starts/ends over boundaries b
+	// (boundary b sits after step b, for b in 1..makespan-1).
+	liveDelta := make([]int, makespan+3)
+	for mi, m := range cover.Matchings {
+		root := m.Nodes[0] // the matching's externally visible value
+		from := steps[mi]
+		to := from
+		external := false
+		for _, w := range g.DataOut(root) {
+			if mj, ok := cover.Owner[w]; ok && mj != mi {
+				external = true
+				if steps[mj] > to {
+					to = steps[mj]
+				}
+			} else if !ok {
+				// Consumer outside the cover (an output or state element):
+				// the value is latched one boundary after production.
+				external = true
+				if from+1 > to {
+					to = from + 1
+				}
+			}
+		}
+		if ppo != nil && ppo[root] {
+			// A pseudo-primary output must exist as an observable register
+			// value. A value that already crosses a step boundary is
+			// already registered and costs nothing extra; one consumed
+			// within its own step must now be latched for one boundary.
+			external = true
+			if to <= from {
+				to = from + 1
+			}
+		}
+		if !external || to <= from {
+			continue
+		}
+		// Alive across boundaries from..to-1.
+		liveDelta[from]++
+		liveDelta[to]--
+	}
+	live, peakLive := 0, 0
+	for b := 1; b <= makespan; b++ {
+		live += liveDelta[b]
+		if live > peakLive {
+			peakLive = live
+		}
+	}
+	alloc.Registers = peakLive
+	alloc.Modules = len(cover.Matchings) + alloc.Registers
+	return alloc, nil
+}

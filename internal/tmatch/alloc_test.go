@@ -1,0 +1,121 @@
+package tmatch
+
+import (
+	"testing"
+
+	"localwm/internal/cdfg"
+	"localwm/internal/designs"
+)
+
+func TestAllocateBudgetMonotone(t *testing.T) {
+	g := designs.ModemFilter()
+	lib := StandardLibrary()
+	cov, err := GreedyCover(g, lib, Constraints{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp, err := g.CriticalPath()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tight, err := Allocate(g, lib, cov, cp, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	relaxed, err := Allocate(g, lib, cov, 2*cp, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if relaxed.Modules > tight.Modules {
+		t.Fatalf("doubling the budget increased modules: %d -> %d",
+			tight.Modules, relaxed.Modules)
+	}
+	if tight.Modules <= 0 {
+		t.Fatal("no modules allocated")
+	}
+	t.Logf("modem filter: %d modules at CP, %d at 2·CP", tight.Modules, relaxed.Modules)
+}
+
+func TestAllocateScheduleLegality(t *testing.T) {
+	g := designs.WaveletFilter()
+	lib := StandardLibrary()
+	cov, err := GreedyCover(g, lib, Constraints{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp, err := g.CriticalPath()
+	if err != nil {
+		t.Fatal(err)
+	}
+	alloc, err := Allocate(g, lib, cov, cp+3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(alloc.Steps) != len(cov.Matchings) {
+		t.Fatal("step vector size mismatch")
+	}
+	// Every inter-matching dependence must go strictly forward.
+	for mi, m := range cov.Matchings {
+		for _, v := range m.Nodes {
+			for _, w := range g.DataOut(v) {
+				if mj, ok := cov.Owner[w]; ok && mj != mi {
+					if alloc.Steps[mi] >= alloc.Steps[mj] {
+						t.Fatalf("macro dependence %d->%d violated (%d >= %d)",
+							mi, mj, alloc.Steps[mi], alloc.Steps[mj])
+					}
+				}
+			}
+		}
+		if alloc.Steps[mi] < 1 || alloc.Steps[mi] > cp+3 {
+			t.Fatalf("macro step %d out of budget", alloc.Steps[mi])
+		}
+	}
+	// Module counts equal observed peaks.
+	peak := map[string]map[int]int{}
+	for mi, m := range cov.Matchings {
+		name := lib.Templates[m.Template].Name
+		if peak[name] == nil {
+			peak[name] = map[int]int{}
+		}
+		peak[name][alloc.Steps[mi]]++
+	}
+	for name, steps := range peak {
+		max := 0
+		for _, c := range steps {
+			if c > max {
+				max = c
+			}
+		}
+		if alloc.PerTemplate[name] != max {
+			t.Fatalf("template %s: allocation says %d, observed peak %d",
+				name, alloc.PerTemplate[name], max)
+		}
+	}
+}
+
+func TestAllocateInfeasibleBudget(t *testing.T) {
+	g := designs.EighthOrderCFIIR()
+	lib := StandardLibrary()
+	cov, err := GreedyCover(g, lib, Constraints{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Allocate(g, lib, cov, 1, nil); err == nil {
+		t.Fatal("budget 1 accepted for a deep design")
+	}
+	if _, err := Allocate(g, lib, cov, 0, nil); err == nil {
+		t.Fatal("budget 0 accepted")
+	}
+}
+
+func TestAllocateEmptyCover(t *testing.T) {
+	g := designs.ModemFilter()
+	lib := StandardLibrary()
+	alloc, err := Allocate(g, lib, &Cover{Owner: map[cdfg.NodeID]int{}}, 5, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if alloc.Modules != 0 {
+		t.Fatalf("empty cover needs %d modules", alloc.Modules)
+	}
+}

@@ -1,0 +1,306 @@
+package tmatch
+
+import (
+	"fmt"
+
+	"localwm/internal/cdfg"
+)
+
+// Cover is a complete template covering of a CDFG: a set of pairwise
+// node-disjoint matchings that together claim every computational node in
+// scope.
+type Cover struct {
+	Matchings []Matching
+	// Owner maps each covered node to its matching's index in Matchings.
+	Owner map[cdfg.NodeID]int
+}
+
+// Uses returns how many matchings instantiate each template.
+func (c *Cover) Uses(lib *Library) map[string]int {
+	out := map[string]int{}
+	for _, m := range c.Matchings {
+		out[lib.Templates[m.Template].Name]++
+	}
+	return out
+}
+
+// GreedyCover covers every computational node of g with library matchings,
+// minimizing the matching count heuristically: the candidate list is
+// enumerated exhaustively once, ordered largest-first, and accepted
+// whenever disjoint from what is already covered. enforced matchings (the
+// watermark's pre-selected node-to-module bindings) are seated first and
+// are part of the result.
+//
+// An error is returned if some node cannot be covered — the library must
+// contain a singleton template for every operation kind in scope.
+func GreedyCover(g *cdfg.Graph, lib *Library, cons Constraints, enforced []Matching) (*Cover, error) {
+	cov := &Cover{Owner: map[cdfg.NodeID]int{}}
+	covered := map[cdfg.NodeID]bool{}
+	for k, v := range cons.Covered {
+		if v {
+			covered[k] = true
+		}
+	}
+	seat := func(m Matching) error {
+		for _, v := range m.Nodes {
+			if covered[v] {
+				return fmt.Errorf("tmatch: matching %s overlaps covered node %s", m.Key(), g.Node(v).Name)
+			}
+		}
+		idx := len(cov.Matchings)
+		cov.Matchings = append(cov.Matchings, m)
+		for _, v := range m.Nodes {
+			covered[v] = true
+			cov.Owner[v] = idx
+		}
+		return nil
+	}
+	for _, m := range enforced {
+		if err := seat(m); err != nil {
+			return nil, err
+		}
+	}
+
+	enumCons := cons
+	enumCons.Covered = covered
+	cands := EnumerateAll(g, lib, enumCons)
+	SortMatchings(cands)
+	for _, m := range cands {
+		ok := true
+		for _, v := range m.Nodes {
+			if covered[v] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			if err := seat(m); err != nil {
+				return nil, err
+			}
+		}
+	}
+	// Completeness check over the scope.
+	for _, v := range g.Computational() {
+		if cons.Allowed != nil && !cons.Allowed[v] {
+			continue
+		}
+		if !covered[v] {
+			return nil, fmt.Errorf("tmatch: node %s (%v) not coverable by library",
+				g.Node(v).Name, g.Node(v).Op)
+		}
+	}
+	return cov, nil
+}
+
+// ExactCover finds a minimum-cardinality covering by branch and bound.
+// Only practical for small scopes (≤ ~25 computational nodes); larger
+// scopes should use GreedyCover. enforced matchings are seated first.
+func ExactCover(g *cdfg.Graph, lib *Library, cons Constraints, enforced []Matching, maxNodes int) (*Cover, error) {
+	if maxNodes == 0 {
+		maxNodes = 25
+	}
+	var scope []cdfg.NodeID
+	for _, v := range g.Computational() {
+		if cons.Allowed != nil && !cons.Allowed[v] {
+			continue
+		}
+		if cons.Covered != nil && cons.Covered[v] {
+			continue
+		}
+		scope = append(scope, v)
+	}
+	if len(scope) > maxNodes {
+		return nil, fmt.Errorf("tmatch: exact cover scope %d exceeds limit %d", len(scope), maxNodes)
+	}
+
+	covered := map[cdfg.NodeID]bool{}
+	for k, v := range cons.Covered {
+		if v {
+			covered[k] = true
+		}
+	}
+	var seated []Matching
+	for _, m := range enforced {
+		for _, v := range m.Nodes {
+			if covered[v] {
+				return nil, fmt.Errorf("tmatch: enforced matching %s overlaps", m.Key())
+			}
+			covered[v] = true
+		}
+		seated = append(seated, m)
+	}
+
+	enumCons := cons
+	enumCons.Covered = nil // overlap handled by the search itself
+	all := EnumerateAll(g, lib, enumCons)
+	SortMatchings(all)
+	// Per-node candidate lists.
+	byNode := map[cdfg.NodeID][]Matching{}
+	for _, v := range scope {
+		byNode[v] = MatchingsCovering(all, v)
+		ok := false
+		for _, m := range byNode[v] {
+			if !touchesCovered(m, cons.Covered) {
+				ok = true
+				break
+			}
+		}
+		if !ok && !covered[v] {
+			return nil, fmt.Errorf("tmatch: node %s not coverable", g.Node(v).Name)
+		}
+	}
+	maxSize := 1
+	for _, t := range lib.Templates {
+		if s := t.Size(); s > maxSize {
+			maxSize = s
+		}
+	}
+
+	best := []Matching(nil)
+	bestCount := len(scope) + len(seated) + 1
+	var cur []Matching
+	var rec func(uncovered int)
+	rec = func(uncovered int) {
+		if uncovered == 0 {
+			if len(cur)+len(seated) < bestCount {
+				bestCount = len(cur) + len(seated)
+				best = append([]Matching(nil), cur...)
+			}
+			return
+		}
+		// Lower bound prune.
+		lb := (uncovered + maxSize - 1) / maxSize
+		if len(cur)+len(seated)+lb >= bestCount {
+			return
+		}
+		// Branch on the lowest-ID uncovered node.
+		var pivot cdfg.NodeID = cdfg.None
+		for _, v := range scope {
+			if !covered[v] {
+				pivot = v
+				break
+			}
+		}
+		for _, m := range byNode[pivot] {
+			clash := false
+			for _, u := range m.Nodes {
+				if covered[u] {
+					clash = true
+					break
+				}
+			}
+			if clash {
+				continue
+			}
+			for _, u := range m.Nodes {
+				covered[u] = true
+			}
+			cur = append(cur, m)
+			rec(uncovered - len(m.Nodes))
+			cur = cur[:len(cur)-1]
+			for _, u := range m.Nodes {
+				covered[u] = false
+			}
+		}
+	}
+	un := 0
+	for _, v := range scope {
+		if !covered[v] {
+			un++
+		}
+	}
+	rec(un)
+	if best == nil && un > 0 {
+		return nil, fmt.Errorf("tmatch: no exact cover exists")
+	}
+
+	cov := &Cover{Owner: map[cdfg.NodeID]int{}}
+	cov.Matchings = append(append([]Matching(nil), seated...), best...)
+	for i, m := range cov.Matchings {
+		for _, v := range m.Nodes {
+			cov.Owner[v] = i
+		}
+	}
+	return cov, nil
+}
+
+func touchesCovered(m Matching, covered map[cdfg.NodeID]bool) bool {
+	if covered == nil {
+		return false
+	}
+	for _, v := range m.Nodes {
+		if covered[v] {
+			return true
+		}
+	}
+	return false
+}
+
+// CountCoverings counts the number of distinct sets of pairwise-disjoint
+// matchings that jointly cover all the given target nodes (extra nodes may
+// be covered too). This is the paper's Solutions(m) — "the number of
+// different matchings for all nodes covered by the enforced template" —
+// used in Pc ≈ Π 1/Solutions(m_i). Exhaustive; intended for the small
+// target sets the protocol enforces (|m| ≤ 3).
+func CountCoverings(g *cdfg.Graph, lib *Library, cons Constraints, targets []cdfg.NodeID) (uint64, error) {
+	if len(targets) == 0 {
+		return 0, fmt.Errorf("tmatch: empty target set")
+	}
+	all := EnumerateAll(g, lib, cons)
+	// Candidates: matchings touching at least one target.
+	var cands []Matching
+	for _, m := range all {
+		touch := false
+		for _, v := range m.Nodes {
+			for _, t := range targets {
+				if v == t {
+					touch = true
+				}
+			}
+		}
+		if touch {
+			cands = append(cands, m)
+		}
+	}
+	SortMatchings(cands)
+
+	targetSet := map[cdfg.NodeID]bool{}
+	for _, t := range targets {
+		targetSet[t] = true
+	}
+	used := map[cdfg.NodeID]bool{}
+	var count uint64
+	var rec func(start, remaining int)
+	rec = func(start, remaining int) {
+		if remaining == 0 {
+			count++
+			return
+		}
+		for i := start; i < len(cands); i++ {
+			m := cands[i]
+			clash := false
+			gain := 0
+			for _, v := range m.Nodes {
+				if used[v] {
+					clash = true
+					break
+				}
+				if targetSet[v] {
+					gain++
+				}
+			}
+			if clash || gain == 0 {
+				continue
+			}
+			for _, v := range m.Nodes {
+				used[v] = true
+			}
+			rec(i+1, remaining-gain)
+			for _, v := range m.Nodes {
+				delete(used, v)
+			}
+		}
+	}
+	rec(0, len(targets))
+	return count, nil
+}

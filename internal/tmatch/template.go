@@ -1,0 +1,156 @@
+// Package tmatch is the template-matching substrate of the behavioral
+// synthesis flow: a library of datapath modules (each "a set of operation
+// trees"), exhaustive enumeration of node-to-module matchings over a CDFG,
+// covering of the CDFG by matchings, and allocation of module instances
+// under a control-step budget. Template mapping replaces groups of
+// primitive operations "with more complex and specialized hardware units
+// ... optimized for low area, power, or delay".
+//
+// The watermarking protocol (package tmwm) builds on two hooks this
+// package provides: enumeration restricted to an eligible node set, and
+// pseudo-primary-output (PPO) constraints — a PPO variable must remain
+// visible in the mapped design, so no matching may swallow its producer as
+// an internal node.
+package tmatch
+
+import (
+	"fmt"
+
+	"localwm/internal/cdfg"
+)
+
+// Pattern is one operation slot of a template, a tree mirroring the data
+// fan-in of the module. Kids lists only the *internal* operand subtrees —
+// operands of the matched graph node that must themselves be produced
+// inside the module. Any graph operand not bound to a kid is a free input
+// of the module, so a pattern with no kids matches a node of any arity
+// whose operation it accepts.
+type Pattern struct {
+	// Ops lists the operation kinds this slot accepts (any-of). A module's
+	// adder slot typically accepts OpAdd and OpSub.
+	Ops []cdfg.Op
+	// Kids are the internal operand subtrees. Each kid must map to a
+	// distinct data operand of the matched node.
+	Kids []*Pattern
+	// Commutative allows the kids to bind to any of the node's operands;
+	// when false, kid i binds to operand i.
+	Commutative bool
+}
+
+func (p *Pattern) accepts(op cdfg.Op) bool {
+	for _, o := range p.Ops {
+		if o == op {
+			return true
+		}
+	}
+	return false
+}
+
+// size returns the number of operation slots in the pattern tree.
+func (p *Pattern) size() int {
+	n := 1
+	for _, k := range p.Kids {
+		n += k.size()
+	}
+	return n
+}
+
+// positions lists every pattern node in preorder; the index of a slot in
+// this list is its position identifier within matchings.
+func (p *Pattern) positions() []*Pattern {
+	var out []*Pattern
+	var walk func(q *Pattern)
+	walk = func(q *Pattern) {
+		out = append(out, q)
+		for _, k := range q.Kids {
+			walk(k)
+		}
+	}
+	walk(p)
+	return out
+}
+
+// Template is a library module.
+type Template struct {
+	Name string
+	Root *Pattern
+}
+
+// Size returns the number of operation slots in the template.
+func (t *Template) Size() int { return t.Root.size() }
+
+// Library is an ordered collection of templates. Order is meaningful: a
+// matching names its template by index, and the watermark bitstream's
+// selections depend on enumeration order.
+type Library struct {
+	Templates []Template
+}
+
+// Validate checks that every template is well-formed.
+func (l *Library) Validate() error {
+	if len(l.Templates) == 0 {
+		return fmt.Errorf("tmatch: empty library")
+	}
+	for i, t := range l.Templates {
+		if t.Name == "" {
+			return fmt.Errorf("tmatch: template %d has no name", i)
+		}
+		if t.Root == nil {
+			return fmt.Errorf("tmatch: template %q has no pattern", t.Name)
+		}
+		for _, p := range t.Root.positions() {
+			if len(p.Ops) == 0 {
+				return fmt.Errorf("tmatch: template %q has a slot accepting no ops", t.Name)
+			}
+			for _, o := range p.Ops {
+				if !o.IsComputational() {
+					return fmt.Errorf("tmatch: template %q accepts non-computational op %v", t.Name, o)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// Slot builds an internal pattern node.
+func Slot(commutative bool, kids []*Pattern, ops ...cdfg.Op) *Pattern {
+	return &Pattern{Ops: ops, Kids: kids, Commutative: commutative}
+}
+
+// Leaf returns a single-operation slot with only free inputs.
+func Leaf(ops ...cdfg.Op) *Pattern {
+	return &Pattern{Ops: ops, Commutative: true}
+}
+
+// AddOps and MulOps are the operation groups the standard library's adder
+// and multiplier slots accept.
+var (
+	AddOps = []cdfg.Op{cdfg.OpAdd, cdfg.OpSub}
+	MulOps = []cdfg.Op{cdfg.OpMul, cdfg.OpMulConst}
+)
+
+// StandardLibrary returns the default module library used by the
+// evaluation, in the spirit of the paper's Fig. 4 library:
+//
+//	add    — one ALU (add/sub)
+//	mul    — one multiplier (mul/cmul)
+//	add2   — two chained additions (the 2-adder template T1)
+//	mac    — multiply feeding an addition (T2)
+//	addmul — addition feeding a multiplication
+//
+// plus singleton fallbacks so any computational op is coverable.
+func StandardLibrary() *Library {
+	return &Library{Templates: []Template{
+		{Name: "add", Root: Leaf(AddOps...)},
+		{Name: "mul", Root: Leaf(MulOps...)},
+		{Name: "add2", Root: Slot(true, []*Pattern{Leaf(AddOps...)}, AddOps...)},
+		{Name: "mac", Root: Slot(true, []*Pattern{Leaf(MulOps...)}, AddOps...)},
+		{Name: "addmul", Root: Slot(true, []*Pattern{Leaf(AddOps...)}, MulOps...)},
+		{Name: "alu", Root: Leaf(
+			cdfg.OpAnd, cdfg.OpOr, cdfg.OpXor, cdfg.OpNot, cdfg.OpCmp,
+			cdfg.OpShift, cdfg.OpMux, cdfg.OpUnit)},
+		{Name: "divider", Root: Leaf(cdfg.OpDiv)},
+		{Name: "memport", Root: Leaf(cdfg.OpLoad, cdfg.OpStore)},
+		{Name: "brunit", Root: Leaf(cdfg.OpBranch)},
+	}}
+}

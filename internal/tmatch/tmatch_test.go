@@ -1,0 +1,346 @@
+package tmatch
+
+import (
+	"testing"
+
+	"localwm/internal/cdfg"
+	"localwm/internal/designs"
+)
+
+// macGraph: in -> m (cmul) -> a (add with second input in2).
+func macGraph(t *testing.T) *cdfg.Graph {
+	t.Helper()
+	g := cdfg.New(8)
+	in := g.AddNode("in", cdfg.OpInput)
+	in2 := g.AddNode("in2", cdfg.OpInput)
+	m := g.AddNode("m", cdfg.OpMulConst)
+	a := g.AddNode("a", cdfg.OpAdd)
+	o := g.AddNode("o", cdfg.OpOutput)
+	g.MustAddEdge(in, m, cdfg.DataEdge)
+	g.MustAddEdge(m, a, cdfg.DataEdge)
+	g.MustAddEdge(in2, a, cdfg.DataEdge)
+	g.MustAddEdge(a, o, cdfg.DataEdge)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func libIndex(t *testing.T, lib *Library, name string) int {
+	t.Helper()
+	for i, tpl := range lib.Templates {
+		if tpl.Name == name {
+			return i
+		}
+	}
+	t.Fatalf("no template %q", name)
+	return -1
+}
+
+func TestStandardLibraryValid(t *testing.T) {
+	lib := StandardLibrary()
+	if err := lib.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if lib.Templates[libIndex(t, lib, "mac")].Size() != 2 {
+		t.Fatal("mac template size != 2")
+	}
+	if lib.Templates[libIndex(t, lib, "add")].Size() != 1 {
+		t.Fatal("add template size != 1")
+	}
+}
+
+func TestLibraryValidateRejects(t *testing.T) {
+	bad := []*Library{
+		{},
+		{Templates: []Template{{Name: "", Root: Leaf(cdfg.OpAdd)}}},
+		{Templates: []Template{{Name: "x", Root: nil}}},
+		{Templates: []Template{{Name: "x", Root: Leaf()}}},
+		{Templates: []Template{{Name: "x", Root: Leaf(cdfg.OpInput)}}},
+	}
+	for i, lib := range bad {
+		if err := lib.Validate(); err == nil {
+			t.Fatalf("bad library %d accepted", i)
+		}
+	}
+}
+
+func TestEnumerateAtMac(t *testing.T) {
+	g := macGraph(t)
+	lib := StandardLibrary()
+	a := g.MustNode("a")
+	ms := EnumerateAt(g, lib, a, Constraints{})
+	// Expected at node a: "add" singleton; "add2" root-only (partial);
+	// "mac" partial (root only) and "mac" full {a, m}.
+	var sawAdd, sawMacFull, sawMacPartial bool
+	for _, m := range ms {
+		name := lib.Templates[m.Template].Name
+		switch {
+		case name == "add" && len(m.Nodes) == 1:
+			sawAdd = true
+		case name == "mac" && len(m.Nodes) == 2:
+			sawMacFull = true
+			if m.Nodes[0] != a || m.Nodes[1] != g.MustNode("m") {
+				t.Fatalf("mac binding wrong: %v", m.Nodes)
+			}
+		case name == "mac" && len(m.Nodes) == 1:
+			sawMacPartial = true
+		}
+	}
+	if !sawAdd || !sawMacFull || !sawMacPartial {
+		t.Fatalf("missing matchings: add=%v macFull=%v macPartial=%v (%d total)",
+			sawAdd, sawMacFull, sawMacPartial, len(ms))
+	}
+}
+
+func TestEnumerateRespectsFanout(t *testing.T) {
+	g := macGraph(t)
+	// Give m a second consumer: it can no longer be internal.
+	u := g.AddNode("u", cdfg.OpUnit)
+	g.MustAddEdge(g.MustNode("m"), u, cdfg.DataEdge)
+	lib := StandardLibrary()
+	for _, m := range EnumerateAt(g, lib, g.MustNode("a"), Constraints{}) {
+		if len(m.Nodes) == 2 && lib.Templates[m.Template].Name == "mac" {
+			t.Fatal("mac swallowed a multi-fanout producer")
+		}
+	}
+}
+
+func TestEnumerateRespectsPPO(t *testing.T) {
+	g := macGraph(t)
+	lib := StandardLibrary()
+	ppo := map[cdfg.NodeID]bool{g.MustNode("m"): true}
+	for _, m := range EnumerateAt(g, lib, g.MustNode("a"), Constraints{PPO: ppo}) {
+		for _, v := range m.Nodes[1:] {
+			if ppo[v] {
+				t.Fatal("PPO producer matched internally")
+			}
+		}
+	}
+	// The PPO node itself may still be a match root.
+	ms := EnumerateAt(g, lib, g.MustNode("m"), Constraints{PPO: ppo})
+	if len(ms) == 0 {
+		t.Fatal("PPO node cannot even root a matching")
+	}
+}
+
+func TestEnumerateRespectsAllowedAndCovered(t *testing.T) {
+	g := macGraph(t)
+	lib := StandardLibrary()
+	a, m := g.MustNode("a"), g.MustNode("m")
+	// a excluded from scope entirely.
+	ms := EnumerateAt(g, lib, a, Constraints{Allowed: map[cdfg.NodeID]bool{m: true}})
+	if len(ms) != 0 {
+		t.Fatal("disallowed root enumerated")
+	}
+	// m covered: mac full match must disappear.
+	for _, mm := range EnumerateAt(g, lib, a, Constraints{Covered: map[cdfg.NodeID]bool{m: true}}) {
+		for _, v := range mm.Nodes {
+			if v == m {
+				t.Fatal("covered node re-matched")
+			}
+		}
+	}
+}
+
+func TestEnumerateAllDeterministic(t *testing.T) {
+	g := designs.FourthOrderParallelIIR()
+	lib := StandardLibrary()
+	a := EnumerateAll(g, lib, Constraints{})
+	b := EnumerateAll(g, lib, Constraints{})
+	if len(a) != len(b) {
+		t.Fatal("nondeterministic enumeration size")
+	}
+	for i := range a {
+		if a[i].Key() != b[i].Key() {
+			t.Fatalf("nondeterministic at %d", i)
+		}
+	}
+	if len(a) == 0 {
+		t.Fatal("no matchings on the IIR")
+	}
+}
+
+func TestMatchingKeyDistinguishes(t *testing.T) {
+	m1 := Matching{Template: 1, Nodes: []cdfg.NodeID{3, 4}}
+	m2 := Matching{Template: 1, Nodes: []cdfg.NodeID{3, 5}}
+	m3 := Matching{Template: 2, Nodes: []cdfg.NodeID{3, 4}}
+	if m1.Key() == m2.Key() || m1.Key() == m3.Key() {
+		t.Fatal("keys collide")
+	}
+}
+
+func TestGreedyCoverPartition(t *testing.T) {
+	g := designs.FourthOrderParallelIIR()
+	lib := StandardLibrary()
+	cov, err := GreedyCover(g, lib, Constraints{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Exact partition of the computational nodes.
+	seen := map[cdfg.NodeID]int{}
+	for i, m := range cov.Matchings {
+		for _, v := range m.Nodes {
+			if prev, dup := seen[v]; dup {
+				t.Fatalf("node %s covered by matchings %d and %d", g.Node(v).Name, prev, i)
+			}
+			seen[v] = i
+			if cov.Owner[v] != i {
+				t.Fatal("owner map inconsistent")
+			}
+		}
+	}
+	for _, v := range g.Computational() {
+		if _, ok := seen[v]; !ok {
+			t.Fatalf("node %s uncovered", g.Node(v).Name)
+		}
+	}
+	// Greedy should pair at least some ops into multi-op modules on this
+	// design (mac structures abound).
+	if len(cov.Matchings) >= len(g.Computational()) {
+		t.Fatal("covering is all singletons")
+	}
+}
+
+func TestGreedyCoverHonorsEnforced(t *testing.T) {
+	g := macGraph(t)
+	lib := StandardLibrary()
+	enf := Matching{Template: libIndex(t, lib, "mac"),
+		Nodes: []cdfg.NodeID{g.MustNode("a"), g.MustNode("m")}}
+	cov, err := GreedyCover(g, lib, Constraints{}, []Matching{enf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cov.Matchings[0].Key() != enf.Key() {
+		t.Fatal("enforced matching not seated first")
+	}
+	if len(cov.Matchings) != 1 {
+		t.Fatalf("cover size %d, want 1", len(cov.Matchings))
+	}
+}
+
+func TestGreedyCoverRejectsOverlappingEnforced(t *testing.T) {
+	g := macGraph(t)
+	lib := StandardLibrary()
+	a := g.MustNode("a")
+	enf := []Matching{
+		{Template: libIndex(t, lib, "add"), Nodes: []cdfg.NodeID{a}},
+		{Template: libIndex(t, lib, "add2"), Nodes: []cdfg.NodeID{a}},
+	}
+	if _, err := GreedyCover(g, lib, Constraints{}, enf); err == nil {
+		t.Fatal("overlapping enforced matchings accepted")
+	}
+}
+
+func TestGreedyCoverUncoverable(t *testing.T) {
+	g := macGraph(t)
+	lib := &Library{Templates: []Template{{Name: "mulonly", Root: Leaf(cdfg.OpMulConst)}}}
+	if _, err := GreedyCover(g, lib, Constraints{}, nil); err == nil {
+		t.Fatal("uncoverable design accepted")
+	}
+}
+
+func TestExactCoverOptimal(t *testing.T) {
+	g := designs.FourthOrderParallelIIR()
+	lib := StandardLibrary()
+	exact, err := ExactCover(g, lib, Constraints{}, nil, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	greedy, err := GreedyCover(g, lib, Constraints{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(exact.Matchings) > len(greedy.Matchings) {
+		t.Fatalf("exact cover (%d) worse than greedy (%d)",
+			len(exact.Matchings), len(greedy.Matchings))
+	}
+	// Partition check.
+	seen := map[cdfg.NodeID]bool{}
+	for _, m := range exact.Matchings {
+		for _, v := range m.Nodes {
+			if seen[v] {
+				t.Fatal("exact cover overlaps")
+			}
+			seen[v] = true
+		}
+	}
+	if len(seen) != len(g.Computational()) {
+		t.Fatal("exact cover incomplete")
+	}
+}
+
+func TestExactCoverSizeLimit(t *testing.T) {
+	g := designs.DAConverter()
+	if _, err := ExactCover(g, StandardLibrary(), Constraints{}, nil, 25); err == nil {
+		t.Fatal("oversized exact cover accepted")
+	}
+}
+
+func TestCountCoveringsPaperShape(t *testing.T) {
+	// The paper's Fig. 4 counts 6 ways to cover the enforced 2-adder pair
+	// (A5, A6). On our IIR reconstruction, count coverings of an adder
+	// pair (aw1, aw2 of section 1 = A1, A2); the exact value depends on
+	// the reconstruction, but it must be >= 2 (at least {add2 pair} and
+	// {add}+{add}) and small.
+	g := designs.FourthOrderParallelIIR()
+	lib := StandardLibrary()
+	a1, a2 := g.MustNode("A1"), g.MustNode("A2")
+	n, err := CountCoverings(g, lib, Constraints{}, []cdfg.NodeID{a1, a2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n < 2 || n > 200 {
+		t.Fatalf("coverings of (A1,A2) = %d, want a small plural count", n)
+	}
+	t.Logf("coverings of the (A1,A2) adder pair: %d (paper's (A5,A6) example: 6)", n)
+}
+
+func TestCountCoveringsEmptyTargets(t *testing.T) {
+	g := macGraph(t)
+	if _, err := CountCoverings(g, StandardLibrary(), Constraints{}, nil); err == nil {
+		t.Fatal("empty target set accepted")
+	}
+}
+
+func TestCoverUsesAndCovers(t *testing.T) {
+	g := designs.FourthOrderParallelIIR()
+	lib := StandardLibrary()
+	cov, err := GreedyCover(g, lib, Constraints{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	uses := cov.Uses(lib)
+	total := 0
+	for _, n := range uses {
+		total += n
+	}
+	if total != len(cov.Matchings) {
+		t.Fatalf("Uses sums to %d, want %d", total, len(cov.Matchings))
+	}
+	m := cov.Matchings[0]
+	covers := m.Covers()
+	if len(covers) != len(m.Nodes) {
+		t.Fatal("Covers length mismatch")
+	}
+	for i := 1; i < len(covers); i++ {
+		if covers[i] <= covers[i-1] {
+			t.Fatal("Covers not ascending")
+		}
+	}
+}
+
+func TestSortMatchingsOrder(t *testing.T) {
+	list := []Matching{
+		{Template: 2, Nodes: []cdfg.NodeID{1}},
+		{Template: 0, Nodes: []cdfg.NodeID{2, 3}},
+		{Template: 0, Nodes: []cdfg.NodeID{1}},
+	}
+	SortMatchings(list)
+	if len(list[0].Nodes) != 2 {
+		t.Fatal("larger matching not first")
+	}
+	if list[1].Template != 0 || list[2].Template != 2 {
+		t.Fatal("template tiebreak wrong")
+	}
+}

@@ -1,0 +1,271 @@
+package vliw
+
+import (
+	"fmt"
+	"sort"
+
+	"localwm/internal/cdfg"
+)
+
+// unit classes inside the machine.
+type unit int
+
+const (
+	uALU unit = iota
+	uBr
+	uMem
+	numUnits
+)
+
+func unitOf(op cdfg.Op) unit {
+	switch op {
+	case cdfg.OpLoad, cdfg.OpStore:
+		return uMem
+	case cdfg.OpBranch:
+		return uBr
+	default:
+		return uALU
+	}
+}
+
+func (m Machine) latency(op cdfg.Op, hit bool) int {
+	switch op {
+	case cdfg.OpMul, cdfg.OpMulConst:
+		return m.MulLatency
+	case cdfg.OpDiv:
+		return m.DivLatency
+	case cdfg.OpBranch:
+		return m.BranchLatency
+	case cdfg.OpStore:
+		return m.StoreLatency
+	case cdfg.OpLoad:
+		if hit {
+			return m.LoadHit
+		}
+		return m.LoadMiss
+	default:
+		return m.ALULatency
+	}
+}
+
+// Result is the outcome of compiling/simulating a CDFG on the machine.
+type Result struct {
+	Cycles     int // total cycles to drain the program (the makespan)
+	Issued     int // operations executed
+	IssueSlots int // Cycles × IssueWidth, for utilization math
+	CacheHits  uint64
+	CacheMiss  uint64
+	// IssueCycle[v] is the cycle (1-based) node v issued at, 0 for
+	// non-computational nodes.
+	IssueCycle []int
+}
+
+// Utilization returns the fraction of issue slots used.
+func (r *Result) Utilization() float64 {
+	if r.IssueSlots == 0 {
+		return 0
+	}
+	return float64(r.Issued) / float64(r.IssueSlots)
+}
+
+// AddressFunc supplies the memory address a load/store node touches, so
+// the cache model sees a deterministic reference stream. Benchmarks attach
+// realistic locality via designs.AddressMap (mostly-streaming with hot
+// scalars); the default hashes the node ID over a synthetic working set.
+type AddressFunc func(v cdfg.NodeID) uint32
+
+// DefaultAddresses spreads accesses pseudo-randomly over a working set of
+// the given size (bytes). Deterministic in the node ID.
+func DefaultAddresses(workingSet uint32) AddressFunc {
+	if workingSet == 0 {
+		workingSet = 64 << 10 // default 64 KiB: pressures an 8-KiB cache
+	}
+	return func(v cdfg.NodeID) uint32 {
+		x := uint32(v) * 2654435761 // Knuth multiplicative hash
+		return (x ^ x>>13) % workingSet
+	}
+}
+
+// Compile schedules the CDFG onto the machine with a latency-aware,
+// greedy cycle-by-cycle list scheduler (critical-path priority) and
+// simulates the cache for memory operations. Temporal edges are honored
+// as dependences when useTemporal is set — but the watermark flow
+// normally materializes them into unit operations first (schedwm.
+// Materialize), in which case the marked graph simply has more ops.
+func (m Machine) Compile(g *cdfg.Graph, addr AddressFunc, useTemporal bool) (*Result, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	if addr == nil {
+		addr = DefaultAddresses(0)
+	}
+	if _, err := g.TopoOrder(); err != nil {
+		return nil, err
+	}
+	cache, err := NewCache(m.Cache)
+	if err != nil {
+		return nil, err
+	}
+	limits := [numUnits]int{uALU: m.ALUs, uBr: m.BranchUs, uMem: m.MemUs}
+
+	prio, err := g.LongestFrom(cdfg.PathOpts{IncludeTemporal: useTemporal})
+	if err != nil {
+		return nil, err
+	}
+
+	// ready time per node = max over preds of their finish time.
+	n := g.Len()
+	remaining := make([]int, n)
+	finish := make([]int, n) // cycle after which the value is available
+	comp := 0
+	for _, node := range g.Nodes() {
+		if !node.Op.IsComputational() {
+			continue
+		}
+		comp++
+		for _, u := range preds(g, node.ID, useTemporal) {
+			if g.Node(u).Op.IsComputational() {
+				remaining[node.ID]++
+			}
+		}
+	}
+
+	res := &Result{IssueCycle: make([]int, n)}
+	var ready []cdfg.NodeID // ops whose deps are all scheduled (finish known)
+	for _, node := range g.Nodes() {
+		if node.Op.IsComputational() && remaining[node.ID] == 0 {
+			ready = append(ready, node.ID)
+		}
+	}
+	readyAt := make([]int, n) // earliest issue cycle
+	for _, v := range ready {
+		readyAt[v] = 1
+	}
+
+	issued := 0
+	cycle := 0
+	maxCycles := 64 * (comp + 16)
+	for issued < comp {
+		cycle++
+		if cycle > maxCycles {
+			return nil, fmt.Errorf("vliw: scheduler exceeded %d cycles (internal error)", maxCycles)
+		}
+		// Issue this cycle.
+		sort.Slice(ready, func(i, j int) bool {
+			if prio[ready[i]] != prio[ready[j]] {
+				return prio[ready[i]] > prio[ready[j]]
+			}
+			return ready[i] < ready[j]
+		})
+		var used [numUnits]int
+		slots := 0
+		var left []cdfg.NodeID
+		for _, v := range ready {
+			if slots >= m.IssueWidth || readyAt[v] > cycle {
+				left = append(left, v)
+				continue
+			}
+			u := unitOf(g.Node(v).Op)
+			if used[u] >= limits[u] {
+				left = append(left, v)
+				continue
+			}
+			used[u]++
+			slots++
+			hit := true
+			op := g.Node(v).Op
+			if op == cdfg.OpLoad || op == cdfg.OpStore {
+				hit = cache.Access(addr(v))
+			}
+			lat := m.latency(op, hit)
+			finish[v] = cycle + lat - 1
+			res.IssueCycle[v] = cycle
+			issued++
+			// Wake successors.
+			for _, w := range succs(g, v, useTemporal) {
+				if !g.Node(w).Op.IsComputational() {
+					continue
+				}
+				remaining[w]--
+				if remaining[w] == 0 {
+					at := 1
+					for _, p := range preds(g, w, useTemporal) {
+						if g.Node(p).Op.IsComputational() && finish[p]+1 > at {
+							at = finish[p] + 1
+						}
+					}
+					readyAt[w] = at
+					left = append(left, w)
+				}
+			}
+		}
+		ready = left
+	}
+	// Drain: the program ends when the last value is produced.
+	for _, node := range g.Nodes() {
+		if node.Op.IsComputational() && finish[node.ID] > res.Cycles {
+			res.Cycles = finish[node.ID]
+		}
+	}
+	res.Issued = issued
+	res.IssueSlots = res.Cycles * m.IssueWidth
+	res.CacheHits = cache.Hits
+	res.CacheMiss = cache.Misses
+	return res, nil
+}
+
+// Overhead runs baseline and marked graphs through the machine and
+// returns the relative cycle increase (e.g. 0.015 for +1.5%), the Table I
+// metric.
+func (m Machine) Overhead(baseline, marked *cdfg.Graph, addr AddressFunc) (float64, *Result, *Result, error) {
+	rb, err := m.Compile(baseline, addr, false)
+	if err != nil {
+		return 0, nil, nil, fmt.Errorf("vliw: baseline: %v", err)
+	}
+	rm, err := m.Compile(marked, addr, false)
+	if err != nil {
+		return 0, nil, nil, fmt.Errorf("vliw: marked: %v", err)
+	}
+	if rb.Cycles == 0 {
+		return 0, rb, rm, fmt.Errorf("vliw: baseline takes zero cycles")
+	}
+	return float64(rm.Cycles-rb.Cycles) / float64(rb.Cycles), rb, rm, nil
+}
+
+func preds(g *cdfg.Graph, v cdfg.NodeID, useTemporal bool) []cdfg.NodeID {
+	var out []cdfg.NodeID
+	seen := map[cdfg.NodeID]bool{}
+	add := func(l []cdfg.NodeID) {
+		for _, u := range l {
+			if !seen[u] {
+				seen[u] = true
+				out = append(out, u)
+			}
+		}
+	}
+	add(g.DataIn(v))
+	add(g.ControlIn(v))
+	if useTemporal {
+		add(g.TemporalIn(v))
+	}
+	return out
+}
+
+func succs(g *cdfg.Graph, v cdfg.NodeID, useTemporal bool) []cdfg.NodeID {
+	var out []cdfg.NodeID
+	seen := map[cdfg.NodeID]bool{}
+	add := func(l []cdfg.NodeID) {
+		for _, u := range l {
+			if !seen[u] {
+				seen[u] = true
+				out = append(out, u)
+			}
+		}
+	}
+	add(g.DataOut(v))
+	add(g.ControlOut(v))
+	if useTemporal {
+		add(g.TemporalOut(v))
+	}
+	return out
+}

@@ -1,0 +1,133 @@
+// Package vliw models the evaluation machine of the paper's Table I
+// experiments: a four-issue VLIW with four arithmetic-logic units, two
+// branch units, two memory units, and an 8-KB cache (the machine the
+// MediaBench programs were compiled for with the IMPACT compiler). The
+// model is a latency-aware list scheduler plus a direct-mapped cache
+// simulator — enough to measure the *relative* cycle cost of watermark-
+// induced unit operations, which is what the perf-overhead column reports.
+package vliw
+
+import (
+	"fmt"
+
+	"localwm/internal/cdfg"
+)
+
+// Machine describes the microarchitecture.
+type Machine struct {
+	IssueWidth int // instructions issued per cycle
+	ALUs       int // arithmetic-logic units
+	BranchUs   int // branch units
+	MemUs      int // memory ports
+
+	// Latencies in cycles.
+	ALULatency    int // simple integer ops
+	MulLatency    int // multiplies
+	DivLatency    int // divides
+	BranchLatency int
+	StoreLatency  int
+	LoadHit       int // load latency on cache hit
+	LoadMiss      int // load latency on cache miss
+
+	Cache CacheConfig
+}
+
+// Default returns the paper's machine: "a four-issue very long instruction
+// word machine with four arithmetic-logic units, two branch and two memory
+// units, and 8-KB cache".
+func Default() Machine {
+	return Machine{
+		IssueWidth:    4,
+		ALUs:          4,
+		BranchUs:      2,
+		MemUs:         2,
+		ALULatency:    1,
+		MulLatency:    3,
+		DivLatency:    10,
+		BranchLatency: 1,
+		StoreLatency:  1,
+		LoadHit:       2,
+		LoadMiss:      12,
+		Cache:         CacheConfig{SizeBytes: 8 << 10, LineBytes: 32},
+	}
+}
+
+// Validate checks the configuration for usability.
+func (m Machine) Validate() error {
+	if m.IssueWidth <= 0 || m.ALUs <= 0 || m.BranchUs < 0 || m.MemUs < 0 {
+		return fmt.Errorf("vliw: non-positive resource counts")
+	}
+	for _, l := range []int{m.ALULatency, m.MulLatency, m.DivLatency,
+		m.BranchLatency, m.StoreLatency, m.LoadHit, m.LoadMiss} {
+		if l <= 0 {
+			return fmt.Errorf("vliw: non-positive latency")
+		}
+	}
+	return m.Cache.Validate()
+}
+
+// OpWeight returns the machine's latency table as a cdfg.WeightFunc, for
+// cycle-accurate laxity analysis (loads are charged their miss latency —
+// the conservative choice for keeping watermark constraints off paths
+// that could become cycle-critical).
+func (m Machine) OpWeight() cdfg.WeightFunc {
+	return func(op cdfg.Op) int {
+		if op == cdfg.OpLoad {
+			return m.LoadMiss
+		}
+		return m.latency(op, true)
+	}
+}
+
+// CacheConfig describes a direct-mapped cache.
+type CacheConfig struct {
+	SizeBytes int
+	LineBytes int
+}
+
+// Validate checks the cache geometry.
+func (c CacheConfig) Validate() error {
+	if c.SizeBytes <= 0 || c.LineBytes <= 0 {
+		return fmt.Errorf("vliw: non-positive cache geometry")
+	}
+	if c.SizeBytes%c.LineBytes != 0 {
+		return fmt.Errorf("vliw: cache size %d not a multiple of line size %d", c.SizeBytes, c.LineBytes)
+	}
+	if (c.SizeBytes/c.LineBytes)&(c.SizeBytes/c.LineBytes-1) != 0 {
+		return fmt.Errorf("vliw: line count must be a power of two")
+	}
+	return nil
+}
+
+// Cache is a direct-mapped cache simulator.
+type Cache struct {
+	cfg   CacheConfig
+	tags  []uint32
+	valid []bool
+
+	Hits, Misses uint64
+}
+
+// NewCache builds a cache for the given geometry.
+func NewCache(cfg CacheConfig) (*Cache, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	lines := cfg.SizeBytes / cfg.LineBytes
+	return &Cache{cfg: cfg, tags: make([]uint32, lines), valid: make([]bool, lines)}, nil
+}
+
+// Access touches addr and reports whether it hit.
+func (c *Cache) Access(addr uint32) bool {
+	line := addr / uint32(c.cfg.LineBytes)
+	idx := line % uint32(len(c.tags))
+	tag := line / uint32(len(c.tags))
+	if c.valid[idx] && c.tags[idx] == tag {
+		c.Hits++
+		return true
+	}
+	c.Misses++
+	c.valid[idx] = true
+	c.tags[idx] = tag
+	return false
+}

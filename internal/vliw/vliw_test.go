@@ -1,0 +1,281 @@
+package vliw
+
+import (
+	"testing"
+
+	"localwm/internal/cdfg"
+	"localwm/internal/designs"
+	"localwm/internal/prng"
+	"localwm/internal/schedwm"
+)
+
+func TestMachineValidate(t *testing.T) {
+	m := Default()
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := Default()
+	bad.IssueWidth = 0
+	if err := bad.Validate(); err == nil {
+		t.Fatal("zero issue width accepted")
+	}
+	bad = Default()
+	bad.LoadMiss = 0
+	if err := bad.Validate(); err == nil {
+		t.Fatal("zero latency accepted")
+	}
+}
+
+func TestCacheGeometry(t *testing.T) {
+	if err := (CacheConfig{SizeBytes: 8 << 10, LineBytes: 32}).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []CacheConfig{
+		{SizeBytes: 0, LineBytes: 32},
+		{SizeBytes: 100, LineBytes: 32}, // not a multiple
+		{SizeBytes: 96, LineBytes: 32},  // 3 lines: not a power of two
+		{SizeBytes: 8 << 10, LineBytes: 0},
+	}
+	for _, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Fatalf("bad geometry %+v accepted", c)
+		}
+	}
+}
+
+func TestCacheDirectMapped(t *testing.T) {
+	c, err := NewCache(CacheConfig{SizeBytes: 128, LineBytes: 32}) // 4 lines
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Access(0) {
+		t.Fatal("cold miss reported as hit")
+	}
+	if !c.Access(0) || !c.Access(31) {
+		t.Fatal("same line reported as miss")
+	}
+	if c.Access(32) {
+		t.Fatal("different line hit")
+	}
+	// 0 and 128 conflict in a 4-line direct-mapped cache.
+	if c.Access(128) {
+		t.Fatal("conflicting tag hit")
+	}
+	if c.Access(0) {
+		t.Fatal("evicted line still hit")
+	}
+	if c.Hits != 2 || c.Misses != 4 {
+		t.Fatalf("hits=%d misses=%d, want 2,4", c.Hits, c.Misses)
+	}
+}
+
+// serialChain builds n dependent adds: cycles = n on any machine with
+// ALULatency 1.
+func serialChain(t *testing.T, n int) *cdfg.Graph {
+	t.Helper()
+	g := cdfg.New(n + 2)
+	prev := g.AddNode("in", cdfg.OpInput)
+	in2 := g.AddNode("in2", cdfg.OpInput)
+	for i := 0; i < n; i++ {
+		v := g.AddNode("a"+itoa(i), cdfg.OpAdd)
+		g.MustAddEdge(prev, v, cdfg.DataEdge)
+		g.MustAddEdge(in2, v, cdfg.DataEdge)
+		prev = v
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func itoa(i int) string {
+	s := ""
+	for {
+		s = string(rune('0'+i%10)) + s
+		i /= 10
+		if i == 0 {
+			return s
+		}
+	}
+}
+
+func TestCompileSerialChainLatency(t *testing.T) {
+	m := Default()
+	g := serialChain(t, 10)
+	r, err := m.Compile(g, nil, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Cycles != 10 {
+		t.Fatalf("serial chain of 10 adds took %d cycles, want 10", r.Cycles)
+	}
+	if r.Issued != 10 {
+		t.Fatalf("issued %d ops", r.Issued)
+	}
+}
+
+func TestCompileParallelBoundedByALUs(t *testing.T) {
+	m := Default() // 4 ALUs, issue width 4
+	g := cdfg.New(20)
+	in := g.AddNode("in", cdfg.OpInput)
+	for i := 0; i < 12; i++ {
+		v := g.AddNode("p"+itoa(i), cdfg.OpAdd)
+		g.MustAddEdge(in, v, cdfg.DataEdge)
+		g.MustAddEdge(in, v, cdfg.DataEdge)
+	}
+	r, err := m.Compile(g, nil, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Cycles != 3 { // 12 adds / 4 ALUs
+		t.Fatalf("12 parallel adds took %d cycles, want 3", r.Cycles)
+	}
+	if u := r.Utilization(); u <= 0 || u > 1 {
+		t.Fatalf("utilization %v out of range", u)
+	}
+}
+
+func TestCompileIssueWidthBindsAcrossUnits(t *testing.T) {
+	m := Default()
+	m.IssueWidth = 2 // tighter than the FU counts
+	g := cdfg.New(20)
+	in := g.AddNode("in", cdfg.OpInput)
+	for i := 0; i < 8; i++ {
+		v := g.AddNode("p"+itoa(i), cdfg.OpAdd)
+		g.MustAddEdge(in, v, cdfg.DataEdge)
+		g.MustAddEdge(in, v, cdfg.DataEdge)
+	}
+	r, err := m.Compile(g, nil, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Cycles != 4 { // 8 adds / 2-wide issue
+		t.Fatalf("cycles = %d, want 4", r.Cycles)
+	}
+}
+
+func TestCompileMulLatency(t *testing.T) {
+	m := Default()
+	g := cdfg.New(8)
+	in := g.AddNode("in", cdfg.OpInput)
+	mu := g.AddNode("m", cdfg.OpMul)
+	g.MustAddEdge(in, mu, cdfg.DataEdge)
+	g.MustAddEdge(in, mu, cdfg.DataEdge)
+	a := g.AddNode("a", cdfg.OpAdd)
+	g.MustAddEdge(mu, a, cdfg.DataEdge)
+	g.MustAddEdge(in, a, cdfg.DataEdge)
+	r, err := m.Compile(g, nil, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Cycles != m.MulLatency+m.ALULatency {
+		t.Fatalf("mul+add took %d cycles, want %d", r.Cycles, m.MulLatency+m.ALULatency)
+	}
+	if r.IssueCycle[a] != m.MulLatency+1 {
+		t.Fatalf("dependent add issued at %d, want %d", r.IssueCycle[a], m.MulLatency+1)
+	}
+}
+
+func TestCompileMemoryAndCache(t *testing.T) {
+	m := Default()
+	g := cdfg.New(40)
+	in := g.AddNode("in", cdfg.OpInput)
+	for i := 0; i < 16; i++ {
+		v := g.AddNode("ld"+itoa(i), cdfg.OpLoad)
+		g.MustAddEdge(in, v, cdfg.DataEdge)
+	}
+	// Same address for everyone: 1 miss, 15 hits.
+	r, err := m.Compile(g, func(cdfg.NodeID) uint32 { return 64 }, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.CacheMiss != 1 || r.CacheHits != 15 {
+		t.Fatalf("cache hits=%d misses=%d, want 15,1", r.CacheHits, r.CacheMiss)
+	}
+	// Two memory ports: at least 8 cycles of issue.
+	if r.Cycles < 8 {
+		t.Fatalf("16 loads over 2 ports took %d cycles", r.Cycles)
+	}
+}
+
+func TestCompileDeterministic(t *testing.T) {
+	m := Default()
+	g := designs.Layered(designs.MediaBench()[0].Cfg)
+	r1, err := m.Compile(g, nil, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := m.Compile(g, nil, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Cycles != r2.Cycles || r1.CacheMiss != r2.CacheMiss {
+		t.Fatal("compilation not deterministic")
+	}
+}
+
+func TestCompileHonorsTemporalEdges(t *testing.T) {
+	m := Default()
+	g := cdfg.New(8)
+	in := g.AddNode("in", cdfg.OpInput)
+	a := g.AddNode("a", cdfg.OpAdd)
+	b := g.AddNode("b", cdfg.OpAdd)
+	for _, v := range []cdfg.NodeID{a, b} {
+		g.MustAddEdge(in, v, cdfg.DataEdge)
+		g.MustAddEdge(in, v, cdfg.DataEdge)
+	}
+	g.MustAddEdge(b, a, cdfg.TemporalEdge)
+	r, err := m.Compile(g, nil, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.IssueCycle[b] >= r.IssueCycle[a] {
+		t.Fatal("temporal edge ignored")
+	}
+	// Unflagged: both issue in cycle 1.
+	r, err = m.Compile(g, nil, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Cycles != 1 {
+		t.Fatalf("unflagged run took %d cycles", r.Cycles)
+	}
+}
+
+func TestOverheadOfMaterializedWatermark(t *testing.T) {
+	base := designs.Layered(designs.MediaBench()[0].Cfg)
+	marked := designs.Layered(designs.MediaBench()[0].Cfg)
+	cp, err := marked.CriticalPath()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := Default()
+	wms, err := schedwm.EmbedMany(marked, prng.Signature("alice"),
+		schedwm.Config{Tau: 20, K: 5, Epsilon: 0.25, Budget: cp + 6,
+			OpWeight: m.OpWeight()}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, wm := range wms {
+		if _, err := schedwm.Materialize(marked, wm); err != nil {
+			t.Fatal(err)
+		}
+	}
+	marked.ClearTemporalEdges()
+
+	oh, rb, rm, err := m.Overhead(base, marked, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rm.Issued <= rb.Issued {
+		t.Fatal("marked program does not execute more ops")
+	}
+	if oh < 0 {
+		t.Fatalf("negative overhead %v", oh)
+	}
+	if oh > 0.10 {
+		t.Fatalf("overhead %.1f%% far above the paper's ≤2.4%% regime", oh*100)
+	}
+	t.Logf("cycle overhead: %.2f%% (%d -> %d cycles, +%d ops)",
+		oh*100, rb.Cycles, rm.Cycles, rm.Issued-rb.Issued)
+}

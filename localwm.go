@@ -1,0 +1,150 @@
+// Package localwm is the public face of the local-watermarking library: a
+// from-scratch reproduction of "Local Watermarks: Methodology and
+// Application to Behavioral Synthesis" (Kirovski & Potkonjak), including
+// the full behavioral-synthesis substrate its evaluation depends on.
+//
+// The implementation lives in focused internal packages; this package
+// re-exports the surface a downstream user needs:
+//
+//   - design modeling: CDFG construction, parsing, analysis (cdfg)
+//   - synthesis: scheduling and template mapping (sched, tmatch)
+//   - watermarking: embed/detect/verify for scheduling solutions
+//     (schedwm), template matchings (tmwm), and graph colorings (gcolor)
+//   - evaluation: the VLIW machine model, benchmark designs, attack
+//     simulation (vliw, designs, attack)
+//
+// Quickstart:
+//
+//	design := localwm.FourthOrderParallelIIR()
+//	wm, err := localwm.EmbedSchedulingWatermark(design,
+//	        localwm.Signature("alice"), localwm.SchedulingConfig{
+//	                Tau: 12, K: 3, Epsilon: 0.2, Budget: 10,
+//	        })
+//	schedule, err := localwm.Schedule(design, true)
+//	shipped := design.Clone()
+//	shipped.ClearTemporalEdges()
+//	det, err := localwm.DetectSchedulingWatermark(shipped, schedule, wm.Record())
+//
+// See the runnable programs under examples/ and the experiment
+// reproduction harness in cmd/tables.
+package localwm
+
+import (
+	"localwm/internal/cdfg"
+	"localwm/internal/designs"
+	"localwm/internal/prng"
+	"localwm/internal/sched"
+	"localwm/internal/schedwm"
+	"localwm/internal/tmatch"
+	"localwm/internal/tmwm"
+)
+
+// Core modeling types.
+type (
+	// Graph is a control-data flow graph with homogeneous-SDF semantics.
+	Graph = cdfg.Graph
+	// NodeID names a node within one Graph.
+	NodeID = cdfg.NodeID
+	// Op is an operation kind.
+	Op = cdfg.Op
+	// Signature is an author's digital signature; it keys every
+	// watermarking decision.
+	Signature = prng.Signature
+)
+
+// Scheduling types.
+type (
+	// Schedule assigns control steps to operations.
+	ScheduleResult = sched.Schedule
+	// SchedulingConfig parameterizes scheduling-watermark embedding.
+	SchedulingConfig = schedwm.Config
+	// SchedulingWatermark is an embedded scheduling watermark.
+	SchedulingWatermark = schedwm.Watermark
+	// SchedulingRecord is the detector-facing description of a
+	// scheduling watermark.
+	SchedulingRecord = schedwm.Record
+	// SchedulingDetection is the result of scanning a suspect schedule.
+	SchedulingDetection = schedwm.Detection
+)
+
+// Template-matching types.
+type (
+	// TemplateLibrary is a module library for template mapping.
+	TemplateLibrary = tmatch.Library
+	// TemplateConfig parameterizes template-watermark embedding.
+	TemplateConfig = tmwm.Config
+	// TemplateWatermark is an embedded template-matching watermark.
+	TemplateWatermark = tmwm.Watermark
+	// TemplateRecord is the detector-facing description.
+	TemplateRecord = tmwm.Record
+)
+
+// Common operation kinds and edge kinds, re-exported for graph
+// construction without importing internal packages (the full taxonomy
+// lives in internal/cdfg).
+const (
+	OpInput    = cdfg.OpInput
+	OpOutput   = cdfg.OpOutput
+	OpAdd      = cdfg.OpAdd
+	OpSub      = cdfg.OpSub
+	OpMul      = cdfg.OpMul
+	OpMulConst = cdfg.OpMulConst
+	OpDelay    = cdfg.OpDelay
+
+	DataEdge     = cdfg.DataEdge
+	ControlEdge  = cdfg.ControlEdge
+	TemporalEdge = cdfg.TemporalEdge
+)
+
+// NewGraph returns an empty CDFG with a capacity hint.
+func NewGraph(n int) *Graph { return cdfg.New(n) }
+
+// StandardLibrary returns the default template library.
+func StandardLibrary() *TemplateLibrary { return tmatch.StandardLibrary() }
+
+// EmbedSchedulingWatermark embeds one local scheduling watermark into g.
+func EmbedSchedulingWatermark(g *Graph, sig Signature, cfg SchedulingConfig) (*SchedulingWatermark, error) {
+	return schedwm.Embed(g, sig, cfg)
+}
+
+// EmbedSchedulingWatermarks embeds up to n independent local watermarks.
+func EmbedSchedulingWatermarks(g *Graph, sig Signature, cfg SchedulingConfig, n int) ([]*SchedulingWatermark, error) {
+	return schedwm.EmbedMany(g, sig, cfg, n)
+}
+
+// DetectSchedulingWatermark scans a suspect scheduled design for a
+// memorized watermark record.
+func DetectSchedulingWatermark(g *Graph, s *ScheduleResult, rec SchedulingRecord) (*SchedulingDetection, error) {
+	return schedwm.Detect(g, s, rec)
+}
+
+// VerifySchedulingOwnership adjudicates an ownership claim by re-deriving
+// the constraints from the claimed signature.
+func VerifySchedulingOwnership(g *Graph, s *ScheduleResult, sig Signature, cfg SchedulingConfig, n int) (*SchedulingDetection, error) {
+	return schedwm.VerifyOwnership(g, s, sig, cfg, n)
+}
+
+// EmbedTemplateWatermark enforces Z signature-selected matchings on g.
+func EmbedTemplateWatermark(g *Graph, sig Signature, cfg TemplateConfig) (*TemplateWatermark, error) {
+	return tmwm.Embed(g, sig, cfg)
+}
+
+// Schedule list-schedules g (honoring watermark temporal edges when
+// useTemporal is set) with unlimited resources.
+func Schedule(g *Graph, useTemporal bool) (*ScheduleResult, error) {
+	return sched.ListSchedule(g, sched.ListOpts{UseTemporal: useTemporal})
+}
+
+// Benchmark designs (see internal/designs for the full set).
+var (
+	// FourthOrderParallelIIR is the paper's running example.
+	FourthOrderParallelIIR = designs.FourthOrderParallelIIR
+	// EighthOrderCFIIR is the Table II cascade IIR.
+	EighthOrderCFIIR = designs.EighthOrderCFIIR
+)
+
+// ParseGraph reads a design in the text format (see cdfg.Parse).
+var ParseGraph = cdfg.Parse
+
+// WriteGraph writes a design in the text format (see cdfg.Write).
+var WriteGraph = cdfg.Write

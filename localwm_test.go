@@ -1,0 +1,104 @@
+package localwm
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestFacadeQuickstart exercises the public API end to end, exactly as the
+// package documentation advertises.
+func TestFacadeQuickstart(t *testing.T) {
+	design := EighthOrderCFIIR()
+	wm, err := EmbedSchedulingWatermark(design, Signature("alice"), SchedulingConfig{
+		Tau: 12, K: 3, Epsilon: 0.2, Budget: 21,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	schedule, err := Schedule(design, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shipped := design.Clone()
+	shipped.ClearTemporalEdges()
+	det, err := DetectSchedulingWatermark(shipped, schedule, wm.Record())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !det.Found {
+		t.Fatalf("quickstart watermark not detected (%d/%d)", det.Best.Satisfied, det.Best.Total)
+	}
+}
+
+func TestFacadeTemplateFlow(t *testing.T) {
+	design := FourthOrderParallelIIR()
+	lib := StandardLibrary()
+	cp, err := design.CriticalPath()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wm, err := EmbedTemplateWatermark(design, Signature("alice"), TemplateConfig{
+		Z: 2, Epsilon: 0.2, WholeGraph: true, Lib: lib, Budget: 2 * cp,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wm.Enforced) != 2 {
+		t.Fatalf("enforced %d", len(wm.Enforced))
+	}
+}
+
+func TestFacadeSerialization(t *testing.T) {
+	design := FourthOrderParallelIIR()
+	var sb strings.Builder
+	if err := WriteGraph(&sb, design); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseGraph(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != design.Len() {
+		t.Fatal("round trip lost nodes")
+	}
+}
+
+func TestFacadeOwnershipVerification(t *testing.T) {
+	design := EighthOrderCFIIR()
+	cfg := SchedulingConfig{Tau: 12, K: 3, Epsilon: 0.2, Budget: 21}
+	marked := design.Clone()
+	if _, err := EmbedSchedulingWatermarks(marked, Signature("alice"), cfg, 1); err != nil {
+		t.Fatal(err)
+	}
+	schedule, err := Schedule(marked, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	det, err := VerifySchedulingOwnership(design, schedule, Signature("alice"), cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !det.Found {
+		t.Fatalf("owner's claim rejected (%d/%d)", det.Best.Satisfied, det.Best.Total)
+	}
+}
+
+func TestFacadeGraphConstruction(t *testing.T) {
+	g := NewGraph(4)
+	in := g.AddNode("in", OpInput)
+	a := g.AddNode("a", OpAdd)
+	g.MustAddEdge(in, a, DataEdge)
+	g.MustAddEdge(in, a, DataEdge)
+	o := g.AddNode("o", OpOutput)
+	g.MustAddEdge(a, o, DataEdge)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cp, err := g.CriticalPath()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp != 1 {
+		t.Fatalf("cp = %d", cp)
+	}
+}
