@@ -1,0 +1,153 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"localwm/internal/cdfg"
+	"localwm/internal/designs"
+	"localwm/internal/engine"
+	"localwm/internal/prng"
+	"localwm/internal/schedwm"
+)
+
+// benchRow is one design's sequential-vs-parallel embedding comparison.
+type benchRow struct {
+	Design     string  `json:"design"`
+	Ops        int     `json:"ops"`
+	Watermarks int     `json:"watermarks"`
+	SeqNs      int64   `json:"seq_ns"`
+	ParNs      int64   `json:"par_ns"`
+	Speedup    float64 `json:"speedup"`
+	// Identical confirms the parallel run produced byte-for-byte the same
+	// marked design as the sequential one — the engine's core guarantee,
+	// re-checked on every benchmark run so a regression in either time or
+	// determinism shows up in the same artifact.
+	Identical bool `json:"identical"`
+}
+
+// benchFile is the BENCH_parallel.json envelope.
+type benchFile struct {
+	GoMaxProcs int        `json:"gomaxprocs"`
+	NumCPU     int        `json:"numcpu"`
+	N          int        `json:"n"`
+	Workers    int        `json:"workers"`
+	Iters      int        `json:"iters"`
+	Rows       []benchRow `json:"rows"`
+}
+
+// cmdBench is the benchmark regression harness: it embeds n watermarks in
+// every registry design sequentially and on the parallel engine, reports
+// the better-of-iters wall times and the speedup, verifies bit-identity of
+// the two marked designs, and writes the whole comparison as JSON.
+//
+// Speedups are bounded by the host: on a single-CPU container the parallel
+// engine can only pay speculation overhead, which is exactly what the
+// harness should record there.
+func cmdBench(args []string) error {
+	fs := flag.NewFlagSet("bench", flag.ExitOnError)
+	n := fs.Int("n", 16, "watermarks per design")
+	workers := fs.Int("workers", runtime.NumCPU(), "parallel engine workers")
+	iters := fs.Int("iters", 3, "timing iterations (best is reported)")
+	all := fs.Bool("all", false, "include the largest designs (slow)")
+	out := fs.String("o", "BENCH_parallel.json", "output file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	type entry struct {
+		name  string
+		build func() *cdfg.Graph
+	}
+	entries := []entry{{"4th Order Parallel IIR", designs.FourthOrderParallelIIR}}
+	for _, row := range designs.Table2() {
+		if row.Name == "Long Echo Canceler" && !*all {
+			continue
+		}
+		entries = append(entries, entry{row.Name, row.Build})
+	}
+	mb := designs.MediaBench()[1]
+	entries = append(entries, entry{"mediabench/" + mb.Name, func() *cdfg.Graph { return designs.Layered(mb.Cfg) }})
+
+	bf := benchFile{GoMaxProcs: runtime.GOMAXPROCS(0), NumCPU: runtime.NumCPU(),
+		N: *n, Workers: *workers, Iters: *iters}
+	for _, e := range entries {
+		g := e.build()
+		cp, err := g.CriticalPath()
+		if err != nil {
+			return err
+		}
+		cfg := schedwm.Config{Tau: 14, K: 3, Epsilon: 0.1, Budget: cp + cp/2 + 2}
+		row := benchRow{Design: e.name, Ops: len(g.Computational())}
+
+		var seqDump, parDump []byte
+		time1 := func(parallel bool) (time.Duration, []byte, int, error) {
+			best := time.Duration(0)
+			var dump []byte
+			wmCount := 0
+			for it := 0; it < *iters; it++ {
+				work := g.Clone()
+				start := time.Now()
+				var wms []*schedwm.Watermark
+				var err error
+				if parallel {
+					wms, err = engine.EmbedMany(work, prng.Signature("alice"), cfg, *n, *workers)
+				} else {
+					wms, err = schedwm.EmbedMany(work, prng.Signature("alice"), cfg, *n)
+				}
+				el := time.Since(start)
+				if err != nil {
+					return 0, nil, 0, fmt.Errorf("%s: %v", e.name, err)
+				}
+				if best == 0 || el < best {
+					best = el
+				}
+				wmCount = len(wms)
+				var buf bytes.Buffer
+				if err := cdfg.Write(&buf, work); err != nil {
+					return 0, nil, 0, err
+				}
+				dump = buf.Bytes()
+			}
+			return best, dump, wmCount, nil
+		}
+		seq, sd, wmN, err := time1(false)
+		if err != nil {
+			return err
+		}
+		seqDump = sd
+		par, pd, _, err := time1(true)
+		if err != nil {
+			return err
+		}
+		parDump = pd
+		row.Watermarks = wmN
+		row.SeqNs = seq.Nanoseconds()
+		row.ParNs = par.Nanoseconds()
+		if par > 0 {
+			row.Speedup = float64(seq.Nanoseconds()) / float64(par.Nanoseconds())
+		}
+		row.Identical = bytes.Equal(seqDump, parDump)
+		bf.Rows = append(bf.Rows, row)
+		fmt.Printf("%-28s ops %4d  wm %2d  seq %10s  par(%d) %10s  x%.2f  identical=%v\n",
+			e.name, row.Ops, row.Watermarks, seq, *workers, par, row.Speedup, row.Identical)
+		if !row.Identical {
+			return fmt.Errorf("%s: parallel embedding diverged from sequential", e.name)
+		}
+	}
+
+	data, err := json.MarshalIndent(bf, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", *out)
+	return nil
+}

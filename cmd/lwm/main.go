@@ -33,6 +33,7 @@ import (
 
 	"localwm/internal/cdfg"
 	"localwm/internal/designs"
+	"localwm/internal/engine"
 	"localwm/internal/prng"
 	"localwm/internal/sched"
 	"localwm/internal/schedwm"
@@ -62,6 +63,8 @@ func main() {
 		err = cmdVerify(os.Args[2:])
 	case "synth":
 		err = cmdSynth(os.Args[2:])
+	case "bench":
+		err = cmdBench(os.Args[2:])
 	default:
 		usage()
 		os.Exit(2)
@@ -73,7 +76,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: lwm {gen|info|embed|schedule|detect|verify|synth|dot} [flags]")
+	fmt.Fprintln(os.Stderr, "usage: lwm {gen|info|embed|schedule|detect|verify|synth|bench|dot} [flags]")
 }
 
 // cmdSynth runs the full behavioral-synthesis pipeline on a design and
@@ -158,6 +161,7 @@ func cmdVerify(args []string) error {
 	k := fs.Int("k", 4, "temporal edges per watermark K")
 	eps := fs.Float64("epsilon", 0.25, "laxity margin ε")
 	budget := fs.Int("budget", 0, "control-step budget (0: critical path + 10%)")
+	workers := fs.Int("workers", 1, "parallel re-derivation workers (verdict is identical for any value)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -176,8 +180,8 @@ func cmdVerify(args []string) error {
 		}
 		*budget = cp + cp/10 + 1
 	}
-	cfg := schedwm.Config{Tau: *tau, K: *k, Epsilon: *eps, Budget: *budget}
-	det, err := schedwm.VerifyOwnership(g, s, prng.Signature(*sig), cfg, *n)
+	cfg := schedwm.Config{Tau: *tau, K: *k, Epsilon: *eps, Budget: *budget, Parallelism: *workers}
+	det, err := engine.VerifyOwnership(g, s, prng.Signature(*sig), cfg, *n, *workers)
 	if err != nil {
 		return err
 	}
@@ -326,6 +330,7 @@ func cmdEmbed(args []string) error {
 	k := fs.Int("k", 4, "temporal edges per watermark K")
 	eps := fs.Float64("epsilon", 0.25, "laxity margin ε")
 	budget := fs.Int("budget", 0, "control-step budget (0: critical path + 10%)")
+	workers := fs.Int("workers", 1, "parallel embedding workers (result is identical for any value)")
 	out := fs.String("out", "", "marked design output file")
 	recPath := fs.String("record", "", "detection record output file (JSON)")
 	if err := fs.Parse(args); err != nil {
@@ -342,8 +347,8 @@ func cmdEmbed(args []string) error {
 		}
 		*budget = cp + cp/10 + 1
 	}
-	cfg := schedwm.Config{Tau: *tau, K: *k, Epsilon: *eps, Budget: *budget}
-	wms, err := schedwm.EmbedMany(g, prng.Signature(*sig), cfg, *n)
+	cfg := schedwm.Config{Tau: *tau, K: *k, Epsilon: *eps, Budget: *budget, Parallelism: *workers}
+	wms, err := engine.EmbedMany(g, prng.Signature(*sig), cfg, *n, *workers)
 	if err != nil {
 		return err
 	}
@@ -478,6 +483,7 @@ func cmdDetect(args []string) error {
 	in := fs.String("in", "", "suspect design file")
 	schedPath := fs.String("schedule", "", "suspect schedule file")
 	recPath := fs.String("record", "", "detection record file (JSON)")
+	workers := fs.Int("workers", 1, "parallel detection workers (output is identical for any value)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -497,9 +503,12 @@ func cmdDetect(args []string) error {
 	if err := json.Unmarshal(data, &rf); err != nil {
 		return err
 	}
+	// All records scan on the pool; the report below walks the results in
+	// record order, so the output matches a sequential scan byte for byte.
+	batch := engine.DetectBatch([]engine.Suspect{{Graph: g, Schedule: s}}, rf.Records, *workers)
 	found := 0
-	for i, rec := range rf.Records {
-		det, err := schedwm.Detect(g, s, rec)
+	for i := range rf.Records {
+		det, err := batch[0][i].Det, batch[0][i].Err
 		if err != nil {
 			return err
 		}

@@ -3,6 +3,7 @@ package cdfg
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 )
 
 // NodeID indexes a node within one Graph. IDs are dense: the first node
@@ -76,6 +77,21 @@ type Graph struct {
 	temporal []Edge // explicit list, in insertion order
 	tempIn   [][]NodeID
 	tempOut  [][]NodeID
+
+	// Generation counters version the graph for the PathOracle cache.
+	// structGen advances on any change that can alter structural (data +
+	// control) path analyses: node additions, data/control edges, and
+	// operation rewrites. tempGen advances on temporal-edge changes only.
+	// Queries that exclude temporal edges are keyed by structGen alone, so
+	// watermark embedding (which only adds temporal edges) never evicts
+	// them.
+	structGen uint64
+	tempGen   uint64
+
+	// oracle is the lazily created longest-path cache; see Oracle. It is
+	// deliberately not part of Clone: a cloned graph starts with a cold
+	// cache of its own.
+	oracle atomic.Pointer[PathOracle]
 }
 
 // New returns an empty graph with capacity hints for n nodes.
@@ -99,6 +115,7 @@ func (g *Graph) Len() int { return len(g.nodes) }
 // AddNode appends a node with the given name and operation and returns its
 // ID. Names should be unique; Validate enforces this.
 func (g *Graph) AddNode(name string, op Op) NodeID {
+	g.structGen++
 	id := NodeID(len(g.nodes))
 	g.nodes = append(g.nodes, Node{ID: id, Name: name, Op: op})
 	g.dataIn = append(g.dataIn, nil)
@@ -122,6 +139,7 @@ func (g *Graph) Node(id NodeID) Node {
 // when wiring it into a host system); callers are responsible for
 // re-validating arity afterwards.
 func (g *Graph) SetOp(v NodeID, op Op) {
+	g.structGen++
 	g.nodes[v].Op = op
 }
 
@@ -176,18 +194,21 @@ func (g *Graph) AddEdge(from, to NodeID, kind EdgeKind) error {
 	}
 	switch kind {
 	case DataEdge:
+		g.structGen++
 		g.dataIn[to] = append(g.dataIn[to], from)
 		g.dataOut[from] = append(g.dataOut[from], to)
 	case ControlEdge:
 		if contains(g.ctrlOut[from], to) {
 			return fmt.Errorf("cdfg: duplicate control edge %s->%s", g.nodes[from].Name, g.nodes[to].Name)
 		}
+		g.structGen++
 		g.ctrlIn[to] = append(g.ctrlIn[to], from)
 		g.ctrlOut[from] = append(g.ctrlOut[from], to)
 	case TemporalEdge:
 		if contains(g.tempOut[from], to) {
 			return fmt.Errorf("cdfg: duplicate temporal edge %s->%s", g.nodes[from].Name, g.nodes[to].Name)
 		}
+		g.tempGen++
 		g.temporal = append(g.temporal, Edge{From: from, To: to, Kind: TemporalEdge})
 		g.tempIn[to] = append(g.tempIn[to], from)
 		g.tempOut[from] = append(g.tempOut[from], to)
@@ -239,6 +260,7 @@ func (g *Graph) TemporalEdges() []Edge {
 // ClearTemporalEdges removes every temporal edge; the paper's flow removes
 // the added constraints from the optimized specification after synthesis.
 func (g *Graph) ClearTemporalEdges() {
+	g.tempGen++
 	g.temporal = g.temporal[:0]
 	for i := range g.tempIn {
 		g.tempIn[i] = nil
@@ -277,7 +299,9 @@ func (g *Graph) SuccsAll(dst []NodeID, v NodeID) []NodeID {
 	return dst
 }
 
-// Clone returns a deep copy of the graph.
+// Clone returns a deep copy of the graph. The clone carries the source's
+// generation counters but starts with a cold PathOracle of its own, so
+// cached analyses never leak across graph identities.
 func (g *Graph) Clone() *Graph {
 	c := New(len(g.nodes))
 	c.nodes = append(c.nodes[:0], g.nodes...)
@@ -288,6 +312,8 @@ func (g *Graph) Clone() *Graph {
 	c.tempIn = cloneAdj(g.tempIn)
 	c.tempOut = cloneAdj(g.tempOut)
 	c.temporal = append([]Edge(nil), g.temporal...)
+	c.structGen = g.structGen
+	c.tempGen = g.tempGen
 	return c
 }
 

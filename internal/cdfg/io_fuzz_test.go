@@ -1,0 +1,63 @@
+package cdfg
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// FuzzParse drives the text-format parser with arbitrary input. Parse is
+// the trust boundary for every design file the lwm tool loads, so beyond
+// "never panic" the fuzzer checks the format's round-trip contract: any
+// input Parse accepts must survive Write∘Parse with a byte-identical
+// second dump (Write emits canonical order, so the fixed point is reached
+// after one rewrite).
+func FuzzParse(f *testing.F) {
+	seeds, err := filepath.Glob(filepath.Join("..", "designs", "testdata", "*.cdfg"))
+	if err != nil {
+		f.Fatal(err)
+	}
+	if len(seeds) == 0 {
+		f.Fatal("no .cdfg seed files found")
+	}
+	for _, path := range seeds {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(string(data))
+	}
+	// Hand-written seeds for branches the benchmark designs never take:
+	// comments, blank lines, default edge kind, every explicit kind,
+	// and near-miss malformed lines.
+	f.Add("# comment\n\nnode a in\nnode b add\nedge a b\n")
+	f.Add("node a in\nnode b out\nedge a b data\nedge a b ctrl\nedge a b temp\n")
+	f.Add("node a\n")
+	f.Add("edge a b\n")
+	f.Add("node a in\nnode a in\n")
+	f.Add("bogus directive\n")
+
+	f.Fuzz(func(t *testing.T, input string) {
+		g, err := Parse(strings.NewReader(input))
+		if err != nil {
+			return // rejected input: any error is fine, panics are not
+		}
+		var first bytes.Buffer
+		if err := Write(&first, g); err != nil {
+			t.Fatalf("Write of parsed graph failed: %v", err)
+		}
+		g2, err := Parse(bytes.NewReader(first.Bytes()))
+		if err != nil {
+			t.Fatalf("reparse of Write output failed: %v\ninput:\n%s\ndump:\n%s", err, input, first.String())
+		}
+		var second bytes.Buffer
+		if err := Write(&second, g2); err != nil {
+			t.Fatalf("second Write failed: %v", err)
+		}
+		if !bytes.Equal(first.Bytes(), second.Bytes()) {
+			t.Fatalf("Write∘Parse not a fixed point\nfirst:\n%s\nsecond:\n%s", first.String(), second.String())
+		}
+	})
+}

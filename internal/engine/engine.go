@@ -1,0 +1,285 @@
+// Package engine runs localwm's embedding, detection, and ownership-
+// verification drivers on a deterministic worker pool.
+//
+// The contract throughout is bit-identity: for every workers value —
+// including under any GOMAXPROCS — each entry point returns exactly what
+// its sequential counterpart in internal/schedwm returns, down to error
+// messages and result ordering. Parallelism only changes wall-clock time.
+//
+// Embedding achieves this with optimistic speculation (see the commentary
+// in internal/schedwm/spec.go) in two phases. A hint pre-pass clones the
+// graph once and embeds every watermark concurrently against the
+// read-only snapshot — longest-path queries meeting in the snapshot's
+// shared cdfg.PathOracle — each assuming its predecessors succeed on
+// their first root pick. A commit walk then replays the sequential order:
+// a speculation commits if it consumed the same root values the
+// sequential embedder would feed it and it survives revalidation against
+// the temporal edges committed after its snapshot; any other index is
+// repaired inline by embedding directly on the live graph at the true
+// pick offset, which is exactly the sequential computation. Total work is
+// bounded by one speculation plus at most one sequential embedding per
+// watermark, so the worst case degrades to sequential cost plus the
+// pre-pass, never to quadratic re-speculation.
+//
+// Detection and verification are read-only over the suspect graph, so they
+// fan out directly; concurrent queries share the suspect's PathOracle.
+package engine
+
+import (
+	"fmt"
+	"sync"
+
+	"localwm/internal/cdfg"
+	"localwm/internal/domain"
+	"localwm/internal/prng"
+	"localwm/internal/sched"
+	"localwm/internal/schedwm"
+)
+
+// EmbedMany embeds n local watermarks exactly like schedwm.EmbedMany —
+// same watermarks, same temporal edges in the same insertion order, same
+// errors — using up to workers concurrent speculations per round.
+// workers <= 1 runs the sequential implementation directly.
+func EmbedMany(g *cdfg.Graph, sig prng.Signature, cfg schedwm.Config, n, workers int) ([]*schedwm.Watermark, error) {
+	if workers <= 1 || n <= 1 {
+		return schedwm.EmbedMany(g, sig, cfg, n)
+	}
+	ncfg, err := cfg.Normalized()
+	if err != nil {
+		return nil, err
+	}
+	// Mirror the sequential prologue (and its error order): master stream
+	// first, shared analyses second.
+	master, err := prng.NewBitstream(sig)
+	if err != nil {
+		return nil, err
+	}
+	an, err := schedwm.Prepare(g, ncfg)
+	if err != nil {
+		return nil, fmt.Errorf("schedwm: embedded 0 of %d watermarks: %v", n, err)
+	}
+
+	// Precompute the master stream's root-pick sequence. PickRoot reads
+	// only the static node/data-edge structure, which embedding never
+	// changes, so the sequence sequential embedding would draw lazily can
+	// be drawn here in full: n watermarks consume at most MaxTries picks
+	// each. A watermark's picks are then roots[offset:offset+MaxTries],
+	// where offset counts the picks of the watermarks before it.
+	var roots []cdfg.NodeID
+	if ncfg.Root == nil {
+		roots = make([]cdfg.NodeID, 0, n*ncfg.MaxTries)
+		for i := 0; i < n*ncfg.MaxTries; i++ {
+			r, err := domain.PickRoot(g, master)
+			if err != nil {
+				// No eligible root exists (a static property): replay
+				// sequentially for the identical per-index error.
+				return schedwm.EmbedMany(g, sig, cfg, n)
+			}
+			roots = append(roots, r)
+		}
+	}
+
+	wms := make([]*schedwm.Watermark, n)
+	errs := make([]error, n)
+
+	// Phase 1 — hint pre-pass: speculate every watermark concurrently
+	// against one snapshot, assuming first-try success everywhere (index
+	// i's pick offset = i). The assumption is wrong wherever an earlier
+	// watermark retries, but a speculation is reusable at the true offset
+	// as long as the root values it consumed are the same there —
+	// embedding is a pure function of (graph, sig, index, consumed roots).
+	type slot struct {
+		spec       *schedwm.Spec
+		offset     int // pick offset the spec was computed at
+		deltaStart int // len(committed) when its snapshot was taken
+	}
+	slots := make([]slot, n)
+	var committed []cdfg.Edge // temporal edges committed so far, in order
+
+	snap := g.Clone()
+	runPool(workers, n, func(idx int) {
+		var rs []cdfg.NodeID
+		if ncfg.Root == nil {
+			rs = roots[idx : idx+ncfg.MaxTries]
+		}
+		slots[idx] = slot{spec: schedwm.EmbedSpec(snap, sig, ncfg, idx, an, rs), offset: idx}
+	})
+
+	// usable reports whether a speculation replays identically when the
+	// sequential embedder reaches it at pick offset at.
+	usable := func(sl slot, at int) bool {
+		if sl.spec == nil {
+			return false
+		}
+		if ncfg.Root != nil || sl.offset == at {
+			return true
+		}
+		for i := 0; i < sl.spec.Picks; i++ {
+			if roots[sl.offset+i] != roots[at+i] {
+				return false
+			}
+		}
+		return true
+	}
+
+	// Phase 2 — commit walk in signature-index order. A speculation
+	// commits if it consumed the right roots and replays identically over
+	// the edges committed after its snapshot; anything else is repaired
+	// inline by embedding directly on the live graph at the true offset,
+	// which IS the sequential computation (no validation needed). Total
+	// work is therefore bounded by one speculation plus at most one
+	// sequential embedding per watermark, regardless of conflict rate.
+	trueOff := 0
+	for idx := 0; idx < n; idx++ {
+		sp := slots[idx].spec
+		if !usable(slots[idx], trueOff) ||
+			!sp.Valid(g, ncfg, an, committed[slots[idx].deltaStart:]) {
+			var rs []cdfg.NodeID
+			if ncfg.Root == nil {
+				rs = roots[trueOff : trueOff+ncfg.MaxTries]
+			}
+			sp = schedwm.EmbedSpec(g, sig, ncfg, idx, an, rs)
+		}
+		trueOff += sp.Picks
+		if sp.Err != nil {
+			errs[idx] = sp.Err
+		} else {
+			if err := schedwm.CommitEdges(g, sp.WM); err != nil {
+				return nil, err
+			}
+			wms[idx] = sp.WM
+			committed = append(committed, sp.WM.Edges...)
+		}
+	}
+
+	var out []*schedwm.Watermark
+	var lastErr error
+	for idx := 0; idx < n; idx++ {
+		if wms[idx] != nil {
+			out = append(out, wms[idx])
+		} else if errs[idx] != nil {
+			lastErr = errs[idx]
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("schedwm: embedded 0 of %d watermarks: %v", n, lastErr)
+	}
+	return out, nil
+}
+
+// Suspect pairs a design with the schedule it ships under, the unit
+// detection and verification operate on.
+type Suspect struct {
+	Graph    *cdfg.Graph
+	Schedule *sched.Schedule
+}
+
+// DetectResult is the outcome of one suspect×record detection.
+type DetectResult struct {
+	Det *schedwm.Detection
+	Err error
+}
+
+// DetectBatch runs schedwm.Detect for every suspect×record pair on a
+// worker pool: out[i][j] is the result for suspects[i] against recs[j].
+// Detection only reads the suspect graph (concurrent window queries share
+// its PathOracle), so one Suspect may appear under many records at once.
+func DetectBatch(suspects []Suspect, recs []schedwm.Record, workers int) [][]DetectResult {
+	out := make([][]DetectResult, len(suspects))
+	for i := range out {
+		out[i] = make([]DetectResult, len(recs))
+	}
+	if len(suspects) == 0 || len(recs) == 0 {
+		return out
+	}
+	if workers <= 1 {
+		for i, sus := range suspects {
+			for j, rec := range recs {
+				det, err := schedwm.Detect(sus.Graph, sus.Schedule, rec)
+				out[i][j] = DetectResult{Det: det, Err: err}
+			}
+		}
+		return out
+	}
+	runPool(workers, len(suspects)*len(recs), func(job int) {
+		i, j := job/len(recs), job%len(recs)
+		det, err := schedwm.Detect(suspects[i].Graph, suspects[i].Schedule, recs[j])
+		out[i][j] = DetectResult{Det: det, Err: err}
+	})
+	return out
+}
+
+// VerifyOwnership mirrors schedwm.VerifyOwnership — re-derive the claimed
+// watermarks on a clone of the suspect design, then check every re-derived
+// constraint against the suspect schedule — with the re-derivation run on
+// the parallel embedding engine.
+func VerifyOwnership(g *cdfg.Graph, s *sched.Schedule, sig prng.Signature,
+	cfg schedwm.Config, n, workers int) (*schedwm.Detection, error) {
+	if workers <= 1 {
+		return schedwm.VerifyOwnership(g, s, sig, cfg, n)
+	}
+	if len(s.Steps) != g.Len() {
+		return nil, fmt.Errorf("schedwm: schedule covers %d nodes, graph has %d", len(s.Steps), g.Len())
+	}
+	wms, err := EmbedMany(g.Clone(), sig, cfg, n, workers)
+	if err != nil {
+		return nil, fmt.Errorf("schedwm: re-deriving constraints: %v", err)
+	}
+	return schedwm.CheckConstraints(g, s, wms)
+}
+
+// VerifyBatch adjudicates one ownership claim against many suspects,
+// fanning the per-suspect verifications out across the pool. out[i] is the
+// claim checked against suspects[i].
+func VerifyBatch(suspects []Suspect, sig prng.Signature, cfg schedwm.Config, n, workers int) []DetectResult {
+	out := make([]DetectResult, len(suspects))
+	if len(suspects) == 0 {
+		return out
+	}
+	perCall := 1
+	if workers > len(suspects) {
+		// Fewer suspects than workers: spend the surplus inside each
+		// re-derivation instead of leaving it idle.
+		perCall = workers / len(suspects)
+	}
+	runPool(workers, len(suspects), func(i int) {
+		det, err := VerifyOwnership(suspects[i].Graph, suspects[i].Schedule, sig, cfg, n, perCall)
+		out[i] = DetectResult{Det: det, Err: err}
+	})
+	return out
+}
+
+// runPool executes run(0..jobs-1) on up to workers goroutines and waits
+// for completion. Job order across workers is unspecified; callers own any
+// ordering guarantees (the engine's entry points assemble results by
+// index, never by completion).
+func runPool(workers, jobs int, run func(job int)) {
+	if jobs <= 0 {
+		return
+	}
+	if workers > jobs {
+		workers = jobs
+	}
+	if workers <= 1 {
+		for j := 0; j < jobs; j++ {
+			run(j)
+		}
+		return
+	}
+	ch := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range ch {
+				run(j)
+			}
+		}()
+	}
+	for j := 0; j < jobs; j++ {
+		ch <- j
+	}
+	close(ch)
+	wg.Wait()
+}

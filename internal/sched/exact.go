@@ -67,7 +67,7 @@ func ExactSchedule(g *cdfg.Graph, opts ExactOpts) (*Schedule, error) {
 			nodes = append(nodes, v)
 		}
 	}
-	from, err := g.LongestFrom(cdfg.PathOpts{IncludeTemporal: opts.UseTemporal})
+	_, from, err := g.Oracle().Longest(cdfg.PathOpts{IncludeTemporal: opts.UseTemporal})
 	if err != nil {
 		return nil, err
 	}

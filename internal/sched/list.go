@@ -31,8 +31,7 @@ func ListSchedule(g *cdfg.Graph, opts ListOpts) (*Schedule, error) {
 	if err != nil {
 		return nil, err
 	}
-	pathOpts := cdfg.PathOpts{IncludeTemporal: opts.UseTemporal}
-	from, err := g.LongestFrom(pathOpts)
+	_, from, err := g.Oracle().Longest(cdfg.PathOpts{IncludeTemporal: opts.UseTemporal})
 	if err != nil {
 		return nil, err
 	}

@@ -55,12 +55,11 @@ func ComputeWindows(g *cdfg.Graph, budget int, useTemporal bool) (*Windows, erro
 	if budget <= 0 {
 		return nil, fmt.Errorf("sched: non-positive control-step budget %d", budget)
 	}
-	opts := cdfg.PathOpts{IncludeTemporal: useTemporal}
-	to, err := g.LongestTo(opts)
-	if err != nil {
-		return nil, err
-	}
-	from, err := g.LongestFrom(opts)
+	// Longest paths come from the graph's PathOracle: window analysis is
+	// re-run constantly (per watermark candidate, per detection record, per
+	// tamper sweep) on an unchanged graph, and the cache collapses those
+	// recomputes into one.
+	to, from, err := g.Oracle().Longest(cdfg.PathOpts{IncludeTemporal: useTemporal})
 	if err != nil {
 		return nil, err
 	}
@@ -87,7 +86,7 @@ func ComputeWindows(g *cdfg.Graph, budget int, useTemporal bool) (*Windows, erro
 // of the critical path over data+control edges, extended by temporal edges
 // when useTemporal is set).
 func MinBudget(g *cdfg.Graph, useTemporal bool) (int, error) {
-	to, err := g.LongestTo(cdfg.PathOpts{IncludeTemporal: useTemporal})
+	to, _, err := g.Oracle().Longest(cdfg.PathOpts{IncludeTemporal: useTemporal})
 	if err != nil {
 		return 0, err
 	}

@@ -1,0 +1,83 @@
+package schedwm
+
+import (
+	"testing"
+
+	"localwm/internal/stats"
+)
+
+// TestConvincingAlphaBoundaries pins the decision rule Pc·RootsTried < α
+// at its edges: the comparison is strict, non-positive α always rejects,
+// and a zero/negative root count is discounted as one root, never zero.
+func TestConvincingAlphaBoundaries(t *testing.T) {
+	cases := []struct {
+		name  string
+		found bool
+		pc    stats.LogProb // log10 of the chance probability
+		roots int
+		alpha float64
+		want  bool
+	}{
+		{"not found always rejects", false, -30, 1, 0.5, false},
+		{"alpha zero rejects", true, -30, 1, 0, false},
+		{"alpha negative rejects", true, -30, 1, -1, false},
+		// Pc = 1e-2 and one root: the discounted evidence equals α exactly;
+		// strict '<' must reject, any α above must accept.
+		{"at the boundary rejects", true, -2, 1, 1e-2, false},
+		{"just above the boundary accepts", true, -2, 1, 1.1e-2, true},
+		{"just below the boundary rejects", true, -2, 1, 0.9e-2, false},
+		// The root discount multiplies Pc by the number of candidate roots
+		// the detector tried: 1e-4 evidence over 100 roots is worth 1e-2.
+		{"discount scales with roots", true, -4, 100, 1e-2, false},
+		{"discount leaves margin", true, -4, 10, 1e-2, true},
+		// A detector that tried no roots (or a hand-built Detection with the
+		// field unset) still counts as one root, not a zero-out.
+		{"zero roots clamps to one", true, -4, 0, 1e-2, true},
+		{"negative roots clamps to one", true, -4, -5, 1e-2, true},
+		{"certain match never convinces at alpha<=prob", true, 0, 1, 1, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			d := &Detection{Found: tc.found, RootsTried: tc.roots,
+				Best: Candidate{Pc: tc.pc}}
+			if got := d.Convincing(tc.alpha); got != tc.want {
+				t.Fatalf("Convincing(%v) with Pc=1e%.0f roots=%d found=%v: got %v, want %v",
+					tc.alpha, float64(tc.pc), tc.roots, tc.found, got, tc.want)
+			}
+		})
+	}
+}
+
+// TestBetterTieBreaking pins the candidate ordering the detector's root
+// scan uses: any candidate beats "no candidate yet"; more satisfied
+// constraints win; equal satisfaction falls back to the smaller (more
+// surprising) chance probability; full ties keep the incumbent, so the
+// scan is stable in root-visit order.
+func TestBetterTieBreaking(t *testing.T) {
+	cases := []struct {
+		name  string
+		a, b  Candidate
+		haveB bool
+		want  bool
+	}{
+		{"anything beats absent incumbent",
+			Candidate{Satisfied: 0, Pc: 0}, Candidate{}, false, true},
+		{"more satisfied wins",
+			Candidate{Satisfied: 3, Pc: -1}, Candidate{Satisfied: 2, Pc: -9}, true, true},
+		{"fewer satisfied loses despite better Pc",
+			Candidate{Satisfied: 1, Pc: -9}, Candidate{Satisfied: 2, Pc: -1}, true, false},
+		{"equal satisfied: smaller Pc wins",
+			Candidate{Satisfied: 2, Pc: -5}, Candidate{Satisfied: 2, Pc: -3}, true, true},
+		{"equal satisfied: larger Pc loses",
+			Candidate{Satisfied: 2, Pc: -3}, Candidate{Satisfied: 2, Pc: -5}, true, false},
+		{"full tie keeps incumbent",
+			Candidate{Satisfied: 2, Pc: -3}, Candidate{Satisfied: 2, Pc: -3}, true, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := better(tc.a, tc.b, tc.haveB); got != tc.want {
+				t.Fatalf("better(%+v, %+v, %v) = %v, want %v", tc.a, tc.b, tc.haveB, got, tc.want)
+			}
+		})
+	}
+}

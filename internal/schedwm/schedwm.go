@@ -83,7 +83,24 @@ type Config struct {
 	// Domain tunes the subtree walk (inclusion probability, max distance).
 	// Tau is copied into it.
 	Domain domain.Config
+	// Parallelism, when greater than 1, asks the top-level drivers
+	// (localwm.EmbedSchedulingWatermarks, cmd/lwm) to run embedding,
+	// detection, and ownership verification on the internal/engine worker
+	// pool with that many workers. Results are bit-identical to the
+	// sequential path for every value — the engine merges speculative
+	// results in signature-index order and replays conflicts sequentially —
+	// so the field never influences what gets embedded, only how fast.
+	// schedwm's own entry points ignore it.
+	Parallelism int
 }
+
+// Normalized returns the config with defaults applied (τ' from K, the
+// MaxTries fallback, Domain.Tau) after validating the parameter ranges.
+// The result is idempotent under further normalization. Callers that
+// coordinate with the speculation API (EmbedSpec, Spec.Valid) must pass
+// the normalized config everywhere so every stage sees the same derived
+// values.
+func (c Config) Normalized() (Config, error) { return c.withDefaults() }
 
 func (c Config) withDefaults() (Config, error) {
 	if c.Tau <= 0 {
@@ -182,13 +199,28 @@ func EmbedMany(g *cdfg.Graph, sig prng.Signature, cfg Config, n int) ([]*Waterma
 	if err != nil {
 		return nil, err
 	}
+	an, err := Prepare(g, cfg)
+	if err != nil {
+		// The analyses are watermark-independent, so a failure here is the
+		// failure every index would have hit.
+		return nil, fmt.Errorf("schedwm: embedded 0 of %d watermarks: %v", n, err)
+	}
+	rootAt := func(try int) (cdfg.NodeID, error) {
+		if cfg.Root != nil {
+			return *cfg.Root, nil
+		}
+		return domain.PickRoot(g, master)
+	}
 	var out []*Watermark
 	var lastErr error
 	for idx := 0; idx < n; idx++ {
-		wm, err := embedOne(g, master, sig, cfg, idx)
+		wm, err := embedOne(g, an, rootAt, sig, cfg, idx, nil)
 		if err != nil {
 			lastErr = err
 			continue
+		}
+		if err := CommitEdges(g, wm); err != nil {
+			return nil, err
 		}
 		out = append(out, wm)
 	}
@@ -198,11 +230,34 @@ func EmbedMany(g *cdfg.Graph, sig prng.Signature, cfg Config, n int) ([]*Waterma
 	return out, nil
 }
 
-// embedOne places the idx-th local watermark using the shared master
-// stream for root picking.
-func embedOne(g *cdfg.Graph, master *prng.Bitstream, sig prng.Signature, cfg Config, idx int) (*Watermark, error) {
+// Analyses bundles the watermark-independent scheduling analyses embedding
+// consults: they depend on the nodes and the data/control edges only, never
+// on temporal (watermark) edges, so one Analyses serves every watermark of
+// an EmbedMany run — and every speculative re-run the parallel engine
+// performs against graph snapshots.
+type Analyses struct {
+	Budget  int            // control-step budget (resolved from cfg or critical path)
+	CPSteps int            // unit-step critical path
+	CP      int            // weighted critical path under cfg.OpWeight
+	Lax     []int          // per-node laxities under cfg.OpWeight
+	Windows *sched.Windows // ASAP/ALAP lifetime windows for Budget
+	// UnitW is the weight of the unit operation realizing a temporal edge;
+	// StretchBound the longest weighted path such an edge may create;
+	// LaxityBound the ε-derived eligibility cutoff.
+	UnitW        int
+	StretchBound int
+	LaxityBound  float64
+}
+
+// Prepare computes the shared analyses for cfg (normalized internally; the
+// call is idempotent). The graph's temporal edges do not influence the
+// result, so the values remain valid while watermarks accumulate.
+func Prepare(g *cdfg.Graph, cfg Config) (*Analyses, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
 	budget := cfg.Budget
-	var err error
 	if budget == 0 {
 		budget, err = sched.MinBudget(g, false)
 		if err != nil {
@@ -230,34 +285,69 @@ func embedOne(g *cdfg.Graph, master *prng.Bitstream, sig prng.Signature, cfg Con
 	if err != nil {
 		return nil, err
 	}
-	laxityBound := float64(cp) * (1 - cfg.Epsilon)
+	unitW := 1
+	if cfg.OpWeight != nil {
+		unitW = cfg.OpWeight(cdfg.OpUnit)
+	}
+	// Paths through watermark edges may use schedule slack in the
+	// control-step world; under a machine latency weighting the goal is
+	// zero cycle overhead, so the bound stays at the cycle-level critical
+	// path itself.
+	stretchBound := cp * budget / cpSteps
+	if cfg.OpWeight != nil {
+		stretchBound = cp
+	}
+	return &Analyses{
+		Budget:       budget,
+		CPSteps:      cpSteps,
+		CP:           cp,
+		Lax:          lax,
+		Windows:      windows,
+		UnitW:        unitW,
+		StretchBound: stretchBound,
+		LaxityBound:  float64(cp) * (1 - cfg.Epsilon),
+	}, nil
+}
 
+// CommitEdges inserts the watermark's temporal edges into g — the mutation
+// embedding performs once a watermark is accepted — and verifies the graph
+// stayed acyclic. Exposed so the parallel engine can replay, in signature-
+// index order, exactly the insertions sequential embedding would make.
+func CommitEdges(g *cdfg.Graph, wm *Watermark) error {
+	for _, e := range wm.Edges {
+		if err := g.AddEdge(e.From, e.To, cdfg.TemporalEdge); err != nil {
+			return fmt.Errorf("schedwm: adding edge: %v", err)
+		}
+	}
+	if _, err := g.TopoOrder(); err != nil {
+		return fmt.Errorf("schedwm: internal: watermark created a cycle: %v", err)
+	}
+	return nil
+}
+
+// embedOne places the idx-th local watermark. The root for each try comes
+// from rootAt — the live master stream in sequential embedding, a
+// precomputed pick sequence under speculation. The watermark is returned
+// without mutating g; the caller commits its edges (CommitEdges). A non-nil
+// trace records the accepted candidate pairs for later revalidation.
+func embedOne(g *cdfg.Graph, an *Analyses, rootAt func(try int) (cdfg.NodeID, error), sig prng.Signature, cfg Config, idx int, trace *specTrace) (*Watermark, error) {
 	// Weighted longest paths for the no-stretch test: an accepted edge
 	// n_i -> n_k (realized as a unit op between them) must not create a
 	// path longer than the design's weighted critical path, so the
 	// watermark can never become the timing bottleneck. Temporal edges
 	// from earlier watermarks participate: stretch compounds across
 	// constraints, so each new edge is judged against the paths the
-	// previous ones already created.
-	unitW := 1
-	if cfg.OpWeight != nil {
-		unitW = cfg.OpWeight(cdfg.OpUnit)
-	}
-	toW, fromW, err := pathsWithPending(g, cfg.OpWeight, nil, unitW)
+	// previous ones already created. The oracle memoizes the computation,
+	// which repeats verbatim for every watermark embedded between commits.
+	toW, fromW, err := g.Oracle().TemporalWeighted(cfg.OpWeight, an.UnitW)
 	if err != nil {
 		return nil, err
 	}
-
 	var lastErr error
 	for try := 1; try <= cfg.MaxTries; try++ {
-		var root cdfg.NodeID
-		if cfg.Root != nil {
-			root = *cfg.Root
-		} else {
-			root, err = domain.PickRoot(g, master)
-			if err != nil {
-				return nil, err
-			}
+		root, err := rootAt(try)
+		if err != nil {
+			return nil, err
 		}
 		ds, err := domainStream(sig, idx, try)
 		if err != nil {
@@ -268,24 +358,19 @@ func embedOne(g *cdfg.Graph, master *prng.Bitstream, sig prng.Signature, cfg Con
 			lastErr = err
 			continue
 		}
-		// Paths through watermark edges may use schedule slack in the
-		// control-step world; under a machine latency weighting the goal
-		// is zero cycle overhead, so the bound stays at the cycle-level
-		// critical path itself.
-		stretchBound := cp * budget / cpSteps
-		if cfg.OpWeight != nil {
-			stretchBound = cp
+		if trace != nil {
+			trace.steps = trace.steps[:0] // failed tries accept nothing; keep only the winner's
 		}
 		wm, err := encode(g, d, ds, cfg, encodeEnv{
-			lax:          lax,
-			laxityBound:  laxityBound,
-			windows:      windows,
+			lax:          an.Lax,
+			laxityBound:  an.LaxityBound,
+			windows:      an.Windows,
 			toW:          toW,
 			fromW:        fromW,
 			weight:       cfg.OpWeight,
-			stretchBound: stretchBound,
-			unitW:        unitW,
-		})
+			stretchBound: an.StretchBound,
+			unitW:        an.UnitW,
+		}, trace)
 		if err != nil {
 			lastErr = err
 			continue
@@ -295,15 +380,6 @@ func embedOne(g *cdfg.Graph, master *prng.Bitstream, sig prng.Signature, cfg Con
 		wm.Index = idx
 		wm.RootFP = domain.RootFingerprint(g, root)
 		wm.Tries = try
-		// Materialize the temporal edges in the graph.
-		for _, e := range wm.Edges {
-			if err := g.AddEdge(e.From, e.To, cdfg.TemporalEdge); err != nil {
-				return nil, fmt.Errorf("schedwm: adding edge: %v", err)
-			}
-		}
-		if _, err := g.TopoOrder(); err != nil {
-			return nil, fmt.Errorf("schedwm: internal: watermark created a cycle: %v", err)
-		}
 		return wm, nil
 	}
 	return nil, fmt.Errorf("schedwm: no eligible locality after %d tries (τ'=%d, K=%d): %v",
@@ -322,7 +398,12 @@ type encodeEnv struct {
 }
 
 // encode performs steps 2–9 of the Fig. 2 pseudocode on a selected domain.
-func encode(g *cdfg.Graph, d *domain.Domain, bs *prng.Bitstream, cfg Config, env encodeEnv) (*Watermark, error) {
+// A non-nil trace records, per edge-drawing step, the pending-prefix length
+// and every candidate pair that survived the filters — the exact set of
+// decisions the parallel engine must revalidate before committing a
+// speculative result (rejected pairs stay rejected when temporal edges are
+// added, so only accepted ones can diverge).
+func encode(g *cdfg.Graph, d *domain.Domain, bs *prng.Bitstream, cfg Config, env encodeEnv, trace *specTrace) (*Watermark, error) {
 	w := env.windows
 	// Step 2–4: T' = nodes of T that are computational, sufficiently
 	// off-critical, and lifetime-overlapping with some other such node.
@@ -413,6 +494,13 @@ func encode(g *cdfg.Graph, d *domain.Domain, bs *prng.Bitstream, cfg Config, env
 		}
 		if len(cands) == 0 {
 			continue // this n_i contributes no edge; K shrinks below target
+		}
+		if trace != nil {
+			st := specStep{pendingLen: len(wm.Edges)}
+			for _, nj := range cands {
+				st.pairs = append(st.pairs, [2]cdfg.NodeID{ni, nj})
+			}
+			trace.steps = append(trace.steps, st)
 		}
 		nk := cands[bs.Intn(len(cands))]
 		wm.Edges = append(wm.Edges, cdfg.Edge{From: ni, To: nk, Kind: cdfg.TemporalEdge})

@@ -153,11 +153,14 @@ func EmbedMany(g *cdfg.Graph, sig prng.Signature, cfg Config, n int) ([]*Waterma
 	if cfg.WholeGraph && n != 1 {
 		return nil, fmt.Errorf("tmwm: whole-graph mode embeds a single watermark (raise Z instead)")
 	}
-	cp, err := g.CriticalPath()
+	// Critical path and laxities come from the graph's PathOracle: both
+	// ignore temporal edges, so repeated embeddings (and ownership
+	// re-derivations) on the same design reuse one computation.
+	cp, err := g.Oracle().CriticalPathW(nil)
 	if err != nil {
 		return nil, err
 	}
-	lax, err := g.Laxities()
+	lax, err := g.Oracle().LaxitiesW(nil)
 	if err != nil {
 		return nil, err
 	}

@@ -32,6 +32,7 @@ package localwm
 import (
 	"localwm/internal/cdfg"
 	"localwm/internal/designs"
+	"localwm/internal/engine"
 	"localwm/internal/prng"
 	"localwm/internal/sched"
 	"localwm/internal/schedwm"
@@ -65,6 +66,12 @@ type (
 	SchedulingRecord = schedwm.Record
 	// SchedulingDetection is the result of scanning a suspect schedule.
 	SchedulingDetection = schedwm.Detection
+	// SchedulingSuspect pairs a suspect design with its schedule for
+	// batch detection.
+	SchedulingSuspect = engine.Suspect
+	// SchedulingDetectResult is one suspect×record outcome of a batch
+	// detection.
+	SchedulingDetectResult = engine.DetectResult
 )
 
 // Template-matching types.
@@ -108,8 +115,11 @@ func EmbedSchedulingWatermark(g *Graph, sig Signature, cfg SchedulingConfig) (*S
 }
 
 // EmbedSchedulingWatermarks embeds up to n independent local watermarks.
+// When cfg.Parallelism is greater than 1 the watermarks are speculated
+// concurrently on that many workers (internal/engine); the result is
+// bit-identical to the sequential embedding either way.
 func EmbedSchedulingWatermarks(g *Graph, sig Signature, cfg SchedulingConfig, n int) ([]*SchedulingWatermark, error) {
-	return schedwm.EmbedMany(g, sig, cfg, n)
+	return engine.EmbedMany(g, sig, cfg, n, cfg.Parallelism)
 }
 
 // DetectSchedulingWatermark scans a suspect scheduled design for a
@@ -119,9 +129,18 @@ func DetectSchedulingWatermark(g *Graph, s *ScheduleResult, rec SchedulingRecord
 }
 
 // VerifySchedulingOwnership adjudicates an ownership claim by re-deriving
-// the constraints from the claimed signature.
+// the constraints from the claimed signature. cfg.Parallelism > 1 runs the
+// re-derivation on the parallel engine with an identical verdict.
 func VerifySchedulingOwnership(g *Graph, s *ScheduleResult, sig Signature, cfg SchedulingConfig, n int) (*SchedulingDetection, error) {
-	return schedwm.VerifyOwnership(g, s, sig, cfg, n)
+	return engine.VerifyOwnership(g, s, sig, cfg, n, cfg.Parallelism)
+}
+
+// DetectSchedulingWatermarks checks many records against many suspect
+// designs at once on cfg-independent worker fan-out: out[i][j] is record j
+// scanned in suspect i. It wraps engine.DetectBatch; workers <= 1 runs
+// sequentially with identical results.
+func DetectSchedulingWatermarks(suspects []SchedulingSuspect, recs []SchedulingRecord, workers int) [][]SchedulingDetectResult {
+	return engine.DetectBatch(suspects, recs, workers)
 }
 
 // EmbedTemplateWatermark enforces Z signature-selected matchings on g.

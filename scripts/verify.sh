@@ -1,0 +1,18 @@
+#!/bin/sh
+# Verification gates, in escalating cost order. Tier 1 is the hard gate
+# every PR must keep green (see ROADMAP.md); tier 2 adds static analysis
+# and the race detector, which the concurrent engine (internal/engine)
+# treats as part of its correctness contract rather than an optional
+# extra. Run from the repository root: ./scripts/verify.sh
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "== tier 1: build + tests =="
+go build ./...
+go test ./...
+
+echo "== tier 2: vet + race detector =="
+go vet ./...
+go test -race ./...
+
+echo "verify: all tiers passed"
