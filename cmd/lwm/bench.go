@@ -56,6 +56,7 @@ func cmdBench(args []string) error {
 	iters := fs.Int("iters", 3, "timing iterations (best is reported)")
 	all := fs.Bool("all", false, "include the largest designs (slow)")
 	out := fs.String("o", "BENCH_parallel.json", "output file")
+	gate := fs.String("gate", "", "baseline BENCH_parallel.json to gate against: fail when identity regresses or host-normalized embed throughput drops >20%")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -149,5 +150,78 @@ func cmdBench(args []string) error {
 		return err
 	}
 	fmt.Printf("wrote %s\n", *out)
+	if *gate != "" {
+		return gateAgainst(*gate, &bf)
+	}
+	return nil
+}
+
+// gateThroughputDrop is the tolerated regression of host-normalized embed
+// throughput before the gate fails: 20%, i.e. new must be >= 0.8 × base.
+const gateThroughputDrop = 0.20
+
+// gateAgainst compares a fresh benchmark run to a checked-in baseline and
+// fails on either of two regressions:
+//
+//   - byte-identity: any design whose parallel embedding diverged from the
+//     sequential one, in either run (cmdBench already hard-fails the fresh
+//     run; the baseline check catches a corrupted artifact);
+//   - embed throughput: a design's parallel-engine throughput dropped more
+//     than gateThroughputDrop versus the baseline, measured host-
+//     normalized — throughput is counted relative to the same run's
+//     sequential time (i.e. the speedup seq_ns/par_ns), so a slower or
+//     busier CI host shifts both sides equally instead of tripping the
+//     gate.
+//
+// Designs are matched by name; ones present on only one side are skipped
+// (the design set may legitimately grow), but a gate with zero comparable
+// designs fails as misconfigured.
+func gateAgainst(path string, fresh *benchFile) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("bench gate: %v", err)
+	}
+	var base benchFile
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("bench gate: parsing %s: %v", path, err)
+	}
+	baseRows := make(map[string]benchRow, len(base.Rows))
+	for _, r := range base.Rows {
+		baseRows[r.Design] = r
+	}
+	compared, failures := 0, 0
+	for _, now := range fresh.Rows {
+		was, ok := baseRows[now.Design]
+		if !ok {
+			continue
+		}
+		compared++
+		if !was.Identical || !now.Identical {
+			fmt.Printf("bench gate: FAIL %-28s byte-identity regressed (base %v, now %v)\n",
+				now.Design, was.Identical, now.Identical)
+			failures++
+			continue
+		}
+		if was.ParNs <= 0 || now.ParNs <= 0 || was.SeqNs <= 0 || now.SeqNs <= 0 {
+			continue // degenerate timing; nothing sound to compare
+		}
+		baseSpeedup := float64(was.SeqNs) / float64(was.ParNs)
+		nowSpeedup := float64(now.SeqNs) / float64(now.ParNs)
+		if nowSpeedup < (1-gateThroughputDrop)*baseSpeedup {
+			fmt.Printf("bench gate: FAIL %-28s normalized throughput x%.2f, baseline x%.2f (>%d%% drop)\n",
+				now.Design, nowSpeedup, baseSpeedup, int(gateThroughputDrop*100))
+			failures++
+		} else {
+			fmt.Printf("bench gate: ok   %-28s normalized throughput x%.2f vs baseline x%.2f\n",
+				now.Design, nowSpeedup, baseSpeedup)
+		}
+	}
+	if compared == 0 {
+		return fmt.Errorf("bench gate: no designs in common with %s", path)
+	}
+	if failures > 0 {
+		return fmt.Errorf("bench gate: %d of %d designs regressed vs %s", failures, compared, path)
+	}
+	fmt.Printf("bench gate: %d designs within tolerance of %s\n", compared, path)
 	return nil
 }

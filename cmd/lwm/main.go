@@ -29,7 +29,6 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"sort"
 
 	"localwm/internal/cdfg"
 	"localwm/internal/designs"
@@ -405,77 +404,18 @@ func cmdSchedule(args []string) error {
 		defer f.Close()
 		w = f
 	}
-	fmt.Fprintf(w, "budget %d\n", s.Budget)
-	// Deterministic order: by step then name.
-	type row struct {
-		name string
-		step int
-	}
-	var rows []row
-	for _, node := range g.Nodes() {
-		if st := s.Steps[node.ID]; st > 0 {
-			rows = append(rows, row{node.Name, st})
-		}
-	}
-	sort.Slice(rows, func(i, j int) bool {
-		if rows[i].step != rows[j].step {
-			return rows[i].step < rows[j].step
-		}
-		return rows[i].name < rows[j].name
-	})
-	for _, r := range rows {
-		fmt.Fprintf(w, "step %s %d\n", r.name, r.step)
-	}
-	return nil
+	return sched.WriteSchedule(w, g, s)
 }
 
+// parseSchedule reads a schedule file in the text format shared with the
+// lwmd daemon (see sched.ParseSchedule).
 func parseSchedule(g *cdfg.Graph, path string) (*sched.Schedule, error) {
-	data, err := os.ReadFile(path)
+	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
-	s := &sched.Schedule{Steps: make([]int, g.Len())}
-	var budget int
-	lines := 0
-	for _, line := range splitLines(string(data)) {
-		lines++
-		var name string
-		var step int
-		if n, _ := fmt.Sscanf(line, "budget %d", &budget); n == 1 {
-			s.Budget = budget
-			continue
-		}
-		if n, _ := fmt.Sscanf(line, "step %s %d", &name, &step); n == 2 {
-			node, ok := g.NodeByName(name)
-			if !ok {
-				return nil, fmt.Errorf("schedule line %d: unknown node %q", lines, name)
-			}
-			s.Steps[node.ID] = step
-			continue
-		}
-		if line != "" {
-			return nil, fmt.Errorf("schedule line %d: unparseable %q", lines, line)
-		}
-	}
-	if s.Budget == 0 {
-		s.Budget = s.Makespan()
-	}
-	return s, nil
-}
-
-func splitLines(s string) []string {
-	var out []string
-	start := 0
-	for i := 0; i < len(s); i++ {
-		if s[i] == '\n' {
-			out = append(out, s[start:i])
-			start = i + 1
-		}
-	}
-	if start < len(s) {
-		out = append(out, s[start:])
-	}
-	return out
+	defer f.Close()
+	return sched.ParseSchedule(g, f)
 }
 
 func cmdDetect(args []string) error {

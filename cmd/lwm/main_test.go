@@ -12,22 +12,6 @@ import (
 	"localwm/internal/schedwm"
 )
 
-func TestSplitLines(t *testing.T) {
-	got := splitLines("a\nb\n\nc")
-	want := []string{"a", "b", "", "c"}
-	if len(got) != len(want) {
-		t.Fatalf("got %v", got)
-	}
-	for i := range want {
-		if got[i] != want[i] {
-			t.Fatalf("line %d = %q, want %q", i, got[i], want[i])
-		}
-	}
-	if len(splitLines("")) != 0 {
-		t.Fatal("empty input should yield no lines")
-	}
-}
-
 func TestParseScheduleRoundTrip(t *testing.T) {
 	dir := t.TempDir()
 	g := designs.WaveletFilter()

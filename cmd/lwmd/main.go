@@ -1,0 +1,125 @@
+// Command lwmd is the local-watermarking service daemon: the engine
+// behind cmd/lwm exposed as a long-running HTTP service.
+//
+//	lwmd -addr :8077 [-debug-addr 127.0.0.1:8078] [flags]
+//
+// Endpoints (POST, JSON; designs in the cdfg text format, schedules in
+// the lwm schedule text format):
+//
+//	/v1/embed    embed scheduling watermarks into a design
+//	/v1/detect   batch-scan suspects×records for memorized watermarks
+//	/v1/verify   adjudicate an ownership claim from a signature alone
+//	/v1/stats    metrics snapshot (also on the debug port)
+//	/healthz     liveness (503 while draining)
+//
+// Robustness: each endpoint runs behind a bounded admission queue with a
+// fixed worker pool; a full queue answers 429 with Retry-After, a request
+// whose deadline expires while queued answers 504, and a panic is
+// confined to its request (500). SIGINT/SIGTERM starts a graceful drain:
+// new work is rejected with 503 while queued and in-flight requests
+// finish, then the listener closes.
+//
+// The debug port (loopback by default; never expose it) serves expvar at
+// /debug/vars, the lwmd metrics snapshot at /debug/lwmd, and net/http/
+// pprof under /debug/pprof/.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"localwm/internal/server"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintf(os.Stderr, "lwmd: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("lwmd", flag.ExitOnError)
+	addr := fs.String("addr", ":8077", "service listen address")
+	debugAddr := fs.String("debug-addr", "", "debug listen address for expvar/pprof (empty: disabled; keep loopback-only)")
+	queueSize := fs.Int("queue", 64, "per-endpoint pending-request capacity")
+	embedWorkers := fs.Int("embed-workers", 2, "concurrent embed requests")
+	detectWorkers := fs.Int("detect-workers", runtime.NumCPU(), "concurrent detect requests")
+	verifyWorkers := fs.Int("verify-workers", 2, "concurrent verify requests")
+	engineWorkers := fs.Int("engine-workers", runtime.NumCPU(), "default engine parallelism per request")
+	maxEngineWorkers := fs.Int("max-engine-workers", 4*runtime.NumCPU(), "cap on request-supplied engine parallelism")
+	timeout := fs.Duration("timeout", 60*time.Second, "per-request deadline (queue wait + execution)")
+	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "max time to finish in-flight work on shutdown")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	srv := server.New(server.Config{
+		EmbedWorkers:     *embedWorkers,
+		DetectWorkers:    *detectWorkers,
+		VerifyWorkers:    *verifyWorkers,
+		QueueSize:        *queueSize,
+		EngineWorkers:    *engineWorkers,
+		MaxEngineWorkers: *maxEngineWorkers,
+		RequestTimeout:   *timeout,
+	})
+	srv.Publish() // expose the metrics snapshot as the expvar "lwmd"
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	log.Printf("lwmd: serving on %s", ln.Addr())
+
+	var debugSrv *http.Server
+	if *debugAddr != "" {
+		dln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			ln.Close()
+			return err
+		}
+		debugSrv = &http.Server{Handler: srv.DebugHandler()}
+		log.Printf("lwmd: debug (expvar/pprof) on %s", dln.Addr())
+		go func() {
+			if err := debugSrv.Serve(dln); err != nil && err != http.ErrServerClosed {
+				log.Printf("lwmd: debug server: %v", err)
+			}
+		}()
+	}
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case err := <-serveErr:
+		return err
+	case got := <-sig:
+		log.Printf("lwmd: %v: draining (in-flight requests finish, new ones get 503)", got)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		log.Printf("lwmd: drain: %v", err)
+	}
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		return fmt.Errorf("closing listener: %w", err)
+	}
+	if debugSrv != nil {
+		_ = debugSrv.Shutdown(ctx)
+	}
+	log.Printf("lwmd: drained, bye")
+	return nil
+}

@@ -1,0 +1,123 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net"
+	"net/http"
+	"os"
+	"syscall"
+	"testing"
+	"time"
+
+	"localwm/internal/cdfg"
+	"localwm/internal/designs"
+)
+
+// freePort reserves then releases a loopback port. The tiny window
+// before run() rebinds it is acceptable for a test.
+func freePort(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr
+}
+
+// TestDaemonServesAndDrainsOnSIGTERM boots the real daemon — flags,
+// listeners, signal handling — serves one embed request, then delivers
+// an actual SIGTERM to the process and requires a clean, error-free
+// drain.
+func TestDaemonServesAndDrainsOnSIGTERM(t *testing.T) {
+	addr := freePort(t)
+	debugAddr := freePort(t)
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{"-addr", addr, "-debug-addr", debugAddr,
+			"-drain-timeout", "10s"})
+	}()
+
+	base := "http://" + addr
+	var resp *http.Response
+	var err error
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, err = http.Get(base + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("daemon never came up: %v", err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz = %d", resp.StatusCode)
+	}
+
+	var design bytes.Buffer
+	if err := cdfg.Write(&design, designs.DAConverter()); err != nil {
+		t.Fatal(err)
+	}
+	body, _ := json.Marshal(map[string]any{
+		"design": design.String(), "signature": "daemon-test",
+		"n": 2, "tau": 16, "k": 3, "epsilon": 0.4,
+	})
+	er, err := http.Post(base+"/v1/embed", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var embed struct {
+		Watermarks int `json:"watermarks"`
+	}
+	if err := json.NewDecoder(er.Body).Decode(&embed); err != nil {
+		t.Fatal(err)
+	}
+	er.Body.Close()
+	if er.StatusCode != http.StatusOK || embed.Watermarks != 2 {
+		t.Fatalf("embed: status %d, watermarks %d", er.StatusCode, embed.Watermarks)
+	}
+
+	dr, err := http.Get("http://" + debugAddr + "/debug/vars")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var vars struct {
+		Lwmd map[string]any `json:"lwmd"`
+	}
+	if err := json.NewDecoder(dr.Body).Decode(&vars); err != nil {
+		t.Fatal(err)
+	}
+	dr.Body.Close()
+	if vars.Lwmd == nil {
+		t.Fatal("expvar \"lwmd\" not published on the debug port")
+	}
+
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("daemon exited with %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("daemon did not drain after SIGTERM")
+	}
+	if _, err := http.Get(base + "/healthz"); err == nil {
+		t.Fatal("listener still accepting after drain")
+	}
+}
+
+func TestDaemonRejectsBadFlags(t *testing.T) {
+	if err := run([]string{"-addr", "not-an-address"}); err == nil {
+		t.Fatal("bad -addr accepted")
+	}
+	if err := run([]string{"-addr", "127.0.0.1:0", "-debug-addr", "bogus:addr:99"}); err == nil {
+		t.Fatal("bad -debug-addr accepted")
+	}
+}

@@ -3,7 +3,23 @@ package cdfg
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 )
+
+// Process-wide oracle cache statistics. Every PathOracle lookup counts
+// here in addition to doing its work, so a long-running service can
+// surface the cache's effectiveness without holding references to the
+// individual graphs (which come and go per request).
+var oracleHits, oracleMisses atomic.Uint64
+
+// OracleStats reports the cumulative PathOracle cache hits and misses
+// across every oracle in the process since start. A "miss" is a lookup
+// that had to run a longest-path computation; invalidations surface as
+// misses on the next query, never as a separate event. Monotonic;
+// callers derive rates by differencing snapshots.
+func OracleStats() (hits, misses uint64) {
+	return oracleHits.Load(), oracleMisses.Load()
+}
 
 // PathOracle is a memoized longest-path cache over one Graph. Every query
 // is keyed by the graph's generation counters plus a behavioral
@@ -97,8 +113,10 @@ func (o *PathOracle) lookup(k oracleKey, build func() (*oracleEntry, error)) (*o
 	o.mu.Lock()
 	defer o.mu.Unlock()
 	if e, ok := o.cache[k]; ok {
+		oracleHits.Add(1)
 		return e, nil
 	}
+	oracleMisses.Add(1)
 	e, err := build()
 	if err != nil {
 		return nil, err

@@ -1,0 +1,40 @@
+package cdfg
+
+import "testing"
+
+// TestOracleStats exercises the process-wide hit/miss counters the lwmd
+// daemon surfaces. The counters are global, so only monotone deltas are
+// asserted — other tests may run concurrently.
+func TestOracleStats(t *testing.T) {
+	g := chain(t, 6)
+	o := g.Oracle()
+
+	_, m0 := OracleStats()
+	if _, err := o.CriticalPathW(nil); err != nil {
+		t.Fatal(err)
+	}
+	_, m1 := OracleStats()
+	if m1-m0 < 1 {
+		t.Fatalf("cold query recorded no miss (%d -> %d)", m0, m1)
+	}
+	h1, _ := OracleStats()
+	if _, err := o.CriticalPathW(nil); err != nil {
+		t.Fatal(err)
+	}
+	h2, _ := OracleStats()
+	if h2-h1 < 1 {
+		t.Fatalf("warm query recorded no hit (%d -> %d)", h1, h2)
+	}
+
+	// Structural mutation invalidates: the next query must miss again.
+	_, m2 := OracleStats()
+	v := g.AddNode("extra", OpMulConst)
+	g.MustAddEdge(NodeID(0), v, DataEdge)
+	if _, err := o.CriticalPathW(nil); err != nil {
+		t.Fatal(err)
+	}
+	_, m3 := OracleStats()
+	if m3-m2 < 1 {
+		t.Fatalf("post-mutation query recorded no miss (%d -> %d)", m2, m3)
+	}
+}

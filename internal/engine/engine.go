@@ -28,6 +28,7 @@ package engine
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"localwm/internal/cdfg"
 	"localwm/internal/domain"
@@ -35,6 +36,37 @@ import (
 	"localwm/internal/sched"
 	"localwm/internal/schedwm"
 )
+
+// Process-wide engine counters, exported for the lwmd daemon's metrics.
+// All monotonic; consumers difference snapshots for rates.
+var counters struct {
+	poolRuns    atomic.Uint64 // worker-pool fan-outs started
+	poolJobs    atomic.Uint64 // jobs executed across all fan-outs
+	specCommits atomic.Uint64 // speculative embeddings committed as-is
+	specRepairs atomic.Uint64 // speculations replayed sequentially
+}
+
+// Counters is a snapshot of the engine's cumulative activity.
+type Counters struct {
+	// PoolRuns and PoolJobs count worker-pool fan-outs and the jobs they
+	// executed (a fan-out with one worker still counts its jobs).
+	PoolRuns, PoolJobs uint64
+	// SpecCommits and SpecRepairs split EmbedMany's commit walk: a commit
+	// means the optimistic speculation was reused verbatim, a repair means
+	// it was discarded and the watermark re-embedded sequentially. Their
+	// ratio is the speculation success rate.
+	SpecCommits, SpecRepairs uint64
+}
+
+// Stats returns the process-wide engine counters since start.
+func Stats() Counters {
+	return Counters{
+		PoolRuns:    counters.poolRuns.Load(),
+		PoolJobs:    counters.poolJobs.Load(),
+		SpecCommits: counters.specCommits.Load(),
+		SpecRepairs: counters.specRepairs.Load(),
+	}
+}
 
 // EmbedMany embeds n local watermarks exactly like schedwm.EmbedMany —
 // same watermarks, same temporal edges in the same insertion order, same
@@ -134,11 +166,14 @@ func EmbedMany(g *cdfg.Graph, sig prng.Signature, cfg schedwm.Config, n, workers
 		sp := slots[idx].spec
 		if !usable(slots[idx], trueOff) ||
 			!sp.Valid(g, ncfg, an, committed[slots[idx].deltaStart:]) {
+			counters.specRepairs.Add(1)
 			var rs []cdfg.NodeID
 			if ncfg.Root == nil {
 				rs = roots[trueOff : trueOff+ncfg.MaxTries]
 			}
 			sp = schedwm.EmbedSpec(g, sig, ncfg, idx, an, rs)
+		} else {
+			counters.specCommits.Add(1)
 		}
 		trueOff += sp.Picks
 		if sp.Err != nil {
@@ -257,6 +292,8 @@ func runPool(workers, jobs int, run func(job int)) {
 	if jobs <= 0 {
 		return
 	}
+	counters.poolRuns.Add(1)
+	counters.poolJobs.Add(uint64(jobs))
 	if workers > jobs {
 		workers = jobs
 	}

@@ -300,3 +300,51 @@ func TestVerifyOwnershipParallelMatches(t *testing.T) {
 		}
 	}
 }
+
+// TestStatsCounters checks the process-wide activity counters the lwmd
+// daemon surfaces. Counters are global and monotone, so the test asserts
+// deltas around its own work rather than absolute values.
+func TestStatsCounters(t *testing.T) {
+	g := designs.FourthOrderParallelIIR()
+	cp, err := g.CriticalPath()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := schedwm.Config{Tau: 14, K: 3, Epsilon: 0.1, Budget: cp + cp/2 + 2}
+	const n = 6
+
+	before := Stats()
+	work := g.Clone()
+	wms, err := EmbedMany(work, prng.Signature("counter"), cfg, n, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := Stats()
+	if after.PoolRuns <= before.PoolRuns {
+		t.Fatalf("PoolRuns did not advance: %d -> %d", before.PoolRuns, after.PoolRuns)
+	}
+	if after.PoolJobs < before.PoolJobs+n {
+		t.Fatalf("PoolJobs advanced %d, want >= %d (hint pre-pass)",
+			after.PoolJobs-before.PoolJobs, n)
+	}
+	// Every index either committed its speculation or was repaired.
+	if got := (after.SpecCommits - before.SpecCommits) + (after.SpecRepairs - before.SpecRepairs); got < n {
+		t.Fatalf("commit walk accounted for %d indices, want >= %d", got, n)
+	}
+
+	// Detection fans out on the pool too.
+	s, err := sched.ListSchedule(work, sched.ListOpts{UseTemporal: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var recs []schedwm.Record
+	for _, wm := range wms {
+		recs = append(recs, wm.Record())
+	}
+	mid := Stats()
+	DetectBatch([]Suspect{{Graph: work, Schedule: s}}, recs, 4)
+	end := Stats()
+	if end.PoolJobs < mid.PoolJobs+uint64(len(recs)) {
+		t.Fatalf("DetectBatch jobs advanced %d, want >= %d", end.PoolJobs-mid.PoolJobs, len(recs))
+	}
+}

@@ -1,0 +1,66 @@
+package sched
+
+import (
+	"strings"
+	"testing"
+
+	"localwm/internal/designs"
+)
+
+func TestScheduleTextRoundTrip(t *testing.T) {
+	g := designs.WaveletFilter()
+	s, err := ListSchedule(g, ListOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := WriteSchedule(&sb, g, s); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseSchedule(g, strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Budget != s.Budget {
+		t.Fatalf("budget %d, want %d", back.Budget, s.Budget)
+	}
+	for v, st := range s.Steps {
+		if back.Steps[v] != st {
+			t.Fatalf("node %d: step %d, want %d", v, back.Steps[v], st)
+		}
+	}
+
+	// Writing the re-parsed schedule must reproduce the bytes: the format
+	// is canonical for a given schedule.
+	var sb2 strings.Builder
+	if err := WriteSchedule(&sb2, g, back); err != nil {
+		t.Fatal(err)
+	}
+	if sb.String() != sb2.String() {
+		t.Fatal("text round trip not canonical")
+	}
+}
+
+func TestParseScheduleDefaultsAndComments(t *testing.T) {
+	g := designs.WaveletFilter()
+	in := "# comment\n\nstep lo_m0 4\nstep lo_a1 7\n"
+	s, err := ParseSchedule(g, strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Budget != 7 {
+		t.Fatalf("defaulted budget = %d, want makespan 7", s.Budget)
+	}
+}
+
+func TestParseScheduleErrors(t *testing.T) {
+	g := designs.WaveletFilter()
+	for name, in := range map[string]string{
+		"unknown-node": "step nosuch 3\n",
+		"garbage":      "frobnicate\n",
+	} {
+		if _, err := ParseSchedule(g, strings.NewReader(in)); err == nil {
+			t.Fatalf("%s accepted", name)
+		}
+	}
+}

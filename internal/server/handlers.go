@@ -1,0 +1,299 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"localwm/internal/cdfg"
+	"localwm/internal/engine"
+	"localwm/internal/prng"
+	"localwm/internal/sched"
+	"localwm/internal/schedwm"
+)
+
+// Wire formats. Designs travel in the internal/cdfg text format and
+// schedules in the internal/sched text format — the same artifacts the
+// lwm CLI reads and writes, so files and service payloads interchange.
+
+// markParams are the public embedding parameters shared by embed and
+// verify requests. Zero values take the CLI's defaults.
+type markParams struct {
+	N       int     `json:"n"`       // watermarks (default 2)
+	Tau     int     `json:"tau"`     // subtree cardinality τ (default 20)
+	K       int     `json:"k"`       // temporal edges per watermark (default 4)
+	Epsilon float64 `json:"epsilon"` // laxity margin ε (default 0.25)
+	Budget  int     `json:"budget"`  // control steps (default critical path +10%)
+	Workers int     `json:"workers"` // engine parallelism (default server-side)
+}
+
+func (p *markParams) normalize() {
+	if p.N == 0 {
+		p.N = 2
+	}
+	if p.Tau == 0 {
+		p.Tau = 20
+	}
+	if p.K == 0 {
+		p.K = 4
+	}
+	if p.Epsilon == 0 {
+		p.Epsilon = 0.25
+	}
+}
+
+type embedRequest struct {
+	Design    string `json:"design"`
+	Signature string `json:"signature"`
+	markParams
+}
+
+type embedResponse struct {
+	MarkedDesign  string           `json:"marked_design"`
+	Watermarks    int              `json:"watermarks"`
+	TemporalEdges int              `json:"temporal_edges"`
+	Records       []schedwm.Record `json:"records"`
+}
+
+type suspectPayload struct {
+	Design   string `json:"design"`
+	Schedule string `json:"schedule"`
+}
+
+type detectRequest struct {
+	Suspects []suspectPayload `json:"suspects"`
+	Records  []schedwm.Record `json:"records"`
+	Workers  int              `json:"workers"`
+}
+
+// detectOutcome flattens one suspect×record schedwm.Detection for the
+// wire; Pc travels in the paper's 10^x notation.
+type detectOutcome struct {
+	Found      bool   `json:"found"`
+	Root       string `json:"root,omitempty"` // first matched root's node name
+	Satisfied  int    `json:"satisfied"`
+	Total      int    `json:"total"`
+	Pc         string `json:"pc"`
+	RootsTried int    `json:"roots_tried"`
+	Error      string `json:"error,omitempty"`
+}
+
+type detectResponse struct {
+	// Results[i][j] is records[j] scanned in suspects[i], mirroring
+	// engine.DetectBatch.
+	Results  [][]detectOutcome `json:"results"`
+	Detected int               `json:"detected"`
+}
+
+type verifyRequest struct {
+	Design    string `json:"design"`
+	Schedule  string `json:"schedule"`
+	Signature string `json:"signature"`
+	markParams
+}
+
+type verifyResponse struct {
+	Verified   bool   `json:"verified"`
+	Satisfied  int    `json:"satisfied"`
+	Total      int    `json:"total"`
+	Pc         string `json:"pc"`
+	RootsTried int    `json:"roots_tried"`
+}
+
+// decode parses the request body into v with unknown fields rejected, so
+// a typo'd parameter fails loudly instead of silently taking a default.
+func decode(r *http.Request, v any) error {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return badRequest("decoding request: %v", err)
+	}
+	return nil
+}
+
+func parseDesign(field, text string) (*cdfg.Graph, error) {
+	if strings.TrimSpace(text) == "" {
+		return nil, badRequest("%s: empty design", field)
+	}
+	g, err := cdfg.Parse(strings.NewReader(text))
+	if err != nil {
+		return nil, badRequest("%s: %v", field, err)
+	}
+	return g, nil
+}
+
+func parseSuspect(field string, sp suspectPayload) (*cdfg.Graph, *sched.Schedule, error) {
+	g, err := parseDesign(field, sp.Design)
+	if err != nil {
+		return nil, nil, err
+	}
+	s, err := sched.ParseSchedule(g, strings.NewReader(sp.Schedule))
+	if err != nil {
+		return nil, nil, badRequest("%s: %v", field, err)
+	}
+	return g, s, nil
+}
+
+// engineWorkers resolves a request's engine parallelism: the server
+// default when unset, clamped to the configured maximum, and floored at
+// 1 (engine entry points treat <=1 as sequential anyway).
+func (s *Server) engineWorkers(requested int) int {
+	w := requested
+	if w == 0 {
+		w = s.cfg.EngineWorkers
+	}
+	if w > s.cfg.MaxEngineWorkers {
+		w = s.cfg.MaxEngineWorkers
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// schedConfig builds the schedwm.Config for p against g, defaulting the
+// budget exactly like the CLI (critical path + 10% + 1).
+func (s *Server) schedConfig(g *cdfg.Graph, p markParams) (schedwm.Config, error) {
+	budget := p.Budget
+	if budget == 0 {
+		cp, err := g.CriticalPath()
+		if err != nil {
+			return schedwm.Config{}, badRequest("design: %v", err)
+		}
+		budget = cp + cp/10 + 1
+	}
+	cfg := schedwm.Config{
+		Tau: p.Tau, K: p.K, Epsilon: p.Epsilon, Budget: budget,
+		Parallelism: s.engineWorkers(p.Workers),
+	}
+	if _, err := cfg.Normalized(); err != nil {
+		return schedwm.Config{}, badRequest("%v", err)
+	}
+	return cfg, nil
+}
+
+func (s *Server) handleEmbed(r *http.Request) (any, error) {
+	var req embedRequest
+	if err := decode(r, &req); err != nil {
+		return nil, err
+	}
+	req.normalize()
+	if req.Signature == "" {
+		return nil, badRequest("signature: required")
+	}
+	if req.N < 1 {
+		return nil, badRequest("n: must be positive, got %d", req.N)
+	}
+	g, err := parseDesign("design", req.Design)
+	if err != nil {
+		return nil, err
+	}
+	cfg, err := s.schedConfig(g, req.markParams)
+	if err != nil {
+		return nil, err
+	}
+	wms, err := engine.EmbedMany(g, prng.Signature(req.Signature), cfg, req.N, cfg.Parallelism)
+	if err != nil {
+		return nil, badRequest("embedding: %v", err)
+	}
+	resp := &embedResponse{Watermarks: len(wms)}
+	for _, wm := range wms {
+		resp.Records = append(resp.Records, wm.Record())
+		resp.TemporalEdges += len(wm.Edges)
+	}
+	var buf bytes.Buffer
+	if err := cdfg.Write(&buf, g); err != nil {
+		return nil, err
+	}
+	resp.MarkedDesign = buf.String()
+	return resp, nil
+}
+
+// buildDetectResponse shapes an engine.DetectBatch result grid for the
+// wire. Split out so tests can feed it a sequentially computed grid and
+// compare bytes against the daemon's concurrent answer.
+func buildDetectResponse(suspects []engine.Suspect, batch [][]engine.DetectResult) *detectResponse {
+	resp := &detectResponse{Results: make([][]detectOutcome, len(batch))}
+	for i, row := range batch {
+		resp.Results[i] = make([]detectOutcome, len(row))
+		for j, res := range row {
+			out := &resp.Results[i][j]
+			if res.Err != nil {
+				out.Error = res.Err.Error()
+				continue
+			}
+			det := res.Det
+			out.Found = det.Found
+			out.Satisfied = det.Best.Satisfied
+			out.Total = det.Best.Total
+			out.Pc = det.Best.Pc.String()
+			out.RootsTried = det.RootsTried
+			if det.Found {
+				resp.Detected++
+				if len(det.Matches) > 0 {
+					out.Root = suspects[i].Graph.Node(det.Matches[0].Root).Name
+				}
+			}
+		}
+	}
+	return resp
+}
+
+func (s *Server) handleDetect(r *http.Request) (any, error) {
+	var req detectRequest
+	if err := decode(r, &req); err != nil {
+		return nil, err
+	}
+	if len(req.Suspects) == 0 {
+		return nil, badRequest("suspects: at least one required")
+	}
+	if len(req.Records) == 0 {
+		return nil, badRequest("records: at least one required")
+	}
+	suspects := make([]engine.Suspect, len(req.Suspects))
+	for i, sp := range req.Suspects {
+		g, sc, err := parseSuspect(fieldIndex("suspects", i), sp)
+		if err != nil {
+			return nil, err
+		}
+		suspects[i] = engine.Suspect{Graph: g, Schedule: sc}
+	}
+	batch := engine.DetectBatch(suspects, req.Records, s.engineWorkers(req.Workers))
+	return buildDetectResponse(suspects, batch), nil
+}
+
+func (s *Server) handleVerify(r *http.Request) (any, error) {
+	var req verifyRequest
+	if err := decode(r, &req); err != nil {
+		return nil, err
+	}
+	req.normalize()
+	if req.Signature == "" {
+		return nil, badRequest("signature: required")
+	}
+	g, sc, err := parseSuspect("suspect", suspectPayload{Design: req.Design, Schedule: req.Schedule})
+	if err != nil {
+		return nil, err
+	}
+	cfg, err := s.schedConfig(g, req.markParams)
+	if err != nil {
+		return nil, err
+	}
+	det, err := engine.VerifyOwnership(g, sc, prng.Signature(req.Signature), cfg, req.N, cfg.Parallelism)
+	if err != nil {
+		return nil, badRequest("verifying: %v", err)
+	}
+	return &verifyResponse{
+		Verified:   det.Found,
+		Satisfied:  det.Best.Satisfied,
+		Total:      det.Best.Total,
+		Pc:         det.Best.Pc.String(),
+		RootsTried: det.RootsTried,
+	}, nil
+}
+
+func fieldIndex(field string, i int) string {
+	return field + "[" + strconv.Itoa(i) + "]"
+}

@@ -1,0 +1,139 @@
+package server
+
+import (
+	"expvar"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"localwm/internal/cdfg"
+	"localwm/internal/engine"
+)
+
+// latWindow keeps the most recent request latencies of one endpoint in a
+// fixed ring, enough to answer p50/p99 for a live dashboard without
+// unbounded memory. Quantiles are computed over whatever the ring holds.
+type latWindow struct {
+	mu   sync.Mutex
+	buf  []time.Duration
+	next int
+	n    int
+}
+
+const latWindowSize = 512
+
+func newLatWindow() *latWindow { return &latWindow{buf: make([]time.Duration, latWindowSize)} }
+
+func (l *latWindow) add(d time.Duration) {
+	l.mu.Lock()
+	l.buf[l.next] = d
+	l.next = (l.next + 1) % len(l.buf)
+	if l.n < len(l.buf) {
+		l.n++
+	}
+	l.mu.Unlock()
+}
+
+// quantile returns the q-quantile (0 < q <= 1) of the window, or 0 when
+// empty. Nearest-rank on a sorted copy; the window is small by design.
+func (l *latWindow) quantile(q float64) time.Duration {
+	l.mu.Lock()
+	sample := append([]time.Duration(nil), l.buf[:l.n]...)
+	l.mu.Unlock()
+	if len(sample) == 0 {
+		return 0
+	}
+	sort.Slice(sample, func(i, j int) bool { return sample[i] < sample[j] })
+	idx := int(q*float64(len(sample))+0.5) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sample) {
+		idx = len(sample) - 1
+	}
+	return sample[idx]
+}
+
+// endpointMetrics is the per-endpoint slice of the daemon's counters.
+type endpointMetrics struct {
+	accepted  atomic.Uint64 // admitted to the queue
+	completed atomic.Uint64 // finished with a 2xx
+	failed    atomic.Uint64 // finished with a 4xx/5xx other than below
+	rejected  atomic.Uint64 // 429: queue full
+	timedOut  atomic.Uint64 // 504: deadline expired while queued/running
+	panicked  atomic.Uint64 // 500: job panic confined by the pool
+	lat       *latWindow
+}
+
+// metrics aggregates everything the daemon exposes over expvar.
+type metrics struct {
+	start     time.Time
+	endpoints map[string]*endpointMetrics
+}
+
+func newMetrics(endpoints ...string) *metrics {
+	m := &metrics{start: time.Now(), endpoints: make(map[string]*endpointMetrics)}
+	for _, ep := range endpoints {
+		m.endpoints[ep] = &endpointMetrics{lat: newLatWindow()}
+	}
+	return m
+}
+
+// snapshot renders the full metrics state as the plain map expvar.Func
+// marshals. Engine and oracle counters are process-wide (see
+// engine.Stats, cdfg.OracleStats); everything else is per server.
+func (s *Server) snapshot() map[string]any {
+	out := map[string]any{
+		"uptime_seconds": time.Since(s.metrics.start).Seconds(),
+		"draining":       s.draining.Load(),
+	}
+	eps := map[string]any{}
+	for name, em := range s.metrics.endpoints {
+		q := s.queues[name]
+		eps[name] = map[string]any{
+			"accepted":       em.accepted.Load(),
+			"completed":      em.completed.Load(),
+			"failed":         em.failed.Load(),
+			"rejected_429":   em.rejected.Load(),
+			"timeout_504":    em.timedOut.Load(),
+			"panic_500":      em.panicked.Load(),
+			"queue_depth":    q.depth(),
+			"queue_capacity": cap(q.tasks),
+			"p50_ms":         float64(em.lat.quantile(0.50)) / float64(time.Millisecond),
+			"p99_ms":         float64(em.lat.quantile(0.99)) / float64(time.Millisecond),
+		}
+	}
+	out["endpoints"] = eps
+
+	hits, misses := cdfg.OracleStats()
+	rate := 0.0
+	if hits+misses > 0 {
+		rate = float64(hits) / float64(hits+misses)
+	}
+	out["path_oracle"] = map[string]any{
+		"hits": hits, "misses": misses, "hit_rate": rate,
+	}
+	es := engine.Stats()
+	out["engine"] = map[string]any{
+		"pool_runs":    es.PoolRuns,
+		"pool_jobs":    es.PoolJobs,
+		"spec_commits": es.SpecCommits,
+		"spec_repairs": es.SpecRepairs,
+	}
+	return out
+}
+
+// publishOnce guards the process-global expvar name: expvar.Publish
+// panics on duplicates, and tests start many servers in one process.
+var publishOnce sync.Once
+
+// Publish registers the server's metrics snapshot under the expvar name
+// "lwmd", making it visible on any /debug/vars page in the process. Only
+// the first server to call this wins the name; the daemon (which runs
+// exactly one server) calls it at startup.
+func (s *Server) Publish() {
+	publishOnce.Do(func() {
+		expvar.Publish("lwmd", expvar.Func(func() any { return s.snapshot() }))
+	})
+}

@@ -1,0 +1,109 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// apiError is a handler-produced failure with a definite HTTP status.
+type apiError struct {
+	status int
+	msg    string
+}
+
+func (e *apiError) Error() string { return e.msg }
+
+// badRequest builds the 400 an endpoint returns for malformed payloads.
+func badRequest(format string, args ...any) error {
+	return &apiError{status: http.StatusBadRequest, msg: fmt.Sprintf(format, args...)}
+}
+
+// errorBody is the JSON envelope for every non-2xx response.
+type errorBody struct {
+	Error  string `json:"error"`
+	Status int    `json:"status"`
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, errorBody{Error: msg, Status: status})
+}
+
+// endpoint wraps a job-shaped handler with the daemon's whole admission
+// path: method check, drain check, deadline, bounded-queue submission,
+// panic mapping, and metrics. The inner handler runs on the endpoint's
+// worker pool and returns the response value to marshal (or an error).
+func (s *Server) endpoint(name string, handle func(r *http.Request) (any, error)) http.Handler {
+	em := s.metrics.endpoints[name]
+	q := s.queues[name]
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			w.Header().Set("Allow", http.MethodPost)
+			writeError(w, http.StatusMethodNotAllowed, "POST only")
+			return
+		}
+		if s.draining.Load() {
+			writeError(w, http.StatusServiceUnavailable, "draining")
+			return
+		}
+		r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+
+		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+		defer cancel()
+
+		start := time.Now()
+		var resp any
+		var jobErr error
+		err := q.submit(ctx, func() {
+			if s.testJobStart != nil {
+				s.testJobStart(name)
+			}
+			resp, jobErr = handle(r.WithContext(ctx))
+		})
+		elapsed := time.Since(start)
+
+		switch {
+		case errors.Is(err, ErrQueueFull):
+			em.rejected.Add(1)
+			w.Header().Set("Retry-After",
+				strconv.Itoa(int((s.cfg.RetryAfter + time.Second - 1) / time.Second)))
+			writeError(w, http.StatusTooManyRequests, "queue full, retry later")
+			return
+		case errors.Is(err, ErrDraining):
+			writeError(w, http.StatusServiceUnavailable, "draining")
+			return
+		case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+			em.timedOut.Add(1)
+			writeError(w, http.StatusGatewayTimeout, "request deadline expired in queue")
+			return
+		case err != nil:
+			var pe *panicError
+			if errors.As(err, &pe) {
+				em.panicked.Add(1)
+				writeError(w, http.StatusInternalServerError, "internal error")
+				return
+			}
+			em.failed.Add(1)
+			writeError(w, http.StatusInternalServerError, err.Error())
+			return
+		}
+		em.accepted.Add(1)
+		em.lat.add(elapsed)
+
+		if jobErr != nil {
+			em.failed.Add(1)
+			var ae *apiError
+			if errors.As(jobErr, &ae) {
+				writeError(w, ae.status, ae.msg)
+				return
+			}
+			writeError(w, http.StatusInternalServerError, jobErr.Error())
+			return
+		}
+		em.completed.Add(1)
+		writeJSON(w, http.StatusOK, resp)
+	})
+}

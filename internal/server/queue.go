@@ -1,0 +1,165 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Admission-control errors, mapped to HTTP statuses by the handlers.
+var (
+	// ErrQueueFull means the bounded admission queue had no free slot;
+	// the caller should retry after backing off (HTTP 429).
+	ErrQueueFull = errors.New("server: admission queue full")
+	// ErrDraining means the queue no longer accepts work because the
+	// daemon is shutting down (HTTP 503).
+	ErrDraining = errors.New("server: draining, not accepting work")
+)
+
+// panicError wraps a recovered panic so callers can distinguish a crashed
+// job (HTTP 500) from an orderly error.
+type panicError struct{ val any }
+
+func (p *panicError) Error() string { return fmt.Sprintf("server: job panicked: %v", p.val) }
+
+// task states, advanced by compare-and-swap so exactly one of
+// worker/submitter decides a task's fate.
+const (
+	taskPending int32 = iota
+	taskRunning
+	taskAbandoned // deadline expired while still queued; never ran
+)
+
+// task is one queued unit of work. done is closed exactly once, after the
+// task either finished running or was observed abandoned.
+type task struct {
+	run   func()
+	state atomic.Int32
+	err   error // set before done is closed; panicError on a crash
+	done  chan struct{}
+}
+
+// queue is a bounded FIFO admission queue drained by a fixed worker pool.
+// Admission is non-blocking: a full queue rejects immediately with
+// ErrQueueFull rather than making the caller wait — the backpressure
+// contract that keeps a traffic spike from accumulating unbounded
+// goroutines. A submitted task's deadline keeps counting while it queues:
+// if the context expires before a worker picks the task up, it is
+// abandoned in place and never runs.
+type queue struct {
+	tasks   chan *task
+	workers sync.WaitGroup
+
+	mu       sync.Mutex
+	draining bool
+
+	running atomic.Int64 // tasks currently executing
+	served  atomic.Uint64
+}
+
+// newQueue starts a queue with the given worker-pool size and pending
+// capacity (both forced to at least 1).
+func newQueue(workers, capacity int) *queue {
+	if workers < 1 {
+		workers = 1
+	}
+	if capacity < 1 {
+		capacity = 1
+	}
+	q := &queue{tasks: make(chan *task, capacity)}
+	q.workers.Add(workers)
+	for i := 0; i < workers; i++ {
+		go q.work()
+	}
+	return q
+}
+
+// work is one worker's loop. A panic inside a task is confined to the
+// task: the worker recovers, records the panic as the task's error, and
+// moves on, so one malformed request cannot take the pool down.
+func (q *queue) work() {
+	defer q.workers.Done()
+	for t := range q.tasks {
+		if !t.state.CompareAndSwap(taskPending, taskRunning) {
+			continue // abandoned while queued; submitter closed done
+		}
+		q.running.Add(1)
+		func() {
+			defer func() {
+				if v := recover(); v != nil {
+					t.err = &panicError{val: v}
+				}
+			}()
+			t.run()
+		}()
+		q.running.Add(-1)
+		q.served.Add(1)
+		close(t.done)
+	}
+}
+
+// submit enqueues run and blocks until it completes, the queue rejects
+// it, or ctx expires while it is still waiting for a worker. Once run has
+// started, submit always waits for it to finish (the worker owns shared
+// response state while running). The returned error is nil on success,
+// ErrQueueFull/ErrDraining on rejection, ctx.Err() on a queued-past-
+// deadline abandonment, or a *panicError if run crashed.
+func (q *queue) submit(ctx context.Context, run func()) error {
+	t := &task{run: run, done: make(chan struct{})}
+	// The enqueue itself is guarded by mu so that drain() can flip the
+	// flag and close the channel without racing a send.
+	q.mu.Lock()
+	if q.draining {
+		q.mu.Unlock()
+		return ErrDraining
+	}
+	select {
+	case q.tasks <- t:
+		q.mu.Unlock()
+	default:
+		q.mu.Unlock()
+		return ErrQueueFull
+	}
+	select {
+	case <-t.done:
+		return t.err
+	case <-ctx.Done():
+		if t.state.CompareAndSwap(taskPending, taskAbandoned) {
+			return ctx.Err() // never ran; a worker will skip it
+		}
+		<-t.done // already running: wait it out
+		return t.err
+	}
+}
+
+// depth reports queued-but-not-started plus currently running tasks.
+func (q *queue) depth() int {
+	return len(q.tasks) + int(q.running.Load())
+}
+
+// drain stops admission and waits for every queued and in-flight task to
+// finish, or for ctx to expire. Safe to call more than once.
+func (q *queue) drain(ctx context.Context) error {
+	q.mu.Lock()
+	already := q.draining
+	q.draining = true
+	if !already {
+		close(q.tasks) // safe: submits hold mu and re-check draining
+	}
+	q.mu.Unlock()
+
+	finished := make(chan struct{})
+	go func() {
+		q.workers.Wait()
+		close(finished)
+	}()
+	select {
+	case <-finished:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("server: drain interrupted with %d tasks outstanding: %w",
+			q.depth(), ctx.Err())
+	}
+}

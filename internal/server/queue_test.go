@@ -1,0 +1,161 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestQueueRunsSubmittedWork(t *testing.T) {
+	q := newQueue(2, 4)
+	defer q.drain(context.Background())
+	var n atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 20; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// ErrQueueFull is a legitimate answer under load; the client
+			// contract is retry-after-backoff, so that's what we do.
+			for {
+				err := q.submit(context.Background(), func() { n.Add(1) })
+				if err == nil {
+					return
+				}
+				if !errors.Is(err, ErrQueueFull) {
+					t.Errorf("submit: %v", err)
+					return
+				}
+				time.Sleep(time.Millisecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if n.Load() != 20 {
+		t.Fatalf("ran %d tasks, want 20", n.Load())
+	}
+}
+
+// TestQueueFullRejectsImmediately scripts the backpressure contract: one
+// worker blocked, capacity-1 queue occupied, next submit answers
+// ErrQueueFull without waiting.
+func TestQueueFullRejectsImmediately(t *testing.T) {
+	q := newQueue(1, 1)
+	release := make(chan struct{})
+	started := make(chan struct{})
+
+	go q.submit(context.Background(), func() { close(started); <-release }) // runs
+	<-started
+	queued := make(chan error, 1)
+	go func() { queued <- q.submit(context.Background(), func() {}) }() // occupies the slot
+
+	// Wait for the queued task to actually be in the channel.
+	deadline := time.Now().Add(2 * time.Second)
+	for len(q.tasks) == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("queued task never landed")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := q.submit(context.Background(), func() {}); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("submit on full queue = %v, want ErrQueueFull", err)
+	}
+	close(release)
+	if err := <-queued; err != nil {
+		t.Fatalf("queued task: %v", err)
+	}
+	if err := q.drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQueueDeadlineWhileQueued: a task whose context expires before a
+// worker reaches it is abandoned in place — it never runs.
+func TestQueueDeadlineWhileQueued(t *testing.T) {
+	q := newQueue(1, 2)
+	release := make(chan struct{})
+	started := make(chan struct{})
+	go q.submit(context.Background(), func() { close(started); <-release })
+	<-started
+
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	ran := false
+	err := q.submit(ctx, func() { ran = true })
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("submit = %v, want DeadlineExceeded", err)
+	}
+	close(release)
+	if err := q.drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if ran {
+		t.Fatal("abandoned task ran anyway")
+	}
+}
+
+// TestQueuePanicIsolation: a panicking task surfaces as *panicError to
+// its submitter and the worker keeps serving.
+func TestQueuePanicIsolation(t *testing.T) {
+	q := newQueue(1, 2)
+	err := q.submit(context.Background(), func() { panic("boom") })
+	var pe *panicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("submit = %v, want panicError", err)
+	}
+	ok := false
+	if err := q.submit(context.Background(), func() { ok = true }); err != nil {
+		t.Fatalf("post-panic submit: %v", err)
+	}
+	if !ok {
+		t.Fatal("worker died after panic")
+	}
+	if err := q.drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQueueDrain: queued work finishes, new work is rejected, drain is
+// idempotent, and an expired drain context reports the stall.
+func TestQueueDrain(t *testing.T) {
+	q := newQueue(1, 4)
+	release := make(chan struct{})
+	started := make(chan struct{})
+	var inflight, queuedRan atomic.Bool
+	go q.submit(context.Background(), func() { close(started); <-release; inflight.Store(true) })
+	<-started
+	queuedDone := make(chan error, 1)
+	go func() { queuedDone <- q.submit(context.Background(), func() { queuedRan.Store(true) }) }()
+	for len(q.tasks) == 0 {
+		time.Sleep(time.Millisecond)
+	}
+
+	// Drain with work stuck: times out and says so.
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	if err := q.drain(ctx); err == nil {
+		t.Fatal("stalled drain returned nil")
+	}
+	cancel()
+	if _, err := ctxErrOnlySubmit(q); !errors.Is(err, ErrDraining) {
+		t.Fatalf("submit while draining = %v, want ErrDraining", err)
+	}
+
+	close(release)
+	if err := q.drain(context.Background()); err != nil {
+		t.Fatalf("second drain: %v", err)
+	}
+	if err := <-queuedDone; err != nil {
+		t.Fatalf("queued task during drain: %v", err)
+	}
+	if !inflight.Load() || !queuedRan.Load() {
+		t.Fatal("drain dropped admitted work")
+	}
+}
+
+func ctxErrOnlySubmit(q *queue) (bool, error) {
+	err := q.submit(context.Background(), func() {})
+	return err == nil, err
+}

@@ -1,0 +1,198 @@
+// Package server turns the localwm engine into a long-running
+// watermarking service: the HTTP surface behind the lwmd daemon.
+//
+// Three endpoints expose the engine's entry points — /v1/embed
+// (engine.EmbedMany), /v1/detect (engine.DetectBatch, batch-shaped), and
+// /v1/verify (engine.VerifyOwnership) — over JSON envelopes that carry
+// designs in the internal/cdfg text format and schedules in the
+// internal/sched text format.
+//
+// The robustness model:
+//
+//   - Admission control. Every endpoint owns a bounded queue drained by a
+//     fixed worker pool (Config.*Workers, Config.QueueSize). A full queue
+//     rejects immediately with 429 and a Retry-After hint instead of
+//     queueing unboundedly; this is the backpressure contract.
+//   - Deadlines. Each admitted request carries Config.RequestTimeout. If
+//     it expires while the request still waits for a worker, the request
+//     is abandoned in place (never runs) and answered 504.
+//   - Panic isolation. A panic inside a request is confined to that
+//     request (500); the worker, the pool, and the daemon survive.
+//   - Graceful drain. Shutdown flips the server into draining mode (new
+//     requests get 503), lets queued and in-flight work finish, and only
+//     then returns — the SIGTERM path of cmd/lwmd.
+//
+// Observability is stdlib-only: expvar-style counters, queue depths, and
+// p50/p99 latencies on /v1/stats and /debug/vars, and net/http/pprof on
+// the debug handler.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+	"runtime"
+	"sync/atomic"
+	"time"
+)
+
+// Endpoint names, used as queue and metrics keys.
+const (
+	epEmbed  = "embed"
+	epDetect = "detect"
+	epVerify = "verify"
+)
+
+// Config sizes the daemon. The zero value serves with sane defaults.
+type Config struct {
+	// EmbedWorkers, DetectWorkers, VerifyWorkers size the per-endpoint
+	// request worker pools: how many requests of that kind execute
+	// concurrently. Zero defaults to 2 for embed/verify (engine-parallel
+	// inside) and NumCPU for detect (read-only fan-out).
+	EmbedWorkers, DetectWorkers, VerifyWorkers int
+	// QueueSize is each endpoint's pending-request capacity beyond the
+	// workers. Zero defaults to 64.
+	QueueSize int
+	// EngineWorkers is the default schedwm.Config.Parallelism handed to
+	// the engine for requests that don't pick their own worker count.
+	// Zero defaults to NumCPU.
+	EngineWorkers int
+	// MaxEngineWorkers caps request-supplied worker counts so one client
+	// cannot demand an arbitrary fan-out. Zero defaults to 4×NumCPU.
+	MaxEngineWorkers int
+	// RequestTimeout is the per-request deadline covering both queue wait
+	// and execution. Zero defaults to 60s.
+	RequestTimeout time.Duration
+	// RetryAfter is the backoff hint on 429 responses. Zero defaults
+	// to 1s.
+	RetryAfter time.Duration
+	// MaxBodyBytes bounds request payloads. Zero defaults to 64 MiB.
+	MaxBodyBytes int64
+}
+
+func (c Config) withDefaults() Config {
+	ncpu := runtime.NumCPU()
+	if c.EmbedWorkers <= 0 {
+		c.EmbedWorkers = 2
+	}
+	if c.DetectWorkers <= 0 {
+		c.DetectWorkers = ncpu
+	}
+	if c.VerifyWorkers <= 0 {
+		c.VerifyWorkers = 2
+	}
+	if c.QueueSize <= 0 {
+		c.QueueSize = 64
+	}
+	if c.EngineWorkers <= 0 {
+		c.EngineWorkers = ncpu
+	}
+	if c.MaxEngineWorkers <= 0 {
+		c.MaxEngineWorkers = 4 * ncpu
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 60 * time.Second
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 64 << 20
+	}
+	return c
+}
+
+// Server is the watermarking service. Create with New, expose Handler()
+// on the service port and DebugHandler() on a loopback-only debug port,
+// and call Shutdown on SIGTERM.
+type Server struct {
+	cfg      Config
+	queues   map[string]*queue
+	metrics  *metrics
+	draining atomic.Bool
+
+	// testJobStart, when set (tests only), runs at the start of every
+	// admitted job, before any work; it may block or panic to script
+	// queue-full and panic-isolation scenarios deterministically.
+	testJobStart func(endpoint string)
+}
+
+// New builds a Server and starts its worker pools.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:     cfg,
+		metrics: newMetrics(epEmbed, epDetect, epVerify),
+		queues: map[string]*queue{
+			epEmbed:  newQueue(cfg.EmbedWorkers, cfg.QueueSize),
+			epDetect: newQueue(cfg.DetectWorkers, cfg.QueueSize),
+			epVerify: newQueue(cfg.VerifyWorkers, cfg.QueueSize),
+		},
+	}
+	return s
+}
+
+// Handler returns the service mux: the /v1 API plus /healthz.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("/v1/embed", s.endpoint(epEmbed, s.handleEmbed))
+	mux.Handle("/v1/detect", s.endpoint(epDetect, s.handleDetect))
+	mux.Handle("/v1/verify", s.endpoint(epVerify, s.handleVerify))
+	mux.HandleFunc("/v1/stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.snapshot())
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		if s.draining.Load() {
+			http.Error(w, "draining", http.StatusServiceUnavailable)
+			return
+		}
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+// DebugHandler returns the observability mux: expvar at /debug/vars, the
+// server's own snapshot at /debug/lwmd, and the pprof suite under
+// /debug/pprof/. Serve it on a loopback-only port (-debug-addr).
+func (s *Server) DebugHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/lwmd", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.snapshot())
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Shutdown drains the server: new requests are rejected with 503 while
+// queued and in-flight requests run to completion (bounded by ctx).
+// Idempotent. The HTTP listener itself is the caller's to close — in
+// cmd/lwmd, http.Server.Shutdown runs after this returns, so responses
+// for drained work still reach their clients.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.draining.Store(true)
+	var firstErr error
+	for _, q := range s.queues {
+		if err := q.drain(ctx); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// writeJSON writes v with the given status. Encoding errors past the
+// header are unrecoverable mid-stream and intentionally dropped.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}

@@ -30,12 +30,15 @@
 package localwm
 
 import (
+	"io"
+
 	"localwm/internal/cdfg"
 	"localwm/internal/designs"
 	"localwm/internal/engine"
 	"localwm/internal/prng"
 	"localwm/internal/sched"
 	"localwm/internal/schedwm"
+	"localwm/internal/server"
 	"localwm/internal/tmatch"
 	"localwm/internal/tmwm"
 )
@@ -167,3 +170,40 @@ var ParseGraph = cdfg.Parse
 
 // WriteGraph writes a design in the text format (see cdfg.Write).
 var WriteGraph = cdfg.Write
+
+// ParseSchedule reads a schedule in the text format, resolving node
+// names against g (see sched.ParseSchedule).
+func ParseSchedule(g *Graph, r io.Reader) (*ScheduleResult, error) {
+	return sched.ParseSchedule(g, r)
+}
+
+// WriteSchedule writes s in the text schedule format (see
+// sched.WriteSchedule).
+func WriteSchedule(w io.Writer, g *Graph, s *ScheduleResult) error {
+	return sched.WriteSchedule(w, g, s)
+}
+
+// Service surface: the watermarking daemon behind cmd/lwmd, embeddable
+// in a larger process.
+type (
+	// ServiceConfig sizes the daemon's worker pools, admission queues,
+	// and deadlines; the zero value serves with defaults.
+	ServiceConfig = server.Config
+	// Service is the HTTP watermarking service. Mount Handler() on the
+	// serving port, DebugHandler() on a loopback-only port, and call
+	// Shutdown to drain gracefully.
+	Service = server.Server
+	// EngineCounters is a snapshot of the parallel engine's cumulative
+	// pool and speculation activity.
+	EngineCounters = engine.Counters
+)
+
+// NewService builds a watermarking service and starts its worker pools.
+func NewService(cfg ServiceConfig) *Service { return server.New(cfg) }
+
+// EngineStats returns the process-wide parallel-engine counters.
+func EngineStats() EngineCounters { return engine.Stats() }
+
+// OracleStats reports cumulative longest-path cache hits and misses
+// across every cdfg.PathOracle in the process.
+var OracleStats = cdfg.OracleStats
