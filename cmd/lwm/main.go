@@ -21,6 +21,11 @@
 //	lwm dot -in design.cdfg [-o out.dot]
 //	    render the design for Graphviz
 //
+// embed, detect, and verify also accept -remote <addr>: the work then
+// runs on a lwmd daemon through the resilient lwmclient (retries,
+// circuit breaker) with byte-identical printed output, so scripts can
+// switch between local and remote without changing their parsing.
+//
 // The full experiment reproduction lives in the sibling command `tables`.
 package main
 
@@ -161,8 +166,12 @@ func cmdVerify(args []string) error {
 	eps := fs.Float64("epsilon", 0.25, "laxity margin ε")
 	budget := fs.Int("budget", 0, "control-step budget (0: critical path + 10%)")
 	workers := fs.Int("workers", 1, "parallel re-derivation workers (verdict is identical for any value)")
+	remote := fs.String("remote", "", "lwmd daemon address (empty: verify in-process)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *remote != "" {
+		return remoteVerify(*remote, *in, *schedPath, *sig, *n, *tau, *k, *eps, *budget, *workers)
 	}
 	g, err := loadGraph(*in)
 	if err != nil {
@@ -332,8 +341,12 @@ func cmdEmbed(args []string) error {
 	workers := fs.Int("workers", 1, "parallel embedding workers (result is identical for any value)")
 	out := fs.String("out", "", "marked design output file")
 	recPath := fs.String("record", "", "detection record output file (JSON)")
+	remote := fs.String("remote", "", "lwmd daemon address (empty: embed in-process)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *remote != "" {
+		return remoteEmbed(*remote, *in, *sig, *n, *tau, *k, *eps, *budget, *workers, *out, *recPath)
 	}
 	g, err := loadGraph(*in)
 	if err != nil {
@@ -424,8 +437,12 @@ func cmdDetect(args []string) error {
 	schedPath := fs.String("schedule", "", "suspect schedule file")
 	recPath := fs.String("record", "", "detection record file (JSON)")
 	workers := fs.Int("workers", 1, "parallel detection workers (output is identical for any value)")
+	remote := fs.String("remote", "", "lwmd daemon address (empty: detect in-process)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *remote != "" {
+		return remoteDetect(*remote, *in, *schedPath, *recPath, *workers)
 	}
 	g, err := loadGraph(*in)
 	if err != nil {

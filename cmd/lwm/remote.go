@@ -1,0 +1,151 @@
+// Remote mode: every marking subcommand (embed, detect, verify) accepts
+// -remote <addr> and then runs against a lwmd daemon through the
+// resilient lwmclient instead of the in-process engine. Outputs are
+// byte-identical to local runs — the daemon computes with the same
+// engine and the wire carries everything the reports print — so scripts
+// can switch between local and remote without changing their parsing.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"localwm/lwmclient"
+)
+
+func newRemoteClient(addr string) (*lwmclient.Client, error) {
+	return lwmclient.New(lwmclient.Config{BaseURL: addr})
+}
+
+// remoteEmbed mirrors cmdEmbed against a daemon: same flags, same
+// printed line, same output files (marked design + detection record).
+func remoteEmbed(addr, in, sig string, n, tau, k int, eps float64, budget, workers int, out, recPath string) error {
+	c, err := newRemoteClient(addr)
+	if err != nil {
+		return err
+	}
+	design, err := os.ReadFile(in)
+	if err != nil {
+		return err
+	}
+	resp, err := c.Embed(context.Background(), lwmclient.EmbedRequest{
+		Design:    string(design),
+		Signature: sig,
+		MarkParams: lwmclient.MarkParams{
+			N: n, Tau: tau, K: k, Epsilon: eps, Budget: budget, Workers: workers,
+		},
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("embedded %d watermarks, %d temporal edges\n", resp.Watermarks, resp.TemporalEdges)
+	if out != "" {
+		if err := os.WriteFile(out, []byte(resp.MarkedDesign), 0o644); err != nil {
+			return err
+		}
+	}
+	if recPath != "" {
+		rf := recordFile{Signature: []byte(sig), Records: resp.Records}
+		data, err := json.MarshalIndent(rf, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(recPath, data, 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// remoteDetect mirrors cmdDetect against a daemon: identical per-record
+// report lines and the same exit-3-on-zero-detections contract.
+func remoteDetect(addr, in, schedPath, recPath string, workers int) error {
+	c, err := newRemoteClient(addr)
+	if err != nil {
+		return err
+	}
+	design, err := os.ReadFile(in)
+	if err != nil {
+		return err
+	}
+	schedule, err := os.ReadFile(schedPath)
+	if err != nil {
+		return err
+	}
+	data, err := os.ReadFile(recPath)
+	if err != nil {
+		return err
+	}
+	var rf recordFile
+	if err := json.Unmarshal(data, &rf); err != nil {
+		return err
+	}
+	res, err := c.Detect(context.Background(), lwmclient.DetectRequest{
+		Suspects: []lwmclient.Suspect{{Design: string(design), Schedule: string(schedule)}},
+		Records:  rf.Records,
+		Workers:  workers,
+	})
+	if err != nil {
+		return err
+	}
+	if !res.Complete() {
+		return res.Failed[0]
+	}
+	found := 0
+	for i, out := range res.Results[0] {
+		if out.Error != "" {
+			return fmt.Errorf("%s", out.Error)
+		}
+		if out.Found {
+			found++
+			fmt.Printf("watermark %d: FOUND at root %s (%d constraints, Pc %s)\n",
+				i, out.Root, out.Total, out.Pc)
+		} else {
+			fmt.Printf("watermark %d: not found (best %d/%d)\n",
+				i, out.Satisfied, out.Total)
+		}
+	}
+	fmt.Printf("%d of %d watermarks detected\n", found, len(rf.Records))
+	if found == 0 {
+		os.Exit(3)
+	}
+	return nil
+}
+
+// remoteVerify mirrors cmdVerify against a daemon: same claim report and
+// the same exit-3-on-unverified contract.
+func remoteVerify(addr, in, schedPath, sig string, n, tau, k int, eps float64, budget, workers int) error {
+	c, err := newRemoteClient(addr)
+	if err != nil {
+		return err
+	}
+	design, err := os.ReadFile(in)
+	if err != nil {
+		return err
+	}
+	schedule, err := os.ReadFile(schedPath)
+	if err != nil {
+		return err
+	}
+	resp, err := c.Verify(context.Background(), lwmclient.VerifyRequest{
+		Design:    string(design),
+		Schedule:  string(schedule),
+		Signature: sig,
+		MarkParams: lwmclient.MarkParams{
+			N: n, Tau: tau, K: k, Epsilon: eps, Budget: budget, Workers: workers,
+		},
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("claim by %q: %d/%d re-derived constraints satisfied, Pc %s\n",
+		sig, resp.Satisfied, resp.Total, resp.Pc)
+	if !resp.Verified {
+		fmt.Println("verdict: claim NOT verified")
+		os.Exit(3)
+	}
+	fmt.Println("verdict: claim verified")
+	return nil
+}

@@ -1,0 +1,102 @@
+package main
+
+import (
+	"bytes"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"localwm/internal/server"
+)
+
+// TestRemoteModeMatchesLocal drives embed → detect → verify through a
+// real daemon with -remote and requires the printed reports and output
+// files to be byte-identical to the in-process runs.
+func TestRemoteModeMatchesLocal(t *testing.T) {
+	srv := server.New(server.Config{EngineWorkers: 2})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	dir := t.TempDir()
+	design := filepath.Join(dir, "d.cdfg")
+	if err := cmdGen([]string{"-design", "dac", "-o", design}); err != nil {
+		t.Fatal(err)
+	}
+	embedArgs := func(marked, rec string, extra ...string) []string {
+		return append([]string{"-in", design, "-sig", "remote-test", "-n", "2",
+			"-tau", "16", "-k", "3", "-epsilon", "0.4",
+			"-out", marked, "-record", rec}, extra...)
+	}
+
+	localMarked := filepath.Join(dir, "local.cdfg")
+	localRec := filepath.Join(dir, "local.json")
+	localOut := captureStdout(t, func() error {
+		return cmdEmbed(embedArgs(localMarked, localRec))
+	})
+
+	remoteMarked := filepath.Join(dir, "remote.cdfg")
+	remoteRec := filepath.Join(dir, "remote.json")
+	remoteOut := captureStdout(t, func() error {
+		return cmdEmbed(embedArgs(remoteMarked, remoteRec, "-remote", ts.URL))
+	})
+	if localOut != remoteOut {
+		t.Fatalf("embed output diverged:\nlocal  %q\nremote %q", localOut, remoteOut)
+	}
+	for _, pair := range [][2]string{{localMarked, remoteMarked}, {localRec, remoteRec}} {
+		a, err := os.ReadFile(pair[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := os.ReadFile(pair[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(a, b) {
+			t.Fatalf("%s and %s differ", pair[0], pair[1])
+		}
+	}
+
+	schedPath := filepath.Join(dir, "s.txt")
+	if err := cmdSchedule([]string{"-in", localMarked, "-out", schedPath}); err != nil {
+		t.Fatal(err)
+	}
+
+	detectArgs := []string{"-in", design, "-schedule", schedPath, "-record", localRec}
+	localDetect := captureStdout(t, func() error { return cmdDetect(detectArgs) })
+	remoteDetect := captureStdout(t, func() error {
+		return cmdDetect(append(detectArgs, "-remote", ts.URL))
+	})
+	if localDetect != remoteDetect {
+		t.Fatalf("detect output diverged:\nlocal  %q\nremote %q", localDetect, remoteDetect)
+	}
+
+	verifyArgs := []string{"-in", design, "-schedule", schedPath, "-sig", "remote-test",
+		"-n", "2", "-tau", "16", "-k", "3", "-epsilon", "0.4"}
+	localVerify := captureStdout(t, func() error { return cmdVerify(verifyArgs) })
+	remoteVerify := captureStdout(t, func() error {
+		return cmdVerify(append(verifyArgs, "-remote", ts.URL))
+	})
+	if localVerify != remoteVerify {
+		t.Fatalf("verify output diverged:\nlocal  %q\nremote %q", localVerify, remoteVerify)
+	}
+}
+
+// TestRemoteModeSurfacesServiceErrors: a definite service rejection (bad
+// request) comes back as an error, not a retry loop.
+func TestRemoteModeSurfacesServiceErrors(t *testing.T) {
+	srv := server.New(server.Config{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	dir := t.TempDir()
+	design := filepath.Join(dir, "d.cdfg")
+	if err := cmdGen([]string{"-design", "dac", "-o", design}); err != nil {
+		t.Fatal(err)
+	}
+	// Empty signature is a 400 from the daemon.
+	err := remoteEmbed(ts.URL, design, "", 2, 16, 3, 0.4, 0, 1, "", "")
+	if err == nil {
+		t.Fatal("empty signature accepted")
+	}
+}

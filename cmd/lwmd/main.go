@@ -22,6 +22,13 @@
 // The debug port (loopback by default; never expose it) serves expvar at
 // /debug/vars, the lwmd metrics snapshot at /debug/lwmd, and net/http/
 // pprof under /debug/pprof/.
+//
+// -chaos (testing only, off by default) routes the /v1 API through the
+// internal/chaos fault injector: seeded, deterministic latency,
+// connection resets, 500s, and truncated bodies, counted on the metrics
+// snapshot. It exists to exercise the resilient client (lwmclient); the
+// daemon's responses with -chaos off are byte-identical to a build
+// without the chaos layer.
 package main
 
 import (
@@ -37,6 +44,7 @@ import (
 	"syscall"
 	"time"
 
+	"localwm/internal/chaos"
 	"localwm/internal/server"
 )
 
@@ -59,11 +67,13 @@ func run(args []string) error {
 	maxEngineWorkers := fs.Int("max-engine-workers", 4*runtime.NumCPU(), "cap on request-supplied engine parallelism")
 	timeout := fs.Duration("timeout", 60*time.Second, "per-request deadline (queue wait + execution)")
 	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "max time to finish in-flight work on shutdown")
+	chaosOn := fs.Bool("chaos", false, "inject seeded transport faults into the /v1 API (testing only, never production)")
+	chaosSeed := fs.Int64("chaos-seed", 1, "fault-injection seed; a given seed and request order replays the same faults")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	srv := server.New(server.Config{
+	cfg := server.Config{
 		EmbedWorkers:     *embedWorkers,
 		DetectWorkers:    *detectWorkers,
 		VerifyWorkers:    *verifyWorkers,
@@ -71,14 +81,30 @@ func run(args []string) error {
 		EngineWorkers:    *engineWorkers,
 		MaxEngineWorkers: *maxEngineWorkers,
 		RequestTimeout:   *timeout,
-	})
+	}
+	if *chaosOn {
+		cfg.Chaos = chaos.New(chaos.Default(*chaosSeed))
+		log.Printf("lwmd: CHAOS MODE: injecting seeded faults into /v1 (seed %d) — never run this in production", *chaosSeed)
+	}
+	srv := server.New(cfg)
 	srv.Publish() // expose the metrics snapshot as the expvar "lwmd"
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return err
 	}
-	httpSrv := &http.Server{Handler: srv.Handler()}
+	// Header/read/idle timeouts bound connection lifetimes: without them
+	// a slowloris client that trickles header bytes (or never finishes a
+	// body) holds its connection — and eventually a worker goroutine —
+	// forever. Reads get the request deadline plus slack for the body of
+	// a legitimately slow uploader; writes stay unbounded because
+	// drained responses may legitimately outlive the request deadline.
+	httpSrv := &http.Server{
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       *timeout + 30*time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
 	log.Printf("lwmd: serving on %s", ln.Addr())
 
 	var debugSrv *http.Server
@@ -88,7 +114,11 @@ func run(args []string) error {
 			ln.Close()
 			return err
 		}
-		debugSrv = &http.Server{Handler: srv.DebugHandler()}
+		debugSrv = &http.Server{
+			Handler:           srv.DebugHandler(),
+			ReadHeaderTimeout: 10 * time.Second,
+			IdleTimeout:       2 * time.Minute,
+		}
 		log.Printf("lwmd: debug (expvar/pprof) on %s", dln.Addr())
 		go func() {
 			if err := debugSrv.Serve(dln); err != nil && err != http.ErrServerClosed {

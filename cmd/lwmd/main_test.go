@@ -121,3 +121,56 @@ func TestDaemonRejectsBadFlags(t *testing.T) {
 		t.Fatal("bad -debug-addr accepted")
 	}
 }
+
+// TestDaemonChaosFlag boots the daemon with -chaos and requires the
+// fault injector to be wired in: the /v1/stats snapshot carries the
+// chaos counters (absent by default — the zero-flag path must stay
+// byte-identical to a build without the chaos layer).
+func TestDaemonChaosFlag(t *testing.T) {
+	for _, chaosOn := range []bool{false, true} {
+		addr := freePort(t)
+		args := []string{"-addr", addr, "-drain-timeout", "5s"}
+		if chaosOn {
+			args = append(args, "-chaos", "-chaos-seed", "7")
+		}
+		done := make(chan error, 1)
+		go func() { done <- run(args) }()
+
+		base := "http://" + addr
+		deadline := time.Now().Add(10 * time.Second)
+		for {
+			resp, err := http.Get(base + "/healthz")
+			if err == nil {
+				resp.Body.Close()
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("daemon never came up: %v", err)
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		sr, err := http.Get(base + "/v1/stats")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var snap map[string]any
+		if err := json.NewDecoder(sr.Body).Decode(&snap); err != nil {
+			t.Fatal(err)
+		}
+		sr.Body.Close()
+		if _, ok := snap["chaos"]; ok != chaosOn {
+			t.Fatalf("-chaos=%v but snapshot chaos key present=%v", chaosOn, ok)
+		}
+		if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+			t.Fatal(err)
+		}
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatalf("daemon exited with %v", err)
+			}
+		case <-time.After(15 * time.Second):
+			t.Fatal("daemon did not drain after SIGTERM")
+		}
+	}
+}

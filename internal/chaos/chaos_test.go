@@ -1,0 +1,193 @@
+package chaos
+
+import (
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// okHandler answers a fixed 200 body, long enough that truncation cuts
+// real payload.
+func okHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		io.WriteString(w, `{"answer":"the full, untruncated response body"}`)
+	})
+}
+
+func get(t *testing.T, ts *httptest.Server) (status int, body string, err error) {
+	t.Helper()
+	resp, err := ts.Client().Get(ts.URL)
+	if err != nil {
+		return 0, "", err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	return resp.StatusCode, string(data), err
+}
+
+// TestChaosZeroProbabilitiesPassThrough: an injector with every fault
+// disabled must be byte-transparent.
+func TestChaosZeroProbabilitiesPassThrough(t *testing.T) {
+	in := New(Config{Seed: 7})
+	ts := httptest.NewServer(in.Middleware(okHandler()))
+	defer ts.Close()
+	for i := 0; i < 20; i++ {
+		status, body, err := get(t, ts)
+		if err != nil || status != http.StatusOK {
+			t.Fatalf("request %d: status %d, err %v", i, status, err)
+		}
+		if !strings.Contains(body, "untruncated") {
+			t.Fatalf("request %d: body %q", i, body)
+		}
+	}
+	c := in.Counters()
+	if c.Requests != 20 || c.Faulted() != 0 || c.Latencies != 0 {
+		t.Fatalf("counters %+v", c)
+	}
+}
+
+// TestChaosDeterministicSequence: the same seed replays the same fault
+// plan sequence; a different seed diverges (for this pair of seeds).
+func TestChaosDeterministicSequence(t *testing.T) {
+	cfg := Config{Seed: 42, PLatency: 0.3, PReset: 0.2, PError: 0.2, PTruncate: 0.2}
+	seq := func(c Config) []plan {
+		in := New(c)
+		out := make([]plan, 64)
+		for i := range out {
+			out[i] = in.decide()
+		}
+		return out
+	}
+	a, b := seq(cfg), seq(cfg)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("draw %d differs for identical seeds: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	cfg2 := cfg
+	cfg2.Seed = 43
+	c := seq(cfg2)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("seeds 42 and 43 produced identical 64-draw sequences")
+	}
+}
+
+// TestChaosInjectedError: PError=1 turns every request into a 500 and
+// the handler never runs.
+func TestChaosInjectedError(t *testing.T) {
+	ran := false
+	in := New(Config{Seed: 1, PError: 1})
+	ts := httptest.NewServer(in.Middleware(http.HandlerFunc(
+		func(w http.ResponseWriter, r *http.Request) { ran = true })))
+	defer ts.Close()
+	status, body, err := get(t, ts)
+	if err != nil || status != http.StatusInternalServerError {
+		t.Fatalf("status %d, err %v", status, err)
+	}
+	if !strings.Contains(body, "chaos") {
+		t.Fatalf("body %q", body)
+	}
+	if ran {
+		t.Fatal("handler ran behind an injected 500")
+	}
+	if c := in.Counters(); c.Errors != 1 {
+		t.Fatalf("counters %+v", c)
+	}
+}
+
+// TestChaosResetSeversConnection: PReset=1 kills the transport before
+// any response bytes.
+func TestChaosResetSeversConnection(t *testing.T) {
+	in := New(Config{Seed: 1, PReset: 1})
+	ts := httptest.NewServer(in.Middleware(okHandler()))
+	defer ts.Close()
+	if _, _, err := get(t, ts); err == nil {
+		t.Fatal("reset request succeeded")
+	}
+	if c := in.Counters(); c.Resets != 1 {
+		t.Fatalf("counters %+v", c)
+	}
+}
+
+// TestChaosTruncationDetectable: PTruncate=1 yields a body read that
+// fails with an unexpected EOF — never a silently short payload.
+func TestChaosTruncationDetectable(t *testing.T) {
+	in := New(Config{Seed: 1, PTruncate: 1})
+	ts := httptest.NewServer(in.Middleware(okHandler()))
+	defer ts.Close()
+	status, body, err := get(t, ts)
+	if err == nil {
+		t.Fatalf("truncated read reported no error (status %d, body %q)", status, body)
+	}
+	if !errors.Is(err, io.ErrUnexpectedEOF) && !strings.Contains(err.Error(), "EOF") {
+		t.Fatalf("err = %v, want unexpected EOF", err)
+	}
+	if strings.Contains(body, "untruncated") {
+		t.Fatalf("full body leaked through truncation: %q", body)
+	}
+	if c := in.Counters(); c.Truncations != 1 {
+		t.Fatalf("counters %+v", c)
+	}
+}
+
+// TestChaosLatencyDelays: PLatency=1 delays but does not corrupt.
+func TestChaosLatencyDelays(t *testing.T) {
+	in := New(Config{Seed: 1, PLatency: 1, MaxLatency: 10 * time.Millisecond})
+	ts := httptest.NewServer(in.Middleware(okHandler()))
+	defer ts.Close()
+	status, body, err := get(t, ts)
+	if err != nil || status != http.StatusOK || !strings.Contains(body, "untruncated") {
+		t.Fatalf("status %d, err %v, body %q", status, err, body)
+	}
+	if c := in.Counters(); c.Latencies != 1 || c.Faulted() != 0 {
+		t.Fatalf("counters %+v", c)
+	}
+}
+
+// TestChaosMixedFaultRate: with the Default mix over many requests, a
+// nontrivial share of requests fault and the counter taxonomy adds up.
+func TestChaosMixedFaultRate(t *testing.T) {
+	in := New(Default(1234))
+	ts := httptest.NewServer(in.Middleware(okHandler()))
+	defer ts.Close()
+	// Keep-alives off: net/http silently retries an idempotent request
+	// whose reused connection dies, which would double-count requests.
+	client := &http.Client{Transport: &http.Transport{DisableKeepAlives: true}}
+	const total = 200
+	okCount := 0
+	for i := 0; i < total; i++ {
+		resp, err := client.Get(ts.URL)
+		if err != nil {
+			continue
+		}
+		_, rerr := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if rerr == nil && resp.StatusCode == http.StatusOK {
+			okCount++
+		}
+	}
+	c := in.Counters()
+	if c.Requests != total {
+		t.Fatalf("saw %d requests, want %d", c.Requests, total)
+	}
+	if got := int(c.Faulted()); got != total-okCount {
+		t.Fatalf("faulted %d but %d requests failed", got, total-okCount)
+	}
+	// Default hard-fault rate is ~22%; demand at least 10% over 200
+	// draws so the test has huge slack yet still proves injection.
+	if c.Faulted() < total/10 {
+		t.Fatalf("only %d/%d requests faulted", c.Faulted(), total)
+	}
+}

@@ -121,6 +121,9 @@ func (s *Server) snapshot() map[string]any {
 		"spec_commits": es.SpecCommits,
 		"spec_repairs": es.SpecRepairs,
 	}
+	if s.cfg.Chaos != nil {
+		out["chaos"] = s.cfg.Chaos.Snapshot()
+	}
 	return out
 }
 

@@ -32,6 +32,13 @@ func writeError(w http.ResponseWriter, status int, msg string) {
 	writeJSON(w, status, errorBody{Error: msg, Status: status})
 }
 
+// retryAfterSeconds renders Config.RetryAfter as the whole-second header
+// value shared by the 429 and drain-time 503 responses (rounded up so a
+// sub-second hint never becomes "0").
+func (s *Server) retryAfterSeconds() string {
+	return strconv.Itoa(int((s.cfg.RetryAfter + time.Second - 1) / time.Second))
+}
+
 // endpoint wraps a job-shaped handler with the daemon's whole admission
 // path: method check, drain check, deadline, bounded-queue submission,
 // panic mapping, and metrics. The inner handler runs on the endpoint's
@@ -46,6 +53,10 @@ func (s *Server) endpoint(name string, handle func(r *http.Request) (any, error)
 			return
 		}
 		if s.draining.Load() {
+			// A draining instance is down only briefly; a well-behaved
+			// client should back off and land on its replacement, not
+			// hammer this one — same hint the 429 path gives.
+			w.Header().Set("Retry-After", s.retryAfterSeconds())
 			writeError(w, http.StatusServiceUnavailable, "draining")
 			return
 		}
@@ -68,11 +79,11 @@ func (s *Server) endpoint(name string, handle func(r *http.Request) (any, error)
 		switch {
 		case errors.Is(err, ErrQueueFull):
 			em.rejected.Add(1)
-			w.Header().Set("Retry-After",
-				strconv.Itoa(int((s.cfg.RetryAfter + time.Second - 1) / time.Second)))
+			w.Header().Set("Retry-After", s.retryAfterSeconds())
 			writeError(w, http.StatusTooManyRequests, "queue full, retry later")
 			return
 		case errors.Is(err, ErrDraining):
+			w.Header().Set("Retry-After", s.retryAfterSeconds())
 			writeError(w, http.StatusServiceUnavailable, "draining")
 			return
 		case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):

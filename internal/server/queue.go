@@ -107,6 +107,13 @@ func (q *queue) work() {
 // ErrQueueFull/ErrDraining on rejection, ctx.Err() on a queued-past-
 // deadline abandonment, or a *panicError if run crashed.
 func (q *queue) submit(ctx context.Context, run func()) error {
+	// An already-expired context is a deadline rejection up front: the
+	// job must never run. Without this check the enqueue races the
+	// worker pool — a free worker could CAS the task to running before
+	// the submitter observes ctx.Done().
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	t := &task{run: run, done: make(chan struct{})}
 	// The enqueue itself is guarded by mu so that drain() can flip the
 	// flag and close the channel without racing a send.

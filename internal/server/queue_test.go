@@ -159,3 +159,75 @@ func ctxErrOnlySubmit(q *queue) (bool, error) {
 	err := q.submit(context.Background(), func() {})
 	return err == nil, err
 }
+
+// TestQueueSubmitExpiredContext: a context that is already done when
+// submit is called counts as a deadline rejection and the job must never
+// run — even with idle workers ready to grab it. Without the up-front
+// ctx check, the enqueue races the pool: a free worker can mark the task
+// running before the submitter ever looks at ctx.Done().
+func TestQueueSubmitExpiredContext(t *testing.T) {
+	q := newQueue(4, 4) // idle workers: the racy case
+	defer q.drain(context.Background())
+
+	expired, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Hour))
+	defer cancel()
+	var ran atomic.Bool
+	for i := 0; i < 50; i++ {
+		if err := q.submit(expired, func() { ran.Store(true) }); !errors.Is(err, context.DeadlineExceeded) {
+			t.Fatalf("submit %d with expired deadline = %v, want DeadlineExceeded", i, err)
+		}
+	}
+	canceled, cancel2 := context.WithCancel(context.Background())
+	cancel2()
+	if err := q.submit(canceled, func() { ran.Store(true) }); !errors.Is(err, context.Canceled) {
+		t.Fatalf("submit with canceled ctx = %v, want Canceled", err)
+	}
+	// Let any wrongly-enqueued task get picked up before asserting.
+	if err := q.submit(context.Background(), func() {}); err != nil {
+		t.Fatal(err)
+	}
+	if ran.Load() {
+		t.Fatal("job with dead context ran")
+	}
+}
+
+// TestQueueDrainRacesSubmit: drain flipping the flag and closing the
+// task channel must never race a concurrent submit into a send-on-closed
+// panic (the mutex contract), and every submitted job either runs to
+// completion or is rejected with a definite error — nothing is dropped
+// silently. Run under -race, this is the lock-discipline proof.
+func TestQueueDrainRacesSubmit(t *testing.T) {
+	for round := 0; round < 20; round++ {
+		q := newQueue(2, 2)
+		const submitters = 8
+		var started sync.WaitGroup
+		var ran, rejected atomic.Int64
+		results := make(chan error, submitters)
+		started.Add(submitters)
+		for i := 0; i < submitters; i++ {
+			go func() {
+				started.Done()
+				started.Wait() // all submitters release together, against the drain
+				results <- q.submit(context.Background(), func() { ran.Add(1) })
+			}()
+		}
+		started.Wait()
+		if err := q.drain(context.Background()); err != nil {
+			t.Fatalf("round %d: drain: %v", round, err)
+		}
+		for i := 0; i < submitters; i++ {
+			switch err := <-results; {
+			case err == nil:
+				// ran before (or during) the drain
+			case errors.Is(err, ErrDraining), errors.Is(err, ErrQueueFull):
+				rejected.Add(1)
+			default:
+				t.Fatalf("round %d: submit racing drain = %v", round, err)
+			}
+		}
+		if ran.Load()+rejected.Load() != submitters {
+			t.Fatalf("round %d: %d ran + %d rejected != %d submitted",
+				round, ran.Load(), rejected.Load(), submitters)
+		}
+	}
+}

@@ -37,6 +37,8 @@ import (
 	"runtime"
 	"sync/atomic"
 	"time"
+
+	"localwm/internal/chaos"
 )
 
 // Endpoint names, used as queue and metrics keys.
@@ -71,6 +73,11 @@ type Config struct {
 	RetryAfter time.Duration
 	// MaxBodyBytes bounds request payloads. Zero defaults to 64 MiB.
 	MaxBodyBytes int64
+	// Chaos, when non-nil, wraps every /v1 API endpoint with the fault
+	// injector (lwmd -chaos) — latency, resets, 500s, truncated bodies,
+	// deterministically seeded. Liveness and stats endpoints are never
+	// injected. Nil (the default) leaves the serving path untouched.
+	Chaos *chaos.Injector
 }
 
 func (c Config) withDefaults() Config {
@@ -135,17 +142,27 @@ func New(cfg Config) *Server {
 	return s
 }
 
-// Handler returns the service mux: the /v1 API plus /healthz.
+// Handler returns the service mux: the /v1 API plus /healthz. With
+// Config.Chaos set, the API endpoints (and only they — liveness and
+// stats stay clean) pass through the fault injector.
 func (s *Server) Handler() http.Handler {
+	api := func(name string, handle func(r *http.Request) (any, error)) http.Handler {
+		h := s.endpoint(name, handle)
+		if s.cfg.Chaos != nil {
+			h = s.cfg.Chaos.Middleware(h)
+		}
+		return h
+	}
 	mux := http.NewServeMux()
-	mux.Handle("/v1/embed", s.endpoint(epEmbed, s.handleEmbed))
-	mux.Handle("/v1/detect", s.endpoint(epDetect, s.handleDetect))
-	mux.Handle("/v1/verify", s.endpoint(epVerify, s.handleVerify))
+	mux.Handle("/v1/embed", api(epEmbed, s.handleEmbed))
+	mux.Handle("/v1/detect", api(epDetect, s.handleDetect))
+	mux.Handle("/v1/verify", api(epVerify, s.handleVerify))
 	mux.HandleFunc("/v1/stats", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, s.snapshot())
 	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		if s.draining.Load() {
+			w.Header().Set("Retry-After", s.retryAfterSeconds())
 			http.Error(w, "draining", http.StatusServiceUnavailable)
 			return
 		}

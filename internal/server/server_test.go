@@ -305,13 +305,22 @@ func TestDaemonBackpressureAndDrain(t *testing.T) {
 		time.Sleep(time.Millisecond)
 	}
 
-	// New work during the drain: rejected with 503.
+	// New work during the drain: rejected with 503 and the same
+	// Retry-After hint as the 429 path, so a well-behaved client backs
+	// off instead of hammering a dying instance.
 	resp, data = postJSON(t, ts.Client(), ts.URL+"/v1/detect", body)
 	if resp.StatusCode != http.StatusServiceUnavailable {
 		t.Fatalf("during drain: status %d: %s", resp.StatusCode, data)
 	}
-	if hc, _ := ts.Client().Get(ts.URL + "/healthz"); hc.StatusCode != http.StatusServiceUnavailable {
+	if ra := resp.Header.Get("Retry-After"); ra != "2" {
+		t.Fatalf("drain 503 Retry-After = %q, want \"2\"", ra)
+	}
+	hc, _ := ts.Client().Get(ts.URL + "/healthz")
+	if hc.StatusCode != http.StatusServiceUnavailable {
 		t.Fatalf("healthz while draining = %d", hc.StatusCode)
+	}
+	if ra := hc.Header.Get("Retry-After"); ra != "2" {
+		t.Fatalf("healthz 503 Retry-After = %q, want \"2\"", ra)
 	}
 
 	// Release the hook: A and B must complete normally and drain returns.

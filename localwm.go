@@ -33,6 +33,7 @@ import (
 	"io"
 
 	"localwm/internal/cdfg"
+	"localwm/internal/chaos"
 	"localwm/internal/designs"
 	"localwm/internal/engine"
 	"localwm/internal/prng"
@@ -41,6 +42,7 @@ import (
 	"localwm/internal/server"
 	"localwm/internal/tmatch"
 	"localwm/internal/tmwm"
+	"localwm/lwmclient"
 )
 
 // Core modeling types.
@@ -200,6 +202,43 @@ type (
 
 // NewService builds a watermarking service and starts its worker pools.
 func NewService(cfg ServiceConfig) *Service { return server.New(cfg) }
+
+// Resilient-client surface: the HTTP client behind `lwm -remote`,
+// embeddable in a downstream process that talks to a lwmd daemon.
+type (
+	// ClientConfig parameterizes the resilient service client: deadlines,
+	// retry backoff, circuit breaker, and batch chunking. Only BaseURL is
+	// required.
+	ClientConfig = lwmclient.Config
+	// Client is the resilient lwmd client: capped exponential backoff
+	// with full jitter, Retry-After honoring, a rolling-window circuit
+	// breaker, and chunked batch detection with partial results.
+	Client = lwmclient.Client
+	// ClientBreakerConfig tunes the client's circuit breaker.
+	ClientBreakerConfig = lwmclient.BreakerConfig
+	// ClientCounters is a snapshot of a client's attempt, retry, and
+	// breaker activity.
+	ClientCounters = lwmclient.Counters
+)
+
+// NewClient builds a resilient client for the lwmd service at
+// cfg.BaseURL.
+func NewClient(cfg ClientConfig) (*Client, error) { return lwmclient.New(cfg) }
+
+// Fault-injection surface: the deterministic chaos layer behind
+// `lwmd -chaos`, for exercising resilience in tests (never production).
+type (
+	// ChaosConfig sets seeded per-request fault probabilities: latency,
+	// connection resets, substituted 500s, truncated bodies.
+	ChaosConfig = chaos.Config
+	// ChaosInjector is HTTP middleware injecting the configured faults;
+	// assign one to ServiceConfig.Chaos to fault a Service's /v1 API.
+	ChaosInjector = chaos.Injector
+)
+
+// NewChaosInjector builds a deterministic fault injector; a given seed
+// and request order replays the same fault sequence.
+func NewChaosInjector(cfg ChaosConfig) *ChaosInjector { return chaos.New(cfg) }
 
 // EngineStats returns the process-wide parallel-engine counters.
 func EngineStats() EngineCounters { return engine.Stats() }

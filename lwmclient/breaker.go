@@ -1,0 +1,204 @@
+package lwmclient
+
+import (
+	"errors"
+	"sync"
+	"time"
+)
+
+// ErrBreakerOpen is returned (wrapped) when the circuit breaker is open
+// and the client refuses to send a request. The retry loop waits out the
+// open interval instead of surfacing this to callers unless the overall
+// call deadline expires first.
+var ErrBreakerOpen = errors.New("lwmclient: circuit breaker open")
+
+// BreakerConfig parameterizes the client's rolling-window circuit
+// breaker. The zero value takes the documented defaults.
+type BreakerConfig struct {
+	// Window is the rolling outcome window size. Default 16.
+	Window int
+	// FailureFraction opens the breaker when at least this fraction of a
+	// *full* window failed. Default 0.5.
+	FailureFraction float64
+	// ConsecutiveFailures opens the breaker after this many consecutive
+	// failures regardless of window state. Default 5.
+	ConsecutiveFailures int
+	// OpenTimeout is how long the breaker stays open before allowing a
+	// half-open probe. Default 1s.
+	OpenTimeout time.Duration
+	// HalfOpenSuccesses is how many consecutive probe successes close
+	// the breaker again. Default 2.
+	HalfOpenSuccesses int
+}
+
+func (c BreakerConfig) withDefaults() BreakerConfig {
+	if c.Window <= 0 {
+		c.Window = 16
+	}
+	if c.FailureFraction <= 0 || c.FailureFraction > 1 {
+		c.FailureFraction = 0.5
+	}
+	if c.ConsecutiveFailures <= 0 {
+		c.ConsecutiveFailures = 5
+	}
+	if c.OpenTimeout <= 0 {
+		c.OpenTimeout = time.Second
+	}
+	if c.HalfOpenSuccesses <= 0 {
+		c.HalfOpenSuccesses = 2
+	}
+	return c
+}
+
+// Breaker states.
+const (
+	stateClosed = iota
+	stateOpen
+	stateHalfOpen
+)
+
+// breaker is a rolling-window circuit breaker: closed until either N
+// consecutive failures or a failure fraction over a full window, then
+// open for OpenTimeout, then half-open admitting one probe at a time
+// until HalfOpenSuccesses probes in a row succeed (back to closed) or
+// one fails (back to open).
+type breaker struct {
+	cfg BreakerConfig
+
+	mu            sync.Mutex
+	state         int
+	window        []bool // ring of outcomes; true = failure
+	next, filled  int
+	failures      int // failures currently in the window
+	consecutive   int
+	openedAt      time.Time
+	probeInFlight bool
+	probeOK       int
+	opens, closes uint64
+}
+
+func newBreaker(cfg BreakerConfig) *breaker {
+	cfg = cfg.withDefaults()
+	return &breaker{cfg: cfg, window: make([]bool, cfg.Window)}
+}
+
+// allow reports whether a request may be sent now. When it may not, it
+// returns ErrBreakerOpen and how long to wait before asking again.
+func (b *breaker) allow(now time.Time) (time.Duration, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case stateClosed:
+		return 0, nil
+	case stateOpen:
+		since := now.Sub(b.openedAt)
+		if since < b.cfg.OpenTimeout {
+			return b.cfg.OpenTimeout - since, ErrBreakerOpen
+		}
+		// Open interval served: admit exactly one half-open probe.
+		b.state = stateHalfOpen
+		b.probeOK = 0
+		b.probeInFlight = true
+		return 0, nil
+	default: // stateHalfOpen
+		if b.probeInFlight {
+			wait := b.cfg.OpenTimeout / 4
+			if wait < time.Millisecond {
+				wait = time.Millisecond
+			}
+			return wait, ErrBreakerOpen
+		}
+		b.probeInFlight = true
+		return 0, nil
+	}
+}
+
+// record feeds one request outcome back. Callers report success=false
+// only for transient service failures; a definite answer (2xx, or a 4xx
+// the service produced deliberately) counts as success for breaker
+// purposes even when the call itself errors.
+func (b *breaker) record(success bool, now time.Time) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case stateHalfOpen:
+		b.probeInFlight = false
+		if !success {
+			b.toOpen(now)
+			return
+		}
+		b.probeOK++
+		if b.probeOK >= b.cfg.HalfOpenSuccesses {
+			b.toClosed()
+		}
+	case stateClosed:
+		if b.filled == len(b.window) {
+			if b.window[b.next] {
+				b.failures--
+			}
+		} else {
+			b.filled++
+		}
+		b.window[b.next] = !success
+		if !success {
+			b.failures++
+			b.consecutive++
+		} else {
+			b.consecutive = 0
+		}
+		b.next = (b.next + 1) % len(b.window)
+		if b.consecutive >= b.cfg.ConsecutiveFailures ||
+			(b.filled == len(b.window) &&
+				float64(b.failures) >= b.cfg.FailureFraction*float64(len(b.window))) {
+			b.toOpen(now)
+		}
+	default:
+		// stateOpen: a straggler finishing after the trip; no new signal.
+	}
+}
+
+// toOpen trips the breaker, forgetting window history so the next closed
+// period starts clean. Caller holds mu.
+func (b *breaker) toOpen(now time.Time) {
+	b.state = stateOpen
+	b.openedAt = now
+	b.opens++
+	b.resetWindow()
+}
+
+// toClosed closes the breaker after successful probes. Caller holds mu.
+func (b *breaker) toClosed() {
+	b.state = stateClosed
+	b.closes++
+	b.probeInFlight = false
+	b.resetWindow()
+}
+
+func (b *breaker) resetWindow() {
+	for i := range b.window {
+		b.window[i] = false
+	}
+	b.next, b.filled, b.failures, b.consecutive = 0, 0, 0, 0
+}
+
+// State reports the breaker state as a string: "closed", "open", or
+// "half-open".
+func (b *breaker) State() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case stateOpen:
+		return "open"
+	case stateHalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
+}
+
+// stats returns cumulative open/close transition counts.
+func (b *breaker) stats() (opens, closes uint64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.opens, b.closes
+}

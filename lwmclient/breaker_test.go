@@ -1,0 +1,145 @@
+package lwmclient
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func tick(t0 time.Time, d time.Duration) time.Time { return t0.Add(d) }
+
+// TestBreakerConsecutiveFailuresOpen: N consecutive failures trip the
+// breaker even with a mostly-healthy window.
+func TestBreakerConsecutiveFailuresOpen(t *testing.T) {
+	b := newBreaker(BreakerConfig{Window: 32, ConsecutiveFailures: 3, OpenTimeout: time.Second})
+	now := time.Unix(0, 0)
+	for i := 0; i < 10; i++ {
+		if _, err := b.allow(now); err != nil {
+			t.Fatalf("healthy allow %d: %v", i, err)
+		}
+		b.record(true, now)
+	}
+	for i := 0; i < 3; i++ {
+		if b.State() != "closed" {
+			t.Fatalf("opened after only %d consecutive failures", i)
+		}
+		if _, err := b.allow(now); err != nil {
+			t.Fatal(err)
+		}
+		b.record(false, now)
+	}
+	if b.State() != "open" {
+		t.Fatalf("state %s after 3 consecutive failures, want open", b.State())
+	}
+	if _, err := b.allow(now); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("open breaker allowed a send: %v", err)
+	}
+	if opens, _ := b.stats(); opens != 1 {
+		t.Fatalf("opens = %d", opens)
+	}
+}
+
+// TestBreakerFractionalOpen: half a full window failing trips the
+// breaker even when failures never run consecutively.
+func TestBreakerFractionalOpen(t *testing.T) {
+	b := newBreaker(BreakerConfig{Window: 8, FailureFraction: 0.5,
+		ConsecutiveFailures: 100, OpenTimeout: time.Second})
+	now := time.Unix(0, 0)
+	// Alternate success/failure: 4 failures in a full window of 8.
+	for i := 0; i < 8; i++ {
+		if _, err := b.allow(now); err != nil {
+			t.Fatalf("allow %d while %s: %v", i, b.State(), err)
+		}
+		b.record(i%2 == 0, now)
+	}
+	if b.State() != "open" {
+		t.Fatalf("state %s after 4/8 windowed failures, want open", b.State())
+	}
+}
+
+// TestBreakerHalfOpenProbeRecovery: open waits out OpenTimeout, admits
+// one probe at a time, and closes after HalfOpenSuccesses successes.
+func TestBreakerHalfOpenProbeRecovery(t *testing.T) {
+	b := newBreaker(BreakerConfig{Window: 4, ConsecutiveFailures: 1,
+		OpenTimeout: time.Second, HalfOpenSuccesses: 2})
+	t0 := time.Unix(0, 0)
+	b.allow(t0)
+	b.record(false, t0) // trips immediately
+	if b.State() != "open" {
+		t.Fatalf("state %s, want open", b.State())
+	}
+	if wait, err := b.allow(tick(t0, 300*time.Millisecond)); !errors.Is(err, ErrBreakerOpen) || wait != 700*time.Millisecond {
+		t.Fatalf("open allow: wait %v err %v", wait, err)
+	}
+	// OpenTimeout served: exactly one probe admitted.
+	if _, err := b.allow(tick(t0, time.Second)); err != nil {
+		t.Fatalf("probe not admitted: %v", err)
+	}
+	if b.State() != "half-open" {
+		t.Fatalf("state %s, want half-open", b.State())
+	}
+	if _, err := b.allow(tick(t0, time.Second)); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatal("second concurrent probe admitted")
+	}
+	b.record(true, tick(t0, time.Second))
+	if b.State() != "half-open" {
+		t.Fatal("closed after 1 of 2 required probe successes")
+	}
+	if _, err := b.allow(tick(t0, time.Second)); err != nil {
+		t.Fatalf("second probe not admitted: %v", err)
+	}
+	b.record(true, tick(t0, time.Second))
+	if b.State() != "closed" {
+		t.Fatalf("state %s after probe successes, want closed", b.State())
+	}
+	opens, closes := b.stats()
+	if opens != 1 || closes != 1 {
+		t.Fatalf("opens %d closes %d", opens, closes)
+	}
+}
+
+// TestBreakerProbeFailureReopens: a failed half-open probe goes straight
+// back to open with a fresh open interval.
+func TestBreakerProbeFailureReopens(t *testing.T) {
+	b := newBreaker(BreakerConfig{ConsecutiveFailures: 1, OpenTimeout: time.Second})
+	t0 := time.Unix(0, 0)
+	b.allow(t0)
+	b.record(false, t0)
+	if _, err := b.allow(tick(t0, time.Second)); err != nil {
+		t.Fatalf("probe: %v", err)
+	}
+	b.record(false, tick(t0, time.Second))
+	if b.State() != "open" {
+		t.Fatalf("state %s after failed probe, want open", b.State())
+	}
+	// The open interval restarts from the failed probe.
+	if _, err := b.allow(tick(t0, 1500*time.Millisecond)); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatal("reopened breaker admitted a send before its fresh interval elapsed")
+	}
+	if opens, _ := b.stats(); opens != 2 {
+		t.Fatalf("opens = %d, want 2", opens)
+	}
+}
+
+// TestBreakerWindowForgets: after the breaker recovers, old failures do
+// not haunt the fresh window.
+func TestBreakerWindowForgets(t *testing.T) {
+	b := newBreaker(BreakerConfig{Window: 4, FailureFraction: 0.5,
+		ConsecutiveFailures: 2, OpenTimeout: time.Second, HalfOpenSuccesses: 1})
+	t0 := time.Unix(0, 0)
+	b.allow(t0)
+	b.record(false, t0)
+	b.allow(t0)
+	b.record(false, t0) // trip
+	b.allow(tick(t0, time.Second))
+	b.record(true, tick(t0, time.Second)) // probe closes it
+	if b.State() != "closed" {
+		t.Fatalf("state %s, want closed", b.State())
+	}
+	// One failure now must not re-trip (consecutive counter was reset).
+	b.allow(tick(t0, 2*time.Second))
+	b.record(false, tick(t0, 2*time.Second))
+	if b.State() != "closed" {
+		t.Fatal("stale failure history re-tripped a recovered breaker")
+	}
+}

@@ -1,0 +1,392 @@
+// Package lwmclient is the resilient HTTP client for the lwmd
+// watermarking service (cmd/lwmd): /v1/embed, /v1/detect, and /v1/verify
+// with the retry discipline the daemon's backpressure contract asks of
+// well-behaved callers.
+//
+// The resilience model:
+//
+//   - Deadlines. Every attempt carries Config.AttemptTimeout and the
+//     whole call (all retries included) Config.CallTimeout, on top of
+//     whatever deadline the caller's context already carries.
+//   - Retry with capped exponential backoff and full jitter. Transport
+//     failures (resets, truncated bodies, timeouts) and transient
+//     statuses (429, 500, 502, 503, 504) are retried up to
+//     Config.MaxAttempts; a Retry-After header on 429/503 raises the
+//     backoff to at least the server's hint. Definite answers (2xx,
+//     4xx) are never retried.
+//   - Circuit breaker. A rolling-window breaker opens after N
+//     consecutive or a fraction of windowed failures, fails fast while
+//     open, and re-closes through half-open probes. While it is open the
+//     retry loop waits (bounded by the call deadline) rather than
+//     hammering a struggling daemon.
+//   - Chunked batch detection. Detect splits suspects into chunks with
+//     independent per-chunk retry and surfaces partial results — the
+//     systems analogue of the paper's locally detectable watermarks,
+//     where losing one piece never invalidates the rest.
+//
+// All results are byte-identical to the sequential engine path: the
+// service guarantees determinism for any worker count, and the client
+// adds transport resilience without touching payloads.
+package lwmclient
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// Config parameterizes a Client. Only BaseURL is required; every zero
+// field takes the documented default.
+type Config struct {
+	// BaseURL locates the service, e.g. "http://localhost:8077" (a bare
+	// host:port gets "http://" prepended).
+	BaseURL string
+	// HTTPClient is the underlying transport. Default: a plain
+	// &http.Client{} (per-attempt deadlines come from AttemptTimeout).
+	HTTPClient *http.Client
+	// MaxAttempts caps HTTP attempts per call — per chunk for batch
+	// detection. Default 4.
+	MaxAttempts int
+	// BaseBackoff and MaxBackoff bound the exponential backoff between
+	// retries: the k-th retry waits a uniformly jittered duration in
+	// (0, min(MaxBackoff, BaseBackoff·2^(k-1))], raised to the server's
+	// Retry-After hint when one is present. Defaults 50ms and 2s.
+	BaseBackoff time.Duration
+	MaxBackoff  time.Duration
+	// AttemptTimeout is the per-attempt deadline. Default 15s.
+	AttemptTimeout time.Duration
+	// CallTimeout is the overall per-call deadline, retries and breaker
+	// waits included. Default 2m.
+	CallTimeout time.Duration
+	// ChunkSize is how many suspects ride in one detect request.
+	// Default 8.
+	ChunkSize int
+	// Breaker parameterizes the circuit breaker.
+	Breaker BreakerConfig
+
+	// jitter is the backoff randomness source (tests pin it).
+	jitter func() float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.HTTPClient == nil {
+		c.HTTPClient = &http.Client{}
+	}
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = 4
+	}
+	if c.BaseBackoff <= 0 {
+		c.BaseBackoff = 50 * time.Millisecond
+	}
+	if c.MaxBackoff <= 0 {
+		c.MaxBackoff = 2 * time.Second
+	}
+	if c.AttemptTimeout <= 0 {
+		c.AttemptTimeout = 15 * time.Second
+	}
+	if c.CallTimeout <= 0 {
+		c.CallTimeout = 2 * time.Minute
+	}
+	if c.ChunkSize <= 0 {
+		c.ChunkSize = 8
+	}
+	if c.jitter == nil {
+		c.jitter = rand.Float64
+	}
+	return c
+}
+
+// HTTPError is a non-2xx answer from the service.
+type HTTPError struct {
+	Status int
+	Msg    string
+	// RetryAfter is the server's backoff hint, when it sent one.
+	RetryAfter time.Duration
+}
+
+func (e *HTTPError) Error() string {
+	return fmt.Sprintf("lwmclient: server answered %d: %s", e.Status, e.Msg)
+}
+
+// Retryable reports whether the status is transient: worth retrying.
+func (e *HTTPError) Retryable() bool {
+	switch e.Status {
+	case http.StatusTooManyRequests, http.StatusInternalServerError,
+		http.StatusBadGateway, http.StatusServiceUnavailable,
+		http.StatusGatewayTimeout:
+		return true
+	}
+	return false
+}
+
+// transportError marks a failure below HTTP: connection refused/reset,
+// truncated body, attempt timeout. Always retryable.
+type transportError struct{ err error }
+
+func (e *transportError) Error() string { return "lwmclient: transport: " + e.err.Error() }
+func (e *transportError) Unwrap() error { return e.err }
+
+// isTransient reports whether err is worth retrying: transport failures
+// and retryable HTTP statuses. Context errors and definite service
+// answers are not.
+func isTransient(err error) bool {
+	var he *HTTPError
+	if errors.As(err, &he) {
+		return he.Retryable()
+	}
+	var te *transportError
+	return errors.As(err, &te)
+}
+
+// Counters is a snapshot of a Client's cumulative activity.
+type Counters struct {
+	Attempts         uint64 // HTTP requests actually sent
+	Retries          uint64 // attempts beyond each call's first
+	BreakerFastFails uint64 // sends refused by an open breaker
+	BreakerOpens     uint64 // closed/half-open → open transitions
+	BreakerCloses    uint64 // half-open → closed transitions
+}
+
+// Client is a resilient lwmd client. Safe for concurrent use.
+type Client struct {
+	cfg  Config
+	base string
+	br   *breaker
+
+	attempts  atomic.Uint64
+	retries   atomic.Uint64
+	fastFails atomic.Uint64
+}
+
+// New builds a Client for the service at cfg.BaseURL.
+func New(cfg Config) (*Client, error) {
+	if cfg.BaseURL == "" {
+		return nil, errors.New("lwmclient: Config.BaseURL required")
+	}
+	cfg = cfg.withDefaults()
+	base := strings.TrimRight(cfg.BaseURL, "/")
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	return &Client{cfg: cfg, base: base, br: newBreaker(cfg.Breaker)}, nil
+}
+
+// Counters returns the client's cumulative attempt and breaker counters.
+func (c *Client) Counters() Counters {
+	opens, closes := c.br.stats()
+	return Counters{
+		Attempts:         c.attempts.Load(),
+		Retries:          c.retries.Load(),
+		BreakerFastFails: c.fastFails.Load(),
+		BreakerOpens:     opens,
+		BreakerCloses:    closes,
+	}
+}
+
+// BreakerState reports the circuit breaker state: "closed", "open", or
+// "half-open".
+func (c *Client) BreakerState() string { return c.br.State() }
+
+// Embed embeds scheduling watermarks on the service.
+func (c *Client) Embed(ctx context.Context, req EmbedRequest) (*EmbedResponse, error) {
+	var out EmbedResponse
+	if err := c.call(ctx, "/v1/embed", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Verify adjudicates an ownership claim on the service.
+func (c *Client) Verify(ctx context.Context, req VerifyRequest) (*VerifyResponse, error) {
+	var out VerifyResponse
+	if err := c.call(ctx, "/v1/verify", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Detect batch-scans suspects×records on the service, chunking suspects
+// so each chunk retries independently. It returns a (possibly partial)
+// result whenever at least the chunking itself was well-formed; inspect
+// DetectResult.Failed (or Complete) for chunks that exhausted their
+// attempts. Rows that did arrive are byte-identical to the sequential
+// engine path regardless of chunking, retries, or injected faults.
+func (c *Client) Detect(ctx context.Context, req DetectRequest) (*DetectResult, error) {
+	if len(req.Suspects) == 0 {
+		return nil, errors.New("lwmclient: detect: at least one suspect required")
+	}
+	if len(req.Records) == 0 {
+		return nil, errors.New("lwmclient: detect: at least one record required")
+	}
+	chunk := req.ChunkSize
+	if chunk <= 0 {
+		chunk = c.cfg.ChunkSize
+	}
+	res := &DetectResult{Results: make([][]DetectOutcome, len(req.Suspects))}
+	for start := 0; start < len(req.Suspects); start += chunk {
+		end := start + chunk
+		if end > len(req.Suspects) {
+			end = len(req.Suspects)
+		}
+		wire := detectWire{Suspects: req.Suspects[start:end], Records: req.Records, Workers: req.Workers}
+		var out detectResponseWire
+		if err := c.call(ctx, "/v1/detect", wire, &out); err != nil {
+			res.Failed = append(res.Failed, ChunkError{Start: start, End: end, Err: err})
+			continue
+		}
+		if len(out.Results) != end-start {
+			res.Failed = append(res.Failed, ChunkError{Start: start, End: end,
+				Err: fmt.Errorf("lwmclient: server returned %d rows for %d suspects", len(out.Results), end-start)})
+			continue
+		}
+		copy(res.Results[start:end], out.Results)
+		res.Detected += out.Detected
+	}
+	return res, nil
+}
+
+// call runs one resilient request: marshal, then attempt with breaker
+// gating, per-attempt deadlines, and jittered backoff until success, a
+// definite (non-transient) answer, MaxAttempts, or the call deadline.
+func (c *Client) call(ctx context.Context, path string, in, out any) error {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return fmt.Errorf("lwmclient: encoding request: %w", err)
+	}
+	ctx, cancel := context.WithTimeout(ctx, c.cfg.CallTimeout)
+	defer cancel()
+
+	attempts := 0
+	var lastErr error
+	for {
+		// Breaker gate. Waiting here consumes no attempt: nothing was
+		// sent. The call deadline bounds the total wait.
+		if wait, berr := c.br.allow(time.Now()); berr != nil {
+			c.fastFails.Add(1)
+			if lastErr == nil {
+				lastErr = berr
+			}
+			if serr := sleepCtx(ctx, wait); serr != nil {
+				return fmt.Errorf("lwmclient: %s: %w (last error: %v)", path, serr, lastErr)
+			}
+			continue
+		}
+
+		attempts++
+		c.attempts.Add(1)
+		if attempts > 1 {
+			c.retries.Add(1)
+		}
+		err := c.attempt(ctx, path, body, out)
+		transient := err != nil && isTransient(err)
+		// Breaker feedback: only transient failures indict the service;
+		// a definite 4xx means it is healthy and answered.
+		c.br.record(!transient, time.Now())
+		if err == nil {
+			return nil
+		}
+		if !transient {
+			return err
+		}
+		lastErr = err
+		if attempts >= c.cfg.MaxAttempts {
+			return fmt.Errorf("lwmclient: %s failed after %d attempts: %w", path, attempts, lastErr)
+		}
+		delay := c.backoff(attempts)
+		var he *HTTPError
+		if errors.As(err, &he) && he.RetryAfter > delay {
+			delay = he.RetryAfter
+		}
+		if serr := sleepCtx(ctx, delay); serr != nil {
+			return fmt.Errorf("lwmclient: %s: %w (last error: %v)", path, serr, lastErr)
+		}
+	}
+}
+
+// attempt sends one HTTP request under the per-attempt deadline and
+// decodes the answer into out.
+func (c *Client) attempt(ctx context.Context, path string, body []byte, out any) error {
+	actx, cancel := context.WithTimeout(ctx, c.cfg.AttemptTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(actx, http.MethodPost, c.base+path, bytes.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("lwmclient: building request: %w", err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.cfg.HTTPClient.Do(req)
+	if err != nil {
+		if ctx.Err() != nil {
+			return ctx.Err() // overall deadline/cancel: not retryable
+		}
+		return &transportError{err}
+	}
+	defer resp.Body.Close()
+	data, rerr := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		he := &HTTPError{Status: resp.StatusCode, Msg: strings.TrimSpace(string(data))}
+		var eb errorBody
+		if json.Unmarshal(data, &eb) == nil && eb.Error != "" {
+			he.Msg = eb.Error
+		}
+		if s := resp.Header.Get("Retry-After"); s != "" {
+			if secs, perr := strconv.Atoi(s); perr == nil && secs >= 0 {
+				he.RetryAfter = time.Duration(secs) * time.Second
+			}
+		}
+		return he
+	}
+	if rerr != nil {
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		return &transportError{fmt.Errorf("reading response: %w", rerr)}
+	}
+	if err := json.Unmarshal(data, out); err != nil {
+		// A syntactically broken 200 body is a transport-level fault
+		// (e.g. truncation the length checks missed), not an answer.
+		return &transportError{fmt.Errorf("decoding response: %w", err)}
+	}
+	return nil
+}
+
+// backoff returns the full-jitter delay before retry number `attempt`
+// (1-based count of attempts already made).
+func (c *Client) backoff(attempt int) time.Duration {
+	ceil := c.cfg.MaxBackoff
+	// BaseBackoff·2^(attempt-1), saturating at MaxBackoff.
+	if shift := attempt - 1; shift < 32 {
+		if d := c.cfg.BaseBackoff << shift; d > 0 && d < ceil {
+			ceil = d
+		}
+	}
+	d := time.Duration(c.cfg.jitter() * float64(ceil))
+	if d <= 0 {
+		d = time.Millisecond
+	}
+	return d
+}
+
+// sleepCtx waits d or until ctx is done, returning ctx's error in the
+// latter case.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

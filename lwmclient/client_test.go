@@ -1,0 +1,345 @@
+package lwmclient
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// fastConfig returns a Config tuned for tests: tiny backoffs, pinned
+// jitter, and a breaker that effectively never trips unless the test
+// overrides it.
+func fastConfig(url string) Config {
+	return Config{
+		BaseURL:     url,
+		MaxAttempts: 4,
+		BaseBackoff: time.Millisecond,
+		MaxBackoff:  4 * time.Millisecond,
+		CallTimeout: 10 * time.Second,
+		Breaker:     BreakerConfig{ConsecutiveFailures: 1 << 20, FailureFraction: 1},
+		jitter:      func() float64 { return 0.5 },
+	}
+}
+
+func newTestClient(t *testing.T, cfg Config) *Client {
+	t.Helper()
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// fakeVerify scripts a /v1/verify endpoint: fail(n) decides the fate of
+// the n-th request (1-based).
+func fakeVerify(t *testing.T, fate func(n int, w http.ResponseWriter) bool) (*httptest.Server, *atomic.Int64) {
+	t.Helper()
+	var hits atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		n := int(hits.Add(1))
+		if fate != nil && fate(n, w) {
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(VerifyResponse{Verified: true, Satisfied: 7, Total: 8, Pc: "10^-9.1"})
+	}))
+	t.Cleanup(ts.Close)
+	return ts, &hits
+}
+
+// TestClientRetriesTransient500: two injected 500s, then success; the
+// call succeeds with exactly three attempts.
+func TestClientRetriesTransient500(t *testing.T) {
+	ts, hits := fakeVerify(t, func(n int, w http.ResponseWriter) bool {
+		if n <= 2 {
+			http.Error(w, "scripted failure", http.StatusInternalServerError)
+			return true
+		}
+		return false
+	})
+	c := newTestClient(t, fastConfig(ts.URL))
+	resp, err := c.Verify(context.Background(), VerifyRequest{})
+	if err != nil || !resp.Verified {
+		t.Fatalf("verify: %v, %+v", err, resp)
+	}
+	if got := hits.Load(); got != 3 {
+		t.Fatalf("server saw %d requests, want 3", got)
+	}
+	cs := c.Counters()
+	if cs.Attempts != 3 || cs.Retries != 2 {
+		t.Fatalf("counters %+v", cs)
+	}
+}
+
+// TestClientNoRetryOnDefiniteAnswer: a 400 is the service's answer, not
+// a fault — returned immediately, never retried.
+func TestClientNoRetryOnDefiniteAnswer(t *testing.T) {
+	ts, hits := fakeVerify(t, func(n int, w http.ResponseWriter) bool {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusBadRequest)
+		json.NewEncoder(w).Encode(map[string]any{"error": "signature: required", "status": 400})
+		return true
+	})
+	c := newTestClient(t, fastConfig(ts.URL))
+	_, err := c.Verify(context.Background(), VerifyRequest{})
+	var he *HTTPError
+	if !errors.As(err, &he) || he.Status != http.StatusBadRequest {
+		t.Fatalf("err = %v, want HTTPError 400", err)
+	}
+	if he.Msg != "signature: required" {
+		t.Fatalf("msg = %q", he.Msg)
+	}
+	if hits.Load() != 1 {
+		t.Fatalf("400 was retried: %d requests", hits.Load())
+	}
+}
+
+// TestClientAttemptsCapped: a service that never recovers costs exactly
+// MaxAttempts requests and reports them.
+func TestClientAttemptsCapped(t *testing.T) {
+	ts, hits := fakeVerify(t, func(n int, w http.ResponseWriter) bool {
+		http.Error(w, "down", http.StatusServiceUnavailable)
+		return true
+	})
+	cfg := fastConfig(ts.URL)
+	cfg.MaxAttempts = 3
+	c := newTestClient(t, cfg)
+	_, err := c.Verify(context.Background(), VerifyRequest{})
+	if err == nil || !strings.Contains(err.Error(), "after 3 attempts") {
+		t.Fatalf("err = %v", err)
+	}
+	if hits.Load() != 3 {
+		t.Fatalf("server saw %d requests, want 3", hits.Load())
+	}
+}
+
+// TestClientHonorsRetryAfter: a 429 carrying Retry-After: 1 delays the
+// retry by at least the server's hint, far beyond the 4ms backoff cap.
+func TestClientHonorsRetryAfter(t *testing.T) {
+	ts, _ := fakeVerify(t, func(n int, w http.ResponseWriter) bool {
+		if n == 1 {
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, "queue full", http.StatusTooManyRequests)
+			return true
+		}
+		return false
+	})
+	c := newTestClient(t, fastConfig(ts.URL))
+	start := time.Now()
+	if _, err := c.Verify(context.Background(), VerifyRequest{}); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 900*time.Millisecond {
+		t.Fatalf("retried after %v, ignoring Retry-After: 1", elapsed)
+	}
+}
+
+// TestClientRetryAfterParsing: the header reaches HTTPError.RetryAfter.
+func TestClientRetryAfterParsing(t *testing.T) {
+	ts, _ := fakeVerify(t, func(n int, w http.ResponseWriter) bool {
+		w.Header().Set("Retry-After", "7")
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return true
+	})
+	cfg := fastConfig(ts.URL)
+	cfg.MaxAttempts = 1
+	c := newTestClient(t, cfg)
+	_, err := c.Verify(context.Background(), VerifyRequest{})
+	var he *HTTPError
+	if !errors.As(err, &he) {
+		t.Fatalf("err = %v", err)
+	}
+	if he.Status != http.StatusServiceUnavailable || he.RetryAfter != 7*time.Second {
+		t.Fatalf("HTTPError %+v", he)
+	}
+}
+
+// TestClientTruncatedBodyRetried: a 200 whose body dies mid-read is a
+// transport fault; the retry converges on the real answer.
+func TestClientTruncatedBodyRetried(t *testing.T) {
+	ts, hits := fakeVerify(t, func(n int, w http.ResponseWriter) bool {
+		if n == 1 {
+			full, _ := json.Marshal(VerifyResponse{Verified: true})
+			w.Header().Set("Content-Length", strconv.Itoa(len(full)))
+			w.WriteHeader(http.StatusOK)
+			w.Write(full[:len(full)/2])
+			return true
+		}
+		return false
+	})
+	c := newTestClient(t, fastConfig(ts.URL))
+	resp, err := c.Verify(context.Background(), VerifyRequest{})
+	if err != nil || !resp.Verified {
+		t.Fatalf("verify after truncation: %v, %+v", err, resp)
+	}
+	if hits.Load() != 2 {
+		t.Fatalf("server saw %d requests, want 2", hits.Load())
+	}
+}
+
+// TestClientBreakerTripsAndRecovers: repeated failures open the breaker
+// (fail-fast observed), a healthy service closes it through the
+// half-open probe, and both transitions are counted.
+func TestClientBreakerTripsAndRecovers(t *testing.T) {
+	var healthy atomic.Bool
+	ts, _ := fakeVerify(t, func(n int, w http.ResponseWriter) bool {
+		if !healthy.Load() {
+			http.Error(w, "down", http.StatusInternalServerError)
+			return true
+		}
+		return false
+	})
+	cfg := fastConfig(ts.URL)
+	cfg.MaxAttempts = 2
+	cfg.Breaker = BreakerConfig{ConsecutiveFailures: 2, OpenTimeout: 20 * time.Millisecond, HalfOpenSuccesses: 1}
+	c := newTestClient(t, cfg)
+
+	if _, err := c.Verify(context.Background(), VerifyRequest{}); err == nil {
+		t.Fatal("sick service answered")
+	}
+	if c.BreakerState() != "open" {
+		t.Fatalf("breaker %s after consecutive failures, want open", c.BreakerState())
+	}
+
+	// While open, a short-deadline call fails fast without a request.
+	before := c.Counters().Attempts
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	defer cancel()
+	_, err := c.Verify(ctx, VerifyRequest{})
+	if err == nil || !strings.Contains(err.Error(), "circuit breaker open") {
+		t.Fatalf("open-breaker call: %v", err)
+	}
+	if got := c.Counters(); got.Attempts != before || got.BreakerFastFails == 0 {
+		t.Fatalf("open breaker still sent requests: %+v", got)
+	}
+
+	// Service recovers; the half-open probe closes the breaker.
+	healthy.Store(true)
+	time.Sleep(25 * time.Millisecond)
+	if resp, err := c.Verify(context.Background(), VerifyRequest{}); err != nil || !resp.Verified {
+		t.Fatalf("post-recovery verify: %v", err)
+	}
+	if c.BreakerState() != "closed" {
+		t.Fatalf("breaker %s after recovery, want closed", c.BreakerState())
+	}
+	cs := c.Counters()
+	if cs.BreakerOpens < 1 || cs.BreakerCloses < 1 {
+		t.Fatalf("transition counters %+v", cs)
+	}
+}
+
+// TestClientDetectChunkingPartialResults: one poisoned chunk exhausts
+// its attempts; every other chunk's rows arrive intact and the failure
+// is reported per chunk, not per batch.
+func TestClientDetectChunkingPartialResults(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		var req detectWire
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			t.Errorf("decode: %v", err)
+		}
+		for _, sp := range req.Suspects {
+			if strings.Contains(sp.Design, "poison") {
+				http.Error(w, "injected", http.StatusInternalServerError)
+				return
+			}
+		}
+		out := detectResponseWire{Results: make([][]DetectOutcome, len(req.Suspects))}
+		for i, sp := range req.Suspects {
+			out.Results[i] = []DetectOutcome{{Found: true, Root: sp.Design, Total: 4, Satisfied: 4, Pc: "10^-3.0"}}
+			out.Detected++
+		}
+		json.NewEncoder(w).Encode(out)
+	}))
+	defer ts.Close()
+	cfg := fastConfig(ts.URL)
+	cfg.MaxAttempts = 2
+	c := newTestClient(t, cfg)
+
+	req := DetectRequest{
+		Suspects:  []Suspect{{Design: "s0"}, {Design: "s1"}, {Design: "poison"}, {Design: "s3"}},
+		Records:   make([]Record, 1),
+		ChunkSize: 1,
+	}
+	res, err := c.Detect(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Complete() || len(res.Failed) != 1 {
+		t.Fatalf("failed chunks: %v", res.Failed)
+	}
+	if res.Failed[0].Start != 2 || res.Failed[0].End != 3 {
+		t.Fatalf("failed chunk range [%d,%d)", res.Failed[0].Start, res.Failed[0].End)
+	}
+	if res.Results[2] != nil {
+		t.Fatal("poisoned suspect has results")
+	}
+	for _, i := range []int{0, 1, 3} {
+		if len(res.Results[i]) != 1 || !res.Results[i][0].Found || res.Results[i][0].Root != fmt.Sprintf("s%d", i) {
+			t.Fatalf("row %d: %+v", i, res.Results[i])
+		}
+	}
+	if res.Detected != 3 {
+		t.Fatalf("detected %d, want 3", res.Detected)
+	}
+}
+
+// TestClientDetectRowCountMismatch: a malformed grid is a chunk error,
+// never a silent misalignment of suspect rows.
+func TestClientDetectRowCountMismatch(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		json.NewEncoder(w).Encode(detectResponseWire{Results: [][]DetectOutcome{{}, {}, {}}})
+	}))
+	defer ts.Close()
+	c := newTestClient(t, fastConfig(ts.URL))
+	res, err := c.Detect(context.Background(), DetectRequest{
+		Suspects: []Suspect{{Design: "a"}}, Records: make([]Record, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Complete() || !strings.Contains(res.Failed[0].Err.Error(), "3 rows for 1 suspects") {
+		t.Fatalf("result %+v", res)
+	}
+}
+
+// TestClientValidation: constructor and input guards.
+func TestClientValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("empty BaseURL accepted")
+	}
+	c := newTestClient(t, fastConfig("127.0.0.1:1"))
+	if _, err := c.Detect(context.Background(), DetectRequest{Records: make([]Record, 1)}); err == nil {
+		t.Fatal("no suspects accepted")
+	}
+	if _, err := c.Detect(context.Background(), DetectRequest{Suspects: []Suspect{{}}}); err == nil {
+		t.Fatal("no records accepted")
+	}
+	// Bare host:port gets a scheme.
+	if c.base != "http://127.0.0.1:1" {
+		t.Fatalf("base = %q", c.base)
+	}
+}
+
+// TestClientCallTimeoutBoundsRetries: an unreachable service cannot hold
+// a call past its overall deadline.
+func TestClientCallTimeoutBoundsRetries(t *testing.T) {
+	cfg := fastConfig("http://127.0.0.1:1") // nothing listens on port 1
+	cfg.CallTimeout = 50 * time.Millisecond
+	cfg.MaxAttempts = 1 << 20
+	c := newTestClient(t, cfg)
+	start := time.Now()
+	_, err := c.Verify(context.Background(), VerifyRequest{})
+	if err == nil {
+		t.Fatal("unreachable service answered")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("call ran %v past its 50ms deadline", elapsed)
+	}
+}

@@ -1,0 +1,135 @@
+package lwmclient
+
+import (
+	"fmt"
+
+	"localwm/internal/schedwm"
+)
+
+// Record is the detector-facing watermark record, exactly as the lwm CLI
+// writes it and the lwmd service consumes it.
+type Record = schedwm.Record
+
+// MarkParams are the public embedding parameters shared by embed and
+// verify requests; zero values take the service's defaults (n=2, τ=20,
+// K=4, ε=0.25, budget = critical path + 10%).
+type MarkParams struct {
+	N       int     `json:"n"`
+	Tau     int     `json:"tau"`
+	K       int     `json:"k"`
+	Epsilon float64 `json:"epsilon"`
+	Budget  int     `json:"budget"`
+	Workers int     `json:"workers"`
+}
+
+// EmbedRequest asks the service to embed scheduling watermarks. Design
+// travels in the cdfg text format.
+type EmbedRequest struct {
+	Design    string `json:"design"`
+	Signature string `json:"signature"`
+	MarkParams
+}
+
+// EmbedResponse is the service's embed answer.
+type EmbedResponse struct {
+	MarkedDesign  string   `json:"marked_design"`
+	Watermarks    int      `json:"watermarks"`
+	TemporalEdges int      `json:"temporal_edges"`
+	Records       []Record `json:"records"`
+}
+
+// Suspect pairs a suspect design (cdfg text) with its schedule (lwm
+// schedule text) for batch detection.
+type Suspect struct {
+	Design   string `json:"design"`
+	Schedule string `json:"schedule"`
+}
+
+// DetectOutcome is one suspect×record detection verdict, mirroring the
+// service wire format field for field.
+type DetectOutcome struct {
+	Found      bool   `json:"found"`
+	Root       string `json:"root,omitempty"`
+	Satisfied  int    `json:"satisfied"`
+	Total      int    `json:"total"`
+	Pc         string `json:"pc"`
+	RootsTried int    `json:"roots_tried"`
+	Error      string `json:"error,omitempty"`
+}
+
+// DetectRequest is a batch detection: every record scanned in every
+// suspect. The client splits suspects into chunks of ChunkSize (default
+// Config.ChunkSize) and retries each chunk independently, so one failed
+// chunk cannot lose the batch.
+type DetectRequest struct {
+	Suspects []Suspect
+	Records  []Record
+	// Workers is the per-request engine parallelism (0: server default).
+	Workers int
+	// ChunkSize overrides Config.ChunkSize for this call when positive.
+	ChunkSize int
+}
+
+// ChunkError records one chunk of suspects whose request exhausted its
+// attempts; the suspect rows in [Start, End) have no results.
+type ChunkError struct {
+	Start, End int
+	Err        error
+}
+
+func (e ChunkError) Error() string {
+	return fmt.Sprintf("suspects [%d,%d): %v", e.Start, e.End, e.Err)
+}
+
+// DetectResult is a batch detection outcome, possibly partial: Results
+// is indexed like the request's suspects, with nil rows for suspects
+// whose chunk failed (listed in Failed). Partial results are the point —
+// the paper's watermarks are locally detectable, so every chunk that
+// survived transport is independently meaningful.
+type DetectResult struct {
+	// Results[i][j] is record j scanned in suspect i; nil row when
+	// suspect i's chunk failed.
+	Results  [][]DetectOutcome
+	Detected int // total found verdicts across delivered rows
+	Failed   []ChunkError
+}
+
+// Complete reports whether every chunk was delivered.
+func (r *DetectResult) Complete() bool { return len(r.Failed) == 0 }
+
+// VerifyRequest asks the service to adjudicate an ownership claim from
+// the claimed signature alone.
+type VerifyRequest struct {
+	Design    string `json:"design"`
+	Schedule  string `json:"schedule"`
+	Signature string `json:"signature"`
+	MarkParams
+}
+
+// VerifyResponse is the service's verification verdict.
+type VerifyResponse struct {
+	Verified   bool   `json:"verified"`
+	Satisfied  int    `json:"satisfied"`
+	Total      int    `json:"total"`
+	Pc         string `json:"pc"`
+	RootsTried int    `json:"roots_tried"`
+}
+
+// detectWire is the on-the-wire detect request (one chunk).
+type detectWire struct {
+	Suspects []Suspect `json:"suspects"`
+	Records  []Record  `json:"records"`
+	Workers  int       `json:"workers"`
+}
+
+// detectResponseWire is the on-the-wire detect response (one chunk).
+type detectResponseWire struct {
+	Results  [][]DetectOutcome `json:"results"`
+	Detected int               `json:"detected"`
+}
+
+// errorBody is the service's JSON error envelope.
+type errorBody struct {
+	Error  string `json:"error"`
+	Status int    `json:"status"`
+}
