@@ -31,14 +31,31 @@ type benchRow struct {
 	Identical bool `json:"identical"`
 }
 
+// benchStats is the whole run's engine and oracle counter deltas,
+// recorded with -stats: how many worker-pool fan-outs ran, how often
+// speculation committed versus repaired, and the PathOracle's cache hit
+// rate over the benchmark's workload. Deltas, not absolutes — only this
+// run's activity is counted even though the underlying counters are
+// process-wide.
+type benchStats struct {
+	PoolRuns      uint64  `json:"pool_runs"`
+	PoolJobs      uint64  `json:"pool_jobs"`
+	SpecCommits   uint64  `json:"spec_commits"`
+	SpecRepairs   uint64  `json:"spec_repairs"`
+	OracleHits    uint64  `json:"oracle_hits"`
+	OracleMisses  uint64  `json:"oracle_misses"`
+	OracleHitRate float64 `json:"oracle_hit_rate"`
+}
+
 // benchFile is the BENCH_parallel.json envelope.
 type benchFile struct {
-	GoMaxProcs int        `json:"gomaxprocs"`
-	NumCPU     int        `json:"numcpu"`
-	N          int        `json:"n"`
-	Workers    int        `json:"workers"`
-	Iters      int        `json:"iters"`
-	Rows       []benchRow `json:"rows"`
+	GoMaxProcs int         `json:"gomaxprocs"`
+	NumCPU     int         `json:"numcpu"`
+	N          int         `json:"n"`
+	Workers    int         `json:"workers"`
+	Iters      int         `json:"iters"`
+	Rows       []benchRow  `json:"rows"`
+	Stats      *benchStats `json:"stats,omitempty"`
 }
 
 // cmdBench is the benchmark regression harness: it embeds n watermarks in
@@ -57,9 +74,13 @@ func cmdBench(args []string) error {
 	all := fs.Bool("all", false, "include the largest designs (slow)")
 	out := fs.String("o", "BENCH_parallel.json", "output file")
 	gate := fs.String("gate", "", "baseline BENCH_parallel.json to gate against: fail when identity regresses or host-normalized embed throughput drops >20%")
+	stats := fs.Bool("stats", false, "record engine/oracle counter deltas (pool fan-outs, speculation commits/repairs, oracle hit rate) in the output")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+
+	engBefore := engine.Stats()
+	hitsBefore, missesBefore := cdfg.OracleStats()
 
 	type entry struct {
 		name  string
@@ -140,6 +161,26 @@ func cmdBench(args []string) error {
 		if !row.Identical {
 			return fmt.Errorf("%s: parallel embedding diverged from sequential", e.name)
 		}
+	}
+
+	if *stats {
+		engAfter := engine.Stats()
+		hitsAfter, missesAfter := cdfg.OracleStats()
+		st := &benchStats{
+			PoolRuns:     engAfter.PoolRuns - engBefore.PoolRuns,
+			PoolJobs:     engAfter.PoolJobs - engBefore.PoolJobs,
+			SpecCommits:  engAfter.SpecCommits - engBefore.SpecCommits,
+			SpecRepairs:  engAfter.SpecRepairs - engBefore.SpecRepairs,
+			OracleHits:   hitsAfter - hitsBefore,
+			OracleMisses: missesAfter - missesBefore,
+		}
+		if lookups := st.OracleHits + st.OracleMisses; lookups > 0 {
+			st.OracleHitRate = float64(st.OracleHits) / float64(lookups)
+		}
+		bf.Stats = st
+		fmt.Printf("engine: %d pool runs, %d jobs, %d spec commits, %d repairs; oracle: %d hits / %d misses (%.1f%% hit rate)\n",
+			st.PoolRuns, st.PoolJobs, st.SpecCommits, st.SpecRepairs,
+			st.OracleHits, st.OracleMisses, 100*st.OracleHitRate)
 	}
 
 	data, err := json.MarshalIndent(bf, "", "  ")

@@ -30,14 +30,17 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"localwm/internal/cdfg"
 	"localwm/internal/designs"
 	"localwm/internal/engine"
+	"localwm/internal/obs"
 	"localwm/internal/prng"
 	"localwm/internal/sched"
 	"localwm/internal/schedwm"
@@ -81,6 +84,42 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, "usage: lwm {gen|info|embed|schedule|detect|verify|synth|bench|dot} [flags]")
+}
+
+// traceCtx builds the context for a marking command. With -trace off it
+// is a plain background context and a no-op finish. With -trace on, the
+// context carries a fresh obs.Trace — the engine, the oracle bridge, and
+// (in remote mode) the resilient client all hang their spans on it — and
+// finish prints the span tree to stderr after the report, leaving stdout
+// byte-identical to an untraced run.
+func traceCtx(enabled bool) (context.Context, func()) {
+	if !enabled {
+		return context.Background(), func() {}
+	}
+	tr := obs.NewTrace(obs.NewTraceID())
+	return obs.WithTrace(context.Background(), tr), func() { tr.WriteTree(os.Stderr) }
+}
+
+// flushTrace prints ctx's trace tree now — for the os.Exit(3) report
+// paths, which never run deferred finishers. No-op when untraced (and
+// harmless with the deferred finish: os.Exit skips defers entirely).
+func flushTrace(ctx context.Context) {
+	if tr := obs.TraceFrom(ctx); tr != nil {
+		tr.WriteTree(os.Stderr)
+	}
+}
+
+// observeGraph mirrors the daemon's oracle bridge for local traced runs:
+// PathOracle recomputations on g appear as "oracle.<kind>" spans.
+func observeGraph(ctx context.Context, g *cdfg.Graph) {
+	tr := obs.TraceFrom(ctx)
+	if tr == nil {
+		return
+	}
+	parent := obs.CurrentSpan(ctx)
+	g.OnPathRecompute(func(kind string, start time.Time, elapsed time.Duration) {
+		tr.Record(parent, "oracle."+kind, start, elapsed)
+	})
 }
 
 // cmdSynth runs the full behavioral-synthesis pipeline on a design and
@@ -167,11 +206,14 @@ func cmdVerify(args []string) error {
 	budget := fs.Int("budget", 0, "control-step budget (0: critical path + 10%)")
 	workers := fs.Int("workers", 1, "parallel re-derivation workers (verdict is identical for any value)")
 	remote := fs.String("remote", "", "lwmd daemon address (empty: verify in-process)")
+	trace := fs.Bool("trace", false, "print the span tree (engine stages, oracle recomputes, remote attempts) to stderr")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	ctx, finishTrace := traceCtx(*trace)
+	defer finishTrace()
 	if *remote != "" {
-		return remoteVerify(*remote, *in, *schedPath, *sig, *n, *tau, *k, *eps, *budget, *workers)
+		return remoteVerify(ctx, *remote, *in, *schedPath, *sig, *n, *tau, *k, *eps, *budget, *workers)
 	}
 	g, err := loadGraph(*in)
 	if err != nil {
@@ -188,8 +230,9 @@ func cmdVerify(args []string) error {
 		}
 		*budget = cp + cp/10 + 1
 	}
+	observeGraph(ctx, g)
 	cfg := schedwm.Config{Tau: *tau, K: *k, Epsilon: *eps, Budget: *budget, Parallelism: *workers}
-	det, err := engine.VerifyOwnership(g, s, prng.Signature(*sig), cfg, *n, *workers)
+	det, err := engine.VerifyOwnershipCtx(ctx, g, s, prng.Signature(*sig), cfg, *n, *workers)
 	if err != nil {
 		return err
 	}
@@ -197,6 +240,7 @@ func cmdVerify(args []string) error {
 		*sig, det.Best.Satisfied, det.Best.Total, det.Best.Pc)
 	if !det.Found {
 		fmt.Println("verdict: claim NOT verified")
+		flushTrace(ctx)
 		os.Exit(3)
 	}
 	fmt.Println("verdict: claim verified")
@@ -342,11 +386,14 @@ func cmdEmbed(args []string) error {
 	out := fs.String("out", "", "marked design output file")
 	recPath := fs.String("record", "", "detection record output file (JSON)")
 	remote := fs.String("remote", "", "lwmd daemon address (empty: embed in-process)")
+	trace := fs.Bool("trace", false, "print the span tree (engine stages, oracle recomputes, remote attempts) to stderr")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	ctx, finishTrace := traceCtx(*trace)
+	defer finishTrace()
 	if *remote != "" {
-		return remoteEmbed(*remote, *in, *sig, *n, *tau, *k, *eps, *budget, *workers, *out, *recPath)
+		return remoteEmbed(ctx, *remote, *in, *sig, *n, *tau, *k, *eps, *budget, *workers, *out, *recPath)
 	}
 	g, err := loadGraph(*in)
 	if err != nil {
@@ -359,8 +406,9 @@ func cmdEmbed(args []string) error {
 		}
 		*budget = cp + cp/10 + 1
 	}
+	observeGraph(ctx, g)
 	cfg := schedwm.Config{Tau: *tau, K: *k, Epsilon: *eps, Budget: *budget, Parallelism: *workers}
-	wms, err := engine.EmbedMany(g, prng.Signature(*sig), cfg, *n, *workers)
+	wms, err := engine.EmbedManyCtx(ctx, g, prng.Signature(*sig), cfg, *n, *workers)
 	if err != nil {
 		return err
 	}
@@ -438,11 +486,14 @@ func cmdDetect(args []string) error {
 	recPath := fs.String("record", "", "detection record file (JSON)")
 	workers := fs.Int("workers", 1, "parallel detection workers (output is identical for any value)")
 	remote := fs.String("remote", "", "lwmd daemon address (empty: detect in-process)")
+	trace := fs.Bool("trace", false, "print the span tree (engine stages, oracle recomputes, remote attempts) to stderr")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	ctx, finishTrace := traceCtx(*trace)
+	defer finishTrace()
 	if *remote != "" {
-		return remoteDetect(*remote, *in, *schedPath, *recPath, *workers)
+		return remoteDetect(ctx, *remote, *in, *schedPath, *recPath, *workers)
 	}
 	g, err := loadGraph(*in)
 	if err != nil {
@@ -460,9 +511,10 @@ func cmdDetect(args []string) error {
 	if err := json.Unmarshal(data, &rf); err != nil {
 		return err
 	}
+	observeGraph(ctx, g)
 	// All records scan on the pool; the report below walks the results in
 	// record order, so the output matches a sequential scan byte for byte.
-	batch := engine.DetectBatch([]engine.Suspect{{Graph: g, Schedule: s}}, rf.Records, *workers)
+	batch := engine.DetectBatchCtx(ctx, []engine.Suspect{{Graph: g, Schedule: s}}, rf.Records, *workers)
 	found := 0
 	for i := range rf.Records {
 		det, err := batch[0][i].Det, batch[0][i].Err
@@ -480,6 +532,7 @@ func cmdDetect(args []string) error {
 	}
 	fmt.Printf("%d of %d watermarks detected\n", found, len(rf.Records))
 	if found == 0 {
+		flushTrace(ctx)
 		os.Exit(3)
 	}
 	return nil

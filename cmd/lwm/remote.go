@@ -21,7 +21,9 @@ func newRemoteClient(addr string) (*lwmclient.Client, error) {
 
 // remoteEmbed mirrors cmdEmbed against a daemon: same flags, same
 // printed line, same output files (marked design + detection record).
-func remoteEmbed(addr, in, sig string, n, tau, k int, eps float64, budget, workers int, out, recPath string) error {
+// A trace on ctx (lwm embed -trace -remote ...) collects the client's
+// call/attempt spans with server-side stage timings as attributes.
+func remoteEmbed(ctx context.Context, addr, in, sig string, n, tau, k int, eps float64, budget, workers int, out, recPath string) error {
 	c, err := newRemoteClient(addr)
 	if err != nil {
 		return err
@@ -30,7 +32,7 @@ func remoteEmbed(addr, in, sig string, n, tau, k int, eps float64, budget, worke
 	if err != nil {
 		return err
 	}
-	resp, err := c.Embed(context.Background(), lwmclient.EmbedRequest{
+	resp, err := c.Embed(ctx, lwmclient.EmbedRequest{
 		Design:    string(design),
 		Signature: sig,
 		MarkParams: lwmclient.MarkParams{
@@ -61,7 +63,7 @@ func remoteEmbed(addr, in, sig string, n, tau, k int, eps float64, budget, worke
 
 // remoteDetect mirrors cmdDetect against a daemon: identical per-record
 // report lines and the same exit-3-on-zero-detections contract.
-func remoteDetect(addr, in, schedPath, recPath string, workers int) error {
+func remoteDetect(ctx context.Context, addr, in, schedPath, recPath string, workers int) error {
 	c, err := newRemoteClient(addr)
 	if err != nil {
 		return err
@@ -82,7 +84,7 @@ func remoteDetect(addr, in, schedPath, recPath string, workers int) error {
 	if err := json.Unmarshal(data, &rf); err != nil {
 		return err
 	}
-	res, err := c.Detect(context.Background(), lwmclient.DetectRequest{
+	res, err := c.Detect(ctx, lwmclient.DetectRequest{
 		Suspects: []lwmclient.Suspect{{Design: string(design), Schedule: string(schedule)}},
 		Records:  rf.Records,
 		Workers:  workers,
@@ -109,6 +111,7 @@ func remoteDetect(addr, in, schedPath, recPath string, workers int) error {
 	}
 	fmt.Printf("%d of %d watermarks detected\n", found, len(rf.Records))
 	if found == 0 {
+		flushTrace(ctx)
 		os.Exit(3)
 	}
 	return nil
@@ -116,7 +119,7 @@ func remoteDetect(addr, in, schedPath, recPath string, workers int) error {
 
 // remoteVerify mirrors cmdVerify against a daemon: same claim report and
 // the same exit-3-on-unverified contract.
-func remoteVerify(addr, in, schedPath, sig string, n, tau, k int, eps float64, budget, workers int) error {
+func remoteVerify(ctx context.Context, addr, in, schedPath, sig string, n, tau, k int, eps float64, budget, workers int) error {
 	c, err := newRemoteClient(addr)
 	if err != nil {
 		return err
@@ -129,7 +132,7 @@ func remoteVerify(addr, in, schedPath, sig string, n, tau, k int, eps float64, b
 	if err != nil {
 		return err
 	}
-	resp, err := c.Verify(context.Background(), lwmclient.VerifyRequest{
+	resp, err := c.Verify(ctx, lwmclient.VerifyRequest{
 		Design:    string(design),
 		Schedule:  string(schedule),
 		Signature: sig,
@@ -144,6 +147,7 @@ func remoteVerify(addr, in, schedPath, sig string, n, tau, k int, eps float64, b
 		sig, resp.Satisfied, resp.Total, resp.Pc)
 	if !resp.Verified {
 		fmt.Println("verdict: claim NOT verified")
+		flushTrace(ctx)
 		os.Exit(3)
 	}
 	fmt.Println("verdict: claim verified")

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"net/http/httptest"
 	"os"
 	"path/filepath"
@@ -95,7 +96,7 @@ func TestRemoteModeSurfacesServiceErrors(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Empty signature is a 400 from the daemon.
-	err := remoteEmbed(ts.URL, design, "", 2, 16, 3, 0.4, 0, 1, "", "")
+	err := remoteEmbed(context.Background(), ts.URL, design, "", 2, 16, 3, 0.4, 0, 1, "", "")
 	if err == nil {
 		t.Fatal("empty signature accepted")
 	}

@@ -10,7 +10,16 @@
 //	/v1/detect   batch-scan suspects×records for memorized watermarks
 //	/v1/verify   adjudicate an ownership claim from a signature alone
 //	/v1/stats    metrics snapshot (also on the debug port)
+//	/metrics     Prometheus text exposition (also on the debug port)
 //	/healthz     liveness (503 while draining)
+//
+// Observability: every API request emits one structured log line
+// (-log-format text|json, -log-level debug|info|warn|error) carrying the
+// request's trace ID — adopted from the client's X-Lwm-Trace-Id header
+// or minted — plus status, result, and queue-wait/run/engine stage
+// timings. GET /metrics serves the same counters as fixed-bucket
+// Prometheus histograms and counters for scraping; /debug/vars keeps the
+// expvar snapshot for dashboards.
 //
 // Robustness: each endpoint runs behind a bounded admission queue with a
 // fixed worker pool; a full queue answers 429 with Retry-After, a request
@@ -35,7 +44,6 @@ import (
 	"context"
 	"flag"
 	"fmt"
-	"log"
 	"net"
 	"net/http"
 	"os"
@@ -45,6 +53,7 @@ import (
 	"time"
 
 	"localwm/internal/chaos"
+	"localwm/internal/obs"
 	"localwm/internal/server"
 )
 
@@ -69,7 +78,18 @@ func run(args []string) error {
 	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "max time to finish in-flight work on shutdown")
 	chaosOn := fs.Bool("chaos", false, "inject seeded transport faults into the /v1 API (testing only, never production)")
 	chaosSeed := fs.Int64("chaos-seed", 1, "fault-injection seed; a given seed and request order replays the same faults")
+	logLevel := fs.String("log-level", "info", "log level: debug, info, warn, or error")
+	logFormat := fs.String("log-format", "text", "log format: text or json")
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	level, err := obs.ParseLevel(*logLevel)
+	if err != nil {
+		return err
+	}
+	logger, err := obs.NewLogger(os.Stderr, *logFormat, level)
+	if err != nil {
 		return err
 	}
 
@@ -81,10 +101,14 @@ func run(args []string) error {
 		EngineWorkers:    *engineWorkers,
 		MaxEngineWorkers: *maxEngineWorkers,
 		RequestTimeout:   *timeout,
+		Logger:           logger,
 	}
 	if *chaosOn {
-		cfg.Chaos = chaos.New(chaos.Default(*chaosSeed))
-		log.Printf("lwmd: CHAOS MODE: injecting seeded faults into /v1 (seed %d) — never run this in production", *chaosSeed)
+		ccfg := chaos.Default(*chaosSeed)
+		ccfg.Logger = logger
+		cfg.Chaos = chaos.New(ccfg)
+		logger.Warn("CHAOS MODE: injecting seeded faults into /v1 — never run this in production",
+			"seed", *chaosSeed)
 	}
 	srv := server.New(cfg)
 	srv.Publish() // expose the metrics snapshot as the expvar "lwmd"
@@ -105,7 +129,7 @@ func run(args []string) error {
 		ReadTimeout:       *timeout + 30*time.Second,
 		IdleTimeout:       2 * time.Minute,
 	}
-	log.Printf("lwmd: serving on %s", ln.Addr())
+	logger.Info("serving", "addr", ln.Addr().String())
 
 	var debugSrv *http.Server
 	if *debugAddr != "" {
@@ -119,10 +143,10 @@ func run(args []string) error {
 			ReadHeaderTimeout: 10 * time.Second,
 			IdleTimeout:       2 * time.Minute,
 		}
-		log.Printf("lwmd: debug (expvar/pprof) on %s", dln.Addr())
+		logger.Info("debug (expvar/pprof) serving", "addr", dln.Addr().String())
 		go func() {
 			if err := debugSrv.Serve(dln); err != nil && err != http.ErrServerClosed {
-				log.Printf("lwmd: debug server: %v", err)
+				logger.Error("debug server", "err", err)
 			}
 		}()
 	}
@@ -136,13 +160,13 @@ func run(args []string) error {
 	case err := <-serveErr:
 		return err
 	case got := <-sig:
-		log.Printf("lwmd: %v: draining (in-flight requests finish, new ones get 503)", got)
+		logger.Info("draining (in-flight requests finish, new ones get 503)", "signal", got.String())
 	}
 
 	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
 	if err := srv.Shutdown(ctx); err != nil {
-		log.Printf("lwmd: drain: %v", err)
+		logger.Error("drain", "err", err)
 	}
 	if err := httpSrv.Shutdown(ctx); err != nil {
 		return fmt.Errorf("closing listener: %w", err)
@@ -150,6 +174,6 @@ func run(args []string) error {
 	if debugSrv != nil {
 		_ = debugSrv.Shutdown(ctx)
 	}
-	log.Printf("lwmd: drained, bye")
+	logger.Info("drained, bye")
 	return nil
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"sync/atomic"
+	"time"
 )
 
 // NodeID indexes a node within one Graph. IDs are dense: the first node
@@ -92,6 +93,24 @@ type Graph struct {
 	// deliberately not part of Clone: a cloned graph starts with a cold
 	// cache of its own.
 	oracle atomic.Pointer[PathOracle]
+
+	// pathObserver, when set, is called after every longest-path
+	// (re)computation the oracle performs on a cache miss; see
+	// OnPathRecompute. Not copied by Clone.
+	pathObserver func(kind string, start time.Time, elapsed time.Duration)
+}
+
+// OnPathRecompute registers fn to be called after every longest-path
+// recomputation the graph's PathOracle performs (cache hits are not
+// reported — they do no path work). kind names the analysis family
+// ("longest" for the structural to/from/laxity bundle,
+// "temporal_weighted" for the watermark no-stretch model). fn may be
+// invoked from any goroutine querying the oracle and must be safe for
+// concurrent use; register it before concurrent queries begin, like any
+// other graph mutation. A nil fn removes the observer. The observer is
+// per-graph state and is not copied by Clone.
+func (g *Graph) OnPathRecompute(fn func(kind string, start time.Time, elapsed time.Duration)) {
+	g.pathObserver = fn
 }
 
 // New returns an empty graph with capacity hints for n nodes.

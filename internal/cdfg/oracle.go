@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Process-wide oracle cache statistics. Every PathOracle lookup counts
@@ -108,8 +109,10 @@ func (o *PathOracle) key(temporal bool, tempW int, weight WeightFunc) oracleKey 
 
 // lookup returns the entry for key, computing it with build on a miss.
 // Stale entries (older generations) are pruned on every miss; entries are
-// never mutated after insertion.
-func (o *PathOracle) lookup(k oracleKey, build func() (*oracleEntry, error)) (*oracleEntry, error) {
+// never mutated after insertion. kind names the analysis for the graph's
+// recompute observer (OnPathRecompute); the miss path is only timed when
+// an observer is registered, so the common case pays nothing.
+func (o *PathOracle) lookup(k oracleKey, kind string, build func() (*oracleEntry, error)) (*oracleEntry, error) {
 	o.mu.Lock()
 	defer o.mu.Unlock()
 	if e, ok := o.cache[k]; ok {
@@ -117,7 +120,14 @@ func (o *PathOracle) lookup(k oracleKey, build func() (*oracleEntry, error)) (*o
 		return e, nil
 	}
 	oracleMisses.Add(1)
+	var start time.Time
+	if o.g.pathObserver != nil {
+		start = time.Now()
+	}
 	e, err := build()
+	if obsFn := o.g.pathObserver; obsFn != nil {
+		obsFn(kind, start, time.Since(start))
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -133,7 +143,7 @@ func (o *PathOracle) lookup(k oracleKey, build func() (*oracleEntry, error)) (*o
 // entryFor computes or retrieves the standard analysis under opts.
 func (o *PathOracle) entryFor(opts PathOpts) (*oracleEntry, error) {
 	k := o.key(opts.IncludeTemporal, 0, opts.Weight)
-	return o.lookup(k, func() (*oracleEntry, error) {
+	return o.lookup(k, "longest", func() (*oracleEntry, error) {
 		to, err := o.g.LongestTo(opts)
 		if err != nil {
 			return nil, err
@@ -200,7 +210,7 @@ func (o *PathOracle) LaxitiesW(weight WeightFunc) ([]int, error) {
 // them.
 func (o *PathOracle) TemporalWeighted(weight WeightFunc, tempW int) (to, from []int, err error) {
 	k := o.key(true, tempW, weight)
-	e, err := o.lookup(k, func() (*oracleEntry, error) {
+	e, err := o.lookup(k, "temporal_weighted", func() (*oracleEntry, error) {
 		to, from, err := o.g.temporalWeightedPaths(weight, tempW)
 		if err != nil {
 			return nil, err

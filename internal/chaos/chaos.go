@@ -14,6 +14,8 @@
 package chaos
 
 import (
+	"context"
+	"log/slog"
 	"math/rand"
 	"net"
 	"net/http"
@@ -21,6 +23,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"localwm/internal/obs"
 )
 
 // Config sets the per-request fault probabilities. Probabilities are
@@ -46,6 +50,11 @@ type Config struct {
 	// body read fails with io.ErrUnexpectedEOF instead of silently
 	// yielding a short payload.
 	PTruncate float64
+	// Logger, when non-nil, logs every injected fault (msg="chaos",
+	// attrs kind and trace_id from the request's X-Lwm-Trace-Id) so a
+	// chaos run's faults correlate with the request log lines they
+	// disturbed.
+	Logger *slog.Logger
 }
 
 func (c Config) withDefaults() Config {
@@ -174,6 +183,19 @@ func (in *Injector) decide() plan {
 	return p
 }
 
+// logFault emits one line per injected hard fault (and delayed request)
+// when a logger is configured, carrying the request's trace ID so the
+// fault correlates with the request log line it disturbed.
+func (in *Injector) logFault(r *http.Request, kind string) {
+	if in.cfg.Logger == nil {
+		return
+	}
+	in.cfg.Logger.LogAttrs(context.Background(), slog.LevelInfo, "chaos",
+		slog.String("kind", kind),
+		slog.String("trace_id", r.Header.Get(obs.TraceHeader)),
+		slog.String("path", r.URL.Path))
+}
+
 // Middleware wraps next with fault injection.
 func (in *Injector) Middleware(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
@@ -181,17 +203,21 @@ func (in *Injector) Middleware(next http.Handler) http.Handler {
 		p := in.decide()
 		if p.delay > 0 {
 			in.latencies.Add(1)
+			in.logFault(r, "latency")
 			time.Sleep(p.delay)
 		}
 		switch p.fault {
 		case faultReset:
 			in.resets.Add(1)
+			in.logFault(r, "reset")
 			abortConn(w)
 		case faultError:
 			in.errors.Add(1)
+			in.logFault(r, "error")
 			http.Error(w, "chaos: injected failure", http.StatusInternalServerError)
 		case faultTruncate:
 			in.truncations.Add(1)
+			in.logFault(r, "truncate")
 			in.truncate(w, r, next)
 		default:
 			next.ServeHTTP(w, r)

@@ -26,12 +26,14 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
 
 	"localwm/internal/cdfg"
 	"localwm/internal/domain"
+	"localwm/internal/obs"
 	"localwm/internal/prng"
 	"localwm/internal/sched"
 	"localwm/internal/schedwm"
@@ -73,6 +75,19 @@ func Stats() Counters {
 // errors — using up to workers concurrent speculations per round.
 // workers <= 1 runs the sequential implementation directly.
 func EmbedMany(g *cdfg.Graph, sig prng.Signature, cfg schedwm.Config, n, workers int) ([]*schedwm.Watermark, error) {
+	return EmbedManyCtx(context.Background(), g, sig, cfg, n, workers)
+}
+
+// EmbedManyCtx is EmbedMany under a context: when ctx carries an
+// obs.Trace the embedding records child spans — the pool-wide
+// speculation pre-pass, one span per watermark locality, and the commit
+// walk with its commit/repair split. Without a trace it is EmbedMany
+// exactly (nil-span operations compile down to pointer checks).
+func EmbedManyCtx(ctx context.Context, g *cdfg.Graph, sig prng.Signature, cfg schedwm.Config, n, workers int) ([]*schedwm.Watermark, error) {
+	ctx, embedSpan := obs.StartSpan(ctx, "engine.embed")
+	defer embedSpan.Finish()
+	embedSpan.SetAttr("n", n)
+	embedSpan.SetAttr("workers", workers)
 	if workers <= 1 || n <= 1 {
 		return schedwm.EmbedMany(g, sig, cfg, n)
 	}
@@ -128,14 +143,22 @@ func EmbedMany(g *cdfg.Graph, sig prng.Signature, cfg schedwm.Config, n, workers
 	slots := make([]slot, n)
 	var committed []cdfg.Edge // temporal edges committed so far, in order
 
+	tr := obs.TraceFrom(ctx)
 	snap := g.Clone()
+	_, specSpan := obs.StartSpan(ctx, "engine.speculate")
 	runPool(workers, n, func(idx int) {
+		var locSpan *obs.Span
+		if tr != nil {
+			locSpan = tr.StartSpan(specSpan, fmt.Sprintf("engine.embed.wm[%d]", idx))
+		}
 		var rs []cdfg.NodeID
 		if ncfg.Root == nil {
 			rs = roots[idx : idx+ncfg.MaxTries]
 		}
 		slots[idx] = slot{spec: schedwm.EmbedSpec(snap, sig, ncfg, idx, an, rs), offset: idx}
+		locSpan.Finish()
 	})
+	specSpan.Finish()
 
 	// usable reports whether a speculation replays identically when the
 	// sequential embedder reaches it at pick offset at.
@@ -161,12 +184,15 @@ func EmbedMany(g *cdfg.Graph, sig prng.Signature, cfg schedwm.Config, n, workers
 	// which IS the sequential computation (no validation needed). Total
 	// work is therefore bounded by one speculation plus at most one
 	// sequential embedding per watermark, regardless of conflict rate.
+	_, commitSpan := obs.StartSpan(ctx, "engine.commit")
+	commits, repairs := 0, 0
 	trueOff := 0
 	for idx := 0; idx < n; idx++ {
 		sp := slots[idx].spec
 		if !usable(slots[idx], trueOff) ||
 			!sp.Valid(g, ncfg, an, committed[slots[idx].deltaStart:]) {
 			counters.specRepairs.Add(1)
+			repairs++
 			var rs []cdfg.NodeID
 			if ncfg.Root == nil {
 				rs = roots[trueOff : trueOff+ncfg.MaxTries]
@@ -174,6 +200,7 @@ func EmbedMany(g *cdfg.Graph, sig prng.Signature, cfg schedwm.Config, n, workers
 			sp = schedwm.EmbedSpec(g, sig, ncfg, idx, an, rs)
 		} else {
 			counters.specCommits.Add(1)
+			commits++
 		}
 		trueOff += sp.Picks
 		if sp.Err != nil {
@@ -186,6 +213,9 @@ func EmbedMany(g *cdfg.Graph, sig prng.Signature, cfg schedwm.Config, n, workers
 			committed = append(committed, sp.WM.Edges...)
 		}
 	}
+	commitSpan.SetAttr("commits", commits)
+	commitSpan.SetAttr("repairs", repairs)
+	commitSpan.Finish()
 
 	var out []*schedwm.Watermark
 	var lastErr error
@@ -220,6 +250,12 @@ type DetectResult struct {
 // Detection only reads the suspect graph (concurrent window queries share
 // its PathOracle), so one Suspect may appear under many records at once.
 func DetectBatch(suspects []Suspect, recs []schedwm.Record, workers int) [][]DetectResult {
+	return DetectBatchCtx(context.Background(), suspects, recs, workers)
+}
+
+// DetectBatchCtx is DetectBatch under a context: with an obs.Trace
+// attached, the pool fan-out and each suspect×record scan record spans.
+func DetectBatchCtx(ctx context.Context, suspects []Suspect, recs []schedwm.Record, workers int) [][]DetectResult {
 	out := make([][]DetectResult, len(suspects))
 	for i := range out {
 		out[i] = make([]DetectResult, len(recs))
@@ -227,19 +263,30 @@ func DetectBatch(suspects []Suspect, recs []schedwm.Record, workers int) [][]Det
 	if len(suspects) == 0 || len(recs) == 0 {
 		return out
 	}
+	_, batchSpan := obs.StartSpan(ctx, "engine.detect_batch")
+	defer batchSpan.Finish()
+	batchSpan.SetAttr("suspects", len(suspects))
+	batchSpan.SetAttr("records", len(recs))
+	tr := obs.TraceFrom(ctx)
+	scan := func(i, j int) {
+		var span *obs.Span
+		if tr != nil {
+			span = tr.StartSpan(batchSpan, fmt.Sprintf("engine.detect[%d][%d]", i, j))
+		}
+		det, err := schedwm.Detect(suspects[i].Graph, suspects[i].Schedule, recs[j])
+		out[i][j] = DetectResult{Det: det, Err: err}
+		span.Finish()
+	}
 	if workers <= 1 {
-		for i, sus := range suspects {
-			for j, rec := range recs {
-				det, err := schedwm.Detect(sus.Graph, sus.Schedule, rec)
-				out[i][j] = DetectResult{Det: det, Err: err}
+		for i := range suspects {
+			for j := range recs {
+				scan(i, j)
 			}
 		}
 		return out
 	}
 	runPool(workers, len(suspects)*len(recs), func(job int) {
-		i, j := job/len(recs), job%len(recs)
-		det, err := schedwm.Detect(suspects[i].Graph, suspects[i].Schedule, recs[j])
-		out[i][j] = DetectResult{Det: det, Err: err}
+		scan(job/len(recs), job%len(recs))
 	})
 	return out
 }
@@ -250,16 +297,28 @@ func DetectBatch(suspects []Suspect, recs []schedwm.Record, workers int) [][]Det
 // the parallel embedding engine.
 func VerifyOwnership(g *cdfg.Graph, s *sched.Schedule, sig prng.Signature,
 	cfg schedwm.Config, n, workers int) (*schedwm.Detection, error) {
+	return VerifyOwnershipCtx(context.Background(), g, s, sig, cfg, n, workers)
+}
+
+// VerifyOwnershipCtx is VerifyOwnership under a context: with an
+// obs.Trace attached, the re-derivation and constraint check record
+// spans (the re-derivation nests the full engine.embed span tree).
+func VerifyOwnershipCtx(ctx context.Context, g *cdfg.Graph, s *sched.Schedule, sig prng.Signature,
+	cfg schedwm.Config, n, workers int) (*schedwm.Detection, error) {
+	ctx, span := obs.StartSpan(ctx, "engine.verify")
+	defer span.Finish()
 	if workers <= 1 {
 		return schedwm.VerifyOwnership(g, s, sig, cfg, n)
 	}
 	if len(s.Steps) != g.Len() {
 		return nil, fmt.Errorf("schedwm: schedule covers %d nodes, graph has %d", len(s.Steps), g.Len())
 	}
-	wms, err := EmbedMany(g.Clone(), sig, cfg, n, workers)
+	wms, err := EmbedManyCtx(ctx, g.Clone(), sig, cfg, n, workers)
 	if err != nil {
 		return nil, fmt.Errorf("schedwm: re-deriving constraints: %v", err)
 	}
+	_, checkSpan := obs.StartSpan(ctx, "engine.check_constraints")
+	defer checkSpan.Finish()
 	return schedwm.CheckConstraints(g, s, wms)
 }
 

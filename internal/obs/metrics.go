@@ -1,0 +1,245 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// DefBuckets is the default latency histogram bucket layout, in seconds.
+// The boundaries span sub-millisecond parse-only requests through the
+// daemon's 60s default request deadline; they are part of the exposition
+// contract documented in DESIGN.md and validated by scripts/metricscheck.
+var DefBuckets = []float64{
+	0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60,
+}
+
+// Counter is a monotonically increasing metric.
+type Counter struct{ n atomic.Uint64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.n.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.n.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.n.Load() }
+
+// Histogram is a fixed-bucket duration histogram in the Prometheus
+// style: per-bucket counts cumulated at exposition time, plus a running
+// sum and count, all maintained with atomics so Observe is lock-free.
+type Histogram struct {
+	bounds   []float64 // ascending upper bounds, seconds
+	buckets  []atomic.Uint64
+	count    atomic.Uint64
+	sumNanos atomic.Int64
+}
+
+// NewHistogram builds a histogram over the given ascending upper bounds
+// (seconds). Nil bounds take DefBuckets.
+func NewHistogram(bounds []float64) *Histogram {
+	if bounds == nil {
+		bounds = DefBuckets
+	}
+	return &Histogram{bounds: bounds, buckets: make([]atomic.Uint64, len(bounds)+1)}
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	sec := d.Seconds()
+	i := 0
+	for ; i < len(h.bounds); i++ {
+		if sec <= h.bounds[i] {
+			break
+		}
+	}
+	h.buckets[i].Add(1) // last slot is the +Inf overflow bucket
+	h.count.Add(1)
+	h.sumNanos.Add(int64(d))
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the summed observed duration.
+func (h *Histogram) Sum() time.Duration { return time.Duration(h.sumNanos.Load()) }
+
+// Quantile returns an upper-bound estimate of the q-quantile (0<q<=1)
+// from the bucket counts: the upper bound of the bucket holding the
+// nearest-rank observation. The last finite bound is returned for
+// observations in the overflow bucket; zero when empty.
+func (h *Histogram) Quantile(q float64) float64 {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	rank := uint64(q * float64(total))
+	if float64(rank) < q*float64(total) || rank == 0 {
+		rank++ // ceil, floored at 1 — nearest-rank
+	}
+	var seen uint64
+	for i := range h.buckets {
+		seen += h.buckets[i].Load()
+		if seen >= rank {
+			if i < len(h.bounds) {
+				return h.bounds[i]
+			}
+			break
+		}
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
+// series is one labeled instance of a metric family.
+type series struct {
+	labels  string // rendered {k="v",...}, "" for unlabeled
+	counter *Counter
+	fn      func() float64
+	hist    *Histogram
+}
+
+// family is one named metric with its type, help text, and series.
+type family struct {
+	name, help, typ string
+	series          []*series
+}
+
+// Registry holds metric families and renders them in the Prometheus
+// text exposition format. Metric registration normally happens at
+// setup time; registration and exposition are mutex-guarded, metric
+// updates are atomic and lock-free.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+	order    []string
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// renderLabels renders a label set in sorted-key order, so a series'
+// identity is stable regardless of map iteration.
+func renderLabels(labels map[string]string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", k, labels[k])
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func (r *Registry) add(name, help, typ string, s *series) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, ok := r.families[name]
+	if !ok {
+		f = &family{name: name, help: help, typ: typ}
+		r.families[name] = f
+		r.order = append(r.order, name)
+	}
+	if f.typ != typ {
+		panic(fmt.Sprintf("obs: metric %q registered as both %s and %s", name, f.typ, typ))
+	}
+	f.series = append(f.series, s)
+}
+
+// Counter registers (or extends) a counter family and returns the
+// series for the given labels.
+func (r *Registry) Counter(name, help string, labels map[string]string) *Counter {
+	c := &Counter{}
+	r.add(name, help, "counter", &series{labels: renderLabels(labels), counter: c})
+	return c
+}
+
+// CounterFunc registers a counter series whose value is read from fn at
+// exposition time — the bridge for pre-existing atomic counters (engine,
+// oracle, chaos, client) that must not be double-counted.
+func (r *Registry) CounterFunc(name, help string, labels map[string]string, fn func() float64) {
+	r.add(name, help, "counter", &series{labels: renderLabels(labels), fn: fn})
+}
+
+// GaugeFunc registers a gauge series read from fn at exposition time.
+func (r *Registry) GaugeFunc(name, help string, labels map[string]string, fn func() float64) {
+	r.add(name, help, "gauge", &series{labels: renderLabels(labels), fn: fn})
+}
+
+// Histogram registers a histogram series over the given bounds (nil:
+// DefBuckets) and returns it.
+func (r *Registry) Histogram(name, help string, bounds []float64, labels map[string]string) *Histogram {
+	h := NewHistogram(bounds)
+	r.add(name, help, "histogram", &series{labels: renderLabels(labels), hist: h})
+	return h
+}
+
+// formatValue renders a sample value: integers without exponent, the
+// rest in Go's shortest-repr float form.
+func formatValue(v float64) string {
+	if v == float64(uint64(v)) {
+		return strconv.FormatUint(uint64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// labelJoin splices extra into a rendered label set.
+func labelJoin(rendered, extra string) string {
+	if rendered == "" {
+		return "{" + extra + "}"
+	}
+	return rendered[:len(rendered)-1] + "," + extra + "}"
+}
+
+// WritePrometheus renders every family in the text exposition format
+// (version 0.0.4): # HELP and # TYPE lines followed by the samples,
+// histograms expanded to cumulative _bucket/_sum/_count series.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, name := range r.order {
+		f := r.families[name]
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", f.name, f.help, f.name, f.typ); err != nil {
+			return err
+		}
+		for _, s := range f.series {
+			switch {
+			case s.hist != nil:
+				var cum uint64
+				for i, bound := range s.hist.bounds {
+					cum += s.hist.buckets[i].Load()
+					le := strconv.FormatFloat(bound, 'g', -1, 64)
+					fmt.Fprintf(w, "%s_bucket%s %d\n", f.name, labelJoin(s.labels, `le="`+le+`"`), cum)
+				}
+				cum += s.hist.buckets[len(s.hist.bounds)].Load()
+				fmt.Fprintf(w, "%s_bucket%s %d\n", f.name, labelJoin(s.labels, `le="+Inf"`), cum)
+				fmt.Fprintf(w, "%s_sum%s %s\n", f.name, s.labels, formatValue(s.hist.Sum().Seconds()))
+				fmt.Fprintf(w, "%s_count%s %d\n", f.name, s.labels, s.hist.Count())
+			case s.counter != nil:
+				fmt.Fprintf(w, "%s%s %d\n", f.name, s.labels, s.counter.Value())
+			default:
+				if _, err := fmt.Fprintf(w, "%s%s %s\n", f.name, s.labels, formatValue(s.fn())); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -2,13 +2,16 @@ package server
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"net/http"
 	"strconv"
 	"strings"
+	"time"
 
 	"localwm/internal/cdfg"
 	"localwm/internal/engine"
+	"localwm/internal/obs"
 	"localwm/internal/prng"
 	"localwm/internal/sched"
 	"localwm/internal/schedwm"
@@ -113,6 +116,23 @@ func decode(r *http.Request, v any) error {
 	return nil
 }
 
+// observeGraph bridges a request-scoped graph's PathOracle recompute
+// events into the request trace as "oracle.<kind>" spans. A no-op
+// (observer never registered) when the request is untraced, so the
+// oracle's miss path stays untimed. Graphs are per-request here — the
+// handlers parse them from the body — so the observer can't leak across
+// requests.
+func observeGraph(ctx context.Context, g *cdfg.Graph) {
+	tr := obs.TraceFrom(ctx)
+	if tr == nil {
+		return
+	}
+	parent := obs.CurrentSpan(ctx)
+	g.OnPathRecompute(func(kind string, start time.Time, elapsed time.Duration) {
+		tr.Record(parent, "oracle."+kind, start, elapsed)
+	})
+}
+
 func parseDesign(field, text string) (*cdfg.Graph, error) {
 	if strings.TrimSpace(text) == "" {
 		return nil, badRequest("%s: empty design", field)
@@ -194,7 +214,8 @@ func (s *Server) handleEmbed(r *http.Request) (any, error) {
 	if err != nil {
 		return nil, err
 	}
-	wms, err := engine.EmbedMany(g, prng.Signature(req.Signature), cfg, req.N, cfg.Parallelism)
+	observeGraph(r.Context(), g)
+	wms, err := engine.EmbedManyCtx(r.Context(), g, prng.Signature(req.Signature), cfg, req.N, cfg.Parallelism)
 	if err != nil {
 		return nil, badRequest("embedding: %v", err)
 	}
@@ -258,9 +279,10 @@ func (s *Server) handleDetect(r *http.Request) (any, error) {
 		if err != nil {
 			return nil, err
 		}
+		observeGraph(r.Context(), g)
 		suspects[i] = engine.Suspect{Graph: g, Schedule: sc}
 	}
-	batch := engine.DetectBatch(suspects, req.Records, s.engineWorkers(req.Workers))
+	batch := engine.DetectBatchCtx(r.Context(), suspects, req.Records, s.engineWorkers(req.Workers))
 	return buildDetectResponse(suspects, batch), nil
 }
 
@@ -281,7 +303,8 @@ func (s *Server) handleVerify(r *http.Request) (any, error) {
 	if err != nil {
 		return nil, err
 	}
-	det, err := engine.VerifyOwnership(g, sc, prng.Signature(req.Signature), cfg, req.N, cfg.Parallelism)
+	observeGraph(r.Context(), g)
+	det, err := engine.VerifyOwnershipCtx(r.Context(), g, sc, prng.Signature(req.Signature), cfg, req.N, cfg.Parallelism)
 	if err != nil {
 		return nil, badRequest("verifying: %v", err)
 	}

@@ -2,6 +2,8 @@ package server
 
 import (
 	"expvar"
+	"math"
+	"net/http"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -9,11 +11,17 @@ import (
 
 	"localwm/internal/cdfg"
 	"localwm/internal/engine"
+	"localwm/internal/obs"
 )
 
 // latWindow keeps the most recent request latencies of one endpoint in a
 // fixed ring, enough to answer p50/p99 for a live dashboard without
 // unbounded memory. Quantiles are computed over whatever the ring holds.
+//
+// The window backs only the expvar snapshot's p50_ms/p99_ms fields
+// (kept for dashboard compatibility); the scrape-facing source of truth
+// is the fixed-bucket histogram on /metrics, which aggregates across
+// replicas where a ring of raw samples cannot.
 type latWindow struct {
 	mu   sync.Mutex
 	buf  []time.Duration
@@ -36,7 +44,11 @@ func (l *latWindow) add(d time.Duration) {
 }
 
 // quantile returns the q-quantile (0 < q <= 1) of the window, or 0 when
-// empty. Nearest-rank on a sorted copy; the window is small by design.
+// empty. Nearest-rank (rank = ceil(q·n)) on a sorted copy, so the
+// extreme quantiles behave at small window sizes: p99 of any window
+// shorter than 100 samples is the maximum, never one below it — the
+// earlier round-half-up rank was biased one sample low whenever q·n
+// landed just above an integer (p99 of 52 samples returned the 51st).
 func (l *latWindow) quantile(q float64) time.Duration {
 	l.mu.Lock()
 	sample := append([]time.Duration(nil), l.buf[:l.n]...)
@@ -45,7 +57,7 @@ func (l *latWindow) quantile(q float64) time.Duration {
 		return 0
 	}
 	sort.Slice(sample, func(i, j int) bool { return sample[i] < sample[j] })
-	idx := int(q*float64(len(sample))+0.5) - 1
+	idx := int(math.Ceil(q*float64(len(sample)))) - 1
 	if idx < 0 {
 		idx = 0
 	}
@@ -63,7 +75,12 @@ type endpointMetrics struct {
 	rejected  atomic.Uint64 // 429: queue full
 	timedOut  atomic.Uint64 // 504: deadline expired while queued/running
 	panicked  atomic.Uint64 // 500: job panic confined by the pool
+	drained   atomic.Uint64 // 503: rejected because the daemon is draining
 	lat       *latWindow
+
+	// Prometheus-facing series, registered on the server's registry.
+	hist      *obs.Histogram // request duration (admitted requests)
+	queueWait *obs.Histogram // submit-to-start wait (requests that ran)
 }
 
 // metrics aggregates everything the daemon exposes over expvar.
@@ -78,6 +95,123 @@ func newMetrics(endpoints ...string) *metrics {
 		m.endpoints[ep] = &endpointMetrics{lat: newLatWindow()}
 	}
 	return m
+}
+
+// buildRegistry assembles the server's Prometheus registry: per-endpoint
+// request counters and latency/queue-wait histograms, queue gauges, the
+// process-wide engine and oracle counters, and (when fault injection is
+// on) the chaos counters. Called once from New, after the queues exist.
+func (s *Server) buildRegistry() *obs.Registry {
+	r := obs.NewRegistry()
+
+	names := make([]string, 0, len(s.metrics.endpoints))
+	for name := range s.metrics.endpoints {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	for _, name := range names {
+		em := s.metrics.endpoints[name]
+		q := s.queues[name]
+		lbl := map[string]string{"endpoint": name}
+		em.hist = r.Histogram("lwmd_request_duration_seconds",
+			"Admitted request duration (queue wait + execution), by endpoint.", nil, lbl)
+		em.queueWait = r.Histogram("lwmd_queue_wait_seconds",
+			"Admission-queue wait before a worker picked the request up, by endpoint.", nil, lbl)
+		for _, res := range []struct {
+			name string
+			c    *atomic.Uint64
+		}{
+			{"ok", &em.completed},
+			{"error", &em.failed},
+			{"rejected", &em.rejected},
+			{"timeout", &em.timedOut},
+			{"panic", &em.panicked},
+			{"drained", &em.drained},
+		} {
+			c := res.c
+			r.CounterFunc("lwmd_requests_total",
+				"Finished requests by endpoint and result (ok, error, rejected, timeout, panic, drained).",
+				map[string]string{"endpoint": name, "result": res.name},
+				func() float64 { return float64(c.Load()) })
+		}
+		r.GaugeFunc("lwmd_queue_depth",
+			"Queued plus currently executing requests, by endpoint.", lbl,
+			func() float64 { return float64(q.depth()) })
+		r.GaugeFunc("lwmd_queue_capacity",
+			"Pending-request capacity of the admission queue, by endpoint.", lbl,
+			func() float64 { return float64(cap(q.tasks)) })
+	}
+
+	r.GaugeFunc("lwmd_draining",
+		"1 while the daemon rejects new work during graceful shutdown, else 0.", nil,
+		func() float64 {
+			if s.draining.Load() {
+				return 1
+			}
+			return 0
+		})
+	r.GaugeFunc("lwmd_uptime_seconds", "Seconds since the server started.", nil,
+		func() float64 { return time.Since(s.metrics.start).Seconds() })
+
+	for _, ec := range []struct {
+		name, help string
+		load       func() uint64
+	}{
+		{"lwmd_engine_pool_runs_total", "Worker-pool fan-outs started by the engine (process-wide).",
+			func() uint64 { return engine.Stats().PoolRuns }},
+		{"lwmd_engine_pool_jobs_total", "Jobs executed across all engine fan-outs (process-wide).",
+			func() uint64 { return engine.Stats().PoolJobs }},
+		{"lwmd_engine_spec_commits_total", "Speculative embeddings committed verbatim (process-wide).",
+			func() uint64 { return engine.Stats().SpecCommits }},
+		{"lwmd_engine_spec_repairs_total", "Speculations replayed sequentially (process-wide).",
+			func() uint64 { return engine.Stats().SpecRepairs }},
+		{"lwmd_oracle_hits_total", "PathOracle longest-path cache hits (process-wide).",
+			func() uint64 { h, _ := cdfg.OracleStats(); return h }},
+		{"lwmd_oracle_misses_total", "PathOracle lookups that recomputed longest paths (process-wide).",
+			func() uint64 { _, m := cdfg.OracleStats(); return m }},
+	} {
+		load := ec.load
+		r.CounterFunc(ec.name, ec.help, nil, func() float64 { return float64(load()) })
+	}
+
+	if inj := s.cfg.Chaos; inj != nil {
+		r.CounterFunc("lwmd_chaos_requests_total",
+			"Requests seen by the fault injector.", nil,
+			func() float64 { return float64(inj.Counters().Requests) })
+		for _, fc := range []struct {
+			kind string
+			load func() uint64
+		}{
+			{"latency", func() uint64 { return inj.Counters().Latencies }},
+			{"reset", func() uint64 { return inj.Counters().Resets }},
+			{"error", func() uint64 { return inj.Counters().Errors }},
+			{"truncate", func() uint64 { return inj.Counters().Truncations }},
+		} {
+			load := fc.load
+			r.CounterFunc("lwmd_chaos_faults_total",
+				"Injected faults by kind (latency, reset, error, truncate).",
+				map[string]string{"kind": fc.kind},
+				func() float64 { return float64(load()) })
+		}
+	}
+	return r
+}
+
+// MetricsHandler serves the server's registry in the Prometheus text
+// exposition format — mounted at GET /metrics on both the service and
+// debug muxes. Scrape it alongside /debug/vars; the histogram counts
+// here and the expvar counters there move in lockstep.
+func (s *Server) MetricsHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet && r.Method != http.MethodHead {
+			w.Header().Set("Allow", http.MethodGet)
+			writeError(w, http.StatusMethodNotAllowed, "GET only")
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = s.reg.WritePrometheus(w)
+	})
 }
 
 // snapshot renders the full metrics state as the plain map expvar.Func
@@ -98,6 +232,7 @@ func (s *Server) snapshot() map[string]any {
 			"rejected_429":   em.rejected.Load(),
 			"timeout_504":    em.timedOut.Load(),
 			"panic_500":      em.panicked.Load(),
+			"drained_503":    em.drained.Load(),
 			"queue_depth":    q.depth(),
 			"queue_capacity": cap(q.tasks),
 			"p50_ms":         float64(em.lat.quantile(0.50)) / float64(time.Millisecond),
@@ -127,16 +262,30 @@ func (s *Server) snapshot() map[string]any {
 	return out
 }
 
-// publishOnce guards the process-global expvar name: expvar.Publish
-// panics on duplicates, and tests start many servers in one process.
-var publishOnce sync.Once
+// The process-global expvar name "lwmd" always reflects the most
+// recently published server. expvar.Publish panics on duplicate names,
+// so the Func is registered once and reads through publishedServer —
+// earlier servers (a drained daemon in a test process, say) stop being
+// snapshotted the moment a successor publishes, instead of the old
+// behavior where the first server kept the name forever and every later
+// Publish silently no-opped.
+var (
+	publishOnce     sync.Once
+	publishedServer atomic.Pointer[Server]
+)
 
-// Publish registers the server's metrics snapshot under the expvar name
-// "lwmd", making it visible on any /debug/vars page in the process. Only
-// the first server to call this wins the name; the daemon (which runs
-// exactly one server) calls it at startup.
+// Publish registers (or re-points) the server's metrics snapshot under
+// the expvar name "lwmd", making it visible on any /debug/vars page in
+// the process. The last server to call this wins the name; the daemon
+// (which runs exactly one server) calls it at startup.
 func (s *Server) Publish() {
+	publishedServer.Store(s)
 	publishOnce.Do(func() {
-		expvar.Publish("lwmd", expvar.Func(func() any { return s.snapshot() }))
+		expvar.Publish("lwmd", expvar.Func(func() any {
+			if cur := publishedServer.Load(); cur != nil {
+				return cur.snapshot()
+			}
+			return nil
+		}))
 	})
 }

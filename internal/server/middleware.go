@@ -1,12 +1,17 @@
 package server
 
 import (
+	"bufio"
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
+	"net"
 	"net/http"
 	"strconv"
 	"time"
+
+	"localwm/internal/obs"
 )
 
 // apiError is a handler-produced failure with a definite HTTP status.
@@ -39,6 +44,140 @@ func (s *Server) retryAfterSeconds() string {
 	return strconv.Itoa(int((s.cfg.RetryAfter + time.Second - 1) / time.Second))
 }
 
+// reqInfo is the per-request observability carrier: the admission path
+// (endpoint) fills in stage timings and the outcome, the observe
+// middleware — which sits outside the chaos injector, so even a
+// fault-substituted response passes through it — turns the whole thing
+// into exactly one structured request log line.
+type reqInfo struct {
+	queueWait time.Duration
+	run       time.Duration
+	result    string
+	errMsg    string
+}
+
+type reqInfoKey struct{}
+
+func reqInfoFrom(ctx context.Context) *reqInfo {
+	ri, _ := ctx.Value(reqInfoKey{}).(*reqInfo)
+	return ri
+}
+
+// statusWriter captures the response status for the request log. It
+// forwards Hijack so the chaos injector's connection resets still work
+// through it; a hijacked connection leaves status 0.
+type statusWriter struct {
+	http.ResponseWriter
+	status   int
+	hijacked bool
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(p)
+}
+
+func (w *statusWriter) Hijack() (net.Conn, *bufio.ReadWriter, error) {
+	hj, ok := w.ResponseWriter.(http.Hijacker)
+	if !ok {
+		return nil, nil, errors.New("server: underlying ResponseWriter does not support hijacking")
+	}
+	w.hijacked = true
+	return hj.Hijack()
+}
+
+// observe wraps an API endpoint (outside the chaos injector) with
+// request correlation and logging: it adopts the client's
+// X-Lwm-Trace-Id (or mints one), attaches an obs.Trace with a root
+// "request" span to the context, echoes the trace ID on the response,
+// and — when a logger is configured — emits exactly one structured
+// request log line whatever the outcome, including requests the chaos
+// layer reset or substituted.
+//
+// The disabled path is free: with no logger and no incoming trace
+// header the request passes straight through, no allocation, no
+// wrapping.
+func (s *Server) observe(name string, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		tid := obs.TraceID(r.Header.Get(obs.TraceHeader))
+		logging := s.logger != nil && s.logger.Enabled(r.Context(), slog.LevelInfo)
+		if !logging && tid == "" {
+			next.ServeHTTP(w, r)
+			return
+		}
+		if tid == "" {
+			tid = obs.NewTraceID()
+			// Stamp the minted ID onto the request too, so inner layers
+			// that read the header (the chaos injector's fault log) see
+			// the same ID the request log line will carry.
+			r.Header.Set(obs.TraceHeader, string(tid))
+		}
+		start := time.Now()
+		tr := obs.NewTrace(tid)
+		ctx := obs.WithTrace(r.Context(), tr)
+		ctx, rootSpan := obs.StartSpan(ctx, "request")
+		rootSpan.SetAttr("endpoint", name)
+		ri := &reqInfo{}
+		ctx = context.WithValue(ctx, reqInfoKey{}, ri)
+		sw := &statusWriter{ResponseWriter: w}
+		sw.Header().Set(obs.TraceHeader, string(tid))
+
+		// The log line is emitted from a defer so a handler panic that
+		// escapes (http.ErrAbortHandler from a chaos reset on a
+		// non-hijackable writer) still produces its one line; the panic
+		// itself keeps unwinding to net/http.
+		defer func() {
+			rootSpan.Finish()
+			if !logging {
+				return
+			}
+			total := time.Since(start)
+			status := sw.status
+			result := ri.result
+			if result == "" {
+				switch {
+				case sw.hijacked || status == 0:
+					result = "aborted" // connection severed before a response
+				case status < 400:
+					result = "ok"
+				default:
+					result = "error"
+				}
+			}
+			attrs := []slog.Attr{
+				slog.String("trace_id", string(tid)),
+				slog.String("endpoint", name),
+				slog.Int("status", status),
+				slog.String("result", result),
+				slog.Float64("queue_wait_ms", durMS(ri.queueWait)),
+				slog.Float64("run_ms", durMS(ri.run)),
+				slog.Float64("total_ms", durMS(total)),
+				slog.Bool("draining", s.draining.Load()),
+			}
+			if eng := tr.SumPrefix("engine."); eng > 0 {
+				attrs = append(attrs, slog.Float64("engine_ms", durMS(eng)))
+			}
+			if ri.errMsg != "" {
+				attrs = append(attrs, slog.String("err", ri.errMsg))
+			}
+			s.logger.LogAttrs(context.Background(), slog.LevelInfo, "request", attrs...)
+		}()
+		next.ServeHTTP(sw, r.WithContext(ctx))
+	})
+}
+
+// durMS renders a duration as fractional milliseconds for log fields.
+func durMS(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
 // endpoint wraps a job-shaped handler with the daemon's whole admission
 // path: method check, drain check, deadline, bounded-queue submission,
 // panic mapping, and metrics. The inner handler runs on the endpoint's
@@ -47,8 +186,16 @@ func (s *Server) endpoint(name string, handle func(r *http.Request) (any, error)
 	em := s.metrics.endpoints[name]
 	q := s.queues[name]
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		ri := reqInfoFrom(r.Context())
+		setResult := func(result, errMsg string) {
+			if ri != nil {
+				ri.result = result
+				ri.errMsg = errMsg
+			}
+		}
 		if r.Method != http.MethodPost {
 			w.Header().Set("Allow", http.MethodPost)
+			setResult("error", "POST only")
 			writeError(w, http.StatusMethodNotAllowed, "POST only")
 			return
 		}
@@ -56,6 +203,8 @@ func (s *Server) endpoint(name string, handle func(r *http.Request) (any, error)
 			// A draining instance is down only briefly; a well-behaved
 			// client should back off and land on its replacement, not
 			// hammer this one — same hint the 429 path gives.
+			em.drained.Add(1)
+			setResult("drained", "")
 			w.Header().Set("Retry-After", s.retryAfterSeconds())
 			writeError(w, http.StatusServiceUnavailable, "draining")
 			return
@@ -64,48 +213,75 @@ func (s *Server) endpoint(name string, handle func(r *http.Request) (any, error)
 
 		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
 		defer cancel()
+		tr := obs.TraceFrom(ctx)
 
 		start := time.Now()
+		var queueWait, runDur time.Duration
 		var resp any
 		var jobErr error
 		err := q.submit(ctx, func() {
+			jobStart := time.Now()
+			queueWait = jobStart.Sub(start)
+			tr.Record(obs.CurrentSpan(ctx), "queue.wait", start, queueWait)
 			if s.testJobStart != nil {
 				s.testJobStart(name)
 			}
-			resp, jobErr = handle(r.WithContext(ctx))
+			runCtx, runSpan := obs.StartSpan(ctx, "run")
+			resp, jobErr = handle(r.WithContext(runCtx))
+			runSpan.Finish()
+			runDur = time.Since(jobStart)
 		})
 		elapsed := time.Since(start)
+		if ri != nil {
+			ri.queueWait = queueWait
+			ri.run = runDur
+		}
+		if tr != nil {
+			// Stage timings ride back to a tracing client (lwm -trace)
+			// on a response header; set before any body write.
+			w.Header().Set(obs.TimingHeader,
+				fmt.Sprintf("queue_wait_ns=%d;run_ns=%d", queueWait.Nanoseconds(), runDur.Nanoseconds()))
+		}
 
 		switch {
 		case errors.Is(err, ErrQueueFull):
 			em.rejected.Add(1)
+			setResult("rejected", "")
 			w.Header().Set("Retry-After", s.retryAfterSeconds())
 			writeError(w, http.StatusTooManyRequests, "queue full, retry later")
 			return
 		case errors.Is(err, ErrDraining):
+			em.drained.Add(1)
+			setResult("drained", "")
 			w.Header().Set("Retry-After", s.retryAfterSeconds())
 			writeError(w, http.StatusServiceUnavailable, "draining")
 			return
 		case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
 			em.timedOut.Add(1)
+			setResult("timeout", "")
 			writeError(w, http.StatusGatewayTimeout, "request deadline expired in queue")
 			return
 		case err != nil:
 			var pe *panicError
 			if errors.As(err, &pe) {
 				em.panicked.Add(1)
+				setResult("panic", pe.Error())
 				writeError(w, http.StatusInternalServerError, "internal error")
 				return
 			}
 			em.failed.Add(1)
+			setResult("error", err.Error())
 			writeError(w, http.StatusInternalServerError, err.Error())
 			return
 		}
 		em.accepted.Add(1)
 		em.lat.add(elapsed)
+		em.hist.Observe(elapsed)
+		em.queueWait.Observe(queueWait)
 
 		if jobErr != nil {
 			em.failed.Add(1)
+			setResult("error", jobErr.Error())
 			var ae *apiError
 			if errors.As(jobErr, &ae) {
 				writeError(w, ae.status, ae.msg)
@@ -115,6 +291,7 @@ func (s *Server) endpoint(name string, handle func(r *http.Request) (any, error)
 			return
 		}
 		em.completed.Add(1)
+		setResult("ok", "")
 		writeJSON(w, http.StatusOK, resp)
 	})
 }

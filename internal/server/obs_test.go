@@ -1,0 +1,440 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"localwm/internal/chaos"
+	"localwm/internal/obs"
+)
+
+// syncBuffer is a goroutine-safe log sink: the observe middleware may
+// still be writing a request's log line after the client already has
+// the response bytes.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// requestLogLines parses every msg="request" JSON line from the sink.
+func requestLogLines(t *testing.T, raw string) []map[string]any {
+	t.Helper()
+	var out []map[string]any
+	for _, line := range strings.Split(raw, "\n") {
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		var m map[string]any
+		if err := json.Unmarshal([]byte(line), &m); err != nil {
+			t.Fatalf("unparseable log line %q: %v", line, err)
+		}
+		if m["msg"] == "request" {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// waitRequestLogs polls until n request log lines are present (the log
+// line lands in a defer that may run after the client has the
+// response).
+func waitRequestLogs(t *testing.T, sink *syncBuffer, n int) []map[string]any {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		lines := requestLogLines(t, sink.String())
+		if len(lines) >= n {
+			return lines
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("want %d request log lines, have %d:\n%s", n, len(lines), sink.String())
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+func jsonLogger(sink *syncBuffer) *slog.Logger {
+	return slog.New(slog.NewJSONHandler(sink, &slog.HandlerOptions{Level: slog.LevelInfo}))
+}
+
+// TestLatWindowQuantileNearestRank pins the nearest-rank definition on
+// the expvar quantiles: rank = ceil(q·n), so p99 of any window shorter
+// than 100 samples is the maximum. The 52-sample case is the regression
+// for the old round-half-up rank, which returned the 51st value.
+func TestLatWindowQuantileNearestRank(t *testing.T) {
+	fill := func(n int) *latWindow {
+		l := newLatWindow()
+		for i := 1; i <= n; i++ {
+			l.add(time.Duration(i) * time.Millisecond)
+		}
+		return l
+	}
+	ms := func(n int) time.Duration { return time.Duration(n) * time.Millisecond }
+	cases := []struct {
+		n    int
+		q    float64
+		want time.Duration
+	}{
+		{1, 0.50, ms(1)},
+		{1, 0.99, ms(1)},
+		{2, 0.50, ms(1)}, // ceil(0.5·2) = 1st: the smaller sample
+		{2, 0.99, ms(2)},
+		{100, 0.50, ms(50)},
+		{100, 0.99, ms(99)},
+		{100, 1.00, ms(100)},
+		{52, 0.99, ms(52)}, // old formula: int(0.99·52+0.5)-1 → the 51st
+		{10, 0.99, ms(10)},
+	}
+	for _, tc := range cases {
+		if got := fill(tc.n).quantile(tc.q); got != tc.want {
+			t.Errorf("quantile(%g) of 1..%d ms = %v, want %v", tc.q, tc.n, got, tc.want)
+		}
+	}
+	if got := newLatWindow().quantile(0.99); got != 0 {
+		t.Errorf("quantile of empty window = %v, want 0", got)
+	}
+}
+
+// TestPublishRepointsExpvar is the regression for the silent no-op: the
+// expvar name "lwmd" must always snapshot the most recently published
+// server, not whoever published first.
+func TestPublishRepointsExpvar(t *testing.T) {
+	readSnap := func() map[string]any {
+		t.Helper()
+		v := expvar.Get("lwmd")
+		if v == nil {
+			t.Fatal("expvar lwmd not published")
+		}
+		var snap map[string]any
+		if err := json.Unmarshal([]byte(v.String()), &snap); err != nil {
+			t.Fatalf("snapshot not JSON: %v", err)
+		}
+		return snap
+	}
+
+	s1 := New(Config{})
+	s1.Publish()
+
+	s2 := New(Config{})
+	s2.Publish()
+	s2.draining.Store(true) // distinguishes s2 from s1
+	if snap := readSnap(); snap["draining"] != true {
+		t.Fatalf("after second Publish, snapshot still reads the first server: %v", snap["draining"])
+	}
+
+	s3 := New(Config{})
+	s3.Publish()
+	if snap := readSnap(); snap["draining"] != false {
+		t.Fatalf("after third Publish, snapshot still reads the second server: %v", snap["draining"])
+	}
+}
+
+// TestTracePropagationAndRequestLog: a request carrying X-Lwm-Trace-Id
+// gets the same ID echoed on the response and logged on its single
+// request log line, with stage timings and result=ok.
+func TestTracePropagationAndRequestLog(t *testing.T) {
+	fx := makeFixture(t, "alice")
+	sink := &syncBuffer{}
+	srv := New(Config{Logger: jsonLogger(sink)})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	defer srv.Shutdown(context.Background())
+
+	body := encodeLikeServer(t, map[string]any{
+		"design": fx.designText, "signature": "alice",
+		"tau": 16, "k": 3, "epsilon": 0.4,
+	})
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/embed", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set(obs.TraceHeader, "trace-test-1234")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("embed status %d", resp.StatusCode)
+	}
+	if got := resp.Header.Get(obs.TraceHeader); got != "trace-test-1234" {
+		t.Fatalf("trace header echoed %q, want trace-test-1234", got)
+	}
+	if timing := resp.Header.Get(obs.TimingHeader); !strings.Contains(timing, "queue_wait_ns=") ||
+		!strings.Contains(timing, "run_ns=") {
+		t.Fatalf("timing header %q missing stage fields", timing)
+	}
+
+	lines := waitRequestLogs(t, sink, 1)
+	line := lines[0]
+	if line["trace_id"] != "trace-test-1234" {
+		t.Fatalf("log trace_id %v, want trace-test-1234", line["trace_id"])
+	}
+	if line["endpoint"] != "embed" || line["result"] != "ok" || line["status"] != float64(200) {
+		t.Fatalf("log line fields off: %v", line)
+	}
+	if line["draining"] != false {
+		t.Fatalf("draining %v on a serving instance", line["draining"])
+	}
+	for _, k := range []string{"queue_wait_ms", "run_ms", "total_ms", "engine_ms"} {
+		if _, ok := line[k].(float64); !ok {
+			t.Fatalf("log line missing numeric %s: %v", k, line)
+		}
+	}
+}
+
+// TestUntracedRequestsGetDistinctIDs: with logging on but no incoming
+// header, every request is logged under a minted, unique trace ID.
+func TestUntracedRequestsGetDistinctIDs(t *testing.T) {
+	fx := makeFixture(t, "alice")
+	sink := &syncBuffer{}
+	srv := New(Config{Logger: jsonLogger(sink)})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	defer srv.Shutdown(context.Background())
+
+	body := encodeLikeServer(t, map[string]any{
+		"design": fx.designText, "signature": "alice",
+		"tau": 16, "k": 3, "epsilon": 0.4,
+	})
+	for i := 0; i < 2; i++ {
+		resp, _ := postJSON(t, http.DefaultClient, ts.URL+"/v1/embed", body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("embed status %d", resp.StatusCode)
+		}
+		if resp.Header.Get(obs.TraceHeader) == "" {
+			t.Fatal("no trace ID minted on response")
+		}
+	}
+	lines := waitRequestLogs(t, sink, 2)
+	a, b := lines[0]["trace_id"], lines[1]["trace_id"]
+	if a == "" || b == "" || a == b {
+		t.Fatalf("minted trace IDs not distinct: %v vs %v", a, b)
+	}
+}
+
+// TestDrainObservability: during a drain, a rejected request's log line
+// reports draining=true and result=drained with a 503; the snapshot
+// counts it as drained_503 (not failed); and /metrics reports
+// lwmd_draining 1 plus the drained counter.
+func TestDrainObservability(t *testing.T) {
+	fx := makeFixture(t, "alice")
+	sink := &syncBuffer{}
+	srv := New(Config{Logger: jsonLogger(sink)})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	if err := srv.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	body := encodeLikeServer(t, map[string]any{
+		"design": fx.designText, "signature": "alice",
+		"tau": 16, "k": 3, "epsilon": 0.4,
+	})
+	resp, _ := postJSON(t, http.DefaultClient, ts.URL+"/v1/embed", body)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("draining embed status %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("drain 503 without Retry-After")
+	}
+
+	lines := waitRequestLogs(t, sink, 1)
+	line := lines[0]
+	if line["result"] != "drained" || line["draining"] != true || line["status"] != float64(503) {
+		t.Fatalf("drain log line off: %v", line)
+	}
+
+	snap := srv.snapshot()
+	em := snap["endpoints"].(map[string]any)["embed"].(map[string]any)
+	if em["drained_503"] != uint64(1) {
+		t.Fatalf("drained_503 = %v, want 1", em["drained_503"])
+	}
+	if em["failed"] != uint64(0) {
+		t.Fatalf("failed = %v; drain rejections must not count as failures", em["failed"])
+	}
+
+	mresp, mbody := getMetrics(t, ts.URL+"/metrics")
+	if mresp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics status %d", mresp.StatusCode)
+	}
+	for _, want := range []string{
+		"lwmd_draining 1",
+		`lwmd_requests_total{endpoint="embed",result="drained"} 1`,
+		`lwmd_requests_total{endpoint="embed",result="error"} 0`,
+	} {
+		if !strings.Contains(mbody, want) {
+			t.Fatalf("/metrics missing %q:\n%s", want, mbody)
+		}
+	}
+}
+
+func getMetrics(t *testing.T, url string) (*http.Response, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	return resp, buf.String()
+}
+
+// TestMetricsEndpointAgreesWithExpvar: the histogram count on /metrics
+// and the expvar accepted counter move in lockstep, and the page is
+// served with the Prometheus content type on both the service and debug
+// muxes.
+func TestMetricsEndpointAgreesWithExpvar(t *testing.T) {
+	fx := makeFixture(t, "alice")
+	srv := New(Config{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	defer srv.Shutdown(context.Background())
+	dts := httptest.NewServer(srv.DebugHandler())
+	defer dts.Close()
+
+	body := encodeLikeServer(t, map[string]any{
+		"design": fx.designText, "signature": "alice",
+		"tau": 16, "k": 3, "epsilon": 0.4,
+	})
+	const reqs = 3
+	for i := 0; i < reqs; i++ {
+		resp, _ := postJSON(t, http.DefaultClient, ts.URL+"/v1/embed", body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("embed status %d", resp.StatusCode)
+		}
+	}
+
+	resp, page := getMetrics(t, ts.URL+"/metrics")
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("content type %q", ct)
+	}
+	accepted := srv.metrics.endpoints["embed"].accepted.Load()
+	if accepted != reqs {
+		t.Fatalf("accepted = %d, want %d", accepted, reqs)
+	}
+	want := fmt.Sprintf(`lwmd_request_duration_seconds_count{endpoint="embed"} %d`, accepted)
+	if !strings.Contains(page, want) {
+		t.Fatalf("/metrics missing %q:\n%s", want, page)
+	}
+	if !strings.Contains(page, `lwmd_requests_total{endpoint="embed",result="ok"} 3`) {
+		t.Fatalf("/metrics missing ok counter:\n%s", page)
+	}
+	for _, fam := range []string{
+		"lwmd_queue_wait_seconds", "lwmd_queue_depth", "lwmd_queue_capacity",
+		"lwmd_uptime_seconds", "lwmd_engine_pool_runs_total", "lwmd_oracle_hits_total",
+	} {
+		if !strings.Contains(page, fam) {
+			t.Fatalf("/metrics missing family %s", fam)
+		}
+	}
+
+	dresp, dpage := getMetrics(t, dts.URL+"/metrics")
+	if dresp.StatusCode != http.StatusOK || !strings.Contains(dpage, "lwmd_request_duration_seconds") {
+		t.Fatalf("debug mux /metrics not serving (status %d)", dresp.StatusCode)
+	}
+}
+
+// TestChaosJSONRequestLogs: with the fault injector on and JSON logging,
+// every request — including ones the chaos layer reset, 500ed, or
+// truncated before the real handler ran — produces exactly one
+// parseable request log line. The observe middleware sits outside the
+// injector; this is the test that keeps it there.
+func TestChaosJSONRequestLogs(t *testing.T) {
+	fx := makeFixture(t, "alice")
+	sink := &syncBuffer{}
+	inj := chaos.New(chaos.Config{
+		Seed:      7,
+		PReset:    0.25,
+		PError:    0.25,
+		PTruncate: 0.25,
+	})
+	srv := New(Config{Logger: jsonLogger(sink), Chaos: inj})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	defer srv.Shutdown(context.Background())
+
+	body := encodeLikeServer(t, map[string]any{
+		"design": fx.designText, "signature": "alice",
+		"tau": 16, "k": 3, "epsilon": 0.4,
+	})
+	const reqs = 20
+	for i := 0; i < reqs; i++ {
+		resp, err := http.Post(ts.URL+"/v1/embed", "application/json", bytes.NewReader(body))
+		if err == nil {
+			// Drain the (possibly truncated) body; transport errors here
+			// are expected chaos.
+			var sink bytes.Buffer
+			_, _ = sink.ReadFrom(resp.Body)
+			resp.Body.Close()
+		}
+	}
+	if inj.Counters().Faulted() == 0 {
+		t.Fatal("chaos injected no faults; test proves nothing")
+	}
+
+	lines := waitRequestLogs(t, sink, reqs)
+	if len(lines) != reqs {
+		t.Fatalf("%d requests produced %d request log lines", reqs, len(lines))
+	}
+	for _, line := range lines {
+		if line["trace_id"] == "" || line["endpoint"] != "embed" {
+			t.Fatalf("malformed request line: %v", line)
+		}
+		if _, ok := line["result"].(string); !ok {
+			t.Fatalf("request line without result: %v", line)
+		}
+	}
+}
+
+// TestObserveDisabledPassThrough: no logger and no trace header means no
+// trace header on the response and no server-timing header — the
+// disabled path must not quietly turn itself on.
+func TestObserveDisabledPassThrough(t *testing.T) {
+	fx := makeFixture(t, "alice")
+	srv := New(Config{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	defer srv.Shutdown(context.Background())
+
+	body := encodeLikeServer(t, map[string]any{
+		"design": fx.designText, "signature": "alice",
+		"tau": 16, "k": 3, "epsilon": 0.4,
+	})
+	resp, _ := postJSON(t, http.DefaultClient, ts.URL+"/v1/embed", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("embed status %d", resp.StatusCode)
+	}
+	if got := resp.Header.Get(obs.TraceHeader); got != "" {
+		t.Fatalf("untraced request got trace header %q", got)
+	}
+	if got := resp.Header.Get(obs.TimingHeader); got != "" {
+		t.Fatalf("untraced request got timing header %q", got)
+	}
+}

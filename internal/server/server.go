@@ -32,6 +32,7 @@ import (
 	"encoding/json"
 	"expvar"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"net/http/pprof"
 	"runtime"
@@ -39,6 +40,7 @@ import (
 	"time"
 
 	"localwm/internal/chaos"
+	"localwm/internal/obs"
 )
 
 // Endpoint names, used as queue and metrics keys.
@@ -78,6 +80,12 @@ type Config struct {
 	// deterministically seeded. Liveness and stats endpoints are never
 	// injected. Nil (the default) leaves the serving path untouched.
 	Chaos *chaos.Injector
+	// Logger, when non-nil, makes every API request emit one structured
+	// log line (msg="request") with trace ID, endpoint, status, result,
+	// and stage timings. Nil (the default) disables request logging; the
+	// serving path then pays nothing unless a request carries an
+	// X-Lwm-Trace-Id header.
+	Logger *slog.Logger
 }
 
 func (c Config) withDefaults() Config {
@@ -119,6 +127,8 @@ type Server struct {
 	cfg      Config
 	queues   map[string]*queue
 	metrics  *metrics
+	logger   *slog.Logger
+	reg      *obs.Registry
 	draining atomic.Bool
 
 	// testJobStart, when set (tests only), runs at the start of every
@@ -138,20 +148,25 @@ func New(cfg Config) *Server {
 			epDetect: newQueue(cfg.DetectWorkers, cfg.QueueSize),
 			epVerify: newQueue(cfg.VerifyWorkers, cfg.QueueSize),
 		},
+		logger: cfg.Logger,
 	}
+	s.reg = s.buildRegistry()
 	return s
 }
 
-// Handler returns the service mux: the /v1 API plus /healthz. With
-// Config.Chaos set, the API endpoints (and only they — liveness and
-// stats stay clean) pass through the fault injector.
+// Handler returns the service mux: the /v1 API plus /healthz and the
+// Prometheus scrape at /metrics. With Config.Chaos set, the API
+// endpoints (and only they — liveness, stats, and metrics stay clean)
+// pass through the fault injector. The observe middleware wraps outside
+// the injector, so even fault-substituted responses are traced and
+// logged.
 func (s *Server) Handler() http.Handler {
 	api := func(name string, handle func(r *http.Request) (any, error)) http.Handler {
 		h := s.endpoint(name, handle)
 		if s.cfg.Chaos != nil {
 			h = s.cfg.Chaos.Middleware(h)
 		}
-		return h
+		return s.observe(name, h)
 	}
 	mux := http.NewServeMux()
 	mux.Handle("/v1/embed", api(epEmbed, s.handleEmbed))
@@ -160,6 +175,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/stats", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, s.snapshot())
 	})
+	mux.Handle("/metrics", s.MetricsHandler())
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		if s.draining.Load() {
 			w.Header().Set("Retry-After", s.retryAfterSeconds())
@@ -172,11 +188,13 @@ func (s *Server) Handler() http.Handler {
 }
 
 // DebugHandler returns the observability mux: expvar at /debug/vars, the
-// server's own snapshot at /debug/lwmd, and the pprof suite under
-// /debug/pprof/. Serve it on a loopback-only port (-debug-addr).
+// server's own snapshot at /debug/lwmd, the Prometheus scrape at
+// /metrics, and the pprof suite under /debug/pprof/. Serve it on a
+// loopback-only port (-debug-addr).
 func (s *Server) DebugHandler() http.Handler {
 	mux := http.NewServeMux()
 	mux.Handle("/debug/vars", expvar.Handler())
+	mux.Handle("/metrics", s.MetricsHandler())
 	mux.HandleFunc("/debug/lwmd", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, s.snapshot())
 	})

@@ -36,6 +36,7 @@ import (
 	"localwm/internal/chaos"
 	"localwm/internal/designs"
 	"localwm/internal/engine"
+	"localwm/internal/obs"
 	"localwm/internal/prng"
 	"localwm/internal/sched"
 	"localwm/internal/schedwm"
@@ -246,3 +247,64 @@ func EngineStats() EngineCounters { return engine.Stats() }
 // OracleStats reports cumulative longest-path cache hits and misses
 // across every cdfg.PathOracle in the process.
 var OracleStats = cdfg.OracleStats
+
+// Observability surface (internal/obs): request tracing, structured
+// request logging, and Prometheus-style metrics.
+//
+// Tracing: attach a Trace to a context with WithTrace and pass that
+// context to a Client call — the client hangs its attempt/backoff spans
+// on it, sends the trace ID in TraceHeader, and the daemon logs its
+// side under the same ID. The Service exposes the Prometheus scrape on
+// GET /metrics of both Handler() and DebugHandler(); a Client exposes
+// its own lwmclient_* counters via Client.WritePrometheus, for
+// embedding applications that serve their own metrics page.
+type (
+	// Trace is a process-local span collection for one logical request.
+	Trace = obs.Trace
+	// TraceID identifies one logical request across processes; it
+	// travels in the TraceHeader HTTP header.
+	TraceID = obs.TraceID
+	// TraceSpan is one named, timed region of a Trace.
+	TraceSpan = obs.Span
+	// MetricsRegistry is a Prometheus-style registry of counters,
+	// gauges, and fixed-bucket histograms (text exposition format 0.0.4
+	// via WritePrometheus).
+	MetricsRegistry = obs.Registry
+	// MetricsHistogram is a fixed-bucket latency histogram.
+	MetricsHistogram = obs.Histogram
+)
+
+// Trace-propagation constants: the request and response headers the
+// client and daemon exchange.
+const (
+	// TraceHeader carries the trace ID from client to daemon.
+	TraceHeader = obs.TraceHeader
+	// TimingHeader carries the daemon's queue-wait/run stage timings
+	// back to a tracing client.
+	TimingHeader = obs.TimingHeader
+)
+
+// NewTrace starts an empty trace under the given ID.
+var NewTrace = obs.NewTrace
+
+// NewTraceID returns a process-unique trace ID.
+var NewTraceID = obs.NewTraceID
+
+// WithTrace attaches a trace to a context (see obs.WithTrace);
+// TraceFromContext retrieves it.
+var (
+	WithTrace        = obs.WithTrace
+	TraceFromContext = obs.TraceFrom
+)
+
+// NewMetricsRegistry returns an empty metrics registry.
+var NewMetricsRegistry = obs.NewRegistry
+
+// NewStructuredLogger builds a log/slog logger in the daemon's format
+// ("text" or "json") at the given level, suitable for
+// ServiceConfig.Logger, ClientConfig.Logger, and ChaosConfig.Logger.
+var NewStructuredLogger = obs.NewLogger
+
+// ParseLogLevel maps "debug", "info", "warn", or "error" to a
+// slog.Level for NewStructuredLogger.
+var ParseLogLevel = obs.ParseLevel

@@ -116,8 +116,10 @@ func (b *breaker) allow(now time.Time) (time.Duration, error) {
 // record feeds one request outcome back. Callers report success=false
 // only for transient service failures; a definite answer (2xx, or a 4xx
 // the service produced deliberately) counts as success for breaker
-// purposes even when the call itself errors.
-func (b *breaker) record(success bool, now time.Time) {
+// purposes even when the call itself errors. The returned transition is
+// "opened" or "closed" when this outcome tripped or restored the
+// breaker, else "" — the client logs non-empty transitions.
+func (b *breaker) record(success bool, now time.Time) (transition string) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	switch b.state {
@@ -125,11 +127,12 @@ func (b *breaker) record(success bool, now time.Time) {
 		b.probeInFlight = false
 		if !success {
 			b.toOpen(now)
-			return
+			return "opened"
 		}
 		b.probeOK++
 		if b.probeOK >= b.cfg.HalfOpenSuccesses {
 			b.toClosed()
+			return "closed"
 		}
 	case stateClosed:
 		if b.filled == len(b.window) {
@@ -151,10 +154,12 @@ func (b *breaker) record(success bool, now time.Time) {
 			(b.filled == len(b.window) &&
 				float64(b.failures) >= b.cfg.FailureFraction*float64(len(b.window))) {
 			b.toOpen(now)
+			return "opened"
 		}
 	default:
 		// stateOpen: a straggler finishing after the trip; no new signal.
 	}
+	return ""
 }
 
 // toOpen trips the breaker, forgetting window history so the next closed

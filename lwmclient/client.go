@@ -36,12 +36,15 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"math/rand"
 	"net/http"
 	"strconv"
 	"strings"
 	"sync/atomic"
 	"time"
+
+	"localwm/internal/obs"
 )
 
 // Config parameterizes a Client. Only BaseURL is required; every zero
@@ -72,6 +75,13 @@ type Config struct {
 	ChunkSize int
 	// Breaker parameterizes the circuit breaker.
 	Breaker BreakerConfig
+	// Logger, when non-nil, receives one structured line per HTTP
+	// attempt (msg="attempt"), per backoff sleep (msg="backoff"), and
+	// per breaker transition (msg="breaker"), all carrying the call's
+	// trace ID — the same ID the daemon logs, so client and server lines
+	// join on trace_id. Nil (the default) logs nothing and costs
+	// nothing.
+	Logger *slog.Logger
 
 	// jitter is the backoff randomness source (tests pin it).
 	jitter func() float64
@@ -161,6 +171,7 @@ type Client struct {
 	cfg  Config
 	base string
 	br   *breaker
+	reg  *obs.Registry
 
 	attempts  atomic.Uint64
 	retries   atomic.Uint64
@@ -177,7 +188,49 @@ func New(cfg Config) (*Client, error) {
 	if !strings.Contains(base, "://") {
 		base = "http://" + base
 	}
-	return &Client{cfg: cfg, base: base, br: newBreaker(cfg.Breaker)}, nil
+	c := &Client{cfg: cfg, base: base, br: newBreaker(cfg.Breaker)}
+	c.reg = c.buildRegistry()
+	return c, nil
+}
+
+// buildRegistry exposes the client's counters as lwmclient_* Prometheus
+// series for WritePrometheus.
+func (c *Client) buildRegistry() *obs.Registry {
+	r := obs.NewRegistry()
+	for _, ec := range []struct {
+		name, help string
+		load       func() uint64
+	}{
+		{"lwmclient_attempts_total", "HTTP requests actually sent.",
+			func() uint64 { return c.attempts.Load() }},
+		{"lwmclient_retries_total", "Attempts beyond each call's first.",
+			func() uint64 { return c.retries.Load() }},
+		{"lwmclient_breaker_fast_fails_total", "Sends refused by an open breaker.",
+			func() uint64 { return c.fastFails.Load() }},
+		{"lwmclient_breaker_opens_total", "Breaker closed/half-open to open transitions.",
+			func() uint64 { opens, _ := c.br.stats(); return opens }},
+		{"lwmclient_breaker_closes_total", "Breaker half-open to closed transitions.",
+			func() uint64 { _, closes := c.br.stats(); return closes }},
+	} {
+		load := ec.load
+		r.CounterFunc(ec.name, ec.help, nil, func() float64 { return float64(load()) })
+	}
+	r.GaugeFunc("lwmclient_breaker_open",
+		"1 while the circuit breaker refuses sends, else 0.", nil,
+		func() float64 {
+			if c.br.State() == "open" {
+				return 1
+			}
+			return 0
+		})
+	return r
+}
+
+// WritePrometheus writes the client's retry and breaker counters in the
+// Prometheus text exposition format, for embedding applications that
+// expose their own /metrics page.
+func (c *Client) WritePrometheus(w io.Writer) error {
+	return c.reg.WritePrometheus(w)
 }
 
 // Counters returns the client's cumulative attempt and breaker counters.
@@ -254,9 +307,29 @@ func (c *Client) Detect(ctx context.Context, req DetectRequest) (*DetectResult, 
 	return res, nil
 }
 
+// logAttrs emits one structured client log line when a logger is
+// configured; trace_id and path lead every line so client logs join the
+// daemon's request logs on trace_id.
+func (c *Client) logAttrs(msg string, tid obs.TraceID, path string, extra ...slog.Attr) {
+	if c.cfg.Logger == nil {
+		return
+	}
+	attrs := append([]slog.Attr{
+		slog.String("trace_id", string(tid)),
+		slog.String("path", path),
+	}, extra...)
+	c.cfg.Logger.LogAttrs(context.Background(), slog.LevelInfo, msg, attrs...)
+}
+
 // call runs one resilient request: marshal, then attempt with breaker
 // gating, per-attempt deadlines, and jittered backoff until success, a
 // definite (non-transient) answer, MaxAttempts, or the call deadline.
+//
+// Every call carries a trace ID on X-Lwm-Trace-Id: the one from a trace
+// attached to ctx (obs.WithTrace — the lwm CLI's -trace flag does
+// this), or a fresh process-unique ID otherwise. The daemon adopts the
+// ID, so one trace ID names the logical request on both sides of the
+// wire, across every retry.
 func (c *Client) call(ctx context.Context, path string, in, out any) error {
 	body, err := json.Marshal(in)
 	if err != nil {
@@ -264,6 +337,16 @@ func (c *Client) call(ctx context.Context, path string, in, out any) error {
 	}
 	ctx, cancel := context.WithTimeout(ctx, c.cfg.CallTimeout)
 	defer cancel()
+
+	tr := obs.TraceFrom(ctx)
+	var tid obs.TraceID
+	if tr != nil {
+		tid = tr.ID
+	} else {
+		tid = obs.NewTraceID()
+	}
+	ctx, callSpan := obs.StartSpan(ctx, "call "+path)
+	defer callSpan.Finish()
 
 	attempts := 0
 	var lastErr error
@@ -275,7 +358,11 @@ func (c *Client) call(ctx context.Context, path string, in, out any) error {
 			if lastErr == nil {
 				lastErr = berr
 			}
-			if serr := sleepCtx(ctx, wait); serr != nil {
+			c.logAttrs("breaker_wait", tid, path, slog.Duration("wait", wait))
+			waitStart := time.Now()
+			serr := sleepCtx(ctx, wait)
+			tr.Record(callSpan, "breaker.wait", waitStart, time.Since(waitStart))
+			if serr != nil {
 				return fmt.Errorf("lwmclient: %s: %w (last error: %v)", path, serr, lastErr)
 			}
 			continue
@@ -286,11 +373,31 @@ func (c *Client) call(ctx context.Context, path string, in, out any) error {
 		if attempts > 1 {
 			c.retries.Add(1)
 		}
-		err := c.attempt(ctx, path, body, out)
+		var aspan *obs.Span
+		if tr != nil {
+			aspan = tr.StartSpan(callSpan, fmt.Sprintf("attempt %d", attempts))
+		}
+		attemptStart := time.Now()
+		err := c.attempt(ctx, path, tid, body, out, aspan)
+		aspan.Finish()
 		transient := err != nil && isTransient(err)
 		// Breaker feedback: only transient failures indict the service;
 		// a definite 4xx means it is healthy and answered.
-		c.br.record(!transient, time.Now())
+		if transition := c.br.record(!transient, time.Now()); transition != "" {
+			c.logAttrs("breaker", tid, path, slog.String("transition", transition))
+		}
+		if c.cfg.Logger != nil {
+			extra := []slog.Attr{
+				slog.Int("attempt", attempts),
+				slog.Float64("elapsed_ms", float64(time.Since(attemptStart))/float64(time.Millisecond)),
+			}
+			if err != nil {
+				extra = append(extra, slog.String("err", err.Error()), slog.Bool("transient", transient))
+			} else {
+				extra = append(extra, slog.String("result", "ok"))
+			}
+			c.logAttrs("attempt", tid, path, extra...)
+		}
 		if err == nil {
 			return nil
 		}
@@ -306,15 +413,22 @@ func (c *Client) call(ctx context.Context, path string, in, out any) error {
 		if errors.As(err, &he) && he.RetryAfter > delay {
 			delay = he.RetryAfter
 		}
-		if serr := sleepCtx(ctx, delay); serr != nil {
+		c.logAttrs("backoff", tid, path,
+			slog.Int("attempt", attempts), slog.Duration("delay", delay))
+		backoffStart := time.Now()
+		serr := sleepCtx(ctx, delay)
+		tr.Record(callSpan, "backoff", backoffStart, time.Since(backoffStart))
+		if serr != nil {
 			return fmt.Errorf("lwmclient: %s: %w (last error: %v)", path, serr, lastErr)
 		}
 	}
 }
 
 // attempt sends one HTTP request under the per-attempt deadline and
-// decodes the answer into out.
-func (c *Client) attempt(ctx context.Context, path string, body []byte, out any) error {
+// decodes the answer into out. The attempt span (nil when untraced)
+// picks up the HTTP status and, when the daemon reported them, the
+// server-side stage timings from X-Lwm-Server-Timing.
+func (c *Client) attempt(ctx context.Context, path string, tid obs.TraceID, body []byte, out any, aspan *obs.Span) error {
 	actx, cancel := context.WithTimeout(ctx, c.cfg.AttemptTimeout)
 	defer cancel()
 	req, err := http.NewRequestWithContext(actx, http.MethodPost, c.base+path, bytes.NewReader(body))
@@ -322,6 +436,7 @@ func (c *Client) attempt(ctx context.Context, path string, body []byte, out any)
 		return fmt.Errorf("lwmclient: building request: %w", err)
 	}
 	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(obs.TraceHeader, string(tid))
 	resp, err := c.cfg.HTTPClient.Do(req)
 	if err != nil {
 		if ctx.Err() != nil {
@@ -330,6 +445,13 @@ func (c *Client) attempt(ctx context.Context, path string, body []byte, out any)
 		return &transportError{err}
 	}
 	defer resp.Body.Close()
+	if aspan != nil {
+		aspan.SetAttr("status", resp.StatusCode)
+		if qw, run, ok := parseServerTiming(resp.Header.Get(obs.TimingHeader)); ok {
+			aspan.SetAttr("server_queue_wait", qw)
+			aspan.SetAttr("server_run", run)
+		}
+	}
 	data, rerr := io.ReadAll(resp.Body)
 	if resp.StatusCode != http.StatusOK {
 		he := &HTTPError{Status: resp.StatusCode, Msg: strings.TrimSpace(string(data))}
@@ -356,6 +478,16 @@ func (c *Client) attempt(ctx context.Context, path string, body []byte, out any)
 		return &transportError{fmt.Errorf("decoding response: %w", err)}
 	}
 	return nil
+}
+
+// parseServerTiming decodes the daemon's X-Lwm-Server-Timing value,
+// "queue_wait_ns=<int>;run_ns=<int>".
+func parseServerTiming(v string) (queueWait, run time.Duration, ok bool) {
+	var qw, rn int64
+	if _, err := fmt.Sscanf(v, "queue_wait_ns=%d;run_ns=%d", &qw, &rn); err != nil {
+		return 0, 0, false
+	}
+	return time.Duration(qw), time.Duration(rn), true
 }
 
 // backoff returns the full-jitter delay before retry number `attempt`

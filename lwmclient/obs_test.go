@@ -1,0 +1,190 @@
+package lwmclient
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"log/slog"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+
+	"localwm/internal/obs"
+)
+
+// logSink is a goroutine-safe buffer for the client's structured logs.
+type logSink struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (s *logSink) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.buf.Write(p)
+}
+
+func (s *logSink) lines(t *testing.T) []map[string]any {
+	t.Helper()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []map[string]any
+	for _, line := range strings.Split(s.buf.String(), "\n") {
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		var m map[string]any
+		if err := json.Unmarshal([]byte(line), &m); err != nil {
+			t.Fatalf("unparseable client log line %q: %v", line, err)
+		}
+		out = append(out, m)
+	}
+	return out
+}
+
+// TestClientTraceHeaderAndLogCorrelation: every HTTP attempt of one call
+// carries the same X-Lwm-Trace-Id, and every log line the client emits
+// for that call — attempts, backoffs — carries that same ID.
+func TestClientTraceHeaderAndLogCorrelation(t *testing.T) {
+	var mu sync.Mutex
+	var headerIDs []string
+	ts, hits := fakeVerify(t, func(n int, w http.ResponseWriter) bool {
+		if n <= 2 {
+			w.WriteHeader(http.StatusInternalServerError)
+			return true
+		}
+		return false
+	})
+	base := ts.Config.Handler
+	ts.Config.Handler = http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		headerIDs = append(headerIDs, r.Header.Get(obs.TraceHeader))
+		mu.Unlock()
+		base.ServeHTTP(w, r)
+	})
+
+	sink := &logSink{}
+	cfg := fastConfig(ts.URL)
+	cfg.Logger = slog.New(slog.NewJSONHandler(sink, nil))
+	c := newTestClient(t, cfg)
+
+	if _, err := c.Verify(context.Background(), VerifyRequest{}); err != nil {
+		t.Fatal(err)
+	}
+	if got := hits.Load(); got != 3 {
+		t.Fatalf("server saw %d attempts, want 3", got)
+	}
+
+	mu.Lock()
+	ids := append([]string(nil), headerIDs...)
+	mu.Unlock()
+	if len(ids) != 3 {
+		t.Fatalf("captured %d trace headers, want 3", len(ids))
+	}
+	for _, id := range ids {
+		if id == "" || id != ids[0] {
+			t.Fatalf("attempt trace IDs not one shared non-empty ID: %v", ids)
+		}
+	}
+
+	lines := sink.lines(t)
+	var attempts, backoffs int
+	for _, line := range lines {
+		if line["trace_id"] != ids[0] {
+			t.Fatalf("log line with foreign trace_id %v (want %v): %v", line["trace_id"], ids[0], line)
+		}
+		switch line["msg"] {
+		case "attempt":
+			attempts++
+		case "backoff":
+			backoffs++
+		}
+	}
+	if attempts != 3 || backoffs != 2 {
+		t.Fatalf("logged %d attempts and %d backoffs, want 3 and 2:\n%v", attempts, backoffs, lines)
+	}
+}
+
+// TestClientTraceFromContextPropagated: a caller-supplied trace governs
+// the header — the client must join it, not mint a fresh ID.
+func TestClientTraceFromContextPropagated(t *testing.T) {
+	var mu sync.Mutex
+	var gotID string
+	ts, _ := fakeVerify(t, nil)
+	base := ts.Config.Handler
+	ts.Config.Handler = http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		gotID = r.Header.Get(obs.TraceHeader)
+		mu.Unlock()
+		base.ServeHTTP(w, r)
+	})
+
+	c := newTestClient(t, fastConfig(ts.URL))
+	tr := obs.NewTrace("caller-chosen-id")
+	ctx := obs.WithTrace(context.Background(), tr)
+	if _, err := c.Verify(ctx, VerifyRequest{}); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if gotID != "caller-chosen-id" {
+		t.Fatalf("server saw trace ID %q, want caller-chosen-id", gotID)
+	}
+	spans := tr.Spans()
+	if len(spans) == 0 {
+		t.Fatal("caller trace collected no client spans")
+	}
+	var sawCall, sawAttempt bool
+	for _, sp := range spans {
+		if strings.HasPrefix(sp.Name, "call ") {
+			sawCall = true
+		}
+		if strings.HasPrefix(sp.Name, "attempt ") {
+			sawAttempt = true
+		}
+	}
+	if !sawCall || !sawAttempt {
+		t.Fatalf("trace missing call/attempt spans: %v", spanNames(spans))
+	}
+}
+
+func spanNames(spans []*obs.Span) []string {
+	names := make([]string, len(spans))
+	for i, sp := range spans {
+		names[i] = sp.Name
+	}
+	return names
+}
+
+// TestClientWritePrometheus: the client-side registry exposes the retry
+// and breaker counters in scrapeable form.
+func TestClientWritePrometheus(t *testing.T) {
+	ts, _ := fakeVerify(t, func(n int, w http.ResponseWriter) bool {
+		if n == 1 {
+			w.WriteHeader(http.StatusInternalServerError)
+			return true
+		}
+		return false
+	})
+	c := newTestClient(t, fastConfig(ts.URL))
+	if _, err := c.Verify(context.Background(), VerifyRequest{}); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := c.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	page := buf.String()
+	for _, want := range []string{
+		"lwmclient_attempts_total 2",
+		"lwmclient_retries_total 1",
+		"lwmclient_breaker_open 0",
+		"# TYPE lwmclient_attempts_total counter",
+	} {
+		if !strings.Contains(page, want) {
+			t.Fatalf("WritePrometheus missing %q:\n%s", want, page)
+		}
+	}
+}

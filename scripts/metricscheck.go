@@ -1,0 +1,394 @@
+// Command metricscheck lints a Prometheus text-exposition page — the CI
+// gate behind lwmd's GET /metrics. It validates what a scraper relies
+// on: metric-name and label syntax, every sample preceded by a # TYPE
+// for its family, parseable values, and histogram integrity (cumulative
+// monotone buckets, an le="+Inf" bucket equal to _count, and _sum/_count
+// present).
+//
+//	go run ./scripts -url http://localhost:8078/metrics
+//	curl -s http://localhost:8078/metrics | go run ./scripts
+//
+// With -require name[,name...] it additionally fails unless each named
+// family appears, so CI catches a metric silently vanishing.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+var (
+	nameRe  = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	labelRe = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)
+	typeSet = map[string]bool{"counter": true, "gauge": true, "histogram": true, "summary": true, "untyped": true}
+)
+
+func main() {
+	url := flag.String("url", "", "scrape this URL (empty: read the page from stdin)")
+	require := flag.String("require", "", "comma-separated metric families that must be present")
+	flag.Parse()
+
+	var in io.Reader = os.Stdin
+	if *url != "" {
+		resp, err := http.Get(*url)
+		if err != nil {
+			fatal("fetching %s: %v", *url, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			fatal("fetching %s: status %d", *url, resp.StatusCode)
+		}
+		if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+			fatal("fetching %s: Content-Type %q, want text/plain", *url, ct)
+		}
+		in = resp.Body
+	}
+
+	var req []string
+	for _, r := range strings.Split(*require, ",") {
+		if r = strings.TrimSpace(r); r != "" {
+			req = append(req, r)
+		}
+	}
+	errs := lint(in, req)
+	for _, e := range errs {
+		fmt.Fprintf(os.Stderr, "metricscheck: %s\n", e)
+	}
+	if len(errs) > 0 {
+		os.Exit(1)
+	}
+	fmt.Println("metricscheck: ok")
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "metricscheck: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+// sample is one parsed exposition line.
+type sample struct {
+	name   string
+	labels map[string]string
+	value  float64
+	line   int
+}
+
+// lint validates the exposition page on r and returns every violation
+// found (empty: the page is clean and every required family present).
+func lint(r io.Reader, required []string) []string {
+	var errs []string
+	addf := func(format string, args ...any) {
+		errs = append(errs, fmt.Sprintf(format, args...))
+	}
+
+	types := map[string]string{}  // family -> declared type
+	families := map[string]bool{} // every family seen (declared or sampled)
+	var samples []sample
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimRight(sc.Text(), " \t")
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			f := strings.Fields(line)
+			if len(f) < 3 || (f[1] != "HELP" && f[1] != "TYPE") {
+				continue // free-form comment: legal, uninteresting
+			}
+			if !nameRe.MatchString(f[2]) {
+				addf("line %d: bad metric name %q in %s comment", lineNo, f[2], f[1])
+				continue
+			}
+			families[f[2]] = true
+			if f[1] == "TYPE" {
+				if len(f) < 4 || !typeSet[f[3]] {
+					addf("line %d: bad TYPE for %s", lineNo, f[2])
+					continue
+				}
+				if _, dup := types[f[2]]; dup {
+					addf("line %d: duplicate TYPE for %s", lineNo, f[2])
+				}
+				types[f[2]] = f[3]
+			}
+			continue
+		}
+		s, err := parseSample(line)
+		if err != nil {
+			addf("line %d: %v", lineNo, err)
+			continue
+		}
+		s.line = lineNo
+		samples = append(samples, s)
+		families[familyOf(s.name, types)] = true
+	}
+	if err := sc.Err(); err != nil {
+		addf("reading input: %v", err)
+	}
+
+	// Every sample must belong to a family with a declared TYPE.
+	for _, s := range samples {
+		fam := familyOf(s.name, types)
+		if _, ok := types[fam]; !ok {
+			addf("line %d: sample %s has no # TYPE", s.line, s.name)
+		}
+	}
+
+	errs = append(errs, checkHistograms(samples, types)...)
+
+	for _, want := range required {
+		if !families[want] {
+			addf("required metric family %s not present", want)
+		}
+	}
+	return errs
+}
+
+// familyOf maps a sample name to its metric family: histogram samples
+// (name_bucket/_sum/_count) collapse onto the declared histogram family.
+func familyOf(name string, types map[string]string) string {
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		base := strings.TrimSuffix(name, suf)
+		if base != name && types[base] == "histogram" {
+			return base
+		}
+	}
+	return name
+}
+
+// parseSample parses `name[{labels}] value` (timestamps are not used by
+// this codebase and rejected).
+func parseSample(line string) (sample, error) {
+	s := sample{labels: map[string]string{}}
+	rest := line
+	brace := strings.IndexByte(rest, '{')
+	if brace >= 0 {
+		s.name = rest[:brace]
+		end := strings.LastIndexByte(rest, '}')
+		if end < brace {
+			return s, fmt.Errorf("unclosed label set in %q", line)
+		}
+		if err := parseLabels(rest[brace+1:end], s.labels); err != nil {
+			return s, err
+		}
+		rest = strings.TrimSpace(rest[end+1:])
+	} else {
+		f := strings.Fields(rest)
+		if len(f) != 2 {
+			return s, fmt.Errorf("want `name value`, got %q", line)
+		}
+		s.name, rest = f[0], f[1]
+	}
+	if !nameRe.MatchString(s.name) {
+		return s, fmt.Errorf("bad metric name %q", s.name)
+	}
+	f := strings.Fields(rest)
+	if len(f) != 1 {
+		return s, fmt.Errorf("want exactly one value after %s, got %q", s.name, rest)
+	}
+	v, err := strconv.ParseFloat(f[0], 64)
+	if err != nil {
+		return s, fmt.Errorf("bad value %q for %s", f[0], s.name)
+	}
+	s.value = v
+	return s, nil
+}
+
+// parseLabels parses `k1="v1",k2="v2"` into dst.
+func parseLabels(text string, dst map[string]string) error {
+	text = strings.TrimSpace(text)
+	for text != "" {
+		eq := strings.IndexByte(text, '=')
+		if eq < 0 {
+			return fmt.Errorf("label without '=': %q", text)
+		}
+		key := strings.TrimSpace(text[:eq])
+		if !labelRe.MatchString(key) {
+			return fmt.Errorf("bad label name %q", key)
+		}
+		rest := text[eq+1:]
+		if len(rest) == 0 || rest[0] != '"' {
+			return fmt.Errorf("label %s: value not quoted", key)
+		}
+		// Scan the quoted value honoring backslash escapes.
+		i := 1
+		var val strings.Builder
+		for ; i < len(rest); i++ {
+			switch rest[i] {
+			case '\\':
+				i++
+				if i >= len(rest) {
+					return fmt.Errorf("label %s: dangling escape", key)
+				}
+				val.WriteByte(rest[i])
+			case '"':
+				goto closed
+			default:
+				val.WriteByte(rest[i])
+			}
+		}
+		return fmt.Errorf("label %s: unterminated value", key)
+	closed:
+		if _, dup := dst[key]; dup {
+			return fmt.Errorf("duplicate label %s", key)
+		}
+		dst[key] = val.String()
+		text = strings.TrimSpace(rest[i+1:])
+		if text != "" {
+			if text[0] != ',' {
+				return fmt.Errorf("expected ',' between labels, got %q", text)
+			}
+			text = strings.TrimSpace(text[1:])
+		}
+	}
+	return nil
+}
+
+// checkHistograms validates every declared histogram family: buckets
+// cumulative and monotone in le order, an le="+Inf" bucket present and
+// equal to _count, and _sum/_count series present per label set.
+func checkHistograms(samples []sample, types map[string]string) []string {
+	var errs []string
+	addf := func(format string, args ...any) {
+		errs = append(errs, fmt.Sprintf(format, args...))
+	}
+
+	// Group bucket/sum/count samples per histogram family and non-le
+	// label signature.
+	type group struct {
+		buckets   map[float64]float64 // le -> cumulative count
+		sum       *float64
+		count     *float64
+		whereLine int
+	}
+	groups := map[string]map[string]*group{} // family -> label sig -> group
+	sigOf := func(labels map[string]string) string {
+		keys := make([]string, 0, len(labels))
+		for k := range labels {
+			if k != "le" {
+				keys = append(keys, k)
+			}
+		}
+		sort.Strings(keys)
+		var b strings.Builder
+		for _, k := range keys {
+			fmt.Fprintf(&b, "%s=%q,", k, labels[k])
+		}
+		return b.String()
+	}
+	ensure := func(fam, sig string, line int) *group {
+		if groups[fam] == nil {
+			groups[fam] = map[string]*group{}
+		}
+		g := groups[fam][sig]
+		if g == nil {
+			g = &group{buckets: map[float64]float64{}, whereLine: line}
+			groups[fam][sig] = g
+		}
+		return g
+	}
+
+	for i := range samples {
+		s := samples[i]
+		fam := familyOf(s.name, types)
+		if types[fam] != "histogram" {
+			continue
+		}
+		sig := sigOf(s.labels)
+		g := ensure(fam, sig, s.line)
+		switch {
+		case strings.HasSuffix(s.name, "_bucket"):
+			le, ok := s.labels["le"]
+			if !ok {
+				addf("line %d: %s sample without le label", s.line, s.name)
+				continue
+			}
+			bound, err := parseLe(le)
+			if err != nil {
+				addf("line %d: %s: %v", s.line, s.name, err)
+				continue
+			}
+			if _, dup := g.buckets[bound]; dup {
+				addf("line %d: %s: duplicate le=%q bucket", s.line, s.name, le)
+			}
+			g.buckets[bound] = s.value
+		case strings.HasSuffix(s.name, "_sum"):
+			v := s.value
+			g.sum = &v
+		case strings.HasSuffix(s.name, "_count"):
+			v := s.value
+			g.count = &v
+		}
+	}
+
+	fams := make([]string, 0, len(groups))
+	for fam := range groups {
+		fams = append(fams, fam)
+	}
+	sort.Strings(fams)
+	for _, fam := range fams {
+		sigs := make([]string, 0, len(groups[fam]))
+		for sig := range groups[fam] {
+			sigs = append(sigs, sig)
+		}
+		sort.Strings(sigs)
+		for _, sig := range sigs {
+			g := groups[fam][sig]
+			where := fmt.Sprintf("%s{%s}", fam, strings.TrimSuffix(sig, ","))
+			if g.sum == nil {
+				addf("%s: missing _sum", where)
+			}
+			if g.count == nil {
+				addf("%s: missing _count", where)
+			}
+			if len(g.buckets) == 0 {
+				addf("%s: histogram with no buckets", where)
+				continue
+			}
+			bounds := make([]float64, 0, len(g.buckets))
+			for b := range g.buckets {
+				bounds = append(bounds, b)
+			}
+			sort.Float64s(bounds)
+			prev := -1.0
+			for _, b := range bounds {
+				if c := g.buckets[b]; c < prev {
+					addf("%s: bucket le=%g count %g below previous %g (not cumulative)", where, b, c, prev)
+				} else {
+					prev = c
+				}
+			}
+			inf, ok := g.buckets[math.Inf(1)]
+			if !ok {
+				addf("%s: missing le=\"+Inf\" bucket", where)
+			} else if g.count != nil && inf != *g.count {
+				addf("%s: le=\"+Inf\" bucket %g != _count %g", where, inf, *g.count)
+			}
+		}
+	}
+	return errs
+}
+
+// parseLe parses a bucket upper bound; "+Inf" is the overflow bucket.
+func parseLe(le string) (float64, error) {
+	if le == "+Inf" {
+		return math.Inf(1), nil
+	}
+	v, err := strconv.ParseFloat(le, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad le %q", le)
+	}
+	return v, nil
+}

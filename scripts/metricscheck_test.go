@@ -1,0 +1,110 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const goodPage = `# HELP demo_requests_total Finished requests.
+# TYPE demo_requests_total counter
+demo_requests_total{endpoint="embed",result="ok"} 12
+demo_requests_total{endpoint="embed",result="error"} 0
+# HELP demo_duration_seconds Request duration.
+# TYPE demo_duration_seconds histogram
+demo_duration_seconds_bucket{le="0.1"} 3
+demo_duration_seconds_bucket{le="1"} 7
+demo_duration_seconds_bucket{le="+Inf"} 9
+demo_duration_seconds_sum 4.25
+demo_duration_seconds_count 9
+# TYPE demo_up gauge
+demo_up 1
+`
+
+func lintString(t *testing.T, page string, required ...string) []string {
+	t.Helper()
+	return lint(strings.NewReader(page), required)
+}
+
+func TestLintCleanPage(t *testing.T) {
+	if errs := lintString(t, goodPage); len(errs) != 0 {
+		t.Fatalf("clean page flagged: %v", errs)
+	}
+}
+
+func TestLintRequiredFamilies(t *testing.T) {
+	if errs := lintString(t, goodPage, "demo_requests_total", "demo_duration_seconds"); len(errs) != 0 {
+		t.Fatalf("present families flagged: %v", errs)
+	}
+	errs := lintString(t, goodPage, "demo_missing_total")
+	if len(errs) != 1 || !strings.Contains(errs[0], "demo_missing_total") {
+		t.Fatalf("missing required family not flagged: %v", errs)
+	}
+}
+
+func TestLintFlagsViolations(t *testing.T) {
+	cases := []struct {
+		name, page, wantSubstr string
+	}{
+		{"no TYPE", "orphan_total 3\n", "no # TYPE"},
+		{"bad value", "# TYPE x counter\nx nope\n", "bad value"},
+		{"bad name", "# TYPE x counter\nx 1\n0bad 2\n", "bad metric name"},
+		{"bad label name", "# TYPE x counter\nx{0l=\"v\"} 1\n", "bad label name"},
+		{"unterminated label value", "# TYPE x counter\nx{l=\"v} 1\n", "unterminated value"},
+		{"unclosed label set", "# TYPE x counter\nx{l=\"v\" 1\n", "unclosed label set"},
+		{"duplicate TYPE", "# TYPE x counter\n# TYPE x gauge\nx 1\n", "duplicate TYPE"},
+		{"non-cumulative buckets", `# TYPE h histogram
+h_bucket{le="0.1"} 5
+h_bucket{le="1"} 3
+h_bucket{le="+Inf"} 5
+h_sum 1
+h_count 5
+`, "not cumulative"},
+		{"missing +Inf", `# TYPE h histogram
+h_bucket{le="1"} 3
+h_sum 1
+h_count 3
+`, "+Inf"},
+		{"Inf bucket != count", `# TYPE h histogram
+h_bucket{le="+Inf"} 4
+h_sum 1
+h_count 5
+`, "!= _count"},
+		{"missing sum", `# TYPE h histogram
+h_bucket{le="+Inf"} 2
+h_count 2
+`, "missing _sum"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			errs := lintString(t, tc.page)
+			if len(errs) == 0 {
+				t.Fatalf("violation not flagged")
+			}
+			found := false
+			for _, e := range errs {
+				if strings.Contains(e, tc.wantSubstr) {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("no error mentions %q: %v", tc.wantSubstr, errs)
+			}
+		})
+	}
+}
+
+// TestLintHistogramLabelGrouping: per-endpoint histograms validate
+// independently — one endpoint's buckets must not satisfy another's.
+func TestLintHistogramLabelGrouping(t *testing.T) {
+	page := `# TYPE h histogram
+h_bucket{endpoint="a",le="+Inf"} 2
+h_sum{endpoint="a"} 1
+h_count{endpoint="a"} 2
+h_bucket{endpoint="b",le="+Inf"} 3
+h_count{endpoint="b"} 3
+`
+	errs := lintString(t, page)
+	if len(errs) != 1 || !strings.Contains(errs[0], `endpoint="b"`) || !strings.Contains(errs[0], "missing _sum") {
+		t.Fatalf("want exactly endpoint=b missing _sum, got %v", errs)
+	}
+}
