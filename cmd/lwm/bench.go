@@ -66,17 +66,39 @@ type benchFile struct {
 // Speedups are bounded by the host: on a single-CPU container the parallel
 // engine can only pay speculation overhead, which is exactly what the
 // harness should record there.
+//
+// With -store the harness instead benchmarks the daemon's design
+// registry — repeat remote detects inline versus by reference — and
+// writes BENCH_store.json; see benchStore.
 func cmdBench(args []string) error {
 	fs := flag.NewFlagSet("bench", flag.ExitOnError)
-	n := fs.Int("n", 16, "watermarks per design")
+	n := fs.Int("n", 16, "watermarks per design (-store default: 2)")
 	workers := fs.Int("workers", runtime.NumCPU(), "parallel engine workers")
 	iters := fs.Int("iters", 3, "timing iterations (best is reported)")
 	all := fs.Bool("all", false, "include the largest designs (slow)")
-	out := fs.String("o", "BENCH_parallel.json", "output file")
+	out := fs.String("o", "", "output file (default BENCH_parallel.json, or BENCH_store.json with -store)")
 	gate := fs.String("gate", "", "baseline BENCH_parallel.json to gate against: fail when identity regresses or host-normalized embed throughput drops >20%")
 	stats := fs.Bool("stats", false, "record engine/oracle counter deltas (pool fan-outs, speculation commits/repairs, oracle hit rate) in the output")
+	storeMode := fs.Bool("store", false, "benchmark the design registry instead: repeat remote detects inline vs by reference")
+	remote := fs.String("remote", "", "lwmd daemon address for -store (empty: boot an in-process daemon)")
+	repeats := fs.Int("repeats", 12, "detect calls per timing loop in -store mode")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *storeMode {
+		bn := 2
+		fs.Visit(func(f *flag.Flag) {
+			if f.Name == "n" {
+				bn = *n
+			}
+		})
+		if *out == "" {
+			*out = "BENCH_store.json"
+		}
+		return benchStore(*remote, bn, *repeats, *iters, *out)
+	}
+	if *out == "" {
+		*out = "BENCH_parallel.json"
 	}
 
 	engBefore := engine.Stats()

@@ -26,6 +26,18 @@
 // circuit breaker) with byte-identical printed output, so scripts can
 // switch between local and remote without changing their parsing.
 //
+// Remote mode additionally supports the daemon's design registry:
+//
+//	lwm design put -remote <addr> -in design.cdfg
+//	    register a design; prints its content-addressed reference (the
+//	    SHA-256 of the canonical text) alone on stdout for scripting
+//	lwm design get -remote <addr> -ref <ref> [-o out.cdfg]
+//	    fetch a registered design's canonical text back
+//
+// and embed/detect/verify accept -ref <reference> in place of -in, so
+// repeat requests against a registered design skip re-sending and
+// re-parsing its text.
+//
 // The full experiment reproduction lives in the sibling command `tables`.
 package main
 
@@ -72,6 +84,8 @@ func main() {
 		err = cmdSynth(os.Args[2:])
 	case "bench":
 		err = cmdBench(os.Args[2:])
+	case "design":
+		err = cmdDesign(os.Args[2:])
 	default:
 		usage()
 		os.Exit(2)
@@ -83,7 +97,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: lwm {gen|info|embed|schedule|detect|verify|synth|bench|dot} [flags]")
+	fmt.Fprintln(os.Stderr, "usage: lwm {gen|info|embed|schedule|detect|verify|synth|bench|design|dot} [flags]")
 }
 
 // traceCtx builds the context for a marking command. With -trace off it
@@ -206,14 +220,18 @@ func cmdVerify(args []string) error {
 	budget := fs.Int("budget", 0, "control-step budget (0: critical path + 10%)")
 	workers := fs.Int("workers", 1, "parallel re-derivation workers (verdict is identical for any value)")
 	remote := fs.String("remote", "", "lwmd daemon address (empty: verify in-process)")
+	ref := fs.String("ref", "", "design registry reference in place of -in (remote only; see lwm design put)")
 	trace := fs.Bool("trace", false, "print the span tree (engine stages, oracle recomputes, remote attempts) to stderr")
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if err := checkRefFlag(*ref, *remote); err != nil {
 		return err
 	}
 	ctx, finishTrace := traceCtx(*trace)
 	defer finishTrace()
 	if *remote != "" {
-		return remoteVerify(ctx, *remote, *in, *schedPath, *sig, *n, *tau, *k, *eps, *budget, *workers)
+		return remoteVerify(ctx, *remote, *in, *ref, *schedPath, *sig, *n, *tau, *k, *eps, *budget, *workers)
 	}
 	g, err := loadGraph(*in)
 	if err != nil {
@@ -386,14 +404,18 @@ func cmdEmbed(args []string) error {
 	out := fs.String("out", "", "marked design output file")
 	recPath := fs.String("record", "", "detection record output file (JSON)")
 	remote := fs.String("remote", "", "lwmd daemon address (empty: embed in-process)")
+	ref := fs.String("ref", "", "design registry reference in place of -in (remote only; see lwm design put)")
 	trace := fs.Bool("trace", false, "print the span tree (engine stages, oracle recomputes, remote attempts) to stderr")
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if err := checkRefFlag(*ref, *remote); err != nil {
 		return err
 	}
 	ctx, finishTrace := traceCtx(*trace)
 	defer finishTrace()
 	if *remote != "" {
-		return remoteEmbed(ctx, *remote, *in, *sig, *n, *tau, *k, *eps, *budget, *workers, *out, *recPath)
+		return remoteEmbed(ctx, *remote, *in, *ref, *sig, *n, *tau, *k, *eps, *budget, *workers, *out, *recPath)
 	}
 	g, err := loadGraph(*in)
 	if err != nil {
@@ -486,14 +508,18 @@ func cmdDetect(args []string) error {
 	recPath := fs.String("record", "", "detection record file (JSON)")
 	workers := fs.Int("workers", 1, "parallel detection workers (output is identical for any value)")
 	remote := fs.String("remote", "", "lwmd daemon address (empty: detect in-process)")
+	ref := fs.String("ref", "", "design registry reference in place of -in (remote only; see lwm design put)")
 	trace := fs.Bool("trace", false, "print the span tree (engine stages, oracle recomputes, remote attempts) to stderr")
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if err := checkRefFlag(*ref, *remote); err != nil {
 		return err
 	}
 	ctx, finishTrace := traceCtx(*trace)
 	defer finishTrace()
 	if *remote != "" {
-		return remoteDetect(ctx, *remote, *in, *schedPath, *recPath, *workers)
+		return remoteDetect(ctx, *remote, *in, *ref, *schedPath, *recPath, *workers)
 	}
 	g, err := loadGraph(*in)
 	if err != nil {

@@ -9,6 +9,7 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
 
@@ -19,21 +20,123 @@ func newRemoteClient(addr string) (*lwmclient.Client, error) {
 	return lwmclient.New(lwmclient.Config{BaseURL: addr})
 }
 
+// checkRefFlag rejects -ref without -remote: references only mean
+// something to a daemon's registry; local runs always parse a file.
+func checkRefFlag(ref, remote string) error {
+	if ref != "" && remote == "" {
+		return fmt.Errorf("-ref requires -remote (references resolve in a lwmd daemon's registry)")
+	}
+	return nil
+}
+
+// designSource returns the inline design text and registry reference for
+// a marking request: with -ref the text stays empty (the daemon resolves
+// the reference), otherwise the design file is read as before.
+func designSource(in, ref string) (design string, err error) {
+	if ref != "" {
+		return "", nil
+	}
+	data, err := os.ReadFile(in)
+	if err != nil {
+		return "", err
+	}
+	return string(data), nil
+}
+
+// cmdDesign talks to a daemon's content-addressed design registry:
+//
+//	lwm design put -remote <addr> -in design.cdfg
+//	lwm design get -remote <addr> -ref <ref> [-o out.cdfg]
+//
+// put prints the reference alone on stdout — REF=$(lwm design put ...)
+// is the intended scripting idiom — with the human summary on stderr.
+func cmdDesign(args []string) error {
+	if len(args) < 1 {
+		return fmt.Errorf("usage: lwm design {put|get} -remote <addr> [flags]")
+	}
+	switch args[0] {
+	case "put":
+		return cmdDesignPut(args[1:])
+	case "get":
+		return cmdDesignGet(args[1:])
+	default:
+		return fmt.Errorf("unknown design subcommand %q (want put or get)", args[0])
+	}
+}
+
+func cmdDesignPut(args []string) error {
+	fs := flag.NewFlagSet("design put", flag.ExitOnError)
+	remote := fs.String("remote", "", "lwmd daemon address")
+	in := fs.String("in", "", "design file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *remote == "" {
+		return fmt.Errorf("design put: -remote required")
+	}
+	design, err := os.ReadFile(*in)
+	if err != nil {
+		return err
+	}
+	c, err := newRemoteClient(*remote)
+	if err != nil {
+		return err
+	}
+	resp, err := c.PutDesign(context.Background(), string(design))
+	if err != nil {
+		return err
+	}
+	verb := "registered"
+	if !resp.Created {
+		verb = "already registered"
+	}
+	fmt.Fprintf(os.Stderr, "%s: %d canonical bytes, %d nodes\n", verb, resp.Bytes, resp.Nodes)
+	fmt.Println(resp.Ref)
+	return nil
+}
+
+func cmdDesignGet(args []string) error {
+	fs := flag.NewFlagSet("design get", flag.ExitOnError)
+	remote := fs.String("remote", "", "lwmd daemon address")
+	ref := fs.String("ref", "", "design registry reference")
+	out := fs.String("o", "", "output file (default stdout)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *remote == "" || *ref == "" {
+		return fmt.Errorf("design get: -remote and -ref required")
+	}
+	c, err := newRemoteClient(*remote)
+	if err != nil {
+		return err
+	}
+	resp, err := c.GetDesign(context.Background(), *ref)
+	if err != nil {
+		return err
+	}
+	if *out == "" {
+		fmt.Print(resp.Design)
+		return nil
+	}
+	return os.WriteFile(*out, []byte(resp.Design), 0o644)
+}
+
 // remoteEmbed mirrors cmdEmbed against a daemon: same flags, same
 // printed line, same output files (marked design + detection record).
 // A trace on ctx (lwm embed -trace -remote ...) collects the client's
 // call/attempt spans with server-side stage timings as attributes.
-func remoteEmbed(ctx context.Context, addr, in, sig string, n, tau, k int, eps float64, budget, workers int, out, recPath string) error {
+func remoteEmbed(ctx context.Context, addr, in, ref, sig string, n, tau, k int, eps float64, budget, workers int, out, recPath string) error {
 	c, err := newRemoteClient(addr)
 	if err != nil {
 		return err
 	}
-	design, err := os.ReadFile(in)
+	design, err := designSource(in, ref)
 	if err != nil {
 		return err
 	}
 	resp, err := c.Embed(ctx, lwmclient.EmbedRequest{
-		Design:    string(design),
+		Design:    design,
+		DesignRef: ref,
 		Signature: sig,
 		MarkParams: lwmclient.MarkParams{
 			N: n, Tau: tau, K: k, Epsilon: eps, Budget: budget, Workers: workers,
@@ -63,12 +166,12 @@ func remoteEmbed(ctx context.Context, addr, in, sig string, n, tau, k int, eps f
 
 // remoteDetect mirrors cmdDetect against a daemon: identical per-record
 // report lines and the same exit-3-on-zero-detections contract.
-func remoteDetect(ctx context.Context, addr, in, schedPath, recPath string, workers int) error {
+func remoteDetect(ctx context.Context, addr, in, ref, schedPath, recPath string, workers int) error {
 	c, err := newRemoteClient(addr)
 	if err != nil {
 		return err
 	}
-	design, err := os.ReadFile(in)
+	design, err := designSource(in, ref)
 	if err != nil {
 		return err
 	}
@@ -85,7 +188,7 @@ func remoteDetect(ctx context.Context, addr, in, schedPath, recPath string, work
 		return err
 	}
 	res, err := c.Detect(ctx, lwmclient.DetectRequest{
-		Suspects: []lwmclient.Suspect{{Design: string(design), Schedule: string(schedule)}},
+		Suspects: []lwmclient.Suspect{{Design: design, DesignRef: ref, Schedule: string(schedule)}},
 		Records:  rf.Records,
 		Workers:  workers,
 	})
@@ -119,12 +222,12 @@ func remoteDetect(ctx context.Context, addr, in, schedPath, recPath string, work
 
 // remoteVerify mirrors cmdVerify against a daemon: same claim report and
 // the same exit-3-on-unverified contract.
-func remoteVerify(ctx context.Context, addr, in, schedPath, sig string, n, tau, k int, eps float64, budget, workers int) error {
+func remoteVerify(ctx context.Context, addr, in, ref, schedPath, sig string, n, tau, k int, eps float64, budget, workers int) error {
 	c, err := newRemoteClient(addr)
 	if err != nil {
 		return err
 	}
-	design, err := os.ReadFile(in)
+	design, err := designSource(in, ref)
 	if err != nil {
 		return err
 	}
@@ -133,7 +236,8 @@ func remoteVerify(ctx context.Context, addr, in, schedPath, sig string, n, tau, 
 		return err
 	}
 	resp, err := c.Verify(ctx, lwmclient.VerifyRequest{
-		Design:    string(design),
+		Design:    design,
+		DesignRef: ref,
 		Schedule:  string(schedule),
 		Signature: sig,
 		MarkParams: lwmclient.MarkParams{

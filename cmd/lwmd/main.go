@@ -9,9 +9,19 @@
 //	/v1/embed    embed scheduling watermarks into a design
 //	/v1/detect   batch-scan suspects×records for memorized watermarks
 //	/v1/verify   adjudicate an ownership claim from a signature alone
+//	/v1/designs  content-addressed design registry (PUT to register,
+//	             GET /v1/designs/{ref} to fetch); embed/detect/verify
+//	             accept "design_ref" in place of inline "design"
 //	/v1/stats    metrics snapshot (also on the debug port)
 //	/metrics     Prometheus text exposition (also on the debug port)
 //	/healthz     liveness (503 while draining)
+//
+// The design registry caches parsed graphs with warmed longest-path
+// oracles, so repeat requests against a registered design skip parsing
+// and oracle warmup entirely. It is bounded (-store-capacity, LRU
+// eviction) and optionally persistent: with -store-dir the registry
+// journals puts to an append-only WAL with snapshot compaction and
+// replays it on startup, so references survive daemon restarts.
 //
 // Observability: every API request emits one structured log line
 // (-log-format text|json, -log-level debug|info|warn|error) carrying the
@@ -55,6 +65,7 @@ import (
 	"localwm/internal/chaos"
 	"localwm/internal/obs"
 	"localwm/internal/server"
+	"localwm/internal/store"
 )
 
 func main() {
@@ -76,6 +87,9 @@ func run(args []string) error {
 	maxEngineWorkers := fs.Int("max-engine-workers", 4*runtime.NumCPU(), "cap on request-supplied engine parallelism")
 	timeout := fs.Duration("timeout", 60*time.Second, "per-request deadline (queue wait + execution)")
 	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "max time to finish in-flight work on shutdown")
+	designWorkers := fs.Int("design-workers", 2, "concurrent design-registry requests")
+	storeDir := fs.String("store-dir", "", "design-registry persistence directory (empty: in-memory only)")
+	storeCapacity := fs.Int("store-capacity", 0, "design-registry entries before LRU eviction (0: default 1024)")
 	chaosOn := fs.Bool("chaos", false, "inject seeded transport faults into the /v1 API (testing only, never production)")
 	chaosSeed := fs.Int64("chaos-seed", 1, "fault-injection seed; a given seed and request order replays the same faults")
 	logLevel := fs.String("log-level", "info", "log level: debug, info, warn, or error")
@@ -93,15 +107,26 @@ func run(args []string) error {
 		return err
 	}
 
+	st, err := store.Open(store.Config{Dir: *storeDir, Capacity: *storeCapacity})
+	if err != nil {
+		return fmt.Errorf("opening design registry: %w", err)
+	}
+	defer st.Close()
+	if *storeDir != "" {
+		logger.Info("design registry persistent", "dir", *storeDir, "entries", st.Len())
+	}
+
 	cfg := server.Config{
 		EmbedWorkers:     *embedWorkers,
 		DetectWorkers:    *detectWorkers,
 		VerifyWorkers:    *verifyWorkers,
+		DesignWorkers:    *designWorkers,
 		QueueSize:        *queueSize,
 		EngineWorkers:    *engineWorkers,
 		MaxEngineWorkers: *maxEngineWorkers,
 		RequestTimeout:   *timeout,
 		Logger:           logger,
+		Store:            st,
 	}
 	if *chaosOn {
 		ccfg := chaos.Default(*chaosSeed)

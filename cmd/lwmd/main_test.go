@@ -113,6 +113,136 @@ func TestDaemonServesAndDrainsOnSIGTERM(t *testing.T) {
 	}
 }
 
+// TestDaemonStoreDirSurvivesRestart: with -store-dir, a registered
+// design's reference resolves again after a full daemon stop/start (WAL
+// replay), the replayed entry actually computes (embed by ref), and the
+// store counters restart cold — the WAL persists designs, not stats.
+func TestDaemonStoreDirSurvivesRestart(t *testing.T) {
+	storeDir := t.TempDir()
+
+	var design bytes.Buffer
+	if err := cdfg.Write(&design, designs.DAConverter()); err != nil {
+		t.Fatal(err)
+	}
+
+	boot := func() (string, chan error) {
+		addr := freePort(t)
+		done := make(chan error, 1)
+		go func() {
+			done <- run([]string{"-addr", addr, "-store-dir", storeDir, "-drain-timeout", "5s"})
+		}()
+		base := "http://" + addr
+		deadline := time.Now().Add(10 * time.Second)
+		for {
+			resp, err := http.Get(base + "/healthz")
+			if err == nil {
+				resp.Body.Close()
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("daemon never came up: %v", err)
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		return base, done
+	}
+	stop := func(done chan error) {
+		if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+			t.Fatal(err)
+		}
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatalf("daemon exited with %v", err)
+			}
+		case <-time.After(15 * time.Second):
+			t.Fatal("daemon did not drain after SIGTERM")
+		}
+	}
+	storeStats := func(base string) map[string]float64 {
+		sr, err := http.Get(base + "/v1/stats")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer sr.Body.Close()
+		var snap struct {
+			Store map[string]float64 `json:"store"`
+		}
+		if err := json.NewDecoder(sr.Body).Decode(&snap); err != nil {
+			t.Fatal(err)
+		}
+		if snap.Store == nil {
+			t.Fatal("stats snapshot has no store section")
+		}
+		return snap.Store
+	}
+
+	base, done := boot()
+	body, _ := json.Marshal(map[string]string{"design": design.String()})
+	preq, err := http.NewRequest(http.MethodPut, base+"/v1/designs", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr, err := http.DefaultClient.Do(preq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var put struct {
+		Ref string `json:"ref"`
+	}
+	if err := json.NewDecoder(pr.Body).Decode(&put); err != nil {
+		t.Fatal(err)
+	}
+	pr.Body.Close()
+	if pr.StatusCode != http.StatusOK || len(put.Ref) != 64 {
+		t.Fatalf("put: status %d, ref %q", pr.StatusCode, put.Ref)
+	}
+	if st := storeStats(base); st["puts"] != 1 {
+		t.Fatalf("first life store stats: %v", st)
+	}
+	stop(done)
+
+	// Second life, same -store-dir: the ref must resolve from the WAL.
+	base, done = boot()
+	st := storeStats(base)
+	if st["entries"] != 1 {
+		t.Fatalf("WAL replay lost the design: %v", st)
+	}
+	if st["puts"] != 0 || st["hits"] != 0 || st["misses"] != 0 {
+		t.Fatalf("store counters not cold after restart: %v", st)
+	}
+	gr, err := http.Get(base + "/v1/designs/" + put.Ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gr.Body.Close()
+	if gr.StatusCode != http.StatusOK {
+		t.Fatalf("ref did not resolve after restart: %d", gr.StatusCode)
+	}
+	ebody, _ := json.Marshal(map[string]any{
+		"design_ref": put.Ref, "signature": "restart-test",
+		"n": 2, "tau": 16, "k": 3, "epsilon": 0.4,
+	})
+	er, err := http.Post(base+"/v1/embed", "application/json", bytes.NewReader(ebody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var embed struct {
+		Watermarks int `json:"watermarks"`
+	}
+	if err := json.NewDecoder(er.Body).Decode(&embed); err != nil {
+		t.Fatal(err)
+	}
+	er.Body.Close()
+	if er.StatusCode != http.StatusOK || embed.Watermarks != 2 {
+		t.Fatalf("embed by replayed ref: status %d, watermarks %d", er.StatusCode, embed.Watermarks)
+	}
+	if st := storeStats(base); st["hits"] < 1 {
+		t.Fatalf("replayed entry not serving hits: %v", st)
+	}
+	stop(done)
+}
+
 func TestDaemonRejectsBadFlags(t *testing.T) {
 	if err := run([]string{"-addr", "not-an-address"}); err == nil {
 		t.Fatal("bad -addr accepted")

@@ -1,0 +1,65 @@
+package server
+
+import (
+	"net/http"
+	"strings"
+
+	"localwm/internal/store"
+	"localwm/lwmapi"
+)
+
+// The design registry routes. Both run through the same admission queue
+// ("designs") as the compute endpoints — a put parses and warms a
+// design, which is real work worth bounding — and share its metrics.
+//
+//	PUT  /v1/designs        register a design, answer its ref
+//	GET  /v1/designs/{ref}  fetch a registered design's canonical text
+//
+// POST is accepted as an alias of PUT: the operation is idempotent
+// (content addressing makes re-putting a no-op), and some proxies only
+// speak POST.
+
+// handleDesigns dispatches the two registry operations by method+path.
+// The admission path has already filtered methods down to PUT/POST/GET.
+func (s *Server) handleDesigns(r *http.Request) (any, error) {
+	ref, hasRef := strings.CutPrefix(r.URL.Path, "/v1/designs/")
+	switch {
+	case r.Method == http.MethodGet:
+		if !hasRef || ref == "" {
+			return nil, badRequest("GET needs a reference: /v1/designs/{ref}")
+		}
+		return s.handleGetDesign(ref)
+	case hasRef && ref != "":
+		return nil, badRequest("PUT takes no reference in the path: the registry derives it from the design")
+	default:
+		return s.handlePutDesign(r)
+	}
+}
+
+func (s *Server) handlePutDesign(r *http.Request) (any, error) {
+	var req lwmapi.PutDesignRequest
+	if err := decode(r, &req); err != nil {
+		return nil, err
+	}
+	d, created, err := s.store.Put(req.Design)
+	if err != nil {
+		return nil, badRequest("design: %v", err)
+	}
+	return &lwmapi.PutDesignResponse{
+		Ref:     d.Ref,
+		Created: created,
+		Bytes:   len(d.Text),
+		Nodes:   d.Nodes(),
+	}, nil
+}
+
+func (s *Server) handleGetDesign(ref string) (any, error) {
+	if !store.ValidRef(ref) {
+		return nil, badRequest("ref: not a registry reference (want 64 lowercase hex digits)")
+	}
+	d, ok := s.store.Get(ref)
+	if !ok {
+		return nil, refNotFound(ref)
+	}
+	return &lwmapi.GetDesignResponse{Ref: d.Ref, Design: d.Text}, nil
+}

@@ -15,24 +15,18 @@ import (
 	"localwm/internal/prng"
 	"localwm/internal/sched"
 	"localwm/internal/schedwm"
+	"localwm/internal/store"
+	"localwm/lwmapi"
 )
 
-// Wire formats. Designs travel in the internal/cdfg text format and
-// schedules in the internal/sched text format — the same artifacts the
-// lwm CLI reads and writes, so files and service payloads interchange.
+// The wire types live in the public lwmapi package, shared verbatim with
+// lwmclient so the two sides of the contract cannot drift. This file
+// holds the server-side semantics: defaulting, validation, design
+// resolution (inline text vs registry reference), and the engine calls.
 
-// markParams are the public embedding parameters shared by embed and
-// verify requests. Zero values take the CLI's defaults.
-type markParams struct {
-	N       int     `json:"n"`       // watermarks (default 2)
-	Tau     int     `json:"tau"`     // subtree cardinality τ (default 20)
-	K       int     `json:"k"`       // temporal edges per watermark (default 4)
-	Epsilon float64 `json:"epsilon"` // laxity margin ε (default 0.25)
-	Budget  int     `json:"budget"`  // control steps (default critical path +10%)
-	Workers int     `json:"workers"` // engine parallelism (default server-side)
-}
-
-func (p *markParams) normalize() {
+// normalizeParams fills the service defaults for unset MarkParams,
+// exactly as the lwm CLI defaults them.
+func normalizeParams(p *lwmapi.MarkParams) {
 	if p.N == 0 {
 		p.N = 2
 	}
@@ -45,64 +39,6 @@ func (p *markParams) normalize() {
 	if p.Epsilon == 0 {
 		p.Epsilon = 0.25
 	}
-}
-
-type embedRequest struct {
-	Design    string `json:"design"`
-	Signature string `json:"signature"`
-	markParams
-}
-
-type embedResponse struct {
-	MarkedDesign  string           `json:"marked_design"`
-	Watermarks    int              `json:"watermarks"`
-	TemporalEdges int              `json:"temporal_edges"`
-	Records       []schedwm.Record `json:"records"`
-}
-
-type suspectPayload struct {
-	Design   string `json:"design"`
-	Schedule string `json:"schedule"`
-}
-
-type detectRequest struct {
-	Suspects []suspectPayload `json:"suspects"`
-	Records  []schedwm.Record `json:"records"`
-	Workers  int              `json:"workers"`
-}
-
-// detectOutcome flattens one suspect×record schedwm.Detection for the
-// wire; Pc travels in the paper's 10^x notation.
-type detectOutcome struct {
-	Found      bool   `json:"found"`
-	Root       string `json:"root,omitempty"` // first matched root's node name
-	Satisfied  int    `json:"satisfied"`
-	Total      int    `json:"total"`
-	Pc         string `json:"pc"`
-	RootsTried int    `json:"roots_tried"`
-	Error      string `json:"error,omitempty"`
-}
-
-type detectResponse struct {
-	// Results[i][j] is records[j] scanned in suspects[i], mirroring
-	// engine.DetectBatch.
-	Results  [][]detectOutcome `json:"results"`
-	Detected int               `json:"detected"`
-}
-
-type verifyRequest struct {
-	Design    string `json:"design"`
-	Schedule  string `json:"schedule"`
-	Signature string `json:"signature"`
-	markParams
-}
-
-type verifyResponse struct {
-	Verified   bool   `json:"verified"`
-	Satisfied  int    `json:"satisfied"`
-	Total      int    `json:"total"`
-	Pc         string `json:"pc"`
-	RootsTried int    `json:"roots_tried"`
 }
 
 // decode parses the request body into v with unknown fields rejected, so
@@ -119,9 +55,10 @@ func decode(r *http.Request, v any) error {
 // observeGraph bridges a request-scoped graph's PathOracle recompute
 // events into the request trace as "oracle.<kind>" spans. A no-op
 // (observer never registered) when the request is untraced, so the
-// oracle's miss path stays untimed. Graphs are per-request here — the
-// handlers parse them from the body — so the observer can't leak across
-// requests.
+// oracle's miss path stays untimed. Only ever called on graphs owned by
+// this request — parsed from the body or cloned from the registry —
+// never on a shared store graph: the observer field is unsynchronized
+// and would leak one request's trace into another's.
 func observeGraph(ctx context.Context, g *cdfg.Graph) {
 	tr := obs.TraceFrom(ctx)
 	if tr == nil {
@@ -144,16 +81,47 @@ func parseDesign(field, text string) (*cdfg.Graph, error) {
 	return g, nil
 }
 
-func parseSuspect(field string, sp suspectPayload) (*cdfg.Graph, *sched.Schedule, error) {
-	g, err := parseDesign(field, sp.Design)
-	if err != nil {
-		return nil, nil, err
+// resolveDesign turns a request's design choice — inline text or a
+// registry reference — into a graph. The reference wins when both are
+// set; an unresolvable reference is a 404 (never a silent fallback to
+// the inline text, so the caller can count misses and re-put).
+//
+// The returned shared flag is true when the graph IS the registry's
+// resident copy: read-only by contract, safe for concurrent oracle
+// queries, but never to be mutated or hooked with observeGraph. Callers
+// that mutate (embedding) must pass wantClone to get a private copy —
+// the clone's oracle starts cold, but the parse is still skipped.
+func (s *Server) resolveDesign(field, inline, ref string, wantClone bool) (g *cdfg.Graph, shared bool, err error) {
+	if ref == "" {
+		g, err := parseDesign(field, inline)
+		return g, false, err
 	}
-	s, err := sched.ParseSchedule(g, strings.NewReader(sp.Schedule))
-	if err != nil {
-		return nil, nil, badRequest("%s: %v", field, err)
+	if !store.ValidRef(ref) {
+		return nil, false, badRequest("%s_ref: not a registry reference (want 64 lowercase hex digits)", field)
 	}
-	return g, s, nil
+	d, ok := s.store.Get(ref)
+	if !ok {
+		return nil, false, refNotFound(ref)
+	}
+	if wantClone {
+		return d.Graph.Clone(), false, nil
+	}
+	return d.Graph, true, nil
+}
+
+// resolveSuspect resolves a suspect design and parses its schedule
+// against it. Detection and verification only read the suspect graph,
+// so a ref-resolved suspect shares the registry's warmed copy.
+func (s *Server) resolveSuspect(field string, sp lwmapi.Suspect) (*cdfg.Graph, *sched.Schedule, bool, error) {
+	g, shared, err := s.resolveDesign(field, sp.Design, sp.DesignRef, false)
+	if err != nil {
+		return nil, nil, false, err
+	}
+	sc, err := sched.ParseSchedule(g, strings.NewReader(sp.Schedule))
+	if err != nil {
+		return nil, nil, false, badRequest("%s: %v", field, err)
+	}
+	return g, sc, shared, nil
 }
 
 // engineWorkers resolves a request's engine parallelism: the server
@@ -175,7 +143,7 @@ func (s *Server) engineWorkers(requested int) int {
 
 // schedConfig builds the schedwm.Config for p against g, defaulting the
 // budget exactly like the CLI (critical path + 10% + 1).
-func (s *Server) schedConfig(g *cdfg.Graph, p markParams) (schedwm.Config, error) {
+func (s *Server) schedConfig(g *cdfg.Graph, p lwmapi.MarkParams) (schedwm.Config, error) {
 	budget := p.Budget
 	if budget == 0 {
 		cp, err := g.CriticalPath()
@@ -195,22 +163,25 @@ func (s *Server) schedConfig(g *cdfg.Graph, p markParams) (schedwm.Config, error
 }
 
 func (s *Server) handleEmbed(r *http.Request) (any, error) {
-	var req embedRequest
+	var req lwmapi.EmbedRequest
 	if err := decode(r, &req); err != nil {
 		return nil, err
 	}
-	req.normalize()
+	normalizeParams(&req.MarkParams)
 	if req.Signature == "" {
 		return nil, badRequest("signature: required")
 	}
 	if req.N < 1 {
 		return nil, badRequest("n: must be positive, got %d", req.N)
 	}
-	g, err := parseDesign("design", req.Design)
+	// Embedding mutates the graph, so a ref-resolved design is cloned:
+	// the registry copy stays pristine and the clone is request-private
+	// (safe to trace).
+	g, _, err := s.resolveDesign("design", req.Design, req.DesignRef, true)
 	if err != nil {
 		return nil, err
 	}
-	cfg, err := s.schedConfig(g, req.markParams)
+	cfg, err := s.schedConfig(g, req.MarkParams)
 	if err != nil {
 		return nil, err
 	}
@@ -219,7 +190,7 @@ func (s *Server) handleEmbed(r *http.Request) (any, error) {
 	if err != nil {
 		return nil, badRequest("embedding: %v", err)
 	}
-	resp := &embedResponse{Watermarks: len(wms)}
+	resp := &lwmapi.EmbedResponse{Watermarks: len(wms)}
 	for _, wm := range wms {
 		resp.Records = append(resp.Records, wm.Record())
 		resp.TemporalEdges += len(wm.Edges)
@@ -235,10 +206,10 @@ func (s *Server) handleEmbed(r *http.Request) (any, error) {
 // buildDetectResponse shapes an engine.DetectBatch result grid for the
 // wire. Split out so tests can feed it a sequentially computed grid and
 // compare bytes against the daemon's concurrent answer.
-func buildDetectResponse(suspects []engine.Suspect, batch [][]engine.DetectResult) *detectResponse {
-	resp := &detectResponse{Results: make([][]detectOutcome, len(batch))}
+func buildDetectResponse(suspects []engine.Suspect, batch [][]engine.DetectResult) *lwmapi.DetectResponse {
+	resp := &lwmapi.DetectResponse{Results: make([][]lwmapi.DetectOutcome, len(batch))}
 	for i, row := range batch {
-		resp.Results[i] = make([]detectOutcome, len(row))
+		resp.Results[i] = make([]lwmapi.DetectOutcome, len(row))
 		for j, res := range row {
 			out := &resp.Results[i][j]
 			if res.Err != nil {
@@ -263,7 +234,7 @@ func buildDetectResponse(suspects []engine.Suspect, batch [][]engine.DetectResul
 }
 
 func (s *Server) handleDetect(r *http.Request) (any, error) {
-	var req detectRequest
+	var req lwmapi.DetectRequest
 	if err := decode(r, &req); err != nil {
 		return nil, err
 	}
@@ -275,11 +246,13 @@ func (s *Server) handleDetect(r *http.Request) (any, error) {
 	}
 	suspects := make([]engine.Suspect, len(req.Suspects))
 	for i, sp := range req.Suspects {
-		g, sc, err := parseSuspect(fieldIndex("suspects", i), sp)
+		g, sc, shared, err := s.resolveSuspect(fieldIndex("suspects", i), sp)
 		if err != nil {
 			return nil, err
 		}
-		observeGraph(r.Context(), g)
+		if !shared {
+			observeGraph(r.Context(), g)
+		}
 		suspects[i] = engine.Suspect{Graph: g, Schedule: sc}
 	}
 	batch := engine.DetectBatchCtx(r.Context(), suspects, req.Records, s.engineWorkers(req.Workers))
@@ -287,28 +260,33 @@ func (s *Server) handleDetect(r *http.Request) (any, error) {
 }
 
 func (s *Server) handleVerify(r *http.Request) (any, error) {
-	var req verifyRequest
+	var req lwmapi.VerifyRequest
 	if err := decode(r, &req); err != nil {
 		return nil, err
 	}
-	req.normalize()
+	normalizeParams(&req.MarkParams)
 	if req.Signature == "" {
 		return nil, badRequest("signature: required")
 	}
-	g, sc, err := parseSuspect("suspect", suspectPayload{Design: req.Design, Schedule: req.Schedule})
+	// Verification clones internally before re-deriving, so a
+	// ref-resolved suspect shares the registry copy like detection does.
+	g, sc, shared, err := s.resolveSuspect("suspect",
+		lwmapi.Suspect{Design: req.Design, DesignRef: req.DesignRef, Schedule: req.Schedule})
 	if err != nil {
 		return nil, err
 	}
-	cfg, err := s.schedConfig(g, req.markParams)
+	cfg, err := s.schedConfig(g, req.MarkParams)
 	if err != nil {
 		return nil, err
 	}
-	observeGraph(r.Context(), g)
+	if !shared {
+		observeGraph(r.Context(), g)
+	}
 	det, err := engine.VerifyOwnershipCtx(r.Context(), g, sc, prng.Signature(req.Signature), cfg, req.N, cfg.Parallelism)
 	if err != nil {
 		return nil, badRequest("verifying: %v", err)
 	}
-	return &verifyResponse{
+	return &lwmapi.VerifyResponse{
 		Verified:   det.Found,
 		Satisfied:  det.Best.Satisfied,
 		Total:      det.Best.Total,

@@ -12,6 +12,8 @@ import (
 	"localwm/internal/cdfg"
 	"localwm/internal/engine"
 	"localwm/internal/obs"
+	"localwm/internal/store"
+	"localwm/lwmapi"
 )
 
 // latWindow keeps the most recent request latencies of one endpoint in a
@@ -154,6 +156,43 @@ func (s *Server) buildRegistry() *obs.Registry {
 	r.GaugeFunc("lwmd_uptime_seconds", "Seconds since the server started.", nil,
 		func() float64 { return time.Since(s.metrics.start).Seconds() })
 
+	// Design-registry series. Counters first, then the gauges that track
+	// the resident set.
+	for _, sc := range []struct {
+		name, help string
+		load       func(store.Counters) uint64
+	}{
+		{"lwmd_store_hits_total", "Design-registry lookups that resolved.",
+			func(c store.Counters) uint64 { return c.Hits }},
+		{"lwmd_store_misses_total", "Design-registry lookups that missed (never put, or evicted).",
+			func(c store.Counters) uint64 { return c.Misses }},
+		{"lwmd_store_puts_total", "Designs inserted into the registry (refreshes excluded).",
+			func(c store.Counters) uint64 { return c.Puts }},
+		{"lwmd_store_evictions_total", "Designs dropped from the registry by LRU capacity pressure.",
+			func(c store.Counters) uint64 { return c.Evictions }},
+		{"lwmd_store_compactions_total", "Write-ahead-log snapshot+truncate cycles.",
+			func(c store.Counters) uint64 { return c.Compactions }},
+	} {
+		load := sc.load
+		r.CounterFunc(sc.name, sc.help, nil,
+			func() float64 { return float64(load(s.store.Counters())) })
+	}
+	for _, sg := range []struct {
+		name, help string
+		load       func(store.Counters) int64
+	}{
+		{"lwmd_store_entries", "Designs currently resident in the registry.",
+			func(c store.Counters) int64 { return c.Entries }},
+		{"lwmd_store_bytes", "Canonical text bytes of the resident designs.",
+			func(c store.Counters) int64 { return c.Bytes }},
+		{"lwmd_store_wal_bytes", "Current write-ahead-log size (0 for an in-memory registry).",
+			func(c store.Counters) int64 { return c.WALBytes }},
+	} {
+		load := sg.load
+		r.GaugeFunc(sg.name, sg.help, nil,
+			func() float64 { return float64(load(s.store.Counters())) })
+	}
+
 	for _, ec := range []struct {
 		name, help string
 		load       func() uint64
@@ -206,7 +245,7 @@ func (s *Server) MetricsHandler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodGet && r.Method != http.MethodHead {
 			w.Header().Set("Allow", http.MethodGet)
-			writeError(w, http.StatusMethodNotAllowed, "GET only")
+			writeError(w, http.StatusMethodNotAllowed, lwmapi.CodeMethodNotAllowed, "GET only")
 			return
 		}
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
@@ -255,6 +294,17 @@ func (s *Server) snapshot() map[string]any {
 		"pool_jobs":    es.PoolJobs,
 		"spec_commits": es.SpecCommits,
 		"spec_repairs": es.SpecRepairs,
+	}
+	sc := s.store.Counters()
+	out["store"] = map[string]any{
+		"hits":        sc.Hits,
+		"misses":      sc.Misses,
+		"puts":        sc.Puts,
+		"evictions":   sc.Evictions,
+		"compactions": sc.Compactions,
+		"entries":     sc.Entries,
+		"bytes":       sc.Bytes,
+		"wal_bytes":   sc.WALBytes,
 	}
 	if s.cfg.Chaos != nil {
 		out["chaos"] = s.cfg.Chaos.Snapshot()

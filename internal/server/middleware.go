@@ -8,15 +8,20 @@ import (
 	"log/slog"
 	"net"
 	"net/http"
+	"slices"
 	"strconv"
+	"strings"
 	"time"
 
 	"localwm/internal/obs"
+	"localwm/lwmapi"
 )
 
-// apiError is a handler-produced failure with a definite HTTP status.
+// apiError is a handler-produced failure with a definite HTTP status and
+// a wire error code from the lwmapi table.
 type apiError struct {
 	status int
+	code   string
 	msg    string
 }
 
@@ -24,17 +29,26 @@ func (e *apiError) Error() string { return e.msg }
 
 // badRequest builds the 400 an endpoint returns for malformed payloads.
 func badRequest(format string, args ...any) error {
-	return &apiError{status: http.StatusBadRequest, msg: fmt.Sprintf(format, args...)}
+	return &apiError{status: http.StatusBadRequest, code: lwmapi.CodeBadRequest,
+		msg: fmt.Sprintf(format, args...)}
 }
 
-// errorBody is the JSON envelope for every non-2xx response.
-type errorBody struct {
-	Error  string `json:"error"`
-	Status int    `json:"status"`
+// refNotFound builds the 404 a design_ref that doesn't resolve answers.
+func refNotFound(ref string) error {
+	return &apiError{status: http.StatusNotFound, code: lwmapi.CodeDesignNotFound,
+		msg: fmt.Sprintf("design_ref %s: not in registry (never put, or evicted)", ref)}
 }
 
-func writeError(w http.ResponseWriter, status int, msg string) {
-	writeJSON(w, status, errorBody{Error: msg, Status: status})
+// writeError renders the lwmapi.Error envelope: the typed code plus the
+// PR-4 legacy keys ("error", "status"), so old clients keep decoding.
+func writeError(w http.ResponseWriter, status int, code, msg string) {
+	writeJSON(w, status, lwmapi.Error{
+		Code:          code,
+		Message:       msg,
+		Retryable:     lwmapi.RetryableStatus(status),
+		LegacyMessage: msg,
+		Status:        status,
+	})
 }
 
 // retryAfterSeconds renders Config.RetryAfter as the whole-second header
@@ -182,9 +196,13 @@ func durMS(d time.Duration) float64 { return float64(d) / float64(time.Milliseco
 // path: method check, drain check, deadline, bounded-queue submission,
 // panic mapping, and metrics. The inner handler runs on the endpoint's
 // worker pool and returns the response value to marshal (or an error).
-func (s *Server) endpoint(name string, handle func(r *http.Request) (any, error)) http.Handler {
+// allow lists the accepted HTTP methods (historically just POST; the
+// designs routes add PUT and GET); a handler serving several methods
+// dispatches on r.Method itself.
+func (s *Server) endpoint(name string, allow []string, handle func(r *http.Request) (any, error)) http.Handler {
 	em := s.metrics.endpoints[name]
 	q := s.queues[name]
+	allowHeader := strings.Join(allow, ", ")
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		ri := reqInfoFrom(r.Context())
 		setResult := func(result, errMsg string) {
@@ -193,10 +211,11 @@ func (s *Server) endpoint(name string, handle func(r *http.Request) (any, error)
 				ri.errMsg = errMsg
 			}
 		}
-		if r.Method != http.MethodPost {
-			w.Header().Set("Allow", http.MethodPost)
-			setResult("error", "POST only")
-			writeError(w, http.StatusMethodNotAllowed, "POST only")
+		if !slices.Contains(allow, r.Method) {
+			w.Header().Set("Allow", allowHeader)
+			msg := allowHeader + " only"
+			setResult("error", msg)
+			writeError(w, http.StatusMethodNotAllowed, lwmapi.CodeMethodNotAllowed, msg)
 			return
 		}
 		if s.draining.Load() {
@@ -206,7 +225,7 @@ func (s *Server) endpoint(name string, handle func(r *http.Request) (any, error)
 			em.drained.Add(1)
 			setResult("drained", "")
 			w.Header().Set("Retry-After", s.retryAfterSeconds())
-			writeError(w, http.StatusServiceUnavailable, "draining")
+			writeError(w, http.StatusServiceUnavailable, lwmapi.CodeDraining, "draining")
 			return
 		}
 		r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
@@ -248,30 +267,30 @@ func (s *Server) endpoint(name string, handle func(r *http.Request) (any, error)
 			em.rejected.Add(1)
 			setResult("rejected", "")
 			w.Header().Set("Retry-After", s.retryAfterSeconds())
-			writeError(w, http.StatusTooManyRequests, "queue full, retry later")
+			writeError(w, http.StatusTooManyRequests, lwmapi.CodeQueueFull, "queue full, retry later")
 			return
 		case errors.Is(err, ErrDraining):
 			em.drained.Add(1)
 			setResult("drained", "")
 			w.Header().Set("Retry-After", s.retryAfterSeconds())
-			writeError(w, http.StatusServiceUnavailable, "draining")
+			writeError(w, http.StatusServiceUnavailable, lwmapi.CodeDraining, "draining")
 			return
 		case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
 			em.timedOut.Add(1)
 			setResult("timeout", "")
-			writeError(w, http.StatusGatewayTimeout, "request deadline expired in queue")
+			writeError(w, http.StatusGatewayTimeout, lwmapi.CodeTimeout, "request deadline expired in queue")
 			return
 		case err != nil:
 			var pe *panicError
 			if errors.As(err, &pe) {
 				em.panicked.Add(1)
 				setResult("panic", pe.Error())
-				writeError(w, http.StatusInternalServerError, "internal error")
+				writeError(w, http.StatusInternalServerError, lwmapi.CodeInternal, "internal error")
 				return
 			}
 			em.failed.Add(1)
 			setResult("error", err.Error())
-			writeError(w, http.StatusInternalServerError, err.Error())
+			writeError(w, http.StatusInternalServerError, lwmapi.CodeInternal, err.Error())
 			return
 		}
 		em.accepted.Add(1)
@@ -284,10 +303,10 @@ func (s *Server) endpoint(name string, handle func(r *http.Request) (any, error)
 			setResult("error", jobErr.Error())
 			var ae *apiError
 			if errors.As(jobErr, &ae) {
-				writeError(w, ae.status, ae.msg)
+				writeError(w, ae.status, ae.code, ae.msg)
 				return
 			}
-			writeError(w, http.StatusInternalServerError, jobErr.Error())
+			writeError(w, http.StatusInternalServerError, lwmapi.CodeInternal, jobErr.Error())
 			return
 		}
 		em.completed.Add(1)

@@ -3,9 +3,13 @@
 //
 // Three endpoints expose the engine's entry points — /v1/embed
 // (engine.EmbedMany), /v1/detect (engine.DetectBatch, batch-shaped), and
-// /v1/verify (engine.VerifyOwnership) — over JSON envelopes that carry
-// designs in the internal/cdfg text format and schedules in the
-// internal/sched text format.
+// /v1/verify (engine.VerifyOwnership) — over the JSON envelopes of the
+// public lwmapi package, which carry designs in the internal/cdfg text
+// format and schedules in the internal/sched text format. A fourth
+// surface, PUT/GET /v1/designs, fronts the content-addressed design
+// registry (internal/store): register a design once, then pass its ref
+// as the design_ref of embed/detect/verify requests and skip re-sending
+// (and re-parsing) the design text every call.
 //
 // The robustness model:
 //
@@ -41,13 +45,15 @@ import (
 
 	"localwm/internal/chaos"
 	"localwm/internal/obs"
+	"localwm/internal/store"
 )
 
 // Endpoint names, used as queue and metrics keys.
 const (
-	epEmbed  = "embed"
-	epDetect = "detect"
-	epVerify = "verify"
+	epEmbed   = "embed"
+	epDetect  = "detect"
+	epVerify  = "verify"
+	epDesigns = "designs"
 )
 
 // Config sizes the daemon. The zero value serves with sane defaults.
@@ -57,6 +63,9 @@ type Config struct {
 	// concurrently. Zero defaults to 2 for embed/verify (engine-parallel
 	// inside) and NumCPU for detect (read-only fan-out).
 	EmbedWorkers, DetectWorkers, VerifyWorkers int
+	// DesignWorkers sizes the design-registry endpoint's worker pool
+	// (puts parse and warm a design; gets are cheap). Zero defaults to 2.
+	DesignWorkers int
 	// QueueSize is each endpoint's pending-request capacity beyond the
 	// workers. Zero defaults to 64.
 	QueueSize int
@@ -75,6 +84,14 @@ type Config struct {
 	RetryAfter time.Duration
 	// MaxBodyBytes bounds request payloads. Zero defaults to 64 MiB.
 	MaxBodyBytes int64
+	// Store, when non-nil, is the content-addressed design registry
+	// behind /v1/designs and the design_ref request fields — typically
+	// opened on a -store-dir so it survives restarts. Nil gets a fresh
+	// in-memory registry with default sizing, so the designs API and the
+	// lwmd_store_* metrics always exist. The store's lifecycle belongs to
+	// whoever opened it: the server never closes a Store it was handed
+	// (and an in-memory default has nothing to close).
+	Store *store.Store
 	// Chaos, when non-nil, wraps every /v1 API endpoint with the fault
 	// injector (lwmd -chaos) — latency, resets, 500s, truncated bodies,
 	// deterministically seeded. Liveness and stats endpoints are never
@@ -98,6 +115,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.VerifyWorkers <= 0 {
 		c.VerifyWorkers = 2
+	}
+	if c.DesignWorkers <= 0 {
+		c.DesignWorkers = 2
 	}
 	if c.QueueSize <= 0 {
 		c.QueueSize = 64
@@ -129,6 +149,7 @@ type Server struct {
 	metrics  *metrics
 	logger   *slog.Logger
 	reg      *obs.Registry
+	store    *store.Store
 	draining atomic.Bool
 
 	// testJobStart, when set (tests only), runs at the start of every
@@ -140,15 +161,22 @@ type Server struct {
 // New builds a Server and starts its worker pools.
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
+	st := cfg.Store
+	if st == nil {
+		// An in-memory open with no Dir cannot fail.
+		st, _ = store.Open(store.Config{})
+	}
 	s := &Server{
 		cfg:     cfg,
-		metrics: newMetrics(epEmbed, epDetect, epVerify),
+		metrics: newMetrics(epEmbed, epDetect, epVerify, epDesigns),
 		queues: map[string]*queue{
-			epEmbed:  newQueue(cfg.EmbedWorkers, cfg.QueueSize),
-			epDetect: newQueue(cfg.DetectWorkers, cfg.QueueSize),
-			epVerify: newQueue(cfg.VerifyWorkers, cfg.QueueSize),
+			epEmbed:   newQueue(cfg.EmbedWorkers, cfg.QueueSize),
+			epDetect:  newQueue(cfg.DetectWorkers, cfg.QueueSize),
+			epVerify:  newQueue(cfg.VerifyWorkers, cfg.QueueSize),
+			epDesigns: newQueue(cfg.DesignWorkers, cfg.QueueSize),
 		},
 		logger: cfg.Logger,
+		store:  st,
 	}
 	s.reg = s.buildRegistry()
 	return s
@@ -161,17 +189,21 @@ func New(cfg Config) *Server {
 // the injector, so even fault-substituted responses are traced and
 // logged.
 func (s *Server) Handler() http.Handler {
-	api := func(name string, handle func(r *http.Request) (any, error)) http.Handler {
-		h := s.endpoint(name, handle)
+	api := func(name string, allow []string, handle func(r *http.Request) (any, error)) http.Handler {
+		h := s.endpoint(name, allow, handle)
 		if s.cfg.Chaos != nil {
 			h = s.cfg.Chaos.Middleware(h)
 		}
 		return s.observe(name, h)
 	}
+	post := []string{http.MethodPost}
 	mux := http.NewServeMux()
-	mux.Handle("/v1/embed", api(epEmbed, s.handleEmbed))
-	mux.Handle("/v1/detect", api(epDetect, s.handleDetect))
-	mux.Handle("/v1/verify", api(epVerify, s.handleVerify))
+	mux.Handle("/v1/embed", api(epEmbed, post, s.handleEmbed))
+	mux.Handle("/v1/detect", api(epDetect, post, s.handleDetect))
+	mux.Handle("/v1/verify", api(epVerify, post, s.handleVerify))
+	designs := api(epDesigns, []string{http.MethodPut, http.MethodPost, http.MethodGet}, s.handleDesigns)
+	mux.Handle("/v1/designs", designs)
+	mux.Handle("/v1/designs/", designs)
 	mux.HandleFunc("/v1/stats", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, s.snapshot())
 	})

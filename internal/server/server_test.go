@@ -17,6 +17,7 @@ import (
 	"localwm/internal/engine"
 	"localwm/internal/sched"
 	"localwm/internal/schedwm"
+	"localwm/lwmapi"
 )
 
 // fixture is one marked design with everything a detect/verify request
@@ -109,8 +110,8 @@ func TestDaemonDetectConcurrentByteIdentical(t *testing.T) {
 	defer ts.Close()
 	defer srv.Shutdown(context.Background())
 
-	reqBody, err := json.Marshal(detectRequest{
-		Suspects: []suspectPayload{{Design: fx.designText, Schedule: fx.scheduleText}},
+	reqBody, err := json.Marshal(lwmapi.DetectRequest{
+		Suspects: []lwmapi.Suspect{{Design: fx.designText, Schedule: fx.scheduleText}},
 		Records:  fx.records,
 		Workers:  8,
 	})
@@ -146,7 +147,7 @@ func TestDaemonDetectConcurrentByteIdentical(t *testing.T) {
 		}
 	}
 
-	var parsed detectResponse
+	var parsed lwmapi.DetectResponse
 	if err := json.Unmarshal(want, &parsed); err != nil {
 		t.Fatal(err)
 	}
@@ -169,15 +170,15 @@ func TestDaemonEmbedVerifyRoundTrip(t *testing.T) {
 	defer ts.Close()
 	defer srv.Shutdown(context.Background())
 
-	embedBody, _ := json.Marshal(embedRequest{
+	embedBody, _ := json.Marshal(lwmapi.EmbedRequest{
 		Design: designText.String(), Signature: "owner",
-		markParams: markParams{N: 2, Tau: 16, K: 3, Epsilon: 0.4, Workers: 4},
+		MarkParams: lwmapi.MarkParams{N: 2, Tau: 16, K: 3, Epsilon: 0.4, Workers: 4},
 	})
 	resp, data := postJSON(t, ts.Client(), ts.URL+"/v1/embed", embedBody)
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("embed: status %d: %s", resp.StatusCode, data)
 	}
-	var er embedResponse
+	var er lwmapi.EmbedResponse
 	if err := json.Unmarshal(data, &er); err != nil {
 		t.Fatal(err)
 	}
@@ -216,15 +217,15 @@ func TestDaemonEmbedVerifyRoundTrip(t *testing.T) {
 	if err := sched.WriteSchedule(&schedText, markedG, s); err != nil {
 		t.Fatal(err)
 	}
-	verifyBody, _ := json.Marshal(verifyRequest{
+	verifyBody, _ := json.Marshal(lwmapi.VerifyRequest{
 		Design: designText.String(), Schedule: schedText.String(), Signature: "owner",
-		markParams: markParams{N: 2, Tau: 16, K: 3, Epsilon: 0.4},
+		MarkParams: lwmapi.MarkParams{N: 2, Tau: 16, K: 3, Epsilon: 0.4},
 	})
 	resp, data = postJSON(t, ts.Client(), ts.URL+"/v1/verify", verifyBody)
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("verify: status %d: %s", resp.StatusCode, data)
 	}
-	var vr verifyResponse
+	var vr lwmapi.VerifyResponse
 	if err := json.Unmarshal(data, &vr); err != nil {
 		t.Fatal(err)
 	}
@@ -232,15 +233,15 @@ func TestDaemonEmbedVerifyRoundTrip(t *testing.T) {
 		t.Fatalf("ownership claim not verified: %+v", vr)
 	}
 	// An impostor's claim must fail.
-	impostorBody, _ := json.Marshal(verifyRequest{
+	impostorBody, _ := json.Marshal(lwmapi.VerifyRequest{
 		Design: designText.String(), Schedule: schedText.String(), Signature: "mallory",
-		markParams: markParams{N: 2, Tau: 16, K: 3, Epsilon: 0.4},
+		MarkParams: lwmapi.MarkParams{N: 2, Tau: 16, K: 3, Epsilon: 0.4},
 	})
 	resp, data = postJSON(t, ts.Client(), ts.URL+"/v1/verify", impostorBody)
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("impostor verify: status %d: %s", resp.StatusCode, data)
 	}
-	var ir verifyResponse
+	var ir lwmapi.VerifyResponse
 	if err := json.Unmarshal(data, &ir); err != nil {
 		t.Fatal(err)
 	}
@@ -262,8 +263,8 @@ func TestDaemonBackpressureAndDrain(t *testing.T) {
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
 
-	body, _ := json.Marshal(detectRequest{
-		Suspects: []suspectPayload{{Design: fx.designText, Schedule: fx.scheduleText}},
+	body, _ := json.Marshal(lwmapi.DetectRequest{
+		Suspects: []lwmapi.Suspect{{Design: fx.designText, Schedule: fx.scheduleText}},
 		Records:  fx.records,
 	})
 
@@ -355,8 +356,8 @@ func TestDaemonPanicIsolation(t *testing.T) {
 	defer ts.Close()
 	defer srv.Shutdown(context.Background())
 
-	body, _ := json.Marshal(detectRequest{
-		Suspects: []suspectPayload{{Design: fx.designText, Schedule: fx.scheduleText}},
+	body, _ := json.Marshal(lwmapi.DetectRequest{
+		Suspects: []lwmapi.Suspect{{Design: fx.designText, Schedule: fx.scheduleText}},
 		Records:  fx.records,
 	})
 	resp, data := postJSON(t, ts.Client(), ts.URL+"/v1/detect", body)
@@ -379,8 +380,8 @@ func TestDaemonQueuedDeadline(t *testing.T) {
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
 
-	body, _ := json.Marshal(detectRequest{
-		Suspects: []suspectPayload{{Design: fx.designText, Schedule: fx.scheduleText}},
+	body, _ := json.Marshal(lwmapi.DetectRequest{
+		Suspects: []lwmapi.Suspect{{Design: fx.designText, Schedule: fx.scheduleText}},
 		Records:  fx.records,
 	})
 	blocked := make(chan struct{})
@@ -430,9 +431,12 @@ func TestDaemonRequestValidation(t *testing.T) {
 		if resp.StatusCode != tc.status {
 			t.Errorf("%s: status %d, want %d (%s)", name, resp.StatusCode, tc.status, data)
 		}
-		var eb errorBody
-		if err := json.Unmarshal(data, &eb); err != nil || eb.Error == "" {
+		var eb lwmapi.Error
+		if err := json.Unmarshal(data, &eb); err != nil || eb.LegacyMessage == "" {
 			t.Errorf("%s: error body malformed: %s", name, data)
+		}
+		if eb.Code != lwmapi.CodeBadRequest || eb.Message != eb.LegacyMessage || eb.Status != tc.status || eb.Retryable {
+			t.Errorf("%s: typed envelope malformed: %+v", name, eb)
 		}
 	}
 
@@ -458,8 +462,8 @@ func TestDaemonStatsAndDebug(t *testing.T) {
 	defer dbg.Close()
 	defer srv.Shutdown(context.Background())
 
-	body, _ := json.Marshal(detectRequest{
-		Suspects: []suspectPayload{{Design: fx.designText, Schedule: fx.scheduleText}},
+	body, _ := json.Marshal(lwmapi.DetectRequest{
+		Suspects: []lwmapi.Suspect{{Design: fx.designText, Schedule: fx.scheduleText}},
 		Records:  fx.records,
 	})
 	for i := 0; i < 3; i++ {
@@ -531,8 +535,8 @@ func TestEngineWorkersClamped(t *testing.T) {
 	defer ts.Close()
 	var ref []byte
 	for _, workers := range []int{-2, 0, 1, 99} {
-		body, _ := json.Marshal(detectRequest{
-			Suspects: []suspectPayload{{Design: fx.designText, Schedule: fx.scheduleText}},
+		body, _ := json.Marshal(lwmapi.DetectRequest{
+			Suspects: []lwmapi.Suspect{{Design: fx.designText, Schedule: fx.scheduleText}},
 			Records:  fx.records,
 			Workers:  workers,
 		})

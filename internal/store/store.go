@@ -1,0 +1,390 @@
+// Package store is the daemon's content-addressed design registry: the
+// reason a many-scans-per-design workload (one owner checking many
+// records against one suspect, a corpus of protected designs rescanned
+// as new suspects appear) stops paying the parse and longest-path
+// warmup on every request.
+//
+// A design is keyed by the lowercase hex SHA-256 of its canonical text
+// — the output of cdfg.Write over the parsed graph — so two texts of
+// the same graph (comments, blank lines, edge-order shuffles that
+// Write∘Parse normalizes) map to one reference, and a reference
+// resolves to exactly one design forever. Each resident entry caches
+// the parsed *cdfg.Graph with its PathOracle already warmed for the
+// detection-side queries; request handlers share that graph read-only
+// (detection and verification never mutate the suspect — embedding
+// clones first).
+//
+// Capacity is bounded: entries hash across Config.Shards shards, each
+// holding at most Capacity/Shards designs under LRU eviction, so a hot
+// million-design corpus degrades to misses instead of eating the heap.
+// With Config.Dir set the registry survives restarts: every put appends
+// to a size-capped write-ahead log, compacted into a snapshot of the
+// resident set whenever the log outgrows Config.MaxWALBytes (see
+// wal.go for the format).
+package store
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"hash/fnv"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"localwm/internal/cdfg"
+)
+
+// Config sizes the registry. The zero value is a usable in-memory-only
+// store with the documented defaults.
+type Config struct {
+	// Shards is the number of independently locked segments. Zero
+	// defaults to 16. Use 1 in tests that need deterministic global LRU
+	// order.
+	Shards int
+	// Capacity is the maximum resident designs across all shards
+	// (divided evenly; at least 1 per shard). Zero defaults to 1024.
+	Capacity int
+	// Dir, when non-empty, persists the registry under this directory
+	// (wal.log + snapshot). Empty keeps the registry in memory only.
+	Dir string
+	// MaxWALBytes caps the write-ahead log: when an append pushes the
+	// log past this size, the resident set is snapshotted and the log
+	// truncated. Zero defaults to 8 MiB.
+	MaxWALBytes int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Shards <= 0 {
+		c.Shards = 16
+	}
+	if c.Capacity <= 0 {
+		c.Capacity = 1024
+	}
+	if c.MaxWALBytes <= 0 {
+		c.MaxWALBytes = 8 << 20
+	}
+	return c
+}
+
+// Design is one resident registry entry. All fields are immutable after
+// insertion; Graph is shared by every caller and MUST be treated as
+// read-only — clone it before any mutation (embedding does).
+type Design struct {
+	// Ref is the content-addressed reference: lowercase hex SHA-256 of
+	// Text.
+	Ref string
+	// Text is the canonical design serialization (cdfg.Write output).
+	Text string
+	// Graph is the parsed design with its PathOracle warmed for the
+	// temporal-free and temporal longest-path queries detection runs.
+	Graph *cdfg.Graph
+}
+
+// Nodes returns the design's node count.
+func (d *Design) Nodes() int { return d.Graph.Len() }
+
+// Counters is a snapshot of a Store's cumulative activity. Monotonic
+// except Entries/Bytes/WALBytes, which are gauges.
+type Counters struct {
+	Hits        uint64 // Get calls that resolved
+	Misses      uint64 // Get calls that did not
+	Puts        uint64 // designs inserted (not refreshes of residents)
+	Evictions   uint64 // designs dropped by LRU capacity pressure
+	Compactions uint64 // WAL snapshot+truncate cycles
+	Entries     int64  // resident designs
+	Bytes       int64  // resident canonical text bytes
+	WALBytes    int64  // current write-ahead log size (0 when in-memory)
+}
+
+// entry is one shard-resident design with its LRU links.
+type entry struct {
+	d          *Design
+	prev, next *entry // LRU list: head = most recent, tail = next victim
+}
+
+// shard is one independently locked segment of the registry.
+type shard struct {
+	mu       sync.Mutex
+	byRef    map[string]*entry
+	head     *entry // most recently used
+	tail     *entry // least recently used
+	capacity int
+}
+
+// Store is the sharded registry. Safe for concurrent use.
+type Store struct {
+	cfg    Config
+	shards []*shard
+	wal    *wal // nil when in-memory only
+
+	hits, misses, puts, evictions, compactions atomic.Uint64
+	entries, bytes                             atomic.Int64
+}
+
+// Open builds a Store and, when cfg.Dir is set, replays the snapshot
+// and write-ahead log found there (ignoring a torn trailing record, the
+// crash case). The returned store's hit/miss counters start at zero —
+// replayed puts are not counted as traffic.
+func Open(cfg Config) (*Store, error) {
+	cfg = cfg.withDefaults()
+	perShard := cfg.Capacity / cfg.Shards
+	if perShard < 1 {
+		perShard = 1
+	}
+	s := &Store{cfg: cfg, shards: make([]*shard, cfg.Shards)}
+	for i := range s.shards {
+		s.shards[i] = &shard{byRef: make(map[string]*entry), capacity: perShard}
+	}
+	if cfg.Dir != "" {
+		w, err := openWAL(cfg.Dir, cfg.MaxWALBytes)
+		if err != nil {
+			return nil, err
+		}
+		if err := w.replay(func(canonical string) error {
+			_, _, err := s.insertCanonical(canonical, false)
+			return err
+		}); err != nil {
+			w.close()
+			return nil, err
+		}
+		s.wal = w
+	}
+	return s, nil
+}
+
+// Close flushes and closes the write-ahead log. The store itself stays
+// usable for in-memory reads; further puts on a closed persistent store
+// return an error.
+func (s *Store) Close() error {
+	if s.wal == nil {
+		return nil
+	}
+	return s.wal.close()
+}
+
+// Canonicalize parses text and re-serializes it into the canonical form
+// the registry hashes. Exposed so callers can predict a ref without a
+// store (lwm design ref could, and tests do).
+func Canonicalize(text string) (string, error) {
+	if strings.TrimSpace(text) == "" {
+		return "", fmt.Errorf("store: empty design")
+	}
+	g, err := cdfg.Parse(strings.NewReader(text))
+	if err != nil {
+		return "", err
+	}
+	var sb strings.Builder
+	if err := cdfg.Write(&sb, g); err != nil {
+		return "", err
+	}
+	return sb.String(), nil
+}
+
+// RefOf returns the content-addressed reference of a canonical text.
+func RefOf(canonical string) string {
+	sum := sha256.Sum256([]byte(canonical))
+	return hex.EncodeToString(sum[:])
+}
+
+// ValidRef reports whether ref is syntactically a registry reference
+// (64 lowercase hex digits).
+func ValidRef(ref string) bool {
+	if len(ref) != 64 {
+		return false
+	}
+	for i := 0; i < len(ref); i++ {
+		c := ref[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// shardFor picks the shard holding ref. FNV over the ref spreads the
+// already-uniform hex evenly without caring that the ref is itself a
+// hash.
+func (s *Store) shardFor(ref string) *shard {
+	h := fnv.New32a()
+	h.Write([]byte(ref))
+	return s.shards[h.Sum32()%uint32(len(s.shards))]
+}
+
+// Put registers a design given in any textual form: the text is
+// canonicalized, hashed, parsed, and its oracle warmed. A design
+// already resident is refreshed (moved to the front of its shard's LRU)
+// and returned with created=false. With persistence on, a genuinely new
+// design is appended to the write-ahead log before Put returns.
+func (s *Store) Put(text string) (d *Design, created bool, err error) {
+	canonical, err := Canonicalize(text)
+	if err != nil {
+		return nil, false, err
+	}
+	d, created, err = s.insertCanonical(canonical, true)
+	if err != nil {
+		return nil, false, err
+	}
+	if created && s.wal != nil {
+		if werr := s.wal.appendPut(canonical, s.snapshotTexts); werr != nil {
+			return nil, false, fmt.Errorf("store: wal append: %w", werr)
+		}
+		s.compactions.Store(s.wal.compactions())
+	}
+	return d, created, nil
+}
+
+// insertCanonical inserts an already-canonical text, building the
+// shared graph outside the shard lock (parse + oracle warmup is the
+// expensive half this registry exists to amortize; doing it unlocked
+// keeps concurrent puts of different designs from serializing). count
+// toggles the puts counter — WAL replay inserts without counting.
+func (s *Store) insertCanonical(canonical string, count bool) (*Design, bool, error) {
+	ref := RefOf(canonical)
+	sh := s.shardFor(ref)
+
+	// Fast path: already resident — refresh recency, done.
+	sh.mu.Lock()
+	if e, ok := sh.byRef[ref]; ok {
+		sh.moveToFront(e)
+		sh.mu.Unlock()
+		return e.d, false, nil
+	}
+	sh.mu.Unlock()
+
+	g, err := cdfg.Parse(strings.NewReader(canonical))
+	if err != nil {
+		return nil, false, fmt.Errorf("store: canonical text unparseable: %w", err)
+	}
+	warmOracle(g)
+	d := &Design{Ref: ref, Text: canonical, Graph: g}
+
+	sh.mu.Lock()
+	if e, ok := sh.byRef[ref]; ok { // raced with another put of the same design
+		sh.moveToFront(e)
+		sh.mu.Unlock()
+		return e.d, false, nil
+	}
+	e := &entry{d: d}
+	sh.byRef[ref] = e
+	sh.pushFront(e)
+	var victim *entry
+	if len(sh.byRef) > sh.capacity {
+		victim = sh.tail
+		sh.remove(victim)
+		delete(sh.byRef, victim.d.Ref)
+	}
+	sh.mu.Unlock()
+
+	s.entries.Add(1)
+	s.bytes.Add(int64(len(canonical)))
+	if count {
+		s.puts.Add(1)
+	}
+	if victim != nil {
+		s.entries.Add(-1)
+		s.bytes.Add(-int64(len(victim.d.Text)))
+		s.evictions.Add(1)
+	}
+	return d, true, nil
+}
+
+// Get resolves a reference to its resident design, refreshing its
+// recency. The boolean is false on a miss (never put, or evicted).
+func (s *Store) Get(ref string) (*Design, bool) {
+	sh := s.shardFor(ref)
+	sh.mu.Lock()
+	e, ok := sh.byRef[ref]
+	if ok {
+		sh.moveToFront(e)
+	}
+	sh.mu.Unlock()
+	if !ok {
+		s.misses.Add(1)
+		return nil, false
+	}
+	s.hits.Add(1)
+	return e.d, true
+}
+
+// Len returns the resident design count.
+func (s *Store) Len() int { return int(s.entries.Load()) }
+
+// Counters returns the store's cumulative counters and gauges.
+func (s *Store) Counters() Counters {
+	c := Counters{
+		Hits:        s.hits.Load(),
+		Misses:      s.misses.Load(),
+		Puts:        s.puts.Load(),
+		Evictions:   s.evictions.Load(),
+		Compactions: s.compactions.Load(),
+		Entries:     s.entries.Load(),
+		Bytes:       s.bytes.Load(),
+	}
+	if s.wal != nil {
+		c.WALBytes = s.wal.size()
+	}
+	return c
+}
+
+// snapshotTexts returns every resident canonical text, oldest-first per
+// shard, for WAL compaction: replaying them in order reconstructs an
+// equivalent resident set.
+func (s *Store) snapshotTexts() []string {
+	var texts []string
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		for e := sh.tail; e != nil; e = e.prev {
+			texts = append(texts, e.d.Text)
+		}
+		sh.mu.Unlock()
+	}
+	return texts
+}
+
+// warmOracle runs the longest-path queries detection and verification
+// will ask first — the temporal-free and temporal variants of the
+// default weighting — so a ref-resolved request starts on a hot cache.
+// Warm failures are ignored: a graph that defeats the analysis simply
+// starts cold and surfaces its error on first real use.
+func warmOracle(g *cdfg.Graph) {
+	o := g.Oracle()
+	_, _, _ = o.Longest(cdfg.PathOpts{})
+	_, _, _ = o.Longest(cdfg.PathOpts{IncludeTemporal: true})
+}
+
+// --- intrusive LRU list (shard lock held) ---
+
+func (sh *shard) pushFront(e *entry) {
+	e.prev = nil
+	e.next = sh.head
+	if sh.head != nil {
+		sh.head.prev = e
+	}
+	sh.head = e
+	if sh.tail == nil {
+		sh.tail = e
+	}
+}
+
+func (sh *shard) remove(e *entry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		sh.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		sh.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+func (sh *shard) moveToFront(e *entry) {
+	if sh.head == e {
+		return
+	}
+	sh.remove(e)
+	sh.pushFront(e)
+}

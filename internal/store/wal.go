@@ -1,0 +1,320 @@
+package store
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Persistence layout (Config.Dir):
+//
+//	wal.log   append-only put log, replayed over the snapshot on Open
+//	snapshot  full resident set at the last compaction (atomic rename)
+//
+// Both files share one framed text format, binary-safe via an explicit
+// byte length:
+//
+//	<header>\n                 "lwmstore-wal v1" / "lwmstore-snap v1"
+//	put <ref> <nbytes>\n
+//	<nbytes of canonical design text>\n
+//	...
+//
+// A put whose appended bytes push wal.log past Config.MaxWALBytes
+// triggers compaction: the resident set is written to snapshot.tmp,
+// renamed over snapshot, and wal.log truncated back to its header — so
+// the log's size is bounded by MaxWALBytes plus one design. Replay
+// tolerates a torn trailing record (the crash-mid-append case) by
+// truncating the log back to the last whole record; a corrupt record
+// body (ref/hash mismatch) is an error, not a skip. Appends are not
+// fsynced: the daemon survives its own death (the page cache persists
+// process exit), not a power cut mid-write.
+
+const (
+	walHeader  = "lwmstore-wal v1"
+	snapHeader = "lwmstore-snap v1"
+)
+
+// wal owns the two persistence files. All methods are safe for
+// concurrent use; appends serialize on mu.
+type wal struct {
+	mu       sync.Mutex
+	dir      string
+	maxBytes int64
+	f        *os.File
+	n        atomic.Int64 // current wal.log size
+	compacts atomic.Uint64
+	closed   bool
+}
+
+func (w *wal) walPath() string  { return filepath.Join(w.dir, "wal.log") }
+func (w *wal) snapPath() string { return filepath.Join(w.dir, "snapshot") }
+
+// openWAL prepares dir and opens the log for appending, creating it
+// (with its header) when absent. Replay happens separately so the
+// caller controls where the records land.
+func openWAL(dir string, maxBytes int64) (*wal, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	w := &wal{dir: dir, maxBytes: maxBytes}
+	f, err := os.OpenFile(w.walPath(), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	w.f = f
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	if st.Size() == 0 {
+		if _, err := f.WriteString(walHeader + "\n"); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("store: writing wal header: %w", err)
+		}
+	}
+	st, _ = f.Stat()
+	w.n.Store(st.Size())
+	return w, nil
+}
+
+// replay feeds every persisted canonical text — snapshot first, then
+// the log — to apply, in write order. A torn trailing log record is
+// discarded by truncating the log back to the last whole record.
+func (w *wal) replay(apply func(canonical string) error) error {
+	if err := replayFile(w.snapPath(), snapHeader, false, apply); err != nil {
+		return err
+	}
+	good, err := replayLog(w.f, apply)
+	if err != nil {
+		return err
+	}
+	if good < w.n.Load() {
+		if err := w.f.Truncate(good); err != nil {
+			return fmt.Errorf("store: truncating torn wal tail: %w", err)
+		}
+		w.n.Store(good)
+	}
+	// Leave the append cursor at the (possibly truncated) end.
+	if _, err := w.f.Seek(0, io.SeekEnd); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	return nil
+}
+
+// replayFile replays a whole framed file (the snapshot). A missing file
+// is fine; a torn or corrupt record is an error unless tolerateTorn.
+func replayFile(path, header string, tolerateTorn bool, apply func(string) error) error {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	defer f.Close()
+	br := bufio.NewReader(f)
+	if err := expectHeader(br, path, header); err != nil {
+		return err
+	}
+	for {
+		_, text, err := readRecord(br, path)
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			if tolerateTorn && isTorn(err) {
+				return nil
+			}
+			return err
+		}
+		if err := apply(text); err != nil {
+			return err
+		}
+	}
+}
+
+// replayLog replays the open wal.log from the start and returns the
+// byte offset just past the last whole, valid record.
+func replayLog(f *os.File, apply func(string) error) (good int64, err error) {
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return 0, fmt.Errorf("store: %w", err)
+	}
+	cr := &countingReader{r: f}
+	br := bufio.NewReader(cr)
+	if err := expectHeader(br, f.Name(), walHeader); err != nil {
+		return 0, err
+	}
+	good = cr.n - int64(br.Buffered())
+	for {
+		_, text, rerr := readRecord(br, f.Name())
+		if rerr == io.EOF {
+			return good, nil
+		}
+		if rerr != nil {
+			if isTorn(rerr) {
+				return good, nil // crash mid-append: drop the tail
+			}
+			return 0, rerr
+		}
+		if err := apply(text); err != nil {
+			return 0, err
+		}
+		good = cr.n - int64(br.Buffered())
+	}
+}
+
+// tornError marks an incomplete trailing record.
+type tornError struct{ msg string }
+
+func (e *tornError) Error() string { return e.msg }
+func isTorn(err error) bool        { _, ok := err.(*tornError); return ok }
+
+// expectHeader consumes and checks a file's header line.
+func expectHeader(br *bufio.Reader, path, want string) error {
+	line, err := br.ReadString('\n')
+	if err != nil {
+		return &tornError{fmt.Sprintf("store: %s: missing header", path)}
+	}
+	if strings.TrimSuffix(line, "\n") != want {
+		return fmt.Errorf("store: %s: bad header %q (want %q)", path, strings.TrimSpace(line), want)
+	}
+	return nil
+}
+
+// readRecord reads one framed record and verifies its content hash.
+// io.EOF means a clean end; *tornError an incomplete trailer.
+func readRecord(br *bufio.Reader, path string) (ref, text string, err error) {
+	line, err := br.ReadString('\n')
+	if err == io.EOF && line == "" {
+		return "", "", io.EOF
+	}
+	if err != nil {
+		return "", "", &tornError{fmt.Sprintf("store: %s: torn record header", path)}
+	}
+	var nbytes int
+	if _, err := fmt.Sscanf(line, "put %s %d\n", &ref, &nbytes); err != nil || !ValidRef(ref) || nbytes < 0 {
+		return "", "", fmt.Errorf("store: %s: malformed record header %q", path, strings.TrimSpace(line))
+	}
+	buf := make([]byte, nbytes+1) // body + trailing newline
+	if _, err := io.ReadFull(br, buf); err != nil {
+		return "", "", &tornError{fmt.Sprintf("store: %s: torn record body", path)}
+	}
+	if buf[nbytes] != '\n' {
+		return "", "", fmt.Errorf("store: %s: record for %s missing trailer", path, ref)
+	}
+	text = string(buf[:nbytes])
+	if RefOf(text) != ref {
+		return "", "", fmt.Errorf("store: %s: record %s fails content hash", path, ref)
+	}
+	return ref, text, nil
+}
+
+// writeRecord frames one canonical text onto w.
+func writeRecord(w io.Writer, canonical string) error {
+	if _, err := fmt.Fprintf(w, "put %s %d\n", RefOf(canonical), len(canonical)); err != nil {
+		return err
+	}
+	if _, err := io.WriteString(w, canonical+"\n"); err != nil {
+		return err
+	}
+	return nil
+}
+
+// appendPut logs one new design. When the log outgrows maxBytes it is
+// compacted: resident() supplies the survivor texts for the snapshot
+// and the log restarts empty.
+func (w *wal) appendPut(canonical string, resident func() []string) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return fmt.Errorf("store: wal closed")
+	}
+	var buf strings.Builder
+	if err := writeRecord(&buf, canonical); err != nil {
+		return err
+	}
+	if _, err := w.f.WriteString(buf.String()); err != nil {
+		return err
+	}
+	w.n.Add(int64(buf.Len()))
+	if w.n.Load() > w.maxBytes {
+		return w.compactLocked(resident())
+	}
+	return nil
+}
+
+// compactLocked snapshots texts and truncates the log. Caller holds mu.
+func (w *wal) compactLocked(texts []string) error {
+	tmp := w.snapPath() + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(f)
+	if _, err := bw.WriteString(snapHeader + "\n"); err == nil {
+		for _, t := range texts {
+			if err = writeRecord(bw, t); err != nil {
+				break
+			}
+		}
+	}
+	if err == nil {
+		err = bw.Flush()
+	}
+	if err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("store: writing snapshot: %w", err)
+	}
+	if err := os.Rename(tmp, w.snapPath()); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("store: installing snapshot: %w", err)
+	}
+	if err := w.f.Truncate(int64(len(walHeader) + 1)); err != nil {
+		return fmt.Errorf("store: truncating wal: %w", err)
+	}
+	if _, err := w.f.Seek(0, io.SeekEnd); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	w.n.Store(int64(len(walHeader) + 1))
+	w.compacts.Add(1)
+	return nil
+}
+
+func (w *wal) size() int64         { return w.n.Load() }
+func (w *wal) compactions() uint64 { return w.compacts.Load() }
+
+func (w *wal) close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return nil
+	}
+	w.closed = true
+	return w.f.Close()
+}
+
+// countingReader counts bytes handed to the bufio layer, letting replay
+// compute the offset of the last whole record (reader position minus
+// what bufio still buffers).
+type countingReader struct {
+	r io.Reader
+	n int64
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
+}

@@ -1,0 +1,72 @@
+package lwmapi
+
+import "fmt"
+
+// Error codes carried by every non-2xx /v1 response. The table is part
+// of the wire contract (see DESIGN.md, "lwmapi error codes"): clients
+// switch on Code instead of string-matching messages. lwmclient maps
+// each code to an exported sentinel error.
+const (
+	// CodeBadRequest: the payload was malformed or semantically invalid
+	// (unparseable design, missing signature, bad parameter). 400, not
+	// retryable.
+	CodeBadRequest = "bad_request"
+	// CodeDesignNotFound: a design_ref did not resolve in the daemon's
+	// registry — the design was never put, or was evicted. 404, not
+	// retryable as-is; re-put the design or fall back to inline.
+	CodeDesignNotFound = "design_not_found"
+	// CodeMethodNotAllowed: wrong HTTP method for the endpoint. 405, not
+	// retryable.
+	CodeMethodNotAllowed = "method_not_allowed"
+	// CodeQueueFull: the endpoint's admission queue is at capacity. 429
+	// with Retry-After; retryable after backing off.
+	CodeQueueFull = "queue_full"
+	// CodeDraining: the daemon is shutting down gracefully. 503 with
+	// Retry-After; retryable against its replacement.
+	CodeDraining = "draining"
+	// CodeTimeout: the request deadline expired while the request was
+	// queued or running. 504; retryable.
+	CodeTimeout = "timeout"
+	// CodeInternal: the handler failed or panicked. 500; retryable (the
+	// panic is confined to the request).
+	CodeInternal = "internal"
+)
+
+// Error is the JSON envelope of every non-2xx /v1 response.
+//
+// The legacy fields (LegacyMessage under "error", Status under
+// "status") are the complete PR-4 envelope and keep old clients
+// decoding; Code/Message/Retryable are the typed surface new callers
+// switch on. Status codes and Retry-After semantics are unchanged from
+// PR 4 — the envelope only adds structure.
+type Error struct {
+	// Code is one of the Code* constants.
+	Code string `json:"code"`
+	// Message is the human-readable failure description.
+	Message string `json:"message"`
+	// Retryable reports whether retrying the identical request can
+	// succeed (matching the status-based retry discipline: 429, 500,
+	// 502, 503, 504 are retryable; 4xx answers are definite).
+	Retryable bool `json:"retryable"`
+	// LegacyMessage mirrors Message under the PR-4 envelope's "error"
+	// key.
+	LegacyMessage string `json:"error"`
+	// Status is the HTTP status code, mirrored into the body as in PR 4.
+	Status int `json:"status"`
+}
+
+// Error implements the error interface.
+func (e *Error) Error() string {
+	return fmt.Sprintf("lwmapi: %s (%s, status %d)", e.Message, e.Code, e.Status)
+}
+
+// RetryableStatus reports whether an HTTP status is transient under the
+// service's retry discipline — the single definition both the daemon
+// (stamping Error.Retryable) and the client (deciding to retry) share.
+func RetryableStatus(status int) bool {
+	switch status {
+	case 429, 500, 502, 503, 504:
+		return true
+	}
+	return false
+}

@@ -1,0 +1,189 @@
+// Package lwmapi is the wire contract of the lwmd watermarking service:
+// the JSON request/response envelopes of every /v1 endpoint, the design
+// registry types, and the typed error envelope. Both sides of the wire —
+// internal/server on the daemon and lwmclient on the caller — import
+// these types, so the contract cannot drift between them.
+//
+// Compatibility: the field set and JSON names of the embed/detect/verify
+// envelopes are frozen to the shapes the PR-4 daemon served (see
+// wire_test.go, which round-trips captured fixtures). New capability
+// arrives only as optional fields — design_ref alongside design — so a
+// client that has never heard of the design registry keeps working
+// unchanged, and an old payload decodes identically on a new daemon.
+//
+// Designs travel in the internal/cdfg text format and schedules in the
+// internal/sched text format: the same artifacts the lwm CLI reads and
+// writes, so files and service payloads interchange.
+package lwmapi
+
+import "localwm/internal/schedwm"
+
+// Record is the detector-facing watermark record, exactly as the lwm CLI
+// writes it and the lwmd service consumes it.
+type Record = schedwm.Record
+
+// MarkParams are the public embedding parameters shared by embed and
+// verify requests. Zero values take the service's defaults (n=2, τ=20,
+// K=4, ε=0.25, budget = critical path + 10%).
+type MarkParams struct {
+	// N is the number of local watermarks (default 2).
+	N int `json:"n"`
+	// Tau is the subtree cardinality τ (default 20).
+	Tau int `json:"tau"`
+	// K is the number of temporal edges per watermark (default 4).
+	K int `json:"k"`
+	// Epsilon is the laxity margin ε (default 0.25).
+	Epsilon float64 `json:"epsilon"`
+	// Budget is the control-step budget (default critical path + 10%).
+	Budget int `json:"budget"`
+	// Workers is the per-request engine parallelism (0: server default,
+	// clamped to the daemon's configured maximum).
+	Workers int `json:"workers"`
+}
+
+// EmbedRequest asks the service to embed scheduling watermarks. Exactly
+// one of Design (inline cdfg text) or DesignRef (a registry reference
+// from PutDesign) identifies the design; when both are set the reference
+// wins, and an unresolvable reference answers 404 CodeDesignNotFound —
+// it never silently falls back to the inline text, so the caller can
+// count misses and re-put.
+type EmbedRequest struct {
+	// Design is the design inline, in the cdfg text format.
+	Design string `json:"design,omitempty"`
+	// DesignRef is a content-addressed registry reference (the ref field
+	// of a PutDesignResponse) standing in for the inline design.
+	DesignRef string `json:"design_ref,omitempty"`
+	// Signature is the author signature the watermarks derive from.
+	Signature string `json:"signature"`
+	MarkParams
+}
+
+// EmbedResponse is the service's embed answer.
+type EmbedResponse struct {
+	// MarkedDesign is the constrained design, in the cdfg text format.
+	MarkedDesign string `json:"marked_design"`
+	// Watermarks is how many local watermarks were embedded.
+	Watermarks int `json:"watermarks"`
+	// TemporalEdges is the total count of inserted temporal edges.
+	TemporalEdges int `json:"temporal_edges"`
+	// Records are the detector-facing records, one per watermark.
+	Records []Record `json:"records"`
+}
+
+// Suspect pairs a suspect design with its schedule for batch detection.
+// The design arrives inline (Design) or by registry reference
+// (DesignRef); the reference wins when both are set.
+type Suspect struct {
+	// Design is the suspect design inline, in the cdfg text format.
+	Design string `json:"design,omitempty"`
+	// DesignRef is a content-addressed registry reference standing in
+	// for the inline design.
+	DesignRef string `json:"design_ref,omitempty"`
+	// Schedule is the suspect schedule, in the lwm schedule text format.
+	Schedule string `json:"schedule"`
+}
+
+// DetectRequest is one batch detection request as it travels on the
+// wire: every record scanned in every suspect. (Client-side chunking
+// lives above this type — each chunk is one DetectRequest.)
+type DetectRequest struct {
+	// Suspects are the designs+schedules to scan.
+	Suspects []Suspect `json:"suspects"`
+	// Records are the detector-facing watermark records to scan for.
+	Records []Record `json:"records"`
+	// Workers is the per-request engine parallelism (0: server default).
+	Workers int `json:"workers"`
+}
+
+// DetectOutcome is one suspect×record detection verdict. Pc travels in
+// the paper's 10^x notation.
+type DetectOutcome struct {
+	// Found reports whether the record's watermark was fully matched.
+	Found bool `json:"found"`
+	// Root is the first matched root's node name, when found.
+	Root string `json:"root,omitempty"`
+	// Satisfied and Total count the matched temporal constraints of the
+	// best candidate root.
+	Satisfied int `json:"satisfied"`
+	Total     int `json:"total"`
+	// Pc is the coincidence probability of the best candidate, in the
+	// paper's 10^x notation.
+	Pc string `json:"pc"`
+	// RootsTried is how many candidate roots the scan considered.
+	RootsTried int `json:"roots_tried"`
+	// Error carries a per-pair scan failure; the rest of the batch is
+	// still meaningful.
+	Error string `json:"error,omitempty"`
+}
+
+// DetectResponse is the service's batch detection answer.
+type DetectResponse struct {
+	// Results[i][j] is records[j] scanned in suspects[i], mirroring
+	// engine.DetectBatch.
+	Results [][]DetectOutcome `json:"results"`
+	// Detected is the count of found verdicts across the grid.
+	Detected int `json:"detected"`
+}
+
+// VerifyRequest asks the service to adjudicate an ownership claim from
+// the claimed signature alone. The design arrives inline (Design) or by
+// registry reference (DesignRef); the reference wins when both are set.
+type VerifyRequest struct {
+	// Design is the suspect design inline, in the cdfg text format.
+	Design string `json:"design,omitempty"`
+	// DesignRef is a content-addressed registry reference standing in
+	// for the inline design.
+	DesignRef string `json:"design_ref,omitempty"`
+	// Schedule is the suspect schedule, in the lwm schedule text format.
+	Schedule string `json:"schedule"`
+	// Signature is the claimed author signature.
+	Signature string `json:"signature"`
+	MarkParams
+}
+
+// VerifyResponse is the service's verification verdict.
+type VerifyResponse struct {
+	// Verified reports whether every re-derived constraint held.
+	Verified bool `json:"verified"`
+	// Satisfied and Total count the re-derived constraints that held.
+	Satisfied int `json:"satisfied"`
+	Total     int `json:"total"`
+	// Pc is the coincidence probability, in the paper's 10^x notation.
+	Pc string `json:"pc"`
+	// RootsTried is how many candidate roots the adjudication considered.
+	RootsTried int `json:"roots_tried"`
+}
+
+// PutDesignRequest registers a design with the daemon's content-
+// addressed registry (PUT /v1/designs).
+type PutDesignRequest struct {
+	// Design is the design to register, in the cdfg text format. It is
+	// canonicalized (parsed and re-serialized) before hashing, so two
+	// texts of the same graph — comments, blank lines, edge order —
+	// yield the same reference.
+	Design string `json:"design"`
+}
+
+// PutDesignResponse is the registry's answer to a put.
+type PutDesignResponse struct {
+	// Ref is the content-addressed reference: the lowercase hex SHA-256
+	// of the canonical design text. Use it as the design_ref of
+	// embed/detect/verify requests and in GET /v1/designs/{ref}.
+	Ref string `json:"ref"`
+	// Created is false when the design was already registered (the put
+	// was a no-op refresh of its recency).
+	Created bool `json:"created"`
+	// Bytes is the canonical design text's size.
+	Bytes int `json:"bytes"`
+	// Nodes is the design's node count.
+	Nodes int `json:"nodes"`
+}
+
+// GetDesignResponse returns a registered design
+// (GET /v1/designs/{ref}).
+type GetDesignResponse struct {
+	// Ref echoes the requested reference.
+	Ref string `json:"ref"`
+	// Design is the canonical design text.
+	Design string `json:"design"`
+}

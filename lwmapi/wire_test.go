@@ -1,0 +1,214 @@
+package lwmapi
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"localwm/internal/domain"
+	"localwm/internal/schedwm"
+)
+
+// The PR-4 wire shapes, frozen here as the daemon and client privately
+// defined them before this package existed. The compat tests below prove
+// that every payload those types produce decodes into today's lwmapi
+// types with unknown fields rejected (no field was dropped or renamed)
+// and re-marshals to the identical JSON (no field changed shape). If a
+// change to wire.go breaks one of these tests, it breaks deployed PR-4
+// peers: add an optional field instead.
+type (
+	pr4MarkParams struct {
+		N       int     `json:"n"`
+		Tau     int     `json:"tau"`
+		K       int     `json:"k"`
+		Epsilon float64 `json:"epsilon"`
+		Budget  int     `json:"budget"`
+		Workers int     `json:"workers"`
+	}
+	pr4EmbedRequest struct {
+		Design    string `json:"design"`
+		Signature string `json:"signature"`
+		pr4MarkParams
+	}
+	pr4EmbedResponse struct {
+		MarkedDesign  string           `json:"marked_design"`
+		Watermarks    int              `json:"watermarks"`
+		TemporalEdges int              `json:"temporal_edges"`
+		Records       []schedwm.Record `json:"records"`
+	}
+	pr4Suspect struct {
+		Design   string `json:"design"`
+		Schedule string `json:"schedule"`
+	}
+	pr4DetectRequest struct {
+		Suspects []pr4Suspect     `json:"suspects"`
+		Records  []schedwm.Record `json:"records"`
+		Workers  int              `json:"workers"`
+	}
+	pr4DetectOutcome struct {
+		Found      bool   `json:"found"`
+		Root       string `json:"root,omitempty"`
+		Satisfied  int    `json:"satisfied"`
+		Total      int    `json:"total"`
+		Pc         string `json:"pc"`
+		RootsTried int    `json:"roots_tried"`
+		Error      string `json:"error,omitempty"`
+	}
+	pr4DetectResponse struct {
+		Results  [][]pr4DetectOutcome `json:"results"`
+		Detected int                  `json:"detected"`
+	}
+	pr4VerifyRequest struct {
+		Design    string `json:"design"`
+		Schedule  string `json:"schedule"`
+		Signature string `json:"signature"`
+		pr4MarkParams
+	}
+	pr4VerifyResponse struct {
+		Verified   bool   `json:"verified"`
+		Satisfied  int    `json:"satisfied"`
+		Total      int    `json:"total"`
+		Pc         string `json:"pc"`
+		RootsTried int    `json:"roots_tried"`
+	}
+	pr4ErrorBody struct {
+		Error  string `json:"error"`
+		Status int    `json:"status"`
+	}
+)
+
+// fixtureRecord is a fully populated detector record: every field
+// non-zero so a silently dropped field cannot hide behind omitempty.
+func fixtureRecord() schedwm.Record {
+	return schedwm.Record{
+		Signature: []byte("alice"),
+		Index:     1,
+		Try:       3,
+		DomainCfg: domain.Config{
+			Tau: 16, MaxDist: 16, IncludeNum: 1, IncludeDen: 2, MaxTreeSize: 512,
+		},
+		TLen:      16,
+		RankEdges: [][2]int{{0, 5}, {2, 9}},
+		RootFP:    "mul(add,add)",
+	}
+}
+
+// roundTrip marshals the PR-4 value, decodes it into the lwmapi target
+// with unknown fields rejected, re-marshals, and requires JSON-level
+// equality in both directions.
+func roundTrip(t *testing.T, name string, pr4 any, target any) {
+	t.Helper()
+	old, err := json.Marshal(pr4)
+	if err != nil {
+		t.Fatalf("%s: marshal fixture: %v", name, err)
+	}
+	dec := json.NewDecoder(bytes.NewReader(old))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(target); err != nil {
+		t.Fatalf("%s: PR-4 payload no longer decodes: %v\npayload: %s", name, err, old)
+	}
+	now, err := json.Marshal(reflect.ValueOf(target).Elem().Interface())
+	if err != nil {
+		t.Fatalf("%s: re-marshal: %v", name, err)
+	}
+	var wantMap, gotMap any
+	if err := json.Unmarshal(old, &wantMap); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(now, &gotMap); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(wantMap, gotMap) {
+		t.Fatalf("%s: round-trip changed the payload:\nPR-4: %s\nnow:  %s", name, old, now)
+	}
+	// And the reverse: a PR-4 peer decoding today's marshal must not see
+	// unknown fields either (new fields are omitempty and stay silent
+	// when unused).
+	rev := json.NewDecoder(bytes.NewReader(now))
+	rev.DisallowUnknownFields()
+	if err := rev.Decode(newValueOf(pr4)); err != nil {
+		t.Fatalf("%s: today's payload does not decode as PR-4: %v\npayload: %s", name, err, now)
+	}
+}
+
+// newValueOf returns a pointer to a fresh zero value of v's type.
+func newValueOf(v any) any { return reflect.New(reflect.TypeOf(v)).Interface() }
+
+func TestPR4PayloadsRoundTripUnchanged(t *testing.T) {
+	rec := fixtureRecord()
+	roundTrip(t, "embed request",
+		pr4EmbedRequest{
+			Design: "node a in\nnode b out\nedge a b data\n", Signature: "alice",
+			pr4MarkParams: pr4MarkParams{N: 2, Tau: 16, K: 3, Epsilon: 0.4, Budget: 40, Workers: 4},
+		}, &EmbedRequest{})
+	roundTrip(t, "embed response",
+		pr4EmbedResponse{
+			MarkedDesign: "node a in\n", Watermarks: 2, TemporalEdges: 6,
+			Records: []schedwm.Record{rec, rec},
+		}, &EmbedResponse{})
+	roundTrip(t, "detect request",
+		pr4DetectRequest{
+			Suspects: []pr4Suspect{{Design: "node a in\n", Schedule: "step a 1\n"}},
+			Records:  []schedwm.Record{rec},
+			Workers:  8,
+		}, &DetectRequest{})
+	roundTrip(t, "detect response",
+		pr4DetectResponse{
+			Results: [][]pr4DetectOutcome{{
+				{Found: true, Root: "n17", Satisfied: 3, Total: 3, Pc: "10^-4.21", RootsTried: 5},
+				{Found: false, Satisfied: 1, Total: 3, Pc: "10^-1.02", RootsTried: 5, Error: "scan: bad schedule"},
+			}},
+			Detected: 1,
+		}, &DetectResponse{})
+	roundTrip(t, "verify request",
+		pr4VerifyRequest{
+			Design: "node a in\n", Schedule: "step a 1\n", Signature: "alice",
+			pr4MarkParams: pr4MarkParams{N: 2, Tau: 16, K: 3, Epsilon: 0.4},
+		}, &VerifyRequest{})
+	roundTrip(t, "verify response",
+		pr4VerifyResponse{
+			Verified: true, Satisfied: 6, Total: 6, Pc: "10^-8.00", RootsTried: 2,
+		}, &VerifyResponse{})
+}
+
+// TestPR4ErrorEnvelopeCompat: the typed Error still carries the complete
+// PR-4 envelope ({"error","status"}), and a bare PR-4 error body decodes
+// into Error with the legacy fields populated.
+func TestPR4ErrorEnvelopeCompat(t *testing.T) {
+	data, err := json.Marshal(Error{
+		Code: CodeQueueFull, Message: "queue full, retry later",
+		Retryable: true, LegacyMessage: "queue full, retry later", Status: 429,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var legacy pr4ErrorBody
+	if err := json.Unmarshal(data, &legacy); err != nil {
+		t.Fatal(err)
+	}
+	if legacy.Error != "queue full, retry later" || legacy.Status != 429 {
+		t.Fatalf("PR-4 view of the envelope: %+v", legacy)
+	}
+
+	var e Error
+	if err := json.Unmarshal([]byte(`{"error":"draining","status":503}`), &e); err != nil {
+		t.Fatal(err)
+	}
+	if e.LegacyMessage != "draining" || e.Status != 503 || e.Code != "" {
+		t.Fatalf("decoding a PR-4 envelope: %+v", e)
+	}
+}
+
+// TestRetryableStatusTable pins the shared retry discipline.
+func TestRetryableStatusTable(t *testing.T) {
+	for status, want := range map[int]bool{
+		400: false, 404: false, 405: false, 413: false,
+		429: true, 500: true, 502: true, 503: true, 504: true,
+		200: false, 201: false,
+	} {
+		if got := RetryableStatus(status); got != want {
+			t.Errorf("RetryableStatus(%d) = %v, want %v", status, got, want)
+		}
+	}
+}

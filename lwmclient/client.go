@@ -45,6 +45,7 @@ import (
 	"time"
 
 	"localwm/internal/obs"
+	"localwm/lwmapi"
 )
 
 // Config parameterizes a Client. Only BaseURL is required; every zero
@@ -118,7 +119,10 @@ func (c Config) withDefaults() Config {
 // HTTPError is a non-2xx answer from the service.
 type HTTPError struct {
 	Status int
-	Msg    string
+	// Code is the lwmapi error code from the typed envelope, empty when
+	// the server predates it (or the body wasn't an envelope).
+	Code string
+	Msg  string
 	// RetryAfter is the server's backoff hint, when it sent one.
 	RetryAfter time.Duration
 }
@@ -127,7 +131,15 @@ func (e *HTTPError) Error() string {
 	return fmt.Sprintf("lwmclient: server answered %d: %s", e.Status, e.Msg)
 }
 
+// Unwrap maps the error onto its sentinel (ErrDesignNotFound,
+// ErrQueueFull, ...) so errors.Is works through every wrapping layer.
+// The envelope code decides; status is the fallback for pre-code
+// servers. Errors without a sentinel unwrap to nil.
+func (e *HTTPError) Unwrap() error { return sentinelFor(e.Code, e.Status) }
+
 // Retryable reports whether the status is transient: worth retrying.
+// Deliberately status-based, like the daemon's lwmapi.RetryableStatus —
+// the typed envelope adds structure, not new retry semantics.
 func (e *HTTPError) Retryable() bool {
 	switch e.Status {
 	case http.StatusTooManyRequests, http.StatusInternalServerError,
@@ -267,12 +279,43 @@ func (c *Client) Verify(ctx context.Context, req VerifyRequest) (*VerifyResponse
 	return &out, nil
 }
 
+// PutDesign registers a design with the service's content-addressed
+// registry and returns its reference, for use as the DesignRef of
+// subsequent embed/detect/verify requests. Putting the same design
+// twice is an idempotent refresh (Created false).
+func (c *Client) PutDesign(ctx context.Context, design string) (*PutDesignResponse, error) {
+	var out PutDesignResponse
+	if err := c.do(ctx, http.MethodPut, "/v1/designs", PutDesignRequest{Design: design}, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// GetDesign fetches a registered design's canonical text by reference.
+// A reference that doesn't resolve answers an error matching
+// ErrDesignNotFound.
+func (c *Client) GetDesign(ctx context.Context, ref string) (*GetDesignResponse, error) {
+	var out GetDesignResponse
+	if err := c.do(ctx, http.MethodGet, "/v1/designs/"+ref, nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
 // Detect batch-scans suspects×records on the service, chunking suspects
 // so each chunk retries independently. It returns a (possibly partial)
 // result whenever at least the chunking itself was well-formed; inspect
 // DetectResult.Failed (or Complete) for chunks that exhausted their
 // attempts. Rows that did arrive are byte-identical to the sequential
 // engine path regardless of chunking, retries, or injected faults.
+//
+// Suspects carrying a DesignRef send the reference in every chunk they
+// land in — the reference rides the chunk, never a one-shot first
+// request — and their inline Design text (when present) is held back as
+// the ref-miss fallback: a chunk the service answers 404
+// design_not_found is re-sent once with those suspects inlined. A
+// ref-only chunk (no inline text to fall back to) surfaces the 404 as
+// its ChunkError.
 func (c *Client) Detect(ctx context.Context, req DetectRequest) (*DetectResult, error) {
 	if len(req.Suspects) == 0 {
 		return nil, errors.New("lwmclient: detect: at least one suspect required")
@@ -290,9 +333,8 @@ func (c *Client) Detect(ctx context.Context, req DetectRequest) (*DetectResult, 
 		if end > len(req.Suspects) {
 			end = len(req.Suspects)
 		}
-		wire := detectWire{Suspects: req.Suspects[start:end], Records: req.Records, Workers: req.Workers}
-		var out detectResponseWire
-		if err := c.call(ctx, "/v1/detect", wire, &out); err != nil {
+		out, err := c.detectChunk(ctx, req.Suspects[start:end], req.Records, req.Workers)
+		if err != nil {
 			res.Failed = append(res.Failed, ChunkError{Start: start, End: end, Err: err})
 			continue
 		}
@@ -305,6 +347,64 @@ func (c *Client) Detect(ctx context.Context, req DetectRequest) (*DetectResult, 
 		res.Detected += out.Detected
 	}
 	return res, nil
+}
+
+// DetectByRef is Detect for registry-backed batches: every suspect must
+// name its design by DesignRef (Design, when also set, is only the
+// ref-miss fallback). Use after PutDesign to stop re-sending and
+// re-parsing the same design text on every scan.
+func (c *Client) DetectByRef(ctx context.Context, req DetectRequest) (*DetectResult, error) {
+	for i, sp := range req.Suspects {
+		if sp.DesignRef == "" {
+			return nil, fmt.Errorf("lwmclient: detect by ref: suspect %d has no DesignRef", i)
+		}
+	}
+	return c.Detect(ctx, req)
+}
+
+// detectChunk sends one chunk, preferring references and falling back
+// to inline designs exactly once when the service misses a ref.
+func (c *Client) detectChunk(ctx context.Context, suspects []Suspect, records []Record, workers int) (*lwmapi.DetectResponse, error) {
+	// Ref-carrying suspects travel as the bare reference: the inline
+	// text (if any) stays client-side as the fallback payload.
+	wireSuspects := make([]lwmapi.Suspect, len(suspects))
+	canFallBack := false
+	usedRef := false
+	for i, sp := range suspects {
+		wireSuspects[i] = sp
+		if sp.DesignRef != "" {
+			usedRef = true
+			wireSuspects[i].Design = ""
+			if sp.Design != "" {
+				canFallBack = true
+			}
+		}
+	}
+	var out lwmapi.DetectResponse
+	err := c.call(ctx, "/v1/detect", lwmapi.DetectRequest{
+		Suspects: wireSuspects, Records: records, Workers: workers,
+	}, &out)
+	if err == nil || !usedRef || !errors.Is(err, ErrDesignNotFound) {
+		return &out, err
+	}
+	if !canFallBack {
+		return nil, err
+	}
+	// Ref miss: re-send this chunk with every ref-suspect inlined. Any
+	// suspect without inline text keeps its ref and will 404 again —
+	// that second answer is definitive.
+	for i, sp := range suspects {
+		if sp.DesignRef != "" && sp.Design != "" {
+			wireSuspects[i] = Suspect{Design: sp.Design, Schedule: sp.Schedule}
+		}
+	}
+	out = lwmapi.DetectResponse{}
+	if ferr := c.call(ctx, "/v1/detect", lwmapi.DetectRequest{
+		Suspects: wireSuspects, Records: records, Workers: workers,
+	}, &out); ferr != nil {
+		return nil, fmt.Errorf("inline fallback after ref miss: %w", ferr)
+	}
+	return &out, nil
 }
 
 // logAttrs emits one structured client log line when a logger is
@@ -321,19 +421,29 @@ func (c *Client) logAttrs(msg string, tid obs.TraceID, path string, extra ...slo
 	c.cfg.Logger.LogAttrs(context.Background(), slog.LevelInfo, msg, attrs...)
 }
 
-// call runs one resilient request: marshal, then attempt with breaker
+// call is do for the POST endpoints.
+func (c *Client) call(ctx context.Context, path string, in, out any) error {
+	return c.do(ctx, http.MethodPost, path, in, out)
+}
+
+// do runs one resilient request: marshal, then attempt with breaker
 // gating, per-attempt deadlines, and jittered backoff until success, a
 // definite (non-transient) answer, MaxAttempts, or the call deadline.
+// A nil in sends no body (the GET endpoints).
 //
 // Every call carries a trace ID on X-Lwm-Trace-Id: the one from a trace
 // attached to ctx (obs.WithTrace — the lwm CLI's -trace flag does
 // this), or a fresh process-unique ID otherwise. The daemon adopts the
 // ID, so one trace ID names the logical request on both sides of the
 // wire, across every retry.
-func (c *Client) call(ctx context.Context, path string, in, out any) error {
-	body, err := json.Marshal(in)
-	if err != nil {
-		return fmt.Errorf("lwmclient: encoding request: %w", err)
+func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+	var body []byte
+	if in != nil {
+		var err error
+		body, err = json.Marshal(in)
+		if err != nil {
+			return fmt.Errorf("lwmclient: encoding request: %w", err)
+		}
 	}
 	ctx, cancel := context.WithTimeout(ctx, c.cfg.CallTimeout)
 	defer cancel()
@@ -378,7 +488,7 @@ func (c *Client) call(ctx context.Context, path string, in, out any) error {
 			aspan = tr.StartSpan(callSpan, fmt.Sprintf("attempt %d", attempts))
 		}
 		attemptStart := time.Now()
-		err := c.attempt(ctx, path, tid, body, out, aspan)
+		err := c.attempt(ctx, method, path, tid, body, out, aspan)
 		aspan.Finish()
 		transient := err != nil && isTransient(err)
 		// Breaker feedback: only transient failures indict the service;
@@ -428,14 +538,20 @@ func (c *Client) call(ctx context.Context, path string, in, out any) error {
 // decodes the answer into out. The attempt span (nil when untraced)
 // picks up the HTTP status and, when the daemon reported them, the
 // server-side stage timings from X-Lwm-Server-Timing.
-func (c *Client) attempt(ctx context.Context, path string, tid obs.TraceID, body []byte, out any, aspan *obs.Span) error {
+func (c *Client) attempt(ctx context.Context, method, path string, tid obs.TraceID, body []byte, out any, aspan *obs.Span) error {
 	actx, cancel := context.WithTimeout(ctx, c.cfg.AttemptTimeout)
 	defer cancel()
-	req, err := http.NewRequestWithContext(actx, http.MethodPost, c.base+path, bytes.NewReader(body))
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(actx, method, c.base+path, rd)
 	if err != nil {
 		return fmt.Errorf("lwmclient: building request: %w", err)
 	}
-	req.Header.Set("Content-Type", "application/json")
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
 	req.Header.Set(obs.TraceHeader, string(tid))
 	resp, err := c.cfg.HTTPClient.Do(req)
 	if err != nil {
@@ -455,9 +571,16 @@ func (c *Client) attempt(ctx context.Context, path string, tid obs.TraceID, body
 	data, rerr := io.ReadAll(resp.Body)
 	if resp.StatusCode != http.StatusOK {
 		he := &HTTPError{Status: resp.StatusCode, Msg: strings.TrimSpace(string(data))}
-		var eb errorBody
-		if json.Unmarshal(data, &eb) == nil && eb.Error != "" {
-			he.Msg = eb.Error
+		var eb lwmapi.Error
+		if json.Unmarshal(data, &eb) == nil {
+			he.Code = eb.Code
+			switch {
+			case eb.Message != "":
+				he.Msg = eb.Message
+			case eb.LegacyMessage != "":
+				// A pre-code daemon sends only the legacy envelope.
+				he.Msg = eb.LegacyMessage
+			}
 		}
 		if s := resp.Header.Get("Retry-After"); s != "" {
 			if secs, perr := strconv.Atoi(s); perr == nil && secs >= 0 {

@@ -12,6 +12,8 @@ import (
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"localwm/lwmapi"
 )
 
 // fastConfig returns a Config tuned for tests: tiny backoffs, pinned
@@ -241,7 +243,7 @@ func TestClientBreakerTripsAndRecovers(t *testing.T) {
 // is reported per chunk, not per batch.
 func TestClientDetectChunkingPartialResults(t *testing.T) {
 	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		var req detectWire
+		var req lwmapi.DetectRequest
 		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 			t.Errorf("decode: %v", err)
 		}
@@ -251,7 +253,7 @@ func TestClientDetectChunkingPartialResults(t *testing.T) {
 				return
 			}
 		}
-		out := detectResponseWire{Results: make([][]DetectOutcome, len(req.Suspects))}
+		out := lwmapi.DetectResponse{Results: make([][]DetectOutcome, len(req.Suspects))}
 		for i, sp := range req.Suspects {
 			out.Results[i] = []DetectOutcome{{Found: true, Root: sp.Design, Total: 4, Satisfied: 4, Pc: "10^-3.0"}}
 			out.Detected++
@@ -295,7 +297,7 @@ func TestClientDetectChunkingPartialResults(t *testing.T) {
 // never a silent misalignment of suspect rows.
 func TestClientDetectRowCountMismatch(t *testing.T) {
 	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		json.NewEncoder(w).Encode(detectResponseWire{Results: [][]DetectOutcome{{}, {}, {}}})
+		json.NewEncoder(w).Encode(lwmapi.DetectResponse{Results: [][]DetectOutcome{{}, {}, {}}})
 	}))
 	defer ts.Close()
 	c := newTestClient(t, fastConfig(ts.URL))

@@ -1,0 +1,80 @@
+package lwmclient
+
+import (
+	"errors"
+	"net/http"
+
+	"localwm/lwmapi"
+)
+
+// Sentinel errors, one per lwmapi error code the service answers with.
+// Match with errors.Is — every *HTTPError unwraps to the sentinel of its
+// envelope code, so callers switch on the failure kind without string
+// matching:
+//
+//	if errors.Is(err, lwmclient.ErrDesignNotFound) { re-put and retry }
+//
+// Against a pre-registry daemon (no "code" field in the envelope), the
+// mapping falls back to the HTTP status, which answers the same way for
+// every code the old daemon could produce.
+var (
+	// ErrBadRequest: the payload was malformed or semantically invalid
+	// (400, bad_request).
+	ErrBadRequest = errors.New("lwmclient: bad request")
+	// ErrDesignNotFound: a design_ref did not resolve in the service's
+	// registry — never put, or evicted (404, design_not_found). Re-put
+	// the design or fall back to inline.
+	ErrDesignNotFound = errors.New("lwmclient: design not found")
+	// ErrMethodNotAllowed: wrong HTTP method (405, method_not_allowed).
+	ErrMethodNotAllowed = errors.New("lwmclient: method not allowed")
+	// ErrQueueFull: the endpoint's admission queue was at capacity (429,
+	// queue_full). Retryable after the Retry-After hint.
+	ErrQueueFull = errors.New("lwmclient: queue full")
+	// ErrDraining: the daemon is shutting down gracefully (503,
+	// draining). Retryable against its replacement.
+	ErrDraining = errors.New("lwmclient: draining")
+	// ErrTimeout: the request deadline expired while queued or running on
+	// the service (504, timeout).
+	ErrTimeout = errors.New("lwmclient: server-side timeout")
+	// ErrInternal: the handler failed or panicked (500, internal).
+	ErrInternal = errors.New("lwmclient: internal server error")
+)
+
+// sentinelFor maps an envelope code (preferred) or an HTTP status (the
+// pre-code fallback) to its sentinel, or nil for codes/statuses without
+// one.
+func sentinelFor(code string, status int) error {
+	switch code {
+	case lwmapi.CodeBadRequest:
+		return ErrBadRequest
+	case lwmapi.CodeDesignNotFound:
+		return ErrDesignNotFound
+	case lwmapi.CodeMethodNotAllowed:
+		return ErrMethodNotAllowed
+	case lwmapi.CodeQueueFull:
+		return ErrQueueFull
+	case lwmapi.CodeDraining:
+		return ErrDraining
+	case lwmapi.CodeTimeout:
+		return ErrTimeout
+	case lwmapi.CodeInternal:
+		return ErrInternal
+	}
+	switch status {
+	case http.StatusBadRequest:
+		return ErrBadRequest
+	case http.StatusNotFound:
+		return ErrDesignNotFound
+	case http.StatusMethodNotAllowed:
+		return ErrMethodNotAllowed
+	case http.StatusTooManyRequests:
+		return ErrQueueFull
+	case http.StatusServiceUnavailable:
+		return ErrDraining
+	case http.StatusGatewayTimeout:
+		return ErrTimeout
+	case http.StatusInternalServerError:
+		return ErrInternal
+	}
+	return nil
+}

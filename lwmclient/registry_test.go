@@ -1,0 +1,266 @@
+package lwmclient
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"localwm/lwmapi"
+)
+
+// writeAPIError emits the typed lwmapi error envelope the daemon sends.
+func writeAPIError(w http.ResponseWriter, status int, code, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(lwmapi.Error{
+		Code: code, Message: msg, Retryable: lwmapi.RetryableStatus(status),
+		LegacyMessage: msg, Status: status,
+	})
+}
+
+// TestClientDetectRefResentInEveryChunk: suspects addressed by reference
+// keep that reference in every chunk they land in — the client must not
+// quietly re-inline the design text on later chunks (the text is held
+// back as the ref-miss fallback only).
+func TestClientDetectRefResentInEveryChunk(t *testing.T) {
+	var (
+		mu     sync.Mutex
+		chunks []lwmapi.DetectRequest
+	)
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		var req lwmapi.DetectRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			t.Errorf("decode: %v", err)
+		}
+		mu.Lock()
+		chunks = append(chunks, req)
+		mu.Unlock()
+		out := lwmapi.DetectResponse{Results: make([][]DetectOutcome, len(req.Suspects))}
+		for i := range req.Suspects {
+			out.Results[i] = []DetectOutcome{{Found: true, Total: 1, Satisfied: 1}}
+			out.Detected++
+		}
+		json.NewEncoder(w).Encode(out)
+	}))
+	defer ts.Close()
+	c := newTestClient(t, fastConfig(ts.URL))
+
+	ref := strings.Repeat("ab", 32)
+	req := DetectRequest{
+		Suspects: []Suspect{
+			{DesignRef: ref, Design: "node a in\n", Schedule: "s0"},
+			{DesignRef: ref, Design: "node a in\n", Schedule: "s1"},
+			{DesignRef: ref, Design: "node a in\n", Schedule: "s2"},
+			{Design: "node b in\n", Schedule: "s3"}, // inline-only rides along untouched
+		},
+		Records:   make([]Record, 1),
+		ChunkSize: 1,
+	}
+	res, err := c.Detect(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Complete() || res.Detected != 4 {
+		t.Fatalf("result %+v", res)
+	}
+	if len(chunks) != 4 {
+		t.Fatalf("%d chunk requests, want 4", len(chunks))
+	}
+	for i, ch := range chunks {
+		if len(ch.Suspects) != 1 {
+			t.Fatalf("chunk %d has %d suspects", i, len(ch.Suspects))
+		}
+		sp := ch.Suspects[0]
+		if sp.Schedule == "s3" {
+			if sp.DesignRef != "" || sp.Design != "node b in\n" {
+				t.Fatalf("inline-only suspect rewritten: %+v", sp)
+			}
+			continue
+		}
+		if sp.DesignRef != ref {
+			t.Fatalf("chunk %d dropped the ref: %+v", i, sp)
+		}
+		if sp.Design != "" {
+			t.Fatalf("chunk %d re-inlined the design alongside the ref: %+v", i, sp)
+		}
+	}
+}
+
+// TestClientDetectInlineFallbackOnRefMiss: a chunk answered 404
+// design_not_found is re-sent once with its designs inlined, and the
+// batch completes. The server sees exactly one ref attempt and one
+// inline attempt per chunk.
+func TestClientDetectInlineFallbackOnRefMiss(t *testing.T) {
+	var (
+		mu          sync.Mutex
+		refAttempts int
+		inlineSeen  []string
+	)
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		var req lwmapi.DetectRequest
+		json.NewDecoder(r.Body).Decode(&req)
+		mu.Lock()
+		defer mu.Unlock()
+		for _, sp := range req.Suspects {
+			if sp.DesignRef != "" {
+				refAttempts++
+				writeAPIError(w, http.StatusNotFound, lwmapi.CodeDesignNotFound,
+					"design_ref "+sp.DesignRef+": not in registry")
+				return
+			}
+			inlineSeen = append(inlineSeen, sp.Design)
+		}
+		out := lwmapi.DetectResponse{Results: make([][]DetectOutcome, len(req.Suspects))}
+		for i := range req.Suspects {
+			out.Results[i] = []DetectOutcome{{Found: true, Total: 1, Satisfied: 1}}
+			out.Detected++
+		}
+		json.NewEncoder(w).Encode(out)
+	}))
+	defer ts.Close()
+	c := newTestClient(t, fastConfig(ts.URL))
+
+	ref := strings.Repeat("cd", 32)
+	res, err := c.DetectByRef(context.Background(), DetectRequest{
+		Suspects: []Suspect{
+			{DesignRef: ref, Design: "node a in\n", Schedule: "s0"},
+			{DesignRef: ref, Design: "node a in\n", Schedule: "s1"},
+		},
+		Records:   make([]Record, 1),
+		ChunkSize: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Complete() || res.Detected != 2 {
+		t.Fatalf("fallback did not complete the batch: %+v", res)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if refAttempts != 2 || len(inlineSeen) != 2 {
+		t.Fatalf("ref attempts %d, inline suspects %v; want 2 and 2", refAttempts, inlineSeen)
+	}
+}
+
+// TestClientDetectRefOnlyMissIsChunkError: with no inline text to fall
+// back to, a ref miss is that chunk's definitive error, matching
+// ErrDesignNotFound.
+func TestClientDetectRefOnlyMissIsChunkError(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		writeAPIError(w, http.StatusNotFound, lwmapi.CodeDesignNotFound, "design_ref: not in registry")
+	}))
+	defer ts.Close()
+	c := newTestClient(t, fastConfig(ts.URL))
+
+	res, err := c.DetectByRef(context.Background(), DetectRequest{
+		Suspects: []Suspect{{DesignRef: strings.Repeat("ef", 32), Schedule: "s0"}},
+		Records:  make([]Record, 1),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Complete() || len(res.Failed) != 1 {
+		t.Fatalf("result %+v", res)
+	}
+	if !errors.Is(res.Failed[0].Err, ErrDesignNotFound) {
+		t.Fatalf("chunk error %v does not match ErrDesignNotFound", res.Failed[0].Err)
+	}
+
+	// And DetectByRef insists on references up front.
+	if _, err := c.DetectByRef(context.Background(), DetectRequest{
+		Suspects: []Suspect{{Design: "node a in\n"}}, Records: make([]Record, 1),
+	}); err == nil || !strings.Contains(err.Error(), "no DesignRef") {
+		t.Fatalf("ref-less suspect accepted: %v", err)
+	}
+}
+
+// TestClientPutGetDesign exercises the registry methods' paths, methods,
+// and payloads.
+func TestClientPutGetDesign(t *testing.T) {
+	ref := strings.Repeat("12", 32)
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch {
+		case r.Method == http.MethodPut && r.URL.Path == "/v1/designs":
+			var req PutDesignRequest
+			if err := json.NewDecoder(r.Body).Decode(&req); err != nil || req.Design == "" {
+				writeAPIError(w, http.StatusBadRequest, lwmapi.CodeBadRequest, "design required")
+				return
+			}
+			json.NewEncoder(w).Encode(PutDesignResponse{Ref: ref, Created: true, Bytes: len(req.Design), Nodes: 1})
+		case r.Method == http.MethodGet && r.URL.Path == "/v1/designs/"+ref:
+			json.NewEncoder(w).Encode(GetDesignResponse{Ref: ref, Design: "node a in\n"})
+		case r.Method == http.MethodGet:
+			writeAPIError(w, http.StatusNotFound, lwmapi.CodeDesignNotFound, "not in registry")
+		default:
+			writeAPIError(w, http.StatusMethodNotAllowed, lwmapi.CodeMethodNotAllowed, "PUT, GET only")
+		}
+	}))
+	defer ts.Close()
+	c := newTestClient(t, fastConfig(ts.URL))
+
+	put, err := c.PutDesign(context.Background(), "node a in\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if put.Ref != ref || !put.Created || put.Bytes != len("node a in\n") {
+		t.Fatalf("put response %+v", put)
+	}
+	got, err := c.GetDesign(context.Background(), ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Design != "node a in\n" {
+		t.Fatalf("get response %+v", got)
+	}
+	if _, err := c.GetDesign(context.Background(), strings.Repeat("00", 32)); !errors.Is(err, ErrDesignNotFound) {
+		t.Fatalf("ghost ref error %v", err)
+	}
+}
+
+// TestClientErrorSentinels: every typed envelope code unwraps to its
+// sentinel, and a pre-code (PR-4) envelope still maps via the status.
+func TestClientErrorSentinels(t *testing.T) {
+	cases := []struct {
+		name   string
+		status int
+		body   string
+		want   error
+	}{
+		{"typed bad_request", 400, `{"code":"bad_request","message":"m","error":"m","status":400}`, ErrBadRequest},
+		{"typed design_not_found", 404, `{"code":"design_not_found","message":"m","error":"m","status":404}`, ErrDesignNotFound},
+		{"typed method_not_allowed", 405, `{"code":"method_not_allowed","message":"m","error":"m","status":405}`, ErrMethodNotAllowed},
+		{"typed queue_full", 429, `{"code":"queue_full","message":"m","retryable":true,"error":"m","status":429}`, ErrQueueFull},
+		{"typed draining", 503, `{"code":"draining","message":"m","retryable":true,"error":"m","status":503}`, ErrDraining},
+		{"typed timeout", 504, `{"code":"timeout","message":"m","retryable":true,"error":"m","status":504}`, ErrTimeout},
+		{"typed internal", 500, `{"code":"internal","message":"m","retryable":true,"error":"m","status":500}`, ErrInternal},
+		{"pr4 bad request", 400, `{"error":"m","status":400}`, ErrBadRequest},
+		{"pr4 queue full", 429, `{"error":"m","status":429}`, ErrQueueFull},
+		{"pr4 draining", 503, `{"error":"m","status":503}`, ErrDraining},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+				w.Header().Set("Content-Type", "application/json")
+				w.WriteHeader(tc.status)
+				w.Write([]byte(tc.body))
+			}))
+			defer ts.Close()
+			cfg := fastConfig(ts.URL)
+			cfg.MaxAttempts = 1 // 429/5xx would otherwise retry
+			c := newTestClient(t, cfg)
+			_, err := c.Verify(context.Background(), VerifyRequest{Design: "d", Schedule: "s", Signature: "sig"})
+			if !errors.Is(err, tc.want) {
+				t.Fatalf("error %v does not match %v", err, tc.want)
+			}
+			var he *HTTPError
+			if !errors.As(err, &he) || he.Status != tc.status {
+				t.Fatalf("HTTPError not surfaced: %v", err)
+			}
+		})
+	}
+}

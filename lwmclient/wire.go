@@ -3,59 +3,55 @@ package lwmclient
 import (
 	"fmt"
 
-	"localwm/internal/schedwm"
+	"localwm/lwmapi"
 )
+
+// The wire types are aliases of the shared lwmapi package — the same
+// types the daemon's handlers decode, so the two sides of the contract
+// cannot drift. Only the client-side orchestration types (the chunked
+// DetectRequest and its partial DetectResult) live here.
 
 // Record is the detector-facing watermark record, exactly as the lwm CLI
 // writes it and the lwmd service consumes it.
-type Record = schedwm.Record
+type Record = lwmapi.Record
 
 // MarkParams are the public embedding parameters shared by embed and
 // verify requests; zero values take the service's defaults (n=2, τ=20,
 // K=4, ε=0.25, budget = critical path + 10%).
-type MarkParams struct {
-	N       int     `json:"n"`
-	Tau     int     `json:"tau"`
-	K       int     `json:"k"`
-	Epsilon float64 `json:"epsilon"`
-	Budget  int     `json:"budget"`
-	Workers int     `json:"workers"`
-}
+type MarkParams = lwmapi.MarkParams
 
-// EmbedRequest asks the service to embed scheduling watermarks. Design
-// travels in the cdfg text format.
-type EmbedRequest struct {
-	Design    string `json:"design"`
-	Signature string `json:"signature"`
-	MarkParams
-}
+// EmbedRequest asks the service to embed scheduling watermarks. The
+// design travels inline (Design, cdfg text) or as a registry reference
+// (DesignRef, from PutDesign).
+type EmbedRequest = lwmapi.EmbedRequest
 
 // EmbedResponse is the service's embed answer.
-type EmbedResponse struct {
-	MarkedDesign  string   `json:"marked_design"`
-	Watermarks    int      `json:"watermarks"`
-	TemporalEdges int      `json:"temporal_edges"`
-	Records       []Record `json:"records"`
-}
+type EmbedResponse = lwmapi.EmbedResponse
 
-// Suspect pairs a suspect design (cdfg text) with its schedule (lwm
-// schedule text) for batch detection.
-type Suspect struct {
-	Design   string `json:"design"`
-	Schedule string `json:"schedule"`
-}
+// Suspect pairs a suspect design with its schedule for batch detection.
+// The design travels inline (Design) or by registry reference
+// (DesignRef); when both are set the service resolves the reference and
+// the client uses the inline text only as its ref-miss fallback.
+type Suspect = lwmapi.Suspect
 
-// DetectOutcome is one suspect×record detection verdict, mirroring the
-// service wire format field for field.
-type DetectOutcome struct {
-	Found      bool   `json:"found"`
-	Root       string `json:"root,omitempty"`
-	Satisfied  int    `json:"satisfied"`
-	Total      int    `json:"total"`
-	Pc         string `json:"pc"`
-	RootsTried int    `json:"roots_tried"`
-	Error      string `json:"error,omitempty"`
-}
+// DetectOutcome is one suspect×record detection verdict.
+type DetectOutcome = lwmapi.DetectOutcome
+
+// VerifyRequest asks the service to adjudicate an ownership claim from
+// the claimed signature alone.
+type VerifyRequest = lwmapi.VerifyRequest
+
+// VerifyResponse is the service's verification verdict.
+type VerifyResponse = lwmapi.VerifyResponse
+
+// PutDesignRequest registers a design with the service's registry.
+type PutDesignRequest = lwmapi.PutDesignRequest
+
+// PutDesignResponse is the registry's answer to a put.
+type PutDesignResponse = lwmapi.PutDesignResponse
+
+// GetDesignResponse returns a registered design's canonical text.
+type GetDesignResponse = lwmapi.GetDesignResponse
 
 // DetectRequest is a batch detection: every record scanned in every
 // suspect. The client splits suspects into chunks of ChunkSize (default
@@ -96,40 +92,3 @@ type DetectResult struct {
 
 // Complete reports whether every chunk was delivered.
 func (r *DetectResult) Complete() bool { return len(r.Failed) == 0 }
-
-// VerifyRequest asks the service to adjudicate an ownership claim from
-// the claimed signature alone.
-type VerifyRequest struct {
-	Design    string `json:"design"`
-	Schedule  string `json:"schedule"`
-	Signature string `json:"signature"`
-	MarkParams
-}
-
-// VerifyResponse is the service's verification verdict.
-type VerifyResponse struct {
-	Verified   bool   `json:"verified"`
-	Satisfied  int    `json:"satisfied"`
-	Total      int    `json:"total"`
-	Pc         string `json:"pc"`
-	RootsTried int    `json:"roots_tried"`
-}
-
-// detectWire is the on-the-wire detect request (one chunk).
-type detectWire struct {
-	Suspects []Suspect `json:"suspects"`
-	Records  []Record  `json:"records"`
-	Workers  int       `json:"workers"`
-}
-
-// detectResponseWire is the on-the-wire detect response (one chunk).
-type detectResponseWire struct {
-	Results  [][]DetectOutcome `json:"results"`
-	Detected int               `json:"detected"`
-}
-
-// errorBody is the service's JSON error envelope.
-type errorBody struct {
-	Error  string `json:"error"`
-	Status int    `json:"status"`
-}
