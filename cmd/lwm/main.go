@@ -86,6 +86,8 @@ func main() {
 		err = cmdBench(os.Args[2:])
 	case "design":
 		err = cmdDesign(os.Args[2:])
+	case "job":
+		err = cmdJob(os.Args[2:])
 	default:
 		usage()
 		os.Exit(2)
@@ -97,7 +99,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: lwm {gen|info|embed|schedule|detect|verify|synth|bench|design|dot} [flags]")
+	fmt.Fprintln(os.Stderr, "usage: lwm {gen|info|embed|schedule|detect|verify|synth|bench|design|job|dot} [flags]")
 }
 
 // traceCtx builds the context for a marking command. With -trace off it

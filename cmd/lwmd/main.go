@@ -12,6 +12,15 @@
 //	/v1/designs  content-addressed design registry (PUT to register,
 //	             GET /v1/designs/{ref} to fetch); embed/detect/verify
 //	             accept "design_ref" in place of inline "design"
+//	/v1/jobs     async jobs: POST submits an embed/detect/verify payload
+//	             to the durable job queue; GET /v1/jobs/{id} reads status
+//	             (?wait= long-polls), /v1/jobs/{id}/result returns the
+//	             stored response byte-identical to the sync endpoint's,
+//	             /v1/jobs/{id}/events streams transitions as SSE. With
+//	             -jobs-dir, jobs survive restarts — even SIGKILL — via a
+//	             write-ahead log; failed attempts retry under capped
+//	             full-jitter backoff, and -webhook-secret signs the
+//	             terminal-status push a job's webhook_url receives.
 //	/v1/stats    metrics snapshot (also on the debug port)
 //	/metrics     Prometheus text exposition (also on the debug port)
 //	/healthz     liveness (503 while draining)
@@ -63,6 +72,7 @@ import (
 	"time"
 
 	"localwm/internal/chaos"
+	"localwm/internal/jobs"
 	"localwm/internal/obs"
 	"localwm/internal/server"
 	"localwm/internal/store"
@@ -90,6 +100,10 @@ func run(args []string) error {
 	designWorkers := fs.Int("design-workers", 2, "concurrent design-registry requests")
 	storeDir := fs.String("store-dir", "", "design-registry persistence directory (empty: in-memory only)")
 	storeCapacity := fs.Int("store-capacity", 0, "design-registry entries before LRU eviction (0: default 1024)")
+	jobsDir := fs.String("jobs-dir", "", "async-job persistence directory (empty: in-memory only, jobs die with the daemon)")
+	jobsWorkers := fs.Int("jobs-workers", 2, "concurrent async-job executions")
+	jobsMaxAttempts := fs.Int("jobs-max-attempts", 0, "default per-job retry budget (0: default 3)")
+	webhookSecret := fs.String("webhook-secret", "", "HMAC key for signing job-completion webhooks (empty: deliveries unsigned)")
 	chaosOn := fs.Bool("chaos", false, "inject seeded transport faults into the /v1 API (testing only, never production)")
 	chaosSeed := fs.Int64("chaos-seed", 1, "fault-injection seed; a given seed and request order replays the same faults")
 	logLevel := fs.String("log-level", "info", "log level: debug, info, warn, or error")
@@ -116,6 +130,22 @@ func run(args []string) error {
 		logger.Info("design registry persistent", "dir", *storeDir, "entries", st.Len())
 	}
 
+	jm, err := jobs.Open(jobs.Config{
+		Dir:                *jobsDir,
+		Workers:            *jobsWorkers,
+		DefaultMaxAttempts: *jobsMaxAttempts,
+		Webhook:            jobs.WebhookConfig{Secret: *webhookSecret},
+		Logger:             logger,
+	})
+	if err != nil {
+		return fmt.Errorf("opening job store: %w", err)
+	}
+	if *jobsDir != "" {
+		jc := jm.Counters()
+		logger.Info("job store persistent", "dir", *jobsDir,
+			"resident", jc.Jobs, "requeued", jc.Queued)
+	}
+
 	cfg := server.Config{
 		EmbedWorkers:     *embedWorkers,
 		DetectWorkers:    *detectWorkers,
@@ -127,6 +157,7 @@ func run(args []string) error {
 		RequestTimeout:   *timeout,
 		Logger:           logger,
 		Store:            st,
+		Jobs:             jm,
 	}
 	if *chaosOn {
 		ccfg := chaos.Default(*chaosSeed)
@@ -192,6 +223,12 @@ func run(args []string) error {
 	defer cancel()
 	if err := srv.Shutdown(ctx); err != nil {
 		logger.Error("drain", "err", err)
+	}
+	// Close the job manager after the HTTP drain: running job attempts
+	// finish within the drain budget, queued jobs stay durable in the WAL
+	// (picked up by the next start with the same -jobs-dir).
+	if err := jm.Close(ctx); err != nil {
+		logger.Error("job drain", "err", err)
 	}
 	if err := httpSrv.Shutdown(ctx); err != nil {
 		return fmt.Errorf("closing listener: %w", err)

@@ -1,0 +1,77 @@
+package jobs
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// RetryPolicy computes the delay before a retry: capped exponential
+// backoff with full jitter, the same discipline lwmclient applies to its
+// HTTP attempts. The k-th retry (k = attempts already made, 1-based)
+// draws uniformly from (0, min(Cap, Base·2^(k-1))]; a hint (the job
+// analogue of a Retry-After header) raises the drawn delay to at least
+// the hint. The jitter source is a seeded PRNG behind a mutex, so a
+// given seed and draw order replays the same schedule — the determinism
+// the table tests pin.
+type RetryPolicy struct {
+	// Base and Cap bound the exponential ceiling. Zero values default to
+	// 100ms and 5s.
+	Base, Cap time.Duration
+	// Seed keys the jitter PRNG. Zero means seed 1 (never time-based: a
+	// retry schedule under test must replay).
+	Seed int64
+
+	once sync.Once
+	mu   sync.Mutex
+	rng  *rand.Rand
+}
+
+func (p *RetryPolicy) init() {
+	p.once.Do(func() {
+		if p.Base <= 0 {
+			p.Base = 100 * time.Millisecond
+		}
+		if p.Cap <= 0 {
+			p.Cap = 5 * time.Second
+		}
+		seed := p.Seed
+		if seed == 0 {
+			seed = 1
+		}
+		p.rng = rand.New(rand.NewSource(seed))
+	})
+}
+
+// Ceiling returns the un-jittered backoff ceiling for retry number
+// attempt (1-based): min(Cap, Base·2^(attempt-1)), saturating on
+// overflow.
+func (p *RetryPolicy) Ceiling(attempt int) time.Duration {
+	p.init()
+	ceil := p.Cap
+	if shift := attempt - 1; shift >= 0 && shift < 32 {
+		if d := p.Base << shift; d > 0 && d < ceil {
+			ceil = d
+		}
+	}
+	return ceil
+}
+
+// Delay returns the jittered delay before retry number attempt
+// (1-based). hint, when positive, floors the result — the path a
+// server-supplied Retry-After override takes. The result is always
+// positive: a zero draw is bumped to 1ms so a retry never busy-loops.
+func (p *RetryPolicy) Delay(attempt int, hint time.Duration) time.Duration {
+	p.init()
+	ceil := p.Ceiling(attempt)
+	p.mu.Lock()
+	d := time.Duration(p.rng.Float64() * float64(ceil))
+	p.mu.Unlock()
+	if d <= 0 {
+		d = time.Millisecond
+	}
+	if hint > d {
+		d = hint
+	}
+	return d
+}

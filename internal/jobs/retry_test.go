@@ -1,0 +1,121 @@
+package jobs
+
+import (
+	"testing"
+	"time"
+)
+
+// TestRetryCeiling pins the un-jittered backoff schedule: doubling from
+// Base, capped at Cap, saturating for absurd attempt numbers.
+func TestRetryCeiling(t *testing.T) {
+	p := &RetryPolicy{Base: 100 * time.Millisecond, Cap: 5 * time.Second}
+	cases := []struct {
+		attempt int
+		want    time.Duration
+	}{
+		{1, 100 * time.Millisecond},
+		{2, 200 * time.Millisecond},
+		{3, 400 * time.Millisecond},
+		{6, 3200 * time.Millisecond},
+		{7, 5 * time.Second},  // 6.4s exponential, capped
+		{20, 5 * time.Second}, // deep saturation
+		{40, 5 * time.Second}, // shift ≥ 32: overflow guard path
+	}
+	for _, tc := range cases {
+		if got := p.Ceiling(tc.attempt); got != tc.want {
+			t.Errorf("Ceiling(%d) = %v, want %v", tc.attempt, got, tc.want)
+		}
+	}
+}
+
+// TestRetryDelayBounds draws many jittered delays per attempt and checks
+// every one lands in (0, ceiling] — full jitter never exceeds the
+// exponential ceiling and never returns a busy-loop zero.
+func TestRetryDelayBounds(t *testing.T) {
+	p := &RetryPolicy{Base: 10 * time.Millisecond, Cap: 80 * time.Millisecond, Seed: 7}
+	for attempt := 1; attempt <= 6; attempt++ {
+		ceil := p.Ceiling(attempt)
+		for i := 0; i < 200; i++ {
+			d := p.Delay(attempt, 0)
+			if d <= 0 {
+				t.Fatalf("attempt %d draw %d: non-positive delay %v", attempt, i, d)
+			}
+			if d > ceil {
+				t.Fatalf("attempt %d draw %d: delay %v exceeds ceiling %v", attempt, i, d, ceil)
+			}
+		}
+	}
+}
+
+// TestRetryDeterministicSeed pins the replay property the chaos tests
+// lean on: the same seed yields the same schedule, a different seed a
+// different one.
+func TestRetryDeterministicSeed(t *testing.T) {
+	draw := func(seed int64) []time.Duration {
+		p := &RetryPolicy{Base: 10 * time.Millisecond, Cap: time.Second, Seed: seed}
+		out := make([]time.Duration, 32)
+		for i := range out {
+			out[i] = p.Delay(i%5+1, 0)
+		}
+		return out
+	}
+	a, b := draw(42), draw(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("seed 42 diverged at draw %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+	c := draw(43)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("seeds 42 and 43 produced identical schedules")
+	}
+}
+
+// TestRetryDelayHint pins the Retry-After override: a hint floors the
+// jittered delay, including past the cap — the server's word outranks
+// the local schedule.
+func TestRetryDelayHint(t *testing.T) {
+	p := &RetryPolicy{Base: time.Millisecond, Cap: 2 * time.Millisecond, Seed: 1}
+	cases := []struct {
+		name string
+		hint time.Duration
+	}{
+		{"above cap", 10 * time.Second},
+		{"modest", 5 * time.Millisecond},
+	}
+	for _, tc := range cases {
+		for i := 0; i < 50; i++ {
+			if d := p.Delay(1, tc.hint); d < tc.hint {
+				t.Fatalf("%s: delay %v below hint %v", tc.name, d, tc.hint)
+			}
+		}
+	}
+	// A zero hint leaves the schedule alone.
+	for i := 0; i < 50; i++ {
+		if d := p.Delay(1, 0); d > p.Ceiling(1) {
+			t.Fatalf("no-hint delay %v exceeds ceiling", d)
+		}
+	}
+}
+
+// TestRetryZeroValueDefaults checks the zero policy takes the documented
+// defaults rather than dividing by zero or busy-looping.
+func TestRetryZeroValueDefaults(t *testing.T) {
+	p := &RetryPolicy{}
+	if got := p.Ceiling(1); got != 100*time.Millisecond {
+		t.Fatalf("zero-value Base: Ceiling(1) = %v, want 100ms", got)
+	}
+	if got := p.Ceiling(100); got != 5*time.Second {
+		t.Fatalf("zero-value Cap: Ceiling(100) = %v, want 5s", got)
+	}
+	if d := p.Delay(1, 0); d <= 0 {
+		t.Fatalf("zero-value Delay non-positive: %v", d)
+	}
+}

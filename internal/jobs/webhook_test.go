@@ -1,0 +1,203 @@
+package jobs
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	"localwm/lwmapi"
+)
+
+// TestWebhookSignature table-drives the verifier: the signature covers
+// the idempotency key and the body together, so garbling either — or
+// replaying a valid signature onto a different delivery — fails.
+func TestWebhookSignature(t *testing.T) {
+	const secret = "s3cret"
+	key := WebhookIdempotencyKey("j1234", "done")
+	body := []byte(`{"id":"j1234","state":"done"}`)
+	sig := SignWebhook(secret, key, body)
+
+	cases := []struct {
+		name   string
+		secret string
+		key    string
+		body   []byte
+		header string
+		want   bool
+	}{
+		{"valid", secret, key, body, sig, true},
+		{"garbled body", secret, key, []byte(`{"id":"j1234","state":"failed"}`), sig, false},
+		{"garbled key", secret, "j9999:done", body, sig, false},
+		{"wrong secret", "other", key, body, sig, false},
+		{"replayed onto other delivery", secret, WebhookIdempotencyKey("j1234", "failed"), body, sig, false},
+		{"missing header", secret, key, body, "", false},
+		{"malformed header", secret, key, body, "sha256=zz-not-hex", false},
+	}
+	for _, tc := range cases {
+		if got := VerifyWebhook(tc.secret, tc.key, tc.body, tc.header); got != tc.want {
+			t.Errorf("%s: VerifyWebhook = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+// TestWebhookSignatureFormat pins the wire shape: "sha256=" + 64 hex
+// chars, stable for fixed inputs.
+func TestWebhookSignatureFormat(t *testing.T) {
+	sig := SignWebhook("k", "id:done", []byte("body"))
+	if len(sig) != len("sha256=")+64 {
+		t.Fatalf("signature length %d, want %d: %q", len(sig), len("sha256=")+64, sig)
+	}
+	if sig[:7] != "sha256=" {
+		t.Fatalf("signature prefix %q, want sha256=", sig[:7])
+	}
+	if again := SignWebhook("k", "id:done", []byte("body")); again != sig {
+		t.Fatalf("signature not deterministic: %q vs %q", sig, again)
+	}
+}
+
+// TestDeliverWebhookRetries runs the deliverer against a receiver that
+// fails twice then succeeds, checking the retry loop, the headers, and
+// that the signature verifies on the receiving side.
+func TestDeliverWebhookRetries(t *testing.T) {
+	const secret = "hook-secret"
+	var mu sync.Mutex
+	var got []struct {
+		key, sig, attempt string
+		body              []byte
+	}
+	calls := 0
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		body, _ := io.ReadAll(r.Body)
+		mu.Lock()
+		calls++
+		n := calls
+		got = append(got, struct {
+			key, sig, attempt string
+			body              []byte
+		}{
+			r.Header.Get(lwmapi.WebhookIdempotencyHeader),
+			r.Header.Get(lwmapi.WebhookSignatureHeader),
+			r.Header.Get(lwmapi.WebhookAttemptHeader),
+			body,
+		})
+		mu.Unlock()
+		if n < 3 {
+			w.WriteHeader(http.StatusInternalServerError)
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer ts.Close()
+
+	cfg := WebhookConfig{
+		Secret:      secret,
+		MaxAttempts: 5,
+		Retry:       &RetryPolicy{Base: time.Millisecond, Cap: 2 * time.Millisecond, Seed: 9},
+		HTTPClient:  ts.Client(),
+	}.withDefaults()
+	job := &Job{ID: "j-hook", Kind: "embed", State: StateDone, Attempt: 1, MaxAttempts: 3, WebhookURL: ts.URL}
+
+	attempts, delivered := deliverWebhook(context.Background(), &cfg, nil, job)
+	if !delivered || attempts != 3 {
+		t.Fatalf("deliverWebhook = (%d, %v), want (3, true)", attempts, delivered)
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	wantKey := WebhookIdempotencyKey("j-hook", StateDone)
+	for i, d := range got {
+		if d.key != wantKey {
+			t.Errorf("delivery %d: idempotency key %q, want %q", i, d.key, wantKey)
+		}
+		if d.attempt != strconv.Itoa(i+1) {
+			t.Errorf("delivery %d: attempt header %q, want %d", i, d.attempt, i+1)
+		}
+		if !VerifyWebhook(secret, d.key, d.body, d.sig) {
+			t.Errorf("delivery %d: signature does not verify", i)
+		}
+		var st lwmapi.JobStatus
+		if err := json.Unmarshal(d.body, &st); err != nil {
+			t.Errorf("delivery %d: body not a JobStatus: %v", i, err)
+		} else if st.ID != "j-hook" || st.State != lwmapi.JobDone {
+			t.Errorf("delivery %d: body %+v, want id j-hook state done", i, st)
+		}
+	}
+}
+
+// TestDeliverWebhookBudget exhausts the attempt budget against an
+// always-failing receiver.
+func TestDeliverWebhookBudget(t *testing.T) {
+	var calls int
+	var mu sync.Mutex
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		calls++
+		mu.Unlock()
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}))
+	defer ts.Close()
+
+	cfg := WebhookConfig{
+		MaxAttempts: 3,
+		Retry:       &RetryPolicy{Base: time.Millisecond, Cap: 2 * time.Millisecond, Seed: 4},
+		HTTPClient:  ts.Client(),
+	}.withDefaults()
+	job := &Job{ID: "j-fail", State: StateFailed, WebhookURL: ts.URL}
+
+	attempts, delivered := deliverWebhook(context.Background(), &cfg, nil, job)
+	if delivered || attempts != 3 {
+		t.Fatalf("deliverWebhook = (%d, %v), want (3, false)", attempts, delivered)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if calls != 3 {
+		t.Fatalf("receiver saw %d calls, want 3", calls)
+	}
+}
+
+// TestPostWebhookRetryAfterHint checks a non-2xx answer's Retry-After
+// header surfaces as the backoff hint.
+func TestPostWebhookRetryAfterHint(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "7")
+		w.WriteHeader(http.StatusTooManyRequests)
+	}))
+	defer ts.Close()
+
+	cfg := WebhookConfig{HTTPClient: ts.Client()}.withDefaults()
+	hint, err := postWebhook(context.Background(), &cfg, ts.URL, "k", []byte("{}"), 1)
+	if err == nil {
+		t.Fatal("postWebhook succeeded against a 429 receiver")
+	}
+	if hint != 7*time.Second {
+		t.Fatalf("hint = %v, want 7s", hint)
+	}
+}
+
+// TestDeliverWebhookUnsigned checks an empty secret omits the signature
+// header entirely rather than signing with "".
+func TestDeliverWebhookUnsigned(t *testing.T) {
+	var header string
+	var present bool
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		header = r.Header.Get(lwmapi.WebhookSignatureHeader)
+		_, present = r.Header[lwmapi.WebhookSignatureHeader]
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer ts.Close()
+
+	cfg := WebhookConfig{HTTPClient: ts.Client()}.withDefaults()
+	job := &Job{ID: "j-unsigned", State: StateDone, WebhookURL: ts.URL}
+	if _, delivered := deliverWebhook(context.Background(), &cfg, nil, job); !delivered {
+		t.Fatal("delivery failed")
+	}
+	if present || header != "" {
+		t.Fatalf("unsigned delivery carried signature header %q", header)
+	}
+}

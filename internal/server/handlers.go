@@ -167,6 +167,14 @@ func (s *Server) handleEmbed(r *http.Request) (any, error) {
 	if err := decode(r, &req); err != nil {
 		return nil, err
 	}
+	return s.runEmbed(r.Context(), &req)
+}
+
+// runEmbed executes an already-decoded embed request. Split from the
+// HTTP handler so the async job executor drives the same path — the
+// byte-identity contract between POST /v1/embed and an embed job's
+// stored result rests on the two sharing this code.
+func (s *Server) runEmbed(ctx context.Context, req *lwmapi.EmbedRequest) (any, error) {
 	normalizeParams(&req.MarkParams)
 	if req.Signature == "" {
 		return nil, badRequest("signature: required")
@@ -185,8 +193,8 @@ func (s *Server) handleEmbed(r *http.Request) (any, error) {
 	if err != nil {
 		return nil, err
 	}
-	observeGraph(r.Context(), g)
-	wms, err := engine.EmbedManyCtx(r.Context(), g, prng.Signature(req.Signature), cfg, req.N, cfg.Parallelism)
+	observeGraph(ctx, g)
+	wms, err := engine.EmbedManyCtx(ctx, g, prng.Signature(req.Signature), cfg, req.N, cfg.Parallelism)
 	if err != nil {
 		return nil, badRequest("embedding: %v", err)
 	}
@@ -238,6 +246,11 @@ func (s *Server) handleDetect(r *http.Request) (any, error) {
 	if err := decode(r, &req); err != nil {
 		return nil, err
 	}
+	return s.runDetect(r.Context(), &req)
+}
+
+// runDetect executes an already-decoded detect request (see runEmbed).
+func (s *Server) runDetect(ctx context.Context, req *lwmapi.DetectRequest) (any, error) {
 	if len(req.Suspects) == 0 {
 		return nil, badRequest("suspects: at least one required")
 	}
@@ -251,11 +264,11 @@ func (s *Server) handleDetect(r *http.Request) (any, error) {
 			return nil, err
 		}
 		if !shared {
-			observeGraph(r.Context(), g)
+			observeGraph(ctx, g)
 		}
 		suspects[i] = engine.Suspect{Graph: g, Schedule: sc}
 	}
-	batch := engine.DetectBatchCtx(r.Context(), suspects, req.Records, s.engineWorkers(req.Workers))
+	batch := engine.DetectBatchCtx(ctx, suspects, req.Records, s.engineWorkers(req.Workers))
 	return buildDetectResponse(suspects, batch), nil
 }
 
@@ -264,6 +277,11 @@ func (s *Server) handleVerify(r *http.Request) (any, error) {
 	if err := decode(r, &req); err != nil {
 		return nil, err
 	}
+	return s.runVerify(r.Context(), &req)
+}
+
+// runVerify executes an already-decoded verify request (see runEmbed).
+func (s *Server) runVerify(ctx context.Context, req *lwmapi.VerifyRequest) (any, error) {
 	normalizeParams(&req.MarkParams)
 	if req.Signature == "" {
 		return nil, badRequest("signature: required")
@@ -280,9 +298,9 @@ func (s *Server) handleVerify(r *http.Request) (any, error) {
 		return nil, err
 	}
 	if !shared {
-		observeGraph(r.Context(), g)
+		observeGraph(ctx, g)
 	}
-	det, err := engine.VerifyOwnershipCtx(r.Context(), g, sc, prng.Signature(req.Signature), cfg, req.N, cfg.Parallelism)
+	det, err := engine.VerifyOwnershipCtx(ctx, g, sc, prng.Signature(req.Signature), cfg, req.N, cfg.Parallelism)
 	if err != nil {
 		return nil, badRequest("verifying: %v", err)
 	}

@@ -1,0 +1,286 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"localwm/internal/jobs"
+	"localwm/lwmapi"
+)
+
+// The async job surface:
+//
+//	POST /v1/jobs              submit (embed/detect/verify payload)
+//	GET  /v1/jobs/{id}         status; ?wait=5s long-polls, ?since=<v>
+//	                           sets the change cursor
+//	GET  /v1/jobs/{id}/result  the done job's response body, byte-
+//	                           identical to the synchronous endpoint's
+//	GET  /v1/jobs/{id}/events  SSE status stream until terminal
+//
+// Submit/status/result run through the same admission machinery (and
+// chaos injector) as every other endpoint; the SSE stream bypasses the
+// bounded queue — it holds a connection open for a job's lifetime, which
+// would starve a fixed worker pool — and the chaos injector, whose
+// buffered-response faults don't compose with streaming.
+
+// execJob is the jobs.Manager executor: decode the persisted payload,
+// drive the same run path the synchronous handler uses, and encode the
+// response exactly as writeJSON would — the byte-identity contract.
+// Definite failures (bad payload, engine 4xx) come back Permanent so the
+// job fails without burning its retry budget.
+func (s *Server) execJob(ctx context.Context, kind string, payload json.RawMessage) ([]byte, error) {
+	var (
+		resp any
+		err  error
+	)
+	switch kind {
+	case lwmapi.JobKindEmbed:
+		req := new(lwmapi.EmbedRequest)
+		if uerr := json.Unmarshal(payload, req); uerr != nil {
+			return nil, jobs.Permanent(fmt.Errorf("decoding embed payload: %w", uerr))
+		}
+		resp, err = s.runEmbed(ctx, req)
+	case lwmapi.JobKindDetect:
+		req := new(lwmapi.DetectRequest)
+		if uerr := json.Unmarshal(payload, req); uerr != nil {
+			return nil, jobs.Permanent(fmt.Errorf("decoding detect payload: %w", uerr))
+		}
+		resp, err = s.runDetect(ctx, req)
+	case lwmapi.JobKindVerify:
+		req := new(lwmapi.VerifyRequest)
+		if uerr := json.Unmarshal(payload, req); uerr != nil {
+			return nil, jobs.Permanent(fmt.Errorf("decoding verify payload: %w", uerr))
+		}
+		resp, err = s.runVerify(ctx, req)
+	default:
+		return nil, jobs.Permanent(fmt.Errorf("unknown job kind %q", kind))
+	}
+	if err != nil {
+		var ae *apiError
+		if errors.As(err, &ae) && ae.status < 500 {
+			// A definite answer (400 bad request, 404 unresolvable ref):
+			// retrying replays the same payload against the same store
+			// view, so fail now.
+			return nil, jobs.Permanent(err)
+		}
+		return nil, err
+	}
+	return encodeJSONBody(resp)
+}
+
+// encodeJSONBody renders v exactly as writeJSON does — same encoder,
+// same indent, same trailing newline — so stored job results compare
+// byte-for-byte against synchronous response bodies.
+func encodeJSONBody(v any) ([]byte, error) {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// jobPath splits "/v1/jobs/{id}[/{sub}]". ok is false for anything
+// deeper or an empty id.
+func jobPath(path string) (id, sub string, ok bool) {
+	rest := strings.TrimPrefix(path, "/v1/jobs/")
+	if rest == path || rest == "" {
+		return "", "", false
+	}
+	parts := strings.Split(rest, "/")
+	switch len(parts) {
+	case 1:
+		return parts[0], "", parts[0] != ""
+	case 2:
+		return parts[0], parts[1], parts[0] != "" && parts[1] != ""
+	}
+	return "", "", false
+}
+
+func jobNotFound(id string) error {
+	return &apiError{status: http.StatusNotFound, code: lwmapi.CodeJobNotFound,
+		msg: fmt.Sprintf("job %s: not found (never submitted, or evicted by retention)", id)}
+}
+
+func (s *Server) handleJobSubmit(r *http.Request) (any, error) {
+	var req lwmapi.JobRequest
+	if err := decode(r, &req); err != nil {
+		return nil, err
+	}
+	payload, err := lwmapi.ValidJobPayload(&req)
+	if err != nil {
+		return nil, badRequest("%v", err)
+	}
+	job, _, err := s.jobs.Submit(jobs.Submission{
+		Kind:           req.Kind,
+		Payload:        payload,
+		WebhookURL:     req.WebhookURL,
+		IdempotencyKey: req.IdempotencyKey,
+		MaxAttempts:    req.MaxAttempts,
+	})
+	switch {
+	case errors.Is(err, jobs.ErrBacklogFull):
+		return nil, &apiError{status: http.StatusTooManyRequests, code: lwmapi.CodeQueueFull,
+			msg: "job backlog full, retry later", retryAfter: s.cfg.RetryAfter}
+	case errors.Is(err, jobs.ErrClosed):
+		return nil, &apiError{status: http.StatusServiceUnavailable, code: lwmapi.CodeDraining,
+			msg: "draining", retryAfter: s.cfg.RetryAfter}
+	case err != nil:
+		return nil, err
+	}
+	// Re-read for the current version: a worker may have started the job
+	// already (dedup hits return the existing job wherever it got to).
+	if cur, v, ok := s.jobs.GetVersion(job.ID); ok {
+		st := cur.Status()
+		st.Version = v
+		return st, nil
+	}
+	return job.Status(), nil
+}
+
+func (s *Server) handleJobGet(r *http.Request) (any, error) {
+	id, sub, ok := jobPath(r.URL.Path)
+	if !ok {
+		return nil, badRequest("path: want /v1/jobs/{id}[/result]")
+	}
+	switch sub {
+	case "":
+		return s.jobStatus(r, id)
+	case "result":
+		return s.jobResult(id)
+	default:
+		return nil, badRequest("path: unknown job subresource %q", sub)
+	}
+}
+
+// jobStatus answers GET /v1/jobs/{id}. With ?wait= it long-polls: the
+// response is delayed until the job's version passes ?since= (or the
+// wait expires, answering the current state) — the poll-free path for
+// clients that can't take webhooks.
+func (s *Server) jobStatus(r *http.Request, id string) (any, error) {
+	q := r.URL.Query()
+	var wait time.Duration
+	if ws := q.Get("wait"); ws != "" {
+		d, err := time.ParseDuration(ws)
+		if err != nil {
+			return nil, badRequest("wait: %v", err)
+		}
+		wait = d
+	}
+	since := 0
+	if ss := q.Get("since"); ss != "" {
+		v, err := strconv.Atoi(ss)
+		if err != nil || v < 0 {
+			return nil, badRequest("since: want a non-negative integer")
+		}
+		since = v
+	}
+	if wait <= 0 {
+		job, v, ok := s.jobs.GetVersion(id)
+		if !ok {
+			return nil, jobNotFound(id)
+		}
+		st := job.Status()
+		st.Version = v
+		return st, nil
+	}
+	// The request deadline still bounds the whole poll; cap the wait
+	// under it so the long-poll answers 200 with the current state
+	// rather than tripping the 504 path.
+	if max := s.cfg.RequestTimeout * 9 / 10; wait > max {
+		wait = max
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), wait)
+	defer cancel()
+	job, v, err := s.jobs.Wait(ctx, id, since)
+	if errors.Is(err, jobs.ErrNotFound) {
+		return nil, jobNotFound(id)
+	}
+	st := job.Status()
+	st.Version = v
+	return st, nil
+}
+
+// jobResult answers GET /v1/jobs/{id}/result: the stored response bytes
+// of a done job, verbatim. A job still in flight answers 409 with a
+// Retry-After hint (and retryable=true via the code table); a failed job
+// answers 410 carrying its final error.
+func (s *Server) jobResult(id string) (any, error) {
+	job, ok := s.jobs.Get(id)
+	if !ok {
+		return nil, jobNotFound(id)
+	}
+	switch job.State {
+	case jobs.StateDone:
+		return &rawResponse{status: http.StatusOK, contentType: "application/json", body: job.Result}, nil
+	case jobs.StateFailed:
+		return nil, &apiError{status: http.StatusGone, code: lwmapi.CodeJobFailed,
+			msg: fmt.Sprintf("job %s failed after %d attempt(s): %s", id, job.Attempt, job.Error)}
+	default:
+		return nil, &apiError{status: http.StatusConflict, code: lwmapi.CodeJobNotReady,
+			msg:        fmt.Sprintf("job %s is %s (attempt %d/%d), result not ready", id, job.State, job.Attempt, job.MaxAttempts),
+			retryAfter: s.cfg.RetryAfter}
+	}
+}
+
+// handleJobEvents streams GET /v1/jobs/{id}/events as server-sent
+// events: one "status" event per transition (starting from ?since=, or
+// the current state), ending after the terminal event. Mounted outside
+// the admission queue and the chaos injector — see the file comment.
+func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		writeError(w, http.StatusMethodNotAllowed, lwmapi.CodeMethodNotAllowed, "GET only")
+		return
+	}
+	id, sub, ok := jobPath(r.URL.Path)
+	if !ok || sub != "events" {
+		writeError(w, http.StatusBadRequest, lwmapi.CodeBadRequest, "path: want /v1/jobs/{id}/events")
+		return
+	}
+	flusher, canFlush := w.(http.Flusher)
+	if !canFlush {
+		writeError(w, http.StatusInternalServerError, lwmapi.CodeInternal, "streaming unsupported")
+		return
+	}
+	since := 0
+	if ss := r.URL.Query().Get("since"); ss != "" {
+		if v, err := strconv.Atoi(ss); err == nil && v >= 0 {
+			since = v
+		}
+	}
+	if _, _, ok := s.jobs.GetVersion(id); !ok {
+		writeError(w, http.StatusNotFound, lwmapi.CodeJobNotFound, "job "+id+": not found")
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	flusher.Flush()
+	for {
+		job, v, err := s.jobs.Wait(r.Context(), id, since)
+		if job == nil || errors.Is(err, jobs.ErrNotFound) || r.Context().Err() != nil {
+			return
+		}
+		st := job.Status()
+		st.Version = v
+		data, merr := json.Marshal(st)
+		if merr != nil {
+			return
+		}
+		fmt.Fprintf(w, "event: status\ndata: %s\n\n", data)
+		flusher.Flush()
+		if st.Terminal {
+			return
+		}
+		since = v
+	}
+}

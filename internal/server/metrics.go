@@ -11,6 +11,7 @@ import (
 
 	"localwm/internal/cdfg"
 	"localwm/internal/engine"
+	"localwm/internal/jobs"
 	"localwm/internal/obs"
 	"localwm/internal/store"
 	"localwm/lwmapi"
@@ -193,6 +194,52 @@ func (s *Server) buildRegistry() *obs.Registry {
 			func() float64 { return float64(load(s.store.Counters())) })
 	}
 
+	// Async-job series, read through the manager's counter snapshot.
+	for _, jc := range []struct {
+		name, help string
+		load       func(jobs.Counters) uint64
+	}{
+		{"lwmd_jobs_submitted_total", "Async jobs created (idempotency-key dedup hits excluded).",
+			func(c jobs.Counters) uint64 { return c.Submitted }},
+		{"lwmd_jobs_deduped_total", "Async job submissions answered by an existing job via idempotency key.",
+			func(c jobs.Counters) uint64 { return c.Deduped }},
+		{"lwmd_jobs_completed_total", "Async jobs that reached the done state.",
+			func(c jobs.Counters) uint64 { return c.Completed }},
+		{"lwmd_jobs_failed_total", "Async jobs that reached the failed state (permanent error or retry budget exhausted).",
+			func(c jobs.Counters) uint64 { return c.Failed }},
+		{"lwmd_jobs_retries_total", "Async job execution attempts beyond each job's first.",
+			func(c jobs.Counters) uint64 { return c.Retries }},
+		{"lwmd_jobs_webhook_deliveries_total", "Terminal-status webhook pushes acknowledged with a 2xx.",
+			func(c jobs.Counters) uint64 { return c.WebhookDeliveries }},
+		{"lwmd_jobs_webhook_failures_total", "Terminal-status webhook pushes abandoned after delivery retries.",
+			func(c jobs.Counters) uint64 { return c.WebhookFailures }},
+		{"lwmd_jobs_evictions_total", "Terminal async jobs dropped by retention.",
+			func(c jobs.Counters) uint64 { return c.Evictions }},
+		{"lwmd_jobs_compactions_total", "Job write-ahead-log snapshot+truncate cycles.",
+			func(c jobs.Counters) uint64 { return c.Compactions }},
+	} {
+		load := jc.load
+		r.CounterFunc(jc.name, jc.help, nil,
+			func() float64 { return float64(load(s.jobs.Counters())) })
+	}
+	for _, jg := range []struct {
+		name, help string
+		load       func(jobs.Counters) int64
+	}{
+		{"lwmd_jobs_queued", "Async jobs currently queued (including retry-delayed).",
+			func(c jobs.Counters) int64 { return c.Queued }},
+		{"lwmd_jobs_running", "Async jobs currently executing.",
+			func(c jobs.Counters) int64 { return c.Running }},
+		{"lwmd_jobs_resident", "Async jobs resident in the store, any state.",
+			func(c jobs.Counters) int64 { return c.Jobs }},
+		{"lwmd_jobs_wal_bytes", "Current job write-ahead-log size (0 for an in-memory manager).",
+			func(c jobs.Counters) int64 { return c.WALBytes }},
+	} {
+		load := jg.load
+		r.GaugeFunc(jg.name, jg.help, nil,
+			func() float64 { return float64(load(s.jobs.Counters())) })
+	}
+
 	for _, ec := range []struct {
 		name, help string
 		load       func() uint64
@@ -305,6 +352,22 @@ func (s *Server) snapshot() map[string]any {
 		"entries":     sc.Entries,
 		"bytes":       sc.Bytes,
 		"wal_bytes":   sc.WALBytes,
+	}
+	jc := s.jobs.Counters()
+	out["jobs"] = map[string]any{
+		"submitted":          jc.Submitted,
+		"deduped":            jc.Deduped,
+		"completed":          jc.Completed,
+		"failed":             jc.Failed,
+		"retries":            jc.Retries,
+		"webhook_deliveries": jc.WebhookDeliveries,
+		"webhook_failures":   jc.WebhookFailures,
+		"evictions":          jc.Evictions,
+		"compactions":        jc.Compactions,
+		"queued":             jc.Queued,
+		"running":            jc.Running,
+		"resident":           jc.Jobs,
+		"wal_bytes":          jc.WALBytes,
 	}
 	if s.cfg.Chaos != nil {
 		out["chaos"] = s.cfg.Chaos.Snapshot()

@@ -18,14 +18,27 @@ import (
 )
 
 // apiError is a handler-produced failure with a definite HTTP status and
-// a wire error code from the lwmapi table.
+// a wire error code from the lwmapi table. retryAfter, when positive,
+// rides out as a Retry-After header — the job-status "come back later"
+// hint.
 type apiError struct {
-	status int
-	code   string
-	msg    string
+	status     int
+	code       string
+	msg        string
+	retryAfter time.Duration
 }
 
 func (e *apiError) Error() string { return e.msg }
+
+// rawResponse short-circuits the endpoint success path: the body bytes
+// are written verbatim instead of re-marshaled. GET /v1/jobs/{id}/result
+// returns one so a stored job result reaches the client byte-identical
+// to the synchronous endpoint's answer.
+type rawResponse struct {
+	status      int
+	contentType string
+	body        []byte
+}
 
 // badRequest builds the 400 an endpoint returns for malformed payloads.
 func badRequest(format string, args ...any) error {
@@ -41,11 +54,13 @@ func refNotFound(ref string) error {
 
 // writeError renders the lwmapi.Error envelope: the typed code plus the
 // PR-4 legacy keys ("error", "status"), so old clients keep decoding.
+// Retryable is stamped from the status table plus the per-code table
+// (job_not_ready is retryable despite its non-retryable 409 status).
 func writeError(w http.ResponseWriter, status int, code, msg string) {
 	writeJSON(w, status, lwmapi.Error{
 		Code:          code,
 		Message:       msg,
-		Retryable:     lwmapi.RetryableStatus(status),
+		Retryable:     lwmapi.RetryableStatus(status) || lwmapi.RetryableCode(code),
 		LegacyMessage: msg,
 		Status:        status,
 	})
@@ -303,6 +318,10 @@ func (s *Server) endpoint(name string, allow []string, handle func(r *http.Reque
 			setResult("error", jobErr.Error())
 			var ae *apiError
 			if errors.As(jobErr, &ae) {
+				if ae.retryAfter > 0 {
+					w.Header().Set("Retry-After",
+						strconv.Itoa(int((ae.retryAfter+time.Second-1)/time.Second)))
+				}
 				writeError(w, ae.status, ae.code, ae.msg)
 				return
 			}
@@ -311,6 +330,12 @@ func (s *Server) endpoint(name string, allow []string, handle func(r *http.Reque
 		}
 		em.completed.Add(1)
 		setResult("ok", "")
+		if raw, ok := resp.(*rawResponse); ok {
+			w.Header().Set("Content-Type", raw.contentType)
+			w.WriteHeader(raw.status)
+			_, _ = w.Write(raw.body)
+			return
+		}
 		writeJSON(w, http.StatusOK, resp)
 	})
 }

@@ -40,10 +40,12 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"runtime"
+	"strings"
 	"sync/atomic"
 	"time"
 
 	"localwm/internal/chaos"
+	"localwm/internal/jobs"
 	"localwm/internal/obs"
 	"localwm/internal/store"
 )
@@ -54,6 +56,7 @@ const (
 	epDetect  = "detect"
 	epVerify  = "verify"
 	epDesigns = "designs"
+	epJobs    = "jobs"
 )
 
 // Config sizes the daemon. The zero value serves with sane defaults.
@@ -66,6 +69,10 @@ type Config struct {
 	// DesignWorkers sizes the design-registry endpoint's worker pool
 	// (puts parse and warm a design; gets are cheap). Zero defaults to 2.
 	DesignWorkers int
+	// JobWorkers sizes the async-job HTTP endpoint's worker pool —
+	// submits and status reads, which are cheap; the job executions
+	// themselves run on the jobs.Manager's own pool. Zero defaults to 4.
+	JobWorkers int
 	// QueueSize is each endpoint's pending-request capacity beyond the
 	// workers. Zero defaults to 64.
 	QueueSize int
@@ -92,6 +99,14 @@ type Config struct {
 	// whoever opened it: the server never closes a Store it was handed
 	// (and an in-memory default has nothing to close).
 	Store *store.Store
+	// Jobs, when non-nil, is the durable async-job manager behind
+	// /v1/jobs — typically opened on a -jobs-dir so jobs survive
+	// restarts. Nil gets a fresh in-memory manager with default sizing,
+	// so the jobs API and the lwmd_jobs_* metrics always exist. New calls
+	// Start on it with the server's executor; the lifecycle otherwise
+	// follows the Store rule — whoever opened the manager closes it (the
+	// server closes only the in-memory default it opened itself).
+	Jobs *jobs.Manager
 	// Chaos, when non-nil, wraps every /v1 API endpoint with the fault
 	// injector (lwmd -chaos) — latency, resets, 500s, truncated bodies,
 	// deterministically seeded. Liveness and stats endpoints are never
@@ -118,6 +133,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.DesignWorkers <= 0 {
 		c.DesignWorkers = 2
+	}
+	if c.JobWorkers <= 0 {
+		c.JobWorkers = 4
 	}
 	if c.QueueSize <= 0 {
 		c.QueueSize = 64
@@ -150,6 +168,8 @@ type Server struct {
 	logger   *slog.Logger
 	reg      *obs.Registry
 	store    *store.Store
+	jobs     *jobs.Manager
+	ownJobs  bool // the in-memory default is the server's to close
 	draining atomic.Bool
 
 	// testJobStart, when set (tests only), runs at the start of every
@@ -166,19 +186,30 @@ func New(cfg Config) *Server {
 		// An in-memory open with no Dir cannot fail.
 		st, _ = store.Open(store.Config{})
 	}
+	jm := cfg.Jobs
+	ownJobs := false
+	if jm == nil {
+		// An in-memory open with no Dir cannot fail.
+		jm, _ = jobs.Open(jobs.Config{Logger: cfg.Logger})
+		ownJobs = true
+	}
 	s := &Server{
 		cfg:     cfg,
-		metrics: newMetrics(epEmbed, epDetect, epVerify, epDesigns),
+		metrics: newMetrics(epEmbed, epDetect, epVerify, epDesigns, epJobs),
 		queues: map[string]*queue{
 			epEmbed:   newQueue(cfg.EmbedWorkers, cfg.QueueSize),
 			epDetect:  newQueue(cfg.DetectWorkers, cfg.QueueSize),
 			epVerify:  newQueue(cfg.VerifyWorkers, cfg.QueueSize),
 			epDesigns: newQueue(cfg.DesignWorkers, cfg.QueueSize),
+			epJobs:    newQueue(cfg.JobWorkers, cfg.QueueSize),
 		},
-		logger: cfg.Logger,
-		store:  st,
+		logger:  cfg.Logger,
+		store:   st,
+		jobs:    jm,
+		ownJobs: ownJobs,
 	}
 	s.reg = s.buildRegistry()
+	jm.Start(s.execJob)
 	return s
 }
 
@@ -204,6 +235,20 @@ func (s *Server) Handler() http.Handler {
 	designs := api(epDesigns, []string{http.MethodPut, http.MethodPost, http.MethodGet}, s.handleDesigns)
 	mux.Handle("/v1/designs", designs)
 	mux.Handle("/v1/designs/", designs)
+	mux.Handle("/v1/jobs", api(epJobs, post, s.handleJobSubmit))
+	jobsGet := api(epJobs, []string{http.MethodGet}, s.handleJobGet)
+	// The SSE stream bypasses the admission queue (it holds a connection
+	// for the job's lifetime) and the chaos injector (whose buffered
+	// faults don't compose with streaming) but keeps observe, so streams
+	// are traced and logged like everything else.
+	events := s.observe(epJobs, http.HandlerFunc(s.handleJobEvents))
+	mux.Handle("/v1/jobs/", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if strings.HasSuffix(r.URL.Path, "/events") {
+			events.ServeHTTP(w, r)
+			return
+		}
+		jobsGet.ServeHTTP(w, r)
+	}))
 	mux.HandleFunc("/v1/stats", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, s.snapshot())
 	})
@@ -248,6 +293,14 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	var firstErr error
 	for _, q := range s.queues {
 		if err := q.drain(ctx); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	// The in-memory default job manager is the server's own; a manager
+	// handed in via Config.Jobs belongs to its opener (cmd/lwmd closes it
+	// after this returns, so in-flight job attempts get their own drain).
+	if s.ownJobs {
+		if err := s.jobs.Close(ctx); err != nil && firstErr == nil {
 			firstErr = err
 		}
 	}

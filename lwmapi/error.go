@@ -30,6 +30,18 @@ const (
 	// CodeInternal: the handler failed or panicked. 500; retryable (the
 	// panic is confined to the request).
 	CodeInternal = "internal"
+	// CodeJobNotFound: a job ID did not resolve — never submitted, or
+	// evicted by terminal-job retention. 404, not retryable.
+	CodeJobNotFound = "job_not_found"
+	// CodeJobNotReady: the job exists but has not reached a terminal
+	// state, so its result is not available yet. 409 with Retry-After;
+	// retryable — poll the status endpoint (or just retry) until the job
+	// terminates.
+	CodeJobNotReady = "job_not_ready"
+	// CodeJobFailed: the job reached the failed state, so no result will
+	// ever exist; the envelope message carries the job's final error.
+	// 410, not retryable — fix the payload and submit a new job.
+	CodeJobFailed = "job_failed"
 )
 
 // Error is the JSON envelope of every non-2xx /v1 response.
@@ -69,4 +81,13 @@ func RetryableStatus(status int) bool {
 		return true
 	}
 	return false
+}
+
+// RetryableCode reports whether an error code is transient even when its
+// HTTP status is not in the retryable set: job_not_ready rides a 409
+// (the request was fine, the answer just doesn't exist yet), so the
+// envelope's Retryable is code-driven there. The daemon stamps
+// RetryableStatus(status) || RetryableCode(code).
+func RetryableCode(code string) bool {
+	return code == CodeJobNotReady
 }

@@ -1,0 +1,164 @@
+package lwmapi
+
+import "encoding/json"
+
+// Async job API wire types (POST /v1/jobs, GET /v1/jobs/{id},
+// GET /v1/jobs/{id}/result, GET /v1/jobs/{id}/events).
+//
+// A job wraps one of the synchronous request envelopes — embed, detect,
+// or verify — and runs it on the daemon's durable job queue instead of
+// the request's own HTTP lifetime. The job's result bytes are exactly
+// the response body the synchronous endpoint would have answered for the
+// same payload, so a caller can switch between sync and async without
+// changing its parsing, and tests can assert byte-identity.
+
+// Job kinds: which synchronous endpoint the job's payload feeds.
+const (
+	JobKindEmbed  = "embed"
+	JobKindDetect = "detect"
+	JobKindVerify = "verify"
+)
+
+// Job states, the complete lifecycle:
+//
+//	queued → running → done
+//	           ↓ ↑ (transient failure, retry budget left)
+//	         queued
+//	running → failed (permanent failure, or retry budget exhausted)
+//
+// done and failed are terminal. A daemon crash demotes running jobs back
+// to queued on restart, so "running" is never a terminal trap.
+const (
+	JobQueued  = "queued"
+	JobRunning = "running"
+	JobDone    = "done"
+	JobFailed  = "failed"
+)
+
+// TerminalJobState reports whether a job state is final.
+func TerminalJobState(state string) bool {
+	return state == JobDone || state == JobFailed
+}
+
+// JobRequest submits one asynchronous job (POST /v1/jobs). Exactly one
+// of Embed/Detect/Verify must be set, matching Kind; the payload is the
+// same envelope the synchronous endpoint takes, design_ref included.
+type JobRequest struct {
+	// Kind selects the engine entry point: "embed", "detect", or
+	// "verify".
+	Kind string `json:"kind"`
+	// Embed is the payload for kind "embed".
+	Embed *EmbedRequest `json:"embed,omitempty"`
+	// Detect is the payload for kind "detect".
+	Detect *DetectRequest `json:"detect,omitempty"`
+	// Verify is the payload for kind "verify".
+	Verify *VerifyRequest `json:"verify,omitempty"`
+	// WebhookURL, when set, is POSTed the terminal JobStatus (HMAC-signed
+	// when the daemon has a webhook secret, with delivery retries and a
+	// stable idempotency key).
+	WebhookURL string `json:"webhook_url,omitempty"`
+	// IdempotencyKey, when set, dedupes resubmissions: a second submit
+	// with the same key returns the first job instead of creating a new
+	// one — the safety net for clients that retry a submit whose response
+	// was lost in transit.
+	IdempotencyKey string `json:"idempotency_key,omitempty"`
+	// MaxAttempts caps execution attempts before the job fails
+	// terminally (0: the daemon's default, typically 3; clamped to the
+	// daemon's maximum).
+	MaxAttempts int `json:"max_attempts,omitempty"`
+}
+
+// JobStatus is the job's public state (GET /v1/jobs/{id}, the submit
+// response, and the webhook payload).
+type JobStatus struct {
+	// ID names the job; all job endpoints key on it.
+	ID string `json:"id"`
+	// Kind is the job's engine entry point.
+	Kind string `json:"kind"`
+	// State is one of queued, running, done, failed.
+	State string `json:"state"`
+	// Attempt counts execution attempts so far (0 while first-queued).
+	Attempt int `json:"attempt"`
+	// MaxAttempts is the job's retry budget.
+	MaxAttempts int `json:"max_attempts"`
+	// Error describes the last (or final) failure, empty otherwise.
+	Error string `json:"error,omitempty"`
+	// CreatedUnixNano and UpdatedUnixNano timestamp the submission and
+	// the latest state transition.
+	CreatedUnixNano int64 `json:"created_unix_nano"`
+	UpdatedUnixNano int64 `json:"updated_unix_nano"`
+	// Terminal mirrors TerminalJobState(State), saving callers the
+	// constant table.
+	Terminal bool `json:"terminal"`
+	// Version is the job's change counter, bumped on every transition.
+	// Pass it back as ?since= on a status long-poll (?wait=) or the SSE
+	// stream to block until the next transition. Zero (omitted) in
+	// webhook payloads.
+	Version int `json:"version,omitempty"`
+}
+
+// Webhook headers. The signature covers the idempotency key and the
+// body (see SignWebhook in internal/jobs and the DESIGN.md appendix), so
+// a valid signature cannot be transplanted onto a different delivery.
+const (
+	// WebhookSignatureHeader carries "sha256=<hex hmac>".
+	WebhookSignatureHeader = "X-Lwm-Webhook-Signature"
+	// WebhookIdempotencyHeader carries "<job id>:<terminal state>" —
+	// stable across delivery retries, so receivers dedupe on it.
+	WebhookIdempotencyHeader = "X-Lwm-Idempotency-Key"
+	// WebhookAttemptHeader counts delivery attempts, starting at 1.
+	WebhookAttemptHeader = "X-Lwm-Webhook-Attempt"
+)
+
+// ValidJobPayload checks a JobRequest's kind/payload pairing and returns
+// the raw payload for the daemon to persist. Shared by the server (on
+// submit) and the client (before submitting), so malformed jobs fail on
+// whichever side sees them first.
+func ValidJobPayload(req *JobRequest) (json.RawMessage, error) {
+	var (
+		payload any
+		others  int
+	)
+	if req.Embed != nil {
+		others++
+	}
+	if req.Detect != nil {
+		others++
+	}
+	if req.Verify != nil {
+		others++
+	}
+	if others != 1 {
+		return nil, &Error{Code: CodeBadRequest, Status: 400,
+			Message: "exactly one of embed, detect, verify must be set"}
+	}
+	switch req.Kind {
+	case JobKindEmbed:
+		if req.Embed == nil {
+			return nil, &Error{Code: CodeBadRequest, Status: 400,
+				Message: `kind "embed" requires the embed payload`}
+		}
+		payload = req.Embed
+	case JobKindDetect:
+		if req.Detect == nil {
+			return nil, &Error{Code: CodeBadRequest, Status: 400,
+				Message: `kind "detect" requires the detect payload`}
+		}
+		payload = req.Detect
+	case JobKindVerify:
+		if req.Verify == nil {
+			return nil, &Error{Code: CodeBadRequest, Status: 400,
+				Message: `kind "verify" requires the verify payload`}
+		}
+		payload = req.Verify
+	default:
+		return nil, &Error{Code: CodeBadRequest, Status: 400,
+			Message: "kind must be embed, detect, or verify"}
+	}
+	raw, err := json.Marshal(payload)
+	if err != nil {
+		return nil, &Error{Code: CodeBadRequest, Status: 400,
+			Message: "encoding payload: " + err.Error()}
+	}
+	return raw, nil
+}

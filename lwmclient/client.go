@@ -595,6 +595,17 @@ func (c *Client) attempt(ctx context.Context, method, path string, tid obs.Trace
 		}
 		return &transportError{fmt.Errorf("reading response: %w", rerr)}
 	}
+	if raw, ok := out.(*[]byte); ok {
+		// Raw-body calls (a job's stored result) keep the exact response
+		// bytes: the byte-identity contract would not survive a decode/
+		// re-encode round trip. Validity is still checked so a chaos-
+		// truncated body retries like any transport fault.
+		if !json.Valid(data) {
+			return &transportError{fmt.Errorf("decoding response: invalid JSON body")}
+		}
+		*raw = data
+		return nil
+	}
 	if err := json.Unmarshal(data, out); err != nil {
 		// A syntactically broken 200 body is a transport-level fault
 		// (e.g. truncation the length checks missed), not an answer.

@@ -38,6 +38,16 @@ var (
 	ErrTimeout = errors.New("lwmclient: server-side timeout")
 	// ErrInternal: the handler failed or panicked (500, internal).
 	ErrInternal = errors.New("lwmclient: internal server error")
+	// ErrJobNotFound: a job ID did not resolve — never submitted, or
+	// evicted by terminal-job retention (404, job_not_found).
+	ErrJobNotFound = errors.New("lwmclient: job not found")
+	// ErrJobNotReady: the job's result was requested before the job
+	// reached done (409, job_not_ready). Retryable after the Retry-After
+	// hint; WaitJobResult does this automatically.
+	ErrJobNotReady = errors.New("lwmclient: job not ready")
+	// ErrJobFailed: the job terminated in the failed state; the error
+	// message carries the job's final failure (410, job_failed).
+	ErrJobFailed = errors.New("lwmclient: job failed")
 )
 
 // sentinelFor maps an envelope code (preferred) or an HTTP status (the
@@ -59,8 +69,21 @@ func sentinelFor(code string, status int) error {
 		return ErrTimeout
 	case lwmapi.CodeInternal:
 		return ErrInternal
+	case lwmapi.CodeJobNotFound:
+		return ErrJobNotFound
+	case lwmapi.CodeJobNotReady:
+		return ErrJobNotReady
+	case lwmapi.CodeJobFailed:
+		return ErrJobFailed
 	}
 	switch status {
+	// 409 and 410 only ever come from the job endpoints, so the
+	// status fallback is unambiguous (unlike 404, which predates jobs
+	// as the design-ref miss).
+	case http.StatusConflict:
+		return ErrJobNotReady
+	case http.StatusGone:
+		return ErrJobFailed
 	case http.StatusBadRequest:
 		return ErrBadRequest
 	case http.StatusNotFound:

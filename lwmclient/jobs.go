@@ -1,0 +1,124 @@
+package lwmclient
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/url"
+	"strconv"
+	"time"
+
+	"localwm/lwmapi"
+)
+
+// Async job API: submit heavy embed/detect/verify work to the daemon's
+// durable job queue and collect the result later. A done job's result
+// bytes are exactly the synchronous endpoint's response body, so callers
+// decode them with the same types (lwmapi.EmbedResponse etc.).
+
+// JobRequest submits one async job; exactly one payload field must be
+// set, matching Kind.
+type JobRequest = lwmapi.JobRequest
+
+// JobStatus is a job's public state, as the status endpoints and the
+// completion webhook report it.
+type JobStatus = lwmapi.JobStatus
+
+// SubmitJob submits one job (POST /v1/jobs) and returns its initial
+// status. The kind/payload pairing is validated client-side first, so a
+// malformed request never spends a network attempt. Set an
+// IdempotencyKey when resubmitting after a lost response: the daemon
+// answers with the original job instead of running the work twice.
+func (c *Client) SubmitJob(ctx context.Context, req JobRequest) (*JobStatus, error) {
+	if _, err := lwmapi.ValidJobPayload(&req); err != nil {
+		return nil, fmt.Errorf("lwmclient: %w", err)
+	}
+	var out JobStatus
+	if err := c.call(ctx, "/v1/jobs", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// JobStatus fetches a job's current status (GET /v1/jobs/{id}). An
+// unknown ID answers an error matching ErrJobNotFound.
+func (c *Client) JobStatus(ctx context.Context, id string) (*JobStatus, error) {
+	var out JobStatus
+	if err := c.do(ctx, http.MethodGet, "/v1/jobs/"+url.PathEscape(id), nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// JobResult fetches a done job's stored response bytes, verbatim
+// (GET /v1/jobs/{id}/result). A job still in flight answers an error
+// matching ErrJobNotReady (carrying the server's Retry-After hint); a
+// failed job one matching ErrJobFailed with the job's final error.
+// WaitJobResult wraps the wait-then-fetch sequence.
+func (c *Client) JobResult(ctx context.Context, id string) ([]byte, error) {
+	var raw []byte
+	if err := c.do(ctx, http.MethodGet, "/v1/jobs/"+url.PathEscape(id)+"/result", nil, &raw); err != nil {
+		return nil, err
+	}
+	return raw, nil
+}
+
+// WaitJob blocks until the job reaches a terminal state (done or
+// failed), long-polling the status endpoint (?wait=) so each round trip
+// parks server-side instead of busy-polling. The caller's ctx bounds the
+// whole wait. The returned status is terminal; reaching "failed" is not
+// an error here — WaitJobResult is the variant that converts failure
+// into one.
+func (c *Client) WaitJob(ctx context.Context, id string) (*JobStatus, error) {
+	const pollWait = 30 * time.Second
+	since := 0
+	for {
+		var out JobStatus
+		path := "/v1/jobs/" + url.PathEscape(id) +
+			"?wait=" + pollWait.String() + "&since=" + strconv.Itoa(since)
+		if err := c.do(ctx, http.MethodGet, path, nil, &out); err != nil {
+			return nil, err
+		}
+		if out.Terminal {
+			return &out, nil
+		}
+		since = out.Version
+		if err := ctx.Err(); err != nil {
+			return &out, err
+		}
+	}
+}
+
+// WaitJobResult waits for the job to finish and returns its result
+// bytes (byte-identical to the synchronous endpoint's response). A job
+// that terminates failed returns an error matching ErrJobFailed. The
+// rare in-flight answer between the terminal status and the result fetch
+// honors the server's Retry-After hint before trying again.
+func (c *Client) WaitJobResult(ctx context.Context, id string) ([]byte, error) {
+	st, err := c.WaitJob(ctx, id)
+	if err != nil {
+		return nil, err
+	}
+	if st.State == lwmapi.JobFailed {
+		return nil, fmt.Errorf("lwmclient: job %s failed after %d attempt(s): %s: %w",
+			id, st.Attempt, st.Error, ErrJobFailed)
+	}
+	for {
+		raw, err := c.JobResult(ctx, id)
+		if err == nil {
+			return raw, nil
+		}
+		if !errors.Is(err, ErrJobNotReady) {
+			return nil, err
+		}
+		delay := time.Second
+		var he *HTTPError
+		if errors.As(err, &he) && he.RetryAfter > 0 {
+			delay = he.RetryAfter
+		}
+		if serr := sleepCtx(ctx, delay); serr != nil {
+			return nil, fmt.Errorf("lwmclient: waiting for job %s result: %w", id, serr)
+		}
+	}
+}

@@ -9,7 +9,9 @@ cd "$(dirname "$0")/.."
 
 echo "== tier 1: build + tests =="
 go build ./...
-go test ./...
+# -shuffle=on randomizes in-package test order so hidden inter-test
+# state dependencies surface here (the seed prints on failure).
+go test -shuffle=on ./...
 
 echo "== tier 2: vet + race detector =="
 go vet ./...
