@@ -81,6 +81,7 @@ func cmdBench(args []string) error {
 	stats := fs.Bool("stats", false, "record engine/oracle counter deltas (pool fan-outs, speculation commits/repairs, oracle hit rate) in the output")
 	storeMode := fs.Bool("store", false, "benchmark the design registry instead: repeat remote detects inline vs by reference")
 	remote := fs.String("remote", "", "lwmd daemon address for -store (empty: boot an in-process daemon)")
+	apiKeyFlag(fs)
 	repeats := fs.Int("repeats", 12, "detect calls per timing loop in -store mode")
 	if err := fs.Parse(args); err != nil {
 		return err

@@ -44,6 +44,7 @@ func cmdJob(args []string) error {
 func cmdJobSubmit(args []string) error {
 	fs := flag.NewFlagSet("job submit", flag.ExitOnError)
 	remote := fs.String("remote", "", "lwmd daemon address")
+	apiKeyFlag(fs)
 	payload := fs.String("payload", "", "file holding a raw JobRequest JSON document")
 	kind := fs.String("kind", "", "job kind for the convenience form: embed or verify")
 	in := fs.String("in", "", "design file (convenience form)")
@@ -123,6 +124,7 @@ func cmdJobSubmit(args []string) error {
 func cmdJobStatus(args []string) error {
 	fs := flag.NewFlagSet("job status", flag.ExitOnError)
 	remote := fs.String("remote", "", "lwmd daemon address")
+	apiKeyFlag(fs)
 	id := fs.String("id", "", "job ID")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -149,6 +151,7 @@ func cmdJobStatus(args []string) error {
 func cmdJobWait(args []string) error {
 	fs := flag.NewFlagSet("job wait", flag.ExitOnError)
 	remote := fs.String("remote", "", "lwmd daemon address")
+	apiKeyFlag(fs)
 	id := fs.String("id", "", "job ID")
 	out := fs.String("out", "", "result file (default stdout)")
 	timeout := fs.Duration("timeout", 10*time.Minute, "max time to wait for the job")

@@ -222,6 +222,7 @@ func cmdVerify(args []string) error {
 	budget := fs.Int("budget", 0, "control-step budget (0: critical path + 10%)")
 	workers := fs.Int("workers", 1, "parallel re-derivation workers (verdict is identical for any value)")
 	remote := fs.String("remote", "", "lwmd daemon address (empty: verify in-process)")
+	apiKeyFlag(fs)
 	ref := fs.String("ref", "", "design registry reference in place of -in (remote only; see lwm design put)")
 	trace := fs.Bool("trace", false, "print the span tree (engine stages, oracle recomputes, remote attempts) to stderr")
 	if err := fs.Parse(args); err != nil {
@@ -406,6 +407,7 @@ func cmdEmbed(args []string) error {
 	out := fs.String("out", "", "marked design output file")
 	recPath := fs.String("record", "", "detection record output file (JSON)")
 	remote := fs.String("remote", "", "lwmd daemon address (empty: embed in-process)")
+	apiKeyFlag(fs)
 	ref := fs.String("ref", "", "design registry reference in place of -in (remote only; see lwm design put)")
 	trace := fs.Bool("trace", false, "print the span tree (engine stages, oracle recomputes, remote attempts) to stderr")
 	if err := fs.Parse(args); err != nil {
@@ -510,6 +512,7 @@ func cmdDetect(args []string) error {
 	recPath := fs.String("record", "", "detection record file (JSON)")
 	workers := fs.Int("workers", 1, "parallel detection workers (output is identical for any value)")
 	remote := fs.String("remote", "", "lwmd daemon address (empty: detect in-process)")
+	apiKeyFlag(fs)
 	ref := fs.String("ref", "", "design registry reference in place of -in (remote only; see lwm design put)")
 	trace := fs.Bool("trace", false, "print the span tree (engine stages, oracle recomputes, remote attempts) to stderr")
 	if err := fs.Parse(args); err != nil {

@@ -16,8 +16,20 @@ import (
 	"localwm/lwmclient"
 )
 
+// apiKey carries the -api-key flag value into every remote client this
+// process builds. One process runs one subcommand, so a single value
+// suffices; the LWM_API_KEY environment variable is the default so
+// scripts need not repeat the key on every invocation.
+var apiKey string
+
+// apiKeyFlag registers -api-key on a remote-capable subcommand.
+func apiKeyFlag(fs *flag.FlagSet) {
+	fs.StringVar(&apiKey, "api-key", os.Getenv("LWM_API_KEY"),
+		"tenant API key for a daemon running -tenants-file (default $LWM_API_KEY)")
+}
+
 func newRemoteClient(addr string) (*lwmclient.Client, error) {
-	return lwmclient.New(lwmclient.Config{BaseURL: addr})
+	return lwmclient.New(lwmclient.Config{BaseURL: addr, APIKey: apiKey})
 }
 
 // checkRefFlag rejects -ref without -remote: references only mean
@@ -67,6 +79,7 @@ func cmdDesign(args []string) error {
 func cmdDesignPut(args []string) error {
 	fs := flag.NewFlagSet("design put", flag.ExitOnError)
 	remote := fs.String("remote", "", "lwmd daemon address")
+	apiKeyFlag(fs)
 	in := fs.String("in", "", "design file")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -98,6 +111,7 @@ func cmdDesignPut(args []string) error {
 func cmdDesignGet(args []string) error {
 	fs := flag.NewFlagSet("design get", flag.ExitOnError)
 	remote := fs.String("remote", "", "lwmd daemon address")
+	apiKeyFlag(fs)
 	ref := fs.String("ref", "", "design registry reference")
 	out := fs.String("o", "", "output file (default stdout)")
 	if err := fs.Parse(args); err != nil {

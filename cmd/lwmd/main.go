@@ -47,6 +47,16 @@
 // new work is rejected with 503 while queued and in-flight requests
 // finish, then the listener closes.
 //
+// Multi-tenancy: -tenants-file names a JSON file of tenants and their
+// API keys; with it set, every /v1 request authenticates via the
+// X-Lwm-Api-Key header (or an Authorization: Bearer token) and runs
+// under its tenant's rate limit, store quota, and job-backlog bound,
+// with designs namespaced per tenant. SIGHUP re-reads the file without
+// a restart — keys can be added or revoked live. -allow-anonymous (or
+// "allow_anonymous" in the file) keeps admitting keyless requests
+// alongside keyed ones; without a tenants file the daemon behaves
+// exactly as before.
+//
 // The debug port (loopback by default; never expose it) serves expvar at
 // /debug/vars, the lwmd metrics snapshot at /debug/lwmd, and net/http/
 // pprof under /debug/pprof/.
@@ -76,6 +86,7 @@ import (
 	"localwm/internal/obs"
 	"localwm/internal/server"
 	"localwm/internal/store"
+	"localwm/internal/tenant"
 )
 
 func main() {
@@ -104,6 +115,8 @@ func run(args []string) error {
 	jobsWorkers := fs.Int("jobs-workers", 2, "concurrent async-job executions")
 	jobsMaxAttempts := fs.Int("jobs-max-attempts", 0, "default per-job retry budget (0: default 3)")
 	webhookSecret := fs.String("webhook-secret", "", "HMAC key for signing job-completion webhooks (empty: deliveries unsigned)")
+	tenantsFile := fs.String("tenants-file", "", "JSON tenants file enabling the API-key control plane (empty: single-tenant, no auth); SIGHUP re-reads it")
+	allowAnonymous := fs.Bool("allow-anonymous", false, "with -tenants-file, keep admitting keyless requests alongside keyed ones")
 	chaosOn := fs.Bool("chaos", false, "inject seeded transport faults into the /v1 API (testing only, never production)")
 	chaosSeed := fs.Int64("chaos-seed", 1, "fault-injection seed; a given seed and request order replays the same faults")
 	logLevel := fs.String("log-level", "info", "log level: debug, info, warn, or error")
@@ -121,6 +134,16 @@ func run(args []string) error {
 		return err
 	}
 
+	var reg *tenant.Registry
+	if *tenantsFile != "" {
+		reg, err = tenant.Load(*tenantsFile)
+		if err != nil {
+			return fmt.Errorf("loading tenants file: %w", err)
+		}
+		logger.Info("tenant control plane enabled", "file", *tenantsFile,
+			"tenants", len(reg.All()), "allow_anonymous", *allowAnonymous || reg.AllowAnonymous())
+	}
+
 	st, err := store.Open(store.Config{Dir: *storeDir, Capacity: *storeCapacity})
 	if err != nil {
 		return fmt.Errorf("opening design registry: %w", err)
@@ -130,13 +153,22 @@ func run(args []string) error {
 		logger.Info("design registry persistent", "dir", *storeDir, "entries", st.Len())
 	}
 
-	jm, err := jobs.Open(jobs.Config{
+	jcfg := jobs.Config{
 		Dir:                *jobsDir,
 		Workers:            *jobsWorkers,
 		DefaultMaxAttempts: *jobsMaxAttempts,
 		Webhook:            jobs.WebhookConfig{Secret: *webhookSecret},
 		Logger:             logger,
-	})
+	}
+	if reg != nil {
+		jcfg.SecretFor = func(id string) string {
+			if t := reg.ByID(id); t != nil {
+				return t.WebhookSecret
+			}
+			return ""
+		}
+	}
+	jm, err := jobs.Open(jcfg)
 	if err != nil {
 		return fmt.Errorf("opening job store: %w", err)
 	}
@@ -158,6 +190,8 @@ func run(args []string) error {
 		Logger:           logger,
 		Store:            st,
 		Jobs:             jm,
+		Tenants:          reg,
+		AllowAnonymous:   *allowAnonymous,
 	}
 	if *chaosOn {
 		ccfg := chaos.Default(*chaosSeed)
@@ -209,6 +243,23 @@ func run(args []string) error {
 
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	// SIGHUP hot-reloads the tenants file: keys appear/vanish for the
+	// very next request, no restart, no dropped connections. A reload
+	// that fails to parse keeps serving the previous tenant set.
+	if reg != nil {
+		hup := make(chan os.Signal, 1)
+		signal.Notify(hup, syscall.SIGHUP)
+		go func() {
+			for range hup {
+				if err := reg.Reload(); err != nil {
+					logger.Error("tenants reload failed, keeping previous set", "err", err)
+					continue
+				}
+				logger.Info("tenants reloaded", "file", *tenantsFile, "tenants", len(reg.All()))
+			}
+		}()
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)

@@ -30,6 +30,7 @@
 package jobs
 
 import (
+	"context"
 	"crypto/rand"
 	"encoding/hex"
 	"encoding/json"
@@ -56,6 +57,10 @@ const (
 type Job struct {
 	// ID is the job's process-unique identifier ("j<hex>").
 	ID string `json:"id"`
+	// Tenant is the submitting tenant's ID ("" = anonymous). Persisted so
+	// job visibility and webhook-secret selection survive a restart; the
+	// server treats a cross-tenant job ID as not found.
+	Tenant string `json:"tenant,omitempty"`
 	// Kind is the engine entry point: embed, detect, or verify.
 	Kind string `json:"kind"`
 	// Payload is the synchronous endpoint's request envelope, verbatim.
@@ -111,6 +116,25 @@ func (j *Job) Status() lwmapi.JobStatus {
 func (j *Job) clone() *Job {
 	c := *j
 	return &c
+}
+
+// tenantKey carries the executing job's tenant ID through the attempt
+// context, so the ExecFunc signature stays tenant-agnostic.
+type tenantKey struct{}
+
+// WithTenant returns a context carrying the submitting tenant's ID. The
+// worker pool installs it on every attempt context; executors that
+// namespace their reads (the server's design-ref resolution) recover it
+// with TenantFrom.
+func WithTenant(ctx context.Context, tenant string) context.Context {
+	return context.WithValue(ctx, tenantKey{}, tenant)
+}
+
+// TenantFrom returns the tenant ID installed by WithTenant, or "" (the
+// anonymous namespace) when absent.
+func TenantFrom(ctx context.Context) string {
+	t, _ := ctx.Value(tenantKey{}).(string)
+	return t
 }
 
 // jobSeq breaks ties if the random source ever repeats in-process.

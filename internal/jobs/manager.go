@@ -22,6 +22,11 @@ var (
 	// ErrBacklogFull means the queued-job backlog is at capacity; the
 	// submitter should retry after backing off (HTTP 429).
 	ErrBacklogFull = errors.New("jobs: backlog full")
+	// ErrTenantBacklogFull means the submitting tenant's own backlog
+	// bound is exhausted while the global backlog still has room; the
+	// server maps it to 429 tenant_rate_limited (one caller's throttle,
+	// not daemon-wide pressure).
+	ErrTenantBacklogFull = errors.New("jobs: tenant backlog full")
 	// ErrClosed means the manager no longer accepts submissions because
 	// the daemon is shutting down (HTTP 503).
 	ErrClosed = errors.New("jobs: closed, not accepting work")
@@ -58,6 +63,11 @@ type Config struct {
 	Retry *RetryPolicy
 	// Webhook parameterizes terminal-status push delivery.
 	Webhook WebhookConfig
+	// SecretFor, when non-nil, resolves a tenant's webhook signing secret
+	// at delivery time (so a SIGHUP-rotated secret signs the very next
+	// push). An empty return falls back to Webhook.Secret. Only the
+	// tenant ID is persisted with the job — secrets never touch the WAL.
+	SecretFor func(tenant string) string
 	// Retention bounds retained terminal jobs: beyond it the oldest are
 	// evicted (a drop record makes the eviction durable). Zero defaults
 	// to 4096.
@@ -132,6 +142,12 @@ type Submission struct {
 	WebhookURL     string
 	IdempotencyKey string
 	MaxAttempts    int
+	// Tenant is the submitting tenant's ID ("" = anonymous); it scopes
+	// job visibility, backlog accounting, and webhook-secret selection.
+	Tenant string
+	// MaxBacklog, when positive, bounds how many of Tenant's jobs may be
+	// queued at once; beyond it Submit returns ErrTenantBacklogFull.
+	MaxBacklog int
 }
 
 // Manager is the durable job store plus its worker pool. Safe for
@@ -142,14 +158,15 @@ type Manager struct {
 	exec ExecFunc // set by Start
 	wal  *jwal    // nil when in-memory only
 
-	mu     sync.Mutex
-	cond   *sync.Cond // signals workers when runq grows or the manager stops
-	jobs   map[string]*tracked
-	byIdem map[string]string // idempotency key → job ID
-	runq   []string          // FIFO of queued job IDs ready to execute
-	term   []string          // terminal job IDs in termination order
-	closed bool
-	killed bool
+	mu       sync.Mutex
+	cond     *sync.Cond // signals workers when runq grows or the manager stops
+	jobs     map[string]*tracked
+	byIdem   map[string]string // idempotency key → job ID
+	runq     []string          // FIFO of queued job IDs ready to execute
+	term     []string          // terminal job IDs in termination order
+	queuedBy map[string]int    // queued jobs per tenant, for backlog bounds
+	closed   bool
+	killed   bool
 
 	ctx     context.Context // root of every execution and delivery
 	cancel  context.CancelFunc
@@ -169,9 +186,10 @@ type Manager struct {
 func Open(cfg Config) (*Manager, error) {
 	cfg = cfg.withDefaults()
 	m := &Manager{
-		cfg:    cfg,
-		jobs:   make(map[string]*tracked),
-		byIdem: make(map[string]string),
+		cfg:      cfg,
+		jobs:     make(map[string]*tracked),
+		byIdem:   make(map[string]string),
+		queuedBy: make(map[string]int),
 	}
 	m.cond = sync.NewCond(&m.mu)
 	m.ctx, m.cancel = context.WithCancel(context.Background())
@@ -299,6 +317,9 @@ func (m *Manager) recover() {
 	m.runq = queuedIDs
 	m.term = termIDs
 	m.queued.Store(int64(len(queuedIDs)))
+	for _, id := range queuedIDs {
+		m.queuedBy[m.jobs[id].job.Tenant]++
+	}
 	for _, id := range termIDs {
 		t := m.jobs[id]
 		if t.job.WebhookURL != "" && !t.job.WebhookDelivered {
@@ -404,9 +425,13 @@ func (m *Manager) Submit(s Submission) (job *Job, created bool, err error) {
 	if m.queued.Load() >= int64(m.cfg.MaxQueued) {
 		return nil, false, ErrBacklogFull
 	}
+	if s.MaxBacklog > 0 && m.queuedBy[s.Tenant] >= s.MaxBacklog {
+		return nil, false, ErrTenantBacklogFull
+	}
 	now := nowNano()
 	j := &Job{
 		ID:              newJobID(),
+		Tenant:          s.Tenant,
 		Kind:            s.Kind,
 		Payload:         s.Payload,
 		WebhookURL:      s.WebhookURL,
@@ -426,6 +451,7 @@ func (m *Manager) Submit(s Submission) (job *Job, created bool, err error) {
 	}
 	m.runq = append(m.runq, j.ID)
 	m.queued.Add(1)
+	m.queuedBy[j.Tenant]++
 	m.submitted.Add(1)
 	m.logJob(j, "")
 	m.cond.Signal()
@@ -508,6 +534,7 @@ func (m *Manager) work() {
 		t.job.UpdatedUnixNano = nowNano()
 		appendErr := m.appendLocked(recKindState, transitionOf(t.job))
 		m.queued.Add(-1)
+		m.dropQueuedByLocked(t.job.Tenant)
 		m.running.Add(1)
 		m.notifyLocked(t)
 		job := t.job.clone()
@@ -529,7 +556,8 @@ func (m *Manager) work() {
 // a job-linked trace, so engine spans and log lines correlate on the
 // job's ID.
 func (m *Manager) runAttempt(job *Job) ([]byte, error) {
-	ctx := obs.WithTrace(m.ctx, obs.NewTrace(obs.TraceID("job-"+job.ID)))
+	ctx := WithTenant(m.ctx, job.Tenant)
+	ctx = obs.WithTrace(ctx, obs.NewTrace(obs.TraceID("job-"+job.ID)))
 	ctx, span := obs.StartSpan(ctx, "job.attempt")
 	span.SetAttr("job_id", job.ID)
 	span.SetAttr("attempt", job.Attempt)
@@ -585,6 +613,7 @@ func (m *Manager) finishAttempt(id string, result []byte, err error) {
 		// meanwhile. The job is already durable as queued: a crash before
 		// the timer fires re-queues it immediately on the next Open.
 		m.queued.Add(1)
+		m.queuedBy[t.job.Tenant]++
 		delay := m.cfg.Retry.Delay(t.job.Attempt, 0)
 		time.AfterFunc(delay, func() { m.enqueue(id) })
 	case StateDone, StateFailed:
@@ -607,6 +636,21 @@ func transitionOf(j *Job) stateRecord {
 		tr.Result = j.Result
 	}
 	return tr
+}
+
+// dropQueuedByLocked debits a tenant's queued count, pruning the map
+// entry at zero. Caller holds mu.
+func (m *Manager) dropQueuedByLocked(tenant string) {
+	if m.queuedBy[tenant]--; m.queuedBy[tenant] <= 0 {
+		delete(m.queuedBy, tenant)
+	}
+}
+
+// QueuedFor reports how many of a tenant's jobs are currently queued.
+func (m *Manager) QueuedFor(tenant string) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.queuedBy[tenant]
 }
 
 // enqueue puts a retry-delayed job back on the run queue.
@@ -652,7 +696,16 @@ func (m *Manager) pushWebhookLocked(job *Job) {
 	m.hooks.Add(1)
 	go func() {
 		defer m.hooks.Done()
-		attempts, delivered := deliverWebhook(m.ctx, &m.cfg.Webhook, m.cfg.Logger, job)
+		// Per-tenant webhook secrets resolve at delivery time (SecretFor
+		// reads the hot-reloadable tenant registry), so a rotated secret
+		// signs this push even if the job predates the rotation.
+		hookCfg := m.cfg.Webhook
+		if m.cfg.SecretFor != nil {
+			if secret := m.cfg.SecretFor(job.Tenant); secret != "" {
+				hookCfg.Secret = secret
+			}
+		}
+		attempts, delivered := deliverWebhook(m.ctx, &hookCfg, m.cfg.Logger, job)
 		if delivered {
 			m.hookOK.Add(1)
 		} else {

@@ -1,0 +1,178 @@
+package jobs
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"localwm/lwmapi"
+)
+
+func TestTenantBacklogBound(t *testing.T) {
+	m, err := Open(Config{Workers: 1, MaxQueued: 100, Retry: fastRetry()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No executor started: everything stays queued.
+	defer m.Close(context.Background())
+
+	for i := 0; i < 2; i++ {
+		mustSubmit(t, m, Submission{Tenant: "acme", MaxBacklog: 2})
+	}
+	if _, _, err := m.Submit(Submission{
+		Kind: "embed", Payload: json.RawMessage(`{"n":1}`),
+		Tenant: "acme", MaxBacklog: 2,
+	}); !errors.Is(err, ErrTenantBacklogFull) {
+		t.Fatalf("third acme submit: err = %v, want ErrTenantBacklogFull", err)
+	}
+	// Another tenant — and the anonymous namespace — are unaffected.
+	mustSubmit(t, m, Submission{Tenant: "globex", MaxBacklog: 2})
+	mustSubmit(t, m, Submission{})
+	if got := m.QueuedFor("acme"); got != 2 {
+		t.Fatalf("QueuedFor(acme) = %d, want 2", got)
+	}
+	// Unlimited (zero) bound never trips, whatever the tenant's depth.
+	for i := 0; i < 10; i++ {
+		mustSubmit(t, m, Submission{Tenant: "globex"})
+	}
+}
+
+func TestTenantBacklogDrainsAsJobsRun(t *testing.T) {
+	m, err := Open(Config{Workers: 2, MaxQueued: 100, Retry: fastRetry()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close(context.Background())
+	m.Start(echoExec)
+
+	j := mustSubmit(t, m, Submission{Tenant: "acme", MaxBacklog: 1})
+	waitTerminal(t, m, j.ID)
+	// The slot frees once the job leaves the queue.
+	deadline := time.Now().Add(5 * time.Second)
+	for m.QueuedFor("acme") != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("QueuedFor(acme) stuck at %d", m.QueuedFor("acme"))
+		}
+		time.Sleep(time.Millisecond)
+	}
+	j2 := mustSubmit(t, m, Submission{Tenant: "acme", MaxBacklog: 1})
+	waitTerminal(t, m, j2.ID)
+}
+
+func TestTenantPersistsAcrossRestart(t *testing.T) {
+	dir := t.TempDir()
+	var id string
+	{
+		m, err := Open(Config{Dir: dir, Workers: 1, Retry: fastRetry()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Never started: the job stays queued in the WAL.
+		id = mustSubmit(t, m, Submission{Tenant: "acme", MaxBacklog: 5}).ID
+		if err := m.Close(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m, err := Open(Config{Dir: dir, Workers: 1, Retry: fastRetry()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close(context.Background())
+	j, ok := m.Get(id)
+	if !ok || j.Tenant != "acme" {
+		t.Fatalf("replayed job tenant: ok=%v job=%+v", ok, j)
+	}
+	if got := m.QueuedFor("acme"); got != 1 {
+		t.Fatalf("replayed QueuedFor(acme) = %d, want 1", got)
+	}
+}
+
+func TestWebhookTenantSecret(t *testing.T) {
+	var mu sync.Mutex
+	sigByTenant := map[string]string{}
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		// One delivery per tenant in this test, keyed by the idempotency
+		// key's job ID captured below via the tenant lookup.
+		sigByTenant[r.Header.Get("X-Lwm-Test-Job")] = r.Header.Get(lwmapi.WebhookSignatureHeader)
+		mu.Unlock()
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer srv.Close()
+
+	// The header above can't know the tenant; record by job ID instead.
+	// Wrap the default transport to tag each request with its job ID.
+	client := &http.Client{Transport: roundTripFunc(func(r *http.Request) (*http.Response, error) {
+		key := r.Header.Get(lwmapi.WebhookIdempotencyHeader)
+		r.Header.Set("X-Lwm-Test-Job", key)
+		return http.DefaultTransport.RoundTrip(r)
+	})}
+
+	m, err := Open(Config{
+		Workers: 1, Retry: fastRetry(),
+		Webhook: WebhookConfig{Secret: "global-secret", HTTPClient: client, Retry: fastRetry()},
+		SecretFor: func(tenant string) string {
+			if tenant == "acme" {
+				return "acme-secret"
+			}
+			return "" // fall back to the global secret
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close(context.Background())
+	m.Start(echoExec)
+
+	jA := mustSubmit(t, m, Submission{Tenant: "acme", WebhookURL: srv.URL})
+	jAnon := mustSubmit(t, m, Submission{WebhookURL: srv.URL})
+	waitTerminal(t, m, jA.ID)
+	waitTerminal(t, m, jAnon.ID)
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		mu.Lock()
+		n := len(sigByTenant)
+		mu.Unlock()
+		if n == 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("got %d deliveries, want 2", n)
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	for key, sig := range sigByTenant {
+		var j *Job
+		var secret string
+		switch key {
+		case WebhookIdempotencyKey(jA.ID, StateDone):
+			j, secret = jA, "acme-secret"
+		case WebhookIdempotencyKey(jAnon.ID, StateDone):
+			j, secret = jAnon, "global-secret"
+		default:
+			t.Fatalf("unexpected delivery key %q", key)
+		}
+		done, ok := m.Get(j.ID)
+		if !ok {
+			t.Fatalf("job %s gone", j.ID)
+		}
+		body, _ := json.Marshal(done.Status())
+		if !VerifyWebhook(secret, key, body, sig) {
+			t.Errorf("job %s: signature not minted with %s", j.ID, secret)
+		}
+	}
+}
+
+// roundTripFunc adapts a function to http.RoundTripper.
+type roundTripFunc func(*http.Request) (*http.Response, error)
+
+func (f roundTripFunc) RoundTrip(r *http.Request) (*http.Response, error) { return f(r) }

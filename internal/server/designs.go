@@ -1,6 +1,7 @@
 package server
 
 import (
+	"errors"
 	"net/http"
 	"strings"
 
@@ -18,6 +19,12 @@ import (
 // POST is accepted as an alias of PUT: the operation is idempotent
 // (content addressing makes re-putting a no-op), and some proxies only
 // speak POST.
+//
+// Both operations run in the request tenant's namespace: a put derives a
+// tenant-salted ref and counts against the tenant's store quota, and a
+// get only resolves refs the same tenant put — another tenant's ref (or
+// an anonymous probe of a tenant's ref) is a plain 404, never an
+// existence leak.
 
 // handleDesigns dispatches the two registry operations by method+path.
 // The admission path has already filtered methods down to PUT/POST/GET.
@@ -28,7 +35,7 @@ func (s *Server) handleDesigns(r *http.Request) (any, error) {
 		if !hasRef || ref == "" {
 			return nil, badRequest("GET needs a reference: /v1/designs/{ref}")
 		}
-		return s.handleGetDesign(ref)
+		return s.handleGetDesign(tenantFrom(r.Context()).ns, ref)
 	case hasRef && ref != "":
 		return nil, badRequest("PUT takes no reference in the path: the registry derives it from the design")
 	default:
@@ -41,7 +48,17 @@ func (s *Server) handlePutDesign(r *http.Request) (any, error) {
 	if err := decode(r, &req); err != nil {
 		return nil, err
 	}
-	d, created, err := s.store.Put(req.Design)
+	tn := tenantFrom(r.Context())
+	var maxBytes, maxEntries int64
+	if tn.t != nil {
+		maxBytes, maxEntries = tn.t.MaxStoreBytes, tn.t.MaxStoreEntries
+	}
+	d, created, err := s.store.PutOwned(tn.ns, req.Design, maxBytes, maxEntries)
+	if errors.Is(err, store.ErrQuotaExceeded) {
+		s.meter.QuotaDenied(tn.ns)
+		return nil, &apiError{status: http.StatusRequestEntityTooLarge,
+			code: lwmapi.CodeTenantQuotaExceeded, msg: err.Error()}
+	}
 	if err != nil {
 		return nil, badRequest("design: %v", err)
 	}
@@ -53,11 +70,11 @@ func (s *Server) handlePutDesign(r *http.Request) (any, error) {
 	}, nil
 }
 
-func (s *Server) handleGetDesign(ref string) (any, error) {
+func (s *Server) handleGetDesign(ns, ref string) (any, error) {
 	if !store.ValidRef(ref) {
 		return nil, badRequest("ref: not a registry reference (want 64 lowercase hex digits)")
 	}
-	d, ok := s.store.Get(ref)
+	d, ok := s.store.GetOwned(ns, ref)
 	if !ok {
 		return nil, refNotFound(ref)
 	}

@@ -84,14 +84,16 @@ func parseDesign(field, text string) (*cdfg.Graph, error) {
 // resolveDesign turns a request's design choice — inline text or a
 // registry reference — into a graph. The reference wins when both are
 // set; an unresolvable reference is a 404 (never a silent fallback to
-// the inline text, so the caller can count misses and re-put).
+// the inline text, so the caller can count misses and re-put). Lookups
+// run in the context tenant's namespace: a ref put by another tenant is
+// indistinguishable from one that never existed.
 //
 // The returned shared flag is true when the graph IS the registry's
 // resident copy: read-only by contract, safe for concurrent oracle
 // queries, but never to be mutated or hooked with observeGraph. Callers
 // that mutate (embedding) must pass wantClone to get a private copy —
 // the clone's oracle starts cold, but the parse is still skipped.
-func (s *Server) resolveDesign(field, inline, ref string, wantClone bool) (g *cdfg.Graph, shared bool, err error) {
+func (s *Server) resolveDesign(ctx context.Context, field, inline, ref string, wantClone bool) (g *cdfg.Graph, shared bool, err error) {
 	if ref == "" {
 		g, err := parseDesign(field, inline)
 		return g, false, err
@@ -99,7 +101,7 @@ func (s *Server) resolveDesign(field, inline, ref string, wantClone bool) (g *cd
 	if !store.ValidRef(ref) {
 		return nil, false, badRequest("%s_ref: not a registry reference (want 64 lowercase hex digits)", field)
 	}
-	d, ok := s.store.Get(ref)
+	d, ok := s.store.GetOwned(tenantFrom(ctx).ns, ref)
 	if !ok {
 		return nil, false, refNotFound(ref)
 	}
@@ -112,8 +114,8 @@ func (s *Server) resolveDesign(field, inline, ref string, wantClone bool) (g *cd
 // resolveSuspect resolves a suspect design and parses its schedule
 // against it. Detection and verification only read the suspect graph,
 // so a ref-resolved suspect shares the registry's warmed copy.
-func (s *Server) resolveSuspect(field string, sp lwmapi.Suspect) (*cdfg.Graph, *sched.Schedule, bool, error) {
-	g, shared, err := s.resolveDesign(field, sp.Design, sp.DesignRef, false)
+func (s *Server) resolveSuspect(ctx context.Context, field string, sp lwmapi.Suspect) (*cdfg.Graph, *sched.Schedule, bool, error) {
+	g, shared, err := s.resolveDesign(ctx, field, sp.Design, sp.DesignRef, false)
 	if err != nil {
 		return nil, nil, false, err
 	}
@@ -175,6 +177,7 @@ func (s *Server) handleEmbed(r *http.Request) (any, error) {
 // byte-identity contract between POST /v1/embed and an embed job's
 // stored result rests on the two sharing this code.
 func (s *Server) runEmbed(ctx context.Context, req *lwmapi.EmbedRequest) (any, error) {
+	defer s.meterEngine(ctx, time.Now())
 	normalizeParams(&req.MarkParams)
 	if req.Signature == "" {
 		return nil, badRequest("signature: required")
@@ -185,7 +188,7 @@ func (s *Server) runEmbed(ctx context.Context, req *lwmapi.EmbedRequest) (any, e
 	// Embedding mutates the graph, so a ref-resolved design is cloned:
 	// the registry copy stays pristine and the clone is request-private
 	// (safe to trace).
-	g, _, err := s.resolveDesign("design", req.Design, req.DesignRef, true)
+	g, _, err := s.resolveDesign(ctx, "design", req.Design, req.DesignRef, true)
 	if err != nil {
 		return nil, err
 	}
@@ -251,6 +254,7 @@ func (s *Server) handleDetect(r *http.Request) (any, error) {
 
 // runDetect executes an already-decoded detect request (see runEmbed).
 func (s *Server) runDetect(ctx context.Context, req *lwmapi.DetectRequest) (any, error) {
+	defer s.meterEngine(ctx, time.Now())
 	if len(req.Suspects) == 0 {
 		return nil, badRequest("suspects: at least one required")
 	}
@@ -259,7 +263,7 @@ func (s *Server) runDetect(ctx context.Context, req *lwmapi.DetectRequest) (any,
 	}
 	suspects := make([]engine.Suspect, len(req.Suspects))
 	for i, sp := range req.Suspects {
-		g, sc, shared, err := s.resolveSuspect(fieldIndex("suspects", i), sp)
+		g, sc, shared, err := s.resolveSuspect(ctx, fieldIndex("suspects", i), sp)
 		if err != nil {
 			return nil, err
 		}
@@ -282,13 +286,14 @@ func (s *Server) handleVerify(r *http.Request) (any, error) {
 
 // runVerify executes an already-decoded verify request (see runEmbed).
 func (s *Server) runVerify(ctx context.Context, req *lwmapi.VerifyRequest) (any, error) {
+	defer s.meterEngine(ctx, time.Now())
 	normalizeParams(&req.MarkParams)
 	if req.Signature == "" {
 		return nil, badRequest("signature: required")
 	}
 	// Verification clones internally before re-deriving, so a
 	// ref-resolved suspect shares the registry copy like detection does.
-	g, sc, shared, err := s.resolveSuspect("suspect",
+	g, sc, shared, err := s.resolveSuspect(ctx, "suspect",
 		lwmapi.Suspect{Design: req.Design, DesignRef: req.DesignRef, Schedule: req.Schedule})
 	if err != nil {
 		return nil, err

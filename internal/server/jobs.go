@@ -36,6 +36,11 @@ import (
 // Definite failures (bad payload, engine 4xx) come back Permanent so the
 // job fails without burning its retry budget.
 func (s *Server) execJob(ctx context.Context, kind string, payload json.RawMessage) ([]byte, error) {
+	// The attempt context carries only the persisted tenant ID (the
+	// jobs package stays control-plane-agnostic); rebuild the full
+	// tenant identity so design-ref resolution runs in the submitting
+	// tenant's namespace and engine time is metered to it.
+	ctx = withTenantInfo(ctx, s.tenantByID(jobs.TenantFrom(ctx)))
 	var (
 		resp any
 		err  error
@@ -119,14 +124,36 @@ func (s *Server) handleJobSubmit(r *http.Request) (any, error) {
 	if err != nil {
 		return nil, badRequest("%v", err)
 	}
-	job, _, err := s.jobs.Submit(jobs.Submission{
+	tn := tenantFrom(r.Context())
+	idem := req.IdempotencyKey
+	if idem != "" {
+		// Scope dedup keys by namespace: tenant IDs cannot contain ":"
+		// (tenant.ValidID), so two tenants — or a tenant and an anonymous
+		// caller — reusing the same key can never collide on (or observe)
+		// each other's jobs.
+		idem = tn.ns + ":" + idem
+	}
+	maxBacklog := 0
+	if tn.t != nil {
+		maxBacklog = tn.t.MaxJobBacklog
+	}
+	job, created, err := s.jobs.Submit(jobs.Submission{
 		Kind:           req.Kind,
 		Payload:        payload,
 		WebhookURL:     req.WebhookURL,
-		IdempotencyKey: req.IdempotencyKey,
+		IdempotencyKey: idem,
 		MaxAttempts:    req.MaxAttempts,
+		Tenant:         tn.ns,
+		MaxBacklog:     maxBacklog,
 	})
 	switch {
+	case errors.Is(err, jobs.ErrTenantBacklogFull):
+		// The tenant's own backlog bound, not daemon-wide pressure:
+		// answer tenant_rate_limited so shared clients back this caller
+		// off without counting the 429 against the service's health.
+		s.meter.RateLimited(tn.ns)
+		return nil, &apiError{status: http.StatusTooManyRequests, code: lwmapi.CodeTenantRateLimited,
+			msg: "tenant job backlog full, retry later", retryAfter: s.cfg.RetryAfter}
 	case errors.Is(err, jobs.ErrBacklogFull):
 		return nil, &apiError{status: http.StatusTooManyRequests, code: lwmapi.CodeQueueFull,
 			msg: "job backlog full, retry later", retryAfter: s.cfg.RetryAfter}
@@ -135,6 +162,9 @@ func (s *Server) handleJobSubmit(r *http.Request) (any, error) {
 			msg: "draining", retryAfter: s.cfg.RetryAfter}
 	case err != nil:
 		return nil, err
+	}
+	if created {
+		s.meter.JobSubmitted(tn.ns)
 	}
 	// Re-read for the current version: a worker may have started the job
 	// already (dedup hits return the existing job wherever it got to).
@@ -151,11 +181,12 @@ func (s *Server) handleJobGet(r *http.Request) (any, error) {
 	if !ok {
 		return nil, badRequest("path: want /v1/jobs/{id}[/result]")
 	}
+	ns := tenantFrom(r.Context()).ns
 	switch sub {
 	case "":
-		return s.jobStatus(r, id)
+		return s.jobStatus(r, ns, id)
 	case "result":
-		return s.jobResult(id)
+		return s.jobResult(ns, id)
 	default:
 		return nil, badRequest("path: unknown job subresource %q", sub)
 	}
@@ -164,8 +195,9 @@ func (s *Server) handleJobGet(r *http.Request) (any, error) {
 // jobStatus answers GET /v1/jobs/{id}. With ?wait= it long-polls: the
 // response is delayed until the job's version passes ?since= (or the
 // wait expires, answering the current state) — the poll-free path for
-// clients that can't take webhooks.
-func (s *Server) jobStatus(r *http.Request, id string) (any, error) {
+// clients that can't take webhooks. Visibility is tenant-scoped: a job
+// submitted by another tenant answers exactly like an unknown ID.
+func (s *Server) jobStatus(r *http.Request, ns, id string) (any, error) {
 	q := r.URL.Query()
 	var wait time.Duration
 	if ws := q.Get("wait"); ws != "" {
@@ -185,7 +217,7 @@ func (s *Server) jobStatus(r *http.Request, id string) (any, error) {
 	}
 	if wait <= 0 {
 		job, v, ok := s.jobs.GetVersion(id)
-		if !ok {
+		if !ok || job.Tenant != ns {
 			return nil, jobNotFound(id)
 		}
 		st := job.Status()
@@ -201,7 +233,7 @@ func (s *Server) jobStatus(r *http.Request, id string) (any, error) {
 	ctx, cancel := context.WithTimeout(r.Context(), wait)
 	defer cancel()
 	job, v, err := s.jobs.Wait(ctx, id, since)
-	if errors.Is(err, jobs.ErrNotFound) {
+	if errors.Is(err, jobs.ErrNotFound) || (job != nil && job.Tenant != ns) {
 		return nil, jobNotFound(id)
 	}
 	st := job.Status()
@@ -213,9 +245,9 @@ func (s *Server) jobStatus(r *http.Request, id string) (any, error) {
 // of a done job, verbatim. A job still in flight answers 409 with a
 // Retry-After hint (and retryable=true via the code table); a failed job
 // answers 410 carrying its final error.
-func (s *Server) jobResult(id string) (any, error) {
+func (s *Server) jobResult(ns, id string) (any, error) {
 	job, ok := s.jobs.Get(id)
-	if !ok {
+	if !ok || job.Tenant != ns {
 		return nil, jobNotFound(id)
 	}
 	switch job.State {
@@ -246,6 +278,14 @@ func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, lwmapi.CodeBadRequest, "path: want /v1/jobs/{id}/events")
 		return
 	}
+	// The SSE route bypasses the admission queue (see the file comment),
+	// so it authenticates here; it skips the token bucket — the stream
+	// holds one connection, it doesn't generate request volume.
+	tn, aerr := s.authenticate(r)
+	if aerr != nil {
+		writeError(w, aerr.status, aerr.code, aerr.msg)
+		return
+	}
 	flusher, canFlush := w.(http.Flusher)
 	if !canFlush {
 		writeError(w, http.StatusInternalServerError, lwmapi.CodeInternal, "streaming unsupported")
@@ -257,7 +297,10 @@ func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
 			since = v
 		}
 	}
-	if _, _, ok := s.jobs.GetVersion(id); !ok {
+	// Tenant scoping mirrors the status endpoint: a foreign job ID is
+	// indistinguishable from one that never existed. The job's tenant is
+	// immutable, so one check covers the whole stream.
+	if job, _, ok := s.jobs.GetVersion(id); !ok || job.Tenant != tn.ns {
 		writeError(w, http.StatusNotFound, lwmapi.CodeJobNotFound, "job "+id+": not found")
 		return
 	}

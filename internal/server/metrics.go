@@ -297,6 +297,9 @@ func (s *Server) MetricsHandler() http.Handler {
 		}
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		_ = s.reg.WritePrometheus(w)
+		// Tenant series are dynamic (the set changes on SIGHUP), so they
+		// render straight from the meter after the static registry.
+		s.meter.WritePrometheus(w, s.storeUsageOf)
 	})
 }
 
@@ -369,6 +372,7 @@ func (s *Server) snapshot() map[string]any {
 		"resident":           jc.Jobs,
 		"wal_bytes":          jc.WALBytes,
 	}
+	out["tenants"] = s.meter.Snapshot(s.storeUsageOf)
 	if s.cfg.Chaos != nil {
 		out["chaos"] = s.cfg.Chaos.Snapshot()
 	}

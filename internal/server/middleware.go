@@ -67,10 +67,18 @@ func writeError(w http.ResponseWriter, status int, code, msg string) {
 }
 
 // retryAfterSeconds renders Config.RetryAfter as the whole-second header
-// value shared by the 429 and drain-time 503 responses (rounded up so a
-// sub-second hint never becomes "0").
+// value shared by the 429 and drain-time 503 responses.
 func (s *Server) retryAfterSeconds() string {
-	return strconv.Itoa(int((s.cfg.RetryAfter + time.Second - 1) / time.Second))
+	return ceilSeconds(s.cfg.RetryAfter)
+}
+
+// ceilSeconds renders a backoff hint as a whole-second Retry-After
+// value, rounded up so a sub-second hint never becomes "0".
+func ceilSeconds(d time.Duration) string {
+	if d <= 0 {
+		d = time.Second
+	}
+	return strconv.Itoa(int((d + time.Second - 1) / time.Second))
 }
 
 // reqInfo is the per-request observability carrier: the admission path
@@ -243,6 +251,32 @@ func (s *Server) endpoint(name string, allow []string, handle func(r *http.Reque
 			writeError(w, http.StatusServiceUnavailable, lwmapi.CodeDraining, "draining")
 			return
 		}
+		// Tenant admission: authenticate, then spend one token from the
+		// tenant's bucket — both before the shared queue, so one tenant's
+		// burst is rejected at its own limit instead of consuming queue
+		// slots everyone shares. The 429 here is tenant_rate_limited with
+		// the bucket's own refill hint, distinct from queue_full: it means
+		// "you, specifically, back off", not daemon-wide pressure.
+		tn, aerr := s.authenticate(r)
+		if aerr != nil {
+			em.failed.Add(1)
+			setResult("unauthorized", aerr.msg)
+			writeError(w, aerr.status, aerr.code, aerr.msg)
+			return
+		}
+		if s.tenants != nil {
+			if ok, retryAfter := s.tenants.Allow(tn.t, time.Now()); !ok {
+				em.rejected.Add(1)
+				s.meter.RateLimited(tn.ns)
+				setResult("rate_limited", "")
+				w.Header().Set("Retry-After", ceilSeconds(retryAfter))
+				writeError(w, http.StatusTooManyRequests, lwmapi.CodeTenantRateLimited,
+					"tenant rate limit exhausted, back off")
+				return
+			}
+		}
+		s.meter.Request(tn.ns)
+		r = r.WithContext(withTenantInfo(r.Context(), tn))
 		r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
 
 		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
@@ -319,8 +353,7 @@ func (s *Server) endpoint(name string, allow []string, handle func(r *http.Reque
 			var ae *apiError
 			if errors.As(jobErr, &ae) {
 				if ae.retryAfter > 0 {
-					w.Header().Set("Retry-After",
-						strconv.Itoa(int((ae.retryAfter+time.Second-1)/time.Second)))
+					w.Header().Set("Retry-After", ceilSeconds(ae.retryAfter))
 				}
 				writeError(w, ae.status, ae.code, ae.msg)
 				return

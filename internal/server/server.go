@@ -48,6 +48,7 @@ import (
 	"localwm/internal/jobs"
 	"localwm/internal/obs"
 	"localwm/internal/store"
+	"localwm/internal/tenant"
 )
 
 // Endpoint names, used as queue and metrics keys.
@@ -107,6 +108,19 @@ type Config struct {
 	// follows the Store rule — whoever opened the manager closes it (the
 	// server closes only the in-memory default it opened itself).
 	Jobs *jobs.Manager
+	// Tenants, when non-nil, is the API-key control plane (lwmd
+	// -tenants-file): requests authenticate to a tenant, pass its token
+	// bucket before entering the admission queue, and operate in its
+	// namespace — tenant-salted design refs, scoped job visibility, store
+	// quotas on put. Nil serves the pre-tenant single-tenant daemon: every
+	// request anonymous, API keys ignored. The registry is hot-reloadable
+	// (SIGHUP in cmd/lwmd); the server reads it per request.
+	Tenants *tenant.Registry
+	// AllowAnonymous admits keyless requests alongside keyed ones when
+	// Tenants is set, ORed with the tenants file's allow_anonymous.
+	// Anonymous traffic runs unlimited in the "" namespace and is metered
+	// under the "anonymous" pseudo-tenant.
+	AllowAnonymous bool
 	// Chaos, when non-nil, wraps every /v1 API endpoint with the fault
 	// injector (lwmd -chaos) — latency, resets, 500s, truncated bodies,
 	// deterministically seeded. Liveness and stats endpoints are never
@@ -169,6 +183,8 @@ type Server struct {
 	reg      *obs.Registry
 	store    *store.Store
 	jobs     *jobs.Manager
+	tenants  *tenant.Registry // nil: single-tenant daemon
+	meter    *tenant.Meter
 	ownJobs  bool // the in-memory default is the server's to close
 	draining atomic.Bool
 
@@ -206,6 +222,8 @@ func New(cfg Config) *Server {
 		logger:  cfg.Logger,
 		store:   st,
 		jobs:    jm,
+		tenants: cfg.Tenants,
+		meter:   tenant.NewMeter(),
 		ownJobs: ownJobs,
 	}
 	s.reg = s.buildRegistry()

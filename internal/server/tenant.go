@@ -1,0 +1,115 @@
+package server
+
+import (
+	"context"
+	"net/http"
+	"strings"
+	"time"
+
+	"localwm/internal/tenant"
+	"localwm/lwmapi"
+)
+
+// Multi-tenant admission. With Config.Tenants set, every /v1 request
+// passes authentication (API key → tenant) and the tenant's token
+// bucket before it may enter an endpoint's bounded queue; the tenant
+// then rides the request context so handlers namespace their store and
+// job accesses. With no registry the daemon is exactly the single-tenant
+// service it was before tenancy existed: every request anonymous, keys
+// ignored, refs un-namespaced.
+
+// tenantInfo is one request's authenticated identity: ns is the
+// namespace scoping design refs and job visibility ("" = anonymous) and
+// t the registry record behind it — nil for anonymous traffic, and for
+// an async job whose tenant was revoked after submission (the namespace
+// stands so the job still resolves its own designs; only the limits
+// lookup is gone).
+type tenantInfo struct {
+	ns string
+	t  *tenant.Tenant
+}
+
+type tenantInfoKey struct{}
+
+func withTenantInfo(ctx context.Context, tn tenantInfo) context.Context {
+	return context.WithValue(ctx, tenantInfoKey{}, tn)
+}
+
+// tenantFrom recovers the request's (or job attempt's) tenant; the zero
+// tenantInfo is the anonymous namespace.
+func tenantFrom(ctx context.Context) tenantInfo {
+	tn, _ := ctx.Value(tenantInfoKey{}).(tenantInfo)
+	return tn
+}
+
+// tenantByID rebuilds a tenantInfo from a persisted tenant ID — the
+// async-job execution path, where only the ID survived in the WAL.
+func (s *Server) tenantByID(id string) tenantInfo {
+	tn := tenantInfo{ns: id}
+	if id != "" && s.tenants != nil {
+		tn.t = s.tenants.ByID(id)
+	}
+	return tn
+}
+
+// allowAnonymous reports whether keyless requests are admitted: always
+// on a daemon with no tenants file, otherwise the -allow-anonymous flag
+// ORed with the file's allow_anonymous — read per request, so a SIGHUP
+// reload flips it live.
+func (s *Server) allowAnonymous() bool {
+	return s.tenants == nil || s.cfg.AllowAnonymous || s.tenants.AllowAnonymous()
+}
+
+// apiKeyOf extracts the request's API key: the X-Lwm-Api-Key header,
+// else an Authorization bearer token.
+func apiKeyOf(r *http.Request) string {
+	if k := r.Header.Get(lwmapi.APIKeyHeader); k != "" {
+		return k
+	}
+	if tok, ok := strings.CutPrefix(r.Header.Get("Authorization"), "Bearer "); ok {
+		return strings.TrimSpace(tok)
+	}
+	return ""
+}
+
+// authenticate resolves the request to its tenant. The failure is a
+// ready-to-write 401 (tenant_unauthorized) — missing key on a keyed
+// daemon, or a key matching no tenant (including keys revoked by a
+// tenants-file reload, which stop authenticating on the very next
+// request).
+func (s *Server) authenticate(r *http.Request) (tenantInfo, *apiError) {
+	if s.tenants == nil {
+		return tenantInfo{}, nil
+	}
+	key := apiKeyOf(r)
+	if key == "" {
+		if s.allowAnonymous() {
+			return tenantInfo{}, nil
+		}
+		return tenantInfo{}, &apiError{status: http.StatusUnauthorized, code: lwmapi.CodeTenantUnauthorized,
+			msg: "api key required (" + lwmapi.APIKeyHeader + " header or Authorization: Bearer)"}
+	}
+	t := s.tenants.Authenticate(key)
+	if t == nil {
+		return tenantInfo{}, &apiError{status: http.StatusUnauthorized, code: lwmapi.CodeTenantUnauthorized,
+			msg: "api key not recognized"}
+	}
+	return tenantInfo{ns: t.ID, t: t}, nil
+}
+
+// meterEngine charges engine wall-clock time to the context's tenant;
+// call as `defer s.meterEngine(ctx, time.Now())` around an engine run.
+// Sync handlers and async job attempts both pass through here, so a
+// tenant's engine_ms covers its whole compute footprint.
+func (s *Server) meterEngine(ctx context.Context, start time.Time) {
+	s.meter.Engine(tenantFrom(ctx).ns, time.Since(start).Milliseconds())
+}
+
+// storeUsageOf adapts Store.Usage to the meter's snapshot callback,
+// folding the anonymous pseudo-tenant back to the store's "" namespace.
+func (s *Server) storeUsageOf(id string) (bytes, entries int64) {
+	if id == tenant.DefaultID {
+		id = ""
+	}
+	return s.store.Usage(id)
+}

@@ -26,6 +26,7 @@ package store
 import (
 	"crypto/sha256"
 	"encoding/hex"
+	"errors"
 	"fmt"
 	"hash/fnv"
 	"strings"
@@ -34,6 +35,13 @@ import (
 
 	"localwm/internal/cdfg"
 )
+
+// ErrQuotaExceeded rejects a put that would push its tenant past the
+// byte or entry quota supplied to PutOwned. The daemon maps it to 413
+// tenant_quota_exceeded. Quotas are enforced against the tenant's
+// current resident footprint, so LRU eviction (and re-putting smaller
+// designs) naturally frees headroom.
+var ErrQuotaExceeded = errors.New("store: tenant quota exceeded")
 
 // Config sizes the registry. The zero value is a usable in-memory-only
 // store with the documented defaults.
@@ -72,8 +80,11 @@ func (c Config) withDefaults() Config {
 // read-only — clone it before any mutation (embedding does).
 type Design struct {
 	// Ref is the content-addressed reference: lowercase hex SHA-256 of
-	// Text.
+	// Text, salted with Tenant when owned (see RefOfOwned).
 	Ref string
+	// Tenant is the owning tenant's ID, or "" for the anonymous
+	// single-tenant namespace. Only the owner can resolve the ref.
+	Tenant string
 	// Text is the canonical design serialization (cdfg.Write output).
 	Text string
 	// Graph is the parsed design with its PathOracle warmed for the
@@ -112,11 +123,19 @@ type shard struct {
 	capacity int
 }
 
+// tenantUsage is one tenant's resident footprint.
+type tenantUsage struct {
+	bytes, entries int64
+}
+
 // Store is the sharded registry. Safe for concurrent use.
 type Store struct {
 	cfg    Config
 	shards []*shard
 	wal    *wal // nil when in-memory only
+
+	usageMu sync.Mutex
+	usage   map[string]tenantUsage // resident footprint per tenant ("" = anonymous)
 
 	hits, misses, puts, evictions, compactions atomic.Uint64
 	entries, bytes                             atomic.Int64
@@ -132,7 +151,11 @@ func Open(cfg Config) (*Store, error) {
 	if perShard < 1 {
 		perShard = 1
 	}
-	s := &Store{cfg: cfg, shards: make([]*shard, cfg.Shards)}
+	s := &Store{
+		cfg:    cfg,
+		shards: make([]*shard, cfg.Shards),
+		usage:  make(map[string]tenantUsage),
+	}
 	for i := range s.shards {
 		s.shards[i] = &shard{byRef: make(map[string]*entry), capacity: perShard}
 	}
@@ -141,8 +164,8 @@ func Open(cfg Config) (*Store, error) {
 		if err != nil {
 			return nil, err
 		}
-		if err := w.replay(func(canonical string) error {
-			_, _, err := s.insertCanonical(canonical, false)
+		if err := w.replay(func(tenant, canonical string) error {
+			_, _, err := s.insertCanonical(tenant, canonical, false)
 			return err
 		}); err != nil {
 			w.close()
@@ -187,6 +210,25 @@ func RefOf(canonical string) string {
 	return hex.EncodeToString(sum[:])
 }
 
+// RefOfOwned returns the tenant-namespaced reference of a canonical
+// text: the tenant ID is folded into the hash (SHA-256 over
+// "tenant\n" + canonical — unambiguous because tenant IDs never contain
+// a newline), so the same design put by two tenants yields two
+// unrelated refs and neither tenant can predict — let alone resolve —
+// the other's. An empty tenant is the anonymous namespace and hashes
+// exactly as RefOf always has, keeping pre-tenant WALs and clients
+// valid.
+func RefOfOwned(tenant, canonical string) string {
+	if tenant == "" {
+		return RefOf(canonical)
+	}
+	h := sha256.New()
+	h.Write([]byte(tenant))
+	h.Write([]byte{'\n'})
+	h.Write([]byte(canonical))
+	return hex.EncodeToString(h.Sum(nil))
+}
+
 // ValidRef reports whether ref is syntactically a registry reference
 // (64 lowercase hex digits).
 func ValidRef(ref string) bool {
@@ -211,22 +253,53 @@ func (s *Store) shardFor(ref string) *shard {
 	return s.shards[h.Sum32()%uint32(len(s.shards))]
 }
 
-// Put registers a design given in any textual form: the text is
-// canonicalized, hashed, parsed, and its oracle warmed. A design
-// already resident is refreshed (moved to the front of its shard's LRU)
-// and returned with created=false. With persistence on, a genuinely new
-// design is appended to the write-ahead log before Put returns.
+// Put registers a design in the anonymous namespace. See PutOwned.
 func (s *Store) Put(text string) (d *Design, created bool, err error) {
+	return s.PutOwned("", text, 0, 0)
+}
+
+// PutOwned registers a design under a tenant's namespace: the text is
+// canonicalized, hashed (with the tenant folded in — see RefOfOwned),
+// parsed, and its oracle warmed. A design already resident is refreshed
+// (moved to the front of its shard's LRU) and returned with
+// created=false. With persistence on, a genuinely new design is
+// appended to the write-ahead log before PutOwned returns.
+//
+// maxBytes/maxEntries, when positive, bound the tenant's resident
+// footprint: a put that would exceed either returns ErrQuotaExceeded
+// (refreshes of already-resident designs always pass — they add
+// nothing). The check races only against the tenant's own concurrent
+// puts, so enforcement is exact under serial use and off by at most the
+// in-flight put count under contention.
+func (s *Store) PutOwned(tenant, text string, maxBytes, maxEntries int64) (d *Design, created bool, err error) {
 	canonical, err := Canonicalize(text)
 	if err != nil {
 		return nil, false, err
 	}
-	d, created, err = s.insertCanonical(canonical, true)
+	if maxBytes > 0 || maxEntries > 0 {
+		ref := RefOfOwned(tenant, canonical)
+		sh := s.shardFor(ref)
+		sh.mu.Lock()
+		_, resident := sh.byRef[ref]
+		sh.mu.Unlock()
+		if !resident {
+			s.usageMu.Lock()
+			u := s.usage[tenant]
+			over := (maxBytes > 0 && u.bytes+int64(len(canonical)) > maxBytes) ||
+				(maxEntries > 0 && u.entries+1 > maxEntries)
+			s.usageMu.Unlock()
+			if over {
+				return nil, false, fmt.Errorf("%w: tenant %q at %d bytes / %d entries",
+					ErrQuotaExceeded, tenant, u.bytes, u.entries)
+			}
+		}
+	}
+	d, created, err = s.insertCanonical(tenant, canonical, true)
 	if err != nil {
 		return nil, false, err
 	}
 	if created && s.wal != nil {
-		if werr := s.wal.appendPut(canonical, s.snapshotTexts); werr != nil {
+		if werr := s.wal.appendPut(tenant, canonical, s.snapshotTexts); werr != nil {
 			return nil, false, fmt.Errorf("store: wal append: %w", werr)
 		}
 		s.compactions.Store(s.wal.compactions())
@@ -234,13 +307,14 @@ func (s *Store) Put(text string) (d *Design, created bool, err error) {
 	return d, created, nil
 }
 
-// insertCanonical inserts an already-canonical text, building the
-// shared graph outside the shard lock (parse + oracle warmup is the
-// expensive half this registry exists to amortize; doing it unlocked
-// keeps concurrent puts of different designs from serializing). count
-// toggles the puts counter — WAL replay inserts without counting.
-func (s *Store) insertCanonical(canonical string, count bool) (*Design, bool, error) {
-	ref := RefOf(canonical)
+// insertCanonical inserts an already-canonical text under a tenant's
+// namespace, building the shared graph outside the shard lock (parse +
+// oracle warmup is the expensive half this registry exists to amortize;
+// doing it unlocked keeps concurrent puts of different designs from
+// serializing). count toggles the puts counter — WAL replay inserts
+// without counting.
+func (s *Store) insertCanonical(tenant, canonical string, count bool) (*Design, bool, error) {
+	ref := RefOfOwned(tenant, canonical)
 	sh := s.shardFor(ref)
 
 	// Fast path: already resident — refresh recency, done.
@@ -257,7 +331,7 @@ func (s *Store) insertCanonical(canonical string, count bool) (*Design, bool, er
 		return nil, false, fmt.Errorf("store: canonical text unparseable: %w", err)
 	}
 	warmOracle(g)
-	d := &Design{Ref: ref, Text: canonical, Graph: g}
+	d := &Design{Ref: ref, Tenant: tenant, Text: canonical, Graph: g}
 
 	sh.mu.Lock()
 	if e, ok := sh.byRef[ref]; ok { // raced with another put of the same design
@@ -278,23 +352,60 @@ func (s *Store) insertCanonical(canonical string, count bool) (*Design, bool, er
 
 	s.entries.Add(1)
 	s.bytes.Add(int64(len(canonical)))
+	s.addUsage(tenant, int64(len(canonical)), 1)
 	if count {
 		s.puts.Add(1)
 	}
 	if victim != nil {
 		s.entries.Add(-1)
 		s.bytes.Add(-int64(len(victim.d.Text)))
+		s.addUsage(victim.d.Tenant, -int64(len(victim.d.Text)), -1)
 		s.evictions.Add(1)
 	}
 	return d, true, nil
 }
 
-// Get resolves a reference to its resident design, refreshing its
-// recency. The boolean is false on a miss (never put, or evicted).
+// addUsage adjusts a tenant's resident footprint, dropping the map
+// entry when it returns to zero.
+func (s *Store) addUsage(tenant string, bytes, entries int64) {
+	s.usageMu.Lock()
+	u := s.usage[tenant]
+	u.bytes += bytes
+	u.entries += entries
+	if u.bytes <= 0 && u.entries <= 0 {
+		delete(s.usage, tenant)
+	} else {
+		s.usage[tenant] = u
+	}
+	s.usageMu.Unlock()
+}
+
+// Usage returns a tenant's current resident footprint ("" = anonymous).
+func (s *Store) Usage(tenant string) (bytes, entries int64) {
+	s.usageMu.Lock()
+	u := s.usage[tenant]
+	s.usageMu.Unlock()
+	return u.bytes, u.entries
+}
+
+// Get resolves a reference in the anonymous namespace. See GetOwned.
 func (s *Store) Get(ref string) (*Design, bool) {
+	return s.GetOwned("", ref)
+}
+
+// GetOwned resolves a reference on a tenant's behalf, refreshing its
+// recency. The boolean is false on a miss — never put, evicted, or
+// owned by a different tenant. That last case is deliberately
+// indistinguishable from plain absence: refs are tenant-salted hashes
+// (RefOfOwned), so a cross-tenant probe can neither resolve a design
+// nor learn that it exists.
+func (s *Store) GetOwned(tenant, ref string) (*Design, bool) {
 	sh := s.shardFor(ref)
 	sh.mu.Lock()
 	e, ok := sh.byRef[ref]
+	if ok && e.d.Tenant != tenant {
+		ok = false // owner mismatch is a plain miss; don't refresh the LRU
+	}
 	if ok {
 		sh.moveToFront(e)
 	}
@@ -327,15 +438,15 @@ func (s *Store) Counters() Counters {
 	return c
 }
 
-// snapshotTexts returns every resident canonical text, oldest-first per
-// shard, for WAL compaction: replaying them in order reconstructs an
-// equivalent resident set.
-func (s *Store) snapshotTexts() []string {
-	var texts []string
+// snapshotTexts returns every resident design with its owner,
+// oldest-first per shard, for WAL compaction: replaying them in order
+// reconstructs an equivalent resident set.
+func (s *Store) snapshotTexts() []ownedText {
+	var texts []ownedText
 	for _, sh := range s.shards {
 		sh.mu.Lock()
 		for e := sh.tail; e != nil; e = e.prev {
-			texts = append(texts, e.d.Text)
+			texts = append(texts, ownedText{tenant: e.d.Tenant, text: e.d.Text})
 		}
 		sh.mu.Unlock()
 	}

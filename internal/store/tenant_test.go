@@ -1,0 +1,192 @@
+package store
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestOwnedRefsAreNamespaced(t *testing.T) {
+	s := mustOpen(t, Config{})
+	text := chainDesign(3, "ns")
+	canonical, err := Canonicalize(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dAnon, _, err := s.Put(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dA, _, err := s.PutOwned("acme", text, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dB, _, err := s.PutOwned("globex", text, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if dAnon.Ref != RefOf(canonical) || dAnon.Ref != RefOfOwned("", canonical) {
+		t.Fatal("anonymous owned ref differs from legacy RefOf")
+	}
+	if dA.Ref == dAnon.Ref || dB.Ref == dAnon.Ref || dA.Ref == dB.Ref {
+		t.Fatalf("same design, distinct namespaces must yield distinct refs: %s %s %s",
+			dAnon.Ref, dA.Ref, dB.Ref)
+	}
+	if dA.Ref != RefOfOwned("acme", canonical) {
+		t.Fatal("PutOwned ref does not match RefOfOwned")
+	}
+	if dA.Tenant != "acme" || dAnon.Tenant != "" {
+		t.Fatalf("owner not recorded: %q %q", dA.Tenant, dAnon.Tenant)
+	}
+}
+
+func TestCrossTenantGetIsAMiss(t *testing.T) {
+	s := mustOpen(t, Config{})
+	d, _, err := s.PutOwned("acme", chainDesign(3, "iso"), 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.GetOwned("acme", d.Ref); !ok {
+		t.Fatal("owner cannot resolve its own ref")
+	}
+	// The same ref string presented by another tenant (or anonymously)
+	// must be indistinguishable from a ref that never existed.
+	missesBefore := s.Counters().Misses
+	if _, ok := s.GetOwned("globex", d.Ref); ok {
+		t.Fatal("cross-tenant get resolved")
+	}
+	if _, ok := s.GetOwned("", d.Ref); ok {
+		t.Fatal("anonymous get resolved a tenant-owned ref")
+	}
+	if got := s.Counters().Misses - missesBefore; got != 2 {
+		t.Fatalf("cross-tenant probes counted %d misses, want 2", got)
+	}
+}
+
+func TestQuotaEnforcement(t *testing.T) {
+	s := mustOpen(t, Config{Shards: 1, Capacity: 64})
+	small := chainDesign(2, "q0")
+	canonical, _ := Canonicalize(small)
+	maxBytes := int64(len(canonical)) + 10 // room for exactly one design
+
+	if _, _, err := s.PutOwned("acme", small, maxBytes, 0); err != nil {
+		t.Fatal(err)
+	}
+	// A refresh of the resident design never counts against quota.
+	if _, created, err := s.PutOwned("acme", small, maxBytes, 0); err != nil || created {
+		t.Fatalf("refresh under quota: created=%v err=%v", created, err)
+	}
+	// A second distinct design busts the byte quota.
+	_, _, err := s.PutOwned("acme", chainDesign(2, "q1"), maxBytes, 0)
+	if !errors.Is(err, ErrQuotaExceeded) {
+		t.Fatalf("byte quota: err = %v, want ErrQuotaExceeded", err)
+	}
+	// Entry quota, independently.
+	_, _, err = s.PutOwned("acme", chainDesign(2, "q1"), 0, 1)
+	if !errors.Is(err, ErrQuotaExceeded) {
+		t.Fatalf("entry quota: err = %v, want ErrQuotaExceeded", err)
+	}
+	// Other tenants are unaffected by acme's quota pressure.
+	if _, _, err := s.PutOwned("globex", chainDesign(2, "q1"), maxBytes, 0); err != nil {
+		t.Fatalf("other tenant blocked: %v", err)
+	}
+	// Unlimited (zero) quotas always pass.
+	if _, _, err := s.PutOwned("acme", chainDesign(2, "q2"), 0, 0); err != nil {
+		t.Fatalf("unlimited put failed: %v", err)
+	}
+}
+
+func TestUsageTracksResidencyAndEviction(t *testing.T) {
+	// Capacity 2 on one shard: the third put evicts acme's oldest, and
+	// the eviction must be debited from acme's usage, not globex's.
+	s := mustOpen(t, Config{Shards: 1, Capacity: 2})
+	d0, _, err := s.PutOwned("acme", chainDesign(2, "u0"), 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.PutOwned("globex", chainDesign(2, "u1"), 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	bytesA, entriesA := s.Usage("acme")
+	if entriesA != 1 || bytesA != int64(len(d0.Text)) {
+		t.Fatalf("acme usage = %d bytes %d entries", bytesA, entriesA)
+	}
+
+	if _, _, err := s.PutOwned("acme", chainDesign(2, "u2"), 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	bytesA, entriesA = s.Usage("acme")
+	bytesB, entriesB := s.Usage("globex")
+	if entriesA != 1 || entriesB != 1 {
+		t.Fatalf("after eviction: acme %d entries, globex %d entries", entriesA, entriesB)
+	}
+	if bytesA <= 0 || bytesB <= 0 {
+		t.Fatalf("after eviction: acme %d bytes, globex %d bytes", bytesA, bytesB)
+	}
+	if _, ok := s.GetOwned("acme", d0.Ref); ok {
+		t.Fatal("evicted design still resolves")
+	}
+}
+
+func TestWALReplayRestoresOwnership(t *testing.T) {
+	dir := t.TempDir()
+	var refA, refAnon string
+	{
+		s := mustOpen(t, Config{Dir: dir})
+		dA, _, err := s.PutOwned("acme", chainDesign(3, "w0"), 0, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dAnon, _, err := s.Put(chainDesign(3, "w1"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		refA, refAnon = dA.Ref, dAnon.Ref
+		if err := s.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	s := mustOpen(t, Config{Dir: dir})
+	if d, ok := s.GetOwned("acme", refA); !ok || d.Tenant != "acme" {
+		t.Fatalf("replayed owned design: ok=%v", ok)
+	}
+	if _, ok := s.GetOwned("globex", refA); ok {
+		t.Fatal("replay leaked ownership across tenants")
+	}
+	if _, ok := s.Get(refAnon); !ok {
+		t.Fatal("replayed anonymous design lost")
+	}
+	if bytes, entries := s.Usage("acme"); entries != 1 || bytes <= 0 {
+		t.Fatalf("replayed usage = %d bytes %d entries", bytes, entries)
+	}
+}
+
+func TestWALCompactionPreservesOwnership(t *testing.T) {
+	dir := t.TempDir()
+	// A tiny MaxWALBytes forces a compaction on nearly every put, so the
+	// survivors land in the snapshot as `putt` records.
+	s := mustOpen(t, Config{Dir: dir, MaxWALBytes: 64})
+	var refs []string
+	for i := 0; i < 4; i++ {
+		d, _, err := s.PutOwned("acme", chainDesign(3, string(rune('a'+i))), 0, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		refs = append(refs, d.Ref)
+	}
+	if s.Counters().Compactions == 0 {
+		t.Fatal("expected at least one compaction")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := mustOpen(t, Config{Dir: dir})
+	for _, ref := range refs {
+		if d, ok := s2.GetOwned("acme", ref); !ok || d.Tenant != "acme" {
+			t.Fatalf("ref %s lost ownership across compaction+replay", ref)
+		}
+	}
+}

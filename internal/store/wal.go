@@ -22,7 +22,15 @@ import (
 //	<header>\n                 "lwmstore-wal v1" / "lwmstore-snap v1"
 //	put <ref> <nbytes>\n
 //	<nbytes of canonical design text>\n
+//	putt <tenant> <ref> <nbytes>\n
+//	<nbytes of canonical design text>\n
 //	...
+//
+// `put` records the anonymous namespace (every pre-tenant WAL replays
+// unchanged); `putt` records a tenant-owned design whose ref is the
+// tenant-salted hash (RefOfOwned), verified as such on replay. Tenant
+// IDs are whitespace-free by construction (internal/tenant.ValidID), so
+// the space-delimited header stays unambiguous.
 //
 // A put whose appended bytes push wal.log past Config.MaxWALBytes
 // triggers compaction: the resident set is written to snapshot.tmp,
@@ -83,10 +91,16 @@ func openWAL(dir string, maxBytes int64) (*wal, error) {
 	return w, nil
 }
 
-// replay feeds every persisted canonical text — snapshot first, then
-// the log — to apply, in write order. A torn trailing log record is
-// discarded by truncating the log back to the last whole record.
-func (w *wal) replay(apply func(canonical string) error) error {
+// ownedText is one persisted design with its owning tenant ("" =
+// anonymous).
+type ownedText struct {
+	tenant, text string
+}
+
+// replay feeds every persisted design — snapshot first, then the log —
+// to apply, in write order. A torn trailing log record is discarded by
+// truncating the log back to the last whole record.
+func (w *wal) replay(apply func(tenant, canonical string) error) error {
 	if err := replayFile(w.snapPath(), snapHeader, false, apply); err != nil {
 		return err
 	}
@@ -109,7 +123,7 @@ func (w *wal) replay(apply func(canonical string) error) error {
 
 // replayFile replays a whole framed file (the snapshot). A missing file
 // is fine; a torn or corrupt record is an error unless tolerateTorn.
-func replayFile(path, header string, tolerateTorn bool, apply func(string) error) error {
+func replayFile(path, header string, tolerateTorn bool, apply func(tenant, canonical string) error) error {
 	f, err := os.Open(path)
 	if os.IsNotExist(err) {
 		return nil
@@ -123,7 +137,7 @@ func replayFile(path, header string, tolerateTorn bool, apply func(string) error
 		return err
 	}
 	for {
-		_, text, err := readRecord(br, path)
+		tenant, _, text, err := readRecord(br, path)
 		if err == io.EOF {
 			return nil
 		}
@@ -133,7 +147,7 @@ func replayFile(path, header string, tolerateTorn bool, apply func(string) error
 			}
 			return err
 		}
-		if err := apply(text); err != nil {
+		if err := apply(tenant, text); err != nil {
 			return err
 		}
 	}
@@ -141,7 +155,7 @@ func replayFile(path, header string, tolerateTorn bool, apply func(string) error
 
 // replayLog replays the open wal.log from the start and returns the
 // byte offset just past the last whole, valid record.
-func replayLog(f *os.File, apply func(string) error) (good int64, err error) {
+func replayLog(f *os.File, apply func(tenant, canonical string) error) (good int64, err error) {
 	if _, err := f.Seek(0, io.SeekStart); err != nil {
 		return 0, fmt.Errorf("store: %w", err)
 	}
@@ -152,7 +166,7 @@ func replayLog(f *os.File, apply func(string) error) (good int64, err error) {
 	}
 	good = cr.n - int64(br.Buffered())
 	for {
-		_, text, rerr := readRecord(br, f.Name())
+		tenant, _, text, rerr := readRecord(br, f.Name())
 		if rerr == io.EOF {
 			return good, nil
 		}
@@ -162,7 +176,7 @@ func replayLog(f *os.File, apply func(string) error) (good int64, err error) {
 			}
 			return 0, rerr
 		}
-		if err := apply(text); err != nil {
+		if err := apply(tenant, text); err != nil {
 			return 0, err
 		}
 		good = cr.n - int64(br.Buffered())
@@ -187,37 +201,69 @@ func expectHeader(br *bufio.Reader, path, want string) error {
 	return nil
 }
 
-// readRecord reads one framed record and verifies its content hash.
-// io.EOF means a clean end; *tornError an incomplete trailer.
-func readRecord(br *bufio.Reader, path string) (ref, text string, err error) {
+// validTenantToken loosely mirrors internal/tenant.ValidID without
+// importing it (the store stays control-plane-agnostic): 1..64 chars of
+// [a-z0-9_-], which guarantees the space-delimited header parse was
+// unambiguous.
+func validTenantToken(t string) bool {
+	if len(t) == 0 || len(t) > 64 {
+		return false
+	}
+	for i := 0; i < len(t); i++ {
+		c := t[i]
+		if (c < 'a' || c > 'z') && (c < '0' || c > '9') && c != '_' && c != '-' {
+			return false
+		}
+	}
+	return true
+}
+
+// readRecord reads one framed record (`put` or `putt`) and verifies its
+// content hash under the record's namespace. io.EOF means a clean end;
+// *tornError an incomplete trailer.
+func readRecord(br *bufio.Reader, path string) (tenant, ref, text string, err error) {
 	line, err := br.ReadString('\n')
 	if err == io.EOF && line == "" {
-		return "", "", io.EOF
+		return "", "", "", io.EOF
 	}
 	if err != nil {
-		return "", "", &tornError{fmt.Sprintf("store: %s: torn record header", path)}
+		return "", "", "", &tornError{fmt.Sprintf("store: %s: torn record header", path)}
 	}
 	var nbytes int
-	if _, err := fmt.Sscanf(line, "put %s %d\n", &ref, &nbytes); err != nil || !ValidRef(ref) || nbytes < 0 {
-		return "", "", fmt.Errorf("store: %s: malformed record header %q", path, strings.TrimSpace(line))
+	switch {
+	case strings.HasPrefix(line, "putt "):
+		if _, err := fmt.Sscanf(line, "putt %s %s %d\n", &tenant, &ref, &nbytes); err != nil ||
+			!validTenantToken(tenant) || !ValidRef(ref) || nbytes < 0 {
+			return "", "", "", fmt.Errorf("store: %s: malformed record header %q", path, strings.TrimSpace(line))
+		}
+	default:
+		if _, err := fmt.Sscanf(line, "put %s %d\n", &ref, &nbytes); err != nil || !ValidRef(ref) || nbytes < 0 {
+			return "", "", "", fmt.Errorf("store: %s: malformed record header %q", path, strings.TrimSpace(line))
+		}
 	}
 	buf := make([]byte, nbytes+1) // body + trailing newline
 	if _, err := io.ReadFull(br, buf); err != nil {
-		return "", "", &tornError{fmt.Sprintf("store: %s: torn record body", path)}
+		return "", "", "", &tornError{fmt.Sprintf("store: %s: torn record body", path)}
 	}
 	if buf[nbytes] != '\n' {
-		return "", "", fmt.Errorf("store: %s: record for %s missing trailer", path, ref)
+		return "", "", "", fmt.Errorf("store: %s: record for %s missing trailer", path, ref)
 	}
 	text = string(buf[:nbytes])
-	if RefOf(text) != ref {
-		return "", "", fmt.Errorf("store: %s: record %s fails content hash", path, ref)
+	if RefOfOwned(tenant, text) != ref {
+		return "", "", "", fmt.Errorf("store: %s: record %s fails content hash", path, ref)
 	}
-	return ref, text, nil
+	return tenant, ref, text, nil
 }
 
-// writeRecord frames one canonical text onto w.
-func writeRecord(w io.Writer, canonical string) error {
-	if _, err := fmt.Fprintf(w, "put %s %d\n", RefOf(canonical), len(canonical)); err != nil {
+// writeRecord frames one design onto w under its owner's namespace.
+func writeRecord(w io.Writer, tenant, canonical string) error {
+	var err error
+	if tenant == "" {
+		_, err = fmt.Fprintf(w, "put %s %d\n", RefOf(canonical), len(canonical))
+	} else {
+		_, err = fmt.Fprintf(w, "putt %s %s %d\n", tenant, RefOfOwned(tenant, canonical), len(canonical))
+	}
+	if err != nil {
 		return err
 	}
 	if _, err := io.WriteString(w, canonical+"\n"); err != nil {
@@ -229,14 +275,14 @@ func writeRecord(w io.Writer, canonical string) error {
 // appendPut logs one new design. When the log outgrows maxBytes it is
 // compacted: resident() supplies the survivor texts for the snapshot
 // and the log restarts empty.
-func (w *wal) appendPut(canonical string, resident func() []string) error {
+func (w *wal) appendPut(tenant, canonical string, resident func() []ownedText) error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	if w.closed {
 		return fmt.Errorf("store: wal closed")
 	}
 	var buf strings.Builder
-	if err := writeRecord(&buf, canonical); err != nil {
+	if err := writeRecord(&buf, tenant, canonical); err != nil {
 		return err
 	}
 	if _, err := w.f.WriteString(buf.String()); err != nil {
@@ -250,7 +296,7 @@ func (w *wal) appendPut(canonical string, resident func() []string) error {
 }
 
 // compactLocked snapshots texts and truncates the log. Caller holds mu.
-func (w *wal) compactLocked(texts []string) error {
+func (w *wal) compactLocked(texts []ownedText) error {
 	tmp := w.snapPath() + ".tmp"
 	f, err := os.Create(tmp)
 	if err != nil {
@@ -259,7 +305,7 @@ func (w *wal) compactLocked(texts []string) error {
 	bw := bufio.NewWriter(f)
 	if _, err := bw.WriteString(snapHeader + "\n"); err == nil {
 		for _, t := range texts {
-			if err = writeRecord(bw, t); err != nil {
+			if err = writeRecord(bw, t.tenant, t.text); err != nil {
 				break
 			}
 		}

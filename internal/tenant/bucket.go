@@ -1,0 +1,44 @@
+package tenant
+
+import "time"
+
+// bucket is a classic token bucket: tokens accrue continuously at rate
+// per second up to burst, and each admitted request spends one. It is
+// not safe for concurrent use on its own — the Registry serializes
+// access under its mutex.
+//
+// The bucket tracks fractional tokens so low rates (0.5/s) work, and it
+// starts full: a freshly provisioned (or just-reconfigured) tenant gets
+// its burst immediately rather than waiting out a cold start.
+type bucket struct {
+	rate   float64 // tokens per second (> 0)
+	burst  int     // capacity
+	tokens float64 // current level, 0..burst
+	last   time.Time
+}
+
+func newBucket(rate float64, burst int, now time.Time) *bucket {
+	return &bucket{rate: rate, burst: burst, tokens: float64(burst), last: now}
+}
+
+// take spends one token if available. When the bucket is dry it reports
+// how long until a full token accrues — the value surfaced to clients as
+// Retry-After (rounded up to whole seconds at the HTTP layer).
+func (b *bucket) take(now time.Time) (ok bool, retryAfter time.Duration) {
+	if now.After(b.last) {
+		b.tokens += now.Sub(b.last).Seconds() * b.rate
+		if max := float64(b.burst); b.tokens > max {
+			b.tokens = max
+		}
+	}
+	// Never rewind on clock skew: keep the later of the two times.
+	if now.After(b.last) {
+		b.last = now
+	}
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	deficit := 1 - b.tokens
+	return false, time.Duration(deficit / b.rate * float64(time.Second))
+}

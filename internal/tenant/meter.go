@@ -1,0 +1,180 @@
+package tenant
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+)
+
+// Usage is one tenant's running counters. All fields are guarded by the
+// Meter's mutex-free sync.Map + per-Usage mutex-free atomics pattern:
+// Usage values are only mutated through Meter methods.
+type Usage struct {
+	// Requests counts requests that passed authentication for this
+	// tenant (whatever their eventual result).
+	Requests uint64 `json:"requests"`
+	// RateLimited counts requests rejected by the tenant's token bucket.
+	RateLimited uint64 `json:"rate_limited"`
+	// QuotaDenied counts store writes rejected by the tenant's quota.
+	QuotaDenied uint64 `json:"quota_denied"`
+	// EngineMillis accumulates wall-clock milliseconds spent running the
+	// watermarking engine on this tenant's behalf (sync handlers and job
+	// attempts both count).
+	EngineMillis int64 `json:"engine_ms"`
+	// JobsSubmitted counts async jobs accepted for this tenant.
+	JobsSubmitted uint64 `json:"jobs_submitted"`
+	// StoreBytes / StoreEntries are the tenant's current resident
+	// footprint in the design registry (gauges, filled in by the store
+	// at snapshot time — the Meter itself doesn't track them).
+	StoreBytes   int64 `json:"store_bytes"`
+	StoreEntries int64 `json:"store_entries"`
+}
+
+// counters is the mutable backing for one tenant's Usage.
+type counters struct {
+	mu sync.Mutex
+	u  Usage
+}
+
+// Meter accumulates per-tenant usage. It is independent of the Registry:
+// tenants removed from the file keep their counters for the life of the
+// process (their history shouldn't vanish from /metrics mid-scrape), and
+// the anonymous pseudo-tenant is always present so the lwmd_tenant_*
+// metric families exist even on a daemon with no tenants file.
+type Meter struct {
+	mu  sync.Mutex
+	byT map[string]*counters
+}
+
+// NewMeter returns a Meter with the anonymous tenant pre-registered.
+func NewMeter() *Meter {
+	m := &Meter{byT: make(map[string]*counters)}
+	m.get(DefaultID)
+	return m
+}
+
+func (m *Meter) get(id string) *counters {
+	if id == "" {
+		id = DefaultID
+	}
+	m.mu.Lock()
+	c, ok := m.byT[id]
+	if !ok {
+		c = &counters{}
+		m.byT[id] = c
+	}
+	m.mu.Unlock()
+	return c
+}
+
+// Request records one authenticated (or anonymous) request.
+func (m *Meter) Request(id string) {
+	c := m.get(id)
+	c.mu.Lock()
+	c.u.Requests++
+	c.mu.Unlock()
+}
+
+// RateLimited records a token-bucket rejection.
+func (m *Meter) RateLimited(id string) {
+	c := m.get(id)
+	c.mu.Lock()
+	c.u.RateLimited++
+	c.mu.Unlock()
+}
+
+// QuotaDenied records a store-quota rejection.
+func (m *Meter) QuotaDenied(id string) {
+	c := m.get(id)
+	c.mu.Lock()
+	c.u.QuotaDenied++
+	c.mu.Unlock()
+}
+
+// Engine adds engine wall-clock time in milliseconds.
+func (m *Meter) Engine(id string, millis int64) {
+	if millis < 0 {
+		millis = 0
+	}
+	c := m.get(id)
+	c.mu.Lock()
+	c.u.EngineMillis += millis
+	c.mu.Unlock()
+}
+
+// JobSubmitted records one accepted async job.
+func (m *Meter) JobSubmitted(id string) {
+	c := m.get(id)
+	c.mu.Lock()
+	c.u.JobsSubmitted++
+	c.mu.Unlock()
+}
+
+// StoreUsage reports a tenant's current design-registry footprint; the
+// Meter calls it at snapshot time so gauges are always fresh.
+type StoreUsage func(id string) (bytes, entries int64)
+
+// Snapshot returns every tenant's usage keyed by tenant ID, with store
+// gauges filled in via storeOf (may be nil).
+func (m *Meter) Snapshot(storeOf StoreUsage) map[string]Usage {
+	m.mu.Lock()
+	ids := make([]string, 0, len(m.byT))
+	for id := range m.byT {
+		ids = append(ids, id)
+	}
+	m.mu.Unlock()
+	out := make(map[string]Usage, len(ids))
+	for _, id := range ids {
+		c := m.get(id)
+		c.mu.Lock()
+		u := c.u
+		c.mu.Unlock()
+		if storeOf != nil {
+			u.StoreBytes, u.StoreEntries = storeOf(id)
+		}
+		out[id] = u
+	}
+	return out
+}
+
+// WritePrometheus emits the lwmd_tenant_* families in exposition format
+// 0.0.4, one labeled series per tenant, tenants sorted for stable
+// scrapes. Unlike the rest of the daemon's metrics (registered
+// statically in internal/obs at startup), tenant series are dynamic —
+// the tenant set changes on SIGHUP — so they are rendered here and
+// appended to the exposition page after the static registry.
+func (m *Meter) WritePrometheus(w io.Writer, storeOf StoreUsage) {
+	snap := m.Snapshot(storeOf)
+	ids := make([]string, 0, len(snap))
+	for id := range snap {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+
+	families := []struct {
+		name, typ, help string
+		value           func(u Usage) float64
+	}{
+		{"lwmd_tenant_requests_total", "counter", "Authenticated requests per tenant.",
+			func(u Usage) float64 { return float64(u.Requests) }},
+		{"lwmd_tenant_rate_limited_total", "counter", "Requests rejected by the tenant token bucket.",
+			func(u Usage) float64 { return float64(u.RateLimited) }},
+		{"lwmd_tenant_quota_denied_total", "counter", "Store writes rejected by tenant quota.",
+			func(u Usage) float64 { return float64(u.QuotaDenied) }},
+		{"lwmd_tenant_engine_seconds_total", "counter", "Engine wall-clock seconds spent per tenant.",
+			func(u Usage) float64 { return float64(u.EngineMillis) / 1e3 }},
+		{"lwmd_tenant_jobs_submitted_total", "counter", "Async jobs accepted per tenant.",
+			func(u Usage) float64 { return float64(u.JobsSubmitted) }},
+		{"lwmd_tenant_store_bytes", "gauge", "Resident design-registry bytes per tenant.",
+			func(u Usage) float64 { return float64(u.StoreBytes) }},
+		{"lwmd_tenant_store_entries", "gauge", "Resident design-registry entries per tenant.",
+			func(u Usage) float64 { return float64(u.StoreEntries) }},
+	}
+	for _, f := range families {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", f.name, f.help, f.name, f.typ)
+		for _, id := range ids {
+			fmt.Fprintf(w, "%s{tenant=%q} %g\n", f.name, id, f.value(snap[id]))
+		}
+	}
+}

@@ -1,0 +1,294 @@
+// Package tenant is the daemon's multi-tenant control plane: the API-key
+// registry, per-tenant token-bucket rate limits, store quotas, job
+// backlog bounds, and usage metering that let one lwmd instance serve
+// many customers without any of them reading — or starving — another.
+//
+// The model follows the watermarking literature's ownership framing
+// (ICMarks runs insertion/extraction per design owner; SIGNED's
+// challenge-response interrogation assumes per-owner keys): every piece
+// of customer state — designs in the registry, async jobs, webhook
+// secrets — belongs to exactly one tenant, identified by an API key.
+//
+//   - Keys are never stored in cleartext: the registry indexes tenants by
+//     the SHA-256 digest of the key, and lookups compare digests in
+//     constant time, so neither the file on disk nor the authentication
+//     path leaks key material through content or timing.
+//   - The tenants file is hot-reloadable: cmd/lwmd re-reads it on SIGHUP,
+//     so keys can be provisioned and revoked without a restart. Token
+//     buckets and usage counters survive a reload for tenants whose ID
+//     persists; a revoked key stops authenticating on the very next
+//     request.
+//   - Limits are all zero-defaultable: a tenant row with no rate or quota
+//     fields gets unlimited everything, so a tenants file can start as
+//     pure authentication and grow metering later.
+//
+// The zero configuration — no registry at all — is the single-tenant
+// daemon exactly as it behaved before this package existed: every
+// request anonymous, no limits, refs un-namespaced.
+package tenant
+
+import (
+	"crypto/sha256"
+	"crypto/subtle"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// DefaultID names the pseudo-tenant that anonymous (keyless) traffic is
+// metered under. It is reserved: a tenants file must not define it.
+const DefaultID = "anonymous"
+
+// Tenant is one provisioned API customer. The struct is immutable after
+// load; mutable runtime state (bucket levels, usage counters) lives in
+// the Registry keyed by ID, so a hot reload replaces the config without
+// resetting the tenant's in-flight accounting.
+type Tenant struct {
+	// ID is the stable tenant identifier: it namespaces design refs and
+	// labels metrics, so it must be short, unique, and token-safe
+	// ([a-z0-9_-], 1..64). Renaming a tenant orphans its stored designs.
+	ID string `json:"id"`
+	// Name is a free-form display name (optional).
+	Name string `json:"name,omitempty"`
+	// APIKey is the bearer credential, cleartext in the tenants file
+	// (protect the file) but held in memory only as a SHA-256 digest.
+	APIKey string `json:"api_key"`
+	// RatePerSec is the token-bucket refill rate for this tenant's
+	// requests across all endpoints. 0 = unlimited.
+	RatePerSec float64 `json:"rate_per_sec,omitempty"`
+	// Burst is the bucket capacity: how many requests may land at once
+	// after an idle period. 0 with a positive rate defaults to
+	// max(1, ceil(RatePerSec)).
+	Burst int `json:"burst,omitempty"`
+	// MaxStoreBytes bounds the canonical text bytes this tenant may keep
+	// resident in the design registry. 0 = unlimited.
+	MaxStoreBytes int64 `json:"max_store_bytes,omitempty"`
+	// MaxStoreEntries bounds the tenant's resident design count. 0 =
+	// unlimited.
+	MaxStoreEntries int64 `json:"max_store_entries,omitempty"`
+	// MaxJobBacklog bounds the tenant's queued async jobs. 0 = unlimited
+	// (the manager's global backlog still applies).
+	MaxJobBacklog int `json:"max_job_backlog,omitempty"`
+	// WebhookSecret, when set, signs this tenant's job webhooks instead
+	// of the daemon-wide -webhook-secret.
+	WebhookSecret string `json:"webhook_secret,omitempty"`
+
+	keyDigest [sha256.Size]byte
+}
+
+// File is the on-disk tenants document (see DESIGN.md, "tenants file").
+type File struct {
+	// AllowAnonymous admits keyless requests alongside keyed ones; they
+	// run unlimited in the anonymous namespace. The lwmd -allow-anonymous
+	// flag ORs with this.
+	AllowAnonymous bool `json:"allow_anonymous,omitempty"`
+	// Tenants is the provisioned tenant set.
+	Tenants []Tenant `json:"tenants"`
+}
+
+// ValidID reports whether id is a legal tenant identifier: 1..64 chars
+// of [a-z0-9_-]. The character set matters: IDs ride in WAL record
+// headers (whitespace-delimited) and Prometheus label values.
+func ValidID(id string) bool {
+	if len(id) == 0 || len(id) > 64 {
+		return false
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		if (c < 'a' || c > 'z') && (c < '0' || c > '9') && c != '_' && c != '-' {
+			return false
+		}
+	}
+	return true
+}
+
+// snapshot is one immutable parse of the tenants file. Reload swaps the
+// whole snapshot atomically, so a request sees either the old or the new
+// tenant set, never a mix.
+type snapshot struct {
+	byDigest       map[[sha256.Size]byte]*Tenant
+	byID           map[string]*Tenant
+	allowAnonymous bool
+}
+
+// Registry is the loaded control plane: authentication, rate limiting,
+// and the per-tenant runtime state that persists across hot reloads.
+// Safe for concurrent use.
+type Registry struct {
+	path string
+	snap atomic.Pointer[snapshot]
+
+	mu      sync.Mutex
+	buckets map[string]*bucket
+
+	reloads atomic.Uint64
+}
+
+// Load reads and validates the tenants file at path. Call Reload (e.g.
+// from a SIGHUP handler) to pick up edits.
+func Load(path string) (*Registry, error) {
+	r := &Registry{path: path, buckets: make(map[string]*bucket)}
+	if err := r.Reload(); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// parseFile validates a tenants document into a snapshot.
+func parseFile(data []byte) (*snapshot, error) {
+	var f File
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("tenant: parsing tenants file: %w", err)
+	}
+	s := &snapshot{
+		byDigest:       make(map[[sha256.Size]byte]*Tenant, len(f.Tenants)),
+		byID:           make(map[string]*Tenant, len(f.Tenants)),
+		allowAnonymous: f.AllowAnonymous,
+	}
+	for i := range f.Tenants {
+		t := f.Tenants[i]
+		switch {
+		case !ValidID(t.ID):
+			return nil, fmt.Errorf("tenant: invalid tenant id %q (want 1..64 chars of [a-z0-9_-])", t.ID)
+		case t.ID == DefaultID:
+			return nil, fmt.Errorf("tenant: id %q is reserved for keyless traffic", DefaultID)
+		case len(t.APIKey) < 8:
+			return nil, fmt.Errorf("tenant %s: api_key too short (want at least 8 chars)", t.ID)
+		case t.RatePerSec < 0 || t.Burst < 0 || t.MaxStoreBytes < 0 || t.MaxStoreEntries < 0 || t.MaxJobBacklog < 0:
+			return nil, fmt.Errorf("tenant %s: negative limit", t.ID)
+		}
+		if _, dup := s.byID[t.ID]; dup {
+			return nil, fmt.Errorf("tenant: duplicate id %q", t.ID)
+		}
+		t.keyDigest = sha256.Sum256([]byte(t.APIKey))
+		t.APIKey = "" // the cleartext key never outlives parsing
+		if _, dup := s.byDigest[t.keyDigest]; dup {
+			return nil, fmt.Errorf("tenant %s: api_key duplicates another tenant's", t.ID)
+		}
+		s.byDigest[t.keyDigest] = &t
+		s.byID[t.ID] = &t
+	}
+	return s, nil
+}
+
+// Reload re-reads the tenants file and atomically swaps the tenant set.
+// On any error the previous set stays live — a bad edit can't lock every
+// key out. Buckets of tenants whose rate config is unchanged keep their
+// fill level; changed ones start full.
+func (r *Registry) Reload() error {
+	data, err := os.ReadFile(r.path)
+	if err != nil {
+		return fmt.Errorf("tenant: %w", err)
+	}
+	s, err := parseFile(data)
+	if err != nil {
+		return err
+	}
+	r.mu.Lock()
+	for id, b := range r.buckets {
+		t, ok := s.byID[id]
+		if !ok || t.RatePerSec != b.rate || t.burstOf() != b.burst {
+			delete(r.buckets, id) // rebuilt on next use from the new config
+		}
+	}
+	r.mu.Unlock()
+	r.snap.Store(s)
+	r.reloads.Add(1)
+	return nil
+}
+
+// Reloads counts successful Reload calls (including Load's initial one).
+func (r *Registry) Reloads() uint64 { return r.reloads.Load() }
+
+// Authenticate resolves an API key to its tenant, or nil when the key is
+// unknown (or empty). The comparison is constant-time in the key
+// material: the presented key is SHA-256-digested and the digest — a
+// fixed-size, attacker-unpredictable value — indexes the tenant map; the
+// matched entry is then re-verified with subtle.ConstantTimeCompare so
+// the accept path does not branch on digest bytes either.
+func (r *Registry) Authenticate(key string) *Tenant {
+	if key == "" {
+		return nil
+	}
+	s := r.snap.Load()
+	if s == nil {
+		return nil
+	}
+	digest := sha256.Sum256([]byte(key))
+	t, ok := s.byDigest[digest]
+	if !ok || subtle.ConstantTimeCompare(digest[:], t.keyDigest[:]) != 1 {
+		return nil
+	}
+	return t
+}
+
+// ByID resolves a tenant identifier against the current snapshot (nil
+// when unknown or revoked). Used by deferred work — async jobs, webhook
+// signing — that stored only the ID.
+func (r *Registry) ByID(id string) *Tenant {
+	if id == "" {
+		return nil
+	}
+	s := r.snap.Load()
+	if s == nil {
+		return nil
+	}
+	return s.byID[id]
+}
+
+// All returns the current tenant set in unspecified order.
+func (r *Registry) All() []*Tenant {
+	s := r.snap.Load()
+	if s == nil {
+		return nil
+	}
+	out := make([]*Tenant, 0, len(s.byID))
+	for _, t := range s.byID {
+		out = append(out, t)
+	}
+	return out
+}
+
+// AllowAnonymous reports the tenants file's allow_anonymous setting.
+func (r *Registry) AllowAnonymous() bool {
+	s := r.snap.Load()
+	return s != nil && s.allowAnonymous
+}
+
+// Allow spends one request token from the tenant's bucket. ok is false
+// when the bucket is dry; retryAfter then says how long until a token
+// accrues — the tenant-scoped Retry-After hint, distinct from the
+// daemon-wide queue-full backoff. Tenants with no rate limit always
+// pass.
+func (r *Registry) Allow(t *Tenant, now time.Time) (ok bool, retryAfter time.Duration) {
+	if t == nil || t.RatePerSec <= 0 {
+		return true, 0
+	}
+	r.mu.Lock()
+	b, exists := r.buckets[t.ID]
+	if !exists {
+		b = newBucket(t.RatePerSec, t.burstOf(), now)
+		r.buckets[t.ID] = b
+	}
+	ok, retryAfter = b.take(now)
+	r.mu.Unlock()
+	return ok, retryAfter
+}
+
+// burstOf resolves the tenant's effective bucket capacity.
+func (t *Tenant) burstOf() int {
+	if t.Burst > 0 {
+		return t.Burst
+	}
+	b := int(t.RatePerSec)
+	if float64(b) < t.RatePerSec {
+		b++
+	}
+	if b < 1 {
+		b = 1
+	}
+	return b
+}

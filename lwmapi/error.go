@@ -42,6 +42,21 @@ const (
 	// ever exist; the envelope message carries the job's final error.
 	// 410, not retryable — fix the payload and submit a new job.
 	CodeJobFailed = "job_failed"
+	// CodeTenantUnauthorized: the request carried no API key on a daemon
+	// that requires one, or a key that matches no tenant (including keys
+	// revoked by a tenants-file reload). 401, not retryable — fix the
+	// credential.
+	CodeTenantUnauthorized = "tenant_unauthorized"
+	// CodeTenantRateLimited: the tenant's own token bucket (or job
+	// backlog bound) is exhausted. 429 with a tenant-scoped Retry-After;
+	// retryable after backing off. Distinct from CodeQueueFull: this is
+	// one caller's throttle, not daemon-wide pressure, so shared clients
+	// should back off without counting it against the service's health.
+	CodeTenantRateLimited = "tenant_rate_limited"
+	// CodeTenantQuotaExceeded: the write would push the tenant past its
+	// store byte or entry quota. 413, not retryable — free space or raise
+	// the quota.
+	CodeTenantQuotaExceeded = "tenant_quota_exceeded"
 )
 
 // Error is the JSON envelope of every non-2xx /v1 response.

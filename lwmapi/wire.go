@@ -18,6 +18,12 @@ package lwmapi
 
 import "localwm/internal/schedwm"
 
+// APIKeyHeader carries the tenant API key on every /v1 request to a
+// daemon running with a tenants file. The daemon also accepts the same
+// key as an "Authorization: Bearer" token; a daemon with no tenants file
+// ignores the header entirely.
+const APIKeyHeader = "X-Lwm-Api-Key"
+
 // Record is the detector-facing watermark record, exactly as the lwm CLI
 // writes it and the lwmd service consumes it.
 type Record = schedwm.Record

@@ -54,6 +54,11 @@ type Config struct {
 	// BaseURL locates the service, e.g. "http://localhost:8077" (a bare
 	// host:port gets "http://" prepended).
 	BaseURL string
+	// APIKey authenticates every request to a daemon running with a
+	// tenants file, sent on the X-Lwm-Api-Key header. Empty sends no key
+	// — the anonymous path, which a keyless daemon (and one started with
+	// -allow-anonymous) accepts unchanged.
+	APIKey string
 	// HTTPClient is the underlying transport. Default: a plain
 	// &http.Client{} (per-attempt deadlines come from AttemptTimeout).
 	HTTPClient *http.Client
@@ -178,16 +183,21 @@ type Counters struct {
 	BreakerCloses    uint64 // half-open → closed transitions
 }
 
-// Client is a resilient lwmd client. Safe for concurrent use.
-type Client struct {
-	cfg  Config
-	base string
-	br   *breaker
-	reg  *obs.Registry
-
+// clientStats holds a Client's cumulative counters behind a pointer so
+// WithAPIKey-derived clients share them (atomics are not copyable).
+type clientStats struct {
 	attempts  atomic.Uint64
 	retries   atomic.Uint64
 	fastFails atomic.Uint64
+}
+
+// Client is a resilient lwmd client. Safe for concurrent use.
+type Client struct {
+	cfg   Config
+	base  string
+	br    *breaker
+	reg   *obs.Registry
+	stats *clientStats
 }
 
 // New builds a Client for the service at cfg.BaseURL.
@@ -200,9 +210,21 @@ func New(cfg Config) (*Client, error) {
 	if !strings.Contains(base, "://") {
 		base = "http://" + base
 	}
-	c := &Client{cfg: cfg, base: base, br: newBreaker(cfg.Breaker)}
+	c := &Client{cfg: cfg, base: base, br: newBreaker(cfg.Breaker), stats: &clientStats{}}
 	c.reg = c.buildRegistry()
 	return c, nil
+}
+
+// WithAPIKey returns a client that authenticates with the given tenant
+// key while sharing this client's transport config, circuit breaker,
+// and counters: one process calling the same daemon on behalf of
+// several tenants keeps one view of the daemon's health. An empty key
+// returns an anonymous-path client.
+func (c *Client) WithAPIKey(key string) *Client {
+	dup := &Client{cfg: c.cfg, base: c.base, br: c.br, stats: c.stats}
+	dup.cfg.APIKey = key
+	dup.reg = dup.buildRegistry()
+	return dup
 }
 
 // buildRegistry exposes the client's counters as lwmclient_* Prometheus
@@ -214,11 +236,11 @@ func (c *Client) buildRegistry() *obs.Registry {
 		load       func() uint64
 	}{
 		{"lwmclient_attempts_total", "HTTP requests actually sent.",
-			func() uint64 { return c.attempts.Load() }},
+			func() uint64 { return c.stats.attempts.Load() }},
 		{"lwmclient_retries_total", "Attempts beyond each call's first.",
-			func() uint64 { return c.retries.Load() }},
+			func() uint64 { return c.stats.retries.Load() }},
 		{"lwmclient_breaker_fast_fails_total", "Sends refused by an open breaker.",
-			func() uint64 { return c.fastFails.Load() }},
+			func() uint64 { return c.stats.fastFails.Load() }},
 		{"lwmclient_breaker_opens_total", "Breaker closed/half-open to open transitions.",
 			func() uint64 { opens, _ := c.br.stats(); return opens }},
 		{"lwmclient_breaker_closes_total", "Breaker half-open to closed transitions.",
@@ -249,9 +271,9 @@ func (c *Client) WritePrometheus(w io.Writer) error {
 func (c *Client) Counters() Counters {
 	opens, closes := c.br.stats()
 	return Counters{
-		Attempts:         c.attempts.Load(),
-		Retries:          c.retries.Load(),
-		BreakerFastFails: c.fastFails.Load(),
+		Attempts:         c.stats.attempts.Load(),
+		Retries:          c.stats.retries.Load(),
+		BreakerFastFails: c.stats.fastFails.Load(),
 		BreakerOpens:     opens,
 		BreakerCloses:    closes,
 	}
@@ -464,7 +486,7 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 		// Breaker gate. Waiting here consumes no attempt: nothing was
 		// sent. The call deadline bounds the total wait.
 		if wait, berr := c.br.allow(time.Now()); berr != nil {
-			c.fastFails.Add(1)
+			c.stats.fastFails.Add(1)
 			if lastErr == nil {
 				lastErr = berr
 			}
@@ -479,9 +501,9 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 		}
 
 		attempts++
-		c.attempts.Add(1)
+		c.stats.attempts.Add(1)
 		if attempts > 1 {
-			c.retries.Add(1)
+			c.stats.retries.Add(1)
 		}
 		var aspan *obs.Span
 		if tr != nil {
@@ -492,8 +514,19 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 		aspan.Finish()
 		transient := err != nil && isTransient(err)
 		// Breaker feedback: only transient failures indict the service;
-		// a definite 4xx means it is healthy and answered.
-		if transition := c.br.record(!transient, time.Now()); transition != "" {
+		// a definite 4xx means it is healthy and answered. A tenant
+		// rate-limit 429 is transient for the retry loop (this caller
+		// backs off per the daemon's Retry-After) but NOT breaker
+		// pressure: the daemon throttled this tenant specifically while
+		// serving everyone else fine, so treating it as a fault would
+		// let one tenant's burst trip the breaker every other tenant
+		// sharing this process depends on.
+		callerThrottled := false
+		var the *HTTPError
+		if errors.As(err, &the) && the.Code == lwmapi.CodeTenantRateLimited {
+			callerThrottled = true
+		}
+		if transition := c.br.record(!transient || callerThrottled, time.Now()); transition != "" {
 			c.logAttrs("breaker", tid, path, slog.String("transition", transition))
 		}
 		if c.cfg.Logger != nil {
@@ -553,6 +586,9 @@ func (c *Client) attempt(ctx context.Context, method, path string, tid obs.Trace
 		req.Header.Set("Content-Type", "application/json")
 	}
 	req.Header.Set(obs.TraceHeader, string(tid))
+	if c.cfg.APIKey != "" {
+		req.Header.Set(lwmapi.APIKeyHeader, c.cfg.APIKey)
+	}
 	resp, err := c.cfg.HTTPClient.Do(req)
 	if err != nil {
 		if ctx.Err() != nil {

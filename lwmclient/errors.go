@@ -48,6 +48,19 @@ var (
 	// ErrJobFailed: the job terminated in the failed state; the error
 	// message carries the job's final failure (410, job_failed).
 	ErrJobFailed = errors.New("lwmclient: job failed")
+	// ErrTenantUnauthorized: the daemon runs a tenant control plane and
+	// the request carried no API key, or one it does not recognize (401,
+	// tenant_unauthorized). Not retryable — fix the key (WithAPIKey).
+	ErrTenantUnauthorized = errors.New("lwmclient: tenant unauthorized")
+	// ErrTenantRateLimited: this tenant's token bucket is exhausted (429,
+	// tenant_rate_limited). Retryable after the Retry-After hint; unlike
+	// ErrQueueFull it says nothing about service health, so the client
+	// backs off without counting it against the circuit breaker.
+	ErrTenantRateLimited = errors.New("lwmclient: tenant rate limited")
+	// ErrTenantQuotaExceeded: a design put would exceed this tenant's
+	// store quota (413, tenant_quota_exceeded). Not retryable until the
+	// tenant deletes designs or its quota is raised.
+	ErrTenantQuotaExceeded = errors.New("lwmclient: tenant quota exceeded")
 )
 
 // sentinelFor maps an envelope code (preferred) or an HTTP status (the
@@ -75,6 +88,12 @@ func sentinelFor(code string, status int) error {
 		return ErrJobNotReady
 	case lwmapi.CodeJobFailed:
 		return ErrJobFailed
+	case lwmapi.CodeTenantUnauthorized:
+		return ErrTenantUnauthorized
+	case lwmapi.CodeTenantRateLimited:
+		return ErrTenantRateLimited
+	case lwmapi.CodeTenantQuotaExceeded:
+		return ErrTenantQuotaExceeded
 	}
 	switch status {
 	// 409 and 410 only ever come from the job endpoints, so the
@@ -91,7 +110,13 @@ func sentinelFor(code string, status int) error {
 	case http.StatusMethodNotAllowed:
 		return ErrMethodNotAllowed
 	case http.StatusTooManyRequests:
+		// Pre-tenant daemons only produce 429 for queue_full; tenant
+		// rate limiting always sends its code, so it never lands here.
 		return ErrQueueFull
+	case http.StatusUnauthorized:
+		return ErrTenantUnauthorized
+	case http.StatusRequestEntityTooLarge:
+		return ErrTenantQuotaExceeded
 	case http.StatusServiceUnavailable:
 		return ErrDraining
 	case http.StatusGatewayTimeout:

@@ -1,0 +1,113 @@
+package lwmclient
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"localwm/lwmapi"
+)
+
+// Tenant-aware client behavior: the API key rides every attempt, derived
+// clients share the breaker and counters, and a tenant rate-limit 429
+// backs off without counting as breaker pressure — one throttled tenant
+// must not trip the breaker for every caller sharing the process.
+
+func TestClientSendsAPIKey(t *testing.T) {
+	var mu sync.Mutex
+	var keys []string
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		keys = append(keys, r.Header.Get(lwmapi.APIKeyHeader))
+		mu.Unlock()
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(VerifyResponse{Verified: true})
+	}))
+	defer ts.Close()
+
+	base := newTestClient(t, fastConfig(ts.URL))
+	keyed := base.WithAPIKey("tenant-key-123")
+
+	if _, err := base.Verify(context.Background(), VerifyRequest{}); err != nil {
+		t.Fatalf("anonymous verify: %v", err)
+	}
+	if _, err := keyed.Verify(context.Background(), VerifyRequest{}); err != nil {
+		t.Fatalf("keyed verify: %v", err)
+	}
+
+	mu.Lock()
+	got := append([]string(nil), keys...)
+	mu.Unlock()
+	if len(got) != 2 || got[0] != "" || got[1] != "tenant-key-123" {
+		t.Fatalf("server saw API keys %q, want [\"\" \"tenant-key-123\"]", got)
+	}
+
+	// Derived clients share cumulative counters (and the breaker behind
+	// them): both views report the combined two attempts.
+	if bc, kc := base.Counters(), keyed.Counters(); bc.Attempts != 2 || kc.Attempts != 2 {
+		t.Fatalf("counters not shared: base %+v, keyed %+v", bc, kc)
+	}
+}
+
+func TestClientTenant429IsBackoffNotBreakerPressure(t *testing.T) {
+	serve := func(code string) func(n int, w http.ResponseWriter) bool {
+		return func(n int, w http.ResponseWriter) bool {
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusTooManyRequests)
+			json.NewEncoder(w).Encode(lwmapi.Error{Code: code, Message: "throttled"})
+			return true
+		}
+	}
+	breaker := BreakerConfig{
+		ConsecutiveFailures: 2,
+		OpenTimeout:         5 * time.Millisecond,
+		HalfOpenSuccesses:   1,
+	}
+
+	// tenant_rate_limited: every attempt reaches the wire — the breaker
+	// records the answers as successes, so it never opens and never
+	// fast-fails — and the final error carries the tenant sentinel.
+	t.Run("tenant_rate_limited", func(t *testing.T) {
+		ts, hits := fakeVerify(t, serve(lwmapi.CodeTenantRateLimited))
+		cfg := fastConfig(ts.URL)
+		cfg.Breaker = breaker
+		c := newTestClient(t, cfg)
+		_, err := c.Verify(context.Background(), VerifyRequest{})
+		if err == nil || !strings.Contains(err.Error(), "after 4 attempts") {
+			t.Fatalf("err = %v, want failure after 4 attempts", err)
+		}
+		if !errors.Is(err, ErrTenantRateLimited) {
+			t.Fatalf("err = %v, want ErrTenantRateLimited", err)
+		}
+		if got := hits.Load(); got != 4 {
+			t.Fatalf("server saw %d requests, want all 4 attempts", got)
+		}
+		cs := c.Counters()
+		if cs.BreakerOpens != 0 || cs.BreakerFastFails != 0 {
+			t.Fatalf("tenant 429 tripped the breaker: %+v", cs)
+		}
+	})
+
+	// queue_full: the same 429 status but the daemon-wide code means the
+	// service itself is saturated — genuine breaker pressure, so the
+	// breaker opens after the configured consecutive failures.
+	t.Run("queue_full", func(t *testing.T) {
+		ts, _ := fakeVerify(t, serve(lwmapi.CodeQueueFull))
+		cfg := fastConfig(ts.URL)
+		cfg.Breaker = breaker
+		c := newTestClient(t, cfg)
+		_, err := c.Verify(context.Background(), VerifyRequest{})
+		if err == nil || !errors.Is(err, ErrQueueFull) {
+			t.Fatalf("err = %v, want ErrQueueFull failure", err)
+		}
+		if cs := c.Counters(); cs.BreakerOpens == 0 {
+			t.Fatalf("queue-full 429s never opened the breaker: %+v", cs)
+		}
+	})
+}
