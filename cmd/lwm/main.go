@@ -18,6 +18,9 @@
 //	lwm synth -in design.cdfg [-budget N]
 //	    run the plain behavioral-synthesis pipeline and print the
 //	    allocation report (schedule, covering, modules, registers)
+//	lwm robust -in design.cdfg -sig <signature> [-seed S] [-battery spec.json]
+//	    run a seeded attack campaign against the re-marked design and
+//	    print the structured robustness report
 //	lwm dot -in design.cdfg [-o out.dot]
 //	    render the design for Graphviz
 //
@@ -88,6 +91,8 @@ func main() {
 		err = cmdDesign(os.Args[2:])
 	case "job":
 		err = cmdJob(os.Args[2:])
+	case "robust":
+		err = cmdRobust(os.Args[2:])
 	default:
 		usage()
 		os.Exit(2)
@@ -99,7 +104,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: lwm {gen|info|embed|schedule|detect|verify|synth|bench|design|job|dot} [flags]")
+	fmt.Fprintln(os.Stderr, "usage: lwm {gen|info|embed|schedule|detect|verify|synth|bench|design|job|robust|dot} [flags]")
 }
 
 // traceCtx builds the context for a marking command. With -trace off it

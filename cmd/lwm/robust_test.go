@@ -1,0 +1,135 @@
+package main
+
+import (
+	"bytes"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"localwm/internal/server"
+)
+
+// writeBattery drops a small battery spec file: 2 units, fast enough for
+// a CLI test while still exercising two attack families.
+func writeBattery(t *testing.T, dir string) string {
+	t.Helper()
+	path := filepath.Join(dir, "battery.json")
+	spec := `{
+  "attacks": [
+    {"family": "perturb", "intensities": [3]},
+    {"family": "renumber", "intensities": [1]}
+  ],
+  "trials": 1,
+  "alpha": 1e-3
+}`
+	if err := os.WriteFile(path, []byte(spec), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestCmdRobustLocalMatchesDaemon is the offline-mode acceptance: the
+// same design, signature, seed, and battery file must produce
+// byte-identical report files whether the campaign ran in-process, on a
+// daemon synchronously, or on a daemon through the job queue — and at
+// any local worker count.
+func TestCmdRobustLocalMatchesDaemon(t *testing.T) {
+	srv := server.New(server.Config{EngineWorkers: 2})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	dir := t.TempDir()
+	design := filepath.Join(dir, "d.cdfg")
+	if err := cmdGen([]string{"-design", "dac", "-o", design}); err != nil {
+		t.Fatal(err)
+	}
+	battery := writeBattery(t, dir)
+	base := []string{"-in", design, "-sig", "cli-robust", "-seed", "cli-seed",
+		"-battery", battery, "-n", "2", "-tau", "16", "-k", "3", "-epsilon", "0.4"}
+
+	run := func(out string, extra ...string) []byte {
+		t.Helper()
+		args := append(append([]string{}, base...), "-o", out)
+		args = append(args, extra...)
+		if err := cmdRobust(args); err != nil {
+			t.Fatalf("lwm robust %v: %v", extra, err)
+		}
+		data, err := os.ReadFile(out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+
+	local := run(filepath.Join(dir, "local.json"))
+	if !bytes.Contains(local, []byte(`"report"`)) || !bytes.Contains(local, []byte(`"perturb"`)) {
+		t.Fatalf("local report shape: %s", local)
+	}
+
+	localParallel := run(filepath.Join(dir, "local8.json"), "-workers", "8")
+	if !bytes.Equal(local, localParallel) {
+		t.Fatalf("local report diverged across worker counts")
+	}
+
+	remoteSync := run(filepath.Join(dir, "remote.json"), "-remote", ts.URL)
+	if !bytes.Equal(local, remoteSync) {
+		t.Fatalf("daemon report diverged from local:\nlocal  %s\nremote %s", local, remoteSync)
+	}
+
+	remoteAsync := run(filepath.Join(dir, "async.json"), "-remote", ts.URL, "-async")
+	if !bytes.Equal(local, remoteAsync) {
+		t.Fatalf("queued daemon report diverged from local:\nlocal %s\nasync %s", local, remoteAsync)
+	}
+}
+
+// TestCmdRobustQueuedJobID: -wait=false prints the queued job's ID alone
+// on stdout, collectable later with `lwm job wait`.
+func TestCmdRobustQueuedJobID(t *testing.T) {
+	srv := server.New(server.Config{EngineWorkers: 2})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	dir := t.TempDir()
+	design := filepath.Join(dir, "d.cdfg")
+	if err := cmdGen([]string{"-design", "dac", "-o", design}); err != nil {
+		t.Fatal(err)
+	}
+	battery := writeBattery(t, dir)
+
+	out := captureStdout(t, func() error {
+		return cmdRobust([]string{"-in", design, "-sig", "cli-robust", "-seed", "s",
+			"-battery", battery, "-tau", "16", "-k", "3", "-epsilon", "0.4",
+			"-remote", ts.URL, "-async", "-wait=false"})
+	})
+	id := strings.TrimSpace(out)
+	if id == "" || strings.ContainsAny(id, " \n{") {
+		t.Fatalf("stdout must carry the job ID alone, got %q", out)
+	}
+
+	result := filepath.Join(dir, "result.json")
+	if err := cmdJobWait([]string{"-remote", ts.URL, "-id", id, "-out", result}); err != nil {
+		t.Fatalf("lwm job wait: %v", err)
+	}
+	data, err := os.ReadFile(result)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(data, []byte(`"report"`)) {
+		t.Fatalf("job result is not a report envelope: %s", data)
+	}
+}
+
+// TestCmdRobustValidation covers the flag-surface errors.
+func TestCmdRobustValidation(t *testing.T) {
+	if err := cmdRobust([]string{"-in", "x.cdfg"}); err == nil || !strings.Contains(err.Error(), "-sig") {
+		t.Fatalf("missing -sig accepted: %v", err)
+	}
+	if err := cmdRobust([]string{"-in", "x.cdfg", "-sig", "a", "-async"}); err == nil || !strings.Contains(err.Error(), "-remote") {
+		t.Fatalf("-async without -remote accepted: %v", err)
+	}
+	if err := cmdRobust([]string{"-ref", "abc", "-sig", "a"}); err == nil || !strings.Contains(err.Error(), "-remote") {
+		t.Fatalf("-ref without -remote accepted: %v", err)
+	}
+}

@@ -21,6 +21,14 @@
 //	             write-ahead log; failed attempts retry under capped
 //	             full-jitter backoff, and -webhook-secret signs the
 //	             terminal-status push a job's webhook_url receives.
+//	/v1/robustness
+//	             run a seeded attack campaign against a re-marked design
+//	             and answer the structured survival report. Campaigns up
+//	             to -robust-sync-units attack units run inline; larger
+//	             (or "async": true) ones are queued as durable jobs and
+//	             answered with the job status — the stored result is the
+//	             same envelope the synchronous path answers, byte for
+//	             byte.
 //	/v1/stats    metrics snapshot (also on the debug port)
 //	/metrics     Prometheus text exposition (also on the debug port)
 //	/healthz     liveness (503 while draining)
@@ -113,6 +121,8 @@ func run(args []string) error {
 	storeCapacity := fs.Int("store-capacity", 0, "design-registry entries before LRU eviction (0: default 1024)")
 	jobsDir := fs.String("jobs-dir", "", "async-job persistence directory (empty: in-memory only, jobs die with the daemon)")
 	jobsWorkers := fs.Int("jobs-workers", 2, "concurrent async-job executions")
+	robustWorkers := fs.Int("robust-workers", 2, "concurrent synchronous robustness campaigns")
+	robustSyncUnits := fs.Int("robust-sync-units", 32, "largest campaign (attack units) answered synchronously; bigger ones queue as jobs (negative: queue everything)")
 	jobsMaxAttempts := fs.Int("jobs-max-attempts", 0, "default per-job retry budget (0: default 3)")
 	webhookSecret := fs.String("webhook-secret", "", "HMAC key for signing job-completion webhooks (empty: deliveries unsigned)")
 	tenantsFile := fs.String("tenants-file", "", "JSON tenants file enabling the API-key control plane (empty: single-tenant, no auth); SIGHUP re-reads it")
@@ -183,6 +193,8 @@ func run(args []string) error {
 		DetectWorkers:    *detectWorkers,
 		VerifyWorkers:    *verifyWorkers,
 		DesignWorkers:    *designWorkers,
+		RobustWorkers:    *robustWorkers,
+		RobustSyncUnits:  *robustSyncUnits,
 		QueueSize:        *queueSize,
 		EngineWorkers:    *engineWorkers,
 		MaxEngineWorkers: *maxEngineWorkers,

@@ -74,14 +74,33 @@ func legalWindow(g *cdfg.Graph, s *sched.Schedule, v cdfg.NodeID) (lo, hi int) {
 	return lo, hi
 }
 
+// HasLegalMove reports whether any operation can move at all: some
+// computational node whose precedence-feasible window holds more than one
+// step. A schedule where every window is a singleton (a chain scheduled
+// at its exact makespan, say) is frozen — no sequence of legal local
+// modifications changes it.
+func HasLegalMove(g *cdfg.Graph, s *sched.Schedule) bool {
+	for _, v := range g.Computational() {
+		if lo, hi := legalWindow(g, s, v); lo < hi {
+			return true
+		}
+	}
+	return false
+}
+
 // Perturb applies up to n random legal schedule modifications and returns
 // how many actually moved an operation. The schedule remains verifiable
-// against the structural edges throughout.
+// against the structural edges throughout. A frozen schedule — no legal
+// move anywhere — returns the moves made so far (0 on a schedule frozen
+// from the start) instead of burning the remaining attempts: the result
+// is well-defined, not an n-iteration no-op.
 func Perturb(g *cdfg.Graph, s *sched.Schedule, n int, bs *prng.Bitstream) int {
 	moved := 0
 	for i := 0; i < n; i++ {
 		if MoveRandomOp(g, s, bs) {
 			moved++
+		} else if !HasLegalMove(g, s) {
+			break
 		}
 	}
 	return moved
@@ -167,7 +186,19 @@ type CropResult struct {
 // along (steps are renumbered so the earliest kept operation lands on step
 // 1 — the thief ships a self-contained component). Temporal edges are NOT
 // carried: the shipped artifact has no watermark constraints in it.
+//
+// An empty keep set is the degenerate total crop: the result is a valid
+// zero-node design with an empty schedule, not an error — callers
+// sweeping crop intensities to 100% get a well-defined "nothing
+// survives" sample.
 func Crop(g *cdfg.Graph, s *sched.Schedule, keep []cdfg.NodeID) (*CropResult, error) {
+	if len(keep) == 0 {
+		return &CropResult{
+			Graph:    cdfg.New(0),
+			Schedule: &sched.Schedule{},
+			ToSub:    map[cdfg.NodeID]cdfg.NodeID{},
+		}, nil
+	}
 	res, err := g.InducedSubgraph(keep)
 	if err != nil {
 		return nil, err

@@ -1,6 +1,7 @@
 package attack
 
 import (
+	"fmt"
 	"testing"
 
 	"localwm/internal/cdfg"
@@ -82,11 +83,63 @@ func TestTamperSweepMonotoneDecay(t *testing.T) {
 func TestTamperSweepValidation(t *testing.T) {
 	g, s, _, edges := markedDesign(t, 0, 1)
 	bs := prng.MustBitstream([]byte("x"))
-	if _, err := TamperSweep(g, s, nil, []int{1}, bs); err == nil {
-		t.Fatal("no-edge sweep accepted")
-	}
 	if _, err := TamperSweep(g, s, edges, []int{5, 1}, bs); err == nil {
 		t.Fatal("decreasing checkpoints accepted")
+	}
+}
+
+// TestTamperSweepNoEdges pins the degenerate sweep: with no watermark
+// constraints to track, every sample is a well-defined zero-evidence
+// point (Total=0, residual Pc = 1) while the perturbation trace itself
+// still runs.
+func TestTamperSweepNoEdges(t *testing.T) {
+	g, s, _, _ := markedDesign(t, 0, 1)
+	bs := prng.MustBitstream([]byte("x"))
+	pts, err := TamperSweep(g, s, nil, []int{0, 50}, bs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 {
+		t.Fatalf("got %d points, want 2", len(pts))
+	}
+	for i, pt := range pts {
+		if pt.Total != 0 || pt.Satisfied != 0 {
+			t.Fatalf("point %d: %d/%d constraints on an unmarked sweep", i, pt.Satisfied, pt.Total)
+		}
+		if pt.ResidualPc.Prob() != 1 {
+			t.Fatalf("point %d: residual Pc %v, want probability 1", i, pt.ResidualPc)
+		}
+	}
+	if pts[0].AlteredPct != 0 {
+		t.Fatal("zero moves altered the schedule")
+	}
+	if pts[1].AlteredPct <= 0 {
+		t.Fatal("50 moves altered nothing")
+	}
+}
+
+// TestTamperSweepZeroMoves pins the zero-move sweep: sampling the
+// untouched schedule is not an error, and an empty checkpoint list
+// yields an empty (but successful) sweep.
+func TestTamperSweepZeroMoves(t *testing.T) {
+	g, s, _, edges := markedDesign(t, 0, 1)
+	bs := prng.MustBitstream([]byte("x"))
+	pts, err := TamperSweep(g, s, edges, []int{0}, bs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 1 || pts[0].Moves != 0 || pts[0].AlteredPct != 0 {
+		t.Fatalf("zero-move sweep produced %+v", pts)
+	}
+	if pts[0].Satisfied != pts[0].Total {
+		t.Fatalf("untouched schedule satisfies %d/%d", pts[0].Satisfied, pts[0].Total)
+	}
+	empty, err := TamperSweep(g, s, edges, nil, bs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(empty) != 0 {
+		t.Fatalf("empty checkpoint list produced %d points", len(empty))
 	}
 }
 
@@ -333,5 +386,80 @@ func TestCropInvalidKeepSet(t *testing.T) {
 	a := g.Computational()[0]
 	if _, err := Crop(g, s, []cdfg.NodeID{a, a}); err == nil {
 		t.Fatal("duplicate keep set accepted")
+	}
+}
+
+// TestCropEmptyKeep pins the total crop: dropping every node is a
+// well-defined zero-node result, not an error, so intensity sweeps can
+// run crop percentages all the way to 100.
+func TestCropEmptyKeep(t *testing.T) {
+	g, s, recs, _ := markedDesign(t, 0, 1)
+	crop, err := Crop(g, s, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if crop.Graph.Len() != 0 {
+		t.Fatalf("total crop kept %d nodes", crop.Graph.Len())
+	}
+	if len(crop.Schedule.Steps) != 0 || crop.Schedule.Budget != 0 {
+		t.Fatalf("total crop has a non-empty schedule: %+v", crop.Schedule)
+	}
+	if crop.ToSub == nil || len(crop.ToSub) != 0 {
+		t.Fatalf("total crop mapping: %v", crop.ToSub)
+	}
+	if err := sched.Verify(crop.Graph, crop.Schedule, sched.Unlimited, false); err != nil {
+		t.Fatalf("empty crop schedule not verifiable: %v", err)
+	}
+	_ = recs
+}
+
+// frozenChain builds a design whose only schedule is the one it has:
+// a pure chain scheduled at its exact makespan, so every operation's
+// precedence window is a singleton and no legal move exists.
+func frozenChain(t *testing.T, n int) (*cdfg.Graph, *sched.Schedule) {
+	t.Helper()
+	g := cdfg.New(n + 2)
+	prev := g.AddNode("in", cdfg.OpInput)
+	s := &sched.Schedule{Budget: n}
+	s.Steps = make([]int, n+2)
+	for i := 0; i < n; i++ {
+		v := g.AddNode(fmt.Sprintf("u%d", i), cdfg.OpUnit)
+		g.MustAddEdge(prev, v, cdfg.DataEdge)
+		s.Steps[v] = i + 1
+		prev = v
+	}
+	out := g.AddNode("out", cdfg.OpOutput)
+	g.MustAddEdge(prev, out, cdfg.DataEdge)
+	if err := sched.Verify(g, s, sched.Unlimited, false); err != nil {
+		t.Fatal(err)
+	}
+	return g, s
+}
+
+// TestPerturbFrozenSchedule pins the no-legal-move contract: Perturb on
+// a frozen schedule returns 0 immediately (well-defined, not an
+// n-iteration silent no-op) and leaves the schedule untouched.
+func TestPerturbFrozenSchedule(t *testing.T) {
+	g, s := frozenChain(t, 6)
+	if HasLegalMove(g, s) {
+		t.Fatal("frozen chain reports a legal move")
+	}
+	before := append([]int(nil), s.Steps...)
+	bs := prng.MustBitstream([]byte("x"))
+	if moved := Perturb(g, s, 1_000_000, bs); moved != 0 {
+		t.Fatalf("frozen schedule moved %d ops", moved)
+	}
+	for v, st := range s.Steps {
+		if st != before[v] {
+			t.Fatalf("node %d moved %d -> %d", v, before[v], st)
+		}
+	}
+	// A padded budget thaws the chain: the window of the last op opens.
+	s.Budget += 2
+	if !HasLegalMove(g, s) {
+		t.Fatal("padded budget still frozen")
+	}
+	if moved := Perturb(g, s, 50, bs); moved == 0 {
+		t.Fatal("padded chain did not move")
 	}
 }

@@ -24,11 +24,15 @@ type TamperPoint struct {
 // altering a majority of the final solution. edges are the embedded
 // temporal constraints (in the graph's node IDs); checkpoints lists the
 // cumulative move counts at which to sample.
+//
+// An empty edge set is well-defined: each sample reports Total=0,
+// Satisfied=0, and a residual Pc of probability 1 (no evidence to begin
+// with), while AlteredPct still tracks the tampering itself — the sweep
+// degenerates to a pure perturbation trace. A zero-move sweep
+// (checkpoints [0] or an empty checkpoint list) likewise just samples
+// the untouched schedule zero or more times.
 func TamperSweep(g *cdfg.Graph, s *sched.Schedule, edges []cdfg.Edge,
 	checkpoints []int, bs *prng.Bitstream) ([]TamperPoint, error) {
-	if len(edges) == 0 {
-		return nil, fmt.Errorf("attack: no watermark constraints to track")
-	}
 	budget := s.Budget
 	if budget < s.Makespan() {
 		budget = s.Makespan()

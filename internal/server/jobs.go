@@ -64,6 +64,12 @@ func (s *Server) execJob(ctx context.Context, kind string, payload json.RawMessa
 			return nil, jobs.Permanent(fmt.Errorf("decoding verify payload: %w", uerr))
 		}
 		resp, err = s.runVerify(ctx, req)
+	case lwmapi.JobKindRobustness:
+		req := new(lwmapi.RobustnessRequest)
+		if uerr := json.Unmarshal(payload, req); uerr != nil {
+			return nil, jobs.Permanent(fmt.Errorf("decoding robustness payload: %w", uerr))
+		}
+		resp, err = s.runRobust(ctx, req)
 	default:
 		return nil, jobs.Permanent(fmt.Errorf("unknown job kind %q", kind))
 	}
@@ -120,11 +126,20 @@ func (s *Server) handleJobSubmit(r *http.Request) (any, error) {
 	if err := decode(r, &req); err != nil {
 		return nil, err
 	}
-	payload, err := lwmapi.ValidJobPayload(&req)
+	return s.submitJob(r.Context(), &req)
+}
+
+// submitJob validates and submits one job on behalf of the context
+// tenant, mapping the manager's sentinels to their wire errors. Shared
+// by POST /v1/jobs and the /v1/robustness async dispatch, so backlog
+// bounds, idempotency namespacing, and metering behave identically no
+// matter which door a job came in through.
+func (s *Server) submitJob(ctx context.Context, req *lwmapi.JobRequest) (*lwmapi.JobStatus, error) {
+	payload, err := lwmapi.ValidJobPayload(req)
 	if err != nil {
 		return nil, badRequest("%v", err)
 	}
-	tn := tenantFrom(r.Context())
+	tn := tenantFrom(ctx)
 	idem := req.IdempotencyKey
 	if idem != "" {
 		// Scope dedup keys by namespace: tenant IDs cannot contain ":"
@@ -171,9 +186,10 @@ func (s *Server) handleJobSubmit(r *http.Request) (any, error) {
 	if cur, v, ok := s.jobs.GetVersion(job.ID); ok {
 		st := cur.Status()
 		st.Version = v
-		return st, nil
+		return &st, nil
 	}
-	return job.Status(), nil
+	st := job.Status()
+	return &st, nil
 }
 
 func (s *Server) handleJobGet(r *http.Request) (any, error) {

@@ -13,6 +13,7 @@ import (
 	"localwm/internal/engine"
 	"localwm/internal/jobs"
 	"localwm/internal/obs"
+	"localwm/internal/robust"
 	"localwm/internal/store"
 	"localwm/lwmapi"
 )
@@ -240,6 +241,31 @@ func (s *Server) buildRegistry() *obs.Registry {
 			func() float64 { return float64(load(s.jobs.Counters())) })
 	}
 
+	// Robustness-campaign series: the process-wide campaign counters plus
+	// the per-server campaign duration histogram, observed on both the
+	// sync and async execution paths.
+	s.robustDur = r.Histogram("lwmd_robust_campaign_seconds",
+		"Robustness campaign duration (re-marking, attack battery, and detection sweeps).", nil, nil)
+	for _, rc := range []struct {
+		name, help string
+		load       func(robust.Counters) uint64
+	}{
+		{"lwmd_robust_campaigns_total", "Robustness campaigns run (process-wide; failures included).",
+			func(c robust.Counters) uint64 { return c.Campaigns }},
+		{"lwmd_robust_units_total", "Attack units executed across all campaigns (process-wide).",
+			func(c robust.Counters) uint64 { return c.Units }},
+		{"lwmd_robust_unit_errors_total", "Attack units that ended in an error instead of a verdict (process-wide).",
+			func(c robust.Counters) uint64 { return c.UnitErrors }},
+		{"lwmd_robust_scans_total", "Per-locality detections re-run after attacks (process-wide).",
+			func(c robust.Counters) uint64 { return c.Scans }},
+		{"lwmd_robust_survivals_total", "Post-attack scans in which the locality was still detected (process-wide).",
+			func(c robust.Counters) uint64 { return c.Survivals }},
+	} {
+		load := rc.load
+		r.CounterFunc(rc.name, rc.help, nil,
+			func() float64 { return float64(load(robust.Stats())) })
+	}
+
 	for _, ec := range []struct {
 		name, help string
 		load       func() uint64
@@ -371,6 +397,14 @@ func (s *Server) snapshot() map[string]any {
 		"running":            jc.Running,
 		"resident":           jc.Jobs,
 		"wal_bytes":          jc.WALBytes,
+	}
+	rc := robust.Stats()
+	out["robust"] = map[string]any{
+		"campaigns":   rc.Campaigns,
+		"units":       rc.Units,
+		"unit_errors": rc.UnitErrors,
+		"scans":       rc.Scans,
+		"survivals":   rc.Survivals,
 	}
 	out["tenants"] = s.meter.Snapshot(s.storeUsageOf)
 	if s.cfg.Chaos != nil {

@@ -1,0 +1,313 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"localwm/internal/jobs"
+	"localwm/lwmapi"
+)
+
+// robustBody marshals a small campaign request against the fixture's
+// design. The battery is tiny (2 units) so it stays under the sync
+// threshold and keeps the test fast; mutate tweaks the request before
+// encoding.
+func robustBody(t *testing.T, fx *fixture, mutate func(*lwmapi.RobustnessRequest)) []byte {
+	t.Helper()
+	req := lwmapi.RobustnessRequest{
+		Design:     fx.designText,
+		Signature:  "alice",
+		MarkParams: lwmapi.MarkParams{N: 2, Tau: 16, K: 3, Epsilon: 0.4, Workers: 2},
+		Seed:       "campaign-seed",
+		Battery: lwmapi.BatterySpec{
+			Attacks: []lwmapi.AttackSpec{
+				{Family: lwmapi.AttackPerturb, Intensities: []int{3}},
+				{Family: lwmapi.AttackRenumber, Intensities: []int{1}},
+			},
+			Trials: 1,
+			Alpha:  1e-3,
+		},
+	}
+	if mutate != nil {
+		mutate(&req)
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return body
+}
+
+func decodeRobustness(t *testing.T, data []byte) lwmapi.RobustnessResponse {
+	t.Helper()
+	var rr lwmapi.RobustnessResponse
+	if err := json.Unmarshal(data, &rr); err != nil {
+		t.Fatalf("decoding robustness response %q: %v", data, err)
+	}
+	return rr
+}
+
+// TestRobustnessSyncAsyncByteIdentical is the tentpole acceptance test:
+// the same campaign request answered synchronously and through the job
+// queue must produce byte-identical report envelopes.
+func TestRobustnessSyncAsyncByteIdentical(t *testing.T) {
+	fx := makeFixture(t, "alice")
+	srv := New(Config{EngineWorkers: 4})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	defer srv.Shutdown(context.Background())
+
+	resp, syncBytes := postJSON(t, ts.Client(), ts.URL+"/v1/robustness", robustBody(t, fx, nil))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("sync campaign status %d: %s", resp.StatusCode, syncBytes)
+	}
+	sync := decodeRobustness(t, syncBytes)
+	if sync.Report == nil || sync.Job != nil {
+		t.Fatalf("sync response must carry a report and no job: %s", syncBytes)
+	}
+	if sync.Report.Localities == 0 || sync.Report.Units != 2 || len(sync.Report.Families) != 2 {
+		t.Fatalf("sync report shape: %+v", sync.Report)
+	}
+
+	asyncBody := robustBody(t, fx, func(req *lwmapi.RobustnessRequest) { req.Async = true })
+	resp, data := postJSON(t, ts.Client(), ts.URL+"/v1/robustness", asyncBody)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("async dispatch status %d: %s", resp.StatusCode, data)
+	}
+	queued := decodeRobustness(t, data)
+	if queued.Job == nil || queued.Report != nil {
+		t.Fatalf("async dispatch must carry a job and no report: %s", data)
+	}
+	if queued.Job.Kind != lwmapi.JobKindRobustness {
+		t.Fatalf("job kind %q", queued.Job.Kind)
+	}
+
+	final := waitJobHTTP(t, ts.Client(), ts.URL, queued.Job.ID)
+	if final.State != lwmapi.JobDone {
+		t.Fatalf("job state %s (err %q), want done", final.State, final.Error)
+	}
+	rresp, asyncBytes := getBody(t, ts.Client(), ts.URL+"/v1/jobs/"+queued.Job.ID+"/result")
+	if rresp.StatusCode != http.StatusOK {
+		t.Fatalf("result status %d: %s", rresp.StatusCode, asyncBytes)
+	}
+	if !bytes.Equal(asyncBytes, syncBytes) {
+		t.Fatalf("async campaign result != sync response:\nasync %s\nsync  %s", asyncBytes, syncBytes)
+	}
+}
+
+// TestRobustnessForcedAsync: a negative RobustSyncUnits pushes every
+// campaign — however small — through the job queue.
+func TestRobustnessForcedAsync(t *testing.T) {
+	fx := makeFixture(t, "alice")
+	srv := New(Config{EngineWorkers: 2, RobustSyncUnits: -1})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	defer srv.Shutdown(context.Background())
+
+	resp, data := postJSON(t, ts.Client(), ts.URL+"/v1/robustness", robustBody(t, fx, nil))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, data)
+	}
+	rr := decodeRobustness(t, data)
+	if rr.Job == nil || rr.Report != nil {
+		t.Fatalf("forced-async dispatch must answer a job: %s", data)
+	}
+	final := waitJobHTTP(t, ts.Client(), ts.URL, rr.Job.ID)
+	if final.State != lwmapi.JobDone {
+		t.Fatalf("job state %s (err %q), want done", final.State, final.Error)
+	}
+}
+
+// TestRobustnessCrashRecovery is the kill -9 acceptance: campaigns
+// queued on a durable manager survive a hard kill mid-flight, converge
+// after restart, and their recovered reports are byte-identical to an
+// uninterrupted synchronous run of the same request.
+func TestRobustnessCrashRecovery(t *testing.T) {
+	fx := makeFixture(t, "alice")
+	dir := t.TempDir()
+
+	m1, err := jobs.Open(jobs.Config{Dir: dir, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A negative sync threshold forces the queue even for this small
+	// battery, so the kill lands on queued or mid-attempt campaigns.
+	srv1 := New(Config{EngineWorkers: 4, Jobs: m1, RobustSyncUnits: -1})
+	ts1 := httptest.NewServer(srv1.Handler())
+
+	const batch = 3
+	ids := make([]string, batch)
+	for i := 0; i < batch; i++ {
+		body := robustBody(t, fx, func(req *lwmapi.RobustnessRequest) {
+			req.IdempotencyKey = fmt.Sprintf("robust-crash-%d", i)
+		})
+		resp, data := postJSON(t, ts1.Client(), ts1.URL+"/v1/robustness", body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("submit %d: status %d: %s", i, resp.StatusCode, data)
+		}
+		rr := decodeRobustness(t, data)
+		if rr.Job == nil {
+			t.Fatalf("submit %d answered no job: %s", i, data)
+		}
+		ids[i] = rr.Job.ID
+	}
+
+	m1.Kill()
+	ts1.Close()
+	srv1.Shutdown(context.Background())
+
+	m2, err := jobs.Open(jobs.Config{Dir: dir, Workers: 2})
+	if err != nil {
+		t.Fatalf("reopen after kill: %v", err)
+	}
+	defer m2.Close(context.Background())
+	for i, id := range ids {
+		j, ok := m2.Get(id)
+		if !ok {
+			t.Fatalf("campaign %d (%s) lost by the crash", i, id)
+		}
+		if j.State == jobs.StateRunning {
+			t.Fatalf("campaign %d (%s) replayed as running; recovery must demote", i, id)
+		}
+	}
+
+	srv2 := New(Config{EngineWorkers: 4, Jobs: m2})
+	ts2 := httptest.NewServer(srv2.Handler())
+	defer ts2.Close()
+	defer srv2.Shutdown(context.Background())
+
+	// The uninterrupted oracle: the same campaign run synchronously on
+	// the restarted server (default threshold, no idempotency key).
+	sresp, syncBytes := postJSON(t, ts2.Client(), ts2.URL+"/v1/robustness", robustBody(t, fx, nil))
+	if sresp.StatusCode != http.StatusOK {
+		t.Fatalf("sync campaign status %d: %s", sresp.StatusCode, syncBytes)
+	}
+
+	for i, id := range ids {
+		final := waitJobHTTP(t, ts2.Client(), ts2.URL, id)
+		if final.State != lwmapi.JobDone {
+			t.Fatalf("campaign %d (%s): state %s (err %q) after restart, want done", i, id, final.State, final.Error)
+		}
+		rresp, raw := getBody(t, ts2.Client(), ts2.URL+"/v1/jobs/"+id+"/result")
+		if rresp.StatusCode != http.StatusOK {
+			t.Fatalf("campaign %d (%s): result status %d: %s", i, id, rresp.StatusCode, raw)
+		}
+		if !bytes.Equal(raw, syncBytes) {
+			t.Fatalf("campaign %d (%s): recovered report != uninterrupted sync run", i, id)
+		}
+	}
+}
+
+// TestRobustnessByRefByteIdenticalToInline: a campaign referencing the
+// design registry answers byte-for-byte the inline campaign.
+func TestRobustnessByRefByteIdenticalToInline(t *testing.T) {
+	fx := makeFixture(t, "alice")
+	srv := New(Config{EngineWorkers: 4})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	defer srv.Shutdown(context.Background())
+
+	ref := putDesign(t, ts.Client(), ts.URL, fx.designText).Ref
+
+	resp, inline := postJSON(t, ts.Client(), ts.URL+"/v1/robustness", robustBody(t, fx, nil))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("inline campaign status %d: %s", resp.StatusCode, inline)
+	}
+	resp, byRef := postJSON(t, ts.Client(), ts.URL+"/v1/robustness", robustBody(t, fx, func(req *lwmapi.RobustnessRequest) {
+		req.Design = ""
+		req.DesignRef = ref
+	}))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("by-ref campaign status %d: %s", resp.StatusCode, byRef)
+	}
+	if !bytes.Equal(inline, byRef) {
+		t.Fatalf("campaign diverged:\ninline %s\nby ref %s", inline, byRef)
+	}
+}
+
+// TestRobustnessValidation exercises the 400 surface: malformed battery
+// specs must fail at the endpoint instead of becoming failed jobs.
+func TestRobustnessValidation(t *testing.T) {
+	fx := makeFixture(t, "alice")
+	srv := New(Config{EngineWorkers: 1})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	defer srv.Shutdown(context.Background())
+
+	cases := []struct {
+		name   string
+		mutate func(*lwmapi.RobustnessRequest)
+	}{
+		{"unknown family", func(req *lwmapi.RobustnessRequest) {
+			req.Battery.Attacks = []lwmapi.AttackSpec{{Family: "meltdown", Intensities: []int{1}}}
+		}},
+		{"non-increasing ladder", func(req *lwmapi.RobustnessRequest) {
+			req.Battery.Attacks = []lwmapi.AttackSpec{{Family: lwmapi.AttackPerturb, Intensities: []int{5, 5}}}
+		}},
+		{"negative trials", func(req *lwmapi.RobustnessRequest) {
+			req.Battery.Trials = -1
+		}},
+		{"crop over 100", func(req *lwmapi.RobustnessRequest) {
+			req.Battery.Attacks = []lwmapi.AttackSpec{{Family: lwmapi.AttackCrop, Intensities: []int{150}}}
+		}},
+	}
+	for _, tc := range cases {
+		resp, data := postJSON(t, ts.Client(), ts.URL+"/v1/robustness", robustBody(t, fx, tc.mutate))
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("%s: status %d, want 400: %s", tc.name, resp.StatusCode, data)
+		}
+		if !strings.Contains(string(data), "battery") {
+			t.Fatalf("%s: error must name the battery: %s", tc.name, data)
+		}
+	}
+
+	// A missing design is rejected by the shared design resolver.
+	resp, data := postJSON(t, ts.Client(), ts.URL+"/v1/robustness", robustBody(t, fx, func(req *lwmapi.RobustnessRequest) {
+		req.Design = ""
+	}))
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("missing design: status %d, want 400: %s", resp.StatusCode, data)
+	}
+}
+
+// TestRobustnessMetricsExposed checks the lwmd_robust_* and per-tenant
+// campaign families reach the Prometheus surface after a campaign runs.
+func TestRobustnessMetricsExposed(t *testing.T) {
+	fx := makeFixture(t, "alice")
+	srv := New(Config{EngineWorkers: 2})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	defer srv.Shutdown(context.Background())
+
+	resp, data := postJSON(t, ts.Client(), ts.URL+"/v1/robustness", robustBody(t, fx, nil))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("campaign status %d: %s", resp.StatusCode, data)
+	}
+
+	mresp, metrics := getBody(t, ts.Client(), ts.URL+"/metrics")
+	if mresp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics status %d", mresp.StatusCode)
+	}
+	text := string(metrics)
+	// The robust counters are process-wide (shared across tests in this
+	// binary), so assert presence, not exact values.
+	for _, want := range []string{
+		"lwmd_robust_campaigns_total",
+		"lwmd_robust_units_total",
+		"lwmd_robust_unit_errors_total",
+		"lwmd_robust_scans_total",
+		"lwmd_robust_survivals_total",
+		"lwmd_robust_campaign_seconds",
+		"lwmd_tenant_campaigns_total",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("/metrics missing %s", want)
+		}
+	}
+}

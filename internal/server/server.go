@@ -58,6 +58,7 @@ const (
 	epVerify  = "verify"
 	epDesigns = "designs"
 	epJobs    = "jobs"
+	epRobust  = "robust"
 )
 
 // Config sizes the daemon. The zero value serves with sane defaults.
@@ -74,6 +75,18 @@ type Config struct {
 	// submits and status reads, which are cheap; the job executions
 	// themselves run on the jobs.Manager's own pool. Zero defaults to 4.
 	JobWorkers int
+	// RobustWorkers sizes the /v1/robustness endpoint's worker pool: how
+	// many synchronous campaigns (and async-campaign submits) run
+	// concurrently. Each campaign parallelizes its own attack units with
+	// the request's engine worker count, so a small pool suffices. Zero
+	// defaults to 2.
+	RobustWorkers int
+	// RobustSyncUnits is the largest campaign (in attack units:
+	// Σ len(intensities) × trials) answered synchronously; anything
+	// bigger — or any request with async set — is dispatched through the
+	// job queue and answered with the job status instead. Zero defaults
+	// to 32; negative forces every campaign async.
+	RobustSyncUnits int
 	// QueueSize is each endpoint's pending-request capacity beyond the
 	// workers. Zero defaults to 64.
 	QueueSize int
@@ -151,6 +164,12 @@ func (c Config) withDefaults() Config {
 	if c.JobWorkers <= 0 {
 		c.JobWorkers = 4
 	}
+	if c.RobustWorkers <= 0 {
+		c.RobustWorkers = 2
+	}
+	if c.RobustSyncUnits == 0 {
+		c.RobustSyncUnits = 32
+	}
 	if c.QueueSize <= 0 {
 		c.QueueSize = 64
 	}
@@ -187,6 +206,10 @@ type Server struct {
 	meter    *tenant.Meter
 	ownJobs  bool // the in-memory default is the server's to close
 	draining atomic.Bool
+	// robustDur is the campaign-duration histogram
+	// (lwmd_robust_campaign_seconds), observed by runRobust on both the
+	// sync and async execution paths. Set once in buildRegistry.
+	robustDur *obs.Histogram
 
 	// testJobStart, when set (tests only), runs at the start of every
 	// admitted job, before any work; it may block or panic to script
@@ -211,13 +234,14 @@ func New(cfg Config) *Server {
 	}
 	s := &Server{
 		cfg:     cfg,
-		metrics: newMetrics(epEmbed, epDetect, epVerify, epDesigns, epJobs),
+		metrics: newMetrics(epEmbed, epDetect, epVerify, epDesigns, epJobs, epRobust),
 		queues: map[string]*queue{
 			epEmbed:   newQueue(cfg.EmbedWorkers, cfg.QueueSize),
 			epDetect:  newQueue(cfg.DetectWorkers, cfg.QueueSize),
 			epVerify:  newQueue(cfg.VerifyWorkers, cfg.QueueSize),
 			epDesigns: newQueue(cfg.DesignWorkers, cfg.QueueSize),
 			epJobs:    newQueue(cfg.JobWorkers, cfg.QueueSize),
+			epRobust:  newQueue(cfg.RobustWorkers, cfg.QueueSize),
 		},
 		logger:  cfg.Logger,
 		store:   st,
@@ -253,6 +277,7 @@ func (s *Server) Handler() http.Handler {
 	designs := api(epDesigns, []string{http.MethodPut, http.MethodPost, http.MethodGet}, s.handleDesigns)
 	mux.Handle("/v1/designs", designs)
 	mux.Handle("/v1/designs/", designs)
+	mux.Handle("/v1/robustness", api(epRobust, post, s.handleRobustness))
 	mux.Handle("/v1/jobs", api(epJobs, post, s.handleJobSubmit))
 	jobsGet := api(epJobs, []string{http.MethodGet}, s.handleJobGet)
 	// The SSE stream bypasses the admission queue (it holds a connection

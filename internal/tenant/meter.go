@@ -24,6 +24,9 @@ type Usage struct {
 	EngineMillis int64 `json:"engine_ms"`
 	// JobsSubmitted counts async jobs accepted for this tenant.
 	JobsSubmitted uint64 `json:"jobs_submitted"`
+	// Campaigns counts robustness campaigns run for this tenant (sync
+	// answers and job attempts both count).
+	Campaigns uint64 `json:"campaigns"`
 	// StoreBytes / StoreEntries are the tenant's current resident
 	// footprint in the design registry (gauges, filled in by the store
 	// at snapshot time — the Meter itself doesn't track them).
@@ -111,6 +114,14 @@ func (m *Meter) JobSubmitted(id string) {
 	c.mu.Unlock()
 }
 
+// Campaign records one robustness campaign run.
+func (m *Meter) Campaign(id string) {
+	c := m.get(id)
+	c.mu.Lock()
+	c.u.Campaigns++
+	c.mu.Unlock()
+}
+
 // StoreUsage reports a tenant's current design-registry footprint; the
 // Meter calls it at snapshot time so gauges are always fresh.
 type StoreUsage func(id string) (bytes, entries int64)
@@ -166,6 +177,8 @@ func (m *Meter) WritePrometheus(w io.Writer, storeOf StoreUsage) {
 			func(u Usage) float64 { return float64(u.EngineMillis) / 1e3 }},
 		{"lwmd_tenant_jobs_submitted_total", "counter", "Async jobs accepted per tenant.",
 			func(u Usage) float64 { return float64(u.JobsSubmitted) }},
+		{"lwmd_tenant_campaigns_total", "counter", "Robustness campaigns run per tenant.",
+			func(u Usage) float64 { return float64(u.Campaigns) }},
 		{"lwmd_tenant_store_bytes", "gauge", "Resident design-registry bytes per tenant.",
 			func(u Usage) float64 { return float64(u.StoreBytes) }},
 		{"lwmd_tenant_store_entries", "gauge", "Resident design-registry entries per tenant.",

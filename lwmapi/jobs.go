@@ -14,9 +14,10 @@ import "encoding/json"
 
 // Job kinds: which synchronous endpoint the job's payload feeds.
 const (
-	JobKindEmbed  = "embed"
-	JobKindDetect = "detect"
-	JobKindVerify = "verify"
+	JobKindEmbed      = "embed"
+	JobKindDetect     = "detect"
+	JobKindVerify     = "verify"
+	JobKindRobustness = "robustness"
 )
 
 // Job states, the complete lifecycle:
@@ -44,8 +45,8 @@ func TerminalJobState(state string) bool {
 // of Embed/Detect/Verify must be set, matching Kind; the payload is the
 // same envelope the synchronous endpoint takes, design_ref included.
 type JobRequest struct {
-	// Kind selects the engine entry point: "embed", "detect", or
-	// "verify".
+	// Kind selects the engine entry point: "embed", "detect",
+	// "verify", or "robustness".
 	Kind string `json:"kind"`
 	// Embed is the payload for kind "embed".
 	Embed *EmbedRequest `json:"embed,omitempty"`
@@ -53,6 +54,10 @@ type JobRequest struct {
 	Detect *DetectRequest `json:"detect,omitempty"`
 	// Verify is the payload for kind "verify".
 	Verify *VerifyRequest `json:"verify,omitempty"`
+	// Robustness is the payload for kind "robustness". (POST
+	// /v1/robustness builds this job itself for large campaigns; direct
+	// submission through /v1/jobs is equally valid.)
+	Robustness *RobustnessRequest `json:"robustness,omitempty"`
 	// WebhookURL, when set, is POSTed the terminal JobStatus (HMAC-signed
 	// when the daemon has a webhook secret, with delivery retries and a
 	// stable idempotency key).
@@ -128,9 +133,12 @@ func ValidJobPayload(req *JobRequest) (json.RawMessage, error) {
 	if req.Verify != nil {
 		others++
 	}
+	if req.Robustness != nil {
+		others++
+	}
 	if others != 1 {
 		return nil, &Error{Code: CodeBadRequest, Status: 400,
-			Message: "exactly one of embed, detect, verify must be set"}
+			Message: "exactly one of embed, detect, verify, robustness must be set"}
 	}
 	switch req.Kind {
 	case JobKindEmbed:
@@ -151,9 +159,15 @@ func ValidJobPayload(req *JobRequest) (json.RawMessage, error) {
 				Message: `kind "verify" requires the verify payload`}
 		}
 		payload = req.Verify
+	case JobKindRobustness:
+		if req.Robustness == nil {
+			return nil, &Error{Code: CodeBadRequest, Status: 400,
+				Message: `kind "robustness" requires the robustness payload`}
+		}
+		payload = req.Robustness
 	default:
 		return nil, &Error{Code: CodeBadRequest, Status: 400,
-			Message: "kind must be embed, detect, or verify"}
+			Message: "kind must be embed, detect, verify, or robustness"}
 	}
 	raw, err := json.Marshal(payload)
 	if err != nil {

@@ -1,0 +1,161 @@
+package lwmapi
+
+// Robustness campaign wire types (POST /v1/robustness).
+//
+// A campaign re-marks a design deterministically from a signature, then
+// runs a battery of seeded attacks — families × an intensity ladder ×
+// repeated trials — against the marked schedule, re-running detection
+// after every attack. The report aggregates per-locality survival rates,
+// Pc degradation per intensity step, and the minimum attack budget that
+// defeated a Convincing detection.
+//
+// Campaigns are deterministic end to end: the same design, signature,
+// seed, and battery spec produce a byte-identical report regardless of
+// worker count and of whether the campaign ran synchronously, through
+// the async job queue, or offline via `lwm robust`.
+
+// Attack family names accepted in an AttackSpec.
+const (
+	// AttackPerturb moves ops to other legal control steps; intensity is
+	// the number of attempted moves.
+	AttackPerturb = "perturb"
+	// AttackCrop cuts a partition out of the design; intensity is the
+	// percentage of nodes dropped (1–99).
+	AttackCrop = "crop"
+	// AttackRenumber scrubs every node identity and label; intensity only
+	// seeds the permutation.
+	AttackRenumber = "renumber"
+	// AttackReschedule re-runs synthesis from scratch, discarding the
+	// marked schedule; the attack is deterministic, so every trial of
+	// every intensity yields the same verdict.
+	AttackReschedule = "reschedule"
+	// AttackHost embeds the marked design as a core inside a larger host
+	// system; intensity only seeds the interleaving.
+	AttackHost = "host"
+)
+
+// AttackFamilies lists every supported family, in report order.
+func AttackFamilies() []string {
+	return []string{AttackPerturb, AttackCrop, AttackRenumber, AttackReschedule, AttackHost}
+}
+
+// AttackSpec is one family's intensity ladder within a battery.
+type AttackSpec struct {
+	// Family is one of the Attack* constants.
+	Family string `json:"family"`
+	// Intensities is the attack-budget ladder, strictly increasing and
+	// positive. Its meaning is family-specific (moves for perturb,
+	// percent of nodes for crop, a seed variant elsewhere).
+	Intensities []int `json:"intensities"`
+}
+
+// BatterySpec describes a whole campaign: which attacks to run, how
+// often, and the detection threshold the defeat analysis uses.
+type BatterySpec struct {
+	// Attacks are the families to run. Empty selects the default
+	// battery: perturb [10,50,250], crop [25,50], renumber [1],
+	// reschedule [1], host [1].
+	Attacks []AttackSpec `json:"attacks,omitempty"`
+	// Trials is how many independently seeded runs each (family,
+	// intensity) cell gets (default 3).
+	Trials int `json:"trials,omitempty"`
+	// Alpha is the Convincing threshold for the defeat analysis
+	// (default 1e-6).
+	Alpha float64 `json:"alpha,omitempty"`
+}
+
+// RobustnessRequest runs an attack campaign against a marked design
+// (POST /v1/robustness). The design arrives inline or by registry
+// reference (the reference wins); the service re-embeds the watermarks
+// deterministically from Signature and MarkParams, so the request never
+// ships temporal edges or records.
+type RobustnessRequest struct {
+	// Design is the unmarked design inline, in the cdfg text format.
+	Design string `json:"design,omitempty"`
+	// DesignRef is a content-addressed registry reference standing in
+	// for the inline design.
+	DesignRef string `json:"design_ref,omitempty"`
+	// Signature is the author signature the watermarks derive from.
+	Signature string `json:"signature"`
+	MarkParams
+	// Seed keys every attack's randomness. Campaigns with the same seed
+	// and battery produce byte-identical reports.
+	Seed string `json:"seed"`
+	// Battery is the campaign spec; zero values take the defaults.
+	Battery BatterySpec `json:"battery"`
+	// Async forces dispatch through the job queue even when the campaign
+	// is small enough to run synchronously.
+	Async bool `json:"async,omitempty"`
+	// WebhookURL, IdempotencyKey, and MaxAttempts configure the async
+	// job when the campaign is dispatched to the queue (they are ignored
+	// on the synchronous path); see JobRequest for their semantics.
+	WebhookURL     string `json:"webhook_url,omitempty"`
+	IdempotencyKey string `json:"idempotency_key,omitempty"`
+	MaxAttempts    int    `json:"max_attempts,omitempty"`
+}
+
+// RobustnessResponse is the campaign answer: exactly one of Report
+// (synchronous completion) or Job (the campaign was queued; poll the job
+// API or wait for the webhook, then fetch the result — whose bytes are
+// again this envelope, with Report set).
+type RobustnessResponse struct {
+	Report *RobustnessReport `json:"report,omitempty"`
+	Job    *JobStatus        `json:"job,omitempty"`
+}
+
+// RobustnessReport is a finished campaign. All per-locality slices are
+// indexed by locality (watermark) number, matching the records an embed
+// of the same design+signature+params returns.
+type RobustnessReport struct {
+	// Localities is the number of embedded local watermarks.
+	Localities int `json:"localities"`
+	// Constraints is the total temporal-constraint count across
+	// localities, as detected in the unattacked baseline.
+	Constraints int `json:"constraints"`
+	// Seed echoes the campaign seed.
+	Seed string `json:"seed"`
+	// Alpha is the Convincing threshold the defeat analysis used.
+	Alpha float64 `json:"alpha"`
+	// Trials is the per-cell trial count.
+	Trials int `json:"trials"`
+	// Units is the number of attack units executed:
+	// Σ families len(intensities) × Trials.
+	Units int `json:"units"`
+	// BaselinePcExp[i] is locality i's log10 coincidence probability in
+	// the unattacked marked schedule.
+	BaselinePcExp []float64 `json:"baseline_pc_exp"`
+	// Families holds one report per attack family, in battery order.
+	Families []FamilyReport `json:"families"`
+}
+
+// FamilyReport is one attack family's ladder of results.
+type FamilyReport struct {
+	// Family names the attack.
+	Family string `json:"family"`
+	// MinDefeatBudget is the smallest intensity at which no trial left
+	// any locality Convincing at the campaign alpha, or -1 when the
+	// watermark stayed Convincing somewhere at every rung of the ladder.
+	MinDefeatBudget int `json:"min_defeat_budget"`
+	// Steps is the intensity ladder, ascending.
+	Steps []IntensityStep `json:"steps"`
+}
+
+// IntensityStep aggregates all trials of one (family, intensity) cell.
+type IntensityStep struct {
+	// Intensity is the attack budget of this rung.
+	Intensity int `json:"intensity"`
+	// Trials is the number of trials that completed; Errors holds the
+	// failures of the rest, in trial order.
+	Trials int      `json:"trials"`
+	Errors []string `json:"errors,omitempty"`
+	// Survival[i] is the fraction of completed trials in which locality
+	// i was still fully detected (Found).
+	Survival []float64 `json:"survival"`
+	// Convincing[i] is the fraction of completed trials in which
+	// locality i's detection was still Convincing at the campaign alpha.
+	Convincing []float64 `json:"convincing"`
+	// MeanPcExp[i] is the mean log10 coincidence probability of locality
+	// i's best candidate across completed trials (0 = probability 1,
+	// i.e. no surviving evidence).
+	MeanPcExp []float64 `json:"mean_pc_exp"`
+}

@@ -1,0 +1,64 @@
+package lwmclient
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+
+	"localwm/lwmapi"
+)
+
+// Robustness campaigns: ask the daemon to re-mark a design and run a
+// seeded attack battery against it (POST /v1/robustness). Small
+// campaigns answer the report inline; large (or Async) ones are queued
+// and answer the job status instead — WaitCampaign collects the report
+// either way from the job ID.
+
+// AttackSpec is one attack family's intensity ladder within a battery.
+type AttackSpec = lwmapi.AttackSpec
+
+// BatterySpec is a whole campaign spec: attacks, trials, and the
+// Convincing threshold. Zero values take the service defaults.
+type BatterySpec = lwmapi.BatterySpec
+
+// RobustnessRequest runs an attack campaign against a marked design.
+type RobustnessRequest = lwmapi.RobustnessRequest
+
+// RobustnessResponse carries exactly one of the finished report or the
+// queued job's status.
+type RobustnessResponse = lwmapi.RobustnessResponse
+
+// RobustnessReport is a finished campaign's structured results.
+type RobustnessReport = lwmapi.RobustnessReport
+
+// RunCampaign submits a robustness campaign. The response carries the
+// finished report when the daemon ran the campaign synchronously, or the
+// queued job's status when it was dispatched to the job queue (campaign
+// too large, or req.Async set) — pass the job's ID to WaitCampaign to
+// collect the report.
+func (c *Client) RunCampaign(ctx context.Context, req RobustnessRequest) (*RobustnessResponse, error) {
+	var out RobustnessResponse
+	if err := c.call(ctx, "/v1/robustness", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// WaitCampaign blocks until a queued campaign job finishes and returns
+// its report. The stored job result is byte-identical to the synchronous
+// endpoint's response envelope, so the report decodes with the same wire
+// type either way.
+func (c *Client) WaitCampaign(ctx context.Context, jobID string) (*RobustnessReport, error) {
+	raw, err := c.WaitJobResult(ctx, jobID)
+	if err != nil {
+		return nil, err
+	}
+	var out RobustnessResponse
+	if err := json.Unmarshal(raw, &out); err != nil {
+		return nil, fmt.Errorf("lwmclient: decoding campaign %s result: %w", jobID, err)
+	}
+	if out.Report == nil {
+		return nil, fmt.Errorf("lwmclient: campaign %s result carries no report", jobID)
+	}
+	return out.Report, nil
+}

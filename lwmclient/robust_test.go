@@ -1,0 +1,90 @@
+// Robustness-campaign client tests: RunCampaign against a real daemon,
+// sync and queued, with the queued report collected via WaitCampaign and
+// required to match the synchronous answer exactly.
+package lwmclient_test
+
+import (
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"reflect"
+	"testing"
+	"time"
+
+	"localwm/internal/server"
+	"localwm/lwmapi"
+	"localwm/lwmclient"
+)
+
+func campaignRequest(fx *fixture) lwmclient.RobustnessRequest {
+	return lwmclient.RobustnessRequest{
+		Design:     fx.designText,
+		Signature:  "alice",
+		MarkParams: lwmclient.MarkParams{N: 2, Tau: 16, K: 3, Epsilon: 0.4, Workers: 2},
+		Seed:       "client-seed",
+		Battery: lwmclient.BatterySpec{
+			Attacks: []lwmclient.AttackSpec{
+				{Family: lwmapi.AttackPerturb, Intensities: []int{3}},
+				{Family: lwmapi.AttackReschedule, Intensities: []int{1}},
+			},
+			Trials: 1,
+			Alpha:  1e-3,
+		},
+	}
+}
+
+// TestClientRunCampaignSyncAndQueued drives both dispatch paths through
+// the public client: a synchronous campaign answers the report inline; a
+// forced-async resubmission of the identical request answers a job whose
+// awaited report equals the synchronous one.
+func TestClientRunCampaignSyncAndQueued(t *testing.T) {
+	fx := makeFixture(t, "alice")
+	srv := server.New(server.Config{EngineWorkers: 4})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	defer srv.Shutdown(context.Background())
+
+	client, err := lwmclient.New(lwmclient.Config{
+		BaseURL:     ts.URL,
+		MaxAttempts: 3,
+		BaseBackoff: time.Millisecond,
+		MaxBackoff:  4 * time.Millisecond,
+		HTTPClient:  ts.Client(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	sync, err := client.RunCampaign(ctx, campaignRequest(fx))
+	if err != nil {
+		t.Fatalf("sync campaign: %v", err)
+	}
+	if sync.Report == nil || sync.Job != nil {
+		t.Fatalf("sync campaign answered %+v, want inline report", sync)
+	}
+	if sync.Report.Units != 2 || len(sync.Report.Families) != 2 {
+		t.Fatalf("sync report shape: %+v", sync.Report)
+	}
+
+	req := campaignRequest(fx)
+	req.Async = true
+	queued, err := client.RunCampaign(ctx, req)
+	if err != nil {
+		t.Fatalf("queued campaign: %v", err)
+	}
+	if queued.Job == nil || queued.Report != nil {
+		t.Fatalf("queued campaign answered %+v, want job status", queued)
+	}
+	rep, err := client.WaitCampaign(ctx, queued.Job.ID)
+	if err != nil {
+		t.Fatalf("waiting for campaign %s: %v", queued.Job.ID, err)
+	}
+	if !reflect.DeepEqual(rep, sync.Report) {
+		syncJSON, _ := json.Marshal(sync.Report)
+		asyncJSON, _ := json.Marshal(rep)
+		t.Fatalf("queued report diverged from sync:\nsync  %s\nasync %s", syncJSON, asyncJSON)
+	}
+}
