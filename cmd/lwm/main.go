@@ -21,6 +21,12 @@
 //	lwm robust -in design.cdfg -sig <signature> [-seed S] [-battery spec.json]
 //	    run a seeded attack campaign against the re-marked design and
 //	    print the structured robustness report
+//	lwm trace {list|get} -remote <addr>
+//	    read a daemon's flight recorder: list retained traces, render one
+//	    trace's span tree with stage timings and engine counter deltas
+//	lwm prof {list|get|diff} -remote <addr>
+//	    list, fetch, and diff a daemon's pprof snapshots; diff prints a
+//	    top-N symbol delta table with the built-in pprof reader
 //	lwm dot -in design.cdfg [-o out.dot]
 //	    render the design for Graphviz
 //
@@ -93,6 +99,10 @@ func main() {
 		err = cmdJob(os.Args[2:])
 	case "robust":
 		err = cmdRobust(os.Args[2:])
+	case "trace":
+		err = cmdTrace(os.Args[2:])
+	case "prof":
+		err = cmdProf(os.Args[2:])
 	default:
 		usage()
 		os.Exit(2)
@@ -104,7 +114,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: lwm {gen|info|embed|schedule|detect|verify|synth|bench|design|job|robust|dot} [flags]")
+	fmt.Fprintln(os.Stderr, "usage: lwm {gen|info|embed|schedule|detect|verify|synth|bench|design|job|robust|trace|prof|dot} [flags]")
 }
 
 // traceCtx builds the context for a marking command. With -trace off it

@@ -1,0 +1,301 @@
+// Observatory mode: read a daemon's flight recorder and pprof snapshots.
+//
+//	lwm trace list -remote <addr> [-endpoint E] [-result R] [-reason K]
+//	               [-min-duration D] [-limit N] [-json]
+//	lwm trace get  -remote <addr> -id <trace id> [-json]
+//	lwm prof list  -remote <addr>
+//	lwm prof get   -remote <addr> -name <snapshot> [-o out.pprof]
+//	lwm prof diff  -remote <addr> -a <snapshot> -b <snapshot> [-top N]
+//	               [-type cpu|inuse_space|alloc_space|...]
+//
+// trace list prints one line per retained trace; trace get renders the
+// full span tree with stage timings and engine counter deltas (-json for
+// the raw entry). prof diff fetches both snapshots, aggregates flat
+// per-symbol values with the built-in pprof reader, and prints the top-N
+// symbol delta table — no `go tool pprof` required.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"localwm/internal/obs/pprofparse"
+	"localwm/lwmclient"
+)
+
+func cmdTrace(args []string) error {
+	if len(args) < 1 {
+		return fmt.Errorf("usage: lwm trace {list|get} -remote <addr> [flags]")
+	}
+	switch args[0] {
+	case "list":
+		return cmdTraceList(args[1:])
+	case "get":
+		return cmdTraceGet(args[1:])
+	default:
+		return fmt.Errorf("unknown trace subcommand %q (want list or get)", args[0])
+	}
+}
+
+func cmdTraceList(args []string) error {
+	fs := flag.NewFlagSet("trace list", flag.ExitOnError)
+	remote := fs.String("remote", "", "lwmd daemon address")
+	apiKeyFlag(fs)
+	endpoint := fs.String("endpoint", "", "filter by endpoint name (embed, detect, ...)")
+	result := fs.String("result", "", "filter by result class (ok, error, timeout, ...)")
+	reason := fs.String("reason", "", "filter by keep reason (error, slow, sampled)")
+	minDur := fs.Duration("min-duration", 0, "keep only traces at least this slow")
+	limit := fs.Int("limit", 0, "max entries (0: daemon default)")
+	asJSON := fs.Bool("json", false, "print the raw JSON entries")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *remote == "" {
+		return fmt.Errorf("trace list: -remote required")
+	}
+	c, err := newRemoteClient(*remote)
+	if err != nil {
+		return err
+	}
+	traces, err := c.ListTraces(context.Background(), lwmclient.TraceFilter{
+		Endpoint: *endpoint, Result: *result, KeepReason: *reason,
+		MinDuration: *minDur, Limit: *limit,
+	})
+	if err != nil {
+		return err
+	}
+	if *asJSON {
+		out, err := json.MarshalIndent(traces, "", "  ")
+		if err != nil {
+			return err
+		}
+		fmt.Println(string(out))
+		return nil
+	}
+	for _, e := range traces {
+		line := fmt.Sprintf("%s  %-8s %-7s %3d  %9s  kept=%s",
+			e.ID, e.Endpoint, e.Result, e.Status,
+			time.Duration(e.DurationNanos).Round(time.Microsecond), e.KeepReason)
+		if e.Tenant != "" {
+			line += "  tenant=" + e.Tenant
+		}
+		fmt.Println(line)
+	}
+	fmt.Fprintf(os.Stderr, "%d traces\n", len(traces))
+	return nil
+}
+
+func cmdTraceGet(args []string) error {
+	fs := flag.NewFlagSet("trace get", flag.ExitOnError)
+	remote := fs.String("remote", "", "lwmd daemon address")
+	apiKeyFlag(fs)
+	id := fs.String("id", "", "trace ID (see lwm trace list)")
+	asJSON := fs.Bool("json", false, "print the raw JSON entry")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *remote == "" || *id == "" {
+		return fmt.Errorf("trace get: -remote and -id required")
+	}
+	c, err := newRemoteClient(*remote)
+	if err != nil {
+		return err
+	}
+	e, err := c.GetTrace(context.Background(), *id)
+	if err != nil {
+		return err
+	}
+	if *asJSON {
+		out, err := json.MarshalIndent(e, "", "  ")
+		if err != nil {
+			return err
+		}
+		fmt.Println(string(out))
+		return nil
+	}
+	fmt.Printf("trace %s: %s %s (%d), kept=%s\n", e.ID, e.Endpoint, e.Result, e.Status, e.KeepReason)
+	if e.Tenant != "" {
+		fmt.Printf("  tenant:     %s\n", e.Tenant)
+	}
+	if e.DesignRef != "" {
+		fmt.Printf("  design_ref: %s\n", e.DesignRef)
+	}
+	if e.Error != "" {
+		fmt.Printf("  error:      %s\n", e.Error)
+	}
+	fmt.Printf("  start:      %s\n", time.Unix(0, e.StartUnixNano).UTC().Format(time.RFC3339Nano))
+	fmt.Printf("  total %s  queue-wait %s  run %s\n",
+		time.Duration(e.DurationNanos).Round(time.Microsecond),
+		time.Duration(e.QueueWaitNanos).Round(time.Microsecond),
+		time.Duration(e.RunNanos).Round(time.Microsecond))
+	if len(e.EngineCounters) > 0 {
+		parts := make([]string, 0, len(e.EngineCounters))
+		for k, v := range e.EngineCounters {
+			parts = append(parts, fmt.Sprintf("%s+%d", k, v))
+		}
+		// Map order varies; sort for stable output.
+		for i := 0; i < len(parts); i++ {
+			for j := i + 1; j < len(parts); j++ {
+				if parts[j] < parts[i] {
+					parts[i], parts[j] = parts[j], parts[i]
+				}
+			}
+		}
+		fmt.Printf("  engine:     %s\n", strings.Join(parts, " "))
+	}
+	if len(e.Spans) > 0 {
+		fmt.Println("  spans:")
+		for _, sp := range e.Spans {
+			printSpan(sp, 2)
+		}
+	}
+	return nil
+}
+
+// printSpan renders one span subtree, two spaces per depth level.
+func printSpan(sp lwmclient.TraceSpan, depth int) {
+	fmt.Printf("%s%s %s\n", strings.Repeat("  ", depth), sp.Name,
+		time.Duration(sp.DurationNanos).Round(time.Microsecond))
+	for _, ch := range sp.Children {
+		printSpan(ch, depth+1)
+	}
+}
+
+func cmdProf(args []string) error {
+	if len(args) < 1 {
+		return fmt.Errorf("usage: lwm prof {list|get|diff} -remote <addr> [flags]")
+	}
+	switch args[0] {
+	case "list":
+		return cmdProfList(args[1:])
+	case "get":
+		return cmdProfGet(args[1:])
+	case "diff":
+		return cmdProfDiff(args[1:])
+	default:
+		return fmt.Errorf("unknown prof subcommand %q (want list, get, or diff)", args[0])
+	}
+}
+
+func cmdProfList(args []string) error {
+	fs := flag.NewFlagSet("prof list", flag.ExitOnError)
+	remote := fs.String("remote", "", "lwmd daemon address")
+	apiKeyFlag(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *remote == "" {
+		return fmt.Errorf("prof list: -remote required")
+	}
+	c, err := newRemoteClient(*remote)
+	if err != nil {
+		return err
+	}
+	profs, err := c.ListProfiles(context.Background())
+	if err != nil {
+		return err
+	}
+	for _, p := range profs {
+		fmt.Printf("%-40s %-7s %8d bytes  %s\n", p.Name, p.Kind, p.SizeBytes,
+			time.Unix(p.ModTimeUnix, 0).UTC().Format(time.RFC3339))
+	}
+	fmt.Fprintf(os.Stderr, "%d snapshots\n", len(profs))
+	return nil
+}
+
+func cmdProfGet(args []string) error {
+	fs := flag.NewFlagSet("prof get", flag.ExitOnError)
+	remote := fs.String("remote", "", "lwmd daemon address")
+	apiKeyFlag(fs)
+	name := fs.String("name", "", "snapshot name (see lwm prof list)")
+	out := fs.String("o", "", "output file (default: the snapshot name in the current directory)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *remote == "" || *name == "" {
+		return fmt.Errorf("prof get: -remote and -name required")
+	}
+	c, err := newRemoteClient(*remote)
+	if err != nil {
+		return err
+	}
+	raw, err := c.GetProfile(context.Background(), *name)
+	if err != nil {
+		return err
+	}
+	dst := *out
+	if dst == "" {
+		dst = *name
+	}
+	if err := os.WriteFile(dst, raw, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "%s: %d bytes\n", dst, len(raw))
+	return nil
+}
+
+func cmdProfDiff(args []string) error {
+	fs := flag.NewFlagSet("prof diff", flag.ExitOnError)
+	remote := fs.String("remote", "", "lwmd daemon address")
+	apiKeyFlag(fs)
+	aName := fs.String("a", "", "baseline snapshot name")
+	bName := fs.String("b", "", "comparison snapshot name")
+	top := fs.Int("top", 15, "rows in the delta table")
+	typ := fs.String("type", "", "sample dimension to diff (default: the profile's natural one — cpu, inuse_space, ...)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	// Positional form: lwm prof diff -remote ADDR <a> <b>.
+	rest := fs.Args()
+	if *aName == "" && len(rest) > 0 {
+		*aName = rest[0]
+		rest = rest[1:]
+	}
+	if *bName == "" && len(rest) > 0 {
+		*bName = rest[0]
+	}
+	if *remote == "" || *aName == "" || *bName == "" {
+		return fmt.Errorf("prof diff: -remote and two snapshot names (-a/-b or positional) required")
+	}
+	c, err := newRemoteClient(*remote)
+	if err != nil {
+		return err
+	}
+	ctx := context.Background()
+	rawA, err := c.GetProfile(ctx, *aName)
+	if err != nil {
+		return fmt.Errorf("prof diff: fetching %s: %w", *aName, err)
+	}
+	rawB, err := c.GetProfile(ctx, *bName)
+	if err != nil {
+		return fmt.Errorf("prof diff: fetching %s: %w", *bName, err)
+	}
+	pa, err := pprofparse.Parse(rawA)
+	if err != nil {
+		return fmt.Errorf("prof diff: parsing %s: %w", *aName, err)
+	}
+	pb, err := pprofparse.Parse(rawB)
+	if err != nil {
+		return fmt.Errorf("prof diff: parsing %s: %w", *bName, err)
+	}
+	dim := *typ
+	if dim == "" {
+		dim = pa.SampleTypes[pa.DefaultValueIndex()].Type
+	}
+	rows, err := pprofparse.Diff(pa, pb, dim, *top)
+	if err != nil {
+		return err
+	}
+	unit := pa.Unit(pa.ValueIndex(dim))
+	fmt.Printf("prof diff %s -> %s (%s, %s)\n", *aName, *bName, dim, unit)
+	fmt.Printf("%14s %14s %14s  symbol\n", "A", "B", "delta")
+	for _, r := range rows {
+		fmt.Printf("%14d %14d %+14d  %s\n", r.A, r.B, r.Delta, r.Name)
+	}
+	return nil
+}

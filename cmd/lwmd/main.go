@@ -29,6 +29,13 @@
 //	             answered with the job status — the stored result is the
 //	             same envelope the synchronous path answers, byte for
 //	             byte.
+//	/v1/traces   flight recorder (GET; requires -trace-retain): list
+//	             retained traces with endpoint/result/reason/min_duration
+//	             filters, GET /v1/traces/{id} for one trace's full span
+//	             tree, stage timings, and engine counter deltas
+//	/v1/profiles profiling observatory (GET; requires -prof-dir): list
+//	             resident pprof snapshots, GET /v1/profiles/{name} for
+//	             raw pprof bytes (`go tool pprof` or `lwm prof`)
 //	/v1/stats    metrics snapshot (also on the debug port)
 //	/metrics     Prometheus text exposition (also on the debug port)
 //	/healthz     liveness (503 while draining)
@@ -47,6 +54,23 @@
 // timings. GET /metrics serves the same counters as fixed-bucket
 // Prometheus histograms and counters for scraping; /debug/vars keeps the
 // expvar snapshot for dashboards.
+//
+// Flight recorder (-trace-retain N): completed requests become span-tree
+// trace entries in a bounded in-memory ring under tail-based sampling —
+// every error/timeout/rejection is kept, the slowest N per endpoint per
+// rolling window are kept, and the unremarkable rest is sampled at
+// -trace-sample. Retained traces are served on /v1/traces, and duration
+// histogram buckets on /metrics carry exemplars naming a retained trace
+// ID, so a latency spike on a dashboard links straight to a concrete
+// trace. On a tenanted daemon the listing and lookups are scoped to the
+// calling tenant. Disabled (the default), the recorder costs nothing.
+//
+// Profiling observatory (-prof-dir DIR): the daemon captures CPU, heap,
+// and allocs pprof snapshots into DIR — periodically with -prof-interval,
+// and on demand when an endpoint breaches -slo-ms with its rolling p99
+// above the SLO (debounced). Retention keeps the newest -prof-retain
+// snapshots per kind. Snapshots are listed and fetched on /v1/profiles;
+// `lwm prof` lists, fetches, and diffs them without external tooling.
 //
 // Robustness: each endpoint runs behind a bounded admission queue with a
 // fixed worker pool; a full queue answers 429 with Retry-After, a request
@@ -92,6 +116,8 @@ import (
 	"localwm/internal/chaos"
 	"localwm/internal/jobs"
 	"localwm/internal/obs"
+	"localwm/internal/obs/profiler"
+	"localwm/internal/obs/recorder"
 	"localwm/internal/server"
 	"localwm/internal/store"
 	"localwm/internal/tenant"
@@ -127,6 +153,12 @@ func run(args []string) error {
 	webhookSecret := fs.String("webhook-secret", "", "HMAC key for signing job-completion webhooks (empty: deliveries unsigned)")
 	tenantsFile := fs.String("tenants-file", "", "JSON tenants file enabling the API-key control plane (empty: single-tenant, no auth); SIGHUP re-reads it")
 	allowAnonymous := fs.Bool("allow-anonymous", false, "with -tenants-file, keep admitting keyless requests alongside keyed ones")
+	traceRetain := fs.Int("trace-retain", 0, "flight-recorder capacity: completed traces retained by tail sampling (0: recorder disabled)")
+	traceSample := fs.Float64("trace-sample", 0.05, "probability an unremarkable (non-error, non-slow) trace is retained")
+	profDir := fs.String("prof-dir", "", "pprof snapshot directory enabling the profiling observatory (empty: disabled)")
+	profInterval := fs.Duration("prof-interval", 0, "periodic cpu/heap/allocs capture interval (0: on-demand captures only)")
+	profRetain := fs.Int("prof-retain", 4, "pprof snapshots kept per kind before pruning")
+	sloMS := fs.Int("slo-ms", 0, "per-endpoint latency SLO in milliseconds; a breach with rolling p99 over it triggers a profile capture (0: disabled)")
 	chaosOn := fs.Bool("chaos", false, "inject seeded transport faults into the /v1 API (testing only, never production)")
 	chaosSeed := fs.Int64("chaos-seed", 1, "fault-injection seed; a given seed and request order replays the same faults")
 	logLevel := fs.String("log-level", "info", "log level: debug, info, warn, or error")
@@ -204,6 +236,30 @@ func run(args []string) error {
 		Jobs:             jm,
 		Tenants:          reg,
 		AllowAnonymous:   *allowAnonymous,
+		SLO:              time.Duration(*sloMS) * time.Millisecond,
+	}
+	if *traceRetain > 0 {
+		cfg.Recorder = recorder.New(recorder.Config{
+			Capacity:   *traceRetain,
+			SampleRate: *traceSample,
+			Seed:       time.Now().UnixNano(), // tests pin seeds; production wants variety
+		})
+		logger.Info("flight recorder enabled", "retain", *traceRetain, "sample", *traceSample)
+	}
+	var prof *profiler.Profiler
+	if *profDir != "" {
+		prof, err = profiler.New(profiler.Config{
+			Dir:      *profDir,
+			Interval: *profInterval,
+			Retain:   *profRetain,
+			Logger:   logger,
+		})
+		if err != nil {
+			return fmt.Errorf("opening profile directory: %w", err)
+		}
+		cfg.Profiler = prof
+		logger.Info("profiling observatory enabled", "dir", *profDir,
+			"interval", profInterval.String(), "retain", *profRetain)
 	}
 	if *chaosOn {
 		ccfg := chaos.Default(*chaosSeed)
@@ -214,6 +270,7 @@ func run(args []string) error {
 	}
 	srv := server.New(cfg)
 	srv.Publish() // expose the metrics snapshot as the expvar "lwmd"
+	prof.Start()  // periodic capture loop; no-op when nil or -prof-interval is 0
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -299,6 +356,7 @@ func run(args []string) error {
 	if debugSrv != nil {
 		_ = debugSrv.Shutdown(ctx)
 	}
+	prof.Close() // stop the capture loop and wait out an in-flight cycle
 	logger.Info("drained, bye")
 	return nil
 }

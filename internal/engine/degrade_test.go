@@ -1,0 +1,81 @@
+package engine
+
+import (
+	"bytes"
+	"runtime"
+	"testing"
+
+	"localwm/internal/cdfg"
+	"localwm/internal/designs"
+	"localwm/internal/prng"
+	"localwm/internal/schedwm"
+)
+
+// TestSequentialDegradeOnSingleCPU pins GOMAXPROCS=1 and checks the
+// auto-degrade: a parallel EmbedMany call runs the sequential path (no
+// pool fan-out, SeqDegrades advances) and still returns byte-identical
+// results — the degrade must be invisible outside the counters.
+func TestSequentialDegradeOnSingleCPU(t *testing.T) {
+	g := designs.FourthOrderParallelIIR()
+	cp, err := g.CriticalPath()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := schedwm.Config{Tau: 14, K: 3, Epsilon: 0.1, Budget: cp + cp/2 + 2}
+	const n = 4
+	sig := prng.Signature("degrade")
+
+	ref := g.Clone()
+	refWMs, err := schedwm.EmbedMany(ref, sig, cfg, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(1))
+
+	before := Stats()
+	work := g.Clone()
+	wms, err := EmbedMany(work, sig, cfg, n, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := Stats()
+
+	if after.SeqDegrades <= before.SeqDegrades {
+		t.Fatalf("SeqDegrades did not advance under GOMAXPROCS=1: %d -> %d",
+			before.SeqDegrades, after.SeqDegrades)
+	}
+	if after.PoolRuns != before.PoolRuns {
+		t.Fatalf("pool ran despite degrade: PoolRuns %d -> %d", before.PoolRuns, after.PoolRuns)
+	}
+	if len(wms) != len(refWMs) {
+		t.Fatalf("degraded embed returned %d watermarks, sequential %d", len(wms), len(refWMs))
+	}
+	var got, want bytes.Buffer
+	if err := cdfg.Write(&got, work); err != nil {
+		t.Fatal(err)
+	}
+	if err := cdfg.Write(&want, ref); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Bytes(), want.Bytes()) {
+		t.Fatal("degraded embed diverged from sequential bytes")
+	}
+}
+
+// TestEffectiveWorkersPassthrough checks the cap only binds on 1-CPU
+// processes: with two scheduling CPUs the requested width passes through
+// untouched and SeqDegrades stays put.
+func TestEffectiveWorkersPassthrough(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(2))
+	before := Stats().SeqDegrades
+	if got := effectiveWorkers(4); got != 4 {
+		t.Fatalf("effectiveWorkers(4) under GOMAXPROCS=2 = %d, want 4", got)
+	}
+	if got := effectiveWorkers(1); got != 1 {
+		t.Fatalf("effectiveWorkers(1) = %d, want 1", got)
+	}
+	if after := Stats().SeqDegrades; after != before {
+		t.Fatalf("SeqDegrades advanced without a degrade: %d -> %d", before, after)
+	}
+}

@@ -28,6 +28,7 @@ package engine
 import (
 	"context"
 	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
 
@@ -46,6 +47,7 @@ var counters struct {
 	poolJobs    atomic.Uint64 // jobs executed across all fan-outs
 	specCommits atomic.Uint64 // speculative embeddings committed as-is
 	specRepairs atomic.Uint64 // speculations replayed sequentially
+	seqDegrades atomic.Uint64 // parallel calls degraded to sequential
 }
 
 // Counters is a snapshot of the engine's cumulative activity.
@@ -58,6 +60,11 @@ type Counters struct {
 	// it was discarded and the watermark re-embedded sequentially. Their
 	// ratio is the speculation success rate.
 	SpecCommits, SpecRepairs uint64
+	// SeqDegrades counts parallel entry-point calls that ran the
+	// sequential path instead because the process had one scheduling CPU
+	// (GOMAXPROCS=1): fanning out there only adds overhead, and
+	// bit-identity makes the substitution invisible in results.
+	SeqDegrades uint64
 }
 
 // Stats returns the process-wide engine counters since start.
@@ -67,7 +74,22 @@ func Stats() Counters {
 		PoolJobs:    counters.poolJobs.Load(),
 		SpecCommits: counters.specCommits.Load(),
 		SpecRepairs: counters.specRepairs.Load(),
+		SeqDegrades: counters.seqDegrades.Load(),
 	}
+}
+
+// effectiveWorkers caps a requested worker count at 1 when the process
+// has a single scheduling CPU. Under GOMAXPROCS=1 the pool's goroutines
+// time-slice one P, so speculation work that loses the commit walk is
+// pure overhead — and the engine's bit-identity contract means the
+// sequential path returns exactly the same results. Each degraded call
+// is counted (SeqDegrades) so the substitution stays observable.
+func effectiveWorkers(workers int) int {
+	if workers > 1 && runtime.GOMAXPROCS(0) == 1 {
+		counters.seqDegrades.Add(1)
+		return 1
+	}
+	return workers
 }
 
 // EmbedMany embeds n local watermarks exactly like schedwm.EmbedMany —
@@ -86,6 +108,7 @@ func EmbedMany(g *cdfg.Graph, sig prng.Signature, cfg schedwm.Config, n, workers
 func EmbedManyCtx(ctx context.Context, g *cdfg.Graph, sig prng.Signature, cfg schedwm.Config, n, workers int) ([]*schedwm.Watermark, error) {
 	ctx, embedSpan := obs.StartSpan(ctx, "engine.embed")
 	defer embedSpan.Finish()
+	workers = effectiveWorkers(workers)
 	embedSpan.SetAttr("n", n)
 	embedSpan.SetAttr("workers", workers)
 	if workers <= 1 || n <= 1 {
@@ -265,6 +288,7 @@ func DetectBatchCtx(ctx context.Context, suspects []Suspect, recs []schedwm.Reco
 	}
 	_, batchSpan := obs.StartSpan(ctx, "engine.detect_batch")
 	defer batchSpan.Finish()
+	workers = effectiveWorkers(workers)
 	batchSpan.SetAttr("suspects", len(suspects))
 	batchSpan.SetAttr("records", len(recs))
 	tr := obs.TraceFrom(ctx)
@@ -307,7 +331,7 @@ func VerifyOwnershipCtx(ctx context.Context, g *cdfg.Graph, s *sched.Schedule, s
 	cfg schedwm.Config, n, workers int) (*schedwm.Detection, error) {
 	ctx, span := obs.StartSpan(ctx, "engine.verify")
 	defer span.Finish()
-	if workers <= 1 {
+	if effectiveWorkers(workers) <= 1 {
 		return schedwm.VerifyOwnership(g, s, sig, cfg, n)
 	}
 	if len(s.Steps) != g.Len() {
@@ -330,6 +354,7 @@ func VerifyBatch(suspects []Suspect, sig prng.Signature, cfg schedwm.Config, n, 
 	if len(suspects) == 0 {
 		return out
 	}
+	workers = effectiveWorkers(workers)
 	perCall := 1
 	if workers > len(suspects) {
 		// Fewer suspects than workers: spend the surplus inside each

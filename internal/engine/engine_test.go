@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"fmt"
 	"reflect"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -312,6 +313,11 @@ func TestStatsCounters(t *testing.T) {
 	}
 	cfg := schedwm.Config{Tau: 14, K: 3, Epsilon: 0.1, Budget: cp + cp/2 + 2}
 	const n = 6
+
+	// The pool counters only advance on the parallel path; on a 1-CPU
+	// host the engine auto-degrades to sequential (see SeqDegrades), so
+	// pin a second scheduling CPU for the duration of the test.
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(2))
 
 	before := Stats()
 	work := g.Clone()

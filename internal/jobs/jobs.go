@@ -71,6 +71,12 @@ type Job struct {
 	IdempotencyKey string `json:"idempotency_key,omitempty"`
 	// MaxAttempts is the retry budget.
 	MaxAttempts int `json:"max_attempts"`
+	// TraceID links the job to the submitting request's trace: execution
+	// attempts, log lines, webhook deliveries, and status reads all carry
+	// it, so one ID follows the work across the async boundary. Empty on
+	// jobs persisted before trace continuity (an old WAL); Trace()
+	// supplies the historical fallback.
+	TraceID string `json:"trace_id,omitempty"`
 	// CreatedUnixNano timestamps the submission.
 	CreatedUnixNano int64 `json:"created_unix_nano"`
 
@@ -96,10 +102,20 @@ type Job struct {
 // Terminal reports whether the job has reached done or failed.
 func (j *Job) Terminal() bool { return lwmapi.TerminalJobState(j.State) }
 
+// Trace returns the job's linked trace ID, falling back to the
+// job-derived ID for records persisted before TraceID existed.
+func (j *Job) Trace() string {
+	if j.TraceID != "" {
+		return j.TraceID
+	}
+	return "job-" + j.ID
+}
+
 // Status renders the job as its wire-facing status.
 func (j *Job) Status() lwmapi.JobStatus {
 	return lwmapi.JobStatus{
 		ID:              j.ID,
+		TraceID:         j.Trace(),
 		Kind:            j.Kind,
 		State:           j.State,
 		Attempt:         j.Attempt,

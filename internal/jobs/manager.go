@@ -148,6 +148,9 @@ type Submission struct {
 	// MaxBacklog, when positive, bounds how many of Tenant's jobs may be
 	// queued at once; beyond it Submit returns ErrTenantBacklogFull.
 	MaxBacklog int
+	// TraceID links the job to the submitting request's trace; empty
+	// defaults to the job-derived "job-<id>".
+	TraceID string
 }
 
 // Manager is the durable job store plus its worker pool. Safe for
@@ -437,9 +440,13 @@ func (m *Manager) Submit(s Submission) (job *Job, created bool, err error) {
 		WebhookURL:      s.WebhookURL,
 		IdempotencyKey:  s.IdempotencyKey,
 		MaxAttempts:     maxAttempts,
+		TraceID:         s.TraceID,
 		CreatedUnixNano: now,
 		State:           StateQueued,
 		UpdatedUnixNano: now,
+	}
+	if j.TraceID == "" {
+		j.TraceID = "job-" + j.ID
 	}
 	if err := m.appendLocked(recKindJob, j); err != nil {
 		return nil, false, err
@@ -557,7 +564,7 @@ func (m *Manager) work() {
 // job's ID.
 func (m *Manager) runAttempt(job *Job) ([]byte, error) {
 	ctx := WithTenant(m.ctx, job.Tenant)
-	ctx = obs.WithTrace(ctx, obs.NewTrace(obs.TraceID("job-"+job.ID)))
+	ctx = obs.WithTrace(ctx, obs.NewTrace(obs.TraceID(job.Trace())))
 	ctx, span := obs.StartSpan(ctx, "job.attempt")
 	span.SetAttr("job_id", job.ID)
 	span.SetAttr("attempt", job.Attempt)
@@ -721,7 +728,7 @@ func (m *Manager) pushWebhookLocked(job *Job) {
 		if m.cfg.Logger != nil {
 			m.cfg.Logger.LogAttrs(context.Background(), slog.LevelInfo, "webhook",
 				slog.String("job_id", job.ID),
-				slog.String("trace_id", "job-"+job.ID),
+				slog.String("trace_id", job.Trace()),
 				slog.Bool("delivered", delivered),
 				slog.Int("attempts", attempts))
 		}
@@ -735,7 +742,7 @@ func (m *Manager) logJob(j *Job, errMsg string) {
 	}
 	attrs := []slog.Attr{
 		slog.String("job_id", j.ID),
-		slog.String("trace_id", "job-" + j.ID),
+		slog.String("trace_id", j.Trace()),
 		slog.String("kind", j.Kind),
 		slog.String("state", j.State),
 		slog.Int("attempt", j.Attempt),

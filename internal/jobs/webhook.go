@@ -15,6 +15,7 @@ import (
 	"strings"
 	"time"
 
+	"localwm/internal/obs"
 	"localwm/lwmapi"
 )
 
@@ -104,7 +105,7 @@ func deliverWebhook(ctx context.Context, cfg *WebhookConfig, logger *slog.Logger
 	}
 	key := WebhookIdempotencyKey(job.ID, job.State)
 	for attempts = 1; ; attempts++ {
-		hint, err := postWebhook(ctx, cfg, job.WebhookURL, key, body, attempts)
+		hint, err := postWebhook(ctx, cfg, job.WebhookURL, key, job.Trace(), body, attempts)
 		if err == nil {
 			return attempts, true
 		}
@@ -126,7 +127,7 @@ func deliverWebhook(ctx context.Context, cfg *WebhookConfig, logger *slog.Logger
 // postWebhook sends one delivery attempt. A 2xx answer is success (nil
 // error); anything else reports the failure and, when the receiver sent
 // a Retry-After, the backoff floor it asked for.
-func postWebhook(ctx context.Context, cfg *WebhookConfig, url, key string, body []byte, attempt int) (hint time.Duration, err error) {
+func postWebhook(ctx context.Context, cfg *WebhookConfig, url, key, traceID string, body []byte, attempt int) (hint time.Duration, err error) {
 	actx, cancel := context.WithTimeout(ctx, cfg.Timeout)
 	defer cancel()
 	req, err := http.NewRequestWithContext(actx, http.MethodPost, url, bytes.NewReader(body))
@@ -136,6 +137,10 @@ func postWebhook(ctx context.Context, cfg *WebhookConfig, url, key string, body 
 	req.Header.Set("Content-Type", "application/json")
 	req.Header.Set(lwmapi.WebhookIdempotencyHeader, key)
 	req.Header.Set(lwmapi.WebhookAttemptHeader, strconv.Itoa(attempt))
+	// The job-linked trace ID rides every delivery, closing the loop the
+	// submitting request opened: receiver logs correlate with the daemon's
+	// attempt spans and the retained flight-recorder trace.
+	req.Header.Set(obs.TraceHeader, traceID)
 	if cfg.Secret != "" {
 		req.Header.Set(lwmapi.WebhookSignatureHeader, SignWebhook(cfg.Secret, key, body))
 	}

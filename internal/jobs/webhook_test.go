@@ -11,6 +11,7 @@ import (
 	"testing"
 	"time"
 
+	"localwm/internal/obs"
 	"localwm/lwmapi"
 )
 
@@ -68,8 +69,8 @@ func TestDeliverWebhookRetries(t *testing.T) {
 	const secret = "hook-secret"
 	var mu sync.Mutex
 	var got []struct {
-		key, sig, attempt string
-		body              []byte
+		key, sig, attempt, trace string
+		body                     []byte
 	}
 	calls := 0
 	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
@@ -78,12 +79,13 @@ func TestDeliverWebhookRetries(t *testing.T) {
 		calls++
 		n := calls
 		got = append(got, struct {
-			key, sig, attempt string
-			body              []byte
+			key, sig, attempt, trace string
+			body                     []byte
 		}{
 			r.Header.Get(lwmapi.WebhookIdempotencyHeader),
 			r.Header.Get(lwmapi.WebhookSignatureHeader),
 			r.Header.Get(lwmapi.WebhookAttemptHeader),
+			r.Header.Get(obs.TraceHeader),
 			body,
 		})
 		mu.Unlock()
@@ -101,7 +103,8 @@ func TestDeliverWebhookRetries(t *testing.T) {
 		Retry:       &RetryPolicy{Base: time.Millisecond, Cap: 2 * time.Millisecond, Seed: 9},
 		HTTPClient:  ts.Client(),
 	}.withDefaults()
-	job := &Job{ID: "j-hook", Kind: "embed", State: StateDone, Attempt: 1, MaxAttempts: 3, WebhookURL: ts.URL}
+	job := &Job{ID: "j-hook", Kind: "embed", State: StateDone, Attempt: 1, MaxAttempts: 3,
+		WebhookURL: ts.URL, TraceID: "tr-submit-1"}
 
 	attempts, delivered := deliverWebhook(context.Background(), &cfg, nil, job)
 	if !delivered || attempts != 3 {
@@ -118,6 +121,9 @@ func TestDeliverWebhookRetries(t *testing.T) {
 		if d.attempt != strconv.Itoa(i+1) {
 			t.Errorf("delivery %d: attempt header %q, want %d", i, d.attempt, i+1)
 		}
+		if d.trace != "tr-submit-1" {
+			t.Errorf("delivery %d: trace header %q, want tr-submit-1", i, d.trace)
+		}
 		if !VerifyWebhook(secret, d.key, d.body, d.sig) {
 			t.Errorf("delivery %d: signature does not verify", i)
 		}
@@ -126,6 +132,8 @@ func TestDeliverWebhookRetries(t *testing.T) {
 			t.Errorf("delivery %d: body not a JobStatus: %v", i, err)
 		} else if st.ID != "j-hook" || st.State != lwmapi.JobDone {
 			t.Errorf("delivery %d: body %+v, want id j-hook state done", i, st)
+		} else if st.TraceID != "tr-submit-1" {
+			t.Errorf("delivery %d: body trace_id %q, want tr-submit-1", i, st.TraceID)
 		}
 	}
 }
@@ -171,7 +179,7 @@ func TestPostWebhookRetryAfterHint(t *testing.T) {
 	defer ts.Close()
 
 	cfg := WebhookConfig{HTTPClient: ts.Client()}.withDefaults()
-	hint, err := postWebhook(context.Background(), &cfg, ts.URL, "k", []byte("{}"), 1)
+	hint, err := postWebhook(context.Background(), &cfg, ts.URL, "k", "job-x", []byte("{}"), 1)
 	if err == nil {
 		t.Fatal("postWebhook succeeded against a 429 receiver")
 	}

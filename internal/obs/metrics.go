@@ -39,6 +39,20 @@ type Histogram struct {
 	buckets  []atomic.Uint64
 	count    atomic.Uint64
 	sumNanos atomic.Int64
+
+	// exemplars holds at most one exemplar per bucket (last write wins),
+	// linking the bucket to a retained flight-recorder trace. Slots stay
+	// nil until the recorder is enabled, so exposition of a plain
+	// histogram is byte-identical to the pre-exemplar format.
+	exemplars []atomic.Pointer[Exemplar]
+}
+
+// Exemplar links one histogram bucket to a retained trace: the observed
+// value that landed in the bucket, the trace that produced it, and when.
+type Exemplar struct {
+	TraceID  string
+	Value    float64 // observed value, seconds
+	UnixNano int64
 }
 
 // NewHistogram builds a histogram over the given ascending upper bounds
@@ -47,21 +61,54 @@ func NewHistogram(bounds []float64) *Histogram {
 	if bounds == nil {
 		bounds = DefBuckets
 	}
-	return &Histogram{bounds: bounds, buckets: make([]atomic.Uint64, len(bounds)+1)}
+	return &Histogram{
+		bounds:    bounds,
+		buckets:   make([]atomic.Uint64, len(bounds)+1),
+		exemplars: make([]atomic.Pointer[Exemplar], len(bounds)+1),
+	}
 }
 
 // Observe records one duration.
 func (h *Histogram) Observe(d time.Duration) {
-	sec := d.Seconds()
+	h.buckets[h.bucketIndex(d.Seconds())].Add(1)
+	h.count.Add(1)
+	h.sumNanos.Add(int64(d))
+}
+
+// bucketIndex returns the index of the bucket holding sec (the last
+// slot is the +Inf overflow bucket).
+func (h *Histogram) bucketIndex(sec float64) int {
 	i := 0
 	for ; i < len(h.bounds); i++ {
 		if sec <= h.bounds[i] {
 			break
 		}
 	}
-	h.buckets[i].Add(1) // last slot is the +Inf overflow bucket
-	h.count.Add(1)
-	h.sumNanos.Add(int64(d))
+	return i
+}
+
+// SetExemplar attaches an exemplar for the bucket d falls into,
+// replacing any previous exemplar on that bucket. Call it after (or
+// alongside) Observe for the same duration; the flight recorder calls
+// it only for traces it actually retained, so every exposed exemplar
+// resolves through GET /v1/traces/{id}.
+func (h *Histogram) SetExemplar(d time.Duration, traceID string, at time.Time) {
+	sec := d.Seconds()
+	h.exemplars[h.bucketIndex(sec)].Store(&Exemplar{
+		TraceID:  traceID,
+		Value:    sec,
+		UnixNano: at.UnixNano(),
+	})
+}
+
+// Exemplars returns a snapshot of the per-bucket exemplars (index i
+// pairs with bucket i; the last slot is +Inf). Unset buckets are nil.
+func (h *Histogram) Exemplars() []*Exemplar {
+	out := make([]*Exemplar, len(h.exemplars))
+	for i := range h.exemplars {
+		out[i] = h.exemplars[i].Load()
+	}
+	return out
 }
 
 // Count returns the total number of observations.
@@ -208,6 +255,20 @@ func labelJoin(rendered, extra string) string {
 	return rendered[:len(rendered)-1] + "," + extra + "}"
 }
 
+// exemplarSuffix renders the OpenMetrics exemplar annotation for bucket
+// i of h — ` # {trace_id="..."} <value> <unix-seconds>` — or "" when
+// the bucket has none, keeping exemplar-free pages byte-identical to
+// the plain text format.
+func exemplarSuffix(h *Histogram, i int) string {
+	e := h.exemplars[i].Load()
+	if e == nil {
+		return ""
+	}
+	return fmt.Sprintf(" # {trace_id=%q} %s %s", e.TraceID,
+		formatValue(e.Value),
+		strconv.FormatFloat(float64(e.UnixNano)/1e9, 'f', 3, 64))
+}
+
 // WritePrometheus renders every family in the text exposition format
 // (version 0.0.4): # HELP and # TYPE lines followed by the samples,
 // histograms expanded to cumulative _bucket/_sum/_count series.
@@ -226,10 +287,13 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 				for i, bound := range s.hist.bounds {
 					cum += s.hist.buckets[i].Load()
 					le := strconv.FormatFloat(bound, 'g', -1, 64)
-					fmt.Fprintf(w, "%s_bucket%s %d\n", f.name, labelJoin(s.labels, `le="`+le+`"`), cum)
+					fmt.Fprintf(w, "%s_bucket%s %d%s\n", f.name,
+						labelJoin(s.labels, `le="`+le+`"`), cum, exemplarSuffix(s.hist, i))
 				}
-				cum += s.hist.buckets[len(s.hist.bounds)].Load()
-				fmt.Fprintf(w, "%s_bucket%s %d\n", f.name, labelJoin(s.labels, `le="+Inf"`), cum)
+				last := len(s.hist.bounds)
+				cum += s.hist.buckets[last].Load()
+				fmt.Fprintf(w, "%s_bucket%s %d%s\n", f.name,
+					labelJoin(s.labels, `le="+Inf"`), cum, exemplarSuffix(s.hist, last))
 				fmt.Fprintf(w, "%s_sum%s %s\n", f.name, s.labels, formatValue(s.hist.Sum().Seconds()))
 				fmt.Fprintf(w, "%s_count%s %d\n", f.name, s.labels, s.hist.Count())
 			case s.counter != nil:

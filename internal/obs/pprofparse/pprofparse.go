@@ -1,0 +1,417 @@
+// Package pprofparse is a minimal, dependency-free reader for pprof
+// protobuf profiles — just enough of the profile.proto schema to
+// aggregate flat sample values per leaf function and diff two
+// snapshots into a top-N symbol delta table. It exists because the
+// repo is stdlib-only: `lwm prof diff` cannot shell out to
+// `go tool pprof` or import github.com/google/pprof.
+//
+// The decoder is a hand-rolled protobuf walker: it understands the
+// varint / 64-bit / length-delimited / 32-bit wire types, descends only
+// into the messages it needs (sample_type, sample, location, function,
+// string_table), and skips everything else, so profiles from any Go
+// version parse as long as the stable proto field numbers hold.
+package pprofparse
+
+import (
+	"bytes"
+	"compress/gzip"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// ValueType is one sample value dimension, e.g. cpu/nanoseconds or
+// inuse_space/bytes.
+type ValueType struct {
+	Type string
+	Unit string
+}
+
+// Profile is the parsed subset of a pprof profile.
+type Profile struct {
+	SampleTypes []ValueType
+	// flat[valueIndex][functionName] = summed value of samples whose
+	// leaf frame is in that function.
+	flat []map[string]int64
+	// total[valueIndex] = sum over all samples.
+	total []int64
+}
+
+// sample is one raw sample before symbolization.
+type sample struct {
+	locIDs []uint64
+	values []int64
+}
+
+// Parse decodes a pprof profile (gzip-wrapped or raw protobuf).
+func Parse(data []byte) (*Profile, error) {
+	if len(data) >= 2 && data[0] == 0x1f && data[1] == 0x8b {
+		zr, err := gzip.NewReader(bytes.NewReader(data))
+		if err != nil {
+			return nil, fmt.Errorf("pprofparse: gzip: %w", err)
+		}
+		raw, err := io.ReadAll(zr)
+		if err != nil {
+			return nil, fmt.Errorf("pprofparse: gunzip: %w", err)
+		}
+		data = raw
+	}
+
+	var (
+		strtab      []string
+		samples     []sample
+		sampleTypes []struct{ typ, unit int64 }
+		locLeafFn   = map[uint64]uint64{} // location id -> leaf-most function id
+		fnName      = map[uint64]int64{}  // function id -> name string index
+	)
+
+	err := walkMessage(data, func(field int, wire int, v uint64, buf []byte) error {
+		switch field {
+		case 1: // sample_type: ValueType{type=1, unit=2}
+			var st struct{ typ, unit int64 }
+			if err := walkMessage(buf, func(f, w int, v uint64, b []byte) error {
+				switch f {
+				case 1:
+					st.typ = int64(v)
+				case 2:
+					st.unit = int64(v)
+				}
+				return nil
+			}); err != nil {
+				return err
+			}
+			sampleTypes = append(sampleTypes, st)
+		case 2: // sample: location_id=1 (repeated), value=2 (repeated)
+			var s sample
+			if err := walkMessage(buf, func(f, w int, v uint64, b []byte) error {
+				switch f {
+				case 1:
+					if w == 2 {
+						ids, err := unpackVarints(b)
+						if err != nil {
+							return err
+						}
+						s.locIDs = append(s.locIDs, ids...)
+					} else {
+						s.locIDs = append(s.locIDs, v)
+					}
+				case 2:
+					if w == 2 {
+						vals, err := unpackVarints(b)
+						if err != nil {
+							return err
+						}
+						for _, u := range vals {
+							s.values = append(s.values, int64(u))
+						}
+					} else {
+						s.values = append(s.values, int64(v))
+					}
+				}
+				return nil
+			}); err != nil {
+				return err
+			}
+			samples = append(samples, s)
+		case 4: // location: id=1, line=4 (repeated Line{function_id=1})
+			var id, leafFn uint64
+			first := true
+			if err := walkMessage(buf, func(f, w int, v uint64, b []byte) error {
+				switch f {
+				case 1:
+					id = v
+				case 4:
+					// The first Line of a location is the leaf-most
+					// (innermost inlined) frame — that is the symbol the
+					// flat table charges.
+					if !first {
+						return nil
+					}
+					first = false
+					return walkMessage(b, func(lf, lw int, lv uint64, lb []byte) error {
+						if lf == 1 {
+							leafFn = lv
+						}
+						return nil
+					})
+				}
+				return nil
+			}); err != nil {
+				return err
+			}
+			locLeafFn[id] = leafFn
+		case 5: // function: id=1, name=2 (string table index)
+			var id uint64
+			var name int64
+			if err := walkMessage(buf, func(f, w int, v uint64, b []byte) error {
+				switch f {
+				case 1:
+					id = v
+				case 2:
+					name = int64(v)
+				}
+				return nil
+			}); err != nil {
+				return err
+			}
+			fnName[id] = name
+		case 6: // string_table
+			strtab = append(strtab, string(buf))
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("pprofparse: %w", err)
+	}
+
+	str := func(i int64) string {
+		if i < 0 || int(i) >= len(strtab) {
+			return fmt.Sprintf("?str%d", i)
+		}
+		return strtab[i]
+	}
+
+	p := &Profile{
+		flat:  make([]map[string]int64, len(sampleTypes)),
+		total: make([]int64, len(sampleTypes)),
+	}
+	for _, st := range sampleTypes {
+		p.SampleTypes = append(p.SampleTypes, ValueType{Type: str(st.typ), Unit: str(st.unit)})
+	}
+	for i := range p.flat {
+		p.flat[i] = make(map[string]int64)
+	}
+	for _, s := range samples {
+		// location_id[0] is the leaf of the call stack.
+		name := "<unknown>"
+		if len(s.locIDs) > 0 {
+			if fid, ok := locLeafFn[s.locIDs[0]]; ok && fid != 0 {
+				name = str(fnName[fid])
+			}
+		}
+		for i, v := range s.values {
+			if i >= len(p.flat) {
+				break
+			}
+			p.flat[i][name] += v
+			p.total[i] += v
+		}
+	}
+	return p, nil
+}
+
+// walkMessage iterates the (field, wire) pairs of one protobuf message.
+// For wire type 2 the payload is passed in buf; for the scalar types
+// the raw value is passed in v.
+func walkMessage(data []byte, visit func(field, wire int, v uint64, buf []byte) error) error {
+	for len(data) > 0 {
+		key, n, err := readVarint(data)
+		if err != nil {
+			return err
+		}
+		data = data[n:]
+		field, wire := int(key>>3), int(key&7)
+		switch wire {
+		case 0: // varint
+			v, n, err := readVarint(data)
+			if err != nil {
+				return err
+			}
+			data = data[n:]
+			if err := visit(field, wire, v, nil); err != nil {
+				return err
+			}
+		case 1: // 64-bit
+			if len(data) < 8 {
+				return io.ErrUnexpectedEOF
+			}
+			var v uint64
+			for i := 0; i < 8; i++ {
+				v |= uint64(data[i]) << (8 * i)
+			}
+			data = data[8:]
+			if err := visit(field, wire, v, nil); err != nil {
+				return err
+			}
+		case 2: // length-delimited
+			l, n, err := readVarint(data)
+			if err != nil {
+				return err
+			}
+			data = data[n:]
+			if l > uint64(len(data)) {
+				return io.ErrUnexpectedEOF
+			}
+			if err := visit(field, wire, 0, data[:l]); err != nil {
+				return err
+			}
+			data = data[l:]
+		case 5: // 32-bit
+			if len(data) < 4 {
+				return io.ErrUnexpectedEOF
+			}
+			var v uint64
+			for i := 0; i < 4; i++ {
+				v |= uint64(data[i]) << (8 * i)
+			}
+			data = data[4:]
+			if err := visit(field, wire, v, nil); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("unsupported wire type %d for field %d", wire, field)
+		}
+	}
+	return nil
+}
+
+// readVarint decodes one base-128 varint.
+func readVarint(data []byte) (uint64, int, error) {
+	var v uint64
+	for i := 0; i < len(data) && i < 10; i++ {
+		v |= uint64(data[i]&0x7f) << (7 * i)
+		if data[i]&0x80 == 0 {
+			return v, i + 1, nil
+		}
+	}
+	if len(data) == 0 {
+		return 0, 0, io.ErrUnexpectedEOF
+	}
+	return 0, 0, fmt.Errorf("varint overflow")
+}
+
+// unpackVarints decodes a packed repeated-varint payload.
+func unpackVarints(data []byte) ([]uint64, error) {
+	var out []uint64
+	for len(data) > 0 {
+		v, n, err := readVarint(data)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+		data = data[n:]
+	}
+	return out, nil
+}
+
+// DefaultValueIndex picks the most useful sample value dimension: the
+// cpu time for CPU profiles, inuse_space for heap, alloc_space for
+// allocs, else the last dimension (pprof convention).
+func (p *Profile) DefaultValueIndex() int {
+	prefer := []string{"cpu", "inuse_space", "alloc_space"}
+	for _, want := range prefer {
+		for i, st := range p.SampleTypes {
+			if st.Type == want {
+				return i
+			}
+		}
+	}
+	if len(p.SampleTypes) == 0 {
+		return 0
+	}
+	return len(p.SampleTypes) - 1
+}
+
+// ValueIndex returns the index of the named sample dimension, or -1.
+func (p *Profile) ValueIndex(typ string) int {
+	for i, st := range p.SampleTypes {
+		if st.Type == typ {
+			return i
+		}
+	}
+	return -1
+}
+
+// Unit returns the unit of value dimension i ("" when out of range).
+func (p *Profile) Unit(i int) string {
+	if i < 0 || i >= len(p.SampleTypes) {
+		return ""
+	}
+	return p.SampleTypes[i].Unit
+}
+
+// Total returns the summed value of dimension i across all samples.
+func (p *Profile) Total(i int) int64 {
+	if i < 0 || i >= len(p.total) {
+		return 0
+	}
+	return p.total[i]
+}
+
+// SymbolValue is one row of a flat top table.
+type SymbolValue struct {
+	Name  string
+	Value int64
+}
+
+// Top returns the n largest flat values of dimension i, descending,
+// name-ordered on ties so output is deterministic.
+func (p *Profile) Top(i, n int) []SymbolValue {
+	if i < 0 || i >= len(p.flat) {
+		return nil
+	}
+	out := make([]SymbolValue, 0, len(p.flat[i]))
+	for name, v := range p.flat[i] {
+		out = append(out, SymbolValue{Name: name, Value: v})
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Value != out[b].Value {
+			return out[a].Value > out[b].Value
+		}
+		return out[a].Name < out[b].Name
+	})
+	if n > 0 && len(out) > n {
+		out = out[:n]
+	}
+	return out
+}
+
+// SymbolDelta is one row of a diff table: flat values in each profile
+// and the change from a to b.
+type SymbolDelta struct {
+	Name  string
+	A, B  int64
+	Delta int64 // B - A
+}
+
+// Diff computes the top-n symbol deltas between two profiles on the
+// named value dimension (matched by type name in each profile; the
+// caller picks a dimension present in both, e.g. via DefaultValueIndex
+// on a). Rows are ordered by |delta| descending, name on ties.
+func Diff(a, b *Profile, typ string, n int) ([]SymbolDelta, error) {
+	ai, bi := a.ValueIndex(typ), b.ValueIndex(typ)
+	if ai < 0 {
+		return nil, fmt.Errorf("pprofparse: profile A has no %q dimension", typ)
+	}
+	if bi < 0 {
+		return nil, fmt.Errorf("pprofparse: profile B has no %q dimension", typ)
+	}
+	names := make(map[string]bool)
+	for name := range a.flat[ai] {
+		names[name] = true
+	}
+	for name := range b.flat[bi] {
+		names[name] = true
+	}
+	out := make([]SymbolDelta, 0, len(names))
+	for name := range names {
+		av, bv := a.flat[ai][name], b.flat[bi][name]
+		out = append(out, SymbolDelta{Name: name, A: av, B: bv, Delta: bv - av})
+	}
+	abs := func(x int64) int64 {
+		if x < 0 {
+			return -x
+		}
+		return x
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if abs(out[i].Delta) != abs(out[j].Delta) {
+			return abs(out[i].Delta) > abs(out[j].Delta)
+		}
+		return out[i].Name < out[j].Name
+	})
+	if n > 0 && len(out) > n {
+		out = out[:n]
+	}
+	return out, nil
+}

@@ -1,0 +1,139 @@
+package pprofparse
+
+import (
+	"bytes"
+	"runtime"
+	"runtime/pprof"
+	"testing"
+)
+
+// ballast keeps a recognizable allocation live so the heap profile has
+// at least one sample attributed to a function in this package.
+var ballast [][]byte
+
+//go:noinline
+func allocateBallast() {
+	for i := 0; i < 64; i++ {
+		ballast = append(ballast, make([]byte, 64<<10))
+	}
+}
+
+// captureHeap produces a real heap profile through the same API the
+// profiler package uses.
+func captureHeap(t *testing.T) []byte {
+	t.Helper()
+	allocateBallast()
+	runtime.GC() // flush recent allocations into the profile
+	var buf bytes.Buffer
+	if err := pprof.Lookup("heap").WriteTo(&buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestParseRealHeapProfile(t *testing.T) {
+	p, err := Parse(captureHeap(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.SampleTypes) == 0 {
+		t.Fatal("no sample types parsed")
+	}
+	// The Go heap profile carries the canonical four dimensions.
+	for _, want := range []string{"alloc_space", "inuse_space"} {
+		if p.ValueIndex(want) < 0 {
+			t.Errorf("dimension %q missing; got %+v", want, p.SampleTypes)
+		}
+	}
+	i := p.DefaultValueIndex()
+	if p.SampleTypes[i].Type != "inuse_space" {
+		t.Errorf("DefaultValueIndex picked %q, want inuse_space", p.SampleTypes[i].Type)
+	}
+	if p.Unit(i) != "bytes" {
+		t.Errorf("unit = %q, want bytes", p.Unit(i))
+	}
+	if p.Total(i) <= 0 {
+		t.Fatalf("total inuse_space = %d, want > 0", p.Total(i))
+	}
+	top := p.Top(i, 10)
+	if len(top) == 0 {
+		t.Fatal("empty top table")
+	}
+	// Descending order, real symbol names.
+	for j := 1; j < len(top); j++ {
+		if top[j].Value > top[j-1].Value {
+			t.Fatalf("top table not descending at %d: %+v", j, top)
+		}
+	}
+	found := false
+	for _, sv := range p.Top(i, 0) {
+		if sv.Name == "localwm/internal/obs/pprofparse.allocateBallast" {
+			found = true
+			if sv.Value <= 0 {
+				t.Errorf("ballast symbol has value %d", sv.Value)
+			}
+		}
+	}
+	if !found {
+		t.Errorf("ballast allocation site not attributed; top: %+v", p.Top(i, 15))
+	}
+}
+
+func TestDiffAgainstSelfAndGrowth(t *testing.T) {
+	a, err := Parse(captureHeap(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Self-diff: every delta is zero.
+	self, err := Diff(a, a, "inuse_space", 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range self {
+		if d.Delta != 0 {
+			t.Fatalf("self-diff has nonzero delta: %+v", d)
+		}
+	}
+	// Grow the ballast, recapture, and the diff must attribute growth
+	// to the allocation site.
+	b, err := Parse(captureHeap(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	deltas, err := Diff(a, b, "inuse_space", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var grew bool
+	for _, d := range deltas {
+		if d.Name == "localwm/internal/obs/pprofparse.allocateBallast" && d.Delta > 0 {
+			grew = true
+		}
+	}
+	if !grew {
+		t.Fatalf("ballast growth not attributed; deltas: %+v", deltas[:min(len(deltas), 10)])
+	}
+	// Unknown dimension errors cleanly.
+	if _, err := Diff(a, b, "no_such_dimension", 5); err == nil {
+		t.Fatal("Diff on a missing dimension succeeded")
+	}
+}
+
+func TestParseRejectsGarbage(t *testing.T) {
+	for _, data := range [][]byte{
+		{0x1f, 0x8b, 0x00},       // truncated gzip
+		{0xff, 0xff, 0xff, 0xff}, // varint running off the end
+	} {
+		if _, err := Parse(data); err == nil {
+			t.Errorf("Parse(%v) succeeded, want error", data)
+		}
+	}
+	// Empty input parses to an empty profile (valid degenerate case).
+	p, err := Parse(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.SampleTypes) != 0 || len(p.Top(0, 5)) != 0 {
+		t.Fatal("empty profile not empty")
+	}
+}

@@ -240,6 +240,75 @@ func (t *Trace) WriteTree(w io.Writer) {
 	}
 }
 
+// SpanView is an exported, JSON-serializable snapshot of one span and
+// its children — the shape the flight recorder retains and /v1/traces
+// serves. Durations are nanoseconds so the wire format needs no
+// duration-string parsing on the client side.
+type SpanView struct {
+	Name          string     `json:"name"`
+	StartUnixNano int64      `json:"start_unix_nano"`
+	DurationNanos int64      `json:"duration_nanos"`
+	Attrs         []AttrView `json:"attrs,omitempty"`
+	Children      []SpanView `json:"children,omitempty"`
+}
+
+// AttrView is one span annotation in wire form; values are rendered to
+// strings so the JSON schema stays stable regardless of attribute type.
+type AttrView struct {
+	Key   string `json:"key"`
+	Value string `json:"value"`
+}
+
+// Tree returns the trace's span forest as SpanViews: roots in start
+// order, children nested under parents. Spans still open snapshot their
+// duration as time-since-start. Nil on a nil trace.
+func (t *Trace) Tree() []SpanView {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	children := make(map[*Span][]*Span)
+	var roots []*Span
+	for _, s := range t.spans {
+		if s.parent == nil {
+			roots = append(roots, s)
+		} else {
+			children[s.parent] = append(children[s.parent], s)
+		}
+	}
+	byStart := func(l []*Span) {
+		sort.SliceStable(l, func(i, j int) bool { return l[i].Start.Before(l[j].Start) })
+	}
+	var build func(s *Span) SpanView
+	build = func(s *Span) SpanView {
+		end := s.end
+		if end.IsZero() {
+			end = time.Now()
+		}
+		v := SpanView{
+			Name:          s.Name,
+			StartUnixNano: s.Start.UnixNano(),
+			DurationNanos: int64(end.Sub(s.Start)),
+		}
+		for _, a := range s.attrs {
+			v.Attrs = append(v.Attrs, AttrView{Key: a.Key, Value: fmt.Sprintf("%v", a.Value)})
+		}
+		kids := children[s]
+		byStart(kids)
+		for _, c := range kids {
+			v.Children = append(v.Children, build(c))
+		}
+		return v
+	}
+	byStart(roots)
+	views := make([]SpanView, 0, len(roots))
+	for _, r := range roots {
+		views = append(views, build(r))
+	}
+	return views
+}
+
 // ctxKey keys the trace state carried in a context: the trace and the
 // current (innermost) span new child spans attach to.
 type ctxKey struct{}

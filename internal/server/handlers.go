@@ -101,6 +101,9 @@ func (s *Server) resolveDesign(ctx context.Context, field, inline, ref string, w
 	if !store.ValidRef(ref) {
 		return nil, false, badRequest("%s_ref: not a registry reference (want 64 lowercase hex digits)", field)
 	}
+	if ri := reqInfoFrom(ctx); ri != nil {
+		ri.designRef = ref // retained traces carry the ref they resolved
+	}
 	d, ok := s.store.GetOwned(tenantFrom(ctx).ns, ref)
 	if !ok {
 		return nil, false, refNotFound(ref)

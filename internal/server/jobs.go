@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"localwm/internal/jobs"
+	"localwm/internal/obs"
 	"localwm/lwmapi"
 )
 
@@ -152,6 +153,14 @@ func (s *Server) submitJob(ctx context.Context, req *lwmapi.JobRequest) (*lwmapi
 	if tn.t != nil {
 		maxBacklog = tn.t.MaxJobBacklog
 	}
+	// The submitting request's trace ID becomes the job's: attempts,
+	// webhook deliveries, and status reads all carry it, so the trace
+	// survives the async boundary. Without one (tracing off) the manager
+	// mints the job-derived default.
+	var traceID string
+	if tr := obs.TraceFrom(ctx); tr != nil {
+		traceID = string(tr.ID)
+	}
 	job, created, err := s.jobs.Submit(jobs.Submission{
 		Kind:           req.Kind,
 		Payload:        payload,
@@ -160,6 +169,7 @@ func (s *Server) submitJob(ctx context.Context, req *lwmapi.JobRequest) (*lwmapi
 		MaxAttempts:    req.MaxAttempts,
 		Tenant:         tn.ns,
 		MaxBacklog:     maxBacklog,
+		TraceID:        traceID,
 	})
 	switch {
 	case errors.Is(err, jobs.ErrTenantBacklogFull):
@@ -202,7 +212,7 @@ func (s *Server) handleJobGet(r *http.Request) (any, error) {
 	case "":
 		return s.jobStatus(r, ns, id)
 	case "result":
-		return s.jobResult(ns, id)
+		return s.jobResult(r.Context(), ns, id)
 	default:
 		return nil, badRequest("path: unknown job subresource %q", sub)
 	}
@@ -236,6 +246,7 @@ func (s *Server) jobStatus(r *http.Request, ns, id string) (any, error) {
 		if !ok || job.Tenant != ns {
 			return nil, jobNotFound(id)
 		}
+		s.echoJobTrace(r.Context(), job)
 		st := job.Status()
 		st.Version = v
 		return st, nil
@@ -252,20 +263,31 @@ func (s *Server) jobStatus(r *http.Request, ns, id string) (any, error) {
 	if errors.Is(err, jobs.ErrNotFound) || (job != nil && job.Tenant != ns) {
 		return nil, jobNotFound(id)
 	}
+	s.echoJobTrace(r.Context(), job)
 	st := job.Status()
 	st.Version = v
 	return st, nil
+}
+
+// echoJobTrace arranges for the response to carry the job's linked
+// trace ID in X-Lwm-Trace-Id — the submitting request's trace, echoed
+// back on every later read so the caller can stitch the async hop.
+func (s *Server) echoJobTrace(ctx context.Context, job *jobs.Job) {
+	if ri := reqInfoFrom(ctx); ri != nil {
+		ri.echoTraceID = job.Trace()
+	}
 }
 
 // jobResult answers GET /v1/jobs/{id}/result: the stored response bytes
 // of a done job, verbatim. A job still in flight answers 409 with a
 // Retry-After hint (and retryable=true via the code table); a failed job
 // answers 410 carrying its final error.
-func (s *Server) jobResult(ns, id string) (any, error) {
+func (s *Server) jobResult(ctx context.Context, ns, id string) (any, error) {
 	job, ok := s.jobs.Get(id)
 	if !ok || job.Tenant != ns {
 		return nil, jobNotFound(id)
 	}
+	s.echoJobTrace(ctx, job)
 	switch job.State {
 	case jobs.StateDone:
 		return &rawResponse{status: http.StatusOK, contentType: "application/json", body: job.Result}, nil

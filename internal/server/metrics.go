@@ -13,6 +13,8 @@ import (
 	"localwm/internal/engine"
 	"localwm/internal/jobs"
 	"localwm/internal/obs"
+	"localwm/internal/obs/profiler"
+	"localwm/internal/obs/recorder"
 	"localwm/internal/robust"
 	"localwm/internal/store"
 	"localwm/lwmapi"
@@ -278,6 +280,8 @@ func (s *Server) buildRegistry() *obs.Registry {
 			func() uint64 { return engine.Stats().SpecCommits }},
 		{"lwmd_engine_spec_repairs_total", "Speculations replayed sequentially (process-wide).",
 			func() uint64 { return engine.Stats().SpecRepairs }},
+		{"lwmd_engine_seq_degrades_total", "Parallel engine calls auto-degraded to the sequential path on a single-CPU process.",
+			func() uint64 { return engine.Stats().SeqDegrades }},
 		{"lwmd_oracle_hits_total", "PathOracle longest-path cache hits (process-wide).",
 			func() uint64 { h, _ := cdfg.OracleStats(); return h }},
 		{"lwmd_oracle_misses_total", "PathOracle lookups that recomputed longest paths (process-wide).",
@@ -306,6 +310,72 @@ func (s *Server) buildRegistry() *obs.Registry {
 				map[string]string{"kind": fc.kind},
 				func() float64 { return float64(load()) })
 		}
+	}
+
+	// Runtime vitals, bridged from runtime/metrics on every scrape.
+	// Always registered: they cost one metrics.Read per series per scrape
+	// and are the first thing an operator wants when the daemon misbehaves.
+	r.GaugeFunc("lwmd_go_goroutines", "Live goroutines in the daemon process.", nil,
+		func() float64 { return readRuntimeStat(runtimeGoroutines) })
+	r.GaugeFunc("lwmd_go_heap_bytes", "Bytes of live heap objects (runtime/metrics /memory/classes/heap/objects).", nil,
+		func() float64 { return readRuntimeStat(runtimeHeapBytes) })
+	r.CounterFunc("lwmd_go_gc_pause_seconds", "Cumulative GC stop-the-world pause time, seconds.", nil,
+		func() float64 { return readRuntimeStat(runtimeGCPauses) })
+
+	// Flight-recorder series, present only when the recorder is enabled
+	// (same gating discipline as the chaos family above).
+	if rec := s.recorder; rec != nil {
+		r.CounterFunc("lwmd_trace_recorded_total", "Completed requests offered to the flight recorder.", nil,
+			func() float64 { return float64(rec.Counters().Recorded) })
+		for _, kc := range []struct {
+			reason string
+			load   func(recorder.Counters) uint64
+		}{
+			{recorder.KeepError, func(c recorder.Counters) uint64 { return c.KeptError }},
+			{recorder.KeepSlow, func(c recorder.Counters) uint64 { return c.KeptSlow }},
+			{recorder.KeepSampled, func(c recorder.Counters) uint64 { return c.KeptSampled }},
+		} {
+			load := kc.load
+			r.CounterFunc("lwmd_trace_kept_total",
+				"Traces retained by the tail sampler, by keep reason (error, slow, sampled).",
+				map[string]string{"reason": kc.reason},
+				func() float64 { return float64(load(rec.Counters())) })
+		}
+		r.CounterFunc("lwmd_trace_dropped_total", "Completed requests the tail sampler dropped.", nil,
+			func() float64 { return float64(rec.Counters().Dropped) })
+		r.CounterFunc("lwmd_trace_evicted_total", "Retained traces evicted by the ring bound.", nil,
+			func() float64 { return float64(rec.Counters().Evicted) })
+		r.GaugeFunc("lwmd_trace_resident", "Traces currently retained.", nil,
+			func() float64 { return float64(rec.Counters().Resident) })
+		r.GaugeFunc("lwmd_trace_capacity", "Configured flight-recorder ring capacity.", nil,
+			func() float64 { return float64(rec.Capacity()) })
+	}
+
+	// Profiling-observatory series, present only when -prof-dir is set.
+	if prof := s.profiler; prof != nil {
+		for _, pc := range []struct {
+			name, help string
+			load       func(profiler.Counters) uint64
+		}{
+			{"lwmd_prof_captures_total", "pprof snapshots written (all kinds).",
+				func(c profiler.Counters) uint64 { return c.Captures }},
+			{"lwmd_prof_cycles_total", "Capture cycles completed (periodic and triggered).",
+				func(c profiler.Counters) uint64 { return c.Cycles }},
+			{"lwmd_prof_triggered_total", "Capture cycles started by an SLO breach trigger.",
+				func(c profiler.Counters) uint64 { return c.Triggered }},
+			{"lwmd_prof_errors_total", "Snapshot writes that failed.",
+				func(c profiler.Counters) uint64 { return c.Errors }},
+			{"lwmd_prof_pruned_total", "Snapshots removed by per-kind retention.",
+				func(c profiler.Counters) uint64 { return c.Pruned }},
+		} {
+			load := pc.load
+			r.CounterFunc(pc.name, pc.help, nil,
+				func() float64 { return float64(load(prof.Counters())) })
+		}
+		r.GaugeFunc("lwmd_prof_snapshots", "pprof snapshots currently resident on disk.", nil,
+			func() float64 { return float64(prof.Counters().Snapshots) })
+		r.GaugeFunc("lwmd_prof_bytes", "Bytes of resident pprof snapshots.", nil,
+			func() float64 { return float64(prof.Counters().Bytes) })
 	}
 	return r
 }
@@ -370,6 +440,7 @@ func (s *Server) snapshot() map[string]any {
 		"pool_jobs":    es.PoolJobs,
 		"spec_commits": es.SpecCommits,
 		"spec_repairs": es.SpecRepairs,
+		"seq_degrades": es.SeqDegrades,
 	}
 	sc := s.store.Counters()
 	out["store"] = map[string]any{
@@ -409,6 +480,38 @@ func (s *Server) snapshot() map[string]any {
 	out["tenants"] = s.meter.Snapshot(s.storeUsageOf)
 	if s.cfg.Chaos != nil {
 		out["chaos"] = s.cfg.Chaos.Snapshot()
+	}
+	out["runtime"] = map[string]any{
+		"goroutines":       readRuntimeStat(runtimeGoroutines),
+		"heap_bytes":       readRuntimeStat(runtimeHeapBytes),
+		"gc_pause_seconds": readRuntimeStat(runtimeGCPauses),
+	}
+	if rec := s.recorder; rec != nil {
+		tc := rec.Counters()
+		out["traces"] = map[string]any{
+			"recorded":     tc.Recorded,
+			"kept":         tc.Kept,
+			"kept_error":   tc.KeptError,
+			"kept_slow":    tc.KeptSlow,
+			"kept_sampled": tc.KeptSampled,
+			"dropped":      tc.Dropped,
+			"evicted":      tc.Evicted,
+			"resident":     tc.Resident,
+			"capacity":     rec.Capacity(),
+			"endpoints":    rec.Endpoints(),
+		}
+	}
+	if prof := s.profiler; prof != nil {
+		pc := prof.Counters()
+		out["profiler"] = map[string]any{
+			"captures":  pc.Captures,
+			"cycles":    pc.Cycles,
+			"triggered": pc.Triggered,
+			"errors":    pc.Errors,
+			"pruned":    pc.Pruned,
+			"snapshots": pc.Snapshots,
+			"bytes":     pc.Bytes,
+		}
 	}
 	return out
 }

@@ -91,6 +91,19 @@ type reqInfo struct {
 	run       time.Duration
 	result    string
 	errMsg    string
+	// tenant and designRef enrich the flight-recorder entry: the
+	// admission path stamps the authenticated namespace, resolveDesign
+	// stamps the registry reference a request resolved (if any).
+	tenant    string
+	designRef string
+	// elapsed is the full admission-to-answer duration the endpoint
+	// observed into its histogram — the exemplar value, so an exemplar
+	// always lands in the bucket of the observation it annotates.
+	elapsed time.Duration
+	// echoTraceID, when set by a handler, overrides the response's
+	// X-Lwm-Trace-Id — GET /v1/jobs/{id} echoes the job's persisted
+	// trace ID so the submit→execute→deliver chain shares one ID.
+	echoTraceID string
 }
 
 type reqInfoKey struct{}
@@ -147,7 +160,8 @@ func (s *Server) observe(name string, next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		tid := obs.TraceID(r.Header.Get(obs.TraceHeader))
 		logging := s.logger != nil && s.logger.Enabled(r.Context(), slog.LevelInfo)
-		if !logging && tid == "" {
+		recording := s.recorder != nil
+		if !logging && tid == "" && !recording {
 			next.ServeHTTP(w, r)
 			return
 		}
@@ -168,15 +182,20 @@ func (s *Server) observe(name string, next http.Handler) http.Handler {
 		sw := &statusWriter{ResponseWriter: w}
 		sw.Header().Set(obs.TraceHeader, string(tid))
 
+		// Engine/oracle counters are process-wide cumulatives; a snapshot
+		// pair brackets the request so its recorder entry carries the
+		// delta (approximate under concurrency, exact when idle).
+		var ec0 engineSnapshot
+		if recording {
+			ec0 = takeEngineSnapshot()
+		}
+
 		// The log line is emitted from a defer so a handler panic that
 		// escapes (http.ErrAbortHandler from a chaos reset on a
 		// non-hijackable writer) still produces its one line; the panic
 		// itself keeps unwinding to net/http.
 		defer func() {
 			rootSpan.Finish()
-			if !logging {
-				return
-			}
 			total := time.Since(start)
 			status := sw.status
 			result := ri.result
@@ -189,6 +208,12 @@ func (s *Server) observe(name string, next http.Handler) http.Handler {
 				default:
 					result = "error"
 				}
+			}
+			if recording {
+				s.recordRequest(name, tid, tr, ri, status, result, start, total, ec0)
+			}
+			if !logging {
+				return
 			}
 			attrs := []slog.Attr{
 				slog.String("trace_id", string(tid)),
@@ -276,6 +301,9 @@ func (s *Server) endpoint(name string, allow []string, handle func(r *http.Reque
 			}
 		}
 		s.meter.Request(tn.ns)
+		if ri != nil {
+			ri.tenant = tn.ns
+		}
 		r = r.WithContext(withTenantInfo(r.Context(), tn))
 		r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
 
@@ -303,6 +331,7 @@ func (s *Server) endpoint(name string, allow []string, handle func(r *http.Reque
 		if ri != nil {
 			ri.queueWait = queueWait
 			ri.run = runDur
+			ri.elapsed = elapsed
 		}
 		if tr != nil {
 			// Stage timings ride back to a tracing client (lwm -trace)
@@ -346,6 +375,14 @@ func (s *Server) endpoint(name string, allow []string, handle func(r *http.Reque
 		em.lat.add(elapsed)
 		em.hist.Observe(elapsed)
 		em.queueWait.Observe(queueWait)
+		// SLO breach check, cheapest-first: only a request that itself
+		// blew the objective pays for the rolling-p99 confirmation, and
+		// only a confirmed breach asks the profiler (which debounces) for
+		// an on-demand capture.
+		if s.cfg.SLO > 0 && elapsed > s.cfg.SLO && s.profiler != nil &&
+			em.lat.quantile(0.99) > s.cfg.SLO {
+			s.profiler.Trigger("slo:" + name)
+		}
 
 		if jobErr != nil {
 			em.failed.Add(1)
@@ -363,6 +400,9 @@ func (s *Server) endpoint(name string, allow []string, handle func(r *http.Reque
 		}
 		em.completed.Add(1)
 		setResult("ok", "")
+		if ri != nil && ri.echoTraceID != "" {
+			w.Header().Set(obs.TraceHeader, ri.echoTraceID)
+		}
 		if raw, ok := resp.(*rawResponse); ok {
 			w.Header().Set("Content-Type", raw.contentType)
 			w.WriteHeader(raw.status)

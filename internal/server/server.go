@@ -47,6 +47,8 @@ import (
 	"localwm/internal/chaos"
 	"localwm/internal/jobs"
 	"localwm/internal/obs"
+	"localwm/internal/obs/profiler"
+	"localwm/internal/obs/recorder"
 	"localwm/internal/store"
 	"localwm/internal/tenant"
 )
@@ -145,6 +147,24 @@ type Config struct {
 	// serving path then pays nothing unless a request carries an
 	// X-Lwm-Trace-Id header.
 	Logger *slog.Logger
+	// Recorder, when non-nil, is the flight recorder (lwmd -trace-retain):
+	// every completed request is offered to its tail sampler, retained
+	// span trees are served on GET /v1/traces[/{id}], and kept traces
+	// stamp exemplars onto the duration histograms. Nil (the default)
+	// disables trace retention; the serving path then pays exactly what
+	// it did before the recorder existed.
+	Recorder *recorder.Recorder
+	// Profiler, when non-nil, is the continuous-profiling observatory
+	// (lwmd -prof-dir): its snapshots are listed and fetched on
+	// GET /v1/profiles[/{name}], and an SLO breach triggers an on-demand
+	// capture. The profiler's lifecycle (Start/Close) belongs to whoever
+	// built it — cmd/lwmd.
+	Profiler *profiler.Profiler
+	// SLO, when positive, is the per-endpoint latency objective: when a
+	// request finishes slower than SLO and its endpoint's rolling p99 is
+	// over SLO too, the profiler (if any) is asked for an on-demand
+	// capture. Zero disables the trigger.
+	SLO time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -204,7 +224,9 @@ type Server struct {
 	jobs     *jobs.Manager
 	tenants  *tenant.Registry // nil: single-tenant daemon
 	meter    *tenant.Meter
-	ownJobs  bool // the in-memory default is the server's to close
+	recorder *recorder.Recorder // nil: flight recorder off
+	profiler *profiler.Profiler // nil: profiling observatory off
+	ownJobs  bool               // the in-memory default is the server's to close
 	draining atomic.Bool
 	// robustDur is the campaign-duration histogram
 	// (lwmd_robust_campaign_seconds), observed by runRobust on both the
@@ -243,12 +265,14 @@ func New(cfg Config) *Server {
 			epJobs:    newQueue(cfg.JobWorkers, cfg.QueueSize),
 			epRobust:  newQueue(cfg.RobustWorkers, cfg.QueueSize),
 		},
-		logger:  cfg.Logger,
-		store:   st,
-		jobs:    jm,
-		tenants: cfg.Tenants,
-		meter:   tenant.NewMeter(),
-		ownJobs: ownJobs,
+		logger:   cfg.Logger,
+		store:    st,
+		jobs:     jm,
+		tenants:  cfg.Tenants,
+		meter:    tenant.NewMeter(),
+		recorder: cfg.Recorder,
+		profiler: cfg.Profiler,
+		ownJobs:  ownJobs,
 	}
 	s.reg = s.buildRegistry()
 	jm.Start(s.execJob)
@@ -292,6 +316,11 @@ func (s *Server) Handler() http.Handler {
 		}
 		jobsGet.ServeHTTP(w, r)
 	}))
+	// Trace and profile reads are cheap in-memory/disk lookups mounted
+	// outside the admission queues (like /v1/stats), but inside observe
+	// and authentication: on a tenanted daemon each tenant sees only its
+	// own traces.
+	s.mountObservatory(mux, true)
 	mux.HandleFunc("/v1/stats", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, s.snapshot())
 	})
@@ -318,6 +347,9 @@ func (s *Server) DebugHandler() http.Handler {
 	mux.HandleFunc("/debug/lwmd", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, s.snapshot())
 	})
+	// The loopback-only debug mux serves the same trace/profile surface
+	// unscoped: an operator sees every tenant's retained traces.
+	s.mountObservatory(mux, false)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)

@@ -1,0 +1,407 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"localwm/internal/obs"
+	"localwm/internal/obs/pprofparse"
+	"localwm/internal/obs/profiler"
+	"localwm/internal/obs/recorder"
+	"localwm/internal/tenant"
+	"localwm/lwmapi"
+)
+
+// tracedReq performs one request with a caller-chosen trace ID (the
+// middleware adopts X-Lwm-Trace-Id) and drains the body.
+func tracedReq(t *testing.T, client *http.Client, method, url, traceID string, body []byte) (*http.Response, []byte) {
+	t.Helper()
+	var rd *strings.Reader
+	if body != nil {
+		rd = strings.NewReader(string(body))
+	} else {
+		rd = strings.NewReader("")
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	if traceID != "" {
+		req.Header.Set(obs.TraceHeader, traceID)
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		t.Fatalf("%s %s: %v", method, url, err)
+	}
+	data := readAll(t, resp)
+	return resp, data
+}
+
+func readAll(t *testing.T, resp *http.Response) []byte {
+	t.Helper()
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+func decodeTrace(t *testing.T, data []byte) lwmapi.TraceEntry {
+	t.Helper()
+	var e lwmapi.TraceEntry
+	if err := json.Unmarshal(data, &e); err != nil {
+		t.Fatalf("decoding trace entry %q: %v", data, err)
+	}
+	return e
+}
+
+// testRecorder builds a recorder whose probabilistic sampling is
+// effectively off (rate ~0 with a pinned seed), so only the error and
+// slowest-N policies retain traces — the acceptance property under test.
+func testRecorder(capacity int) *recorder.Recorder {
+	return recorder.New(recorder.Config{Capacity: capacity, SampleRate: 1e-12, Seed: 1})
+}
+
+// TestFlightRecorderRetainsErrorsAndSlow drives the acceptance criterion
+// over the socket: with the sample rate effectively zero, every
+// error-result request and the slowest requests per endpoint must still
+// be retrievable by ID with their full span tree.
+func TestFlightRecorderRetainsErrorsAndSlow(t *testing.T) {
+	fx := makeFixture(t, "alice")
+	srv := New(Config{EngineWorkers: 2, Recorder: testRecorder(64)})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	defer srv.Shutdown(context.Background())
+
+	// An error request: unparsable body, 400. Always kept.
+	resp, _ := tracedReq(t, ts.Client(), http.MethodPost, ts.URL+"/v1/embed", "tr-err-1", []byte("not json"))
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad embed status %d, want 400", resp.StatusCode)
+	}
+
+	// A successful embed: the first (and so slowest) on its endpoint.
+	embedBody, err := json.Marshal(lwmapi.EmbedRequest{Design: fx.designText, Signature: "alice"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, data := tracedReq(t, ts.Client(), http.MethodPost, ts.URL+"/v1/embed", "tr-ok-1", embedBody)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("embed status %d: %s", resp.StatusCode, data)
+	}
+
+	// The error trace: retained with reason "error" regardless of rate.
+	resp, data = getBody(t, ts.Client(), ts.URL+"/v1/traces/tr-err-1")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("error trace not retained: status %d: %s", resp.StatusCode, data)
+	}
+	e := decodeTrace(t, data)
+	if e.KeepReason != recorder.KeepError {
+		t.Fatalf("error trace keep_reason %q, want %q", e.KeepReason, recorder.KeepError)
+	}
+	if e.Status != http.StatusBadRequest || e.Result == "ok" {
+		t.Fatalf("error trace outcome %d/%q, want 400/non-ok", e.Status, e.Result)
+	}
+
+	// The slow trace: retained with reason "slow", full span tree, stage
+	// timings, and engine counter deltas.
+	resp, data = getBody(t, ts.Client(), ts.URL+"/v1/traces/tr-ok-1")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("slow trace not retained: status %d: %s", resp.StatusCode, data)
+	}
+	e = decodeTrace(t, data)
+	if e.KeepReason != recorder.KeepSlow {
+		t.Fatalf("slow trace keep_reason %q, want %q", e.KeepReason, recorder.KeepSlow)
+	}
+	if e.Endpoint != "embed" || e.Result != "ok" {
+		t.Fatalf("slow trace identity %s/%s, want embed/ok", e.Endpoint, e.Result)
+	}
+	if len(e.Spans) == 0 {
+		t.Fatal("slow trace has no span tree")
+	}
+	if e.Spans[0].Name != "request" {
+		t.Fatalf("root span %q, want \"request\"", e.Spans[0].Name)
+	}
+	if e.DurationNanos <= 0 || e.RunNanos <= 0 {
+		t.Fatalf("stage timings missing: total=%d run=%d", e.DurationNanos, e.RunNanos)
+	}
+
+	// The listing, filterable by endpoint and result (the recorder also
+	// retained the trace reads above — endpoint "traces" — so filter to
+	// the embed traffic).
+	resp, data = getBody(t, ts.Client(), ts.URL+"/v1/traces?endpoint=embed&result=ok")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("list status %d: %s", resp.StatusCode, data)
+	}
+	var list lwmapi.ListTracesResponse
+	if err := json.Unmarshal(data, &list); err != nil {
+		t.Fatal(err)
+	}
+	if list.Count != 1 || len(list.Traces) != 1 || list.Traces[0].ID != "tr-ok-1" {
+		t.Fatalf("result=ok listing = %s, want just tr-ok-1", data)
+	}
+	if len(list.Traces[0].Spans) != 0 {
+		t.Fatal("listing must omit span trees")
+	}
+
+	// An unknown ID answers 404 trace_not_found.
+	resp, data = getBody(t, ts.Client(), ts.URL+"/v1/traces/tr-never-seen")
+	if resp.StatusCode != http.StatusNotFound || errCodeOf(t, data) != lwmapi.CodeTraceNotFound {
+		t.Fatalf("unknown trace: status %d code %q, want 404 %s", resp.StatusCode, errCodeOf(t, data), lwmapi.CodeTraceNotFound)
+	}
+}
+
+// TestExemplarResolvesToRetainedTrace ties the two halves of the tentpole
+// together: a duration-histogram exemplar on /metrics must name a trace
+// ID that GET /v1/traces/{id} resolves.
+func TestExemplarResolvesToRetainedTrace(t *testing.T) {
+	fx := makeFixture(t, "alice")
+	srv := New(Config{EngineWorkers: 2, Recorder: testRecorder(64)})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	defer srv.Shutdown(context.Background())
+
+	embedBody, err := json.Marshal(lwmapi.EmbedRequest{Design: fx.designText, Signature: "alice"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, data := tracedReq(t, ts.Client(), http.MethodPost, ts.URL+"/v1/embed", "tr-exemplar-1", embedBody)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("embed status %d: %s", resp.StatusCode, data)
+	}
+
+	resp, data = getBody(t, ts.Client(), ts.URL+"/metrics")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics status %d", resp.StatusCode)
+	}
+	var exemplarID string
+	for _, line := range strings.Split(string(data), "\n") {
+		if !strings.HasPrefix(line, "lwmd_request_duration_seconds_bucket") {
+			continue
+		}
+		marker := `# {trace_id="`
+		i := strings.Index(line, marker)
+		if i < 0 {
+			continue
+		}
+		rest := line[i+len(marker):]
+		if j := strings.IndexByte(rest, '"'); j > 0 {
+			exemplarID = rest[:j]
+			break
+		}
+	}
+	if exemplarID == "" {
+		t.Fatal("no exemplar on any lwmd_request_duration_seconds_bucket line")
+	}
+	if exemplarID != "tr-exemplar-1" {
+		t.Fatalf("exemplar names %q, want tr-exemplar-1", exemplarID)
+	}
+	resp, data = getBody(t, ts.Client(), ts.URL+"/v1/traces/"+exemplarID)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("exemplar trace %s not retrievable: status %d: %s", exemplarID, resp.StatusCode, data)
+	}
+	if e := decodeTrace(t, data); e.ID != exemplarID {
+		t.Fatalf("trace ID %q, want %q", e.ID, exemplarID)
+	}
+}
+
+// TestTracesTenantScoping: on a tenanted daemon each tenant sees only its
+// own traces — a foreign trace ID answers exactly like a missing one.
+func TestTracesTenantScoping(t *testing.T) {
+	fx := makeFixture(t, "alice")
+	reg, _ := loadTenants(t, tenant.File{Tenants: []tenant.Tenant{
+		{ID: "alice", APIKey: aliceKey},
+		{ID: "bob", APIKey: bobKey},
+	}})
+	srv := New(Config{EngineWorkers: 2, Recorder: testRecorder(64), Tenants: reg})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	defer srv.Shutdown(context.Background())
+
+	embedBody, err := json.Marshal(lwmapi.EmbedRequest{Design: fx.designText, Signature: "alice"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/embed", strings.NewReader(string(embedBody)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(lwmapi.APIKeyHeader, aliceKey)
+	req.Header.Set(obs.TraceHeader, "tr-alice-1")
+	resp, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if data := readAll(t, resp); resp.StatusCode != http.StatusOK {
+		t.Fatalf("embed status %d: %s", resp.StatusCode, data)
+	}
+
+	// Alice reads her own trace; it is stamped with her tenant.
+	resp, data := keyedReq(t, ts.Client(), http.MethodGet, ts.URL+"/v1/traces/tr-alice-1", aliceKey, false, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("owner read: status %d: %s", resp.StatusCode, data)
+	}
+	if e := decodeTrace(t, data); e.Tenant != "alice" {
+		t.Fatalf("trace tenant %q, want alice", e.Tenant)
+	}
+
+	// Bob gets exactly a 404 — indistinguishable from a missing trace.
+	resp, data = keyedReq(t, ts.Client(), http.MethodGet, ts.URL+"/v1/traces/tr-alice-1", bobKey, false, nil)
+	if resp.StatusCode != http.StatusNotFound || errCodeOf(t, data) != lwmapi.CodeTraceNotFound {
+		t.Fatalf("foreign read: status %d code %q, want 404 %s", resp.StatusCode, errCodeOf(t, data), lwmapi.CodeTraceNotFound)
+	}
+
+	// Bob's listing is empty; alice's holds her trace. Filter to the
+	// embed endpoint — bob's own failed trace lookup above was itself
+	// recorded (result error, endpoint traces), which is his to see.
+	resp, data = keyedReq(t, ts.Client(), http.MethodGet, ts.URL+"/v1/traces?endpoint=embed", bobKey, false, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("bob list: status %d: %s", resp.StatusCode, data)
+	}
+	var list lwmapi.ListTracesResponse
+	if err := json.Unmarshal(data, &list); err != nil {
+		t.Fatal(err)
+	}
+	if list.Count != 0 {
+		t.Fatalf("bob sees %d traces, want 0: %s", list.Count, data)
+	}
+	resp, data = keyedReq(t, ts.Client(), http.MethodGet, ts.URL+"/v1/traces?endpoint=embed", aliceKey, false, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("alice list: status %d: %s", resp.StatusCode, data)
+	}
+	if err := json.Unmarshal(data, &list); err != nil {
+		t.Fatal(err)
+	}
+	if list.Count != 1 || list.Traces[0].ID != "tr-alice-1" {
+		t.Fatalf("alice sees %s, want just tr-alice-1", data)
+	}
+}
+
+// TestJobStatusEchoesTrace: a job adopts the submitting request's trace
+// ID, and every status read echoes it — in the JSON body and in the
+// response's X-Lwm-Trace-Id header — so the submit trace correlates the
+// whole async lifecycle.
+func TestJobStatusEchoesTrace(t *testing.T) {
+	fx := makeFixture(t, "alice")
+	srv := New(Config{EngineWorkers: 2, Recorder: testRecorder(64)})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	defer srv.Shutdown(context.Background())
+
+	jobBody, _ := detectJobBody(t, fx, "")
+	resp, data := tracedReq(t, ts.Client(), http.MethodPost, ts.URL+"/v1/jobs", "tr-submit-9", jobBody)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("submit status %d: %s", resp.StatusCode, data)
+	}
+	st := decodeStatus(t, data)
+	if st.TraceID != "tr-submit-9" {
+		t.Fatalf("submit echo trace_id %q, want tr-submit-9", st.TraceID)
+	}
+
+	// A later status read — its own request, its own trace — still
+	// carries the job's originating trace ID.
+	resp, data = getBody(t, ts.Client(), ts.URL+"/v1/jobs/"+st.ID)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status read %d: %s", resp.StatusCode, data)
+	}
+	if got := decodeStatus(t, data); got.TraceID != "tr-submit-9" {
+		t.Fatalf("status trace_id %q, want tr-submit-9", got.TraceID)
+	}
+	if h := resp.Header.Get(obs.TraceHeader); h != "tr-submit-9" {
+		t.Fatalf("status header %s=%q, want tr-submit-9", obs.TraceHeader, h)
+	}
+}
+
+// TestProfilesEndpoints exercises the observatory over the socket: list,
+// fetch (parseable pprof bytes), and the 404 for unknown names.
+func TestProfilesEndpoints(t *testing.T) {
+	prof, err := profiler.New(profiler.Config{
+		Dir:         t.TempDir(),
+		CPUDuration: 20 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof.CaptureOnce("test")
+	srv := New(Config{EngineWorkers: 2, Profiler: prof})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	defer srv.Shutdown(context.Background())
+
+	resp, data := getBody(t, ts.Client(), ts.URL+"/v1/profiles")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("list status %d: %s", resp.StatusCode, data)
+	}
+	var list lwmapi.ListProfilesResponse
+	if err := json.Unmarshal(data, &list); err != nil {
+		t.Fatal(err)
+	}
+	if list.Count != len(profiler.Kinds) {
+		t.Fatalf("%d snapshots listed, want %d: %s", list.Count, len(profiler.Kinds), data)
+	}
+
+	var heapName string
+	for _, p := range list.Profiles {
+		if p.Kind == "heap" {
+			heapName = p.Name
+		}
+	}
+	if heapName == "" {
+		t.Fatal("no heap snapshot in listing")
+	}
+	resp, data = getBody(t, ts.Client(), ts.URL+"/v1/profiles/"+heapName)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("fetch status %d", resp.StatusCode)
+	}
+	p, err := pprofparse.Parse(data)
+	if err != nil {
+		t.Fatalf("fetched snapshot does not parse as pprof: %v", err)
+	}
+	if p.ValueIndex("inuse_space") < 0 {
+		t.Fatalf("heap profile lacks inuse_space: %v", p.SampleTypes)
+	}
+
+	resp, data = getBody(t, ts.Client(), ts.URL+"/v1/profiles/heap-0.pprof")
+	if resp.StatusCode != http.StatusNotFound || errCodeOf(t, data) != lwmapi.CodeProfileNotFound {
+		t.Fatalf("unknown snapshot: status %d code %q, want 404 %s", resp.StatusCode, errCodeOf(t, data), lwmapi.CodeProfileNotFound)
+	}
+}
+
+// TestObservatoryDisabledAnswers404: without a recorder or profiler the
+// endpoints answer 404 with the matching code — not 500, not a panic.
+func TestObservatoryDisabledAnswers404(t *testing.T) {
+	srv := New(Config{EngineWorkers: 2})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	defer srv.Shutdown(context.Background())
+
+	resp, data := getBody(t, ts.Client(), ts.URL+"/v1/traces/tr-any")
+	if resp.StatusCode != http.StatusNotFound || errCodeOf(t, data) != lwmapi.CodeTraceNotFound {
+		t.Fatalf("disabled recorder get: status %d code %q", resp.StatusCode, errCodeOf(t, data))
+	}
+	resp, data = getBody(t, ts.Client(), ts.URL+"/v1/traces")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("disabled recorder list: status %d: %s", resp.StatusCode, data)
+	}
+	var list lwmapi.ListTracesResponse
+	if err := json.Unmarshal(data, &list); err != nil {
+		t.Fatal(err)
+	}
+	if list.Count != 0 {
+		t.Fatalf("disabled recorder lists %d traces", list.Count)
+	}
+	resp, data = getBody(t, ts.Client(), ts.URL+"/v1/profiles/cpu-1.pprof")
+	if resp.StatusCode != http.StatusNotFound || errCodeOf(t, data) != lwmapi.CodeProfileNotFound {
+		t.Fatalf("disabled profiler get: status %d code %q", resp.StatusCode, errCodeOf(t, data))
+	}
+}

@@ -57,6 +57,14 @@ const (
 	// store byte or entry quota. 413, not retryable — free space or raise
 	// the quota.
 	CodeTenantQuotaExceeded = "tenant_quota_exceeded"
+	// CodeTraceNotFound: a trace ID did not resolve in the flight
+	// recorder — never retained (sampled out), already evicted by the
+	// ring bound, or the recorder is disabled. 404, not retryable.
+	CodeTraceNotFound = "trace_not_found"
+	// CodeProfileNotFound: a pprof snapshot name did not resolve — never
+	// captured, pruned by retention, or the profiler is disabled. 404,
+	// not retryable.
+	CodeProfileNotFound = "profile_not_found"
 )
 
 // Error is the JSON envelope of every non-2xx /v1 response.

@@ -78,6 +78,12 @@ type JobRequest struct {
 type JobStatus struct {
 	// ID names the job; all job endpoints key on it.
 	ID string `json:"id"`
+	// TraceID is the job-linked trace identifier: minted at submission
+	// (or inherited from the submitting request's trace), echoed as
+	// X-Lwm-Trace-Id on status reads and webhook deliveries, and — when
+	// the daemon's flight recorder retained the submission — resolvable
+	// via GET /v1/traces/{id}.
+	TraceID string `json:"trace_id,omitempty"`
 	// Kind is the job's engine entry point.
 	Kind string `json:"kind"`
 	// State is one of queued, running, done, failed.

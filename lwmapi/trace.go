@@ -1,0 +1,60 @@
+package lwmapi
+
+import (
+	"localwm/internal/obs"
+	"localwm/internal/obs/recorder"
+)
+
+// Flight-recorder and profiling-observatory wire types.
+//
+//	GET /v1/traces               list retained traces (filters below)
+//	GET /v1/traces/{id}          one retained trace, full span tree
+//	GET /v1/profiles             list resident pprof snapshots
+//	GET /v1/profiles/{name}      one snapshot, raw pprof bytes
+//
+// TraceEntry and TraceSpan alias the recorder's own retained shapes —
+// the same one-definition rule the embed Records follow (Record =
+// schedwm.Record): the daemon marshals what it stores, so the wire
+// cannot drift from the recorder.
+
+// TraceEntry is one retained request: identity, outcome, stage timings,
+// and (on the detail endpoint) the full span tree and engine counters.
+// List responses omit Spans and EngineCounters.
+type TraceEntry = recorder.Entry
+
+// TraceSpan is one node of a retained span tree.
+type TraceSpan = obs.SpanView
+
+// ListTracesResponse is the body of GET /v1/traces.
+//
+// Query parameters: endpoint (exact endpoint name), result (ok, error,
+// rejected, timeout, panic, drained, rate_limited, unauthorized),
+// reason (error, slow, sampled), min_duration (Go duration, e.g.
+// "250ms"), limit (max entries, default 100). On a tenanted daemon the
+// listing is scoped to the calling tenant.
+type ListTracesResponse struct {
+	// Traces holds the matching entries, newest first, span trees
+	// omitted — fetch /v1/traces/{id} for the full entry.
+	Traces []TraceEntry `json:"traces"`
+	// Count mirrors len(Traces) for clients that stream-decode.
+	Count int `json:"count"`
+}
+
+// ProfileInfo describes one resident pprof snapshot.
+type ProfileInfo struct {
+	// Name is the snapshot's file name, e.g. cpu-1700000000123456789.pprof;
+	// pass it to GET /v1/profiles/{name} to fetch the bytes.
+	Name string `json:"name"`
+	// Kind is cpu, heap, or allocs.
+	Kind string `json:"kind"`
+	// SizeBytes is the snapshot's size on disk.
+	SizeBytes int64 `json:"size_bytes"`
+	// ModTimeUnix is the capture time, seconds since the epoch.
+	ModTimeUnix int64 `json:"mod_time_unix"`
+}
+
+// ListProfilesResponse is the body of GET /v1/profiles, newest first.
+type ListProfilesResponse struct {
+	Profiles []ProfileInfo `json:"profiles"`
+	Count    int           `json:"count"`
+}

@@ -642,6 +642,13 @@ func (c *Client) attempt(ctx context.Context, method, path string, tid obs.Trace
 		*raw = data
 		return nil
 	}
+	if bin, ok := out.(*binaryBody); ok {
+		// Binary bodies (pprof snapshots) skip the JSON validity check —
+		// truncation is instead caught against Content-Length when the
+		// server sent one (io.ReadAll already errors short reads there).
+		*bin.buf = data
+		return nil
+	}
 	if err := json.Unmarshal(data, out); err != nil {
 		// A syntactically broken 200 body is a transport-level fault
 		// (e.g. truncation the length checks missed), not an answer.

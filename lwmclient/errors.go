@@ -61,6 +61,14 @@ var (
 	// store quota (413, tenant_quota_exceeded). Not retryable until the
 	// tenant deletes designs or its quota is raised.
 	ErrTenantQuotaExceeded = errors.New("lwmclient: tenant quota exceeded")
+	// ErrTraceNotFound: a trace ID did not resolve in the daemon's
+	// flight recorder — sampled out, evicted by the ring bound, or the
+	// recorder is disabled (404, trace_not_found). Not retryable.
+	ErrTraceNotFound = errors.New("lwmclient: trace not found")
+	// ErrProfileNotFound: a pprof snapshot name did not resolve — never
+	// captured, pruned by retention, or the profiler is disabled (404,
+	// profile_not_found). Not retryable.
+	ErrProfileNotFound = errors.New("lwmclient: profile not found")
 )
 
 // sentinelFor maps an envelope code (preferred) or an HTTP status (the
@@ -94,6 +102,10 @@ func sentinelFor(code string, status int) error {
 		return ErrTenantRateLimited
 	case lwmapi.CodeTenantQuotaExceeded:
 		return ErrTenantQuotaExceeded
+	case lwmapi.CodeTraceNotFound:
+		return ErrTraceNotFound
+	case lwmapi.CodeProfileNotFound:
+		return ErrProfileNotFound
 	}
 	switch status {
 	// 409 and 410 only ever come from the job endpoints, so the

@@ -1,0 +1,112 @@
+package lwmclient
+
+import (
+	"context"
+	"net/http"
+	"net/url"
+	"strconv"
+	"time"
+
+	"localwm/lwmapi"
+)
+
+// Flight-recorder and profiling-observatory API: read the daemon's
+// retained traces and resident pprof snapshots. On a tenanted daemon
+// both surfaces are scoped to the calling tenant's API key.
+
+// TraceEntry is one retained trace; list results omit Spans and
+// EngineCounters (GetTrace returns the full entry).
+type TraceEntry = lwmapi.TraceEntry
+
+// TraceSpan is one node of a retained span tree.
+type TraceSpan = lwmapi.TraceSpan
+
+// ProfileInfo describes one resident pprof snapshot.
+type ProfileInfo = lwmapi.ProfileInfo
+
+// TraceFilter narrows ListTraces. Zero fields match everything.
+type TraceFilter struct {
+	// Endpoint filters by exact endpoint name (embed, detect, ...).
+	Endpoint string
+	// Result filters by result class (ok, error, timeout, ...).
+	Result string
+	// KeepReason filters by why the trace was retained: error, slow, or
+	// sampled.
+	KeepReason string
+	// MinDuration keeps only entries at least this slow.
+	MinDuration time.Duration
+	// Limit caps the number of entries returned (server default 100).
+	Limit int
+}
+
+func (f TraceFilter) query() string {
+	q := url.Values{}
+	if f.Endpoint != "" {
+		q.Set("endpoint", f.Endpoint)
+	}
+	if f.Result != "" {
+		q.Set("result", f.Result)
+	}
+	if f.KeepReason != "" {
+		q.Set("reason", f.KeepReason)
+	}
+	if f.MinDuration > 0 {
+		q.Set("min_duration", f.MinDuration.String())
+	}
+	if f.Limit > 0 {
+		q.Set("limit", strconv.Itoa(f.Limit))
+	}
+	if len(q) == 0 {
+		return ""
+	}
+	return "?" + q.Encode()
+}
+
+// ListTraces lists the daemon's retained traces, newest first
+// (GET /v1/traces). Span trees are omitted; fetch one with GetTrace.
+func (c *Client) ListTraces(ctx context.Context, f TraceFilter) ([]TraceEntry, error) {
+	var out lwmapi.ListTracesResponse
+	if err := c.do(ctx, http.MethodGet, "/v1/traces"+f.query(), nil, &out); err != nil {
+		return nil, err
+	}
+	return out.Traces, nil
+}
+
+// GetTrace fetches one retained trace with its full span tree
+// (GET /v1/traces/{id}). An ID the recorder did not retain — sampled
+// out, evicted, or recording disabled — answers an error matching
+// ErrTraceNotFound.
+func (c *Client) GetTrace(ctx context.Context, id string) (*TraceEntry, error) {
+	var out TraceEntry
+	if err := c.do(ctx, http.MethodGet, "/v1/traces/"+url.PathEscape(id), nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// ListProfiles lists the daemon's resident pprof snapshots, newest
+// first (GET /v1/profiles).
+func (c *Client) ListProfiles(ctx context.Context) ([]ProfileInfo, error) {
+	var out lwmapi.ListProfilesResponse
+	if err := c.do(ctx, http.MethodGet, "/v1/profiles", nil, &out); err != nil {
+		return nil, err
+	}
+	return out.Profiles, nil
+}
+
+// binaryBody marks a do() output as raw non-JSON bytes (a pprof
+// snapshot), bypassing the JSON validity check the *[]byte path applies
+// to raw JSON results.
+type binaryBody struct{ buf *[]byte }
+
+// GetProfile fetches one pprof snapshot's raw bytes
+// (GET /v1/profiles/{name}), ready for `go tool pprof` or lwm's
+// built-in reader. An unknown name answers an error matching
+// ErrProfileNotFound.
+func (c *Client) GetProfile(ctx context.Context, name string) ([]byte, error) {
+	var raw []byte
+	if err := c.do(ctx, http.MethodGet, "/v1/profiles/"+url.PathEscape(name), nil, &binaryBody{&raw}); err != nil {
+		return nil, err
+	}
+	return raw, nil
+}

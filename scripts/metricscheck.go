@@ -76,10 +76,20 @@ func fatal(format string, args ...any) {
 
 // sample is one parsed exposition line.
 type sample struct {
-	name   string
+	name     string
+	labels   map[string]string
+	value    float64
+	exemplar *exemplarData
+	line     int
+}
+
+// exemplarData is a parsed OpenMetrics-style exemplar annotation —
+// `# {labels} value [timestamp]` after a sample value. lwmd renders
+// exemplars on histogram bucket lines to link a bucket to a retained
+// flight-recorder trace.
+type exemplarData struct {
 	labels map[string]string
 	value  float64
-	line   int
 }
 
 // lint validates the exposition page on r and returns every violation
@@ -138,11 +148,15 @@ func lint(r io.Reader, required []string) []string {
 		addf("reading input: %v", err)
 	}
 
-	// Every sample must belong to a family with a declared TYPE.
+	// Every sample must belong to a family with a declared TYPE, and
+	// exemplars only annotate histogram bucket lines.
 	for _, s := range samples {
 		fam := familyOf(s.name, types)
 		if _, ok := types[fam]; !ok {
 			addf("line %d: sample %s has no # TYPE", s.line, s.name)
+		}
+		if s.exemplar != nil && !strings.HasSuffix(s.name, "_bucket") {
+			addf("line %d: exemplar on non-bucket sample %s", s.line, s.name)
 		}
 	}
 
@@ -168,31 +182,43 @@ func familyOf(name string, types map[string]string) string {
 	return name
 }
 
-// parseSample parses `name[{labels}] value` (timestamps are not used by
-// this codebase and rejected).
+// parseSample parses `name[{labels}] value [# {labels} value [ts]]`:
+// a sample with an optional exemplar annotation. Plain sample
+// timestamps are not used by this codebase and rejected.
 func parseSample(line string) (sample, error) {
 	s := sample{labels: map[string]string{}}
 	rest := line
 	brace := strings.IndexByte(rest, '{')
-	if brace >= 0 {
+	space := strings.IndexByte(rest, ' ')
+	if brace >= 0 && (space < 0 || brace < space) {
 		s.name = rest[:brace]
-		end := strings.LastIndexByte(rest, '}')
-		if end < brace {
-			return s, fmt.Errorf("unclosed label set in %q", line)
+		// The label set's closing brace must be found by scanning (an
+		// exemplar later on the line has braces of its own, so neither
+		// IndexByte nor LastIndexByte is right).
+		end, err := labelSetEnd(rest, brace)
+		if err != nil {
+			return s, fmt.Errorf("%v in %q", err, line)
 		}
 		if err := parseLabels(rest[brace+1:end], s.labels); err != nil {
 			return s, err
 		}
 		rest = strings.TrimSpace(rest[end+1:])
 	} else {
-		f := strings.Fields(rest)
-		if len(f) != 2 {
+		if space < 0 {
 			return s, fmt.Errorf("want `name value`, got %q", line)
 		}
-		s.name, rest = f[0], f[1]
+		s.name, rest = rest[:space], strings.TrimSpace(rest[space+1:])
 	}
 	if !nameRe.MatchString(s.name) {
 		return s, fmt.Errorf("bad metric name %q", s.name)
+	}
+	if hash := strings.IndexByte(rest, '#'); hash >= 0 {
+		ex, err := parseExemplar(strings.TrimSpace(rest[hash+1:]))
+		if err != nil {
+			return s, fmt.Errorf("%s: %v", s.name, err)
+		}
+		s.exemplar = ex
+		rest = strings.TrimSpace(rest[:hash])
 	}
 	f := strings.Fields(rest)
 	if len(f) != 1 {
@@ -204,6 +230,58 @@ func parseSample(line string) (sample, error) {
 	}
 	s.value = v
 	return s, nil
+}
+
+// labelSetEnd returns the index of the '}' closing the label set opened
+// at open, honoring quoted values and backslash escapes.
+func labelSetEnd(s string, open int) (int, error) {
+	inQuote := false
+	for i := open + 1; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			if inQuote {
+				i++
+			}
+		case '"':
+			inQuote = !inQuote
+		case '}':
+			if !inQuote {
+				return i, nil
+			}
+		}
+	}
+	return 0, fmt.Errorf("unclosed label set")
+}
+
+// parseExemplar parses the `{labels} value [timestamp]` tail after an
+// exemplar's '#' marker.
+func parseExemplar(text string) (*exemplarData, error) {
+	if text == "" || text[0] != '{' {
+		return nil, fmt.Errorf("exemplar: want '{' after '#', got %q", text)
+	}
+	end, err := labelSetEnd(text, 0)
+	if err != nil {
+		return nil, fmt.Errorf("exemplar: %v", err)
+	}
+	ex := &exemplarData{labels: map[string]string{}}
+	if err := parseLabels(text[1:end], ex.labels); err != nil {
+		return nil, fmt.Errorf("exemplar: %v", err)
+	}
+	f := strings.Fields(text[end+1:])
+	if len(f) != 1 && len(f) != 2 {
+		return nil, fmt.Errorf("exemplar: want `value [timestamp]`, got %q", strings.TrimSpace(text[end+1:]))
+	}
+	v, err := strconv.ParseFloat(f[0], 64)
+	if err != nil {
+		return nil, fmt.Errorf("exemplar: bad value %q", f[0])
+	}
+	if len(f) == 2 {
+		if _, terr := strconv.ParseFloat(f[1], 64); terr != nil {
+			return nil, fmt.Errorf("exemplar: bad timestamp %q", f[1])
+		}
+	}
+	ex.value = v
+	return ex, nil
 }
 
 // parseLabels parses `k1="v1",k2="v2"` into dst.
@@ -324,6 +402,12 @@ func checkHistograms(samples []sample, types map[string]string) []string {
 				addf("line %d: %s: duplicate le=%q bucket", s.line, s.name, le)
 			}
 			g.buckets[bound] = s.value
+			// An exemplar must come from an observation that landed in (or
+			// below) its bucket: a value above the le bound means the
+			// exposition is annotating the wrong bucket.
+			if s.exemplar != nil && s.exemplar.value > bound {
+				addf("line %d: %s: exemplar value %g above le=%q bound", s.line, s.name, s.exemplar.value, le)
+			}
 		case strings.HasSuffix(s.name, "_sum"):
 			v := s.value
 			g.sum = &v

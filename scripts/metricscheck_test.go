@@ -49,7 +49,7 @@ func TestLintFlagsViolations(t *testing.T) {
 		{"bad value", "# TYPE x counter\nx nope\n", "bad value"},
 		{"bad name", "# TYPE x counter\nx 1\n0bad 2\n", "bad metric name"},
 		{"bad label name", "# TYPE x counter\nx{0l=\"v\"} 1\n", "bad label name"},
-		{"unterminated label value", "# TYPE x counter\nx{l=\"v} 1\n", "unterminated value"},
+		{"unterminated label value", "# TYPE x counter\nx{l=\"v} 1\n", "unclosed label set"},
 		{"unclosed label set", "# TYPE x counter\nx{l=\"v\" 1\n", "unclosed label set"},
 		{"duplicate TYPE", "# TYPE x counter\n# TYPE x gauge\nx 1\n", "duplicate TYPE"},
 		{"non-cumulative buckets", `# TYPE h histogram
@@ -80,6 +80,67 @@ h_count 2
 			if len(errs) == 0 {
 				t.Fatalf("violation not flagged")
 			}
+			found := false
+			for _, e := range errs {
+				if strings.Contains(e, tc.wantSubstr) {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("no error mentions %q: %v", tc.wantSubstr, errs)
+			}
+		})
+	}
+}
+
+// TestLintExemplars: bucket lines may carry an OpenMetrics-style
+// exemplar (`# {trace_id="..."} value timestamp`) — lwmd renders them to
+// link buckets to retained flight-recorder traces. The linter accepts
+// well-formed exemplars, and rejects malformed ones, exemplars off
+// bucket lines, and exemplar values above their bucket's le bound.
+func TestLintExemplars(t *testing.T) {
+	good := `# TYPE h histogram
+h_bucket{endpoint="embed",le="0.1"} 3 # {trace_id="tr-abc12"} 0.07 1700000000.123
+h_bucket{endpoint="embed",le="1"} 7 # {trace_id="tr-def34"} 0.9
+h_bucket{endpoint="embed",le="+Inf"} 9
+h_sum{endpoint="embed"} 4.25
+h_count{endpoint="embed"} 9
+`
+	if errs := lintString(t, good); len(errs) != 0 {
+		t.Fatalf("exemplar page flagged: %v", errs)
+	}
+
+	cases := []struct {
+		name, page, wantSubstr string
+	}{
+		{"value above bound", `# TYPE h histogram
+h_bucket{le="0.1"} 3 # {trace_id="t"} 0.5
+h_bucket{le="+Inf"} 3
+h_sum 1
+h_count 3
+`, "above le"},
+		{"exemplar off bucket", `# TYPE x counter
+x{l="v"} 1 # {trace_id="t"} 1
+`, "non-bucket"},
+		{"missing braces", `# TYPE h histogram
+h_bucket{le="+Inf"} 3 # trace_id="t" 1
+h_sum 1
+h_count 3
+`, "want '{' after '#'"},
+		{"bad exemplar value", `# TYPE h histogram
+h_bucket{le="+Inf"} 3 # {trace_id="t"} nope
+h_sum 1
+h_count 3
+`, "bad value"},
+		{"unclosed exemplar labels", `# TYPE h histogram
+h_bucket{le="+Inf"} 3 # {trace_id="t 1
+h_sum 1
+h_count 3
+`, "unclosed label set"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			errs := lintString(t, tc.page)
 			found := false
 			for _, e := range errs {
 				if strings.Contains(e, tc.wantSubstr) {
