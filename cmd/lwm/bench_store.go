@@ -17,6 +17,7 @@ import (
 	"localwm/internal/sched"
 	"localwm/internal/schedwm"
 	"localwm/internal/server"
+	"localwm/lwmapi"
 	"localwm/lwmclient"
 )
 
@@ -108,7 +109,7 @@ func benchStore(remote string, n, repeats, iters int, out string) error {
 		}
 		var records []lwmclient.Record
 		for _, wm := range wms {
-			records = append(records, wm.Record())
+			records = append(records, lwmapi.FromSchedRecord(wm.Record()))
 		}
 		var designBuf bytes.Buffer
 		if err := cdfg.Write(&designBuf, work); err != nil {

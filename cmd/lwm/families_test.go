@@ -1,0 +1,166 @@
+package main
+
+import (
+	"bytes"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"localwm/internal/server"
+)
+
+func TestGenGcolorDeterministic(t *testing.T) {
+	dir := t.TempDir()
+	a := filepath.Join(dir, "a.gcol")
+	b := filepath.Join(dir, "b.gcol")
+	args := []string{"-family", "gcolor", "-design", "gen-test", "-nodes", "24", "-density", "20"}
+	if err := cmdGen(append(args, "-o", a)); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdGen(append(args, "-o", b)); err != nil {
+		t.Fatal(err)
+	}
+	da, err := os.ReadFile(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := os.ReadFile(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(da, db) {
+		t.Fatal("same seed generated different graphs")
+	}
+	if !strings.HasPrefix(string(da), "gcolor v1\n") {
+		t.Fatalf("not a gcolor instance:\n%s", da)
+	}
+	// Unknown family, and the seed requirement.
+	if err := cmdGen([]string{"-family", "nosuch", "-design", "x"}); err == nil {
+		t.Fatal("unknown family accepted")
+	}
+	if err := cmdGen([]string{"-family", "gcolor"}); err == nil {
+		t.Fatal("gcolor gen without a seed accepted")
+	}
+}
+
+// TestCmdFamiliesLocalMatchesRemote: the families listing is identical
+// whether read from the built-in registry or from a daemon of this build.
+func TestCmdFamiliesLocalMatchesRemote(t *testing.T) {
+	srv := server.New(server.Config{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	local := captureStdout(t, func() error { return cmdFamilies(nil) })
+	remote := captureStdout(t, func() error { return cmdFamilies([]string{"-remote", ts.URL}) })
+	if local != remote {
+		t.Fatalf("listings diverged:\nlocal:\n%s\nremote:\n%s", local, remote)
+	}
+	for _, want := range []string{"sched (default):", "tmwm:", "gcolor:", "capabilities: batch=true"} {
+		if !strings.Contains(local, want) {
+			t.Errorf("listing missing %q:\n%s", want, local)
+		}
+	}
+}
+
+// TestFamilyRemoteMatchesLocal is the family-mode half of the CLI
+// byte-identity contract: for tmwm and gcolor, embed → detect → verify
+// through a real daemon print the same reports and write the same
+// artifacts as the in-process runs.
+func TestFamilyRemoteMatchesLocal(t *testing.T) {
+	srv := server.New(server.Config{EngineWorkers: 4})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	for _, fam := range []string{"tmwm", "gcolor"} {
+		t.Run(fam, func(t *testing.T) {
+			dir := t.TempDir()
+			design := filepath.Join(dir, "d.txt")
+			var genArgs []string
+			if fam == "gcolor" {
+				genArgs = []string{"-family", "gcolor", "-design", "cli-family", "-nodes", "32", "-density", "15", "-o", design}
+			} else {
+				genArgs = []string{"-design", "dac", "-o", design}
+			}
+			if err := cmdGen(genArgs); err != nil {
+				t.Fatal(err)
+			}
+
+			run := func(mode string, remote ...string) (stdout string, marked, sol, rec []byte) {
+				t.Helper()
+				markedPath := filepath.Join(dir, mode+".marked")
+				solPath := filepath.Join(dir, mode+".sol")
+				recPath := filepath.Join(dir, mode+".json")
+				embedArgs := append([]string{"-family", fam, "-in", design, "-sig", "family-cli",
+					"-out", markedPath, "-solution", solPath, "-record", recPath}, remote...)
+				embedOut := captureStdout(t, func() error { return cmdEmbed(embedArgs) })
+
+				detectArgs := append([]string{"-family", fam, "-in", markedPath,
+					"-schedule", solPath, "-record", recPath}, remote...)
+				detectOut := captureStdout(t, func() error { return cmdDetect(detectArgs) })
+
+				verifyArgs := append([]string{"-family", fam, "-in", markedPath,
+					"-schedule", solPath, "-sig", "family-cli"}, remote...)
+				verifyOut := captureStdout(t, func() error { return cmdVerify(verifyArgs) })
+
+				read := func(p string) []byte {
+					data, err := os.ReadFile(p)
+					if err != nil {
+						t.Fatal(err)
+					}
+					return data
+				}
+				return embedOut + detectOut + verifyOut, read(markedPath), read(solPath), read(recPath)
+			}
+
+			localOut, localMarked, localSol, localRec := run("local")
+			remoteOut, remoteMarked, remoteSol, remoteRec := run("remote", "-remote", ts.URL)
+
+			if localOut != remoteOut {
+				t.Errorf("reports diverged:\nlocal:\n%s\nremote:\n%s", localOut, remoteOut)
+			}
+			if !bytes.Equal(localMarked, remoteMarked) {
+				t.Errorf("marked designs differ:\n%s\nvs\n%s", localMarked, remoteMarked)
+			}
+			if !bytes.Equal(localSol, remoteSol) {
+				t.Errorf("marked solutions differ:\n%s\nvs\n%s", localSol, remoteSol)
+			}
+			if !bytes.Equal(localRec, remoteRec) {
+				t.Errorf("record files differ:\n%s\nvs\n%s", localRec, remoteRec)
+			}
+			if !strings.Contains(localOut, "verdict: claim verified") {
+				t.Errorf("claim not verified:\n%s", localOut)
+			}
+			if !strings.Contains(localOut, "watermarks detected") {
+				t.Errorf("no detection summary:\n%s", localOut)
+			}
+		})
+	}
+}
+
+// TestFamilyDetectRejectsMismatchedRecordFile: a record file written by a
+// tmwm embed refuses to drive a gcolor detect.
+func TestFamilyDetectRejectsMismatchedRecordFile(t *testing.T) {
+	dir := t.TempDir()
+	design := filepath.Join(dir, "d.cdfg")
+	if err := cmdGen([]string{"-design", "dac", "-o", design}); err != nil {
+		t.Fatal(err)
+	}
+	marked := filepath.Join(dir, "m.txt")
+	sol := filepath.Join(dir, "s.txt")
+	rec := filepath.Join(dir, "r.json")
+	_ = captureStdout(t, func() error {
+		return cmdEmbed([]string{"-family", "tmwm", "-in", design, "-sig", "mismatch",
+			"-out", marked, "-solution", sol, "-record", rec})
+	})
+	err := cmdDetect([]string{"-family", "gcolor", "-in", marked, "-schedule", sol, "-record", rec})
+	if err == nil || !strings.Contains(err.Error(), `record file is for family "tmwm", not "gcolor"`) {
+		t.Fatalf("mismatched record file: %v", err)
+	}
+	// And the sched path refuses a family-labeled record file.
+	err = cmdDetect([]string{"-in", design, "-schedule", sol, "-record", rec})
+	if err == nil || !strings.Contains(err.Error(), `record file is for family "tmwm"`) {
+		t.Fatalf("sched detect with tmwm records: %v", err)
+	}
+}

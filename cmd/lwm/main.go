@@ -66,6 +66,7 @@ import (
 	"localwm/internal/sched"
 	"localwm/internal/schedwm"
 	"localwm/internal/tmatch"
+	"localwm/lwmapi"
 )
 
 func main() {
@@ -95,6 +96,8 @@ func main() {
 		err = cmdBench(os.Args[2:])
 	case "design":
 		err = cmdDesign(os.Args[2:])
+	case "families":
+		err = cmdFamilies(os.Args[2:])
 	case "job":
 		err = cmdJob(os.Args[2:])
 	case "robust":
@@ -114,7 +117,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: lwm {gen|info|embed|schedule|detect|verify|synth|bench|design|job|robust|trace|prof|dot} [flags]")
+	fmt.Fprintln(os.Stderr, "usage: lwm {gen|info|embed|schedule|detect|verify|synth|bench|design|families|job|robust|trace|prof|dot} [flags]")
 }
 
 // traceCtx builds the context for a marking command. With -trace off it
@@ -239,6 +242,7 @@ func cmdVerify(args []string) error {
 	remote := fs.String("remote", "", "lwmd daemon address (empty: verify in-process)")
 	apiKeyFlag(fs)
 	ref := fs.String("ref", "", "design registry reference in place of -in (remote only; see lwm design put)")
+	fam := familyFlag(fs)
 	trace := fs.Bool("trace", false, "print the span tree (engine stages, oracle recomputes, remote attempts) to stderr")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -248,6 +252,10 @@ func cmdVerify(args []string) error {
 	}
 	ctx, finishTrace := traceCtx(*trace)
 	defer finishTrace()
+	if f := lwmapi.CanonicalFamily(*fam); f != lwmapi.FamilySched {
+		return familyVerify(ctx, f, *remote, *in, *ref, *schedPath, *sig,
+			markParamsFrom(fs, n, tau, k, eps, budget, workers))
+	}
 	if *remote != "" {
 		return remoteVerify(ctx, *remote, *in, *ref, *schedPath, *sig, *n, *tau, *k, *eps, *budget, *workers)
 	}
@@ -323,8 +331,18 @@ func cmdGen(args []string) error {
 	fs := flag.NewFlagSet("gen", flag.ExitOnError)
 	name := fs.String("design", "", "design name (iir4, cfiir8, gectrl, wavelet, modem, volterra2, volterra3, dac, echo, or a MediaBench app like 'epic')")
 	out := fs.String("o", "", "output file (default stdout)")
+	fam := familyFlag(fs)
+	nodes := fs.Int("nodes", 48, "vertex count (gcolor family)")
+	density := fs.Int("density", 15, "edge probability in percent beyond the connectivity backbone (gcolor family)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if f := lwmapi.CanonicalFamily(*fam); f == lwmapi.FamilyGcolor {
+		// Graph-coloring instances are generated, not drawn from the
+		// benchmark suite: -design seeds the deterministic generator.
+		return genGcolor(*name, *nodes, *density, *out)
+	} else if f != lwmapi.FamilySched {
+		return fmt.Errorf("gen: family %q designs are cdfg text; use the built-in designs (omit -family)", f)
 	}
 	var g *cdfg.Graph
 	if build, ok := builtinDesigns[*name]; ok {
@@ -403,10 +421,15 @@ func cmdInfo(args []string) error {
 	return nil
 }
 
-// recordFile is the JSON envelope for detection records.
+// recordFile is the JSON envelope for detection records. Family labels
+// the watermark family the records belong to; omitted for scheduling
+// records, so sched record files are byte-identical to what earlier
+// releases wrote (and the Record tail fields are omitempty for the same
+// reason).
 type recordFile struct {
-	Signature []byte           `json:"signature"`
-	Records   []schedwm.Record `json:"records"`
+	Signature []byte          `json:"signature"`
+	Family    string          `json:"family,omitempty"`
+	Records   []lwmapi.Record `json:"records"`
 }
 
 func cmdEmbed(args []string) error {
@@ -420,10 +443,12 @@ func cmdEmbed(args []string) error {
 	budget := fs.Int("budget", 0, "control-step budget (0: critical path + 10%)")
 	workers := fs.Int("workers", 1, "parallel embedding workers (result is identical for any value)")
 	out := fs.String("out", "", "marked design output file")
+	solPath := fs.String("solution", "", "marked solution output file (tmwm: template cover; gcolor: coloring)")
 	recPath := fs.String("record", "", "detection record output file (JSON)")
 	remote := fs.String("remote", "", "lwmd daemon address (empty: embed in-process)")
 	apiKeyFlag(fs)
 	ref := fs.String("ref", "", "design registry reference in place of -in (remote only; see lwm design put)")
+	fam := familyFlag(fs)
 	trace := fs.Bool("trace", false, "print the span tree (engine stages, oracle recomputes, remote attempts) to stderr")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -433,6 +458,13 @@ func cmdEmbed(args []string) error {
 	}
 	ctx, finishTrace := traceCtx(*trace)
 	defer finishTrace()
+	if f := lwmapi.CanonicalFamily(*fam); f != lwmapi.FamilySched {
+		return familyEmbed(ctx, f, *remote, *in, *ref, *sig,
+			markParamsFrom(fs, n, tau, k, eps, budget, workers), *out, *solPath, *recPath)
+	}
+	if *solPath != "" {
+		return fmt.Errorf("-solution only applies to -family tmwm or gcolor (scheduling watermarks live in the marked design)")
+	}
 	if *remote != "" {
 		return remoteEmbed(ctx, *remote, *in, *ref, *sig, *n, *tau, *k, *eps, *budget, *workers, *out, *recPath)
 	}
@@ -456,7 +488,7 @@ func cmdEmbed(args []string) error {
 	rf := recordFile{Signature: []byte(*sig)}
 	edges := 0
 	for _, wm := range wms {
-		rf.Records = append(rf.Records, wm.Record())
+		rf.Records = append(rf.Records, lwmapi.FromSchedRecord(wm.Record()))
 		edges += len(wm.Edges)
 	}
 	fmt.Printf("embedded %d watermarks, %d temporal edges\n", len(wms), edges)
@@ -529,6 +561,7 @@ func cmdDetect(args []string) error {
 	remote := fs.String("remote", "", "lwmd daemon address (empty: detect in-process)")
 	apiKeyFlag(fs)
 	ref := fs.String("ref", "", "design registry reference in place of -in (remote only; see lwm design put)")
+	fam := familyFlag(fs)
 	trace := fs.Bool("trace", false, "print the span tree (engine stages, oracle recomputes, remote attempts) to stderr")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -538,8 +571,25 @@ func cmdDetect(args []string) error {
 	}
 	ctx, finishTrace := traceCtx(*trace)
 	defer finishTrace()
+	if f := lwmapi.CanonicalFamily(*fam); f != lwmapi.FamilySched {
+		return familyDetect(ctx, f, *remote, *in, *ref, *schedPath, *recPath, *workers)
+	}
 	if *remote != "" {
 		return remoteDetect(ctx, *remote, *in, *ref, *schedPath, *recPath, *workers)
+	}
+	// The record file's family label is checked before the suspect parses:
+	// a family-labeled record file means the suspect artifacts are that
+	// family's formats, and "pass -family" beats a codec parse error.
+	data, err := os.ReadFile(*recPath)
+	if err != nil {
+		return err
+	}
+	var rf recordFile
+	if err := json.Unmarshal(data, &rf); err != nil {
+		return err
+	}
+	if fam := lwmapi.CanonicalFamily(rf.Family); fam != lwmapi.FamilySched {
+		return fmt.Errorf("record file is for family %q; pass -family %s", rf.Family, rf.Family)
 	}
 	g, err := loadGraph(*in)
 	if err != nil {
@@ -549,18 +599,10 @@ func cmdDetect(args []string) error {
 	if err != nil {
 		return err
 	}
-	data, err := os.ReadFile(*recPath)
-	if err != nil {
-		return err
-	}
-	var rf recordFile
-	if err := json.Unmarshal(data, &rf); err != nil {
-		return err
-	}
 	observeGraph(ctx, g)
 	// All records scan on the pool; the report below walks the results in
 	// record order, so the output matches a sequential scan byte for byte.
-	batch := engine.DetectBatchCtx(ctx, []engine.Suspect{{Graph: g, Schedule: s}}, rf.Records, *workers)
+	batch := engine.DetectBatchCtx(ctx, []engine.Suspect{{Graph: g, Schedule: s}}, lwmapi.SchedRecords(rf.Records), *workers)
 	found := 0
 	for i := range rf.Records {
 		det, err := batch[0][i].Det, batch[0][i].Err

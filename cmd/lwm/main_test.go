@@ -10,6 +10,7 @@ import (
 	"localwm/internal/designs"
 	"localwm/internal/prng"
 	"localwm/internal/schedwm"
+	"localwm/lwmapi"
 )
 
 func TestParseScheduleRoundTrip(t *testing.T) {
@@ -69,7 +70,7 @@ func TestRecordFileJSONRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rf := recordFile{Signature: []byte("json"), Records: []schedwm.Record{wm.Record()}}
+	rf := recordFile{Signature: []byte("json"), Records: []lwmapi.Record{lwmapi.FromSchedRecord(wm.Record())}}
 	data, err := json.Marshal(rf)
 	if err != nil {
 		t.Fatal(err)

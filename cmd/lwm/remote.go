@@ -81,6 +81,7 @@ func cmdDesignPut(args []string) error {
 	remote := fs.String("remote", "", "lwmd daemon address")
 	apiKeyFlag(fs)
 	in := fs.String("in", "", "design file")
+	fam := familyFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -95,7 +96,10 @@ func cmdDesignPut(args []string) error {
 	if err != nil {
 		return err
 	}
-	resp, err := c.PutDesign(context.Background(), string(design))
+	// The raw flag value goes on the wire: an unset -family stays off the
+	// envelope entirely, keeping the request byte-identical to pre-family
+	// clients.
+	resp, err := c.PutDesignFamily(context.Background(), *fam, string(design))
 	if err != nil {
 		return err
 	}

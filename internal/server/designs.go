@@ -48,12 +48,17 @@ func (s *Server) handlePutDesign(r *http.Request) (any, error) {
 	if err := decode(r, &req); err != nil {
 		return nil, err
 	}
+	proto, err := s.familyOf(req.Family)
+	if err != nil {
+		return nil, err
+	}
 	tn := tenantFrom(r.Context())
 	var maxBytes, maxEntries int64
 	if tn.t != nil {
 		maxBytes, maxEntries = tn.t.MaxStoreBytes, tn.t.MaxStoreEntries
 	}
-	d, created, err := s.store.PutOwned(tn.ns, req.Design, maxBytes, maxEntries)
+	d, created, err := s.store.PutOwnedFamily(proto.Name(), tn.ns, req.Design, maxBytes, maxEntries)
+	s.metrics.observeFamily(proto.Name(), epDesigns, err)
 	if errors.Is(err, store.ErrQuotaExceeded) {
 		s.meter.QuotaDenied(tn.ns)
 		return nil, &apiError{status: http.StatusRequestEntityTooLarge,
@@ -62,12 +67,18 @@ func (s *Server) handlePutDesign(r *http.Request) (any, error) {
 	if err != nil {
 		return nil, badRequest("design: %v", err)
 	}
-	return &lwmapi.PutDesignResponse{
+	resp := &lwmapi.PutDesignResponse{
 		Ref:     d.Ref,
 		Created: created,
 		Bytes:   len(d.Text),
 		Nodes:   d.Nodes(),
-	}, nil
+	}
+	// Scheduling-family answers omit the field, keeping the pre-family
+	// response bytes frozen; other families echo their name.
+	if d.Family != lwmapi.FamilySched {
+		resp.Family = d.Family
+	}
+	return resp, nil
 }
 
 func (s *Server) handleGetDesign(ns, ref string) (any, error) {
@@ -78,5 +89,9 @@ func (s *Server) handleGetDesign(ns, ref string) (any, error) {
 	if !ok {
 		return nil, refNotFound(ref)
 	}
-	return &lwmapi.GetDesignResponse{Ref: d.Ref, Design: d.Text}, nil
+	resp := &lwmapi.GetDesignResponse{Ref: d.Ref, Design: d.Text}
+	if d.Family != lwmapi.FamilySched {
+		resp.Family = d.Family
+	}
+	return resp, nil
 }

@@ -1,0 +1,26 @@
+package server
+
+import (
+	"net/http"
+
+	"localwm/internal/family"
+	"localwm/lwmapi"
+)
+
+// GET /v1/families — the discovery endpoint. Answers the registered
+// watermark families with their default parameters and capability flags,
+// so a client can enumerate what this daemon serves (and what a request
+// may put in its family field) without trial requests. The listing is
+// static for a daemon's lifetime and cheap to render, so like /v1/stats
+// it mounts outside the admission queues.
+func (s *Server) handleFamilies(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet && r.Method != http.MethodHead {
+		w.Header().Set("Allow", http.MethodGet)
+		writeError(w, http.StatusMethodNotAllowed, lwmapi.CodeMethodNotAllowed, "GET only")
+		return
+	}
+	writeJSON(w, http.StatusOK, &lwmapi.ListFamiliesResponse{
+		Default:  lwmapi.FamilySched,
+		Families: family.Infos(),
+	})
+}

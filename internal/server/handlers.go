@@ -1,7 +1,6 @@
 package server
 
 import (
-	"bytes"
 	"context"
 	"encoding/json"
 	"net/http"
@@ -9,36 +8,32 @@ import (
 	"strings"
 	"time"
 
-	"localwm/internal/cdfg"
 	"localwm/internal/engine"
-	"localwm/internal/obs"
-	"localwm/internal/prng"
-	"localwm/internal/sched"
-	"localwm/internal/schedwm"
+	"localwm/internal/family"
 	"localwm/internal/store"
 	"localwm/lwmapi"
 )
 
 // The wire types live in the public lwmapi package, shared verbatim with
 // lwmclient so the two sides of the contract cannot drift. This file
-// holds the server-side semantics: defaulting, validation, design
-// resolution (inline text vs registry reference), and the engine calls.
+// holds the server-side semantics: family dispatch, validation, design
+// resolution (inline text vs registry reference), and the protocol
+// calls. The per-family lifecycle — parameter defaulting, codec choice,
+// and the engine calls themselves — lives in internal/family; every
+// compute endpoint resolves the request's family field ("" means the
+// scheduling family) and routes through that protocol, so the server
+// never names a family-specific engine.
 
-// normalizeParams fills the service defaults for unset MarkParams,
-// exactly as the lwm CLI defaults them.
-func normalizeParams(p *lwmapi.MarkParams) {
-	if p.N == 0 {
-		p.N = 2
+// familyOf resolves a request's family field to its protocol. An
+// unknown name is a 400 with the family_unknown code, listing the
+// families the daemon serves.
+func (s *Server) familyOf(name string) (family.Protocol, error) {
+	proto, err := family.Lookup(name)
+	if err != nil {
+		return nil, &apiError{status: http.StatusBadRequest,
+			code: lwmapi.CodeFamilyUnknown, msg: err.Error()}
 	}
-	if p.Tau == 0 {
-		p.Tau = 20
-	}
-	if p.K == 0 {
-		p.K = 4
-	}
-	if p.Epsilon == 0 {
-		p.Epsilon = 0.25
-	}
+	return proto, nil
 }
 
 // decode parses the request body into v with unknown fields rejected, so
@@ -52,51 +47,38 @@ func decode(r *http.Request, v any) error {
 	return nil
 }
 
-// observeGraph bridges a request-scoped graph's PathOracle recompute
-// events into the request trace as "oracle.<kind>" spans. A no-op
-// (observer never registered) when the request is untraced, so the
-// oracle's miss path stays untimed. Only ever called on graphs owned by
-// this request — parsed from the body or cloned from the registry —
-// never on a shared store graph: the observer field is unsynchronized
-// and would leak one request's trace into another's.
-func observeGraph(ctx context.Context, g *cdfg.Graph) {
-	tr := obs.TraceFrom(ctx)
-	if tr == nil {
-		return
-	}
-	parent := obs.CurrentSpan(ctx)
-	g.OnPathRecompute(func(kind string, start time.Time, elapsed time.Duration) {
-		tr.Record(parent, "oracle."+kind, start, elapsed)
-	})
-}
-
-func parseDesign(field, text string) (*cdfg.Graph, error) {
+// parseFamilyDesign parses inline design text with the family's codec,
+// mapping failures onto the field that carried the text.
+func parseFamilyDesign(proto family.Protocol, field, text string) (family.Design, error) {
 	if strings.TrimSpace(text) == "" {
 		return nil, badRequest("%s: empty design", field)
 	}
-	g, err := cdfg.Parse(strings.NewReader(text))
+	d, err := proto.ParseDesign(text)
 	if err != nil {
 		return nil, badRequest("%s: %v", field, err)
 	}
-	return g, nil
+	return d, nil
 }
 
 // resolveDesign turns a request's design choice — inline text or a
-// registry reference — into a graph. The reference wins when both are
-// set; an unresolvable reference is a 404 (never a silent fallback to
-// the inline text, so the caller can count misses and re-put). Lookups
-// run in the context tenant's namespace: a ref put by another tenant is
-// indistinguishable from one that never existed.
+// registry reference — into a family-typed design. The reference wins
+// when both are set; an unresolvable reference is a 404 (never a silent
+// fallback to the inline text, so the caller can count misses and
+// re-put). Lookups run in the context tenant's namespace: a ref put by
+// another tenant is indistinguishable from one that never existed. A ref
+// that resolves to a design of a different family is a 400 — refs are
+// family-salted (store.RefOfFamily), so the suspect bytes can never be
+// parsed as the wrong artifact kind.
 //
-// The returned shared flag is true when the graph IS the registry's
+// The returned shared flag is true when the design IS the registry's
 // resident copy: read-only by contract, safe for concurrent oracle
-// queries, but never to be mutated or hooked with observeGraph. Callers
-// that mutate (embedding) must pass wantClone to get a private copy —
-// the clone's oracle starts cold, but the parse is still skipped.
-func (s *Server) resolveDesign(ctx context.Context, field, inline, ref string, wantClone bool) (g *cdfg.Graph, shared bool, err error) {
+// queries, but never to be mutated or trace-hooked. Callers that mutate
+// (embedding) must pass wantClone to get a private copy — the clone's
+// oracle starts cold, but the parse is still skipped.
+func (s *Server) resolveDesign(ctx context.Context, proto family.Protocol, field, inline, ref string, wantClone bool) (d family.Design, shared bool, err error) {
 	if ref == "" {
-		g, err := parseDesign(field, inline)
-		return g, false, err
+		d, err := parseFamilyDesign(proto, field, inline)
+		return d, false, err
 	}
 	if !store.ValidRef(ref) {
 		return nil, false, badRequest("%s_ref: not a registry reference (want 64 lowercase hex digits)", field)
@@ -104,29 +86,33 @@ func (s *Server) resolveDesign(ctx context.Context, field, inline, ref string, w
 	if ri := reqInfoFrom(ctx); ri != nil {
 		ri.designRef = ref // retained traces carry the ref they resolved
 	}
-	d, ok := s.store.GetOwned(tenantFrom(ctx).ns, ref)
+	sd, ok := s.store.GetOwned(tenantFrom(ctx).ns, ref)
 	if !ok {
 		return nil, false, refNotFound(ref)
 	}
-	if wantClone {
-		return d.Graph.Clone(), false, nil
+	if fam := lwmapi.CanonicalFamily(sd.Family); fam != proto.Name() {
+		return nil, false, badRequest("%s_ref: design is registered under family %q, not %q", field, fam, proto.Name())
 	}
-	return d.Graph, true, nil
+	if wantClone {
+		return sd.Artifact.Clone(), false, nil
+	}
+	return sd.Artifact, true, nil
 }
 
-// resolveSuspect resolves a suspect design and parses its schedule
-// against it. Detection and verification only read the suspect graph,
-// so a ref-resolved suspect shares the registry's warmed copy.
-func (s *Server) resolveSuspect(ctx context.Context, field string, sp lwmapi.Suspect) (*cdfg.Graph, *sched.Schedule, bool, error) {
-	g, shared, err := s.resolveDesign(ctx, field, sp.Design, sp.DesignRef, false)
+// resolveSuspect resolves a suspect design and parses its solution
+// (schedule, cover, or coloring) against it. Detection and verification
+// only read the suspect, so a ref-resolved suspect shares the registry's
+// warmed copy.
+func (s *Server) resolveSuspect(ctx context.Context, proto family.Protocol, field string, sp lwmapi.Suspect) (family.Suspect, error) {
+	d, shared, err := s.resolveDesign(ctx, proto, field, sp.Design, sp.DesignRef, false)
 	if err != nil {
-		return nil, nil, false, err
+		return family.Suspect{}, err
 	}
-	sc, err := sched.ParseSchedule(g, strings.NewReader(sp.Schedule))
+	sol, err := proto.ParseSolution(d, sp.Schedule)
 	if err != nil {
-		return nil, nil, false, badRequest("%s: %v", field, err)
+		return family.Suspect{}, badRequest("%s: %v", field, err)
 	}
-	return g, sc, shared, nil
+	return family.Suspect{Design: d, Solution: sol, Shared: shared}, nil
 }
 
 // engineWorkers resolves a request's engine parallelism: the server
@@ -146,27 +132,6 @@ func (s *Server) engineWorkers(requested int) int {
 	return w
 }
 
-// schedConfig builds the schedwm.Config for p against g, defaulting the
-// budget exactly like the CLI (critical path + 10% + 1).
-func (s *Server) schedConfig(g *cdfg.Graph, p lwmapi.MarkParams) (schedwm.Config, error) {
-	budget := p.Budget
-	if budget == 0 {
-		cp, err := g.CriticalPath()
-		if err != nil {
-			return schedwm.Config{}, badRequest("design: %v", err)
-		}
-		budget = cp + cp/10 + 1
-	}
-	cfg := schedwm.Config{
-		Tau: p.Tau, K: p.K, Epsilon: p.Epsilon, Budget: budget,
-		Parallelism: s.engineWorkers(p.Workers),
-	}
-	if _, err := cfg.Normalized(); err != nil {
-		return schedwm.Config{}, badRequest("%v", err)
-	}
-	return cfg, nil
-}
-
 func (s *Server) handleEmbed(r *http.Request) (any, error) {
 	var req lwmapi.EmbedRequest
 	if err := decode(r, &req); err != nil {
@@ -178,48 +143,48 @@ func (s *Server) handleEmbed(r *http.Request) (any, error) {
 // runEmbed executes an already-decoded embed request. Split from the
 // HTTP handler so the async job executor drives the same path — the
 // byte-identity contract between POST /v1/embed and an embed job's
-// stored result rests on the two sharing this code.
+// stored result rests on the two sharing this code. The family metrics
+// count here, for the same reason: sync and async executions land in the
+// same per-family series.
 func (s *Server) runEmbed(ctx context.Context, req *lwmapi.EmbedRequest) (any, error) {
 	defer s.meterEngine(ctx, time.Now())
-	normalizeParams(&req.MarkParams)
+	proto, err := s.familyOf(req.Family)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := s.embedWith(ctx, proto, req)
+	s.metrics.observeFamily(proto.Name(), epEmbed, err)
+	return resp, err
+}
+
+func (s *Server) embedWith(ctx context.Context, proto family.Protocol, req *lwmapi.EmbedRequest) (any, error) {
+	proto.Normalize(&req.MarkParams)
 	if req.Signature == "" {
 		return nil, badRequest("signature: required")
 	}
 	if req.N < 1 {
 		return nil, badRequest("n: must be positive, got %d", req.N)
 	}
-	// Embedding mutates the graph, so a ref-resolved design is cloned:
+	// Embedding mutates the design, so a ref-resolved design is cloned:
 	// the registry copy stays pristine and the clone is request-private
 	// (safe to trace).
-	g, _, err := s.resolveDesign(ctx, "design", req.Design, req.DesignRef, true)
+	d, _, err := s.resolveDesign(ctx, proto, "design", req.Design, req.DesignRef, true)
 	if err != nil {
 		return nil, err
 	}
-	cfg, err := s.schedConfig(g, req.MarkParams)
+	resp, err := proto.Embed(ctx, d, req.Signature, req.MarkParams, s.engineWorkers(req.Workers))
 	if err != nil {
-		return nil, err
+		// Protocol errors carry the exact field-prefixed text the 400
+		// envelope should answer ("design: …", "embedding: …").
+		return nil, badRequest("%v", err)
 	}
-	observeGraph(ctx, g)
-	wms, err := engine.EmbedManyCtx(ctx, g, prng.Signature(req.Signature), cfg, req.N, cfg.Parallelism)
-	if err != nil {
-		return nil, badRequest("embedding: %v", err)
-	}
-	resp := &lwmapi.EmbedResponse{Watermarks: len(wms)}
-	for _, wm := range wms {
-		resp.Records = append(resp.Records, wm.Record())
-		resp.TemporalEdges += len(wm.Edges)
-	}
-	var buf bytes.Buffer
-	if err := cdfg.Write(&buf, g); err != nil {
-		return nil, err
-	}
-	resp.MarkedDesign = buf.String()
 	return resp, nil
 }
 
 // buildDetectResponse shapes an engine.DetectBatch result grid for the
-// wire. Split out so tests can feed it a sequentially computed grid and
-// compare bytes against the daemon's concurrent answer.
+// wire — the scheduling family's shaping, kept here so tests can feed it
+// a sequentially computed grid and compare bytes against the daemon's
+// concurrent answer.
 func buildDetectResponse(suspects []engine.Suspect, batch [][]engine.DetectResult) *lwmapi.DetectResponse {
 	resp := &lwmapi.DetectResponse{Results: make([][]lwmapi.DetectOutcome, len(batch))}
 	for i, row := range batch {
@@ -258,25 +223,35 @@ func (s *Server) handleDetect(r *http.Request) (any, error) {
 // runDetect executes an already-decoded detect request (see runEmbed).
 func (s *Server) runDetect(ctx context.Context, req *lwmapi.DetectRequest) (any, error) {
 	defer s.meterEngine(ctx, time.Now())
+	proto, err := s.familyOf(req.Family)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := s.detectWith(ctx, proto, req)
+	s.metrics.observeFamily(proto.Name(), epDetect, err)
+	return resp, err
+}
+
+func (s *Server) detectWith(ctx context.Context, proto family.Protocol, req *lwmapi.DetectRequest) (any, error) {
 	if len(req.Suspects) == 0 {
 		return nil, badRequest("suspects: at least one required")
 	}
 	if len(req.Records) == 0 {
 		return nil, badRequest("records: at least one required")
 	}
-	suspects := make([]engine.Suspect, len(req.Suspects))
+	suspects := make([]family.Suspect, len(req.Suspects))
 	for i, sp := range req.Suspects {
-		g, sc, shared, err := s.resolveSuspect(ctx, fieldIndex("suspects", i), sp)
+		fsp, err := s.resolveSuspect(ctx, proto, fieldIndex("suspects", i), sp)
 		if err != nil {
 			return nil, err
 		}
-		if !shared {
-			observeGraph(ctx, g)
-		}
-		suspects[i] = engine.Suspect{Graph: g, Schedule: sc}
+		suspects[i] = fsp
 	}
-	batch := engine.DetectBatchCtx(ctx, suspects, req.Records, s.engineWorkers(req.Workers))
-	return buildDetectResponse(suspects, batch), nil
+	resp, err := proto.Detect(ctx, suspects, req.Records, s.engineWorkers(req.Workers))
+	if err != nil {
+		return nil, badRequest("%v", err)
+	}
+	return resp, nil
 }
 
 func (s *Server) handleVerify(r *http.Request) (any, error) {
@@ -290,35 +265,32 @@ func (s *Server) handleVerify(r *http.Request) (any, error) {
 // runVerify executes an already-decoded verify request (see runEmbed).
 func (s *Server) runVerify(ctx context.Context, req *lwmapi.VerifyRequest) (any, error) {
 	defer s.meterEngine(ctx, time.Now())
-	normalizeParams(&req.MarkParams)
+	proto, err := s.familyOf(req.Family)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := s.verifyWith(ctx, proto, req)
+	s.metrics.observeFamily(proto.Name(), epVerify, err)
+	return resp, err
+}
+
+func (s *Server) verifyWith(ctx context.Context, proto family.Protocol, req *lwmapi.VerifyRequest) (any, error) {
+	proto.Normalize(&req.MarkParams)
 	if req.Signature == "" {
 		return nil, badRequest("signature: required")
 	}
 	// Verification clones internally before re-deriving, so a
 	// ref-resolved suspect shares the registry copy like detection does.
-	g, sc, shared, err := s.resolveSuspect(ctx, "suspect",
+	sp, err := s.resolveSuspect(ctx, proto, "suspect",
 		lwmapi.Suspect{Design: req.Design, DesignRef: req.DesignRef, Schedule: req.Schedule})
 	if err != nil {
 		return nil, err
 	}
-	cfg, err := s.schedConfig(g, req.MarkParams)
+	resp, err := proto.Verify(ctx, sp, req.Signature, req.MarkParams, s.engineWorkers(req.MarkParams.Workers))
 	if err != nil {
-		return nil, err
+		return nil, badRequest("%v", err)
 	}
-	if !shared {
-		observeGraph(ctx, g)
-	}
-	det, err := engine.VerifyOwnershipCtx(ctx, g, sc, prng.Signature(req.Signature), cfg, req.N, cfg.Parallelism)
-	if err != nil {
-		return nil, badRequest("verifying: %v", err)
-	}
-	return &lwmapi.VerifyResponse{
-		Verified:   det.Found,
-		Satisfied:  det.Best.Satisfied,
-		Total:      det.Best.Total,
-		Pc:         det.Best.Pc.String(),
-		RootsTried: det.RootsTried,
-	}, nil
+	return resp, nil
 }
 
 func fieldIndex(field string, i int) string {

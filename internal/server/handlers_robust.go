@@ -2,9 +2,11 @@ package server
 
 import (
 	"context"
+	"fmt"
 	"net/http"
 	"time"
 
+	"localwm/internal/family"
 	"localwm/internal/prng"
 	"localwm/internal/robust"
 	"localwm/lwmapi"
@@ -22,9 +24,30 @@ import (
 // envelope with report set, byte-identical to what the synchronous path
 // would have answered.
 
+// robustFamily resolves and gates a campaign request's family: attack
+// batteries exist only for the scheduling family, so any other family is
+// a 400 with the family_unsupported code. Checked both at admission
+// (before the dispatch decision, so a campaign never becomes a doomed
+// job) and again in runRobustReport (the job executor's entry, covering
+// jobs submitted directly through /v1/jobs).
+func (s *Server) robustFamily(name string) (family.Protocol, error) {
+	proto, err := s.familyOf(name)
+	if err != nil {
+		return nil, err
+	}
+	if !proto.Info().Capabilities.Robustness {
+		return nil, &apiError{status: http.StatusBadRequest, code: lwmapi.CodeFamilyUnsupported,
+			msg: fmt.Sprintf("family %q: robustness campaigns not supported (no attack batteries)", proto.Name())}
+	}
+	return proto, nil
+}
+
 func (s *Server) handleRobustness(r *http.Request) (any, error) {
 	var req lwmapi.RobustnessRequest
 	if err := decode(r, &req); err != nil {
+		return nil, err
+	}
+	if _, err := s.robustFamily(req.Family); err != nil {
 		return nil, err
 	}
 	// Validate the battery before deciding the dispatch path, so a
@@ -64,26 +87,35 @@ func (s *Server) runRobust(ctx context.Context, req *lwmapi.RobustnessRequest) (
 	return &lwmapi.RobustnessResponse{Report: rep}, nil
 }
 
-func (s *Server) runRobustReport(ctx context.Context, req *lwmapi.RobustnessRequest) (*lwmapi.RobustnessReport, error) {
+func (s *Server) runRobustReport(ctx context.Context, req *lwmapi.RobustnessRequest) (rep *lwmapi.RobustnessReport, err error) {
 	start := time.Now()
 	defer s.meterEngine(ctx, start)
+	proto, err := s.robustFamily(req.Family)
+	if err != nil {
+		return nil, err
+	}
+	defer func() { s.metrics.observeFamily(proto.Name(), epRobust, err) }()
 	battery, err := robust.Normalize(req.Battery)
 	if err != nil {
 		return nil, badRequest("battery: %v", err)
 	}
-	normalizeParams(&req.MarkParams)
+	proto.Normalize(&req.MarkParams)
 	// Prepare clones internally and only ever reads the resolved graph,
 	// so a ref-resolved design shares the registry's warmed copy.
-	g, shared, err := s.resolveDesign(ctx, "design", req.Design, req.DesignRef, false)
+	d, shared, err := s.resolveDesign(ctx, proto, "design", req.Design, req.DesignRef, false)
 	if err != nil {
 		return nil, err
 	}
-	cfg, err := s.schedConfig(g, req.MarkParams)
+	// The campaign engine re-marks through the scheduling engine
+	// directly, so unwrap the cdfg (the robustFamily gate guarantees a
+	// scheduling design) and build its config the way the protocol does.
+	g, _ := family.CDFG(d)
+	cfg, err := family.SchedConfig(g, req.MarkParams, s.engineWorkers(req.Workers))
 	if err != nil {
-		return nil, err
+		return nil, badRequest("%v", err)
 	}
 	if !shared {
-		observeGraph(ctx, g)
+		family.ObserveGraph(ctx, g)
 	}
 	base, err := robust.Prepare(ctx, g, prng.Signature(req.Signature), cfg, req.N, cfg.Parallelism)
 	if err != nil {
@@ -92,7 +124,7 @@ func (s *Server) runRobustReport(ctx context.Context, req *lwmapi.RobustnessRequ
 		}
 		return nil, badRequest("embedding: %v", err)
 	}
-	rep, err := robust.Run(ctx, &robust.Campaign{
+	rep, err = robust.Run(ctx, &robust.Campaign{
 		Baseline: base,
 		Seed:     req.Seed,
 		Battery:  battery,

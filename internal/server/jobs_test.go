@@ -40,7 +40,7 @@ func detectJobBody(t *testing.T, fx *fixture, idemKey string) ([]byte, lwmapi.De
 func detectReference(t *testing.T, fx *fixture) []byte {
 	t.Helper()
 	suspects := []engine.Suspect{{Graph: fx.graph, Schedule: fx.schedule}}
-	seq := engine.DetectBatch(suspects, fx.records, 1)
+	seq := engine.DetectBatch(suspects, lwmapi.SchedRecords(fx.records), 1)
 	return encodeLikeServer(t, buildDetectResponse(suspects, seq))
 }
 

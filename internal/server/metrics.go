@@ -11,6 +11,7 @@ import (
 
 	"localwm/internal/cdfg"
 	"localwm/internal/engine"
+	"localwm/internal/family"
 	"localwm/internal/jobs"
 	"localwm/internal/obs"
 	"localwm/internal/obs/profiler"
@@ -89,18 +90,59 @@ type endpointMetrics struct {
 	queueWait *obs.Histogram // submit-to-start wait (requests that ran)
 }
 
+// familyMetrics is one (family, endpoint) cell of the per-family
+// request counters: how many requests dispatched through that family's
+// protocol on that endpoint, and how many of them errored. Cells exist
+// statically for every registered family × compute endpoint, so the
+// scrape always shows the full label space (at zero) and a dashboard can
+// alert on a family that never sees traffic.
+type familyMetrics struct {
+	requests atomic.Uint64
+	errors   atomic.Uint64
+}
+
 // metrics aggregates everything the daemon exposes over expvar.
 type metrics struct {
 	start     time.Time
 	endpoints map[string]*endpointMetrics
+	families  map[string]map[string]*familyMetrics // family → endpoint
 }
 
+// familyEndpoints are the endpoints that dispatch through the family
+// registry and therefore carry per-family series.
+var familyEndpoints = []string{epEmbed, epDetect, epVerify, epDesigns, epRobust}
+
 func newMetrics(endpoints ...string) *metrics {
-	m := &metrics{start: time.Now(), endpoints: make(map[string]*endpointMetrics)}
+	m := &metrics{
+		start:     time.Now(),
+		endpoints: make(map[string]*endpointMetrics),
+		families:  make(map[string]map[string]*familyMetrics),
+	}
 	for _, ep := range endpoints {
 		m.endpoints[ep] = &endpointMetrics{lat: newLatWindow()}
 	}
+	for _, fam := range family.Names() {
+		per := make(map[string]*familyMetrics, len(familyEndpoints))
+		for _, ep := range familyEndpoints {
+			per[ep] = &familyMetrics{}
+		}
+		m.families[fam] = per
+	}
 	return m
+}
+
+// observeFamily counts one family-dispatched request on an endpoint.
+// Unknown (family, endpoint) pairs are dropped — the label space is the
+// static registry cross compute endpoints, never request-supplied text.
+func (m *metrics) observeFamily(fam, endpoint string, err error) {
+	fm := m.families[fam][endpoint]
+	if fm == nil {
+		return
+	}
+	fm.requests.Add(1)
+	if err != nil {
+		fm.errors.Add(1)
+	}
 }
 
 // buildRegistry assembles the server's Prometheus registry: per-endpoint
@@ -147,6 +189,21 @@ func (s *Server) buildRegistry() *obs.Registry {
 		r.GaugeFunc("lwmd_queue_capacity",
 			"Pending-request capacity of the admission queue, by endpoint.", lbl,
 			func() float64 { return float64(cap(q.tasks)) })
+	}
+
+	// Per-family request counters, one series per registered family ×
+	// family-dispatched endpoint, present (at zero) from startup.
+	for _, fam := range family.Names() {
+		for _, ep := range familyEndpoints {
+			fm := s.metrics.families[fam][ep]
+			lbl := map[string]string{"family": fam, "endpoint": ep}
+			r.CounterFunc("lwmd_family_requests_total",
+				"Requests dispatched through a watermark family's protocol, by family and endpoint.",
+				lbl, func() float64 { return float64(fm.requests.Load()) })
+			r.CounterFunc("lwmd_family_errors_total",
+				"Family-dispatched requests that returned an error, by family and endpoint.",
+				lbl, func() float64 { return float64(fm.errors.Load()) })
+		}
 	}
 
 	r.GaugeFunc("lwmd_draining",
@@ -425,6 +482,19 @@ func (s *Server) snapshot() map[string]any {
 		}
 	}
 	out["endpoints"] = eps
+
+	fams := map[string]any{}
+	for fam, per := range s.metrics.families {
+		block := map[string]any{}
+		for ep, fm := range per {
+			block[ep] = map[string]any{
+				"requests": fm.requests.Load(),
+				"errors":   fm.errors.Load(),
+			}
+		}
+		fams[fam] = block
+	}
+	out["families"] = fams
 
 	hits, misses := cdfg.OracleStats()
 	rate := 0.0

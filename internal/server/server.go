@@ -1,15 +1,19 @@
 // Package server turns the localwm engine into a long-running
 // watermarking service: the HTTP surface behind the lwmd daemon.
 //
-// Three endpoints expose the engine's entry points — /v1/embed
-// (engine.EmbedMany), /v1/detect (engine.DetectBatch, batch-shaped), and
-// /v1/verify (engine.VerifyOwnership) — over the JSON envelopes of the
-// public lwmapi package, which carry designs in the internal/cdfg text
-// format and schedules in the internal/sched text format. A fourth
-// surface, PUT/GET /v1/designs, fronts the content-addressed design
-// registry (internal/store): register a design once, then pass its ref
-// as the design_ref of embed/detect/verify requests and skip re-sending
-// (and re-parsing) the design text every call.
+// Three endpoints expose the watermark lifecycle — /v1/embed,
+// /v1/detect (batch-shaped), and /v1/verify — over the JSON envelopes of
+// the public lwmapi package. Every request carries an optional family
+// field ("" means the scheduling family, the original protocol) and is
+// dispatched through the internal/family registry to that family's
+// Protocol, which carries designs and solutions in the family's own text
+// formats (cdfg + schedules for sched, cdfg + template covers for tmwm,
+// coloring instances + colorings for gcolor); GET /v1/families
+// enumerates what's served. A fourth surface, PUT/GET /v1/designs,
+// fronts the content-addressed design registry (internal/store):
+// register a design once, then pass its family-salted ref as the
+// design_ref of embed/detect/verify requests and skip re-sending (and
+// re-parsing) the design text every call.
 //
 // The robustness model:
 //
@@ -321,6 +325,7 @@ func (s *Server) Handler() http.Handler {
 	// and authentication: on a tenanted daemon each tenant sees only its
 	// own traces.
 	s.mountObservatory(mux, true)
+	mux.HandleFunc("/v1/families", s.handleFamilies)
 	mux.HandleFunc("/v1/stats", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, s.snapshot())
 	})

@@ -26,7 +26,7 @@ import (
 type fixture struct {
 	designText   string
 	scheduleText string
-	records      []schedwm.Record
+	records      []lwmapi.Record
 	graph        *cdfg.Graph
 	schedule     *sched.Schedule
 }
@@ -58,7 +58,7 @@ func makeFixture(t *testing.T, sig string) *fixture {
 	}
 	fx := &fixture{designText: orig.String(), scheduleText: schedText.String()}
 	for _, wm := range wms {
-		fx.records = append(fx.records, wm.Record())
+		fx.records = append(fx.records, lwmapi.FromSchedRecord(wm.Record()))
 	}
 	// Re-parse exactly what the daemon will parse, for the sequential
 	// reference computation.
@@ -122,7 +122,7 @@ func TestDaemonDetectConcurrentByteIdentical(t *testing.T) {
 	// Sequential reference: engine.DetectBatch with workers=1 is the loop
 	// the CLI runs, shaped through the same response builder and encoder.
 	suspects := []engine.Suspect{{Graph: fx.graph, Schedule: fx.schedule}}
-	seq := engine.DetectBatch(suspects, fx.records, 1)
+	seq := engine.DetectBatch(suspects, lwmapi.SchedRecords(fx.records), 1)
 	want := encodeLikeServer(t, buildDetectResponse(suspects, seq))
 
 	const concurrent = 8

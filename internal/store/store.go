@@ -5,14 +5,22 @@
 // warmup on every request.
 //
 // A design is keyed by the lowercase hex SHA-256 of its canonical text
-// — the output of cdfg.Write over the parsed graph — so two texts of
-// the same graph (comments, blank lines, edge-order shuffles that
-// Write∘Parse normalizes) map to one reference, and a reference
-// resolves to exactly one design forever. Each resident entry caches
-// the parsed *cdfg.Graph with its PathOracle already warmed for the
-// detection-side queries; request handlers share that graph read-only
+// — the output of the owning family's writer over the parsed design —
+// so two texts of the same design (comments, blank lines, orderings the
+// Write∘Parse round trip normalizes) map to one reference, and a
+// reference resolves to exactly one design forever. Each resident entry
+// caches the parsed family artifact; for the cdfg-backed families the
+// *cdfg.Graph additionally has its PathOracle warmed for the
+// detection-side queries. Request handlers share the artifact read-only
 // (detection and verification never mutate the suspect — embedding
 // clones first).
+//
+// References are family-salted (RefOfFamily): the scheduling family
+// hashes exactly as the store always has — every pre-family ref, WAL,
+// and snapshot stays valid — while other families fold their name into
+// the hash, so the same canonical text registered under two families
+// yields two unrelated refs and a ref can never resolve as the wrong
+// family's design.
 //
 // Capacity is bounded: entries hash across Config.Shards shards, each
 // holding at most Capacity/Shards designs under LRU eviction, so a hot
@@ -34,6 +42,8 @@ import (
 	"sync/atomic"
 
 	"localwm/internal/cdfg"
+	"localwm/internal/family"
+	"localwm/lwmapi"
 )
 
 // ErrQuotaExceeded rejects a put that would push its tenant past the
@@ -80,20 +90,33 @@ func (c Config) withDefaults() Config {
 // read-only — clone it before any mutation (embedding does).
 type Design struct {
 	// Ref is the content-addressed reference: lowercase hex SHA-256 of
-	// Text, salted with Tenant when owned (see RefOfOwned).
+	// Text, salted with Tenant when owned and with Family when the
+	// design is not a scheduling design (see RefOfFamily).
 	Ref string
 	// Tenant is the owning tenant's ID, or "" for the anonymous
 	// single-tenant namespace. Only the owner can resolve the ref.
 	Tenant string
-	// Text is the canonical design serialization (cdfg.Write output).
+	// Family is the owning watermark family's canonical name
+	// (lwmapi.FamilySched for every pre-family entry).
+	Family string
+	// Text is the canonical design serialization (the family writer's
+	// output).
 	Text string
-	// Graph is the parsed design with its PathOracle warmed for the
+	// Artifact is the parsed, family-typed design.
+	Artifact family.Design
+	// Graph is the parsed cdfg with its PathOracle warmed for the
 	// temporal-free and temporal longest-path queries detection runs.
+	// Nil for families whose designs are not cdfg-backed (gcolor).
 	Graph *cdfg.Graph
 }
 
-// Nodes returns the design's node count.
-func (d *Design) Nodes() int { return d.Graph.Len() }
+// Nodes returns the design's node (vertex) count.
+func (d *Design) Nodes() int {
+	if d.Artifact != nil {
+		return d.Artifact.Nodes()
+	}
+	return d.Graph.Len()
+}
 
 // Counters is a snapshot of a Store's cumulative activity. Monotonic
 // except Entries/Bytes/WALBytes, which are gauges.
@@ -164,8 +187,8 @@ func Open(cfg Config) (*Store, error) {
 		if err != nil {
 			return nil, err
 		}
-		if err := w.replay(func(tenant, canonical string) error {
-			_, _, err := s.insertCanonical(tenant, canonical, false)
+		if err := w.replay(func(fam, tenant, canonical string) error {
+			_, _, err := s.insertCanonical(fam, tenant, canonical, false)
 			return err
 		}); err != nil {
 			w.close()
@@ -187,8 +210,9 @@ func (s *Store) Close() error {
 }
 
 // Canonicalize parses text and re-serializes it into the canonical form
-// the registry hashes. Exposed so callers can predict a ref without a
-// store (lwm design ref could, and tests do).
+// the registry hashes, under the scheduling family. Exposed so callers
+// can predict a ref without a store (lwm design ref could, and tests
+// do).
 func Canonicalize(text string) (string, error) {
 	if strings.TrimSpace(text) == "" {
 		return "", fmt.Errorf("store: empty design")
@@ -202,6 +226,28 @@ func Canonicalize(text string) (string, error) {
 		return "", err
 	}
 	return sb.String(), nil
+}
+
+// CanonicalizeFamily parses text with fam's codec and re-serializes it
+// into the canonical form the registry hashes. fam "" means the
+// scheduling family, whose errors and output match Canonicalize
+// byte-for-byte.
+func CanonicalizeFamily(fam, text string) (string, error) {
+	if lwmapi.CanonicalFamily(fam) == lwmapi.FamilySched {
+		return Canonicalize(text)
+	}
+	proto, err := family.Lookup(fam)
+	if err != nil {
+		return "", fmt.Errorf("store: %v", err)
+	}
+	if strings.TrimSpace(text) == "" {
+		return "", fmt.Errorf("store: empty design")
+	}
+	d, err := proto.ParseDesign(text)
+	if err != nil {
+		return "", err
+	}
+	return d.Canonical(), nil
 }
 
 // RefOf returns the content-addressed reference of a canonical text.
@@ -223,6 +269,28 @@ func RefOfOwned(tenant, canonical string) string {
 		return RefOf(canonical)
 	}
 	h := sha256.New()
+	h.Write([]byte(tenant))
+	h.Write([]byte{'\n'})
+	h.Write([]byte(canonical))
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// RefOfFamily returns the family- and tenant-namespaced reference of a
+// canonical text. The scheduling family (fam "" or "sched") hashes
+// exactly as RefOfOwned always has, keeping every pre-family ref, WAL,
+// and client valid; any other family folds its name into the hash
+// (SHA-256 over family + NUL + tenant + "\n" + canonical — unambiguous
+// because family names never contain a NUL and tenant IDs never contain
+// a newline), so the same text registered under two families yields two
+// unrelated refs.
+func RefOfFamily(fam, tenant, canonical string) string {
+	fam = lwmapi.CanonicalFamily(fam)
+	if fam == lwmapi.FamilySched {
+		return RefOfOwned(tenant, canonical)
+	}
+	h := sha256.New()
+	h.Write([]byte(fam))
+	h.Write([]byte{0})
 	h.Write([]byte(tenant))
 	h.Write([]byte{'\n'})
 	h.Write([]byte(canonical))
@@ -272,12 +340,22 @@ func (s *Store) Put(text string) (d *Design, created bool, err error) {
 // puts, so enforcement is exact under serial use and off by at most the
 // in-flight put count under contention.
 func (s *Store) PutOwned(tenant, text string, maxBytes, maxEntries int64) (d *Design, created bool, err error) {
-	canonical, err := Canonicalize(text)
+	return s.PutOwnedFamily(lwmapi.FamilySched, tenant, text, maxBytes, maxEntries)
+}
+
+// PutOwnedFamily registers a design of a watermark family under a
+// tenant's namespace. fam "" means the scheduling family, for which
+// this is exactly PutOwned — same canonicalization, same ref, same WAL
+// record. Other families canonicalize through their own codec and get
+// family-salted refs (RefOfFamily).
+func (s *Store) PutOwnedFamily(fam, tenant, text string, maxBytes, maxEntries int64) (d *Design, created bool, err error) {
+	fam = lwmapi.CanonicalFamily(fam)
+	canonical, err := CanonicalizeFamily(fam, text)
 	if err != nil {
 		return nil, false, err
 	}
 	if maxBytes > 0 || maxEntries > 0 {
-		ref := RefOfOwned(tenant, canonical)
+		ref := RefOfFamily(fam, tenant, canonical)
 		sh := s.shardFor(ref)
 		sh.mu.Lock()
 		_, resident := sh.byRef[ref]
@@ -294,12 +372,12 @@ func (s *Store) PutOwned(tenant, text string, maxBytes, maxEntries int64) (d *De
 			}
 		}
 	}
-	d, created, err = s.insertCanonical(tenant, canonical, true)
+	d, created, err = s.insertCanonical(fam, tenant, canonical, true)
 	if err != nil {
 		return nil, false, err
 	}
 	if created && s.wal != nil {
-		if werr := s.wal.appendPut(tenant, canonical, s.snapshotTexts); werr != nil {
+		if werr := s.wal.appendPut(fam, tenant, canonical, s.snapshotTexts); werr != nil {
 			return nil, false, fmt.Errorf("store: wal append: %w", werr)
 		}
 		s.compactions.Store(s.wal.compactions())
@@ -313,8 +391,9 @@ func (s *Store) PutOwned(tenant, text string, maxBytes, maxEntries int64) (d *De
 // doing it unlocked keeps concurrent puts of different designs from
 // serializing). count toggles the puts counter — WAL replay inserts
 // without counting.
-func (s *Store) insertCanonical(tenant, canonical string, count bool) (*Design, bool, error) {
-	ref := RefOfOwned(tenant, canonical)
+func (s *Store) insertCanonical(fam, tenant, canonical string, count bool) (*Design, bool, error) {
+	fam = lwmapi.CanonicalFamily(fam)
+	ref := RefOfFamily(fam, tenant, canonical)
 	sh := s.shardFor(ref)
 
 	// Fast path: already resident — refresh recency, done.
@@ -326,12 +405,19 @@ func (s *Store) insertCanonical(tenant, canonical string, count bool) (*Design, 
 	}
 	sh.mu.Unlock()
 
-	g, err := cdfg.Parse(strings.NewReader(canonical))
+	proto, err := family.Lookup(fam)
+	if err != nil {
+		return nil, false, fmt.Errorf("store: %v", err)
+	}
+	art, err := proto.ParseDesign(canonical)
 	if err != nil {
 		return nil, false, fmt.Errorf("store: canonical text unparseable: %w", err)
 	}
-	warmOracle(g)
-	d := &Design{Ref: ref, Tenant: tenant, Text: canonical, Graph: g}
+	d := &Design{Ref: ref, Tenant: tenant, Family: fam, Text: canonical, Artifact: art}
+	if g, ok := family.CDFG(art); ok {
+		warmOracle(g)
+		d.Graph = g
+	}
 
 	sh.mu.Lock()
 	if e, ok := sh.byRef[ref]; ok { // raced with another put of the same design
@@ -446,7 +532,7 @@ func (s *Store) snapshotTexts() []ownedText {
 	for _, sh := range s.shards {
 		sh.mu.Lock()
 		for e := sh.tail; e != nil; e = e.prev {
-			texts = append(texts, ownedText{tenant: e.d.Tenant, text: e.d.Text})
+			texts = append(texts, ownedText{family: e.d.Family, tenant: e.d.Tenant, text: e.d.Text})
 		}
 		sh.mu.Unlock()
 	}

@@ -9,6 +9,8 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+
+	"localwm/lwmapi"
 )
 
 // Persistence layout (Config.Dir):
@@ -24,13 +26,21 @@ import (
 //	<nbytes of canonical design text>\n
 //	putt <tenant> <ref> <nbytes>\n
 //	<nbytes of canonical design text>\n
+//	putf <family> <tenant|-> <ref> <nbytes>\n
+//	<nbytes of canonical design text>\n
 //	...
 //
 // `put` records the anonymous namespace (every pre-tenant WAL replays
 // unchanged); `putt` records a tenant-owned design whose ref is the
-// tenant-salted hash (RefOfOwned), verified as such on replay. Tenant
-// IDs are whitespace-free by construction (internal/tenant.ValidID), so
-// the space-delimited header stays unambiguous.
+// tenant-salted hash (RefOfOwned), verified as such on replay. Both
+// record scheduling-family designs only — the pre-family record forms
+// keep writing (and replaying) byte-identically. `putf` records a
+// design of any other watermark family ("-" stands for the anonymous
+// tenant), whose ref is the family- and tenant-salted hash
+// (RefOfFamily), likewise verified on replay. Tenant IDs are
+// whitespace-free by construction (internal/tenant.ValidID) and family
+// names are bare lowercase words, so the space-delimited header stays
+// unambiguous.
 //
 // A put whose appended bytes push wal.log past Config.MaxWALBytes
 // triggers compaction: the resident set is written to snapshot.tmp,
@@ -91,16 +101,16 @@ func openWAL(dir string, maxBytes int64) (*wal, error) {
 	return w, nil
 }
 
-// ownedText is one persisted design with its owning tenant ("" =
-// anonymous).
+// ownedText is one persisted design with its owning family and tenant
+// ("" = scheduling family / anonymous tenant).
 type ownedText struct {
-	tenant, text string
+	family, tenant, text string
 }
 
 // replay feeds every persisted design — snapshot first, then the log —
 // to apply, in write order. A torn trailing log record is discarded by
 // truncating the log back to the last whole record.
-func (w *wal) replay(apply func(tenant, canonical string) error) error {
+func (w *wal) replay(apply func(fam, tenant, canonical string) error) error {
 	if err := replayFile(w.snapPath(), snapHeader, false, apply); err != nil {
 		return err
 	}
@@ -123,7 +133,7 @@ func (w *wal) replay(apply func(tenant, canonical string) error) error {
 
 // replayFile replays a whole framed file (the snapshot). A missing file
 // is fine; a torn or corrupt record is an error unless tolerateTorn.
-func replayFile(path, header string, tolerateTorn bool, apply func(tenant, canonical string) error) error {
+func replayFile(path, header string, tolerateTorn bool, apply func(fam, tenant, canonical string) error) error {
 	f, err := os.Open(path)
 	if os.IsNotExist(err) {
 		return nil
@@ -137,7 +147,7 @@ func replayFile(path, header string, tolerateTorn bool, apply func(tenant, canon
 		return err
 	}
 	for {
-		tenant, _, text, err := readRecord(br, path)
+		fam, tenant, _, text, err := readRecord(br, path)
 		if err == io.EOF {
 			return nil
 		}
@@ -147,7 +157,7 @@ func replayFile(path, header string, tolerateTorn bool, apply func(tenant, canon
 			}
 			return err
 		}
-		if err := apply(tenant, text); err != nil {
+		if err := apply(fam, tenant, text); err != nil {
 			return err
 		}
 	}
@@ -155,7 +165,7 @@ func replayFile(path, header string, tolerateTorn bool, apply func(tenant, canon
 
 // replayLog replays the open wal.log from the start and returns the
 // byte offset just past the last whole, valid record.
-func replayLog(f *os.File, apply func(tenant, canonical string) error) (good int64, err error) {
+func replayLog(f *os.File, apply func(fam, tenant, canonical string) error) (good int64, err error) {
 	if _, err := f.Seek(0, io.SeekStart); err != nil {
 		return 0, fmt.Errorf("store: %w", err)
 	}
@@ -166,7 +176,7 @@ func replayLog(f *os.File, apply func(tenant, canonical string) error) (good int
 	}
 	good = cr.n - int64(br.Buffered())
 	for {
-		tenant, _, text, rerr := readRecord(br, f.Name())
+		fam, tenant, _, text, rerr := readRecord(br, f.Name())
 		if rerr == io.EOF {
 			return good, nil
 		}
@@ -176,7 +186,7 @@ func replayLog(f *os.File, apply func(tenant, canonical string) error) (good int
 			}
 			return 0, rerr
 		}
-		if err := apply(tenant, text); err != nil {
+		if err := apply(fam, tenant, text); err != nil {
 			return 0, err
 		}
 		good = cr.n - int64(br.Buffered())
@@ -218,49 +228,85 @@ func validTenantToken(t string) bool {
 	return true
 }
 
-// readRecord reads one framed record (`put` or `putt`) and verifies its
-// content hash under the record's namespace. io.EOF means a clean end;
-// *tornError an incomplete trailer.
-func readRecord(br *bufio.Reader, path string) (tenant, ref, text string, err error) {
+// validFamilyToken loosely validates a `putf` family name without
+// consulting the registry (unknown families fail later, at parse):
+// 1..32 chars of [a-z0-9], which guarantees the space-delimited header
+// parse was unambiguous. "-" is not a family.
+func validFamilyToken(f string) bool {
+	if len(f) == 0 || len(f) > 32 {
+		return false
+	}
+	for i := 0; i < len(f); i++ {
+		c := f[i]
+		if (c < 'a' || c > 'z') && (c < '0' || c > '9') {
+			return false
+		}
+	}
+	return true
+}
+
+// readRecord reads one framed record (`put`, `putt`, or `putf`) and
+// verifies its content hash under the record's namespace. io.EOF means
+// a clean end; *tornError an incomplete trailer. fam is "" for the
+// legacy scheduling-family record forms.
+func readRecord(br *bufio.Reader, path string) (fam, tenant, ref, text string, err error) {
 	line, err := br.ReadString('\n')
 	if err == io.EOF && line == "" {
-		return "", "", "", io.EOF
+		return "", "", "", "", io.EOF
 	}
 	if err != nil {
-		return "", "", "", &tornError{fmt.Sprintf("store: %s: torn record header", path)}
+		return "", "", "", "", &tornError{fmt.Sprintf("store: %s: torn record header", path)}
 	}
 	var nbytes int
 	switch {
+	case strings.HasPrefix(line, "putf "):
+		if _, err := fmt.Sscanf(line, "putf %s %s %s %d\n", &fam, &tenant, &ref, &nbytes); err != nil ||
+			!validFamilyToken(fam) || (tenant != "-" && !validTenantToken(tenant)) ||
+			!ValidRef(ref) || nbytes < 0 {
+			return "", "", "", "", fmt.Errorf("store: %s: malformed record header %q", path, strings.TrimSpace(line))
+		}
+		if tenant == "-" {
+			tenant = ""
+		}
 	case strings.HasPrefix(line, "putt "):
 		if _, err := fmt.Sscanf(line, "putt %s %s %d\n", &tenant, &ref, &nbytes); err != nil ||
 			!validTenantToken(tenant) || !ValidRef(ref) || nbytes < 0 {
-			return "", "", "", fmt.Errorf("store: %s: malformed record header %q", path, strings.TrimSpace(line))
+			return "", "", "", "", fmt.Errorf("store: %s: malformed record header %q", path, strings.TrimSpace(line))
 		}
 	default:
 		if _, err := fmt.Sscanf(line, "put %s %d\n", &ref, &nbytes); err != nil || !ValidRef(ref) || nbytes < 0 {
-			return "", "", "", fmt.Errorf("store: %s: malformed record header %q", path, strings.TrimSpace(line))
+			return "", "", "", "", fmt.Errorf("store: %s: malformed record header %q", path, strings.TrimSpace(line))
 		}
 	}
 	buf := make([]byte, nbytes+1) // body + trailing newline
 	if _, err := io.ReadFull(br, buf); err != nil {
-		return "", "", "", &tornError{fmt.Sprintf("store: %s: torn record body", path)}
+		return "", "", "", "", &tornError{fmt.Sprintf("store: %s: torn record body", path)}
 	}
 	if buf[nbytes] != '\n' {
-		return "", "", "", fmt.Errorf("store: %s: record for %s missing trailer", path, ref)
+		return "", "", "", "", fmt.Errorf("store: %s: record for %s missing trailer", path, ref)
 	}
 	text = string(buf[:nbytes])
-	if RefOfOwned(tenant, text) != ref {
-		return "", "", "", fmt.Errorf("store: %s: record %s fails content hash", path, ref)
+	if RefOfFamily(fam, tenant, text) != ref {
+		return "", "", "", "", fmt.Errorf("store: %s: record %s fails content hash", path, ref)
 	}
-	return tenant, ref, text, nil
+	return fam, tenant, ref, text, nil
 }
 
-// writeRecord frames one design onto w under its owner's namespace.
-func writeRecord(w io.Writer, tenant, canonical string) error {
+// writeRecord frames one design onto w under its family and owner's
+// namespace. Scheduling-family designs keep the pre-family `put`/`putt`
+// record forms so existing WALs and snapshots stay byte-compatible.
+func writeRecord(w io.Writer, fam, tenant, canonical string) error {
 	var err error
-	if tenant == "" {
+	switch {
+	case fam != "" && fam != lwmapi.FamilySched:
+		walTenant := tenant
+		if walTenant == "" {
+			walTenant = "-"
+		}
+		_, err = fmt.Fprintf(w, "putf %s %s %s %d\n", fam, walTenant, RefOfFamily(fam, tenant, canonical), len(canonical))
+	case tenant == "":
 		_, err = fmt.Fprintf(w, "put %s %d\n", RefOf(canonical), len(canonical))
-	} else {
+	default:
 		_, err = fmt.Fprintf(w, "putt %s %s %d\n", tenant, RefOfOwned(tenant, canonical), len(canonical))
 	}
 	if err != nil {
@@ -275,14 +321,14 @@ func writeRecord(w io.Writer, tenant, canonical string) error {
 // appendPut logs one new design. When the log outgrows maxBytes it is
 // compacted: resident() supplies the survivor texts for the snapshot
 // and the log restarts empty.
-func (w *wal) appendPut(tenant, canonical string, resident func() []ownedText) error {
+func (w *wal) appendPut(fam, tenant, canonical string, resident func() []ownedText) error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	if w.closed {
 		return fmt.Errorf("store: wal closed")
 	}
 	var buf strings.Builder
-	if err := writeRecord(&buf, tenant, canonical); err != nil {
+	if err := writeRecord(&buf, fam, tenant, canonical); err != nil {
 		return err
 	}
 	if _, err := w.f.WriteString(buf.String()); err != nil {
@@ -305,7 +351,7 @@ func (w *wal) compactLocked(texts []ownedText) error {
 	bw := bufio.NewWriter(f)
 	if _, err := bw.WriteString(snapHeader + "\n"); err == nil {
 		for _, t := range texts {
-			if err = writeRecord(bw, t.tenant, t.text); err != nil {
+			if err = writeRecord(bw, t.family, t.tenant, t.text); err != nil {
 				break
 			}
 		}

@@ -1,0 +1,79 @@
+package tmatch
+
+import (
+	"strings"
+	"testing"
+
+	"localwm/internal/designs"
+)
+
+func TestCoverCodecRoundTrip(t *testing.T) {
+	g := designs.DAConverter()
+	lib := StandardLibrary()
+	cover, err := GreedyCover(g, lib, Constraints{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := FormatCover(g, lib, cover)
+	back, err := ParseCover(g, lib, strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Write∘Parse is the identity on the serialized bytes.
+	if again := FormatCover(g, lib, back); again != text {
+		t.Fatalf("cover text not a fixed point:\n%s\nvs\n%s", text, again)
+	}
+	if len(back.Matchings) != len(cover.Matchings) {
+		t.Fatalf("matchings %d != %d", len(back.Matchings), len(cover.Matchings))
+	}
+	for i, m := range cover.Matchings {
+		b := back.Matchings[i]
+		if b.Template != m.Template || len(b.Nodes) != len(m.Nodes) {
+			t.Fatalf("matching %d changed: %+v vs %+v", i, m, b)
+		}
+		for j, v := range m.Nodes {
+			if b.Nodes[j] != v {
+				t.Fatalf("matching %d node %d changed", i, j)
+			}
+		}
+	}
+	// Ownership index rebuilt faithfully.
+	for v, owner := range cover.Owner {
+		if back.Owner[v] != owner {
+			t.Fatalf("node %d owner %d != %d", v, back.Owner[v], owner)
+		}
+	}
+}
+
+func TestCoverCodecErrors(t *testing.T) {
+	g := designs.DAConverter()
+	lib := StandardLibrary()
+	for name, text := range map[string]string{
+		"no header":        "m add gm1\n",
+		"schedule text":    "budget 20\nstep gm1 1\n",
+		"unknown template": "cover v1\nm nosuch gm1\n",
+		"unknown node":     "cover v1\nm add nosuchnode\n",
+		"bare m":           "cover v1\nm add\n",
+		"empty":            "",
+	} {
+		if _, err := ParseCover(g, lib, strings.NewReader(text)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestCoverCodecRejectsDoubleOwnership(t *testing.T) {
+	g := designs.DAConverter()
+	lib := StandardLibrary()
+	cover, err := GreedyCover(g, lib, Constraints{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := FormatCover(g, lib, cover)
+	lines := strings.SplitAfter(text, "\n")
+	// Duplicate the first matching line: its nodes are then owned twice.
+	dup := lines[0] + lines[1] + lines[1] + strings.Join(lines[2:], "")
+	if _, err := ParseCover(g, lib, strings.NewReader(dup)); err == nil {
+		t.Fatal("double-owned node accepted")
+	}
+}

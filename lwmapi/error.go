@@ -65,6 +65,14 @@ const (
 	// captured, pruned by retention, or the profiler is disabled. 404,
 	// not retryable.
 	CodeProfileNotFound = "profile_not_found"
+	// CodeFamilyUnknown: the request's family field names no registered
+	// watermark family (GET /v1/families lists them). 400, not
+	// retryable — fix the family name.
+	CodeFamilyUnknown = "family_unknown"
+	// CodeFamilyUnsupported: the family exists but does not support the
+	// requested operation — e.g. a robustness campaign against a family
+	// without attack batteries. 400, not retryable.
+	CodeFamilyUnsupported = "family_unsupported"
 )
 
 // Error is the JSON envelope of every non-2xx /v1 response.

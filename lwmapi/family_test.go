@@ -1,0 +1,224 @@
+package lwmapi
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+
+	"localwm/internal/domain"
+	"localwm/internal/gcolor"
+	"localwm/internal/tmwm"
+)
+
+func TestCanonicalFamily(t *testing.T) {
+	for in, want := range map[string]string{
+		"": FamilySched, "sched": FamilySched, "tmwm": FamilyTmwm,
+		"gcolor": FamilyGcolor, "nosuch": "nosuch",
+	} {
+		if got := CanonicalFamily(in); got != want {
+			t.Errorf("CanonicalFamily(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// TestFamilyUnsetIsByteIdentical: a request whose Family field is the
+// empty string marshals to exactly the bytes the same request marshaled
+// to before the family field existed — "family" never appears on the
+// wire — and an explicit `"family":""` payload decodes and re-encodes to
+// those same bytes. This is the wire-compat half of "empty ≡ sched".
+func TestFamilyUnsetIsByteIdentical(t *testing.T) {
+	cases := []struct {
+		name    string
+		unset   any
+		decoded any
+	}{
+		{"embed request", EmbedRequest{Design: "node a in\n", Signature: "alice",
+			MarkParams: MarkParams{N: 2, Tau: 16, K: 3, Epsilon: 0.4}}, &EmbedRequest{}},
+		{"detect request", DetectRequest{
+			Suspects: []Suspect{{Design: "node a in\n", Schedule: "step a 1\n"}},
+			Records:  []Record{FromSchedRecord(fixtureRecord())}, Workers: 4}, &DetectRequest{}},
+		{"verify request", VerifyRequest{Design: "node a in\n", Schedule: "step a 1\n",
+			Signature: "alice"}, &VerifyRequest{}},
+		{"put design request", PutDesignRequest{Design: "node a in\n"}, &PutDesignRequest{}},
+	}
+	for _, tc := range cases {
+		plain, err := json.Marshal(tc.unset)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if bytes.Contains(plain, []byte(`"family"`)) {
+			t.Errorf("%s: empty family leaked onto the wire: %s", tc.name, plain)
+		}
+		// Splice an explicit "family":"" into the payload; it must decode
+		// (DisallowUnknownFields would reject a renamed field) and
+		// re-marshal to the family-free bytes.
+		explicit := append([]byte(`{"family":"",`), plain[1:]...)
+		dec := json.NewDecoder(bytes.NewReader(explicit))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(tc.decoded); err != nil {
+			t.Fatalf("%s: explicit family:\"\" does not decode: %v", tc.name, err)
+		}
+		again, err := json.Marshal(reflect.ValueOf(tc.decoded).Elem().Interface())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(again, plain) {
+			t.Errorf("%s: family:\"\" round-trip changed the bytes:\nwant %s\ngot  %s",
+				tc.name, plain, again)
+		}
+	}
+}
+
+// fixtureTmwmRecord is a fully populated template-matching record.
+func fixtureTmwmRecord() tmwm.Record {
+	return tmwm.Record{
+		Signature:  []byte("alice"),
+		WholeGraph: true,
+		DomainCfg: domain.Config{
+			Tau: 12, MaxDist: 12, IncludeNum: 1, IncludeDen: 2, MaxTreeSize: 256,
+		},
+		Index: 1, Try: 2, TLen: 12, RootFP: "mul(add,add)",
+		RankEnforced: []tmwm.RankMatching{
+			{Template: 3, Ranks: []int{0, 4, 7}},
+			{Template: 1, Ranks: []int{2}},
+		},
+	}
+}
+
+// fixtureGcolorRecord is a fully populated graph-coloring record.
+func fixtureGcolorRecord() gcolor.Record {
+	return gcolor.Record{
+		Signature: []byte("bob"),
+		Tau:       8,
+		RankPairs: [][2]int{{0, 3}, {1, 6}, {2, 5}},
+	}
+}
+
+// TestRecordProjectionsRoundTrip: wrapping a family record in the wire
+// Record and projecting it back is the identity, and the wire Record's
+// JSON round-trips through DisallowUnknownFields for every family.
+func TestRecordProjectionsRoundTrip(t *testing.T) {
+	sr := fixtureRecord()
+	if got := FromSchedRecord(sr).Sched(); !reflect.DeepEqual(got, sr) {
+		t.Errorf("sched projection: %+v != %+v", got, sr)
+	}
+	tr := fixtureTmwmRecord()
+	if got := FromTmwmRecord(tr).Tmwm(); !reflect.DeepEqual(got, tr) {
+		t.Errorf("tmwm projection: %+v != %+v", got, tr)
+	}
+	gr := fixtureGcolorRecord()
+	if got := FromGcolorRecord(gr).Gcolor(); !reflect.DeepEqual(got, gr) {
+		t.Errorf("gcolor projection: %+v != %+v", got, gr)
+	}
+
+	for name, rec := range map[string]Record{
+		"sched":  FromSchedRecord(sr),
+		"tmwm":   FromTmwmRecord(tr),
+		"gcolor": FromGcolorRecord(gr),
+	} {
+		data, err := json.Marshal(rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back Record
+		dec := json.NewDecoder(bytes.NewReader(data))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&back); err != nil {
+			t.Fatalf("%s record: %v", name, err)
+		}
+		if !reflect.DeepEqual(back, rec) {
+			t.Errorf("%s record changed in transit:\n%+v\n%+v", name, rec, back)
+		}
+	}
+
+	// A sched record's JSON must not mention any tail field at the top
+	// level — the omitempty tail is what keeps scheduling payloads
+	// byte-identical to PR 4. (DomainCfg legitimately nests its own Tau.)
+	data, _ := json.Marshal(FromSchedRecord(sr))
+	var top map[string]json.RawMessage
+	if err := json.Unmarshal(data, &top); err != nil {
+		t.Fatal(err)
+	}
+	for _, tail := range []string{"WholeGraph", "RankEnforced", "Tau", "RankPairs"} {
+		if _, ok := top[tail]; ok {
+			t.Errorf("sched record JSON leaks tail field %s: %s", tail, data)
+		}
+	}
+}
+
+// TestFamilyEnvelopeFixtures pins the family-carrying envelope shapes:
+// the exact JSON a tmwm embed request and a gcolor detect request put on
+// the wire, decoded with unknown fields rejected and re-encoded
+// byte-identically.
+func TestFamilyEnvelopeFixtures(t *testing.T) {
+	fixtures := []struct {
+		name   string
+		json   string
+		target any
+	}{
+		{"tmwm embed request",
+			`{"family":"tmwm","design":"node a in\n","signature":"alice","n":1,"tau":12,"k":2,"epsilon":0.25,"budget":0,"workers":0}`,
+			&EmbedRequest{}},
+		{"tmwm embed response",
+			`{"marked_design":"node a in\n","watermarks":1,"temporal_edges":2,"records":[{"Signature":"YWxpY2U=","Index":0,"Try":1,"DomainCfg":{"Tau":12,"MaxDist":12,"IncludeNum":1,"IncludeDen":2,"MaxTreeSize":256},"TLen":12,"RankEdges":null,"RootFP":"mul(add,add)","RankEnforced":[{"Template":3,"Ranks":[0,4,7]}]}],"marked_solution":"cover v1\nm 3 a b c\n"}`,
+			&EmbedResponse{}},
+		{"gcolor detect request",
+			`{"family":"gcolor","suspects":[{"design":"gcolor v1\nn 2\ne 0 1\n","schedule":"coloring v1\nc 0 0\nc 1 1\n"}],"records":[{"Signature":"Ym9i","Index":0,"Try":0,"DomainCfg":{"Tau":0,"MaxDist":0,"IncludeNum":0,"IncludeDen":0,"MaxTreeSize":0},"TLen":0,"RankEdges":null,"RootFP":"","Tau":8,"RankPairs":[[0,3]]}],"workers":2}`,
+			&DetectRequest{}},
+		{"gcolor verify request",
+			`{"family":"gcolor","design":"gcolor v1\nn 2\ne 0 1\n","schedule":"coloring v1\nc 0 0\nc 1 1\n","signature":"bob","n":1,"tau":8,"k":4,"epsilon":0,"budget":0,"workers":0}`,
+			&VerifyRequest{}},
+		{"gcolor put design request",
+			`{"family":"gcolor","design":"gcolor v1\nn 2\ne 0 1\n"}`,
+			&PutDesignRequest{}},
+		{"gcolor put design response",
+			`{"ref":"ab12","created":true,"bytes":18,"nodes":2,"family":"gcolor"}`,
+			&PutDesignResponse{}},
+	}
+	for _, fx := range fixtures {
+		dec := json.NewDecoder(strings.NewReader(fx.json))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(fx.target); err != nil {
+			t.Fatalf("%s: fixture does not decode: %v", fx.name, err)
+		}
+		again, err := json.Marshal(reflect.ValueOf(fx.target).Elem().Interface())
+		if err != nil {
+			t.Fatal(err)
+		}
+		var want, got any
+		if err := json.Unmarshal([]byte(fx.json), &want); err != nil {
+			t.Fatal(err)
+		}
+		if err := json.Unmarshal(again, &got); err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(want, got) {
+			t.Errorf("%s: re-encode changed the payload:\nfixture: %s\nnow:     %s",
+				fx.name, fx.json, again)
+		}
+	}
+}
+
+// TestListFamiliesResponseShape pins the discovery payload's JSON names.
+func TestListFamiliesResponseShape(t *testing.T) {
+	resp := ListFamiliesResponse{
+		Default: FamilySched,
+		Families: []FamilyInfo{{
+			Name: FamilySched, Description: "temporal edges",
+			Defaults:     MarkParams{N: 2, Tau: 20, K: 4, Epsilon: 0.25},
+			Capabilities: FamilyCaps{Batch: true, Robustness: true, Registry: true},
+		}},
+	}
+	data, err := json.Marshal(resp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{`"default"`, `"families"`, `"name"`, `"description"`,
+		`"defaults"`, `"capabilities"`, `"batch"`, `"robustness"`, `"registry"`} {
+		if !strings.Contains(string(data), key) {
+			t.Errorf("discovery payload missing %s: %s", key, data)
+		}
+	}
+}

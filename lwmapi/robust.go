@@ -70,6 +70,10 @@ type BatterySpec struct {
 // deterministically from Signature and MarkParams, so the request never
 // ships temporal edges or records.
 type RobustnessRequest struct {
+	// Family selects the watermark family; empty means FamilySched.
+	// Campaigns require attack batteries, which only the scheduling
+	// family has — other families answer 400 CodeFamilyUnsupported.
+	Family string `json:"family,omitempty"`
 	// Design is the unmarked design inline, in the cdfg text format.
 	Design string `json:"design,omitempty"`
 	// DesignRef is a content-addressed registry reference standing in

@@ -11,12 +11,17 @@ import (
 )
 
 // The PR-4 wire shapes, frozen here as the daemon and client privately
-// defined them before this package existed. The compat tests below prove
-// that every payload those types produce decodes into today's lwmapi
-// types with unknown fields rejected (no field was dropped or renamed)
-// and re-marshals to the identical JSON (no field changed shape). If a
-// change to wire.go breaks one of these tests, it breaks deployed PR-4
-// peers: add an optional field instead.
+// defined them before this package existed — a scheduling-only wire with
+// no family field and schedwm.Record where today's envelopes carry the
+// family-polymorphic Record. The compat tests below prove that every
+// payload those types produce decodes into today's lwmapi types with
+// unknown fields rejected (no field was dropped or renamed) and
+// re-marshals to the identical JSON (no field changed shape) — in
+// particular, that the multi-family redesign's new fields (family,
+// design_ref, marked_solution, the Record tail) stay silent on
+// scheduling payloads. If a change to wire.go breaks one of these tests,
+// it breaks deployed PR-4 peers: add an optional field instead. The
+// family-specific envelope fixtures live in family_test.go.
 type (
 	pr4MarkParams struct {
 		N       int     `json:"n"`

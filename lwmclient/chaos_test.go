@@ -29,6 +29,7 @@ import (
 	"localwm/internal/sched"
 	"localwm/internal/schedwm"
 	"localwm/internal/server"
+	"localwm/lwmapi"
 	"localwm/lwmclient"
 )
 
@@ -67,7 +68,7 @@ func makeFixture(t *testing.T, sig string) *fixture {
 	}
 	fx := &fixture{designText: orig.String(), scheduleText: schedText.String()}
 	for _, wm := range wms {
-		fx.records = append(fx.records, wm.Record())
+		fx.records = append(fx.records, lwmapi.FromSchedRecord(wm.Record()))
 	}
 	return fx
 }

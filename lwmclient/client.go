@@ -306,8 +306,28 @@ func (c *Client) Verify(ctx context.Context, req VerifyRequest) (*VerifyResponse
 // subsequent embed/detect/verify requests. Putting the same design
 // twice is an idempotent refresh (Created false).
 func (c *Client) PutDesign(ctx context.Context, design string) (*PutDesignResponse, error) {
+	return c.PutDesignFamily(ctx, "", design)
+}
+
+// PutDesignFamily registers a design under the named watermark family
+// (empty: the scheduling family). References are family-salted, so the
+// same text put under two families yields two distinct refs, each
+// resolvable only by requests of its own family.
+func (c *Client) PutDesignFamily(ctx context.Context, family, design string) (*PutDesignResponse, error) {
 	var out PutDesignResponse
-	if err := c.do(ctx, http.MethodPut, "/v1/designs", PutDesignRequest{Design: design}, &out); err != nil {
+	if err := c.do(ctx, http.MethodPut, "/v1/designs", PutDesignRequest{Family: family, Design: design}, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// ListFamilies enumerates the watermark families the service dispatches
+// on, with each family's default parameters and capability flags. A
+// pre-family daemon answers 404; callers can treat that as "scheduling
+// only".
+func (c *Client) ListFamilies(ctx context.Context) (*ListFamiliesResponse, error) {
+	var out ListFamiliesResponse
+	if err := c.do(ctx, http.MethodGet, "/v1/families", nil, &out); err != nil {
 		return nil, err
 	}
 	return &out, nil
@@ -355,7 +375,7 @@ func (c *Client) Detect(ctx context.Context, req DetectRequest) (*DetectResult, 
 		if end > len(req.Suspects) {
 			end = len(req.Suspects)
 		}
-		out, err := c.detectChunk(ctx, req.Suspects[start:end], req.Records, req.Workers)
+		out, err := c.detectChunk(ctx, req.Family, req.Suspects[start:end], req.Records, req.Workers)
 		if err != nil {
 			res.Failed = append(res.Failed, ChunkError{Start: start, End: end, Err: err})
 			continue
@@ -386,7 +406,7 @@ func (c *Client) DetectByRef(ctx context.Context, req DetectRequest) (*DetectRes
 
 // detectChunk sends one chunk, preferring references and falling back
 // to inline designs exactly once when the service misses a ref.
-func (c *Client) detectChunk(ctx context.Context, suspects []Suspect, records []Record, workers int) (*lwmapi.DetectResponse, error) {
+func (c *Client) detectChunk(ctx context.Context, family string, suspects []Suspect, records []Record, workers int) (*lwmapi.DetectResponse, error) {
 	// Ref-carrying suspects travel as the bare reference: the inline
 	// text (if any) stays client-side as the fallback payload.
 	wireSuspects := make([]lwmapi.Suspect, len(suspects))
@@ -404,7 +424,7 @@ func (c *Client) detectChunk(ctx context.Context, suspects []Suspect, records []
 	}
 	var out lwmapi.DetectResponse
 	err := c.call(ctx, "/v1/detect", lwmapi.DetectRequest{
-		Suspects: wireSuspects, Records: records, Workers: workers,
+		Suspects: wireSuspects, Records: records, Family: family, Workers: workers,
 	}, &out)
 	if err == nil || !usedRef || !errors.Is(err, ErrDesignNotFound) {
 		return &out, err
@@ -422,7 +442,7 @@ func (c *Client) detectChunk(ctx context.Context, suspects []Suspect, records []
 	}
 	out = lwmapi.DetectResponse{}
 	if ferr := c.call(ctx, "/v1/detect", lwmapi.DetectRequest{
-		Suspects: wireSuspects, Records: records, Workers: workers,
+		Suspects: wireSuspects, Records: records, Family: family, Workers: workers,
 	}, &out); ferr != nil {
 		return nil, fmt.Errorf("inline fallback after ref miss: %w", ferr)
 	}

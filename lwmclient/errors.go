@@ -69,6 +69,14 @@ var (
 	// captured, pruned by retention, or the profiler is disabled (404,
 	// profile_not_found). Not retryable.
 	ErrProfileNotFound = errors.New("lwmclient: profile not found")
+	// ErrFamilyUnknown: the request named a watermark family the daemon
+	// does not serve (400, family_unknown). Not retryable — list the
+	// served families with ListFamilies.
+	ErrFamilyUnknown = errors.New("lwmclient: family unknown")
+	// ErrFamilyUnsupported: the named family exists but does not support
+	// the requested operation — e.g. a robustness campaign on a family
+	// without attack batteries (400, family_unsupported). Not retryable.
+	ErrFamilyUnsupported = errors.New("lwmclient: family unsupported")
 )
 
 // sentinelFor maps an envelope code (preferred) or an HTTP status (the
@@ -106,6 +114,10 @@ func sentinelFor(code string, status int) error {
 		return ErrTraceNotFound
 	case lwmapi.CodeProfileNotFound:
 		return ErrProfileNotFound
+	case lwmapi.CodeFamilyUnknown:
+		return ErrFamilyUnknown
+	case lwmapi.CodeFamilyUnsupported:
+		return ErrFamilyUnsupported
 	}
 	switch status {
 	// 409 and 410 only ever come from the job endpoints, so the

@@ -1,0 +1,121 @@
+package lwmclient
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"localwm/lwmapi"
+)
+
+// TestClientListFamilies: the discovery call hits GET /v1/families and
+// returns the daemon's listing.
+func TestClientListFamilies(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet || r.URL.Path != "/v1/families" {
+			t.Errorf("unexpected request: %s %s", r.Method, r.URL.Path)
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(lwmapi.ListFamiliesResponse{
+			Default: lwmapi.FamilySched,
+			Families: []lwmapi.FamilyInfo{
+				{Name: "gcolor"}, {Name: "sched"}, {Name: "tmwm"},
+			},
+		})
+	}))
+	defer ts.Close()
+
+	c := newTestClient(t, fastConfig(ts.URL))
+	resp, err := c.ListFamilies(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Default != lwmapi.FamilySched || len(resp.Families) != 3 {
+		t.Fatalf("listing: %+v", resp)
+	}
+}
+
+// TestClientFamilyErrorSentinels: the family_unknown and
+// family_unsupported answer codes map onto their errors.Is sentinels, and
+// neither is retried (400 is a definite answer).
+func TestClientFamilyErrorSentinels(t *testing.T) {
+	for _, tc := range []struct {
+		code string
+		want error
+	}{
+		{lwmapi.CodeFamilyUnknown, ErrFamilyUnknown},
+		{lwmapi.CodeFamilyUnsupported, ErrFamilyUnsupported},
+	} {
+		hits := 0
+		ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			hits++
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusBadRequest)
+			json.NewEncoder(w).Encode(lwmapi.Error{
+				Code: tc.code, Message: "nope", LegacyMessage: "nope", Status: http.StatusBadRequest,
+			})
+		}))
+		c := newTestClient(t, fastConfig(ts.URL))
+		_, err := c.Embed(context.Background(), EmbedRequest{
+			Family: "whatever", Design: "node a in\n", Signature: "alice",
+		})
+		ts.Close()
+		if !errors.Is(err, tc.want) {
+			t.Errorf("%s: error %v does not match sentinel %v", tc.code, err, tc.want)
+		}
+		if hits != 1 {
+			t.Errorf("%s: %d attempts for a definite 400", tc.code, hits)
+		}
+	}
+}
+
+// TestClientDetectChunksCarryFamily: every chunk of a split detect
+// request repeats the family field — a family-dispatched batch must not
+// fall back to the scheduling family mid-request.
+func TestClientDetectChunksCarryFamily(t *testing.T) {
+	var families []string
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		var req lwmapi.DetectRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			t.Error(err)
+		}
+		families = append(families, req.Family)
+		outs := make([][]lwmapi.DetectOutcome, len(req.Suspects))
+		for i := range outs {
+			outs[i] = []lwmapi.DetectOutcome{{Found: true, Total: 1, Satisfied: 1}}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(lwmapi.DetectResponse{Results: outs, Detected: 1})
+	}))
+	defer ts.Close()
+
+	cfg := fastConfig(ts.URL)
+	cfg.ChunkSize = 1
+	c := newTestClient(t, cfg)
+	suspects := []Suspect{
+		{Design: "gcolor v1\nn 2\ne 0 1\n", Schedule: "coloring v1\nc 0 0\nc 1 1\n"},
+		{Design: "gcolor v1\nn 2\ne 0 1\n", Schedule: "coloring v1\nc 0 0\nc 1 1\n"},
+	}
+	res, err := c.Detect(context.Background(), DetectRequest{
+		Family:   "gcolor",
+		Suspects: suspects,
+		Records:  []lwmapi.Record{{Signature: []byte("x")}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Complete() || len(res.Results) != 2 {
+		t.Fatalf("results: %+v", res)
+	}
+	if len(families) != 2 {
+		t.Fatalf("%d chunks, want 2", len(families))
+	}
+	for i, fam := range families {
+		if fam != "gcolor" {
+			t.Errorf("chunk %d carried family %q", i, fam)
+		}
+	}
+}

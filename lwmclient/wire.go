@@ -60,11 +60,20 @@ type GetDesignResponse = lwmapi.GetDesignResponse
 type DetectRequest struct {
 	Suspects []Suspect
 	Records  []Record
+	// Family selects the watermark family; empty means the scheduling
+	// family. Every chunk carries it.
+	Family string
 	// Workers is the per-request engine parallelism (0: server default).
 	Workers int
 	// ChunkSize overrides Config.ChunkSize for this call when positive.
 	ChunkSize int
 }
+
+// ListFamiliesResponse is the family-discovery answer (GET /v1/families).
+type ListFamiliesResponse = lwmapi.ListFamiliesResponse
+
+// FamilyInfo describes one served watermark family.
+type FamilyInfo = lwmapi.FamilyInfo
 
 // ChunkError records one chunk of suspects whose request exhausted its
 // attempts; the suspect rows in [Start, End) have no results.
